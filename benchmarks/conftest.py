@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark harness.
+
+The full evaluation (every workload on every design, plus the ASR variants
+and the instruction-cluster sweep) is simulated once per session and shared
+by the per-figure benchmark modules, mirroring how the paper reports many
+figures from one set of simulations.
+
+Environment knobs:
+
+``RNUCA_EVAL_RECORDS``
+    Number of L2 references per (workload, design) simulation
+    (default 40000).  Lower it for a quick smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.evaluation import run_evaluation
+from repro.cmp.config import SystemConfig
+from repro.workloads.generator import DEFAULT_SCALE, SyntheticTraceGenerator
+from repro.workloads.spec import WORKLOADS, get_workload
+
+#: Trace length for the evaluation suite (per workload, per design).
+EVAL_RECORDS = int(os.environ.get("RNUCA_EVAL_RECORDS", 40_000))
+
+#: Trace length for the characterisation figures (no design simulation).
+CHARACTERIZATION_RECORDS = int(
+    os.environ.get("RNUCA_CHARACTERIZATION_RECORDS", 60_000)
+)
+
+
+@pytest.fixture(scope="session")
+def evaluation_suite():
+    """P/A/S/R/I results for the eight primary workloads (Figures 7-10, 12)."""
+    return run_evaluation(num_records=EVAL_RECORDS)
+
+
+@pytest.fixture(scope="session")
+def sweep_suite():
+    """R-NUCA instruction-cluster sweep (Figure 11)."""
+    return run_evaluation(
+        designs=("P", "R"),
+        num_records=EVAL_RECORDS,
+        include_cluster_sweep=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def characterization_traces():
+    """Synthetic traces for the characterisation figures (Figures 2-5, 5.2)."""
+    traces = {}
+    for name in WORKLOADS:
+        spec = get_workload(name)
+        config = SystemConfig.for_workload_category(spec.category).scaled(DEFAULT_SCALE)
+        generator = SyntheticTraceGenerator(spec, config, seed=1, scale=DEFAULT_SCALE)
+        traces[name] = (generator.generate(CHARACTERIZATION_RECORDS), config)
+    return traces

@@ -1,0 +1,43 @@
+"""Figure 2: L2 reference clustering (sharers vs. read-write behaviour)."""
+
+from repro.analysis.characterization import reference_clustering
+from repro.analysis.reporting import format_table
+from repro.workloads.spec import WORKLOADS, get_workload
+
+
+def test_fig02_reference_clustering(benchmark, characterization_traces):
+    def analyse():
+        return {
+            name: reference_clustering(trace)
+            for name, (trace, _) in characterization_traces.items()
+        }
+
+    clustering = benchmark(analyse)
+    print()
+    for name, rows in clustering.items():
+        category = get_workload(name).category
+        interesting = [r for r in rows if r["access_share"] > 0.01]
+        print(
+            format_table(
+                interesting,
+                columns=["sharers", "kind", "blocks", "access_share", "read_write_block_fraction"],
+                title=f"Figure 2 — {name} ({category})",
+            )
+        )
+        print()
+
+    # Paper observations: server instruction/shared-data blocks are shared by
+    # (nearly) all cores; instructions are read-only; private data dominates
+    # the scientific and multi-programmed workloads.
+    for name in ("oltp-db2", "apache", "oltp-oracle"):
+        rows = clustering[name]
+        assert any(r["sharers"] >= 8 and r["access_share"] > 0.05 for r in rows)
+        for row in rows:
+            if row["kind"] == "instruction":
+                assert row["read_write_block_fraction"] == 0.0
+    for name in ("em3d", "mix"):
+        single_sharer = sum(
+            r["access_share"] for r in clustering[name] if r["sharers"] == 1
+        )
+        assert single_sharer > 0.6
+    assert len(clustering) == len(WORKLOADS)

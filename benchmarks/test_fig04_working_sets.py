@@ -1,0 +1,48 @@
+"""Figure 4: L2 working-set sizes (CDF of references vs. footprint)."""
+
+from repro.analysis.characterization import working_set_cdf
+from repro.analysis.reporting import format_table
+
+
+def _footprint_at(curve, fraction_of_class_max):
+    """Footprint (KB) at which the CDF reaches a fraction of its maximum."""
+    if not curve:
+        return 0.0
+    target = curve[-1][1] * fraction_of_class_max
+    for footprint, fraction in curve:
+        if fraction >= target:
+            return footprint
+    return curve[-1][0]
+
+
+def test_fig04_working_set_cdfs(benchmark, characterization_traces):
+    def analyse():
+        return {
+            name: working_set_cdf(trace)
+            for name, (trace, _) in characterization_traces.items()
+        }
+
+    curves = benchmark(analyse)
+    rows = []
+    for name, classes in curves.items():
+        row = {"workload": name}
+        for class_name, curve in classes.items():
+            row[f"{class_name}_footprint_kb"] = curve[-1][0] if curve else 0.0
+            row[f"{class_name}_90pct_kb"] = _footprint_at(curve, 0.9)
+        rows.append(row)
+    print()
+    print(
+        format_table(
+            rows,
+            title="Figure 4 — working-set footprints (scaled KB; 100% and 90% of class references)",
+            precision=1,
+        )
+    )
+
+    # Shape checks from the paper: DSS/scientific private working sets dwarf
+    # OLTP's; instruction working sets of scientific/multi-programmed
+    # workloads are tiny compared to the server workloads'.
+    by_name = {row["workload"]: row for row in rows}
+    assert by_name["dss-qry6"]["private_footprint_kb"] > 2 * by_name["oltp-db2"]["private_footprint_kb"]
+    assert by_name["mix"]["instruction_footprint_kb"] < by_name["oltp-oracle"]["instruction_footprint_kb"]
+    assert by_name["em3d"]["instruction_footprint_kb"] < by_name["apache"]["instruction_footprint_kb"]

@@ -1,0 +1,30 @@
+"""Figure 7: total CPI breakdown for the P/A/S/R designs."""
+
+from repro.analysis.cpi_breakdown import FIG7_COMPONENTS, fig7_cpi_breakdown
+from repro.analysis.reporting import format_table
+
+
+def test_fig07_total_cpi_breakdown(benchmark, evaluation_suite):
+    rows = benchmark(fig7_cpi_breakdown, evaluation_suite)
+    print()
+    print(
+        format_table(
+            rows,
+            columns=["workload", "design", *FIG7_COMPONENTS, "total"],
+            title="Figure 7 — total CPI breakdown (normalised to the private design)",
+        )
+    )
+
+    by_key = {(r["workload"], r["design"]): r for r in rows}
+    for workload in evaluation_suite.workloads:
+        # Normalisation: the private design's stacked components sum to 1.
+        assert abs(by_key[(workload, "P")]["total"] - 1.0) < 1e-6
+        # R-NUCA never loses to both conventional designs (performance
+        # stability across workloads, the paper's headline claim).
+        rnuca = by_key[(workload, "R")]["total"]
+        assert rnuca <= max(by_key[(workload, "P")]["total"], by_key[(workload, "S")]["total"]) + 1e-6
+        # The re-classification overhead of R-NUCA is negligible (Section 5.3).
+        assert by_key[(workload, "R")]["reclassification"] < 0.05
+    # Only the private/ASR designs pay L1-to-L1 + coherence through the
+    # directory; R-NUCA and shared never show a coherence component.
+    assert all(by_key[(w, "R")]["busy"] > 0 for w in evaluation_suite.workloads)

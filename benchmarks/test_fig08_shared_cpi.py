@@ -1,0 +1,43 @@
+"""Figure 8: CPI breakdown of L1-to-L1 transfers and L2 shared-data loads."""
+
+from repro.analysis.cpi_breakdown import fig8_shared_data_cpi
+from repro.analysis.reporting import format_table
+
+
+def test_fig08_shared_data_cpi(benchmark, evaluation_suite):
+    rows = benchmark(fig8_shared_data_cpi, evaluation_suite)
+    print()
+    print(
+        format_table(
+            rows,
+            columns=[
+                "workload",
+                "design",
+                "l2_shared_load",
+                "l2_shared_load_coherence",
+                "l1_to_l1",
+            ],
+            title="Figure 8 — shared-data CPI (normalised to the private design)",
+        )
+    )
+
+    by_key = {(r["workload"], r["design"]): r for r in rows}
+    for workload in evaluation_suite.workloads:
+        shared_design = by_key[(workload, "S")]
+        rnuca = by_key[(workload, "R")]
+        private = by_key[(workload, "P")]
+        # The shared and R-NUCA designs never engage an L2 coherence
+        # mechanism; the private design does.
+        assert shared_design["l2_shared_load_coherence"] == 0.0
+        assert rnuca["l2_shared_load_coherence"] == 0.0
+        assert private["l2_shared_load_coherence"] >= 0.0
+    # Eliminating L2 coherence lowers the shared-data CPI of R-NUCA relative
+    # to the private design on the server workloads (Section 5.3).
+    server = [w for w in evaluation_suite.workloads if w not in ("mix",)]
+    improved = sum(
+        1
+        for w in server
+        if sum(v for k, v in by_key[(w, "R")].items() if isinstance(v, float))
+        <= sum(v for k, v in by_key[(w, "P")].items() if isinstance(v, float)) + 1e-9
+    )
+    assert improved >= len(server) // 2

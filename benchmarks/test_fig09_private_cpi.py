@@ -1,0 +1,26 @@
+"""Figure 9: CPI contribution of L2 accesses to private data."""
+
+from repro.analysis.cpi_breakdown import fig9_private_data_cpi
+from repro.analysis.reporting import format_table
+
+
+def test_fig09_private_data_cpi(benchmark, evaluation_suite):
+    rows = benchmark(fig9_private_data_cpi, evaluation_suite)
+    print()
+    print(
+        format_table(
+            rows,
+            columns=["workload", "design", "normalized_cpi"],
+            title="Figure 9 — private-data CPI (normalised to the private design)",
+        )
+    )
+
+    by_key = {(r["workload"], r["design"]): r["normalized_cpi"] for r in rows}
+    wins = 0
+    for workload in evaluation_suite.workloads:
+        # R-NUCA allocates private data locally, matching the private design
+        # and beating the shared design, which spreads it across the chip.
+        if by_key[(workload, "R")] <= by_key[(workload, "S")] + 1e-9:
+            wins += 1
+        assert by_key[(workload, "R")] <= by_key[(workload, "S")] * 1.3
+    assert wins >= len(evaluation_suite.workloads) - 1

@@ -1,0 +1,29 @@
+"""Figure 10: CPI contribution of L2 instruction accesses."""
+
+from repro.analysis.cpi_breakdown import fig10_instruction_cpi
+from repro.analysis.reporting import format_table
+from repro.workloads.spec import get_workload
+
+
+def test_fig10_instruction_cpi(benchmark, evaluation_suite):
+    rows = benchmark(fig10_instruction_cpi, evaluation_suite)
+    print()
+    print(
+        format_table(
+            rows,
+            columns=["workload", "design", "normalized_cpi"],
+            title="Figure 10 — instruction CPI (normalised to the private design)",
+        )
+    )
+
+    by_key = {(r["workload"], r["design"]): r["normalized_cpi"] for r in rows}
+    server = [
+        w
+        for w in evaluation_suite.workloads
+        if get_workload(w).category == "server"
+    ]
+    # Clustered replication + rotational interleaving keeps instructions at
+    # most one hop away: R-NUCA beats the shared design, which spreads
+    # instruction blocks across the whole die (Section 5.3).
+    wins = sum(1 for w in server if by_key[(w, "R")] <= by_key[(w, "S")] + 1e-9)
+    assert wins >= len(server) - 1

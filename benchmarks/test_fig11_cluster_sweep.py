@@ -1,0 +1,34 @@
+"""Figure 11: CPI breakdown of instruction clusters of various sizes."""
+
+from repro.analysis.cpi_breakdown import FIG7_COMPONENTS, cluster_size_sweep
+from repro.analysis.reporting import format_table
+
+
+def test_fig11_instruction_cluster_sweep(benchmark, sweep_suite):
+    rows = benchmark(cluster_size_sweep, sweep_suite)
+    print()
+    print(
+        format_table(
+            rows,
+            columns=["workload", "cluster_size", *FIG7_COMPONENTS, "total", "offchip_rate"],
+            title="Figure 11 — instruction-cluster size sweep (normalised to size-1)",
+        )
+    )
+
+    by_key = {(r["workload"], r["cluster_size"]): r for r in rows}
+    server = [w for w in sweep_suite.workloads if w not in ("em3d", "mix")]
+    for workload in server:
+        size1 = by_key[(workload, 1)]
+        size4 = by_key[(workload, 4)]
+        size16 = by_key[(workload, 16)]
+        # Storing instructions only locally (size-1) replicates the
+        # instruction working set in every slice and raises off-chip misses.
+        assert size1["offchip_rate"] >= size4["offchip_rate"] - 0.01
+        # Very large clusters spread instructions farther away, raising the
+        # L2-hit component relative to size-4.
+        assert size16["l2"] >= size4["l2"] - 0.02
+    # Size-4 is the sweet spot for the paper's configuration: it should not
+    # lose to both extremes on any server workload.
+    for workload in server:
+        best_extreme = min(by_key[(workload, 1)]["total"], by_key[(workload, 16)]["total"])
+        assert by_key[(workload, 4)]["total"] <= best_extreme + 0.05

@@ -1,0 +1,34 @@
+"""Figure 12: performance improvement over the private design."""
+
+from repro.analysis.reporting import format_percentage_map, format_table
+from repro.analysis.speedup import fig12_speedups, headline_numbers, workload_aversion
+
+
+def test_fig12_speedup(benchmark, evaluation_suite):
+    rows = benchmark(fig12_speedups, evaluation_suite)
+    print()
+    print(
+        format_table(
+            rows,
+            columns=["workload", "design", "speedup", "ci_half_width"],
+            title="Figure 12 — speedup over the private design (with 95% CI half-widths)",
+        )
+    )
+    numbers = headline_numbers(evaluation_suite)
+    print()
+    print(format_percentage_map(numbers, title="Headline numbers (paper: 14% avg / 32% max over private, 6% over shared, within 5% of ideal)"))
+    print()
+    print("Workload aversion:", workload_aversion(evaluation_suite))
+
+    by_key = {(r["workload"], r["design"]): r["speedup"] for r in rows}
+    for workload in evaluation_suite.workloads:
+        # R-NUCA matches or beats the better of the two conventional designs.
+        assert by_key[(workload, "R")] >= min(0.0, by_key[(workload, "S")]) - 0.02
+        # The ideal design bounds everything.
+        assert by_key[(workload, "I")] >= by_key[(workload, "R")] - 0.02
+    # Headline shapes: R-NUCA improves on both baselines on average, and by a
+    # double-digit percentage over one of them.
+    assert numbers["avg_speedup_over_private"] > 0.03
+    assert numbers["avg_speedup_over_shared"] > 0.03
+    assert numbers["max_speedup_over_private"] > 0.10
+    assert numbers["avg_gap_to_ideal"] < 0.30

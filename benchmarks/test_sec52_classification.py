@@ -1,0 +1,39 @@
+"""Section 5.2: accuracy of page-granularity classification."""
+
+from repro.analysis.characterization import classification_accuracy
+from repro.analysis.reporting import format_table
+
+
+def test_sec52_classification_accuracy(benchmark, characterization_traces):
+    def analyse():
+        return {
+            name: classification_accuracy(trace, page_size=config.page_size)
+            for name, (trace, config) in characterization_traces.items()
+        }
+
+    accuracy = benchmark(analyse)
+    rows = [{"workload": name, **values} for name, values in accuracy.items()]
+    print()
+    print(
+        format_table(
+            rows,
+            columns=[
+                "workload",
+                "multi_class_page_access_fraction",
+                "misclassified_access_fraction",
+                "pages",
+            ],
+            title="Section 5.2 — page-granularity classification accuracy "
+            "(paper: 6%-26% of accesses touch multi-class pages; <0.75% misclassified)",
+        )
+    )
+
+    for name, values in accuracy.items():
+        # Some pages hold more than one class, but the accesses they receive
+        # are dominated by a single class, so misclassification stays small.
+        assert values["multi_class_page_access_fraction"] < 0.6
+        assert values["misclassified_access_fraction"] < 0.05
+        assert (
+            values["misclassified_access_fraction"]
+            <= values["multi_class_page_access_fraction"] + 1e-9
+        )

@@ -1,0 +1,25 @@
+"""Table 1: system and application parameters for the 8- and 16-core CMPs."""
+
+from repro.cmp.config import SystemConfig
+from repro.workloads.spec import WORKLOADS
+
+
+def test_table1_system_parameters(benchmark):
+    summaries = benchmark(
+        lambda: [
+            SystemConfig.server_16core().summary(),
+            SystemConfig.multiprogrammed_8core().summary(),
+        ]
+    )
+    print()
+    print("Table 1 (left): system parameters")
+    for summary in summaries:
+        print(summary)
+        print()
+    print("Table 1 (right): workloads")
+    for spec in WORKLOADS.values():
+        print(f"  {spec.name:12s} [{spec.category}] {spec.description}")
+
+    config16 = SystemConfig.server_16core()
+    assert config16.l2_slice.hit_latency == 14
+    assert SystemConfig.multiprogrammed_8core().l2_slice.hit_latency == 25

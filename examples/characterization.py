@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Workload characterisation, reproducing the analysis of paper Section 3.
+
+Generates synthetic traces for a few representative workloads and reports:
+
+* the access-class mix (Figure 3),
+* the sharing/read-write clustering (Figure 2),
+* working-set footprints (Figure 4),
+* instruction and shared-data reuse (Figure 5),
+* page-granularity classification accuracy (Section 5.2).
+
+Run with::
+
+    python examples/characterization.py [num_records]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.characterization import (
+    classification_accuracy,
+    reference_breakdown,
+    reference_clustering,
+    reuse_histogram,
+    working_set_cdf,
+)
+from repro.analysis.reporting import format_table
+from repro.cmp.config import SystemConfig
+from repro.workloads.generator import DEFAULT_SCALE, SyntheticTraceGenerator
+from repro.workloads.spec import get_workload
+
+WORKLOADS = ("oltp-db2", "apache", "dss-qry6", "em3d", "mix")
+
+
+def main() -> None:
+    num_records = int(sys.argv[1]) if len(sys.argv) > 1 else 40_000
+
+    breakdown_rows = []
+    accuracy_rows = []
+    for name in WORKLOADS:
+        spec = get_workload(name)
+        config = SystemConfig.for_workload_category(spec.category).scaled(DEFAULT_SCALE)
+        trace = SyntheticTraceGenerator(spec, config, seed=1, scale=DEFAULT_SCALE).generate(
+            num_records
+        )
+        breakdown_rows.append({"workload": name, **reference_breakdown(trace)})
+        accuracy_rows.append(
+            {"workload": name, **classification_accuracy(trace, page_size=config.page_size)}
+        )
+
+        if name == "oltp-db2":
+            print(format_table(
+                [r for r in reference_clustering(trace) if r["access_share"] > 0.01],
+                title=f"Figure 2 — reference clustering for {name}",
+            ))
+            print()
+            reuse = reuse_histogram(trace)
+            print(format_table(
+                [{"class": cls, **bins} for cls, bins in reuse.items()],
+                title=f"Figure 5 — reuse by the same core for {name}",
+            ))
+            print()
+            footprints = {
+                cls: curve[-1][0] for cls, curve in working_set_cdf(trace).items()
+            }
+            print(f"Figure 4 — scaled working-set footprints for {name} (KB): {footprints}")
+            print()
+
+    print(format_table(breakdown_rows, title="Figure 3 — L2 reference breakdown"))
+    print()
+    print(format_table(accuracy_rows, title="Section 5.2 — classification accuracy"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Design-space exploration: instruction-cluster size and ASR variants.
+
+Reproduces two of the paper's design-space studies on one server workload:
+
+* the Figure-11 sweep over instruction-cluster sizes (1, 2, 4, 8, 16),
+  showing the latency/off-chip trade-off that makes size-4 the sweet spot;
+* the six ASR variants (adaptive + five static allocation probabilities)
+  from which the paper reports the best per workload.
+
+Run with::
+
+    python examples/design_space_exploration.py [workload] [num_records]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.evaluation import simulate_rnuca_cluster
+from repro.analysis.reporting import format_table
+from repro.sim.engine import simulate_workload
+
+
+def cluster_sweep(workload: str, num_records: int) -> None:
+    rows = []
+    for size in (1, 2, 4, 8, 16):
+        result = simulate_rnuca_cluster(workload, size, num_records=num_records)
+        breakdown = result.cpi_breakdown()
+        rows.append(
+            {
+                "cluster_size": size,
+                "cpi": result.cpi,
+                "instruction_l2_cpi": result.stats.class_component_cpi("instruction", "l2"),
+                "offchip_cpi": breakdown["offchip"],
+                "offchip_rate": result.metadata["offchip_rate"],
+            }
+        )
+    print(format_table(rows, title=f"{workload}: instruction-cluster size sweep (Figure 11)"))
+    best = min(rows, key=lambda row: row["cpi"])
+    print(f"Best cluster size for {workload}: {best['cluster_size']}\n")
+
+
+def asr_variants(workload: str, num_records: int) -> None:
+    rows = []
+    for probability in (None, 0.0, 0.25, 0.5, 0.75, 1.0):
+        kwargs = {} if probability is None else {"allocation_probability": probability}
+        result = simulate_workload(workload, "A", num_records=num_records, **kwargs)
+        rows.append(
+            {
+                "variant": "adaptive" if probability is None else f"static p={probability}",
+                "cpi": result.cpi,
+                "final_probability": result.metadata["asr_allocation_probability"],
+                "offchip_rate": result.metadata["offchip_rate"],
+            }
+        )
+    print(format_table(rows, title=f"{workload}: ASR variants (best is reported in Figures 7-12)"))
+    best = min(rows, key=lambda row: row["cpi"])
+    print(f"Best ASR variant for {workload}: {best['variant']}\n")
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "apache"
+    num_records = int(sys.argv[2]) if len(sys.argv) > 2 else 30_000
+    print(f"Exploring the design space on {workload!r} ({num_records} references per run)\n")
+    cluster_sweep(workload, num_records)
+    asr_variants(workload, num_records)
+
+
+if __name__ == "__main__":
+    main()

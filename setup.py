@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment used for development has no ``wheel`` package available, so
+PEP-517 editable installs fail; this shim lets ``pip install -e . --no-use-pep517``
+(and plain ``python setup.py develop``) work offline.  All project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

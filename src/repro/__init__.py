@@ -1,0 +1,68 @@
+"""Reactive NUCA (R-NUCA) reproduction library.
+
+This package reproduces the system described in "Reactive NUCA: Near-Optimal
+Block Placement and Replication in Distributed Caches" (Hardavellas, Ferdman,
+Falsafi, Ailamaki — ISCA 2009) as a pure-Python, trace-driven tiled-CMP
+simulator.
+
+The package is organised as follows:
+
+``repro.cmp``
+    Tiled chip-multiprocessor model and the Table-1 system configurations.
+``repro.cache``
+    Set-associative cache arrays, MSHRs and victim caches.
+``repro.coherence``
+    MOSI coherence protocol and full-map directory.
+``repro.interconnect``
+    2-D folded-torus and mesh on-chip networks.
+``repro.osmodel``
+    Page table, TLBs and the OS-driven page classification of Section 4.3.
+``repro.core``
+    The paper's contribution: rotational interleaving, clusters and the
+    R-NUCA placement policy.
+``repro.designs``
+    The five cache designs evaluated in the paper (private, ASR, shared,
+    R-NUCA, ideal) behind a single interface.
+``repro.workloads``
+    Synthetic workload trace generators calibrated to the paper's own
+    workload characterisation.
+``repro.sim``
+    The trace-driven simulation engine and CPI accounting model.
+``repro.analysis``
+    Regeneration of every figure and table in the paper's evaluation.
+"""
+
+from repro.cmp.config import SystemConfig
+from repro.core.rnuca import RNucaPolicy
+from repro.designs import (
+    AsrDesign,
+    CacheDesign,
+    IdealDesign,
+    PrivateDesign,
+    RNucaDesign,
+    SharedDesign,
+    build_design,
+)
+from repro.sim.engine import SimulationResult, TraceSimulator, simulate_workload
+from repro.workloads import WORKLOADS, WorkloadSpec, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "RNucaPolicy",
+    "CacheDesign",
+    "PrivateDesign",
+    "SharedDesign",
+    "AsrDesign",
+    "RNucaDesign",
+    "IdealDesign",
+    "build_design",
+    "TraceSimulator",
+    "SimulationResult",
+    "simulate_workload",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "get_workload",
+    "__version__",
+]

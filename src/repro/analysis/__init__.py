@@ -1,0 +1,40 @@
+"""Regeneration of the paper's evaluation: Figures 2-12 and Table 1."""
+
+from repro.analysis.characterization import (
+    BlockProfile,
+    classification_accuracy,
+    classify_blocks,
+    reference_breakdown,
+    reference_clustering,
+    reuse_histogram,
+    working_set_cdf,
+)
+from repro.analysis.cpi_breakdown import (
+    cluster_size_sweep,
+    fig7_cpi_breakdown,
+    fig8_shared_data_cpi,
+    fig9_private_data_cpi,
+    fig10_instruction_cpi,
+)
+from repro.analysis.evaluation import EvaluationSuite, run_evaluation
+from repro.analysis.reporting import format_table
+from repro.analysis.speedup import fig12_speedups
+
+__all__ = [
+    "BlockProfile",
+    "classify_blocks",
+    "reference_clustering",
+    "reference_breakdown",
+    "working_set_cdf",
+    "reuse_histogram",
+    "classification_accuracy",
+    "EvaluationSuite",
+    "run_evaluation",
+    "fig7_cpi_breakdown",
+    "fig8_shared_data_cpi",
+    "fig9_private_data_cpi",
+    "fig10_instruction_cpi",
+    "cluster_size_sweep",
+    "fig12_speedups",
+    "format_table",
+]

@@ -1,0 +1,251 @@
+"""Workload characterisation (paper Section 3, Figures 2-5, Section 5.2).
+
+All the functions here analyse *traces*, exactly as the paper's trace-based
+characterisation does: blocks are classified by observing which cores touch
+them and whether they are ever written, independently of the ground-truth
+labels the generator attached to each record.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.workloads.trace import Trace
+
+#: Reuse-run bins used by Figure 5.
+REUSE_BINS = ("1st access", "2nd access", "3rd-4th access", "5th-8th access", "9+ access")
+
+
+@dataclass
+class BlockProfile:
+    """Observed behaviour of one cache block across a trace."""
+
+    block_address: int
+    is_instruction: bool = False
+    accesses: int = 0
+    writes: int = 0
+    sharers: set[int] = field(default_factory=set)
+
+    @property
+    def num_sharers(self) -> int:
+        return len(self.sharers)
+
+    @property
+    def is_read_write(self) -> bool:
+        return self.writes > 0
+
+    @property
+    def is_private(self) -> bool:
+        return self.num_sharers <= 1
+
+    @property
+    def category(self) -> str:
+        """Paper categories: instruction, private data, shared data (RW/RO)."""
+        if self.is_instruction:
+            return "instruction"
+        if self.is_private:
+            return "private"
+        return "shared_rw" if self.is_read_write else "shared_ro"
+
+
+def classify_blocks(trace: Trace, *, block_size: int = 64) -> dict[int, BlockProfile]:
+    """Build per-block profiles (sharers, writes, access counts) from a trace."""
+    profiles: dict[int, BlockProfile] = {}
+    shift = block_size.bit_length() - 1
+    for record in trace:
+        block = record.address >> shift
+        profile = profiles.get(block)
+        if profile is None:
+            profile = BlockProfile(block_address=block)
+            profiles[block] = profile
+        profile.accesses += 1
+        profile.sharers.add(record.core)
+        if record.is_instruction:
+            profile.is_instruction = True
+        elif record.is_write:
+            profile.writes += 1
+    return profiles
+
+
+def reference_clustering(
+    trace: Trace, *, block_size: int = 64
+) -> list[dict[str, float]]:
+    """Figure 2: bubbles of (sharers, %read-write blocks, %L2 accesses).
+
+    Returns one row per (number of sharers, instruction/data) bubble with the
+    access share and the fraction of read-write blocks in the bubble.
+    """
+    profiles = classify_blocks(trace, block_size=block_size)
+    total_accesses = sum(p.accesses for p in profiles.values()) or 1
+    bubbles: dict[tuple[int, str], list[BlockProfile]] = defaultdict(list)
+    for profile in profiles.values():
+        kind = "instruction" if profile.is_instruction else "data"
+        bubbles[(profile.num_sharers, kind)].append(profile)
+    rows = []
+    for (sharers, kind), members in sorted(bubbles.items()):
+        accesses = sum(p.accesses for p in members)
+        read_write = sum(1 for p in members if p.is_read_write)
+        rows.append(
+            {
+                "sharers": sharers,
+                "kind": kind,
+                "blocks": len(members),
+                "access_share": accesses / total_accesses,
+                "read_write_block_fraction": read_write / len(members),
+            }
+        )
+    return rows
+
+
+def reference_breakdown(trace: Trace, *, block_size: int = 64) -> dict[str, float]:
+    """Figure 3: share of L2 references per access class."""
+    profiles = classify_blocks(trace, block_size=block_size)
+    shift = block_size.bit_length() - 1
+    counts: Counter[str] = Counter()
+    for record in trace:
+        profile = profiles[record.address >> shift]
+        if record.is_instruction:
+            counts["instruction"] += 1
+        elif profile.is_instruction:
+            # Data access to a block also fetched as instructions: rare and
+            # attributed to the data category of the block's observed use.
+            counts["shared_ro"] += 1
+        else:
+            counts[profile.category] += 1
+    total = sum(counts.values()) or 1
+    return {
+        key: counts.get(key, 0) / total
+        for key in ("instruction", "private", "shared_rw", "shared_ro")
+    }
+
+
+def working_set_cdf(
+    trace: Trace, *, block_size: int = 64, points: int = 50
+) -> dict[str, list[tuple[float, float]]]:
+    """Figure 4: CDF of L2 references versus footprint, per access class.
+
+    For each class, blocks are ranked by popularity; the result is a list of
+    (footprint_kb, cumulative_access_fraction) points where the access
+    fraction is normalised to *all* L2 references of the trace, matching the
+    paper's axes.
+    """
+    profiles = classify_blocks(trace, block_size=block_size)
+    total_accesses = sum(p.accesses for p in profiles.values()) or 1
+    groups: dict[str, list[BlockProfile]] = defaultdict(list)
+    for profile in profiles.values():
+        key = profile.category
+        if key in ("shared_rw", "shared_ro"):
+            key = "shared"
+        groups[key].append(profile)
+    curves: dict[str, list[tuple[float, float]]] = {}
+    for key, members in groups.items():
+        members.sort(key=lambda p: p.accesses, reverse=True)
+        cumulative = 0
+        curve = []
+        step = max(1, len(members) // points)
+        for index, profile in enumerate(members, start=1):
+            cumulative += profile.accesses
+            if index % step == 0 or index == len(members):
+                footprint_kb = index * block_size / 1024.0
+                curve.append((footprint_kb, cumulative / total_accesses))
+        curves[key] = curve
+    return curves
+
+
+def reuse_histogram(trace: Trace, *, block_size: int = 64) -> dict[str, dict[str, float]]:
+    """Figure 5: reuse of instructions and shared data by the same core.
+
+    For instructions, a *run* is a sequence of accesses to a block by one
+    core without an intervening access by another core.  For shared data,
+    a run is the accesses by one core between consecutive writes by other
+    cores.  Each access is labelled by its position in its run and the
+    histogram reports the share of accesses per position bin.
+    """
+    profiles = classify_blocks(trace, block_size=block_size)
+    shift = block_size.bit_length() - 1
+    last_core: dict[int, int] = {}
+    run_position: dict[int, int] = {}
+    histograms: dict[str, Counter] = {
+        "instruction": Counter(),
+        "shared": Counter(),
+    }
+    totals: Counter[str] = Counter()
+
+    def bin_for(position: int) -> str:
+        if position == 1:
+            return REUSE_BINS[0]
+        if position == 2:
+            return REUSE_BINS[1]
+        if position <= 4:
+            return REUSE_BINS[2]
+        if position <= 8:
+            return REUSE_BINS[3]
+        return REUSE_BINS[4]
+
+    for record in trace:
+        block = record.address >> shift
+        profile = profiles[block]
+        if profile.is_instruction:
+            group = "instruction"
+            breaks_run = last_core.get(block) not in (None, record.core)
+        elif profile.category == "shared_rw":
+            group = "shared"
+            # A write by a *different* core ends every other core's run.
+            breaks_run = record.is_write and last_core.get(block) != record.core
+        else:
+            last_core[block] = record.core
+            continue
+        if breaks_run or last_core.get(block) != record.core:
+            run_position[block] = 0
+        run_position[block] = run_position.get(block, 0) + 1
+        last_core[block] = record.core
+        histograms[group][bin_for(run_position[block])] += 1
+        totals[group] += 1
+
+    result: dict[str, dict[str, float]] = {}
+    for group, counter in histograms.items():
+        total = totals[group] or 1
+        result[group] = {bin_name: counter.get(bin_name, 0) / total for bin_name in REUSE_BINS}
+    return result
+
+
+def classification_accuracy(
+    trace: Trace, *, page_size: int, block_size: int = 64
+) -> dict[str, float]:
+    """Section 5.2: page-granularity classification accuracy.
+
+    Computes the fraction of L2 references to pages containing more than one
+    access class, and the fraction of references whose block-level class
+    differs from its page's dominant (access-weighted) class — i.e. the
+    misclassification a page-granularity policy cannot avoid.
+    """
+    page_shift = page_size.bit_length() - 1
+    block_shift = block_size.bit_length() - 1
+    profiles = classify_blocks(trace, block_size=block_size)
+    page_class_accesses: dict[int, Counter] = defaultdict(Counter)
+    for record in trace:
+        block = record.address >> block_shift
+        page = record.address >> page_shift
+        cls = "instruction" if profiles[block].is_instruction else (
+            "private" if profiles[block].is_private else "shared"
+        )
+        page_class_accesses[page][cls] += 1
+
+    multi_class_accesses = 0
+    misclassified = 0
+    total = len(trace) or 1
+    dominant = {
+        page: counts.most_common(1)[0][0]
+        for page, counts in page_class_accesses.items()
+    }
+    for page, counts in page_class_accesses.items():
+        page_total = sum(counts.values())
+        if len(counts) > 1:
+            multi_class_accesses += page_total
+            misclassified += page_total - counts[dominant[page]]
+    return {
+        "multi_class_page_access_fraction": multi_class_accesses / total,
+        "misclassified_access_fraction": misclassified / total,
+        "pages": len(page_class_accesses),
+    }

@@ -1,0 +1,129 @@
+"""CPI-breakdown figures (paper Figures 7, 8, 9, 10 and 11).
+
+Every function takes an :class:`~repro.analysis.evaluation.EvaluationSuite`
+and returns a list of row dictionaries, which the benchmarks print with
+:func:`repro.analysis.reporting.format_table`.  All CPI values are
+normalised to the private design's total CPI for the same workload, exactly
+as in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.evaluation import CLUSTER_SIZES, EvaluationSuite
+from repro.designs.base import BUSY, L1_TO_L1, L2, OFF_CHIP, OTHER, RECLASSIFICATION
+from repro.errors import SimulationError
+
+#: Figure-7 component order.
+FIG7_COMPONENTS = (BUSY, L1_TO_L1, L2, OFF_CHIP, OTHER, RECLASSIFICATION)
+
+
+def fig7_cpi_breakdown(suite: EvaluationSuite) -> list[dict[str, float]]:
+    """Figure 7: total CPI breakdown, normalised to the private design."""
+    rows = []
+    for workload in suite.workloads:
+        baseline_cpi = suite.baseline(workload).cpi
+        for design in suite.designs:
+            if (workload, design) not in suite.results:
+                continue
+            result = suite.result(workload, design)
+            breakdown = result.normalized_breakdown(baseline_cpi)
+            row = {"workload": workload, "design": design}
+            row.update({c: breakdown.get(c, 0.0) for c in FIG7_COMPONENTS})
+            row["total"] = sum(breakdown.values())
+            rows.append(row)
+    return rows
+
+
+def fig8_shared_data_cpi(suite: EvaluationSuite) -> list[dict[str, float]]:
+    """Figure 8: CPI of L1-to-L1 transfers and L2 accesses to shared data.
+
+    The three stacked components are plain (address-interleaved or locally
+    replicated) L2 shared loads, L2 shared loads that engaged the coherence
+    mechanism, and L1-to-L1 transfers — normalised to the private design's
+    total CPI.
+    """
+    rows = []
+    for workload in suite.workloads:
+        baseline_cpi = suite.baseline(workload).cpi
+        for design in suite.designs:
+            if (workload, design) not in suite.results:
+                continue
+            stats = suite.result(workload, design).stats
+            rows.append(
+                {
+                    "workload": workload,
+                    "design": design,
+                    "l2_shared_load": stats.shared_service_cpi("interleaved")
+                    / baseline_cpi,
+                    "l2_shared_load_coherence": stats.shared_service_cpi("coherence")
+                    / baseline_cpi,
+                    "l1_to_l1": stats.shared_service_cpi("l1_to_l1") / baseline_cpi,
+                }
+            )
+    return rows
+
+
+def _class_cpi_rows(
+    suite: EvaluationSuite, access_class: str, components: Iterable[str]
+) -> list[dict[str, float]]:
+    rows = []
+    components = tuple(components)
+    for workload in suite.workloads:
+        baseline_cpi = suite.baseline(workload).cpi
+        for design in suite.designs:
+            if (workload, design) not in suite.results:
+                continue
+            stats = suite.result(workload, design).stats
+            value = sum(
+                stats.class_component_cpi(access_class, component)
+                for component in components
+            )
+            rows.append(
+                {
+                    "workload": workload,
+                    "design": design,
+                    "normalized_cpi": value / baseline_cpi,
+                }
+            )
+    return rows
+
+
+def fig9_private_data_cpi(suite: EvaluationSuite) -> list[dict[str, float]]:
+    """Figure 9: CPI contribution of L2 accesses to private data."""
+    return _class_cpi_rows(suite, "private", (L2, L1_TO_L1))
+
+
+def fig10_instruction_cpi(suite: EvaluationSuite) -> list[dict[str, float]]:
+    """Figure 10: CPI contribution of L2 instruction accesses."""
+    return _class_cpi_rows(suite, "instruction", (L2,))
+
+
+def cluster_size_sweep(suite: EvaluationSuite) -> list[dict[str, float]]:
+    """Figure 11: CPI breakdown of instruction clusters of various sizes.
+
+    Values are normalised to the size-1 cluster configuration of the same
+    workload, as in the paper.
+    """
+    if not suite.cluster_sweep:
+        raise SimulationError(
+            "the evaluation suite was built without the cluster sweep; "
+            "call run_evaluation(include_cluster_sweep=True)"
+        )
+    rows = []
+    for workload in suite.workloads:
+        if (workload, 1) not in suite.cluster_sweep:
+            continue
+        baseline_cpi = suite.cluster_sweep[(workload, 1)].cpi
+        for size in CLUSTER_SIZES:
+            if (workload, size) not in suite.cluster_sweep:
+                continue
+            result = suite.cluster_sweep[(workload, size)]
+            breakdown = result.normalized_breakdown(baseline_cpi)
+            row = {"workload": workload, "cluster_size": size}
+            row.update({c: breakdown.get(c, 0.0) for c in FIG7_COMPONENTS})
+            row["total"] = sum(breakdown.values())
+            row["offchip_rate"] = result.metadata.get("offchip_rate", 0.0)
+            rows.append(row)
+    return rows

@@ -1,0 +1,178 @@
+"""End-to-end evaluation runner (the machinery behind Figures 7-12).
+
+:func:`run_evaluation` simulates every requested workload on every requested
+design — running the six ASR variants and keeping the best, as the paper
+does — and returns an :class:`EvaluationSuite` from which each figure's rows
+are derived.  Results are memoised per process so that the benchmark modules
+for Figures 7 through 12 can share a single simulation pass.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.cmp.config import SystemConfig
+from repro.sim.engine import (
+    DEFAULT_TRACE_LENGTH,
+    SimulationResult,
+    simulate_best_asr,
+    simulate_workload,
+)
+from repro.workloads.generator import DEFAULT_SCALE, SyntheticTraceGenerator
+from repro.workloads.spec import WORKLOADS, get_workload
+
+#: The paper's presentation order: private-averse workloads, then shared-averse.
+DEFAULT_WORKLOAD_ORDER = (
+    "oltp-db2",
+    "apache",
+    "dss-qry6",
+    "dss-qry8",
+    "dss-qry13",
+    "em3d",
+    "oltp-oracle",
+    "mix",
+)
+
+#: Designs evaluated for the main figures, in the paper's P/A/S/R/I order.
+DEFAULT_DESIGNS = ("P", "A", "S", "R", "I")
+
+#: Cluster sizes swept by Figure 11.
+CLUSTER_SIZES = (1, 2, 4, 8, 16)
+
+#: Environment variable to shrink the evaluation for quick runs.
+TRACE_LENGTH_ENV = "RNUCA_EVAL_RECORDS"
+
+
+def _trace_length(default: int) -> int:
+    override = os.environ.get(TRACE_LENGTH_ENV)
+    return int(override) if override else default
+
+
+@dataclass
+class EvaluationSuite:
+    """All simulation results needed by the evaluation figures."""
+
+    results: dict[tuple[str, str], SimulationResult] = field(default_factory=dict)
+    cluster_sweep: dict[tuple[str, int], SimulationResult] = field(default_factory=dict)
+    workloads: tuple[str, ...] = DEFAULT_WORKLOAD_ORDER
+    designs: tuple[str, ...] = DEFAULT_DESIGNS
+    num_records: int = DEFAULT_TRACE_LENGTH
+    scale: int = DEFAULT_SCALE
+
+    def result(self, workload: str, design: str) -> SimulationResult:
+        return self.results[(workload, design)]
+
+    def baseline(self, workload: str) -> SimulationResult:
+        """The private design, the paper's normalisation baseline."""
+        return self.results[(workload, "P")]
+
+    def workload_results(self, workload: str) -> dict[str, SimulationResult]:
+        return {
+            design: self.results[(workload, design)]
+            for design in self.designs
+            if (workload, design) in self.results
+        }
+
+
+_SUITE_CACHE: dict[tuple, EvaluationSuite] = {}
+
+
+def run_evaluation(
+    *,
+    workloads: Iterable[str] = DEFAULT_WORKLOAD_ORDER,
+    designs: Iterable[str] = DEFAULT_DESIGNS,
+    num_records: int = DEFAULT_TRACE_LENGTH,
+    scale: int = DEFAULT_SCALE,
+    seed: int = 0,
+    include_cluster_sweep: bool = False,
+    cluster_sizes: Iterable[int] = CLUSTER_SIZES,
+    use_cache: bool = True,
+) -> EvaluationSuite:
+    """Simulate every (workload, design) pair and return the suite.
+
+    ``RNUCA_EVAL_RECORDS`` in the environment overrides ``num_records`` so
+    that continuous-integration runs can use shorter traces.
+    """
+    workloads = tuple(workloads)
+    designs = tuple(designs)
+    cluster_sizes = tuple(cluster_sizes)
+    num_records = _trace_length(num_records)
+    key = (workloads, designs, num_records, scale, seed, include_cluster_sweep, cluster_sizes)
+    if use_cache and key in _SUITE_CACHE:
+        return _SUITE_CACHE[key]
+
+    suite = EvaluationSuite(
+        workloads=workloads,
+        designs=designs,
+        num_records=num_records,
+        scale=scale,
+    )
+    for workload in workloads:
+        spec = get_workload(workload)
+        config = SystemConfig.for_workload_category(spec.category).scaled(scale)
+        generator = SyntheticTraceGenerator(spec, config, seed=seed, scale=scale)
+        trace = generator.generate(num_records)
+        for design in designs:
+            if design == "A":
+                result = simulate_best_asr(
+                    spec, num_records=num_records, scale=scale, seed=seed,
+                    config=config, trace=trace,
+                )
+            else:
+                result = simulate_workload(
+                    spec, design, num_records=num_records, scale=scale, seed=seed,
+                    config=config, trace=trace,
+                )
+            suite.results[(workload, design)] = result
+        if include_cluster_sweep:
+            for size in cluster_sizes:
+                suite.cluster_sweep[(workload, size)] = simulate_rnuca_cluster(
+                    workload,
+                    size,
+                    num_records=num_records,
+                    scale=scale,
+                    seed=seed,
+                    config=config,
+                    trace=trace,
+                )
+    if use_cache:
+        _SUITE_CACHE[key] = suite
+    return suite
+
+
+def simulate_rnuca_cluster(
+    workload: str,
+    cluster_size: int,
+    *,
+    num_records: int = DEFAULT_TRACE_LENGTH,
+    scale: int = DEFAULT_SCALE,
+    seed: int = 0,
+    config: Optional[SystemConfig] = None,
+    trace=None,
+) -> SimulationResult:
+    """Run R-NUCA with a specific instruction-cluster size (Figure 11)."""
+    from repro.core.rnuca import RNucaConfig  # local import to avoid a cycle
+
+    spec = get_workload(workload)
+    if config is None:
+        config = SystemConfig.for_workload_category(spec.category).scaled(scale)
+    cluster_size = min(cluster_size, config.num_tiles)
+    result = simulate_workload(
+        spec,
+        "R",
+        num_records=num_records,
+        scale=scale,
+        seed=seed,
+        config=config,
+        trace=trace,
+        rnuca_config=RNucaConfig(instruction_cluster_size=cluster_size),
+    )
+    result.metadata["instruction_cluster_size"] = cluster_size
+    return result
+
+
+def available_workloads() -> list[str]:
+    """Names of the eight primary workloads."""
+    return list(WORKLOADS)

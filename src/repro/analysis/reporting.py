@@ -1,0 +1,55 @@
+"""Plain-text rendering of figure and table data.
+
+Every figure in this reproduction is ultimately a list of row dictionaries;
+:func:`format_table` renders them as aligned text so benchmark output can be
+compared side-by-side with the paper's plots.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def _format_value(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Iterable[str] | None = None,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render rows of dictionaries as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [
+        [_format_value(row.get(column, ""), precision) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_percentage_map(values: Mapping[str, float], *, title: str | None = None) -> str:
+    """Render a name -> fraction mapping as percentages."""
+    lines = [title] if title else []
+    width = max(len(name) for name in values) if values else 0
+    for name, value in values.items():
+        lines.append(f"{name.ljust(width)}  {value:7.2%}")
+    return "\n".join(lines)

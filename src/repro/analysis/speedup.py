@@ -1,0 +1,99 @@
+"""Speedup analysis (paper Figure 12 and the headline numbers).
+
+Speedups are throughput (IPC) improvements over the private design, with
+95% confidence intervals propagated from the per-sample CPI measurements.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.analysis.evaluation import EvaluationSuite
+from repro.sim.sampling import ConfidenceInterval, speedup_interval
+from repro.workloads.spec import MULTIPROGRAMMED, SERVER, get_workload
+
+
+def fig12_speedups(suite: EvaluationSuite) -> list[dict[str, object]]:
+    """Figure 12: per-workload speedup of each design over the private design."""
+    rows = []
+    for workload in suite.workloads:
+        baseline = suite.baseline(workload)
+        for design in suite.designs:
+            if (workload, design) not in suite.results:
+                continue
+            result = suite.result(workload, design)
+            speedup = result.speedup_over(baseline)
+            interval = None
+            if baseline.cpi_confidence and result.cpi_confidence:
+                # Speedup = baseline CPI / design CPI - 1.
+                interval = speedup_interval(result.cpi_confidence, baseline.cpi_confidence)
+            rows.append(
+                {
+                    "workload": workload,
+                    "design": design,
+                    "speedup": speedup,
+                    "ci_half_width": interval.half_width if interval else 0.0,
+                }
+            )
+    return rows
+
+
+def headline_numbers(suite: EvaluationSuite) -> dict[str, float]:
+    """The abstract's summary statistics, computed from the suite.
+
+    * average and maximum speedup of R-NUCA over the private design,
+    * average speedup over the private design for server workloads only,
+    * average speedup over the shared design (and for multi-programmed
+      workloads only),
+    * the gap between R-NUCA and the ideal design.
+    """
+    over_private: list[float] = []
+    over_private_server: list[float] = []
+    over_shared: list[float] = []
+    over_shared_multi: list[float] = []
+    ideal_gaps: list[float] = []
+    for workload in suite.workloads:
+        spec = get_workload(workload)
+        rnuca = suite.result(workload, "R")
+        over_private.append(rnuca.speedup_over(suite.result(workload, "P")))
+        if spec.category == SERVER:
+            over_private_server.append(over_private[-1])
+        if ("S" in suite.designs) and (workload, "S") in suite.results:
+            over_shared.append(rnuca.speedup_over(suite.result(workload, "S")))
+            if spec.category == MULTIPROGRAMMED:
+                over_shared_multi.append(over_shared[-1])
+        if (workload, "I") in suite.results:
+            ideal_gaps.append(rnuca.cpi / suite.result(workload, "I").cpi - 1.0)
+    return {
+        "avg_speedup_over_private": mean(over_private),
+        "max_speedup_over_private": max(over_private),
+        "avg_speedup_over_private_server": (
+            mean(over_private_server) if over_private_server else 0.0
+        ),
+        "avg_speedup_over_shared": mean(over_shared) if over_shared else 0.0,
+        "avg_speedup_over_shared_multiprogrammed": (
+            mean(over_shared_multi) if over_shared_multi else 0.0
+        ),
+        "avg_gap_to_ideal": mean(ideal_gaps) if ideal_gaps else 0.0,
+    }
+
+
+def workload_aversion(suite: EvaluationSuite) -> dict[str, str]:
+    """Classify each workload as private-averse or shared-averse (Section 5.3)."""
+    aversion = {}
+    for workload in suite.workloads:
+        private_cpi = suite.result(workload, "P").cpi
+        shared_cpi = suite.result(workload, "S").cpi
+        aversion[workload] = (
+            "private-averse" if private_cpi > shared_cpi else "shared-averse"
+        )
+    return aversion
+
+
+def confidence_summary(suite: EvaluationSuite) -> dict[str, ConfidenceInterval]:
+    """Per-(workload, design) CPI confidence intervals."""
+    return {
+        f"{workload}/{design}": result.cpi_confidence
+        for (workload, design), result in suite.results.items()
+        if result.cpi_confidence is not None
+    }

@@ -1,0 +1,17 @@
+"""Cache substrate: set-associative arrays, MSHRs and victim caches."""
+
+from repro.cache.block import AccessType, CacheBlock, CoherenceState
+from repro.cache.cache_array import CacheArray, LookupResult
+from repro.cache.mshr import Mshr, MshrFile
+from repro.cache.victim import VictimCache
+
+__all__ = [
+    "AccessType",
+    "CacheBlock",
+    "CoherenceState",
+    "CacheArray",
+    "LookupResult",
+    "Mshr",
+    "MshrFile",
+    "VictimCache",
+]

@@ -1,0 +1,95 @@
+"""Cache block metadata and coherence states.
+
+Blocks are identified by their *block address* (the byte address with the
+block-offset bits removed).  The arrays in :mod:`repro.cache.cache_array`
+store :class:`CacheBlock` records keyed by block address; the physical data
+payload is never modelled because it does not affect placement or timing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class CoherenceState(enum.Enum):
+    """MOSI coherence states (Piranha-style protocol, Section 5.1).
+
+    ``EXCLUSIVE`` is included for completeness of the protocol tables but the
+    four states used by the paper's protocol are M, O, S and I.
+    """
+
+    MODIFIED = "M"
+    OWNED = "O"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not CoherenceState.INVALID
+
+    @property
+    def can_read(self) -> bool:
+        return self.is_valid
+
+    @property
+    def can_write(self) -> bool:
+        return self in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE)
+
+    @property
+    def is_dirty(self) -> bool:
+        """Whether this copy must be written back when evicted."""
+        return self in (CoherenceState.MODIFIED, CoherenceState.OWNED)
+
+
+class AccessType(enum.Enum):
+    """The three kinds of memory references in a trace."""
+
+    INSTRUCTION = "ifetch"
+    LOAD = "load"
+    STORE = "store"
+
+    @property
+    def is_instruction(self) -> bool:
+        return self is AccessType.INSTRUCTION
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessType.STORE
+
+
+@dataclass
+class CacheBlock:
+    """Metadata for one cached block frame.
+
+    Attributes:
+        address: block address (byte address >> log2(block size)).
+        state: coherence state of this copy.
+        dirty: whether the copy differs from memory (redundant with the
+            M/O states but kept explicit so designs without hardware
+            coherence, such as R-NUCA's L2, can still track writebacks).
+        last_access: logical timestamp of the most recent access (LRU).
+        access_count: number of hits this copy has serviced.
+    """
+
+    address: int
+    state: CoherenceState = CoherenceState.SHARED
+    dirty: bool = False
+    last_access: int = 0
+    access_count: int = 0
+    #: Free-form annotations (e.g. owning cluster id for R-NUCA replicas).
+    metadata: dict = field(default_factory=dict)
+
+    def touch(self, now: int, *, write: bool = False) -> None:
+        """Record an access to this block at logical time ``now``."""
+        self.last_access = now
+        self.access_count += 1
+        if write:
+            self.dirty = True
+            self.state = CoherenceState.MODIFIED
+
+    def invalidate(self) -> None:
+        """Drop the copy (used by shootdowns and coherence invalidations)."""
+        self.state = CoherenceState.INVALID
+        self.dirty = False

@@ -1,0 +1,210 @@
+"""A set-associative cache array with true-LRU replacement.
+
+The array stores :class:`~repro.cache.block.CacheBlock` metadata keyed by
+block address.  It is used for L1 instruction/data caches and for every L2
+slice in each of the five cache designs.  Indexing uses the low-order bits of
+the block address, exactly as a hardware array would; an optional
+``index_offset`` lets a design skip interleaving bits that are constant
+within one slice (not needed for correctness, only for realistic set
+utilisation).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.cache.block import CacheBlock, CoherenceState
+from repro.cmp.config import CacheConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class LookupResult:
+    """Outcome of a cache lookup."""
+
+    hit: bool
+    block: Optional[CacheBlock] = None
+
+
+@dataclass
+class EvictionResult:
+    """Outcome of an insertion: the victim block, if any was displaced."""
+
+    inserted: CacheBlock
+    victim: Optional[CacheBlock] = None
+
+
+class CacheArray:
+    """Set-associative cache with per-set LRU ordering.
+
+    Each set is an :class:`collections.OrderedDict` mapping block address to
+    :class:`CacheBlock`, maintained in LRU-to-MRU order (the first entry is
+    the LRU victim candidate).
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self._sets: list[OrderedDict[int, CacheBlock]] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self._set_mask = config.num_sets - 1
+        self._now = 0
+        # Statistics
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------ #
+    # Geometry helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def num_sets(self) -> int:
+        return self.config.num_sets
+
+    @property
+    def associativity(self) -> int:
+        return self.config.associativity
+
+    def set_index(self, block_address: int) -> int:
+        """Set index for a block address (low-order bits above the offset)."""
+        return block_address & self._set_mask
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __contains__(self, block_address: int) -> bool:
+        return block_address in self._sets[self.set_index(block_address)]
+
+    def blocks(self) -> Iterator[CacheBlock]:
+        """Iterate over every resident block (LRU order within each set)."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    # ------------------------------------------------------------------ #
+    # Access operations
+    # ------------------------------------------------------------------ #
+    def lookup(self, block_address: int, *, write: bool = False) -> LookupResult:
+        """Probe the array; on a hit, update LRU and access metadata."""
+        self._now += 1
+        cache_set = self._sets[self.set_index(block_address)]
+        block = cache_set.get(block_address)
+        if block is None or not block.state.is_valid:
+            self.misses += 1
+            return LookupResult(hit=False)
+        cache_set.move_to_end(block_address)
+        block.touch(self._now, write=write)
+        self.hits += 1
+        return LookupResult(hit=True, block=block)
+
+    def peek(self, block_address: int) -> Optional[CacheBlock]:
+        """Probe without disturbing LRU state or statistics."""
+        block = self._sets[self.set_index(block_address)].get(block_address)
+        if block is None or not block.state.is_valid:
+            return None
+        return block
+
+    def insert(
+        self,
+        block_address: int,
+        *,
+        state: CoherenceState = CoherenceState.SHARED,
+        dirty: bool = False,
+        metadata: Optional[dict] = None,
+    ) -> EvictionResult:
+        """Allocate a block, evicting the LRU entry of its set if full.
+
+        If the block is already resident, its state is updated in place and
+        no eviction occurs.
+        """
+        self._now += 1
+        cache_set = self._sets[self.set_index(block_address)]
+        existing = cache_set.get(block_address)
+        if existing is not None:
+            existing.state = state
+            existing.dirty = existing.dirty or dirty
+            existing.touch(self._now, write=dirty)
+            cache_set.move_to_end(block_address)
+            return EvictionResult(inserted=existing)
+
+        victim: Optional[CacheBlock] = None
+        if len(cache_set) >= self.associativity:
+            _, victim = cache_set.popitem(last=False)
+            self.evictions += 1
+        block = CacheBlock(
+            address=block_address,
+            state=state,
+            dirty=dirty,
+            last_access=self._now,
+            metadata=metadata or {},
+        )
+        cache_set[block_address] = block
+        return EvictionResult(inserted=block, victim=victim)
+
+    def invalidate(self, block_address: int) -> Optional[CacheBlock]:
+        """Remove a block (coherence invalidation or page shootdown)."""
+        cache_set = self._sets[self.set_index(block_address)]
+        block = cache_set.pop(block_address, None)
+        if block is not None:
+            self.invalidations += 1
+        return block
+
+    def invalidate_where(
+        self, predicate: Callable[[CacheBlock], bool]
+    ) -> list[CacheBlock]:
+        """Invalidate every resident block matching ``predicate``.
+
+        Used by the OS page shootdown: invalidating all blocks of a page at
+        the previous accessor's tile when a page is re-classified.
+        """
+        removed: list[CacheBlock] = []
+        for cache_set in self._sets:
+            doomed = [addr for addr, blk in cache_set.items() if predicate(blk)]
+            for addr in doomed:
+                removed.append(cache_set.pop(addr))
+        self.invalidations += len(removed)
+        return removed
+
+    def clear(self) -> None:
+        """Empty the array (used between measurement samples)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of block frames currently holding a valid block."""
+        capacity = self.num_sets * self.associativity
+        return len(self) / capacity if capacity else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheArray(name={self.name!r}, sets={self.num_sets}, "
+            f"ways={self.associativity}, blocks={len(self)})"
+        )
+
+
+def build_array(config: CacheConfig, name: str = "cache") -> CacheArray:
+    """Convenience constructor validating the configuration."""
+    if config.num_sets < 1:
+        raise ConfigurationError("cache must have at least one set")
+    return CacheArray(config, name=name)

@@ -1,0 +1,83 @@
+"""Miss Status Holding Registers (MSHRs).
+
+MSHRs track outstanding misses so that secondary misses to the same block can
+be merged instead of issuing duplicate requests.  In the trace-driven model
+they are used for accounting (merge rates, structural-stall detection) rather
+than for timing overlap, but the structure matches Table 1 (32 MSHRs per
+cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class Mshr:
+    """One outstanding miss: the block address and merged requestors."""
+
+    block_address: int
+    issue_time: int
+    requestors: list[int] = field(default_factory=list)
+
+    def merge(self, core_id: int) -> None:
+        self.requestors.append(core_id)
+
+
+class MshrFile:
+    """A bounded file of MSHRs.
+
+    ``allocate`` returns ``True`` when a new entry was created and ``False``
+    when the miss merged into an existing entry.  When the file is full a
+    structural stall is counted and the allocation still proceeds logically
+    (the trace-driven engine cannot replay the access later), which matches
+    the accounting-only role of this structure.
+    """
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise SimulationError("MSHR file must have at least one entry")
+        self.capacity = entries
+        self._entries: dict[int, Mshr] = {}
+        self.allocations = 0
+        self.merges = 0
+        self.structural_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, block_address: int) -> bool:
+        return block_address in self._entries
+
+    def allocate(self, block_address: int, core_id: int, now: int) -> bool:
+        """Track a miss; returns True if a new entry was allocated."""
+        entry = self._entries.get(block_address)
+        if entry is not None:
+            entry.merge(core_id)
+            self.merges += 1
+            return False
+        if len(self._entries) >= self.capacity:
+            self.structural_stalls += 1
+            # Retire the oldest entry to keep the model making progress.
+            oldest = min(self._entries.values(), key=lambda e: e.issue_time)
+            del self._entries[oldest.block_address]
+        self._entries[block_address] = Mshr(
+            block_address=block_address, issue_time=now, requestors=[core_id]
+        )
+        self.allocations += 1
+        return True
+
+    def release(self, block_address: int) -> list[int]:
+        """Complete a miss, returning the merged requestors."""
+        entry = self._entries.pop(block_address, None)
+        return entry.requestors if entry else []
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def merge_rate(self) -> float:
+        total = self.allocations + self.merges
+        return self.merges / total if total else 0.0

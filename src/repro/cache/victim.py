@@ -1,0 +1,69 @@
+"""A small fully-associative victim cache (16 entries in Table 1).
+
+Blocks evicted from the main array are parked here; a subsequent miss that
+hits in the victim cache is swapped back, avoiding the longer-latency L2 or
+off-chip access.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.cache.block import CacheBlock
+from repro.errors import ConfigurationError
+
+
+class VictimCache:
+    """Fully-associative FIFO-replacement victim buffer."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 0:
+            raise ConfigurationError("victim cache size cannot be negative")
+        self.capacity = entries
+        self._entries: OrderedDict[int, CacheBlock] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, block_address: int) -> bool:
+        return block_address in self._entries
+
+    def insert(self, block: CacheBlock) -> Optional[CacheBlock]:
+        """Park an evicted block; returns the block displaced, if any."""
+        if self.capacity == 0:
+            return block
+        displaced: Optional[CacheBlock] = None
+        if block.address in self._entries:
+            self._entries.move_to_end(block.address)
+            self._entries[block.address] = block
+            return None
+        if len(self._entries) >= self.capacity:
+            _, displaced = self._entries.popitem(last=False)
+        self._entries[block.address] = block
+        self.insertions += 1
+        return displaced
+
+    def extract(self, block_address: int) -> Optional[CacheBlock]:
+        """Remove and return a block on a victim-cache hit."""
+        block = self._entries.pop(block_address, None)
+        if block is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return block
+
+    def invalidate(self, block_address: int) -> Optional[CacheBlock]:
+        """Drop a block without counting a hit or miss."""
+        return self._entries.pop(block_address, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

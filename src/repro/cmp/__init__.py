@@ -1,0 +1,24 @@
+"""Tiled chip-multiprocessor model: tiles, chip assembly, memory, configurations."""
+
+from repro.cmp.chip import TiledChip
+from repro.cmp.config import (
+    CacheConfig,
+    CoreConfig,
+    InterconnectConfig,
+    MemoryConfig,
+    SystemConfig,
+)
+from repro.cmp.memory import MemoryController, MemorySystem
+from repro.cmp.tile import Tile
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "InterconnectConfig",
+    "MemoryConfig",
+    "SystemConfig",
+    "Tile",
+    "TiledChip",
+    "MemoryController",
+    "MemorySystem",
+]

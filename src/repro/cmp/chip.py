@@ -1,0 +1,88 @@
+"""The tiled chip: tiles, interconnect, memory system and address mapping.
+
+The chip provides the *standard address interleaving* used by the shared
+design (and by R-NUCA for shared data): the home slice of a block is selected
+by the ``log2(num_tiles)`` address bits immediately above the L2 set-index
+bits, exactly as described in Sections 2.2 and 4.1 of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.cmp.config import SystemConfig
+from repro.cmp.memory import MemorySystem
+from repro.cmp.tile import Tile
+from repro.errors import ConfigurationError
+from repro.interconnect.network import NetworkModel
+from repro.interconnect.topology import Topology, build_topology
+
+
+class TiledChip:
+    """A complete tiled CMP instance."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.topology: Topology = build_topology(config.interconnect)
+        if self.topology.num_nodes != config.num_tiles:
+            raise ConfigurationError("topology size does not match tile count")
+        self.network = NetworkModel(config.interconnect, self.topology)
+        self.tiles = [Tile(tile_id, config) for tile_id in range(config.num_tiles)]
+        self.memory = MemorySystem(config, self.network)
+        self._interleave_shift = config.l2_slice.num_sets.bit_length() - 1
+        self._interleave_mask = config.num_tiles - 1
+        self._block_shift = config.block_size.bit_length() - 1
+        self._page_shift = config.page_size.bit_length() - 1
+
+    # ------------------------------------------------------------------ #
+    # Address helpers
+    # ------------------------------------------------------------------ #
+    def block_address(self, byte_address: int) -> int:
+        """Block address (byte address with the block offset removed)."""
+        return byte_address >> self._block_shift
+
+    def page_number(self, byte_address: int) -> int:
+        return byte_address >> self._page_shift
+
+    def page_of_block(self, block_address: int) -> int:
+        return (block_address << self._block_shift) >> self._page_shift
+
+    def interleave_bits(self, block_address: int, width: int | None = None) -> int:
+        """Address bits immediately above the L2 set-index bits.
+
+        These are the bits both standard address interleaving (Section 2.2)
+        and rotational interleaving (Section 4.1) consume to select a slice
+        within a cluster; ``width`` defaults to log2(num_tiles).
+        """
+        mask = self._interleave_mask if width is None else (1 << width) - 1
+        return (block_address >> self._interleave_shift) & mask
+
+    def home_slice(self, block_address: int) -> int:
+        """Home tile under standard address interleaving over all tiles."""
+        return self.interleave_bits(block_address)
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_tiles(self) -> int:
+        return self.config.num_tiles
+
+    def tile(self, tile_id: int) -> Tile:
+        return self.tiles[tile_id]
+
+    def distance(self, src_tile: int, dst_tile: int) -> int:
+        return self.topology.hop_distance(src_tile, dst_tile)
+
+    def reset_stats(self) -> None:
+        for tile in self.tiles:
+            tile.reset_stats()
+        self.network.reset_stats()
+        self.memory.reset_stats()
+
+    def aggregate_l2_occupancy(self) -> float:
+        """Mean occupancy across all L2 slices."""
+        if not self.tiles:
+            return 0.0
+        return sum(t.l2.occupancy for t in self.tiles) / len(self.tiles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TiledChip(config={self.config.name!r}, tiles={self.num_tiles})"

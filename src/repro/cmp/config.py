@@ -1,0 +1,321 @@
+"""System configurations for the tiled CMP (paper Table 1).
+
+The paper evaluates two machines:
+
+* a 16-core tiled CMP (server and scientific workloads): 1 MB of L2 per core,
+  16-way, 14-cycle L2 hit latency, 4x4 folded torus;
+* an 8-core tiled CMP (multi-programmed workloads): 3 MB of L2 per core,
+  12-way, 25-cycle L2 hit latency, 4x2 folded torus.
+
+Both use split 64 KB 2-way L1 I/D caches with a 2-cycle load-to-use latency,
+64-byte blocks, 3 GB of main memory at 45 ns (90 cycles at 2 GHz), one memory
+controller per four cores, 1-cycle links and 2-cycle routers.
+
+A full-size configuration produces cache arrays that are far too large to
+exercise with the trace lengths a pure-Python simulator can afford, so each
+configuration can be *scaled*: :meth:`SystemConfig.scaled` divides every
+capacity (cache sizes, page size, working sets are scaled separately by the
+workload generators) by a constant factor while keeping latencies, topology
+and associativities unchanged.  Relative behaviour — which design wins and by
+how much — is preserved because every design sees the same scaled capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+#: Cache block size used throughout the paper (bytes).
+BLOCK_SIZE = 64
+
+#: Default OS page size (bytes) in the paper's configuration.
+PAGE_SIZE = 8192
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Processor core parameters (UltraSPARC-III-like OoO core).
+
+    The trace-driven model does not simulate the pipeline; these parameters
+    document the machine being modelled and feed the CPI accounting (frequency
+    converts the 45 ns memory latency into cycles, and ``dispatch_width``
+    bounds the best-case busy CPI).
+    """
+
+    frequency_ghz: float = 2.0
+    dispatch_width: int = 4
+    pipeline_stages: int = 8
+    rob_entries: int = 96
+    lsq_entries: int = 96
+    store_buffer_entries: int = 32
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ConfigurationError("core frequency must be positive")
+        if self.dispatch_width <= 0:
+            raise ConfigurationError("dispatch width must be positive")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """A single cache array (an L1 or one L2 slice)."""
+
+    size_bytes: int
+    associativity: int
+    block_size: int = BLOCK_SIZE
+    hit_latency: int = 2
+    mshr_entries: int = 32
+    victim_entries: int = 16
+    ports: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigurationError("cache size must be positive")
+        if not _is_power_of_two(self.block_size):
+            raise ConfigurationError("block size must be a power of two")
+        if self.associativity <= 0:
+            raise ConfigurationError("associativity must be positive")
+        if self.size_bytes % (self.block_size * self.associativity) != 0:
+            raise ConfigurationError(
+                "cache size must be a multiple of block_size * associativity"
+            )
+        if not _is_power_of_two(self.num_sets):
+            raise ConfigurationError("number of sets must be a power of two")
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of block frames in the array."""
+        return self.size_bytes // self.block_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the array."""
+        return self.num_blocks // self.associativity
+
+    def scaled(self, factor: int) -> "CacheConfig":
+        """Return a copy with capacity divided by ``factor``.
+
+        Associativity is reduced if needed so that at least one set remains.
+        """
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        new_size = max(self.block_size * 2, self.size_bytes // factor)
+        assoc = self.associativity
+        while new_size % (self.block_size * assoc) != 0 or new_size // (
+            self.block_size * assoc
+        ) < 1:
+            assoc //= 2
+            if assoc == 0:
+                raise ConfigurationError("cannot scale cache below one block")
+        scaled = replace(self, size_bytes=new_size, associativity=assoc)
+        if not _is_power_of_two(scaled.num_sets):
+            # Round the set count down to a power of two by shrinking the size.
+            sets = 1
+            while sets * 2 <= scaled.num_sets:
+                sets *= 2
+            scaled = replace(
+                self,
+                size_bytes=sets * assoc * self.block_size,
+                associativity=assoc,
+            )
+        return scaled
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """On-chip network parameters (2-D folded torus in the paper)."""
+
+    topology: str = "folded_torus"
+    rows: int = 4
+    cols: int = 4
+    link_latency: int = 1
+    router_latency: int = 2
+    link_width_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if self.topology not in ("folded_torus", "mesh"):
+            raise ConfigurationError(f"unknown topology: {self.topology!r}")
+        if self.rows <= 0 or self.cols <= 0:
+            raise ConfigurationError("topology dimensions must be positive")
+        if self.link_latency < 0 or self.router_latency < 0:
+            raise ConfigurationError("latencies must be non-negative")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.rows * self.cols
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Main memory and memory-controller parameters."""
+
+    size_bytes: int = 3 * 1024**3
+    page_size: int = PAGE_SIZE
+    latency_ns: float = 45.0
+    cores_per_controller: int = 4
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.page_size):
+            raise ConfigurationError("page size must be a power of two")
+        if self.latency_ns <= 0:
+            raise ConfigurationError("memory latency must be positive")
+        if self.cores_per_controller <= 0:
+            raise ConfigurationError("cores_per_controller must be positive")
+
+    def latency_cycles(self, frequency_ghz: float) -> int:
+        """Memory access latency in core cycles at the given frequency."""
+        return round(self.latency_ns * frequency_ghz)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A complete tiled-CMP configuration (one column of paper Table 1)."""
+
+    name: str
+    num_tiles: int
+    core: CoreConfig
+    l1i: CacheConfig
+    l1d: CacheConfig
+    l2_slice: CacheConfig
+    interconnect: InterconnectConfig
+    memory: MemoryConfig
+    #: Default R-NUCA instruction-cluster size (Section 4.2: size-4).
+    instruction_cluster_size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_tiles != self.interconnect.num_nodes:
+            raise ConfigurationError(
+                f"{self.num_tiles} tiles do not match a "
+                f"{self.interconnect.rows}x{self.interconnect.cols} network"
+            )
+        if not _is_power_of_two(self.num_tiles):
+            raise ConfigurationError("number of tiles must be a power of two")
+        if not _is_power_of_two(self.instruction_cluster_size):
+            raise ConfigurationError("instruction cluster size must be a power of two")
+        if self.instruction_cluster_size > self.num_tiles:
+            raise ConfigurationError(
+                "instruction cluster size cannot exceed the number of tiles"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def block_size(self) -> int:
+        return self.l2_slice.block_size
+
+    @property
+    def page_size(self) -> int:
+        return self.memory.page_size
+
+    @property
+    def aggregate_l2_bytes(self) -> int:
+        """Total L2 capacity across all slices."""
+        return self.l2_slice.size_bytes * self.num_tiles
+
+    @property
+    def memory_latency_cycles(self) -> int:
+        return self.memory.latency_cycles(self.core.frequency_ghz)
+
+    @property
+    def num_memory_controllers(self) -> int:
+        return max(1, self.num_tiles // self.memory.cores_per_controller)
+
+    def blocks_per_page(self) -> int:
+        return self.page_size // self.block_size
+
+    # ------------------------------------------------------------------ #
+    # Canonical configurations
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def server_16core(cls) -> "SystemConfig":
+        """The 16-core configuration for server and scientific workloads."""
+        return cls(
+            name="server-16core",
+            num_tiles=16,
+            core=CoreConfig(),
+            l1i=CacheConfig(size_bytes=64 * 1024, associativity=2, hit_latency=2),
+            l1d=CacheConfig(size_bytes=64 * 1024, associativity=2, hit_latency=2),
+            l2_slice=CacheConfig(
+                size_bytes=1024 * 1024, associativity=16, hit_latency=14
+            ),
+            interconnect=InterconnectConfig(rows=4, cols=4),
+            memory=MemoryConfig(),
+        )
+
+    @classmethod
+    def multiprogrammed_8core(cls) -> "SystemConfig":
+        """The 8-core configuration for multi-programmed workloads."""
+        return cls(
+            name="multiprogrammed-8core",
+            num_tiles=8,
+            core=CoreConfig(),
+            l1i=CacheConfig(size_bytes=64 * 1024, associativity=2, hit_latency=2),
+            l1d=CacheConfig(size_bytes=64 * 1024, associativity=2, hit_latency=2),
+            l2_slice=CacheConfig(
+                size_bytes=3 * 1024 * 1024, associativity=12, hit_latency=25
+            ),
+            interconnect=InterconnectConfig(rows=4, cols=2),
+            memory=MemoryConfig(),
+        )
+
+    @classmethod
+    def for_workload_category(cls, category: str) -> "SystemConfig":
+        """Pick the paper's configuration for a workload category."""
+        if category in ("server", "scientific"):
+            return cls.server_16core()
+        if category == "multiprogrammed":
+            return cls.multiprogrammed_8core()
+        raise ConfigurationError(f"unknown workload category: {category!r}")
+
+    def scaled(self, factor: int = 64) -> "SystemConfig":
+        """Return a capacity-scaled copy of this configuration.
+
+        Cache capacities and the OS page size are divided by ``factor`` while
+        every latency, the topology, and the block size stay the same.  The
+        scaled configuration is what the test-suite and the benchmark harness
+        run, paired with equally scaled synthetic working sets.
+        """
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        if factor == 1:
+            return self
+        page = max(self.block_size * 4, self.memory.page_size // factor)
+        # Keep the page a power of two.
+        p = self.block_size * 4
+        while p * 2 <= page:
+            p *= 2
+        return replace(
+            self,
+            name=f"{self.name}-scaled{factor}",
+            l1i=self.l1i.scaled(factor),
+            l1d=self.l1d.scaled(factor),
+            l2_slice=self.l2_slice.scaled(factor),
+            memory=replace(self.memory, page_size=p),
+        )
+
+    def summary(self) -> str:
+        """Human-readable one-configuration summary (used by Table-1 bench)."""
+        lines = [
+            f"Configuration: {self.name}",
+            f"  Tiles: {self.num_tiles} "
+            f"({self.interconnect.rows}x{self.interconnect.cols} "
+            f"{self.interconnect.topology})",
+            f"  Core: {self.core.frequency_ghz:.1f} GHz, "
+            f"{self.core.dispatch_width}-wide, {self.core.rob_entries}-entry ROB",
+            f"  L1 I/D: {self.l1i.size_bytes // 1024} KB {self.l1i.associativity}-way, "
+            f"{self.l1i.hit_latency}-cycle",
+            f"  L2 slice: {self.l2_slice.size_bytes // 1024} KB "
+            f"{self.l2_slice.associativity}-way, {self.l2_slice.hit_latency}-cycle "
+            f"({self.aggregate_l2_bytes // (1024 * 1024)} MB aggregate)",
+            f"  Memory: {self.memory.latency_ns:.0f} ns "
+            f"({self.memory_latency_cycles} cycles), "
+            f"{self.num_memory_controllers} controllers",
+            f"  Page size: {self.page_size} B, block size: {self.block_size} B",
+        ]
+        return "\n".join(lines)

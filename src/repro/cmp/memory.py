@@ -1,0 +1,85 @@
+"""Main-memory system: controllers, page interleaving and access latency.
+
+Table 1: 3 GB of main memory with a 45 ns access latency and one memory
+controller per four cores, with round-robin page interleaving across the
+controllers.  Controllers are co-located with tiles (flip-chip connection),
+so an off-chip access pays the network traversal from the requesting tile to
+the controller tile, the fixed memory latency, and the traversal back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cmp.config import SystemConfig
+from repro.interconnect.network import NetworkModel
+
+
+@dataclass
+class MemoryController:
+    """One on-die memory controller attached to a tile."""
+
+    controller_id: int
+    tile_id: int
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+
+class MemorySystem:
+    """All memory controllers plus the off-chip latency model."""
+
+    def __init__(self, config: SystemConfig, network: NetworkModel) -> None:
+        self.config = config
+        self.network = network
+        self.latency_cycles = config.memory_latency_cycles
+        count = config.num_memory_controllers
+        # Spread controllers evenly across the tiles (one per 4 cores).
+        stride = max(1, config.num_tiles // count)
+        self.controllers = [
+            MemoryController(controller_id=i, tile_id=(i * stride) % config.num_tiles)
+            for i in range(count)
+        ]
+        self._page_shift = config.page_size.bit_length() - 1
+        self._block_shift = config.block_size.bit_length() - 1
+
+    def controller_for(self, block_address: int) -> MemoryController:
+        """Round-robin page interleaving: controller chosen by page number."""
+        byte_address = block_address << self._block_shift
+        page_number = byte_address >> self._page_shift
+        return self.controllers[page_number % len(self.controllers)]
+
+    def access(
+        self, requestor_tile: int, block_address: int, *, write: bool = False
+    ) -> int:
+        """Perform an off-chip access and return its total latency in cycles."""
+        controller = self.controller_for(block_address)
+        if write:
+            controller.writes += 1
+        else:
+            controller.reads += 1
+        to_controller = self.network.one_way_latency(requestor_tile, controller.tile_id)
+        from_controller = self.network.one_way_latency(
+            controller.tile_id, requestor_tile
+        )
+        return to_controller + self.latency_cycles + from_controller
+
+    @property
+    def total_reads(self) -> int:
+        return sum(c.reads for c in self.controllers)
+
+    @property
+    def total_writes(self) -> int:
+        return sum(c.writes for c in self.controllers)
+
+    @property
+    def total_accesses(self) -> int:
+        return self.total_reads + self.total_writes
+
+    def reset_stats(self) -> None:
+        for controller in self.controllers:
+            controller.reads = 0
+            controller.writes = 0

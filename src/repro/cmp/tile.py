@@ -1,0 +1,45 @@
+"""A single tile: core slot, private L1 I/D caches, one L2 slice, directory.
+
+Tiles never act on their own in the trace-driven model; they are containers
+for the per-tile structures that the cache designs and the simulation engine
+manipulate.  The L2 slice is a plain :class:`~repro.cache.cache_array.CacheArray`
+whose interpretation (private cache vs. shared-slice vs. R-NUCA cluster
+member) is entirely up to the design.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache_array import CacheArray
+from repro.cache.mshr import MshrFile
+from repro.cache.victim import VictimCache
+from repro.cmp.config import SystemConfig
+from repro.coherence.directory import FullMapDirectory
+
+
+class Tile:
+    """One tile of the tiled CMP."""
+
+    def __init__(self, tile_id: int, config: SystemConfig) -> None:
+        self.tile_id = tile_id
+        self.config = config
+        self.l1i = CacheArray(config.l1i, name=f"tile{tile_id}.l1i")
+        self.l1d = CacheArray(config.l1d, name=f"tile{tile_id}.l1d")
+        self.l2 = CacheArray(config.l2_slice, name=f"tile{tile_id}.l2")
+        self.l1d_victim = VictimCache(config.l1d.victim_entries)
+        self.l2_victim = VictimCache(config.l2_slice.victim_entries)
+        self.l2_mshrs = MshrFile(config.l2_slice.mshr_entries)
+        #: Directory slice homed at this tile (used by directory-based designs).
+        self.directory = FullMapDirectory(home=tile_id, num_tiles=config.num_tiles)
+        #: Rotational ID assigned by the OS (set by R-NUCA; None otherwise).
+        self.rid: int | None = None
+
+    def l1_for(self, *, instruction: bool) -> CacheArray:
+        """The L1 array servicing an access of the given kind."""
+        return self.l1i if instruction else self.l1d
+
+    def reset_stats(self) -> None:
+        for array in (self.l1i, self.l1d, self.l2):
+            array.reset_stats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tile(id={self.tile_id}, rid={self.rid})"

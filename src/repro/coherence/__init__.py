@@ -1,0 +1,15 @@
+"""Coherence substrate: MOSI protocol, full-map directory, message types."""
+
+from repro.coherence.directory import DirectoryEntry, DirectoryState, FullMapDirectory
+from repro.coherence.messages import CoherenceMessage, MessageType
+from repro.coherence.mosi import MosiProtocol, ProtocolAction
+
+__all__ = [
+    "MessageType",
+    "CoherenceMessage",
+    "MosiProtocol",
+    "ProtocolAction",
+    "DirectoryState",
+    "DirectoryEntry",
+    "FullMapDirectory",
+]

@@ -1,0 +1,171 @@
+"""Full-map distributed directory.
+
+The paper's private and ASR designs assume a full-map directory distributed
+across the tiles by address interleaving (and, optimistically, with zero area
+overhead — Section 5.1).  The shared and R-NUCA designs need a directory
+covering only the L1 caches, co-located with each block's home L2 slice.
+
+The directory tracks, per block: the set of tiles holding a copy, which tile
+(if any) owns a dirty copy, and the stable directory state.  It also counts
+the storage a real implementation would need so that the paper's 1.2 MB/tile
+versus 152 KB/tile comparison (Section 2.2) can be reproduced.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import ProtocolError
+
+
+class DirectoryState(enum.Enum):
+    """Stable directory states for a block."""
+
+    UNCACHED = "U"
+    SHARED = "S"
+    MODIFIED = "M"
+
+
+@dataclass
+class DirectoryEntry:
+    """Sharers/owner bookkeeping for one block."""
+
+    block_address: int
+    state: DirectoryState = DirectoryState.UNCACHED
+    sharers: set[int] = field(default_factory=set)
+    owner: Optional[int] = None
+
+    def is_cached(self) -> bool:
+        return self.state is not DirectoryState.UNCACHED
+
+    def copy_holders(self) -> set[int]:
+        holders = set(self.sharers)
+        if self.owner is not None:
+            holders.add(self.owner)
+        return holders
+
+
+class FullMapDirectory:
+    """A full-map directory for one home node (or one private-design tile)."""
+
+    def __init__(self, home: int, num_tiles: int) -> None:
+        self.home = home
+        self.num_tiles = num_tiles
+        self._entries: dict[int, DirectoryEntry] = {}
+        self.lookups = 0
+        self.invalidations_sent = 0
+        self.forwards_sent = 0
+
+    # ------------------------------------------------------------------ #
+    # Entry access
+    # ------------------------------------------------------------------ #
+    def entry(self, block_address: int) -> DirectoryEntry:
+        """Get (creating if needed) the entry for a block."""
+        self.lookups += 1
+        entry = self._entries.get(block_address)
+        if entry is None:
+            entry = DirectoryEntry(block_address=block_address)
+            self._entries[block_address] = entry
+        return entry
+
+    def peek(self, block_address: int) -> Optional[DirectoryEntry]:
+        """Look at an entry without creating it or counting a lookup."""
+        return self._entries.get(block_address)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def tracked_blocks(self) -> Iterable[int]:
+        return self._entries.keys()
+
+    # ------------------------------------------------------------------ #
+    # Protocol-driven updates
+    # ------------------------------------------------------------------ #
+    def record_read(self, block_address: int, requestor: int) -> DirectoryEntry:
+        """A requestor obtained a readable copy."""
+        entry = self.entry(block_address)
+        if entry.state is DirectoryState.MODIFIED and entry.owner is not None:
+            # Owner was forwarded the request; it keeps an Owned copy.
+            self.forwards_sent += 1
+            entry.sharers.add(entry.owner)
+        entry.sharers.add(requestor)
+        if entry.state is DirectoryState.UNCACHED:
+            entry.state = DirectoryState.SHARED
+        elif entry.state is DirectoryState.MODIFIED:
+            entry.state = DirectoryState.SHARED
+        entry.owner = entry.owner if entry.state is DirectoryState.MODIFIED else None
+        return entry
+
+    def record_write(self, block_address: int, requestor: int) -> list[int]:
+        """A requestor obtained an exclusive copy; returns invalidated tiles."""
+        entry = self.entry(block_address)
+        invalidated = sorted(entry.copy_holders() - {requestor})
+        self.invalidations_sent += len(invalidated)
+        if entry.state is DirectoryState.MODIFIED and entry.owner not in (
+            None,
+            requestor,
+        ):
+            self.forwards_sent += 1
+        entry.sharers.clear()
+        entry.owner = requestor
+        entry.state = DirectoryState.MODIFIED
+        return invalidated
+
+    def record_eviction(self, block_address: int, tile: int) -> None:
+        """A tile dropped its copy (clean eviction or writeback)."""
+        entry = self._entries.get(block_address)
+        if entry is None:
+            return
+        entry.sharers.discard(tile)
+        if entry.owner == tile:
+            entry.owner = None
+            entry.state = (
+                DirectoryState.SHARED if entry.sharers else DirectoryState.UNCACHED
+            )
+        elif not entry.sharers and entry.owner is None:
+            entry.state = DirectoryState.UNCACHED
+        if entry.state is DirectoryState.UNCACHED:
+            del self._entries[block_address]
+
+    def invalidate_block(self, block_address: int) -> list[int]:
+        """Invalidate every copy of a block (page shootdown support)."""
+        entry = self._entries.pop(block_address, None)
+        if entry is None:
+            return []
+        holders = sorted(entry.copy_holders())
+        self.invalidations_sent += len(holders)
+        return holders
+
+    def validate(self) -> None:
+        """Check directory invariants; raises :class:`ProtocolError`."""
+        for entry in self._entries.values():
+            if entry.state is DirectoryState.MODIFIED:
+                if entry.owner is None:
+                    raise ProtocolError(
+                        f"block {entry.block_address:#x} MODIFIED without owner"
+                    )
+            if entry.state is DirectoryState.UNCACHED and entry.copy_holders():
+                raise ProtocolError(
+                    f"block {entry.block_address:#x} UNCACHED with copies"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Storage model (Section 2.2 arithmetic)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def entry_bits(num_tiles: int, state_bits: int = 5) -> int:
+        """Bits per directory entry: full sharer bit-mask plus state."""
+        return num_tiles + state_bits
+
+    @staticmethod
+    def storage_bytes(
+        *,
+        num_tiles: int,
+        covered_blocks: int,
+        state_bits: int = 5,
+    ) -> int:
+        """Total directory storage for a given number of covered blocks."""
+        bits = FullMapDirectory.entry_bits(num_tiles, state_bits) * covered_blocks
+        return (bits + 7) // 8

@@ -1,0 +1,67 @@
+"""Coherence message types exchanged between tiles and the directory.
+
+Only the message *kinds* and their counts matter to the trace-driven model;
+payloads are never represented.  Message sizes (control vs. 64-byte data) are
+tracked so that bandwidth figures can be reported by the analysis code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cmp.config import BLOCK_SIZE
+
+#: Size in bytes of a control (address-only) message.
+CONTROL_MESSAGE_BYTES = 8
+
+#: Size in bytes of a data-carrying message.
+DATA_MESSAGE_BYTES = BLOCK_SIZE + CONTROL_MESSAGE_BYTES
+
+
+class MessageType(enum.Enum):
+    """Piranha-style MOSI protocol messages."""
+
+    GET_SHARED = "GetS"
+    GET_MODIFIED = "GetM"
+    UPGRADE = "Upg"
+    PUT_SHARED = "PutS"
+    PUT_MODIFIED = "PutM"
+    FORWARD_GET_SHARED = "FwdGetS"
+    FORWARD_GET_MODIFIED = "FwdGetM"
+    INVALIDATE = "Inv"
+    INVALIDATE_ACK = "InvAck"
+    DATA = "Data"
+    DATA_EXCLUSIVE = "DataE"
+    WRITEBACK = "WB"
+    WRITEBACK_ACK = "WBAck"
+    MEMORY_READ = "MemRd"
+    MEMORY_WRITE = "MemWr"
+
+    @property
+    def carries_data(self) -> bool:
+        return self in (
+            MessageType.DATA,
+            MessageType.DATA_EXCLUSIVE,
+            MessageType.WRITEBACK,
+            MessageType.PUT_MODIFIED,
+            MessageType.MEMORY_WRITE,
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return DATA_MESSAGE_BYTES if self.carries_data else CONTROL_MESSAGE_BYTES
+
+
+@dataclass(frozen=True)
+class CoherenceMessage:
+    """One protocol message: type, endpoints and the block it concerns."""
+
+    message_type: MessageType
+    src: int
+    dst: int
+    block_address: int
+
+    @property
+    def size_bytes(self) -> int:
+        return self.message_type.size_bytes

@@ -1,0 +1,168 @@
+"""MOSI protocol state machine for L1 caches kept coherent by a directory.
+
+The protocol is modelled after Piranha (four stable states M, O, S, I).  The
+trace-driven simulator resolves each access atomically, so only the stable
+states and the actions required to reach them are modelled; transient states
+exist in real hardware to tolerate concurrency that a serialized trace replay
+does not produce.
+
+:class:`MosiProtocol` answers two questions for a requesting cache:
+
+* given the local state and the access type, is this a hit, an upgrade, or a
+  miss (:meth:`local_action`)?
+* given the set of remote copies, which invalidations/forwards are needed and
+  who supplies the data (:meth:`remote_actions`)?
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cache.block import CoherenceState
+from repro.coherence.messages import MessageType
+from repro.errors import ProtocolError
+
+
+class LocalOutcome(enum.Enum):
+    """Result of probing the local cache for an access."""
+
+    HIT = "hit"
+    UPGRADE = "upgrade"  # valid copy present but write permission missing
+    MISS = "miss"
+
+
+@dataclass
+class ProtocolAction:
+    """Everything the requestor must do to complete an access.
+
+    Attributes:
+        outcome: hit / upgrade / miss at the local cache.
+        new_state: state the local copy ends in.
+        messages: protocol messages that must be exchanged (types only; the
+            caller assigns endpoints because it knows the topology).
+        source: where the data comes from ("local", "remote_l1", "remote_l2",
+            "memory", or "none" for upgrades satisfied by invalidations).
+        invalidate_sharers: whether every remote sharer must be invalidated.
+    """
+
+    outcome: LocalOutcome
+    new_state: CoherenceState
+    messages: list[MessageType] = field(default_factory=list)
+    source: str = "local"
+    invalidate_sharers: bool = False
+
+
+class MosiProtocol:
+    """Stable-state MOSI transitions for a directory-based protocol."""
+
+    #: States from which a read hits locally.
+    READABLE = (
+        CoherenceState.MODIFIED,
+        CoherenceState.OWNED,
+        CoherenceState.EXCLUSIVE,
+        CoherenceState.SHARED,
+    )
+    #: States from which a write hits locally without coherence traffic.
+    WRITABLE = (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE)
+
+    def local_action(
+        self, state: CoherenceState, *, write: bool
+    ) -> LocalOutcome:
+        """Classify an access against the local copy's state."""
+        if not write:
+            return LocalOutcome.HIT if state in self.READABLE else LocalOutcome.MISS
+        if state in self.WRITABLE:
+            return LocalOutcome.HIT
+        if state in (CoherenceState.OWNED, CoherenceState.SHARED):
+            return LocalOutcome.UPGRADE
+        return LocalOutcome.MISS
+
+    def read_miss(
+        self, *, owner_exists: bool, sharers_exist: bool
+    ) -> ProtocolAction:
+        """Resolve a read miss at the directory.
+
+        If a dirty owner exists it forwards the data (the requestor ends in S
+        and the owner transitions M->O).  Otherwise the data comes from the
+        L2/home (or memory) and the requestor ends in S.
+        """
+        if owner_exists:
+            return ProtocolAction(
+                outcome=LocalOutcome.MISS,
+                new_state=CoherenceState.SHARED,
+                messages=[
+                    MessageType.GET_SHARED,
+                    MessageType.FORWARD_GET_SHARED,
+                    MessageType.DATA,
+                ],
+                source="remote_l1",
+            )
+        return ProtocolAction(
+            outcome=LocalOutcome.MISS,
+            new_state=(
+                CoherenceState.SHARED if sharers_exist else CoherenceState.EXCLUSIVE
+            ),
+            messages=[MessageType.GET_SHARED, MessageType.DATA],
+            source="remote_l2",
+        )
+
+    def write_miss(
+        self, *, owner_exists: bool, sharers_exist: bool, local_state: CoherenceState
+    ) -> ProtocolAction:
+        """Resolve a write miss or upgrade at the directory."""
+        messages: list[MessageType]
+        if local_state in (CoherenceState.OWNED, CoherenceState.SHARED):
+            # Upgrade: data already present, only invalidations are needed.
+            messages = [MessageType.UPGRADE]
+            if sharers_exist or owner_exists:
+                messages += [MessageType.INVALIDATE, MessageType.INVALIDATE_ACK]
+            return ProtocolAction(
+                outcome=LocalOutcome.UPGRADE,
+                new_state=CoherenceState.MODIFIED,
+                messages=messages,
+                source="none",
+                invalidate_sharers=True,
+            )
+        if local_state is not CoherenceState.INVALID:
+            raise ProtocolError(
+                f"write miss requested with writable local state {local_state}"
+            )
+        messages = [MessageType.GET_MODIFIED]
+        if owner_exists:
+            messages += [MessageType.FORWARD_GET_MODIFIED, MessageType.DATA]
+            source = "remote_l1"
+        else:
+            messages += [MessageType.DATA_EXCLUSIVE]
+            source = "remote_l2"
+        if sharers_exist:
+            messages += [MessageType.INVALIDATE, MessageType.INVALIDATE_ACK]
+        return ProtocolAction(
+            outcome=LocalOutcome.MISS,
+            new_state=CoherenceState.MODIFIED,
+            messages=messages,
+            source=source,
+            invalidate_sharers=True,
+        )
+
+    def eviction_messages(self, state: CoherenceState) -> list[MessageType]:
+        """Messages required to evict a block in the given state."""
+        if state in (CoherenceState.MODIFIED, CoherenceState.OWNED):
+            return [MessageType.PUT_MODIFIED, MessageType.WRITEBACK_ACK]
+        if state in (CoherenceState.SHARED, CoherenceState.EXCLUSIVE):
+            return [MessageType.PUT_SHARED]
+        return []
+
+    def downgrade_on_remote_read(self, state: CoherenceState) -> CoherenceState:
+        """New state of a copy whose block is read by another core."""
+        if state is CoherenceState.MODIFIED:
+            return CoherenceState.OWNED
+        if state is CoherenceState.EXCLUSIVE:
+            return CoherenceState.SHARED
+        return state
+
+    def state_on_fill(self, *, write: bool, exclusive: bool) -> CoherenceState:
+        """State of a newly filled copy."""
+        if write:
+            return CoherenceState.MODIFIED
+        return CoherenceState.EXCLUSIVE if exclusive else CoherenceState.SHARED

@@ -1,0 +1,28 @@
+"""The paper's contribution: R-NUCA placement, clusters, rotational interleaving."""
+
+from repro.core.clusters import Cluster, ClusterType, FixedBoundaryCluster, FixedCenterCluster
+from repro.core.indexing import StandardInterleaver
+from repro.core.placement import PlacementDecision, PlacementPolicy
+from repro.core.rnuca import RNucaConfig, RNucaPolicy
+from repro.core.rotational import (
+    RotationalInterleaver,
+    owner_interleave_bits,
+    rid_assignment,
+    rotational_index,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterType",
+    "FixedCenterCluster",
+    "FixedBoundaryCluster",
+    "StandardInterleaver",
+    "RotationalInterleaver",
+    "rid_assignment",
+    "rotational_index",
+    "owner_interleave_bits",
+    "PlacementPolicy",
+    "PlacementDecision",
+    "RNucaConfig",
+    "RNucaPolicy",
+]

@@ -1,0 +1,177 @@
+"""Cluster abstractions (paper Sections 4 and 4.4).
+
+R-NUCA operates on overlapping clusters of one or more tiles:
+
+* **Fixed-center clusters** consist of a center tile and the tiles logically
+  surrounding it; each core defines its own cluster, so clusters overlap.
+  They are indexed with rotational interleaving and are used for
+  instructions in the paper's configuration.
+* **Fixed-boundary clusters** have a fixed rectangular boundary; every core
+  inside the rectangle shares the same cluster.  They partition the chip into
+  non-overlapping regions and are indexed with standard address interleaving
+  (Section 4.4 extension).
+* A size-1 cluster is a single tile (private data); a size-``num_tiles``
+  cluster is the whole chip (shared data).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.rotational import RotationalInterleaver
+from repro.errors import ClusterError
+from repro.interconnect.topology import Topology
+
+
+class ClusterType(enum.Enum):
+    """The cluster shapes supported by R-NUCA."""
+
+    FIXED_CENTER = "fixed-center"
+    FIXED_BOUNDARY = "fixed-boundary"
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A set of L2 slices acting as one logical cache for some access class.
+
+    ``members`` is ordered: element ``i`` services interleaving value ``i``.
+    """
+
+    cluster_type: ClusterType
+    members: tuple[int, ...]
+    center: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ClusterError("a cluster needs at least one member tile")
+        size = len(self.members)
+        if size & (size - 1):
+            raise ClusterError(f"cluster size {size} is not a power of two")
+        if len(set(self.members)) != size:
+            raise ClusterError("cluster members must be distinct tiles")
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def slice_for(self, interleave_bits: int) -> int:
+        """Member servicing a block with the given interleaving bits."""
+        return self.members[interleave_bits & (self.size - 1)]
+
+    def __contains__(self, tile: int) -> bool:
+        return tile in self.members
+
+
+@dataclass(frozen=True)
+class FixedCenterCluster(Cluster):
+    """A fixed-center cluster built from a rotational interleaver."""
+
+    @classmethod
+    def around(
+        cls, interleaver: RotationalInterleaver, center: int
+    ) -> "FixedCenterCluster":
+        """The size-``n`` cluster centered at ``center``.
+
+        Member order follows *interleaving bits*, not relative index, so that
+        :meth:`Cluster.slice_for` works uniformly: member ``i`` is the tile
+        that stores blocks whose interleaving bits equal ``i``.
+        """
+        by_relative = interleaver.cluster_members(center)
+        members = [0] * interleaver.cluster_size
+        for tile in by_relative:
+            members[interleaver.stored_bits(tile)] = tile
+        return cls(
+            cluster_type=ClusterType.FIXED_CENTER,
+            members=tuple(members),
+            center=center,
+        )
+
+
+@dataclass(frozen=True)
+class FixedBoundaryCluster(Cluster):
+    """A rectangular, non-overlapping cluster using standard interleaving."""
+
+    @classmethod
+    def rectangle(
+        cls,
+        topology: Topology,
+        *,
+        origin_row: int,
+        origin_col: int,
+        rows: int,
+        cols: int,
+    ) -> "FixedBoundaryCluster":
+        """The cluster covering the given rectangle of tiles."""
+        if rows <= 0 or cols <= 0:
+            raise ClusterError("rectangle dimensions must be positive")
+        if origin_row + rows > topology.rows or origin_col + cols > topology.cols:
+            raise ClusterError("rectangle exceeds the chip boundary")
+        members = tuple(
+            topology.node_at(origin_row + r, origin_col + c)
+            for r in range(rows)
+            for c in range(cols)
+        )
+        return cls(cluster_type=ClusterType.FIXED_BOUNDARY, members=members)
+
+
+def single_tile_cluster(tile: int) -> Cluster:
+    """The size-1 cluster holding a core's private data at its own slice."""
+    return Cluster(
+        cluster_type=ClusterType.FIXED_CENTER, members=(tile,), center=tile
+    )
+
+
+def whole_chip_cluster(num_tiles: int) -> Cluster:
+    """The size-``num_tiles`` cluster used for shared data.
+
+    Member ``i`` is tile ``i``: standard address interleaving over all tiles.
+    """
+    return Cluster(
+        cluster_type=ClusterType.FIXED_BOUNDARY,
+        members=tuple(range(num_tiles)),
+    )
+
+
+def partition_into_fixed_boundary(
+    topology: Topology, cluster_rows: int, cluster_cols: int
+) -> list[FixedBoundaryCluster]:
+    """Partition the chip into equal non-overlapping rectangular clusters."""
+    if topology.rows % cluster_rows or topology.cols % cluster_cols:
+        raise ClusterError(
+            f"a {topology.rows}x{topology.cols} chip cannot be partitioned into "
+            f"{cluster_rows}x{cluster_cols} rectangles"
+        )
+    clusters = []
+    for row in range(0, topology.rows, cluster_rows):
+        for col in range(0, topology.cols, cluster_cols):
+            clusters.append(
+                FixedBoundaryCluster.rectangle(
+                    topology,
+                    origin_row=row,
+                    origin_col=col,
+                    rows=cluster_rows,
+                    cols=cluster_cols,
+                )
+            )
+    return clusters
+
+
+def validate_overlapping_capacity(
+    clusters: Sequence[Cluster], num_tiles: int
+) -> dict[int, int]:
+    """Count how many clusters each tile participates in.
+
+    With rotational interleaving every tile stores the same 1/n-th of the
+    data regardless of how many clusters it belongs to, so overlapping does
+    not multiply capacity pressure; this helper exposes the overlap degree so
+    tests can assert exactly that.
+    """
+    counts = {tile: 0 for tile in range(num_tiles)}
+    for cluster in clusters:
+        for tile in cluster.members:
+            if tile not in counts:
+                raise ClusterError(f"cluster member {tile} is not a valid tile")
+            counts[tile] += 1
+    return counts

@@ -1,0 +1,43 @@
+"""Standard address interleaving within a cluster.
+
+Standard interleaving pins each block to a single member of a cluster using
+the address bits immediately above the set-index bits — the scheme used by
+the conventional shared design over the whole chip (Section 2.2) and by
+R-NUCA for shared data over the size-16 cluster and for disjoint
+fixed-boundary clusters (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from repro.core.clusters import Cluster
+from repro.errors import ClusterError
+
+
+class StandardInterleaver:
+    """Maps block addresses to cluster members by address interleaving."""
+
+    def __init__(self, cluster: Cluster, set_index_bits: int) -> None:
+        if set_index_bits < 0:
+            raise ClusterError("set_index_bits cannot be negative")
+        self.cluster = cluster
+        self.set_index_bits = set_index_bits
+        self._mask = cluster.size - 1
+
+    def interleave_bits(self, block_address: int) -> int:
+        """The log2(cluster size) bits immediately above the set index."""
+        return (block_address >> self.set_index_bits) & self._mask
+
+    def target_slice(self, block_address: int) -> int:
+        """The unique cluster member that caches this block."""
+        return self.cluster.slice_for(self.interleave_bits(block_address))
+
+    def blocks_map_uniquely(self, block_addresses: list[int]) -> bool:
+        """Whether each block maps to exactly one slice (always true here).
+
+        Present as an explicit, testable statement of the property that lets
+        the shared design and R-NUCA skip L2 coherence entirely.
+        """
+        return all(
+            self.target_slice(addr) == self.target_slice(addr)
+            for addr in block_addresses
+        )

@@ -1,0 +1,138 @@
+"""Class-reactive placement (paper Section 4.2).
+
+The placement policy maps each classified access to the cluster that will
+cache the block and to the single slice within that cluster that must be
+probed:
+
+* **private data** -> the size-1 cluster at the requesting tile (minimum
+  latency; no coherence needed because there is a single requestor);
+* **shared data** -> the size-``num_tiles`` cluster spanning the chip,
+  indexed by standard address interleaving (a unique location per block, so
+  no L2 coherence is needed and lookup is trivial);
+* **instructions** -> the size-``n`` fixed-center cluster centered at the
+  requesting tile, indexed by rotational interleaving (replicas one cluster
+  apart, shared by neighbors, without extra capacity pressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.clusters import (
+    Cluster,
+    FixedCenterCluster,
+    single_tile_cluster,
+    whole_chip_cluster,
+)
+from repro.core.rotational import RotationalInterleaver
+from repro.errors import ClusterError
+from repro.interconnect.topology import Topology
+from repro.osmodel.page_table import PageClass
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Where one access must look: the cluster and the slice inside it."""
+
+    page_class: PageClass
+    cluster: Cluster
+    target_slice: int
+    #: True when the target slice is the requesting core's own tile.
+    is_local: bool
+
+
+class PlacementPolicy:
+    """Builds and caches the per-core clusters for each access class."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        set_index_bits: int,
+        instruction_cluster_size: int = 4,
+        private_cluster_size: int = 1,
+        shared_cluster_size: int | None = None,
+        base_rid: int = 0,
+    ) -> None:
+        self.topology = topology
+        self.num_tiles = topology.num_nodes
+        self.set_index_bits = set_index_bits
+        self.instruction_cluster_size = instruction_cluster_size
+        self.private_cluster_size = private_cluster_size
+        self.shared_cluster_size = (
+            self.num_tiles if shared_cluster_size is None else shared_cluster_size
+        )
+        if self.shared_cluster_size != self.num_tiles:
+            raise ClusterError(
+                "the paper's configuration shares data across all tiles; "
+                "other shared-cluster sizes are not supported"
+            )
+        if private_cluster_size != 1:
+            raise ClusterError(
+                "private data uses size-1 clusters in the paper's configuration"
+            )
+
+        if instruction_cluster_size == 1:
+            self._instruction_interleaver = None
+            self._instruction_clusters = {
+                tile: single_tile_cluster(tile) for tile in range(self.num_tiles)
+            }
+        else:
+            self._instruction_interleaver = RotationalInterleaver(
+                topology, instruction_cluster_size, base_rid=base_rid
+            )
+            self._instruction_clusters = {
+                tile: FixedCenterCluster.around(self._instruction_interleaver, tile)
+                for tile in range(self.num_tiles)
+            }
+        self._private_clusters = {
+            tile: single_tile_cluster(tile) for tile in range(self.num_tiles)
+        }
+        self._shared_cluster = whole_chip_cluster(self.num_tiles)
+
+    # ------------------------------------------------------------------ #
+    # Cluster accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def rids(self) -> list[int] | None:
+        """Rotational IDs assigned to the tiles (None for size-1 clusters)."""
+        if self._instruction_interleaver is None:
+            return None
+        return list(self._instruction_interleaver.rids)
+
+    def instruction_cluster(self, core: int) -> Cluster:
+        return self._instruction_clusters[core]
+
+    def private_cluster(self, core: int) -> Cluster:
+        return self._private_clusters[core]
+
+    def shared_cluster(self) -> Cluster:
+        return self._shared_cluster
+
+    def cluster_for(self, core: int, page_class: PageClass) -> Cluster:
+        if page_class is PageClass.INSTRUCTION:
+            return self.instruction_cluster(core)
+        if page_class is PageClass.PRIVATE:
+            return self.private_cluster(core)
+        return self.shared_cluster()
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+    def interleave_bits(self, block_address: int, cluster_size: int) -> int:
+        """Address bits immediately above the set index, ``log2(size)`` wide."""
+        return (block_address >> self.set_index_bits) & (cluster_size - 1)
+
+    def place(
+        self, core: int, block_address: int, page_class: PageClass
+    ) -> PlacementDecision:
+        """Pick the unique slice to probe for this access."""
+        cluster = self.cluster_for(core, page_class)
+        bits = self.interleave_bits(block_address, cluster.size)
+        target = cluster.slice_for(bits)
+        return PlacementDecision(
+            page_class=page_class,
+            cluster=cluster,
+            target_slice=target,
+            is_local=(target == core),
+        )

@@ -1,0 +1,168 @@
+"""The R-NUCA policy: OS classification + class-reactive placement + lookup.
+
+:class:`RNucaPolicy` glues together the three mechanisms the paper proposes:
+
+1. the OS page classifier (Section 4.3) that labels each access as
+   instruction, private data, or shared data;
+2. the placement policy (Section 4.2) that maps each class to a cluster;
+3. rotational / standard interleaving (Section 4.1) that picks the single L2
+   slice to probe.
+
+It is deliberately independent of the cache-design machinery so it can be
+used standalone (e.g. the quickstart example drives it directly) and by
+:class:`repro.designs.rnuca_design.RNucaDesign` for full simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cmp.config import SystemConfig
+from repro.core.placement import PlacementDecision, PlacementPolicy
+from repro.errors import ConfigurationError
+from repro.interconnect.topology import Topology, build_topology
+from repro.osmodel.classifier import ClassificationEvent, PageClassifier, ShootdownCallback
+from repro.osmodel.page_table import PageClass
+
+
+@dataclass(frozen=True)
+class RNucaConfig:
+    """Tunable knobs of the R-NUCA policy."""
+
+    #: Size of the fixed-center instruction clusters (the paper uses 4).
+    instruction_cluster_size: int = 4
+    #: RID assigned to tile 0 (the OS may pick any tile as RID 0).
+    base_rid: int = 0
+    #: TLB entries per core in the OS model.
+    tlb_entries: int = 512
+
+    def __post_init__(self) -> None:
+        size = self.instruction_cluster_size
+        if size <= 0 or size & (size - 1):
+            raise ConfigurationError(
+                "instruction cluster size must be a positive power of two"
+            )
+
+
+@dataclass
+class RNucaLookup:
+    """The outcome of one R-NUCA lookup: placement plus OS activity."""
+
+    decision: PlacementDecision
+    classification: ClassificationEvent
+    page_class: PageClass
+
+    @property
+    def target_slice(self) -> int:
+        return self.decision.target_slice
+
+    @property
+    def is_local(self) -> bool:
+        return self.decision.is_local
+
+
+class RNucaPolicy:
+    """End-to-end R-NUCA lookup for a given system configuration."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        *,
+        rnuca_config: Optional[RNucaConfig] = None,
+        topology: Optional[Topology] = None,
+    ) -> None:
+        self.system_config = config
+        self.config = rnuca_config or RNucaConfig(
+            instruction_cluster_size=config.instruction_cluster_size
+        )
+        self.topology = topology if topology is not None else build_topology(
+            config.interconnect
+        )
+        set_index_bits = config.l2_slice.num_sets.bit_length() - 1
+        self.placement = PlacementPolicy(
+            self.topology,
+            set_index_bits=set_index_bits,
+            instruction_cluster_size=self.config.instruction_cluster_size,
+            base_rid=self.config.base_rid,
+        )
+        self.classifier = PageClassifier(
+            config.num_tiles, tlb_entries=self.config.tlb_entries
+        )
+        self._block_shift = config.block_size.bit_length() - 1
+        self._page_shift = config.page_size.bit_length() - 1
+        # Statistics
+        self.lookups = 0
+        self.local_lookups = 0
+        self.lookups_by_class: dict[PageClass, int] = {c: 0 for c in PageClass}
+
+    # ------------------------------------------------------------------ #
+    # Address helpers
+    # ------------------------------------------------------------------ #
+    def block_address(self, byte_address: int) -> int:
+        return byte_address >> self._block_shift
+
+    def page_number(self, byte_address: int) -> int:
+        return byte_address >> self._page_shift
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def lookup(
+        self,
+        core: int,
+        byte_address: int,
+        *,
+        instruction: bool,
+        thread_id: Optional[int] = None,
+        shootdown: Optional[ShootdownCallback] = None,
+    ) -> RNucaLookup:
+        """Classify an access and return the slice R-NUCA will probe.
+
+        Exactly one slice is returned for every access — the "one cache probe"
+        property of rotational interleaving.
+        """
+        page = self.page_number(byte_address)
+        block = self.block_address(byte_address)
+        page_class, event = self.classifier.classify_access(
+            core,
+            page,
+            instruction=instruction,
+            thread_id=thread_id,
+            shootdown=shootdown,
+        )
+        decision = self.placement.place(core, block, page_class)
+        self.lookups += 1
+        self.lookups_by_class[page_class] += 1
+        if decision.is_local:
+            self.local_lookups += 1
+        return RNucaLookup(
+            decision=decision, classification=event, page_class=page_class
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def rids(self) -> list[int] | None:
+        """The OS-assigned rotational IDs (None when clusters are size-1)."""
+        return self.placement.rids
+
+    @property
+    def local_lookup_fraction(self) -> float:
+        return self.local_lookups / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        """Human-readable summary of the policy configuration."""
+        lines = [
+            "R-NUCA policy",
+            f"  instruction clusters: size-{self.config.instruction_cluster_size} "
+            "fixed-center, rotational interleaving",
+            "  private data: size-1 cluster at the requesting tile",
+            f"  shared data: size-{self.system_config.num_tiles} cluster, "
+            "standard address interleaving",
+        ]
+        rids = self.rids
+        if rids is not None:
+            lines.append(f"  RIDs: {rids}")
+        return "\n".join(lines)

@@ -1,0 +1,227 @@
+"""Rotational interleaving (paper Section 4.1).
+
+Rotational interleaving lets overlapping fixed-center clusters replicate
+read-only data *without* increasing capacity pressure: each L2 slice stores
+exactly the same ``1/n``-th of the data on behalf of every size-``n`` cluster
+it participates in, and each lookup needs exactly one probe.
+
+Mechanism
+---------
+
+* The OS assigns every tile a *rotational ID* (RID) in ``[0, n)``.
+  Consecutive tiles along a row receive consecutive RIDs and consecutive
+  tiles along a column receive RIDs that differ by ``log2(n)``, wrapping
+  modulo ``n``.
+* A center core with RID ``c`` locates the slice holding a block by
+  evaluating the boolean indexing function of Section 4.1::
+
+      R = (Addr[k + log2(n) - 1 : k] + RID + 1) mod n
+
+  where ``Addr[...]`` are the ``log2(n)`` address bits immediately above the
+  set-index bits.  ``R`` is a *relative index*: ``R == 0`` means the center's
+  own slice, and each non-zero value names one particular nearby tile.
+
+The invariant that makes replication free is that the tile responsible for
+relative index ``R`` as seen from a center with RID ``c`` always has RID
+``(c - R) mod n``, and a tile with RID ``r`` stores exactly the blocks whose
+interleaving bits equal ``(n - 1 - r) mod n``.  Both facts are enforced (and
+property-tested) here.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import ClusterError
+from repro.interconnect.topology import Topology
+
+
+def _log2(value: int) -> int:
+    if value <= 0 or value & (value - 1):
+        raise ClusterError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def rid_assignment(
+    rows: int, cols: int, cluster_size: int, *, base_rid: int = 0
+) -> list[int]:
+    """Assign a rotational ID to every tile of a ``rows x cols`` grid.
+
+    Tiles are numbered row-major.  Moving one tile to the right decreases the
+    RID by one and moving one tile down decreases it by ``log2(n)``, both
+    modulo ``n`` — which is exactly "consecutive tiles in a row receive
+    consecutive RIDs; consecutive tiles in a column differ by log2(n)"
+    oriented so that the nearest-neighbor lookup invariant holds.
+
+    ``base_rid`` is the RID given to tile 0 (the OS picks a random tile in
+    the paper; any choice preserves the invariant).
+    """
+    n = cluster_size
+    step = _log2(n)
+    if not 0 <= base_rid < n:
+        raise ClusterError(f"base RID {base_rid} out of range for size-{n} clusters")
+    if rows * cols < n:
+        raise ClusterError(
+            f"a {rows}x{cols} grid cannot host size-{n} clusters"
+        )
+    rids = []
+    for tile in range(rows * cols):
+        row, col = divmod(tile, cols)
+        rids.append((base_rid - col - row * step) % n)
+    if len(set(rids)) < n:
+        # Narrow grids (e.g. size-8 clusters on a 4x2 torus) cannot satisfy
+        # the row/column rule for every RID value; fall back to a simple
+        # assignment that still covers every RID.  Lookup correctness (one
+        # probe, each slice storing a fixed 1/n of the data) is preserved;
+        # only the nearest-neighbour property degrades.
+        rids = [(base_rid + tile) % n for tile in range(rows * cols)]
+    return rids
+
+
+def owner_interleave_bits(rid: int, cluster_size: int) -> int:
+    """Interleaving-bit value stored by a tile with the given RID.
+
+    A tile with RID ``r`` stores the blocks whose ``log2(n)`` interleaving
+    bits equal ``(n - 1 - r) mod n`` — for every size-``n`` cluster the tile
+    belongs to.
+    """
+    n = cluster_size
+    _log2(n)
+    if not 0 <= rid < n:
+        raise ClusterError(f"RID {rid} out of range for size-{n} clusters")
+    return (n - 1 - rid) % n
+
+
+def rotational_index(interleave_bits: int, center_rid: int, cluster_size: int) -> int:
+    """The paper's indexing function: relative index of the target slice.
+
+    ``R = (Addr_bits + RID + 1) mod n``.  ``R == 0`` selects the center's own
+    slice; other values select specific nearby tiles (for size-4 clusters:
+    1 = the tile whose RID is one less, 2 = RID minus two, 3 = RID minus
+    three, which on the paper's torus are the right, upper and left
+    neighbors).
+    """
+    n = cluster_size
+    _log2(n)
+    if not 0 <= center_rid < n:
+        raise ClusterError(f"RID {center_rid} out of range for size-{n} clusters")
+    if not 0 <= interleave_bits < n:
+        raise ClusterError(
+            f"interleave bits {interleave_bits} out of range for size-{n} clusters"
+        )
+    return (interleave_bits + center_rid + 1) % n
+
+
+class RotationalInterleaver:
+    """Cluster membership and slice lookup under rotational interleaving.
+
+    For every possible center tile, the interleaver selects the size-``n``
+    fixed-center cluster: for each relative index ``R`` it picks the closest
+    tile (by hop distance, ties broken by tile id) whose RID equals
+    ``(center_rid - R) mod n``.  On the paper's 4x4 torus with ``n == 4``
+    this yields exactly {center, right, above, left}.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        cluster_size: int,
+        *,
+        rids: list[int] | None = None,
+        base_rid: int = 0,
+    ) -> None:
+        self.topology = topology
+        self.cluster_size = cluster_size
+        self._bits = _log2(cluster_size)
+        if cluster_size > topology.num_nodes:
+            raise ClusterError(
+                f"cluster size {cluster_size} exceeds {topology.num_nodes} tiles"
+            )
+        if rids is None:
+            rids = rid_assignment(
+                topology.rows, topology.cols, cluster_size, base_rid=base_rid
+            )
+        if len(rids) != topology.num_nodes:
+            raise ClusterError("one RID is required per tile")
+        self.rids = list(rids)
+        self._members_cache: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Cluster membership
+    # ------------------------------------------------------------------ #
+    def cluster_members(self, center: int) -> list[int]:
+        """Tiles of the fixed-center cluster centered at ``center``.
+
+        The list is ordered by relative index: element ``R`` is the tile that
+        services interleaving bits mapping to relative index ``R``.
+        """
+        cached = self._members_cache.get(center)
+        if cached is not None:
+            return cached
+        center_rid = self.rids[center]
+        center_row, center_col = self.topology.coordinates(center)
+
+        def proximity(tile: int) -> tuple[int, int, int]:
+            """Translation-invariant closeness key (distance, up-bias, right-bias).
+
+            Using the relative offset from the center (rather than absolute
+            tile ids) keeps member selection identical for every center, so
+            overlapping clusters cover each tile exactly ``n`` times.
+            """
+            row, col = self.topology.coordinates(tile)
+            return (
+                self.topology.hop_distance(center, tile),
+                (center_row - row) % self.topology.rows,
+                (col - center_col) % self.topology.cols,
+            )
+
+        members: list[int] = []
+        for relative in range(self.cluster_size):
+            wanted_rid = (center_rid - relative) % self.cluster_size
+            candidates = [
+                tile
+                for tile in range(self.topology.num_nodes)
+                if self.rids[tile] == wanted_rid
+            ]
+            if not candidates:
+                raise ClusterError(
+                    f"no tile has RID {wanted_rid}; invalid RID assignment"
+                )
+            members.append(min(candidates, key=proximity))
+        if members[0] != center:
+            raise ClusterError(
+                f"relative index 0 of cluster at {center} is not the center itself"
+            )
+        self._members_cache[center] = members
+        return members
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def target_slice(self, center: int, interleave_bits: int) -> int:
+        """Slice holding the block with the given interleaving bits."""
+        relative = rotational_index(
+            interleave_bits & (self.cluster_size - 1),
+            self.rids[center],
+            self.cluster_size,
+        )
+        return self.cluster_members(center)[relative]
+
+    def stored_bits(self, tile: int) -> int:
+        """Interleaving-bit value this tile stores (identical for all clusters)."""
+        return owner_interleave_bits(self.rids[tile], self.cluster_size)
+
+    @lru_cache(maxsize=None)
+    def max_lookup_distance(self, center: int) -> int:
+        """Largest hop distance from a center to any of its cluster members."""
+        return max(
+            self.topology.hop_distance(center, member)
+            for member in self.cluster_members(center)
+        )
+
+    def average_lookup_distance(self, center: int) -> float:
+        """Mean hop distance from a center to its cluster members."""
+        members = self.cluster_members(center)
+        return sum(self.topology.hop_distance(center, m) for m in members) / len(
+            members
+        )

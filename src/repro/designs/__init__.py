@@ -1,0 +1,61 @@
+"""The five last-level cache designs evaluated in the paper.
+
+* ``private`` (P): each tile's L2 slice is a private cache, kept coherent by
+  an (optimistically zero-area) full-map distributed directory.
+* ``asr`` (A): the private design plus Adaptive Selective Replication of
+  clean shared blocks [Beckmann et al., MICRO 2006].
+* ``shared`` (S): a single address-interleaved shared L2.
+* ``rnuca`` (R): the paper's contribution.
+* ``ideal`` (I): aggregate capacity at local-slice latency (upper bound).
+"""
+
+from repro.designs.asr import AsrDesign
+from repro.designs.base import AccessOutcome, CacheDesign, L2Access
+from repro.designs.ideal import IdealDesign
+from repro.designs.private import PrivateDesign
+from repro.designs.rnuca_design import RNucaDesign
+from repro.designs.shared import SharedDesign
+
+#: Short letter -> design class, following the paper's P/A/S/R/I labels.
+DESIGNS = {
+    "P": PrivateDesign,
+    "A": AsrDesign,
+    "S": SharedDesign,
+    "R": RNucaDesign,
+    "I": IdealDesign,
+}
+
+#: Long-name aliases accepted by :func:`build_design`.
+_ALIASES = {
+    "private": "P",
+    "asr": "A",
+    "shared": "S",
+    "rnuca": "R",
+    "r-nuca": "R",
+    "ideal": "I",
+}
+
+
+def build_design(name: str, chip, **kwargs):
+    """Instantiate a design by letter ("P") or by name ("private")."""
+    key = _ALIASES.get(name.lower(), name.upper())
+    try:
+        design_cls = DESIGNS[key]
+    except KeyError:
+        known = ", ".join(sorted(set(DESIGNS) | set(_ALIASES)))
+        raise ValueError(f"unknown design {name!r}; known designs: {known}") from None
+    return design_cls(chip, **kwargs)
+
+
+__all__ = [
+    "L2Access",
+    "AccessOutcome",
+    "CacheDesign",
+    "PrivateDesign",
+    "AsrDesign",
+    "SharedDesign",
+    "RNucaDesign",
+    "IdealDesign",
+    "DESIGNS",
+    "build_design",
+]

@@ -1,0 +1,154 @@
+"""Adaptive Selective Replication (ASR) on top of the private design.
+
+ASR [Beckmann, Marty and Wood — MICRO 2006] starts from the private design
+and controls how aggressively *clean shared* blocks are replicated in the
+local L2 slice when they are evicted from the L1.  Allocating locally makes
+the next local access fast but consumes local capacity; skipping allocation
+preserves capacity but forces the next access to fetch the block from a
+remote tile through the directory.
+
+Following the paper's methodology (Section 5.1), this implementation offers
+six variants: an *adaptive* one that periodically nudges the allocation
+probability toward whichever choice has recently been cheaper, and five
+static variants with allocation probabilities 0, 0.25, 0.5, 0.75 and 1.  The
+evaluation harness runs all six and reports the best, exactly as the paper
+does.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.cache.block import CacheBlock, CoherenceState
+from repro.cmp.chip import TiledChip
+from repro.designs.base import L2Access
+from repro.designs.private import PrivateDesign
+
+#: Static allocation probabilities evaluated alongside the adaptive scheme.
+STATIC_ASR_LEVELS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: Number of L1 evictions between adaptive probability adjustments.
+_ADAPTATION_PERIOD = 2048
+
+
+class AsrDesign(PrivateDesign):
+    """Private design + (adaptive) selective replication of clean shared data."""
+
+    short_name = "A"
+    name = "asr"
+
+    def __init__(
+        self,
+        chip: TiledChip,
+        *,
+        allocation_probability: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(chip)
+        if allocation_probability is not None and not 0.0 <= allocation_probability <= 1.0:
+            raise ValueError("allocation probability must be within [0, 1]")
+        self.adaptive = allocation_probability is None
+        self.allocation_probability = (
+            0.5 if allocation_probability is None else allocation_probability
+        )
+        self._rng = random.Random(seed)
+        # Adaptive bookkeeping: benefit = local hits to replicated blocks,
+        # cost = local misses that evicted something due to replication.
+        self._window_evictions = 0
+        self._replica_hits = 0
+        self._replica_evictions = 0
+        self.replications = 0
+        self.replication_skips = 0
+        if self.adaptive:
+            self.name = "asr-adaptive"
+        else:
+            self.name = f"asr-{self.allocation_probability:.2f}"
+
+    # ------------------------------------------------------------------ #
+    # Replication decision
+    # ------------------------------------------------------------------ #
+    def on_l1_eviction(self, core: int, victim: CacheBlock) -> None:
+        """Decide whether to replicate a clean shared L1 victim locally."""
+        block_address = victim.address
+        if victim.dirty or victim.state.is_dirty:
+            # Dirty blocks are written back to the local slice regardless;
+            # ASR only concerns clean (read-shared) blocks.
+            self.chip.tile(core).l2.insert(
+                block_address, state=CoherenceState.OWNED, dirty=True
+            )
+            return
+        remote_copy_exists = bool(
+            self.l1.remote_holders(block_address, exclude=core)
+        ) or self._find_remote_l2_holder(block_address, core) is not None
+        if not remote_copy_exists:
+            # Not a shared block: keep it in the local slice like the
+            # private design would.
+            self.chip.tile(core).l2.insert(
+                block_address, state=CoherenceState.SHARED, dirty=False
+            )
+            return
+
+        self._window_evictions += 1
+        if self._rng.random() < self.allocation_probability:
+            tile = self.chip.tile(core)
+            result = tile.l2.insert(
+                block_address, state=CoherenceState.SHARED, dirty=False
+            )
+            result.inserted.metadata["asr_replica"] = True
+            if result.victim is not None:
+                self._replica_evictions += 1
+                self._handle_eviction(core, tile.l2, result.victim)
+            self.replications += 1
+        else:
+            # The block is dropped locally; another on-chip copy (or memory)
+            # will service the next access.
+            self.replication_skips += 1
+        if self.adaptive and self._window_evictions >= _ADAPTATION_PERIOD:
+            self._adapt()
+
+    def _service(self, access: L2Access):
+        outcome = super()._service(access)
+        if outcome.hit_where == "l2_local":
+            block = self.chip.tile(access.core).l2.peek(access.block_address)
+            if block is not None and block.metadata.get("asr_replica"):
+                self._replica_hits += 1
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # Adaptive controller
+    # ------------------------------------------------------------------ #
+    def _adapt(self) -> None:
+        """Nudge the allocation probability toward the cheaper behaviour.
+
+        Replication is paying off when replicated blocks see local reuse
+        more often than their allocation displaces useful blocks; otherwise
+        back off.  The probability moves along the same five levels the
+        static variants use.
+        """
+        levels = list(STATIC_ASR_LEVELS)
+        index = min(
+            range(len(levels)),
+            key=lambda i: abs(levels[i] - self.allocation_probability),
+        )
+        if self._replica_hits > 2 * self._replica_evictions:
+            index = min(index + 1, len(levels) - 1)
+        elif self._replica_hits < self._replica_evictions:
+            index = max(index - 1, 0)
+        self.allocation_probability = levels[index]
+        self._window_evictions = 0
+        self._replica_hits = 0
+        self._replica_evictions = 0
+
+
+def asr_variants(chip_factory, *, include_adaptive: bool = True):
+    """Yield (label, design) pairs for the six ASR variants.
+
+    ``chip_factory`` is a zero-argument callable returning a fresh
+    :class:`~repro.cmp.chip.TiledChip`, because each variant must run on its
+    own chip instance.
+    """
+    if include_adaptive:
+        yield "asr-adaptive", AsrDesign(chip_factory())
+    for level in STATIC_ASR_LEVELS:
+        yield f"asr-{level:.2f}", AsrDesign(chip_factory(), allocation_probability=level)

@@ -1,0 +1,248 @@
+"""Common interface and shared machinery for the cache designs.
+
+Every design consumes :class:`L2Access` requests (one per trace record) and
+returns an :class:`AccessOutcome` that carries the stall latency broken into
+the CPI components the paper plots (L1-to-L1, L2, off-chip, other,
+re-classification).  The simulation engine is therefore completely
+design-agnostic.
+
+The base class also owns the **L1 residency tracker**: a per-core model of
+the L1 data cache used to (a) find remote dirty copies that must be supplied
+by an L1-to-L1 transfer, (b) generate the L1-eviction stream that ASR's
+replication decisions feed on, and (c) honour invalidations.  The trace is
+already the post-L1 (L2 reference) stream, so the tracker never filters
+accesses; it only mirrors what the L1s would contain.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cache.block import AccessType, CacheBlock, CoherenceState
+from repro.cache.cache_array import CacheArray
+from repro.cmp.chip import TiledChip
+from repro.osmodel.page_table import PageClass
+
+# CPI component names (match the paper's Figure 7 legend).
+BUSY = "busy"
+L1_TO_L1 = "l1_to_l1"
+L2 = "l2"
+OFF_CHIP = "offchip"
+OTHER = "other"
+RECLASSIFICATION = "reclassification"
+
+#: All stall components a design may report (busy is added by the engine).
+STALL_COMPONENTS = (L1_TO_L1, L2, OFF_CHIP, OTHER, RECLASSIFICATION)
+
+#: Latency of probing a directory slice or an L1 tag array (cycles).
+DIRECTORY_LATENCY = 2
+L1_PROBE_LATENCY = 2
+
+
+@dataclass(frozen=True)
+class L2Access:
+    """One L2 reference presented to a design."""
+
+    core: int
+    block_address: int
+    byte_address: int
+    access_type: AccessType
+    thread_id: int = 0
+    true_class: Optional[str] = None
+
+    @property
+    def is_instruction(self) -> bool:
+        return self.access_type is AccessType.INSTRUCTION
+
+    @property
+    def is_write(self) -> bool:
+        return self.access_type is AccessType.STORE
+
+    @property
+    def data_class(self) -> str:
+        """Coarse ground-truth class: instruction / private / shared."""
+        if self.true_class is None:
+            return "instruction" if self.is_instruction else "shared"
+        if self.true_class.startswith("shared"):
+            return "shared"
+        return self.true_class
+
+
+@dataclass
+class AccessOutcome:
+    """Latency and bookkeeping for one serviced access."""
+
+    components: dict[str, float] = field(default_factory=dict)
+    hit_where: str = "l2_local"  # l2_local | l2_remote | l1_remote | offchip
+    target_slice: int = 0
+    offchip: bool = False
+    #: True when the access engaged the L2 coherence mechanism (remote L2
+    #: access through the directory in the private/ASR designs).
+    coherence: bool = False
+    #: Classification used by the design (R-NUCA) or ground truth otherwise.
+    page_class: Optional[PageClass] = None
+
+    @property
+    def latency(self) -> float:
+        return sum(self.components.values())
+
+    def add(self, component: str, cycles: float) -> None:
+        if cycles:
+            self.components[component] = self.components.get(component, 0.0) + cycles
+
+
+class L1Tracker:
+    """Mirrors each core's L1 data cache contents."""
+
+    def __init__(self, chip: TiledChip) -> None:
+        self._arrays = [
+            CacheArray(chip.config.l1d, name=f"l1track{core}")
+            for core in range(chip.num_tiles)
+        ]
+        #: block address -> {core: state} for fast remote-copy lookup.
+        self._holders: dict[int, dict[int, CoherenceState]] = {}
+
+    def holders(self, block_address: int) -> dict[int, CoherenceState]:
+        return self._holders.get(block_address, {})
+
+    def dirty_owner(self, block_address: int, *, exclude: int) -> Optional[int]:
+        """Core (other than ``exclude``) holding a modified copy, if any."""
+        for core, state in self.holders(block_address).items():
+            if core != exclude and state.can_write:
+                return core
+        return None
+
+    def remote_holders(self, block_address: int, *, exclude: int) -> list[int]:
+        return [c for c in self.holders(block_address) if c != exclude]
+
+    def fill(
+        self, core: int, block_address: int, *, write: bool
+    ) -> Optional[CacheBlock]:
+        """Install a block in a core's L1; returns the evicted block, if any."""
+        state = CoherenceState.MODIFIED if write else CoherenceState.SHARED
+        result = self._arrays[core].insert(block_address, state=state, dirty=write)
+        self._holders.setdefault(block_address, {})[core] = state
+        victim = result.victim
+        if victim is not None:
+            self._forget(core, victim.address)
+        return victim
+
+    def downgrade(self, core: int, block_address: int) -> None:
+        """Remote read observed: a modified copy becomes owned/shared."""
+        block = self._arrays[core].peek(block_address)
+        if block is not None and block.state.can_write:
+            block.state = CoherenceState.OWNED
+            self._holders.setdefault(block_address, {})[core] = CoherenceState.OWNED
+
+    def invalidate(self, core: int, block_address: int) -> None:
+        self._arrays[core].invalidate(block_address)
+        self._forget(core, block_address)
+
+    def invalidate_all_remote(self, block_address: int, *, exclude: int) -> int:
+        """Invalidate every copy except the requestor's; returns the count."""
+        others = self.remote_holders(block_address, exclude=exclude)
+        for core in others:
+            self.invalidate(core, block_address)
+        return len(others)
+
+    def _forget(self, core: int, block_address: int) -> None:
+        holders = self._holders.get(block_address)
+        if holders is not None:
+            holders.pop(core, None)
+            if not holders:
+                del self._holders[block_address]
+
+
+class CacheDesign(ABC):
+    """Interface every cache design implements."""
+
+    #: Single-letter label used in the paper's figures (P/A/S/R/I).
+    short_name: str = "?"
+    name: str = "design"
+
+    def __init__(self, chip: TiledChip) -> None:
+        self.chip = chip
+        self.config = chip.config
+        self.network = chip.network
+        self.memory = chip.memory
+        self.l1 = L1Tracker(chip)
+        self.accesses = 0
+        self.offchip_accesses = 0
+
+    # ------------------------------------------------------------------ #
+    # Main entry point
+    # ------------------------------------------------------------------ #
+    def access(self, access: L2Access) -> AccessOutcome:
+        """Service one L2 reference."""
+        self.accesses += 1
+        outcome = self._service(access)
+        if outcome.offchip:
+            self.offchip_accesses += 1
+        # Mirror the fill into the requestor's L1 (data accesses only).
+        if not access.is_instruction:
+            victim = self.l1.fill(
+                access.core, access.block_address, write=access.is_write
+            )
+            if victim is not None:
+                self.on_l1_eviction(access.core, victim)
+        return outcome
+
+    @abstractmethod
+    def _service(self, access: L2Access) -> AccessOutcome:
+        """Design-specific handling of one access."""
+
+    def on_l1_eviction(self, core: int, victim: CacheBlock) -> None:
+        """Hook invoked when the requesting core's L1 evicts a block."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def l2_hit_latency(self) -> int:
+        return self.config.l2_slice.hit_latency
+
+    def network_round_trip(self, src: int, dst: int) -> int:
+        """Request/response latency; zero network cost for the local slice."""
+        if src == dst:
+            return 0
+        return self.network.round_trip_latency(src, dst)
+
+    def remote_l1_transfer(
+        self, access: L2Access, home: int, owner: int, outcome: AccessOutcome
+    ) -> None:
+        """Account an L1-to-L1 transfer through the home/directory tile."""
+        latency = (
+            self.network.one_way_latency(access.core, home)
+            + DIRECTORY_LATENCY
+            + self.network.one_way_latency(home, owner)
+            + L1_PROBE_LATENCY
+            + self.network.one_way_latency(owner, access.core)
+        )
+        outcome.add(L1_TO_L1, latency)
+        outcome.hit_where = "l1_remote"
+        outcome.target_slice = home
+        if access.is_write:
+            self.l1.invalidate_all_remote(access.block_address, exclude=access.core)
+        else:
+            self.l1.downgrade(owner, access.block_address)
+
+    def offchip_fetch(
+        self, access: L2Access, issuing_tile: int, outcome: AccessOutcome
+    ) -> None:
+        """Account an off-chip memory fetch issued from ``issuing_tile``."""
+        latency = self.memory.access(
+            issuing_tile, access.block_address, write=False
+        )
+        if issuing_tile != access.core:
+            latency += self.network.one_way_latency(access.core, issuing_tile)
+        outcome.add(OFF_CHIP, latency)
+        outcome.offchip = True
+        outcome.hit_where = "offchip"
+
+    @property
+    def offchip_rate(self) -> float:
+        return self.offchip_accesses / self.accesses if self.accesses else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(chip={self.chip.config.name!r})"

@@ -1,0 +1,51 @@
+"""The ideal design (paper Section 5.4, Figure 12).
+
+The ideal design is a *shared* organisation (address-interleaved, maximum
+aggregate capacity, no replication) in which every slice is reachable at the
+latency of the local slice: the paper describes it as a shared design with
+direct on-chip links from every core to every slice and unlimited banking.
+It therefore inherits the shared design's capacity behaviour exactly and
+differs only in never paying a network traversal.  R-NUCA is shown to come
+within 5% of it.
+"""
+
+from __future__ import annotations
+
+from repro.designs.base import L1_TO_L1, AccessOutcome, L2Access
+from repro.designs.shared import SharedDesign
+
+
+class IdealDesign(SharedDesign):
+    """Shared-design capacity at local-slice latency."""
+
+    short_name = "I"
+    name = "ideal"
+
+    def network_round_trip(self, src: int, dst: int) -> int:
+        """Every slice is as close as the local one."""
+        return 0
+
+    def remote_l1_transfer(
+        self, access: L2Access, home: int, owner: int, outcome: AccessOutcome
+    ) -> None:
+        """Dirty data still comes from the owning L1, but over ideal links."""
+        outcome.add(L1_TO_L1, self.l2_hit_latency())
+        outcome.hit_where = "l1_remote"
+        outcome.target_slice = home
+        if access.is_write:
+            self.l1.invalidate_all_remote(access.block_address, exclude=access.core)
+        else:
+            self.l1.downgrade(owner, access.block_address)
+
+    def offchip_fetch(
+        self, access: L2Access, issuing_tile: int, outcome: AccessOutcome
+    ) -> None:
+        """Off-chip latency without the on-chip traversal to the controller."""
+        latency = self.memory.latency_cycles
+        if not access.is_write:
+            self.memory.controller_for(access.block_address).reads += 1
+        else:
+            self.memory.controller_for(access.block_address).writes += 1
+        outcome.add("offchip", latency)
+        outcome.offchip = True
+        outcome.hit_where = "offchip"

@@ -1,0 +1,211 @@
+"""The private L2 design (paper Section 2.2).
+
+Each tile's L2 slice is a private second-level cache for its core.  Hits in
+the local slice are fast, but a local miss must consult the address-
+interleaved distributed directory, which either forwards the request to a
+remote tile holding the block (a coherence transfer: three network
+traversals plus a remote L2 — and possibly L1 — probe) or fetches the block
+from memory.  Shared blocks are replicated in many slices, which wastes
+capacity and inflates the off-chip miss rate; the paper (and this model)
+optimistically gives the directory zero area overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.block import CacheBlock, CoherenceState
+from repro.cache.cache_array import CacheArray
+from repro.designs.base import (
+    DIRECTORY_LATENCY,
+    L1_PROBE_LATENCY,
+    L1_TO_L1,
+    L2,
+    AccessOutcome,
+    CacheDesign,
+    L2Access,
+)
+
+
+class PrivateDesign(CacheDesign):
+    """Private per-tile L2 slices with a distributed full-map directory."""
+
+    short_name = "P"
+    name = "private"
+
+    def _service(self, access: L2Access) -> AccessOutcome:
+        outcome = AccessOutcome()
+        core = access.core
+        local_tile = self.chip.tile(core)
+        outcome.target_slice = core
+
+        lookup = local_tile.l2.lookup(access.block_address, write=access.is_write)
+        if lookup.hit:
+            outcome.add(L2, self.l2_hit_latency())
+            outcome.hit_where = "l2_local"
+            if access.is_write:
+                self._invalidate_remote_copies(access)
+            return outcome
+
+        victim_hit = local_tile.l2_victim.extract(access.block_address)
+        if victim_hit is not None:
+            self._fill_local(core, access, state=victim_hit.state, dirty=victim_hit.dirty)
+            outcome.add(L2, self.l2_hit_latency())
+            outcome.hit_where = "l2_local"
+            if access.is_write:
+                self._invalidate_remote_copies(access)
+            return outcome
+
+        # Local miss: consult the distributed directory at the block's home.
+        outcome.add(L2, self.l2_hit_latency())  # the local probe that missed
+        dir_home = self.chip.home_slice(access.block_address)
+        directory = self.chip.tile(dir_home).directory
+        to_directory = self.network.one_way_latency(core, dir_home) + DIRECTORY_LATENCY
+        entry = directory.peek(access.block_address)
+
+        remote_l2_holder = self._find_remote_l2_holder(access.block_address, core)
+        remote_l1_owner = self.l1.dirty_owner(access.block_address, exclude=core)
+
+        if remote_l1_owner is not None:
+            # Data supplied by a remote L1 (through its tile), i.e. an
+            # L1-to-L1 transfer that also probes the remote L2 slice.
+            latency = (
+                to_directory
+                + self.network.one_way_latency(dir_home, remote_l1_owner)
+                + self.l2_hit_latency()
+                + L1_PROBE_LATENCY
+                + self.network.one_way_latency(remote_l1_owner, core)
+            )
+            outcome.add(L1_TO_L1, latency)
+            outcome.hit_where = "l1_remote"
+            outcome.coherence = True
+            if access.is_write:
+                self.l1.invalidate_all_remote(access.block_address, exclude=core)
+                self._invalidate_remote_l2_copies(access.block_address, exclude=core)
+            else:
+                self.l1.downgrade(remote_l1_owner, access.block_address)
+            self._fill_local(
+                core,
+                access,
+                state=(
+                    CoherenceState.MODIFIED if access.is_write else CoherenceState.SHARED
+                ),
+                dirty=access.is_write,
+            )
+            directory.record_write(
+                access.block_address, core
+            ) if access.is_write else directory.record_read(access.block_address, core)
+            return outcome
+
+        if remote_l2_holder is not None:
+            # Coherence transfer from a remote private L2 slice.
+            latency = (
+                to_directory
+                + self.network.one_way_latency(dir_home, remote_l2_holder)
+                + self.l2_hit_latency()
+                + self.network.one_way_latency(remote_l2_holder, core)
+            )
+            outcome.add(L2, latency)
+            outcome.hit_where = "l2_remote"
+            outcome.coherence = True
+            if access.is_write:
+                self._invalidate_remote_l2_copies(access.block_address, exclude=core)
+                self.l1.invalidate_all_remote(access.block_address, exclude=core)
+                directory.record_write(access.block_address, core)
+            else:
+                directory.record_read(access.block_address, core)
+            self._fill_local(
+                core,
+                access,
+                state=(
+                    CoherenceState.MODIFIED if access.is_write else CoherenceState.SHARED
+                ),
+                dirty=access.is_write,
+            )
+            return outcome
+
+        # Nobody on chip has the block: fetch from memory via the directory.
+        outcome.add(L2, to_directory)
+        self.offchip_fetch(access, dir_home, outcome)
+        outcome.coherence = False
+        if access.is_write:
+            directory.record_write(access.block_address, core)
+        else:
+            directory.record_read(access.block_address, core)
+        self._fill_local(
+            core,
+            access,
+            state=(
+                CoherenceState.MODIFIED if access.is_write else CoherenceState.EXCLUSIVE
+            ),
+            dirty=access.is_write,
+        )
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _find_remote_l2_holder(self, block_address: int, exclude: int) -> Optional[int]:
+        """Closest remote tile whose private L2 slice holds the block."""
+        directory = self.chip.tile(self.chip.home_slice(block_address)).directory
+        entry = directory.peek(block_address)
+        if entry is None:
+            return None
+        candidates = [t for t in entry.copy_holders() if t != exclude]
+        holders = [
+            t
+            for t in candidates
+            if self.chip.tile(t).l2.peek(block_address) is not None
+        ]
+        if not holders:
+            return None
+        return min(holders, key=lambda t: (self.chip.distance(exclude, t), t))
+
+    def _invalidate_remote_copies(self, access: L2Access) -> None:
+        """Write upgrade: invalidate all other L1 and L2 copies."""
+        self.l1.invalidate_all_remote(access.block_address, exclude=access.core)
+        self._invalidate_remote_l2_copies(access.block_address, exclude=access.core)
+        directory = self.chip.tile(
+            self.chip.home_slice(access.block_address)
+        ).directory
+        directory.record_write(access.block_address, access.core)
+
+    def _invalidate_remote_l2_copies(self, block_address: int, *, exclude: int) -> int:
+        count = 0
+        for tile in self.chip.tiles:
+            if tile.tile_id == exclude:
+                continue
+            if tile.l2.invalidate(block_address) is not None:
+                count += 1
+            tile.l2_victim.invalidate(block_address)
+        return count
+
+    def _fill_local(
+        self,
+        core: int,
+        access: L2Access,
+        *,
+        state: CoherenceState,
+        dirty: bool,
+    ) -> None:
+        """Allocate the block in the requesting tile's private slice."""
+        tile = self.chip.tile(core)
+        result = tile.l2.insert(access.block_address, state=state, dirty=dirty)
+        directory = self.chip.tile(self.chip.home_slice(access.block_address)).directory
+        if access.is_write:
+            directory.record_write(access.block_address, core)
+        else:
+            directory.record_read(access.block_address, core)
+        if result.victim is not None:
+            self._handle_eviction(tile.tile_id, tile.l2, result.victim)
+
+    def _handle_eviction(self, tile_id: int, array: CacheArray, victim: CacheBlock) -> None:
+        tile = self.chip.tile(tile_id)
+        displaced = tile.l2_victim.insert(victim)
+        home = self.chip.home_slice(victim.address)
+        self.chip.tile(home).directory.record_eviction(victim.address, tile_id)
+        if displaced is not None:
+            if displaced.dirty:
+                self.memory.access(tile_id, displaced.address, write=True)
+            dhome = self.chip.home_slice(displaced.address)
+            self.chip.tile(dhome).directory.record_eviction(displaced.address, tile_id)

@@ -1,0 +1,193 @@
+"""The R-NUCA cache design (paper Section 4).
+
+R-NUCA classifies each access through the OS (instruction / private data /
+shared data) and places it in the appropriate cluster:
+
+* private data in the local slice (size-1 cluster);
+* shared data address-interleaved across all slices (size-16 cluster) — a
+  unique location per block, so no L2 coherence is needed;
+* instructions in a size-4 fixed-center cluster indexed by rotational
+  interleaving, replicating the instruction working set once per cluster
+  while every lookup still needs exactly one probe.
+
+Page re-classification (private -> shared, or a private page following a
+migrated thread) invalidates the page's blocks at the previous owner's slice
+and is charged to the ``reclassification`` CPI component.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.block import CoherenceState
+from repro.cmp.chip import TiledChip
+from repro.core.rnuca import RNucaConfig, RNucaPolicy
+from repro.designs.base import (
+    L2,
+    OTHER,
+    RECLASSIFICATION,
+    AccessOutcome,
+    CacheDesign,
+    L2Access,
+)
+from repro.osmodel.classifier import ClassificationEvent
+from repro.osmodel.page_table import PageClass
+
+
+class RNucaDesign(CacheDesign):
+    """Reactive NUCA."""
+
+    short_name = "R"
+    name = "rnuca"
+
+    def __init__(
+        self,
+        chip: TiledChip,
+        *,
+        rnuca_config: Optional[RNucaConfig] = None,
+    ) -> None:
+        super().__init__(chip)
+        self.policy = RNucaPolicy(
+            chip.config, rnuca_config=rnuca_config, topology=chip.topology
+        )
+        # Publish the OS-assigned RIDs on the tiles (useful for inspection).
+        rids = self.policy.rids
+        if rids is not None:
+            for tile, rid in zip(chip.tiles, rids):
+                tile.rid = rid
+        self.misclassified_accesses = 0
+
+    @property
+    def instruction_cluster_size(self) -> int:
+        return self.policy.config.instruction_cluster_size
+
+    # ------------------------------------------------------------------ #
+    # Access handling
+    # ------------------------------------------------------------------ #
+    def _service(self, access: L2Access) -> AccessOutcome:
+        outcome = AccessOutcome()
+        lookup = self.policy.lookup(
+            access.core,
+            access.byte_address,
+            instruction=access.is_instruction,
+            thread_id=access.thread_id,
+            shootdown=self._shootdown,
+        )
+        target = lookup.target_slice
+        outcome.target_slice = target
+        outcome.page_class = lookup.page_class
+        self._account_os_event(lookup.classification, outcome)
+        self._track_misclassification(access, lookup.page_class)
+
+        # Shared read-write data may live dirty in a remote L1; the home
+        # slice (the unique interleaved location) forwards the request.
+        if lookup.page_class is PageClass.SHARED and not access.is_instruction:
+            owner = self.l1.dirty_owner(access.block_address, exclude=access.core)
+            if owner is not None:
+                self.remote_l1_transfer(access, target, owner, outcome)
+                self.chip.tile(target).l2.insert(
+                    access.block_address, state=CoherenceState.OWNED, dirty=True
+                )
+                return outcome
+
+        tile = self.chip.tile(target)
+        network = self.network_round_trip(access.core, target)
+        result = tile.l2.lookup(access.block_address, write=access.is_write)
+        if result.hit:
+            outcome.add(L2, network + self.l2_hit_latency())
+            outcome.hit_where = "l2_local" if target == access.core else "l2_remote"
+        else:
+            victim_hit = tile.l2_victim.extract(access.block_address)
+            if victim_hit is not None:
+                tile.l2.insert(
+                    access.block_address,
+                    state=victim_hit.state,
+                    dirty=victim_hit.dirty,
+                )
+                outcome.add(L2, network + self.l2_hit_latency())
+                outcome.hit_where = (
+                    "l2_local" if target == access.core else "l2_remote"
+                )
+            else:
+                # R-NUCA never retrieves instruction blocks from other
+                # clusters' replicas: a cluster miss goes off chip
+                # (a "compulsory" miss per cluster, Section 4.2).
+                outcome.add(L2, network + self.l2_hit_latency())
+                self.offchip_fetch(access, target, outcome)
+                self._fill(tile, access, lookup.page_class)
+
+        if access.is_write:
+            self.l1.invalidate_all_remote(access.block_address, exclude=access.core)
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _fill(self, tile, access: L2Access, page_class: PageClass) -> None:
+        state = (
+            CoherenceState.MODIFIED if access.is_write else CoherenceState.SHARED
+        )
+        result = tile.l2.insert(
+            access.block_address,
+            state=state,
+            dirty=access.is_write,
+            metadata={"class": page_class.value},
+        )
+        if result.victim is not None:
+            displaced = tile.l2_victim.insert(result.victim)
+            if displaced is not None and displaced.dirty:
+                self.memory.access(tile.tile_id, displaced.address, write=True)
+
+    def _account_os_event(
+        self, event: ClassificationEvent, outcome: AccessOutcome
+    ) -> None:
+        """Charge the CPI cost of OS involvement.
+
+        Only the events R-NUCA *adds* are charged: page re-classification
+        (and migration re-owning) under ``reclassification`` and the
+        first-touch trap under ``other``.  Ordinary TLB refills are not
+        charged because every design pays them equally and the baseline
+        designs do not model them at all.
+        """
+        if event.latency_cycles == 0:
+            return
+        if event.kind in (
+            ClassificationEvent.RECLASSIFY_TO_SHARED,
+            ClassificationEvent.MIGRATION_REOWN,
+        ):
+            outcome.add(RECLASSIFICATION, event.latency_cycles)
+        elif event.kind == ClassificationEvent.FIRST_TOUCH:
+            outcome.add(OTHER, event.latency_cycles)
+
+    def _track_misclassification(self, access: L2Access, page_class: PageClass) -> None:
+        """Count accesses whose page-level class differs from the block truth."""
+        truth = access.data_class
+        if truth == "instruction":
+            expected = PageClass.INSTRUCTION
+        elif truth == "private":
+            expected = PageClass.PRIVATE
+        else:
+            expected = PageClass.SHARED
+        if page_class is not expected:
+            self.misclassified_accesses += 1
+
+    def _shootdown(self, page_number: int, previous_owner: int) -> int:
+        """Invalidate a page's blocks at the previous owner's slice and L1."""
+        page_size = self.config.page_size
+        block_size = self.config.block_size
+        first_block = (page_number * page_size) // block_size
+        last_block = first_block + page_size // block_size
+        tile = self.chip.tile(previous_owner)
+        removed = tile.l2.invalidate_where(
+            lambda blk: first_block <= blk.address < last_block
+        )
+        for block in removed:
+            if block.dirty:
+                self.memory.access(previous_owner, block.address, write=True)
+        for block_address in range(first_block, last_block):
+            self.l1.invalidate(previous_owner, block_address)
+        return len(removed)
+
+    @property
+    def misclassification_rate(self) -> float:
+        return self.misclassified_accesses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,83 @@
+"""The conventional address-interleaved shared L2 design (paper Section 2.2).
+
+Every block has a single, fixed home slice chosen by the address bits above
+the set index.  No two frames ever cache the same block, so the aggregate
+capacity is maximal and no L2 coherence mechanism is needed — the directory
+at the home slice only covers the L1 caches.  The cost is latency: private
+data and instructions are scattered across the whole die, so most accesses
+pay a round trip to a remote slice.
+"""
+
+from __future__ import annotations
+
+from repro.cache.block import CoherenceState
+from repro.designs.base import (
+    L2,
+    AccessOutcome,
+    CacheDesign,
+    L2Access,
+)
+
+
+class SharedDesign(CacheDesign):
+    """Statically address-interleaved shared L2."""
+
+    short_name = "S"
+    name = "shared"
+
+    def _service(self, access: L2Access) -> AccessOutcome:
+        outcome = AccessOutcome()
+        home = self.chip.home_slice(access.block_address)
+        outcome.target_slice = home
+        tile = self.chip.tile(home)
+
+        # A dirty copy in a remote L1 must supply the data (L1-to-L1 via the
+        # home slice, which holds the L1 directory state).
+        if not access.is_instruction:
+            owner = self.l1.dirty_owner(access.block_address, exclude=access.core)
+            if owner is not None:
+                self.remote_l1_transfer(access, home, owner, outcome)
+                # The home slice keeps (or receives) the up-to-date data.
+                tile.l2.insert(
+                    access.block_address,
+                    state=CoherenceState.OWNED,
+                    dirty=True,
+                )
+                return outcome
+
+        network = self.network_round_trip(access.core, home)
+        lookup = tile.l2.lookup(access.block_address, write=access.is_write)
+        if lookup.hit:
+            outcome.add(L2, network + self.l2_hit_latency())
+            outcome.hit_where = "l2_local" if home == access.core else "l2_remote"
+        else:
+            # Check the slice's victim buffer before going off chip.
+            victim_hit = tile.l2_victim.extract(access.block_address)
+            if victim_hit is not None:
+                tile.l2.insert(
+                    access.block_address,
+                    state=victim_hit.state,
+                    dirty=victim_hit.dirty,
+                )
+                outcome.add(L2, network + self.l2_hit_latency())
+                outcome.hit_where = "l2_local" if home == access.core else "l2_remote"
+            else:
+                outcome.add(L2, network + self.l2_hit_latency())
+                self.offchip_fetch(access, home, outcome)
+                self._fill(tile, access)
+
+        if access.is_write:
+            # Invalidate the other L1 copies (store latency itself is hidden
+            # by the store buffer and accounted under "other" by the paper).
+            self.l1.invalidate_all_remote(access.block_address, exclude=access.core)
+        return outcome
+
+    def _fill(self, tile, access: L2Access) -> None:
+        state = (
+            CoherenceState.MODIFIED if access.is_write else CoherenceState.SHARED
+        )
+        result = tile.l2.insert(access.block_address, state=state, dirty=access.is_write)
+        if result.victim is not None:
+            displaced = tile.l2_victim.insert(result.victim)
+            if displaced is not None and displaced.dirty:
+                self.memory.access(tile.tile_id, displaced.address, write=True)

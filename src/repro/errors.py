@@ -1,0 +1,29 @@
+"""Exception hierarchy for the R-NUCA reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A system or workload configuration is inconsistent or unsupported."""
+
+
+class ClusterError(ReproError):
+    """A cluster definition is invalid (size, shape, or membership)."""
+
+
+class ProtocolError(ReproError):
+    """A coherence protocol invariant was violated."""
+
+
+class ClassificationError(ReproError):
+    """The OS page classification state machine was driven illegally."""
+
+
+class TraceError(ReproError):
+    """A trace record or trace file is malformed."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was used incorrectly."""

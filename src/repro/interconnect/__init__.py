@@ -1,0 +1,14 @@
+"""On-chip interconnect: topologies, routing and the network latency model."""
+
+from repro.interconnect.network import NetworkModel
+from repro.interconnect.routing import dimension_order_route
+from repro.interconnect.topology import FoldedTorus2D, Mesh2D, Topology, build_topology
+
+__all__ = [
+    "Topology",
+    "FoldedTorus2D",
+    "Mesh2D",
+    "build_topology",
+    "dimension_order_route",
+    "NetworkModel",
+]

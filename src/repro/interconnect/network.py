@@ -1,0 +1,85 @@
+"""Network latency model and message accounting.
+
+One-way latency between two tiles is::
+
+    hops * link_latency + (hops + 1) * router_latency
+
+with Table-1 values of 1 cycle per link and 2 cycles per router.  A request
+to a remote tile and its data response are two one-way traversals.  The model
+also counts messages and hops per message class so that the analysis code can
+report network-occupancy effects (e.g. why instruction migration is a bad
+idea, Section 3.3.2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.cmp.config import InterconnectConfig
+from repro.interconnect.topology import Topology, build_topology
+
+
+@dataclass(frozen=True)
+class Hop:
+    """A computed one-way traversal."""
+
+    src: int
+    dst: int
+    hops: int
+    latency: int
+
+
+class NetworkModel:
+    """Latency and traffic accounting over a :class:`Topology`."""
+
+    def __init__(self, config: InterconnectConfig, topology: Topology | None = None):
+        self.config = config
+        self.topology = topology if topology is not None else build_topology(config)
+        self.messages = 0
+        self.total_hops = 0
+        self.hops_by_class: Counter[str] = Counter()
+        self.messages_by_class: Counter[str] = Counter()
+
+    # ------------------------------------------------------------------ #
+    # Latency
+    # ------------------------------------------------------------------ #
+    def one_way_latency(self, src: int, dst: int) -> int:
+        """Latency of a single message from ``src`` to ``dst`` in cycles.
+
+        A local (same-tile) transfer costs a single router traversal.
+        """
+        hops = self.topology.hop_distance(src, dst)
+        return hops * self.config.link_latency + (hops + 1) * self.config.router_latency
+
+    def round_trip_latency(self, src: int, dst: int) -> int:
+        """Request + response latency between two tiles."""
+        return 2 * self.one_way_latency(src, dst)
+
+    def average_one_way_latency(self, src: int) -> float:
+        """Mean one-way latency from ``src`` to all tiles (uniform traffic)."""
+        nodes = self.topology.num_nodes
+        return sum(self.one_way_latency(src, d) for d in range(nodes)) / nodes
+
+    # ------------------------------------------------------------------ #
+    # Traffic accounting
+    # ------------------------------------------------------------------ #
+    def send(self, src: int, dst: int, message_class: str = "data") -> Hop:
+        """Account for one message and return its latency."""
+        hops = self.topology.hop_distance(src, dst)
+        latency = self.one_way_latency(src, dst)
+        self.messages += 1
+        self.total_hops += hops
+        self.messages_by_class[message_class] += 1
+        self.hops_by_class[message_class] += hops
+        return Hop(src=src, dst=dst, hops=hops, latency=latency)
+
+    @property
+    def average_hops(self) -> float:
+        return self.total_hops / self.messages if self.messages else 0.0
+
+    def reset_stats(self) -> None:
+        self.messages = 0
+        self.total_hops = 0
+        self.hops_by_class.clear()
+        self.messages_by_class.clear()

@@ -1,0 +1,146 @@
+"""On-chip network topologies.
+
+The paper uses a 2-D *folded torus* (Section 5.1): a torus has no edges so
+every node sees the same latency distribution, which matters for the shared
+(address-interleaved) placement of read-write data.  A 2-D mesh is also
+provided for the topology ablation: meshes penalise edge tiles and create a
+hot spot in the centre.
+
+Tiles are numbered in row-major order: tile ``t`` sits at row ``t // cols``
+and column ``t % cols``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import lru_cache
+
+from repro.cmp.config import InterconnectConfig
+from repro.errors import ConfigurationError
+
+
+class Topology(ABC):
+    """Common interface for 2-D tiled topologies."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ConfigurationError("topology dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+
+    @property
+    def num_nodes(self) -> int:
+        return self.rows * self.cols
+
+    def coordinates(self, node: int) -> tuple[int, int]:
+        """(row, col) of a node id (row-major numbering)."""
+        self._check_node(node)
+        return divmod(node, self.cols)
+
+    def node_at(self, row: int, col: int) -> int:
+        """Node id at (row, col), with wrap-around semantics."""
+        return (row % self.rows) * self.cols + (col % self.cols)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ConfigurationError(
+                f"node {node} out of range for {self.rows}x{self.cols} topology"
+            )
+
+    @abstractmethod
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Number of links traversed between two nodes (0 if identical)."""
+
+    @abstractmethod
+    def neighbors(self, node: int) -> list[int]:
+        """Directly connected nodes."""
+
+    def nodes_within(self, center: int, max_hops: int) -> list[int]:
+        """All nodes whose hop distance from ``center`` is <= ``max_hops``."""
+        return [
+            node
+            for node in range(self.num_nodes)
+            if self.hop_distance(center, node) <= max_hops
+        ]
+
+    def average_distance(self, src: int) -> float:
+        """Mean hop distance from ``src`` to every node (including itself)."""
+        total = sum(self.hop_distance(src, dst) for dst in range(self.num_nodes))
+        return total / self.num_nodes
+
+    def diameter(self) -> int:
+        """Maximum hop distance between any pair of nodes."""
+        return max(
+            self.hop_distance(s, d)
+            for s in range(self.num_nodes)
+            for d in range(self.num_nodes)
+        )
+
+
+class FoldedTorus2D(Topology):
+    """A 2-D torus (folded for implementation, which does not change hops).
+
+    Each dimension wraps around, so the distance along a dimension of size
+    ``n`` is ``min(delta, n - delta)``.
+    """
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        self._check_node(src)
+        self._check_node(dst)
+        return self._distance(src, dst)
+
+    @lru_cache(maxsize=None)
+    def _distance(self, src: int, dst: int) -> int:
+        sr, sc = divmod(src, self.cols)
+        dr, dc = divmod(dst, self.cols)
+        dy = abs(sr - dr)
+        dx = abs(sc - dc)
+        dy = min(dy, self.rows - dy)
+        dx = min(dx, self.cols - dx)
+        return dy + dx
+
+    def neighbors(self, node: int) -> list[int]:
+        self._check_node(node)
+        row, col = self.coordinates(node)
+        candidates = {
+            self.node_at(row - 1, col),
+            self.node_at(row + 1, col),
+            self.node_at(row, col - 1),
+            self.node_at(row, col + 1),
+        }
+        candidates.discard(node)
+        return sorted(candidates)
+
+
+class Mesh2D(Topology):
+    """A 2-D mesh: no wrap-around links, Manhattan distance."""
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        self._check_node(src)
+        self._check_node(dst)
+        sr, sc = divmod(src, self.cols)
+        dr, dc = divmod(dst, self.cols)
+        return abs(sr - dr) + abs(sc - dc)
+
+    def neighbors(self, node: int) -> list[int]:
+        self._check_node(node)
+        row, col = self.coordinates(node)
+        result = []
+        if row > 0:
+            result.append(self.node_at(row - 1, col))
+        if row < self.rows - 1:
+            result.append(self.node_at(row + 1, col))
+        if col > 0:
+            result.append(self.node_at(row, col - 1))
+        if col < self.cols - 1:
+            result.append(self.node_at(row, col + 1))
+        return sorted(result)
+
+
+def build_topology(config: InterconnectConfig) -> Topology:
+    """Instantiate the topology named by an :class:`InterconnectConfig`."""
+    if config.topology == "folded_torus":
+        return FoldedTorus2D(config.rows, config.cols)
+    if config.topology == "mesh":
+        return Mesh2D(config.rows, config.cols)
+    raise ConfigurationError(f"unknown topology: {config.topology!r}")

@@ -1,0 +1,17 @@
+"""Operating-system model: page table, TLBs, page classification, scheduling."""
+
+from repro.osmodel.classifier import ClassificationEvent, PageClassifier
+from repro.osmodel.page_table import PageClass, PageTable, PageTableEntry
+from repro.osmodel.scheduler import ThreadScheduler
+from repro.osmodel.tlb import Tlb, TlbEntry
+
+__all__ = [
+    "PageClass",
+    "PageTableEntry",
+    "PageTable",
+    "Tlb",
+    "TlbEntry",
+    "PageClassifier",
+    "ClassificationEvent",
+    "ThreadScheduler",
+]

@@ -1,0 +1,300 @@
+"""OS-driven page classification (paper Section 4.3).
+
+Classification happens at TLB-miss time and at page granularity:
+
+* Requests from the L1 instruction cache are classified as *instructions*
+  immediately, with no page-table involvement.
+* Data requests consult the TLB.  On a miss the OS traps:
+
+  - first touch marks the page *private* and records the accessor's CID;
+  - a TLB miss by a different core re-classifies the page as *shared*
+    (poison -> TLB shootdown -> block invalidation at the previous accessor's
+    tile -> clear Private -> unpoison), unless the OS knows the accessing
+    thread simply migrated, in which case the page stays private and only the
+    owner CID is updated.
+
+The classifier charges an OS-trap latency to every TLB miss and a much larger
+re-classification latency to every private->shared transition (or
+migration re-own); the paper shows this overhead is negligible and the
+benchmarks confirm the same here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ClassificationError
+from repro.osmodel.page_table import PageClass, PageTable, PageTableEntry
+from repro.osmodel.scheduler import ThreadScheduler
+from repro.osmodel.tlb import Tlb, TlbEntry
+
+#: Cycles charged for an OS trap servicing an ordinary TLB miss.
+DEFAULT_TRAP_LATENCY = 30
+
+#: Cycles charged for a private->shared re-classification (poison, TLB
+#: shootdown, block invalidation at the previous accessor, page-table update).
+DEFAULT_RECLASSIFY_LATENCY = 5000
+
+#: Shootdown callback signature: (page_number, previous_owner_tile) -> number
+#: of cache blocks invalidated.  Provided by the cache design, which knows
+#: where the page's blocks live.
+ShootdownCallback = Callable[[int, int], int]
+
+
+@dataclass
+class ClassificationEvent:
+    """What the OS did while classifying one access."""
+
+    kind: str
+    page_number: int
+    page_class: PageClass
+    latency_cycles: int = 0
+    shootdown_blocks: int = 0
+
+    #: Event kinds.
+    TLB_HIT = "tlb_hit"
+    FIRST_TOUCH = "first_touch"
+    TLB_FILL = "tlb_fill"
+    RECLASSIFY_TO_SHARED = "reclassify_to_shared"
+    MIGRATION_REOWN = "migration_reown"
+    INSTRUCTION = "instruction"
+
+
+class PageClassifier:
+    """The OS component that drives R-NUCA's access classification."""
+
+    def __init__(
+        self,
+        num_cores: int,
+        *,
+        page_table: Optional[PageTable] = None,
+        scheduler: Optional[ThreadScheduler] = None,
+        tlb_entries: int = 512,
+        trap_latency: int = DEFAULT_TRAP_LATENCY,
+        reclassify_latency: int = DEFAULT_RECLASSIFY_LATENCY,
+    ) -> None:
+        if num_cores <= 0:
+            raise ClassificationError("classifier needs at least one core")
+        self.num_cores = num_cores
+        self.page_table = page_table if page_table is not None else PageTable()
+        self.scheduler = (
+            scheduler if scheduler is not None else ThreadScheduler(num_cores)
+        )
+        self.tlbs = [Tlb(core, entries=tlb_entries) for core in range(num_cores)]
+        self.trap_latency = trap_latency
+        self.reclassify_latency = reclassify_latency
+        # Statistics
+        self.instruction_accesses = 0
+        self.data_accesses = 0
+        self.first_touches = 0
+        self.reclassifications = 0
+        self.migration_reowns = 0
+        self.total_overhead_cycles = 0
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def classify_access(
+        self,
+        core_id: int,
+        page_number: int,
+        *,
+        instruction: bool,
+        thread_id: Optional[int] = None,
+        shootdown: Optional[ShootdownCallback] = None,
+    ) -> tuple[PageClass, ClassificationEvent]:
+        """Classify one access and return (class, OS event).
+
+        ``shootdown`` is invoked when a page moves away from its previous
+        owner so the design can invalidate that tile's cached copies.
+        """
+        self._check_core(core_id)
+        if instruction:
+            self.instruction_accesses += 1
+            entry = self.page_table.get_or_create(page_number)
+            if entry.page_class is not PageClass.INSTRUCTION and entry.owner_cid is None:
+                # Never touched as data: adopt the instruction classification.
+                entry.mark_instruction()
+            event = ClassificationEvent(
+                kind=ClassificationEvent.INSTRUCTION,
+                page_number=page_number,
+                page_class=PageClass.INSTRUCTION,
+            )
+            return PageClass.INSTRUCTION, event
+
+        self.data_accesses += 1
+        tlb = self.tlbs[core_id]
+        cached = tlb.lookup(page_number)
+        if cached is not None:
+            event = ClassificationEvent(
+                kind=ClassificationEvent.TLB_HIT,
+                page_number=page_number,
+                page_class=cached.page_class,
+            )
+            return cached.page_class, event
+        return self._handle_tlb_miss(
+            core_id, page_number, thread_id=thread_id, shootdown=shootdown
+        )
+
+    def classification_of(self, page_number: int) -> Optional[PageClass]:
+        """Current page-table classification (None if never touched)."""
+        entry = self.page_table.lookup(page_number)
+        return entry.page_class if entry else None
+
+    # ------------------------------------------------------------------ #
+    # TLB-miss handling (the Section 4.3 state machine)
+    # ------------------------------------------------------------------ #
+    def _handle_tlb_miss(
+        self,
+        core_id: int,
+        page_number: int,
+        *,
+        thread_id: Optional[int],
+        shootdown: Optional[ShootdownCallback],
+    ) -> tuple[PageClass, ClassificationEvent]:
+        entry = self.page_table.lookup(page_number)
+        if entry is None:
+            return self._first_touch(core_id, page_number)
+        if entry.poisoned:
+            # TLB misses for a poisoned page wait for the re-classification
+            # to complete; in the serialized model this simply costs the
+            # re-classification latency again.
+            self.total_overhead_cycles += self.trap_latency
+        if entry.page_class is PageClass.SHARED:
+            return self._fill(core_id, entry, ClassificationEvent.TLB_FILL)
+        if entry.page_class is PageClass.INSTRUCTION:
+            # A data access to a page previously seen only as instructions:
+            # treat it as a first data touch by this core.
+            entry.mark_private(core_id)
+            return self._fill(core_id, entry, ClassificationEvent.TLB_FILL)
+
+        # Private page.
+        if entry.owner_cid == core_id:
+            return self._fill(core_id, entry, ClassificationEvent.TLB_FILL)
+        if thread_id is not None and self.scheduler.recently_migrated(thread_id):
+            return self._migration_reown(core_id, entry, shootdown)
+        return self._reclassify_to_shared(core_id, entry, shootdown)
+
+    def _first_touch(
+        self, core_id: int, page_number: int
+    ) -> tuple[PageClass, ClassificationEvent]:
+        entry = self.page_table.get_or_create(page_number)
+        entry.mark_private(core_id)
+        self.first_touches += 1
+        self.total_overhead_cycles += self.trap_latency
+        self.tlbs[core_id].fill(
+            TlbEntry(
+                page_number=page_number,
+                page_class=PageClass.PRIVATE,
+                private=True,
+                owner_cid=core_id,
+            )
+        )
+        event = ClassificationEvent(
+            kind=ClassificationEvent.FIRST_TOUCH,
+            page_number=page_number,
+            page_class=PageClass.PRIVATE,
+            latency_cycles=self.trap_latency,
+        )
+        return PageClass.PRIVATE, event
+
+    def _fill(
+        self, core_id: int, entry: PageTableEntry, kind: str
+    ) -> tuple[PageClass, ClassificationEvent]:
+        self.total_overhead_cycles += self.trap_latency
+        self.tlbs[core_id].fill(
+            TlbEntry(
+                page_number=entry.page_number,
+                page_class=entry.page_class,
+                private=entry.private,
+                owner_cid=entry.owner_cid,
+            )
+        )
+        event = ClassificationEvent(
+            kind=kind,
+            page_number=entry.page_number,
+            page_class=entry.page_class,
+            latency_cycles=self.trap_latency,
+        )
+        return entry.page_class, event
+
+    def _migration_reown(
+        self,
+        core_id: int,
+        entry: PageTableEntry,
+        shootdown: Optional[ShootdownCallback],
+    ) -> tuple[PageClass, ClassificationEvent]:
+        previous_owner = entry.owner_cid
+        invalidated = 0
+        if shootdown is not None and previous_owner is not None:
+            invalidated = shootdown(entry.page_number, previous_owner)
+        self._shootdown_tlbs(entry.page_number, exclude=core_id)
+        entry.mark_private(core_id)
+        entry.migrations += 1
+        self.migration_reowns += 1
+        self.total_overhead_cycles += self.reclassify_latency
+        self.tlbs[core_id].fill(
+            TlbEntry(
+                page_number=entry.page_number,
+                page_class=PageClass.PRIVATE,
+                private=True,
+                owner_cid=core_id,
+            )
+        )
+        event = ClassificationEvent(
+            kind=ClassificationEvent.MIGRATION_REOWN,
+            page_number=entry.page_number,
+            page_class=PageClass.PRIVATE,
+            latency_cycles=self.reclassify_latency,
+            shootdown_blocks=invalidated,
+        )
+        return PageClass.PRIVATE, event
+
+    def _reclassify_to_shared(
+        self,
+        core_id: int,
+        entry: PageTableEntry,
+        shootdown: Optional[ShootdownCallback],
+    ) -> tuple[PageClass, ClassificationEvent]:
+        previous_owner = entry.owner_cid
+        entry.poisoned = True
+        invalidated = 0
+        if shootdown is not None and previous_owner is not None:
+            invalidated = shootdown(entry.page_number, previous_owner)
+        self._shootdown_tlbs(entry.page_number, exclude=None)
+        entry.mark_shared()
+        entry.poisoned = False
+        entry.reclassifications += 1
+        self.reclassifications += 1
+        self.total_overhead_cycles += self.reclassify_latency
+        self.tlbs[core_id].fill(
+            TlbEntry(
+                page_number=entry.page_number,
+                page_class=PageClass.SHARED,
+                private=False,
+            )
+        )
+        event = ClassificationEvent(
+            kind=ClassificationEvent.RECLASSIFY_TO_SHARED,
+            page_number=entry.page_number,
+            page_class=PageClass.SHARED,
+            latency_cycles=self.reclassify_latency,
+            shootdown_blocks=invalidated,
+        )
+        return PageClass.SHARED, event
+
+    def _shootdown_tlbs(self, page_number: int, exclude: Optional[int]) -> int:
+        count = 0
+        for tlb in self.tlbs:
+            if exclude is not None and tlb.core_id == exclude:
+                continue
+            if tlb.shootdown(page_number):
+                count += 1
+        return count
+
+    def _check_core(self, core_id: int) -> None:
+        if not 0 <= core_id < self.num_cores:
+            raise ClassificationError(
+                f"core {core_id} out of range (num_cores={self.num_cores})"
+            )

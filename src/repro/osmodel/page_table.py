@@ -1,0 +1,95 @@
+"""Page table extended with the R-NUCA classification fields.
+
+Section 4.3: the OS extends each page-table entry with a *Private* bit that
+records the current classification and a field holding the core ID (CID) of
+the last core to access the page.  Re-classification from private to shared
+goes through a transient *poisoned* state during which TLB misses for the
+page are stalled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import ClassificationError
+
+
+class PageClass(enum.Enum):
+    """The three R-NUCA access classes of Section 3.2."""
+
+    INSTRUCTION = "instruction"
+    PRIVATE = "private"
+    SHARED = "shared"
+
+
+@dataclass
+class PageTableEntry:
+    """One page's OS-visible classification state."""
+
+    page_number: int
+    page_class: PageClass = PageClass.PRIVATE
+    #: The Private bit of Section 4.3 (set for private data pages).
+    private: bool = True
+    #: CID of the last core to access the page (meaningful while private).
+    owner_cid: Optional[int] = None
+    #: Poisoned bit: set during private->shared re-classification.
+    poisoned: bool = False
+    #: Number of re-classification events this page has undergone.
+    reclassifications: int = 0
+    #: Number of owner changes caused by thread migration.
+    migrations: int = 0
+    #: Extra OS metadata (e.g. fixed-center cluster hints for extensions).
+    metadata: dict = field(default_factory=dict)
+
+    def mark_shared(self) -> None:
+        if self.page_class is PageClass.INSTRUCTION:
+            raise ClassificationError(
+                f"instruction page {self.page_number:#x} cannot become shared data"
+            )
+        self.page_class = PageClass.SHARED
+        self.private = False
+        self.owner_cid = None
+
+    def mark_private(self, owner_cid: int) -> None:
+        self.page_class = PageClass.PRIVATE
+        self.private = True
+        self.owner_cid = owner_cid
+
+    def mark_instruction(self) -> None:
+        self.page_class = PageClass.INSTRUCTION
+        self.private = False
+        self.owner_cid = None
+
+
+class PageTable:
+    """All page-table entries, keyed by page number."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, PageTableEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, page_number: int) -> bool:
+        return page_number in self._entries
+
+    def __iter__(self) -> Iterator[PageTableEntry]:
+        return iter(self._entries.values())
+
+    def lookup(self, page_number: int) -> Optional[PageTableEntry]:
+        return self._entries.get(page_number)
+
+    def get_or_create(self, page_number: int) -> PageTableEntry:
+        entry = self._entries.get(page_number)
+        if entry is None:
+            entry = PageTableEntry(page_number=page_number)
+            self._entries[page_number] = entry
+        return entry
+
+    def pages_of_class(self, page_class: PageClass) -> list[PageTableEntry]:
+        return [e for e in self._entries.values() if e.page_class is page_class]
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,78 @@
+"""Thread-to-core scheduling.
+
+The OS is fully aware of thread scheduling (Section 4.3), which is what lets
+it distinguish a page whose accessing *thread* migrated to a new core from a
+page that is genuinely shared by multiple threads.  The scheduler keeps the
+thread-to-core mapping and a history of migrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class MigrationRecord:
+    """One thread migration event."""
+
+    thread_id: int
+    from_core: int
+    to_core: int
+    time: int
+
+
+@dataclass
+class ThreadScheduler:
+    """Tracks which core each thread runs on."""
+
+    num_cores: int
+    _thread_to_core: dict[int, int] = field(default_factory=dict)
+    migrations: list[MigrationRecord] = field(default_factory=list)
+    _clock: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ConfigurationError("scheduler needs at least one core")
+
+    def schedule(self, thread_id: int, core_id: int) -> None:
+        """Pin (or initially place) a thread on a core."""
+        self._check_core(core_id)
+        self._thread_to_core[thread_id] = core_id
+
+    def core_of(self, thread_id: int) -> int:
+        """Core currently running a thread (threads default to core == id)."""
+        return self._thread_to_core.get(thread_id, thread_id % self.num_cores)
+
+    def thread_on_core(self, core_id: int) -> list[int]:
+        return [t for t, c in self._thread_to_core.items() if c == core_id]
+
+    def migrate(self, thread_id: int, to_core: int) -> MigrationRecord:
+        """Move a thread to a new core and record the migration."""
+        self._check_core(to_core)
+        from_core = self.core_of(thread_id)
+        self._thread_to_core[thread_id] = to_core
+        self._clock += 1
+        record = MigrationRecord(
+            thread_id=thread_id, from_core=from_core, to_core=to_core, time=self._clock
+        )
+        self.migrations.append(record)
+        return record
+
+    def recently_migrated(self, thread_id: int) -> bool:
+        """Whether the thread's most recent event was a migration.
+
+        The page classifier uses this to decide that a CID mismatch on a
+        private page is due to thread migration rather than sharing.
+        """
+        for record in reversed(self.migrations):
+            if record.thread_id == thread_id:
+                return True
+        return False
+
+    def _check_core(self, core_id: int) -> None:
+        if not 0 <= core_id < self.num_cores:
+            raise ConfigurationError(
+                f"core {core_id} out of range (num_cores={self.num_cores})"
+            )

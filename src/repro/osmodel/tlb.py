@@ -1,0 +1,79 @@
+"""Per-core TLB holding the classification delivered by the OS.
+
+The TLB fill carries the page's classification (the Private bit, plus the
+shared/instruction distinction) so that the core can route each access to the
+correct cluster without consulting the OS again.  Shootdowns remove an entry
+from every core's TLB; they are issued during page re-classification.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.osmodel.page_table import PageClass
+
+
+@dataclass
+class TlbEntry:
+    """A cached translation plus the R-NUCA classification bits."""
+
+    page_number: int
+    page_class: PageClass
+    private: bool
+    owner_cid: Optional[int] = None
+
+
+class Tlb:
+    """A per-core, fully-associative, LRU TLB."""
+
+    def __init__(self, core_id: int, entries: int = 512) -> None:
+        if entries <= 0:
+            raise ConfigurationError("TLB must have at least one entry")
+        self.core_id = core_id
+        self.capacity = entries
+        self._entries: OrderedDict[int, TlbEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.shootdowns = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, page_number: int) -> bool:
+        return page_number in self._entries
+
+    def lookup(self, page_number: int) -> Optional[TlbEntry]:
+        """Probe the TLB, updating LRU order and hit/miss statistics."""
+        entry = self._entries.get(page_number)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(page_number)
+        self.hits += 1
+        return entry
+
+    def fill(self, entry: TlbEntry) -> None:
+        """Install a translation after a TLB miss is serviced by the OS."""
+        if entry.page_number in self._entries:
+            self._entries.move_to_end(entry.page_number)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[entry.page_number] = entry
+
+    def shootdown(self, page_number: int) -> bool:
+        """Remove a translation (returns True if it was present)."""
+        present = self._entries.pop(page_number, None) is not None
+        if present:
+            self.shootdowns += 1
+        return present
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

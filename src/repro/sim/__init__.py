@@ -1,0 +1,16 @@
+"""Trace-driven simulation engine, CPI accounting, statistics and sampling."""
+
+from repro.sim.engine import SimulationResult, TraceSimulator, simulate_workload
+from repro.sim.latency import CpiModel
+from repro.sim.sampling import ConfidenceInterval, sample_mean
+from repro.sim.stats import SimulationStats
+
+__all__ = [
+    "TraceSimulator",
+    "SimulationResult",
+    "simulate_workload",
+    "CpiModel",
+    "SimulationStats",
+    "ConfidenceInterval",
+    "sample_mean",
+]

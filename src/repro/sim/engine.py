@@ -1,0 +1,272 @@
+"""The trace-driven simulation engine.
+
+The engine replays an L2 reference trace through one cache design on one
+tiled chip, converts each access's latency into CPI contributions with the
+:class:`~repro.sim.latency.CpiModel`, and collects
+:class:`~repro.sim.stats.SimulationStats`.  A warm-up prefix of the trace is
+replayed without measurement (caches, directories, TLBs and OS page tables
+warm up), mirroring the paper's checkpoint-with-warmed-state methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cmp.chip import TiledChip
+from repro.cmp.config import SystemConfig
+from repro.designs import build_design
+from repro.designs.base import CacheDesign, L2Access
+from repro.errors import SimulationError
+from repro.sim.latency import CpiModel
+from repro.sim.sampling import ConfidenceInterval, sample_mean, split_into_samples
+from repro.sim.stats import SimulationStats
+from repro.workloads.generator import DEFAULT_SCALE, SyntheticTraceGenerator
+from repro.workloads.spec import WorkloadSpec, get_workload
+from repro.workloads.trace import Trace
+
+#: Default number of L2 references simulated per (workload, design) run.
+DEFAULT_TRACE_LENGTH = 60_000
+
+#: Default fraction of the trace used to warm caches before measurement.
+DEFAULT_WARMUP_FRACTION = 0.25
+
+#: Number of measurement samples for confidence intervals.
+DEFAULT_NUM_SAMPLES = 8
+
+
+def warm_page_tables(design: CacheDesign, trace: Trace) -> int:
+    """Prime the OS page table with each page's steady-state classification.
+
+    The paper launches measurements from checkpoints with warmed OS page
+    tables (Section 5.1), so pages that are genuinely shared are already
+    classified shared when measurement begins.  Without this, a short trace
+    charges R-NUCA one private->shared re-classification per shared page
+    right inside the measurement window, which is a cold-start artefact
+    rather than steady-state behaviour.
+
+    Only designs exposing an R-NUCA ``policy`` attribute are affected.
+    Returns the number of pages primed.
+    """
+    policy = getattr(design, "policy", None)
+    if policy is None:
+        return 0
+    data_cores: dict[int, set[int]] = {}
+    instruction_pages: set[int] = set()
+    for record in trace.records:
+        page = policy.page_number(record.address)
+        if record.is_instruction:
+            instruction_pages.add(page)
+        else:
+            data_cores.setdefault(page, set()).add(record.core)
+    page_table = policy.classifier.page_table
+    for page, cores in data_cores.items():
+        entry = page_table.get_or_create(page)
+        if len(cores) > 1:
+            entry.mark_shared()
+        else:
+            entry.mark_private(next(iter(cores)))
+    for page in instruction_pages - set(data_cores):
+        page_table.get_or_create(page).mark_instruction()
+    return len(data_cores) + len(instruction_pages - set(data_cores))
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured for one (workload, design) pair."""
+
+    workload: str
+    design: str
+    design_letter: str
+    stats: SimulationStats
+    cpi_confidence: Optional[ConfidenceInterval] = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def cpi(self) -> float:
+        return self.stats.cpi
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    def cpi_breakdown(self) -> dict[str, float]:
+        return self.stats.cpi_breakdown()
+
+    def normalized_breakdown(self, baseline_cpi: float) -> dict[str, float]:
+        """CPI breakdown normalised to another design's total CPI (Fig. 7)."""
+        if baseline_cpi <= 0:
+            raise SimulationError("baseline CPI must be positive")
+        return {
+            component: value / baseline_cpi
+            for component, value in self.cpi_breakdown().items()
+        }
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Throughput improvement relative to a baseline design."""
+        if self.cpi == 0:
+            raise SimulationError("cannot compute speedup with zero CPI")
+        return baseline.cpi / self.cpi - 1.0
+
+
+class TraceSimulator:
+    """Replays one trace through one design."""
+
+    def __init__(
+        self,
+        design: CacheDesign,
+        cpi_model: CpiModel,
+        *,
+        warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+        num_samples: int = DEFAULT_NUM_SAMPLES,
+        warm_os_state: bool = True,
+    ) -> None:
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise SimulationError("warmup_fraction must be within [0, 1)")
+        self.design = design
+        self.cpi_model = cpi_model
+        self.warmup_fraction = warmup_fraction
+        self.num_samples = num_samples
+        self.warm_os_state = warm_os_state
+
+    def run(self, trace: Trace) -> SimulationResult:
+        """Replay the trace and return the measured result."""
+        if len(trace) == 0:
+            raise SimulationError("cannot simulate an empty trace")
+        warmup_count = int(len(trace) * self.warmup_fraction)
+        measured_records = trace.records[warmup_count:]
+        if not measured_records:
+            raise SimulationError("warm-up consumed the entire trace")
+
+        # Warm-up phase: prime OS page tables, then replay without measuring.
+        if self.warm_os_state:
+            warm_page_tables(self.design, trace)
+        for record in trace.records[:warmup_count]:
+            self.design.access(self._to_access(record))
+
+        # Measurement phase, split into samples for confidence intervals.
+        total = SimulationStats()
+        sample_cpis: list[float] = []
+        for window in split_into_samples(len(measured_records), self.num_samples):
+            sample_stats = SimulationStats()
+            for record in measured_records[window]:
+                access = self._to_access(record)
+                outcome = self.design.access(access)
+                self.cpi_model.apply_overlap(outcome)
+                sample_stats.record(record, outcome, self.cpi_model.busy_cycles(record))
+            if sample_stats.instructions:
+                sample_cpis.append(sample_stats.cpi)
+            total.merge(sample_stats)
+
+        confidence = sample_mean(sample_cpis) if sample_cpis else None
+        metadata = {
+            "trace_length": len(trace),
+            "warmup_records": warmup_count,
+            "offchip_rate": self.design.offchip_rate,
+        }
+        if hasattr(self.design, "misclassification_rate"):
+            metadata["misclassification_rate"] = self.design.misclassification_rate
+        if hasattr(self.design, "allocation_probability"):
+            metadata["asr_allocation_probability"] = self.design.allocation_probability
+        return SimulationResult(
+            workload=trace.workload,
+            design=self.design.name,
+            design_letter=self.design.short_name,
+            stats=total,
+            cpi_confidence=confidence,
+            metadata=metadata,
+        )
+
+    def _to_access(self, record) -> L2Access:
+        block_shift = self.design.config.block_size.bit_length() - 1
+        return L2Access(
+            core=record.core,
+            block_address=record.address >> block_shift,
+            byte_address=record.address,
+            access_type=record.access_type,
+            thread_id=record.thread,
+            true_class=record.true_class,
+        )
+
+
+def _resolve_spec(workload: str | WorkloadSpec) -> WorkloadSpec:
+    return workload if isinstance(workload, WorkloadSpec) else get_workload(workload)
+
+
+def simulate_workload(
+    workload: str | WorkloadSpec,
+    design: str,
+    *,
+    num_records: int = DEFAULT_TRACE_LENGTH,
+    scale: int = DEFAULT_SCALE,
+    seed: int = 0,
+    config: Optional[SystemConfig] = None,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    trace: Optional[Trace] = None,
+    **design_kwargs,
+) -> SimulationResult:
+    """End-to-end convenience: build chip + trace + design and simulate.
+
+    ``design`` is a letter ("P", "A", "S", "R", "I") or a long name
+    ("private", "asr", "shared", "rnuca", "ideal").  The system configuration
+    defaults to the paper's machine for the workload's category, scaled by
+    ``scale`` (the same factor applied to the synthetic working sets).
+    """
+    spec = _resolve_spec(workload)
+    if config is None:
+        config = SystemConfig.for_workload_category(spec.category).scaled(scale)
+    if trace is None:
+        generator = SyntheticTraceGenerator(spec, config, seed=seed, scale=scale)
+        trace = generator.generate(num_records)
+    chip = TiledChip(config)
+    design_instance = build_design(design, chip, **design_kwargs)
+    simulator = TraceSimulator(
+        design_instance,
+        CpiModel.for_workload(spec),
+        warmup_fraction=warmup_fraction,
+    )
+    result = simulator.run(trace)
+    result.metadata["scale"] = scale
+    result.metadata["config"] = config.name
+    result.metadata["seed"] = seed
+    return result
+
+
+def simulate_best_asr(
+    workload: str | WorkloadSpec,
+    *,
+    num_records: int = DEFAULT_TRACE_LENGTH,
+    scale: int = DEFAULT_SCALE,
+    seed: int = 0,
+    config: Optional[SystemConfig] = None,
+    trace: Optional[Trace] = None,
+    include_adaptive: bool = True,
+) -> SimulationResult:
+    """Run the six ASR variants and return the best one (paper Section 5.1)."""
+    spec = _resolve_spec(workload)
+    if config is None:
+        config = SystemConfig.for_workload_category(spec.category).scaled(scale)
+    if trace is None:
+        generator = SyntheticTraceGenerator(spec, config, seed=seed, scale=scale)
+        trace = generator.generate(num_records)
+    probabilities: list[Optional[float]] = [0.0, 0.25, 0.5, 0.75, 1.0]
+    if include_adaptive:
+        probabilities.insert(0, None)
+    best: Optional[SimulationResult] = None
+    for probability in probabilities:
+        kwargs = {} if probability is None else {"allocation_probability": probability}
+        result = simulate_workload(
+            spec,
+            "A",
+            num_records=num_records,
+            scale=scale,
+            seed=seed,
+            config=config,
+            trace=trace,
+            **kwargs,
+        )
+        if best is None or result.cpi < best.cpi:
+            best = result
+    assert best is not None
+    best.metadata["asr_variants_evaluated"] = len(probabilities)
+    return best

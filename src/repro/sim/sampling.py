@@ -1,0 +1,91 @@
+"""Measurement sampling in the spirit of SimFlex (Section 5.1).
+
+The paper measures throughput with the SimFlex statistical sampling
+methodology and reports 95% confidence intervals.  Here the trace is split
+into equal-sized samples, per-sample metrics are computed, and the mean plus
+a normal-approximation 95% confidence interval is reported.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SimulationError
+
+#: z-value for a two-sided 95% confidence interval.
+Z_95 = 1.96
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A sample mean with its 95% confidence half-width."""
+
+    mean: float
+    half_width: float
+    num_samples: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    @property
+    def relative_error(self) -> float:
+        return self.half_width / self.mean if self.mean else 0.0
+
+    def overlaps(self, other: "ConfidenceInterval") -> bool:
+        return not (self.high < other.low or other.high < self.low)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.half_width:.4f} (n={self.num_samples})"
+
+
+def sample_mean(values: Sequence[float]) -> ConfidenceInterval:
+    """Mean and 95% CI of per-sample measurements."""
+    if not values:
+        raise SimulationError("cannot compute a confidence interval of no samples")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return ConfidenceInterval(mean=mean, half_width=0.0, num_samples=1)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half_width = Z_95 * math.sqrt(variance / n)
+    return ConfidenceInterval(mean=mean, half_width=half_width, num_samples=n)
+
+
+def split_into_samples(count: int, num_samples: int) -> list[slice]:
+    """Split ``count`` items into ``num_samples`` contiguous slices."""
+    if num_samples <= 0:
+        raise SimulationError("num_samples must be positive")
+    num_samples = min(num_samples, count) or 1
+    base = count // num_samples
+    slices = []
+    start = 0
+    for i in range(num_samples):
+        extra = 1 if i < count % num_samples else 0
+        end = start + base + extra
+        slices.append(slice(start, end))
+        start = end
+    return slices
+
+
+def speedup_interval(
+    baseline: ConfidenceInterval, improved: ConfidenceInterval
+) -> ConfidenceInterval:
+    """Approximate CI for a ratio of means (first-order error propagation)."""
+    if baseline.mean == 0:
+        raise SimulationError("baseline mean is zero; speedup undefined")
+    ratio = improved.mean / baseline.mean
+    rel = math.sqrt(
+        baseline.relative_error**2 + improved.relative_error**2
+    )
+    return ConfidenceInterval(
+        mean=ratio,
+        half_width=ratio * rel,
+        num_samples=min(baseline.num_samples, improved.num_samples),
+    )

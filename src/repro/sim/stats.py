@@ -1,0 +1,149 @@
+"""Simulation statistics: CPI components, access classes, hit locations.
+
+The statistics object accumulates, per CPI component and per access class,
+the stall cycles produced by the cache design, plus the busy cycles added by
+the CPI model.  Everything the analysis package needs to regenerate
+Figures 7-12 is derived from these counters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.designs.base import BUSY, STALL_COMPONENTS, AccessOutcome
+from repro.workloads.trace import TraceRecord
+
+#: Coarse access classes used for the per-class CPI figures (8, 9, 10).
+ACCESS_CLASSES = ("instruction", "private", "shared")
+
+
+def _coarse_class(record: TraceRecord) -> str:
+    if record.is_instruction or record.true_class == "instruction":
+        return "instruction"
+    if record.true_class is None:
+        return "shared"
+    return "private" if record.true_class == "private" else "shared"
+
+
+@dataclass
+class SimulationStats:
+    """Accumulated measurements for one design running one trace."""
+
+    instructions: int = 0
+    accesses: int = 0
+    cycles_by_component: Counter = field(default_factory=Counter)
+    #: cycles_by_class_component[(access_class, component)] -> cycles
+    cycles_by_class_component: Counter = field(default_factory=Counter)
+    accesses_by_class: Counter = field(default_factory=Counter)
+    hits_by_location: Counter = field(default_factory=Counter)
+    offchip_accesses: int = 0
+    coherence_accesses: int = 0
+    #: Per-class counts of where shared-data accesses were serviced, used by
+    #: the Figure-8 breakdown (local L2 vs. coherence transfer vs. L1-to-L1).
+    shared_service: Counter = field(default_factory=Counter)
+    #: Stall cycles of shared-data accesses split by service type
+    #: ("interleaved" plain L2, "coherence" remote-L2 transfer, "l1_to_l1").
+    shared_service_cycles: Counter = field(default_factory=Counter)
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record(
+        self, record: TraceRecord, outcome: AccessOutcome, busy_cycles: float
+    ) -> None:
+        """Accumulate one serviced access."""
+        access_class = _coarse_class(record)
+        self.instructions += record.instructions
+        self.accesses += 1
+        self.accesses_by_class[access_class] += 1
+        self.cycles_by_component[BUSY] += busy_cycles
+        self.hits_by_location[outcome.hit_where] += 1
+        if outcome.offchip:
+            self.offchip_accesses += 1
+        if outcome.coherence:
+            self.coherence_accesses += 1
+        for component, cycles in outcome.components.items():
+            self.cycles_by_component[component] += cycles
+            self.cycles_by_class_component[(access_class, component)] += cycles
+        if access_class == "shared":
+            if outcome.hit_where == "l1_remote":
+                service = "l1_to_l1"
+            elif outcome.coherence:
+                service = "coherence"
+            else:
+                service = "interleaved"
+            self.shared_service[service] += 1
+            self.shared_service_cycles[service] += outcome.latency
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def total_cycles(self) -> float:
+        return float(sum(self.cycles_by_component.values()))
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per committed instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return self.total_cycles / self.instructions
+
+    def component_cpi(self, component: str) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return self.cycles_by_component.get(component, 0.0) / self.instructions
+
+    def cpi_breakdown(self) -> dict[str, float]:
+        """CPI per component (busy first, then the stall components)."""
+        breakdown = {BUSY: self.component_cpi(BUSY)}
+        for component in STALL_COMPONENTS:
+            breakdown[component] = self.component_cpi(component)
+        return breakdown
+
+    def class_component_cpi(self, access_class: str, component: str) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return (
+            self.cycles_by_class_component.get((access_class, component), 0.0)
+            / self.instructions
+        )
+
+    def class_cpi(self, access_class: str) -> float:
+        """Total stall CPI attributable to one access class."""
+        if self.instructions == 0:
+            return 0.0
+        total = sum(
+            cycles
+            for (cls, _), cycles in self.cycles_by_class_component.items()
+            if cls == access_class
+        )
+        return total / self.instructions
+
+    def shared_service_cpi(self, service: str) -> float:
+        """CPI of shared-data accesses serviced a particular way (Figure 8)."""
+        if self.instructions == 0:
+            return 0.0
+        return self.shared_service_cycles.get(service, 0.0) / self.instructions
+
+    @property
+    def ipc(self) -> float:
+        return 1.0 / self.cpi if self.cpi else 0.0
+
+    @property
+    def offchip_rate(self) -> float:
+        return self.offchip_accesses / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "SimulationStats") -> None:
+        """Fold another stats object into this one (used by sampling)."""
+        self.instructions += other.instructions
+        self.accesses += other.accesses
+        self.cycles_by_component.update(other.cycles_by_component)
+        self.cycles_by_class_component.update(other.cycles_by_class_component)
+        self.accesses_by_class.update(other.accesses_by_class)
+        self.hits_by_location.update(other.hits_by_location)
+        self.offchip_accesses += other.offchip_accesses
+        self.coherence_accesses += other.coherence_accesses
+        self.shared_service.update(other.shared_service)
+        self.shared_service_cycles.update(other.shared_service_cycles)

@@ -1,0 +1,31 @@
+"""Synthetic workloads calibrated to the paper's characterisation (Section 3).
+
+The paper evaluates commercial server workloads (TPC-C on DB2 and Oracle,
+SPECweb99 on Apache, TPC-H queries), one scientific application (em3d) and a
+multi-programmed SPEC CPU2000 mix, running on Solaris inside FLEXUS.  None of
+those traces are available, so this package generates synthetic L2 reference
+traces whose access-class mix, sharing behaviour, read-write ratios and
+working-set footprints follow the statistics the paper itself reports in
+Figures 2-5.
+"""
+
+from repro.workloads.generator import SyntheticTraceGenerator
+from repro.workloads.spec import (
+    EXTENDED_WORKLOADS,
+    WORKLOADS,
+    AccessClassProfile,
+    WorkloadSpec,
+    get_workload,
+)
+from repro.workloads.trace import Trace, TraceRecord
+
+__all__ = [
+    "AccessClassProfile",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "EXTENDED_WORKLOADS",
+    "get_workload",
+    "Trace",
+    "TraceRecord",
+    "SyntheticTraceGenerator",
+]

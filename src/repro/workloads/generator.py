@@ -1,0 +1,393 @@
+"""Synthetic L2 reference trace generation.
+
+The generator turns a :class:`~repro.workloads.spec.WorkloadSpec` into a
+stream of :class:`~repro.workloads.trace.TraceRecord` whose statistics match
+the paper's characterisation:
+
+* the access-class mix follows Figure 3;
+* each class draws blocks from a footprint sized per Figure 4 (scaled by the
+  same factor as the system configuration);
+* instructions and server shared data are touched by every core while
+  private data is touched by exactly one core, reproducing the Figure-2
+  clustering; scientific shared data is restricted to small neighbour groups
+  (producer-consumer and nearest-neighbour sharing);
+* accesses from different cores are finely interleaved, reproducing the
+  Figure-5 reuse behaviour;
+* a configurable fraction of references lands on *mixed pages* that contain
+  both shared and private blocks, which is what makes the page-granularity
+  classification slightly imperfect (Section 5.2).
+
+Addresses are *physical*: every logical page of every region is mapped to a
+unique, pseudo-randomly chosen physical page frame, the way an operating
+system's page allocator scatters a working set across physical memory.  This
+keeps the address bits used for set indexing and slice interleaving uniformly
+distributed even for the scaled-down working sets, so no design sees
+artificial conflict hot-spots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.block import AccessType
+from repro.cmp.config import SystemConfig
+from repro.errors import ConfigurationError, TraceError
+from repro.workloads.spec import MULTIPROGRAMMED, SCIENTIFIC, WorkloadSpec
+from repro.workloads.trace import Trace, TraceRecord
+
+#: Size of the physical address space the page allocator draws frames from.
+PHYSICAL_PAGE_FRAMES = 1 << 20
+
+#: Default capacity scale used by the experiments (divides both the cache
+#: sizes in :meth:`SystemConfig.scaled` and the working sets here).
+DEFAULT_SCALE = 32
+
+#: Fraction of accesses on a mixed page that touch its private blocks.
+_MIXED_PRIVATE_ACCESS_FRACTION = 0.03
+
+#: Store probability is this multiple of a class's read-write block fraction.
+_STORE_PROBABILITY_FACTOR = 0.35
+
+
+@dataclass(frozen=True)
+class _ClassRegion:
+    """One access class's block pool.
+
+    ``addresses`` holds the physical byte address of every block in the
+    class's working set: shape ``(num_blocks,)`` for regions shared by all
+    cores and ``(num_cores, num_blocks)`` for per-core (private) regions.
+    """
+
+    name: str
+    addresses: np.ndarray
+    probabilities: np.ndarray | None
+    store_probability: float
+    per_core: bool = False
+
+    @property
+    def num_blocks(self) -> int:
+        return int(self.addresses.shape[-1])
+
+
+def _zipf_probabilities(num_blocks: int, alpha: float) -> np.ndarray | None:
+    """Zipf-like popularity over ``num_blocks`` ranks (None means uniform)."""
+    if num_blocks <= 1 or alpha <= 0.0:
+        return None
+    ranks = np.arange(1, num_blocks + 1, dtype=np.float64)
+    weights = ranks**-alpha
+    return weights / weights.sum()
+
+
+class SyntheticTraceGenerator:
+    """Generates deterministic synthetic traces for one workload."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        config: SystemConfig,
+        *,
+        seed: int = 0,
+        scale: float = DEFAULT_SCALE,
+        migration_rate: float = 0.0,
+    ) -> None:
+        if scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        if not 0.0 <= migration_rate < 1.0:
+            raise ConfigurationError("migration_rate must be within [0, 1)")
+        self.spec = spec
+        self.config = config
+        self.scale = scale
+        self.seed = seed
+        self.migration_rate = migration_rate
+        self.num_cores = config.num_tiles
+        self.block_size = config.block_size
+        self.page_size = config.page_size
+        self._rng = np.random.default_rng(seed)
+        self._free_frames = self._rng.permutation(PHYSICAL_PAGE_FRAMES).astype(np.int64)
+        self._next_frame = 0
+        self._regions = self._build_regions()
+        self._class_names = ["instruction", "private", "shared_rw", "shared_ro"]
+        self._class_probs = np.array(
+            [
+                spec.instructions.fraction,
+                spec.private_data.fraction,
+                spec.shared_rw.fraction,
+                spec.shared_ro.fraction,
+            ]
+        )
+        self._class_probs = self._class_probs / self._class_probs.sum()
+        self._mixed_blocks = self._build_mixed_region()
+
+    # ------------------------------------------------------------------ #
+    # Region construction
+    # ------------------------------------------------------------------ #
+    def _blocks_for(self, working_set_kb: float) -> int:
+        scaled_bytes = working_set_kb * 1024.0 / self.scale
+        return max(4, int(math.ceil(scaled_bytes / self.block_size)))
+
+    def _allocate_frames(self, count: int) -> np.ndarray:
+        """Hand out ``count`` unique pseudo-random physical page frames."""
+        if self._next_frame + count > len(self._free_frames):
+            raise ConfigurationError(
+                "workload working sets exceed the modelled physical memory"
+            )
+        frames = self._free_frames[self._next_frame : self._next_frame + count]
+        self._next_frame += count
+        return frames
+
+    def _allocate_block_addresses(self, num_blocks: int) -> np.ndarray:
+        """Physical byte addresses for a contiguous *logical* run of blocks."""
+        blocks_per_page = max(1, self.page_size // self.block_size)
+        num_pages = int(math.ceil(num_blocks / blocks_per_page))
+        frames = self._allocate_frames(num_pages)
+        index = np.arange(num_blocks, dtype=np.int64)
+        return (
+            frames[index // blocks_per_page] * self.page_size
+            + (index % blocks_per_page) * self.block_size
+        )
+
+    def _build_region(
+        self,
+        name: str,
+        profile,
+        *,
+        store_probability: float,
+        per_core: bool,
+    ) -> _ClassRegion:
+        num_blocks = self._blocks_for(profile.working_set_kb)
+        if per_core:
+            addresses = np.stack(
+                [self._allocate_block_addresses(num_blocks) for _ in range(self.num_cores)]
+            )
+        else:
+            addresses = self._allocate_block_addresses(num_blocks)
+        return _ClassRegion(
+            name=name,
+            addresses=addresses,
+            probabilities=_zipf_probabilities(num_blocks, profile.zipf_alpha),
+            store_probability=store_probability,
+            per_core=per_core,
+        )
+
+    def _build_regions(self) -> dict[str, _ClassRegion]:
+        spec = self.spec
+        return {
+            "instruction": self._build_region(
+                "instruction",
+                spec.instructions,
+                store_probability=0.0,
+                per_core=spec.category == MULTIPROGRAMMED,
+            ),
+            "private": self._build_region(
+                "private",
+                spec.private_data,
+                store_probability=_STORE_PROBABILITY_FACTOR
+                * spec.private_data.read_write_fraction,
+                per_core=True,
+            ),
+            "shared_rw": self._build_region(
+                "shared_rw",
+                spec.shared_rw,
+                store_probability=_STORE_PROBABILITY_FACTOR
+                * spec.shared_rw.read_write_fraction,
+                per_core=False,
+            ),
+            "shared_ro": self._build_region(
+                "shared_ro",
+                spec.shared_ro,
+                store_probability=0.0,
+                per_core=False,
+            ),
+        }
+
+    def _build_mixed_region(self) -> dict[str, np.ndarray]:
+        """Blocks living on pages that hold both shared and private data.
+
+        Each mixed page is filled mostly with shared read-write blocks; the
+        last block of the page is reserved as a private block belonging to
+        one particular core (page ``i`` belongs to core ``i % num_cores``).
+        """
+        blocks_per_page = max(2, self.page_size // self.block_size)
+        shared_region = self._regions["shared_rw"]
+        num_pages = max(
+            self.num_cores,
+            int(
+                self.spec.mixed_page_fraction
+                * shared_region.num_blocks
+                / blocks_per_page
+            ),
+        )
+        frames = self._allocate_frames(num_pages)
+        shared_blocks = []
+        private_blocks = []
+        for page in range(num_pages):
+            page_base = int(frames[page]) * self.page_size
+            for offset in range(blocks_per_page - 1):
+                shared_blocks.append(page_base + offset * self.block_size)
+            private_blocks.append(page_base + (blocks_per_page - 1) * self.block_size)
+        return {
+            "shared": np.array(shared_blocks, dtype=np.int64),
+            "private": np.array(private_blocks, dtype=np.int64),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Public properties
+    # ------------------------------------------------------------------ #
+    @property
+    def working_set_blocks(self) -> dict[str, int]:
+        """Scaled footprint of each class, in blocks."""
+        result = {name: region.num_blocks for name, region in self._regions.items()}
+        result["private_total"] = result["private"] * self.num_cores
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Sampling helpers
+    # ------------------------------------------------------------------ #
+    def _sample_block_indices(self, region: _ClassRegion, count: int) -> np.ndarray:
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        if region.probabilities is None:
+            return self._rng.integers(0, region.num_blocks, size=count, dtype=np.int64)
+        return self._rng.choice(
+            region.num_blocks, size=count, p=region.probabilities
+        ).astype(np.int64)
+
+    def _shared_group_for_core(self, core: int, region: _ClassRegion) -> tuple[int, int]:
+        """Block-index window a core may touch in a neighbour-shared region."""
+        sharers = max(1, min(self.num_cores, self.spec.shared_rw.sharers))
+        if sharers >= self.num_cores:
+            return 0, region.num_blocks
+        group_size = max(1, region.num_blocks // self.num_cores)
+        start = (core % self.num_cores) * group_size
+        span = group_size * sharers
+        return start, span
+
+    def _addresses_for_class(
+        self, class_name: str, cores: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Byte addresses and true-class labels for one class's references."""
+        region = self._regions[class_name]
+        count = len(cores)
+        labels = np.full(count, class_name, dtype=object)
+        if count == 0:
+            return np.empty(0, dtype=np.int64), labels
+
+        indices = self._sample_block_indices(region, count)
+
+        if class_name in ("shared_rw", "shared_ro") and self.spec.category in (
+            SCIENTIFIC,
+        ):
+            # Restrict each core to its neighbour group (2-6 sharers).
+            starts = np.empty(count, dtype=np.int64)
+            spans = np.empty(count, dtype=np.int64)
+            for core in np.unique(cores):
+                mask = cores == core
+                start, span = self._shared_group_for_core(int(core), region)
+                starts[mask] = start
+                spans[mask] = max(1, span)
+            indices = starts + (indices % spans)
+            indices %= region.num_blocks
+
+        if region.per_core:
+            addresses = region.addresses[cores.astype(np.int64), indices]
+        else:
+            addresses = region.addresses[indices]
+        addresses = addresses.copy()
+
+        # Redirect a slice of references to the mixed pages.
+        if class_name == "shared_rw" and len(self._mixed_blocks["shared"]):
+            mixed_mask = (
+                self._rng.random(count) < self.spec.mixed_page_fraction
+            )
+            n_mixed = int(mixed_mask.sum())
+            if n_mixed:
+                addresses[mixed_mask] = self._rng.choice(
+                    self._mixed_blocks["shared"], size=n_mixed
+                )
+        if class_name == "private" and len(self._mixed_blocks["private"]):
+            mixed_mask = self._rng.random(count) < (
+                self.spec.mixed_page_fraction * _MIXED_PRIVATE_ACCESS_FRACTION
+            )
+            n_mixed = int(mixed_mask.sum())
+            if n_mixed:
+                # A core touches only the mixed-page private block it owns.
+                owned = self._mixed_blocks["private"][
+                    cores[mixed_mask] % len(self._mixed_blocks["private"])
+                ]
+                addresses[mixed_mask] = owned
+        return addresses, labels
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+    def generate(self, num_records: int) -> Trace:
+        """Generate a trace with ``num_records`` L2 references."""
+        if num_records <= 0:
+            raise TraceError("num_records must be positive")
+        rng = self._rng
+        cores = rng.integers(0, self.num_cores, size=num_records)
+        class_ids = rng.choice(len(self._class_names), size=num_records, p=self._class_probs)
+        instructions = rng.geometric(
+            1.0 / self.spec.instructions_per_l2_access, size=num_records
+        )
+        store_draw = rng.random(num_records)
+
+        addresses = np.zeros(num_records, dtype=np.int64)
+        labels = np.empty(num_records, dtype=object)
+        is_store = np.zeros(num_records, dtype=bool)
+        for class_index, class_name in enumerate(self._class_names):
+            mask = class_ids == class_index
+            if not mask.any():
+                continue
+            addr, lab = self._addresses_for_class(class_name, cores[mask])
+            addresses[mask] = addr
+            labels[mask] = lab
+            region = self._regions[class_name]
+            if region.store_probability > 0:
+                is_store[mask] = store_draw[mask] < region.store_probability
+
+        records = []
+        instruction_class = self._class_names.index("instruction")
+        for i in range(num_records):
+            if class_ids[i] == instruction_class:
+                access_type = AccessType.INSTRUCTION
+            elif is_store[i]:
+                access_type = AccessType.STORE
+            else:
+                access_type = AccessType.LOAD
+            records.append(
+                TraceRecord(
+                    core=int(cores[i]),
+                    access_type=access_type,
+                    address=int(addresses[i]),
+                    instructions=int(instructions[i]),
+                    true_class=str(labels[i]),
+                )
+            )
+        return Trace(
+            records,
+            workload=self.spec.name,
+            num_cores=self.num_cores,
+            metadata={
+                "seed": self.seed,
+                "scale": self.scale,
+                "category": self.spec.category,
+                "working_set_blocks": self.working_set_blocks,
+            },
+        )
+
+
+def generate_trace(
+    spec: WorkloadSpec,
+    config: SystemConfig,
+    num_records: int,
+    *,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+) -> Trace:
+    """One-call convenience wrapper around :class:`SyntheticTraceGenerator`."""
+    generator = SyntheticTraceGenerator(spec, config, seed=seed, scale=scale)
+    return generator.generate(num_records)

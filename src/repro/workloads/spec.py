@@ -1,0 +1,450 @@
+"""Workload specifications calibrated to the paper's characterisation.
+
+Each :class:`WorkloadSpec` captures, for one workload, the statistics the
+paper reports in Section 3:
+
+* the L2 reference mix across the four access classes (Figure 3);
+* the footprint of each class (Figure 4, full-size kilobytes);
+* the fraction of read-write blocks and the sharing degree (Figure 2);
+* the base (busy) CPI and L2-reference density used by the CPI model.
+
+The absolute numbers are read off the published figures; they are inputs to
+the synthetic generators, not measurements of this reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Workload categories (decides which Table-1 machine runs the workload).
+SERVER = "server"
+SCIENTIFIC = "scientific"
+MULTIPROGRAMMED = "multiprogrammed"
+
+
+@dataclass(frozen=True)
+class AccessClassProfile:
+    """Per-class generation parameters.
+
+    Attributes:
+        fraction: fraction of L2 references belonging to this class.
+        working_set_kb: footprint of the class in full-size kilobytes
+            (per core for private data, aggregate otherwise).
+        read_write_fraction: fraction of blocks in the class that are
+            written at least once.
+        zipf_alpha: skew of the popularity distribution over the class's
+            blocks (0 = uniform).
+        sharers: typical number of cores touching a block of this class
+            (used by the characterisation analysis and by the generator to
+            restrict scientific shared data to neighbour groups).
+    """
+
+    fraction: float
+    working_set_kb: float
+    read_write_fraction: float = 0.0
+    zipf_alpha: float = 0.6
+    sharers: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ConfigurationError("class fraction must be within [0, 1]")
+        if self.working_set_kb < 0:
+            raise ConfigurationError("working set cannot be negative")
+        if not 0.0 <= self.read_write_fraction <= 1.0:
+            raise ConfigurationError("read-write fraction must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete synthetic workload description."""
+
+    name: str
+    category: str
+    description: str
+    instructions: AccessClassProfile
+    private_data: AccessClassProfile
+    shared_rw: AccessClassProfile
+    shared_ro: AccessClassProfile
+    #: Cycles per instruction spent computing (no memory stalls).
+    busy_cpi: float = 1.0
+    #: Mean instructions committed between consecutive L2 references per core.
+    instructions_per_l2_access: float = 25.0
+    #: Fraction of L2 references directed at pages that contain more than one
+    #: access class (Section 5.2 reports 6%-26% for the studied workloads).
+    mixed_page_fraction: float = 0.10
+    #: Extra metadata (e.g. which Figure-2 bubble group the workload is in).
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.category not in (SERVER, SCIENTIFIC, MULTIPROGRAMMED):
+            raise ConfigurationError(f"unknown category {self.category!r}")
+        total = (
+            self.instructions.fraction
+            + self.private_data.fraction
+            + self.shared_rw.fraction
+            + self.shared_ro.fraction
+        )
+        if abs(total - 1.0) > 1e-6:
+            raise ConfigurationError(
+                f"class fractions of {self.name} sum to {total}, expected 1.0"
+            )
+        if self.busy_cpi <= 0:
+            raise ConfigurationError("busy CPI must be positive")
+        if self.instructions_per_l2_access <= 0:
+            raise ConfigurationError("instructions_per_l2_access must be positive")
+        if not 0.0 <= self.mixed_page_fraction <= 0.5:
+            raise ConfigurationError("mixed_page_fraction must be within [0, 0.5]")
+
+    @property
+    def class_fractions(self) -> dict[str, float]:
+        return {
+            "instruction": self.instructions.fraction,
+            "private": self.private_data.fraction,
+            "shared_rw": self.shared_rw.fraction,
+            "shared_ro": self.shared_ro.fraction,
+        }
+
+    @property
+    def shared_fraction(self) -> float:
+        return self.shared_rw.fraction + self.shared_ro.fraction
+
+
+def _server(
+    name: str,
+    description: str,
+    *,
+    instr: float,
+    private: float,
+    shared_rw: float,
+    shared_ro: float,
+    instr_ws_kb: float,
+    private_ws_kb: float,
+    shared_ws_kb: float,
+    busy_cpi: float = 1.0,
+    instructions_per_l2_access: float = 25.0,
+    mixed_page_fraction: float = 0.15,
+    private_rw: float = 0.55,
+    tags: tuple[str, ...] = (),
+) -> WorkloadSpec:
+    """Helper for server workloads: universally-shared instructions and data."""
+    return WorkloadSpec(
+        name=name,
+        category=SERVER,
+        description=description,
+        instructions=AccessClassProfile(
+            fraction=instr,
+            working_set_kb=instr_ws_kb,
+            read_write_fraction=0.0,
+            zipf_alpha=1.15,
+            sharers=16,
+        ),
+        private_data=AccessClassProfile(
+            fraction=private,
+            working_set_kb=private_ws_kb,
+            read_write_fraction=private_rw,
+            zipf_alpha=0.75,
+            sharers=1,
+        ),
+        shared_rw=AccessClassProfile(
+            fraction=shared_rw,
+            working_set_kb=shared_ws_kb,
+            read_write_fraction=0.95,
+            zipf_alpha=0.85,
+            sharers=16,
+        ),
+        shared_ro=AccessClassProfile(
+            fraction=shared_ro,
+            working_set_kb=shared_ws_kb * 0.25,
+            read_write_fraction=0.0,
+            zipf_alpha=0.8,
+            sharers=16,
+        ),
+        busy_cpi=busy_cpi,
+        instructions_per_l2_access=instructions_per_l2_access,
+        mixed_page_fraction=mixed_page_fraction,
+        tags=tags,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The eight primary workloads of Table 1 / Figures 7-12
+# --------------------------------------------------------------------------- #
+
+OLTP_DB2 = _server(
+    "oltp-db2",
+    "TPC-C v3.0 on IBM DB2 v8 ESE (100 warehouses, 64 clients)",
+    instr=0.45,
+    private=0.20,
+    shared_rw=0.28,
+    shared_ro=0.07,
+    instr_ws_kb=1152,
+    private_ws_kb=384,
+    shared_ws_kb=6144,
+    busy_cpi=1.0,
+    instructions_per_l2_access=30.0,
+    mixed_page_fraction=0.20,
+    tags=("oltp", "private-averse"),
+)
+
+OLTP_ORACLE = _server(
+    "oltp-oracle",
+    "TPC-C v3.0 on Oracle 10g Enterprise (100 warehouses, 16 clients)",
+    instr=0.52,
+    private=0.28,
+    shared_rw=0.15,
+    shared_ro=0.05,
+    instr_ws_kb=1664,
+    private_ws_kb=320,
+    shared_ws_kb=4096,
+    busy_cpi=1.0,
+    instructions_per_l2_access=28.0,
+    mixed_page_fraction=0.12,
+    tags=("oltp", "shared-averse"),
+)
+
+APACHE = _server(
+    "apache",
+    "SPECweb99 on Apache HTTP Server v2.0 (16K connections, fastCGI)",
+    instr=0.55,
+    private=0.16,
+    shared_rw=0.24,
+    shared_ro=0.05,
+    instr_ws_kb=1024,
+    private_ws_kb=256,
+    shared_ws_kb=4096,
+    busy_cpi=1.1,
+    instructions_per_l2_access=26.0,
+    mixed_page_fraction=0.26,
+    tags=("web", "private-averse"),
+)
+
+DSS_QRY6 = _server(
+    "dss-qry6",
+    "TPC-H query 6 on IBM DB2 v8 ESE (scan-dominated)",
+    instr=0.22,
+    private=0.62,
+    shared_rw=0.11,
+    shared_ro=0.05,
+    instr_ws_kb=640,
+    private_ws_kb=6144,
+    shared_ws_kb=8192,
+    busy_cpi=0.7,
+    instructions_per_l2_access=16.0,
+    mixed_page_fraction=0.08,
+    private_rw=0.30,
+    tags=("dss", "private-averse"),
+)
+
+DSS_QRY8 = _server(
+    "dss-qry8",
+    "TPC-H query 8 on IBM DB2 v8 ESE (join-dominated)",
+    instr=0.34,
+    private=0.48,
+    shared_rw=0.13,
+    shared_ro=0.05,
+    instr_ws_kb=704,
+    private_ws_kb=5120,
+    shared_ws_kb=8192,
+    busy_cpi=0.8,
+    instructions_per_l2_access=18.0,
+    mixed_page_fraction=0.10,
+    private_rw=0.35,
+    tags=("dss", "private-averse"),
+)
+
+DSS_QRY13 = _server(
+    "dss-qry13",
+    "TPC-H query 13 on IBM DB2 v8 ESE",
+    instr=0.38,
+    private=0.42,
+    shared_rw=0.15,
+    shared_ro=0.05,
+    instr_ws_kb=768,
+    private_ws_kb=4608,
+    shared_ws_kb=6144,
+    busy_cpi=0.85,
+    instructions_per_l2_access=20.0,
+    mixed_page_fraction=0.10,
+    private_rw=0.35,
+    tags=("dss", "private-averse"),
+)
+
+EM3D = WorkloadSpec(
+    name="em3d",
+    category=SCIENTIFIC,
+    description="em3d electromagnetic wave propagation (768K nodes, 15% remote)",
+    instructions=AccessClassProfile(
+        fraction=0.03, working_set_kb=48, read_write_fraction=0.0, sharers=16
+    ),
+    private_data=AccessClassProfile(
+        fraction=0.82,
+        working_set_kb=4096,
+        read_write_fraction=0.65,
+        zipf_alpha=0.2,
+        sharers=1,
+    ),
+    shared_rw=AccessClassProfile(
+        fraction=0.12,
+        working_set_kb=2048,
+        read_write_fraction=0.85,
+        zipf_alpha=0.3,
+        sharers=2,
+    ),
+    shared_ro=AccessClassProfile(
+        fraction=0.03, working_set_kb=512, read_write_fraction=0.0, sharers=4
+    ),
+    busy_cpi=0.6,
+    instructions_per_l2_access=12.0,
+    mixed_page_fraction=0.06,
+    tags=("scientific", "private-averse", "nearest-neighbor"),
+)
+
+MIX = WorkloadSpec(
+    name="mix",
+    category=MULTIPROGRAMMED,
+    description="SPEC CPU2000 multi-programmed mix (gcc, twolf, mcf, art x2)",
+    instructions=AccessClassProfile(
+        fraction=0.04, working_set_kb=64, read_write_fraction=0.0, sharers=1
+    ),
+    private_data=AccessClassProfile(
+        fraction=0.93,
+        working_set_kb=2048,
+        read_write_fraction=0.60,
+        zipf_alpha=0.5,
+        sharers=1,
+    ),
+    shared_rw=AccessClassProfile(
+        fraction=0.02, working_set_kb=128, read_write_fraction=0.80, sharers=2
+    ),
+    shared_ro=AccessClassProfile(
+        fraction=0.01, working_set_kb=64, read_write_fraction=0.0, sharers=2
+    ),
+    busy_cpi=0.75,
+    instructions_per_l2_access=22.0,
+    mixed_page_fraction=0.06,
+    tags=("multiprogrammed", "shared-averse"),
+)
+
+#: The eight workloads driving Figures 7-12, in the paper's presentation order
+#: (private-averse first, then shared-averse).
+WORKLOADS: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        OLTP_DB2,
+        APACHE,
+        DSS_QRY6,
+        DSS_QRY8,
+        DSS_QRY13,
+        EM3D,
+        OLTP_ORACLE,
+        MIX,
+    )
+}
+
+# --------------------------------------------------------------------------- #
+# Additional workloads used only for the Figure-2 clustering study
+# --------------------------------------------------------------------------- #
+
+SPECWEB_ZEUS = _server(
+    "specweb-zeus",
+    "SPECweb99 on the Zeus web server",
+    instr=0.52,
+    private=0.18,
+    shared_rw=0.25,
+    shared_ro=0.05,
+    instr_ws_kb=640,
+    private_ws_kb=256,
+    shared_ws_kb=2560,
+    tags=("web",),
+)
+
+DSS_QRY16 = _server(
+    "dss-qry16",
+    "TPC-H query 16 on IBM DB2 v8 ESE",
+    instr=0.36,
+    private=0.45,
+    shared_rw=0.14,
+    shared_ro=0.05,
+    instr_ws_kb=540,
+    private_ws_kb=8192,
+    shared_ws_kb=6144,
+    private_rw=0.35,
+    tags=("dss",),
+)
+
+OCEAN = WorkloadSpec(
+    name="ocean",
+    category=SCIENTIFIC,
+    description="ocean current simulation (nearest-neighbour grid exchange)",
+    instructions=AccessClassProfile(fraction=0.03, working_set_kb=48, sharers=16),
+    private_data=AccessClassProfile(
+        fraction=0.78, working_set_kb=8192, read_write_fraction=0.70, sharers=1
+    ),
+    shared_rw=AccessClassProfile(
+        fraction=0.15, working_set_kb=3072, read_write_fraction=0.90, sharers=4
+    ),
+    shared_ro=AccessClassProfile(fraction=0.04, working_set_kb=512, sharers=6),
+    busy_cpi=0.6,
+    instructions_per_l2_access=12.0,
+    mixed_page_fraction=0.06,
+    tags=("scientific", "nearest-neighbor"),
+)
+
+MOLDYN = WorkloadSpec(
+    name="moldyn",
+    category=SCIENTIFIC,
+    description="molecular dynamics (producer-consumer force exchange)",
+    instructions=AccessClassProfile(fraction=0.02, working_set_kb=32, sharers=16),
+    private_data=AccessClassProfile(
+        fraction=0.84, working_set_kb=6144, read_write_fraction=0.60, sharers=1
+    ),
+    shared_rw=AccessClassProfile(
+        fraction=0.11, working_set_kb=1536, read_write_fraction=0.85, sharers=2
+    ),
+    shared_ro=AccessClassProfile(fraction=0.03, working_set_kb=256, sharers=2),
+    busy_cpi=0.6,
+    instructions_per_l2_access=14.0,
+    mixed_page_fraction=0.05,
+    tags=("scientific", "producer-consumer"),
+)
+
+SPARSE = WorkloadSpec(
+    name="sparse",
+    category=SCIENTIFIC,
+    description="sparse matrix solver",
+    instructions=AccessClassProfile(fraction=0.03, working_set_kb=40, sharers=16),
+    private_data=AccessClassProfile(
+        fraction=0.80, working_set_kb=7168, read_write_fraction=0.55, sharers=1
+    ),
+    shared_rw=AccessClassProfile(
+        fraction=0.13, working_set_kb=2048, read_write_fraction=0.80, sharers=3
+    ),
+    shared_ro=AccessClassProfile(fraction=0.04, working_set_kb=384, sharers=4),
+    busy_cpi=0.65,
+    instructions_per_l2_access=14.0,
+    mixed_page_fraction=0.05,
+    tags=("scientific",),
+)
+
+#: Extended catalogue used by the Figure-2 clustering bench (the paper plots
+#: a wider set of workloads in Figure 2 than it simulates in Figures 7-12).
+EXTENDED_WORKLOADS: dict[str, WorkloadSpec] = {
+    **WORKLOADS,
+    **{
+        spec.name: spec
+        for spec in (SPECWEB_ZEUS, DSS_QRY16, OCEAN, MOLDYN, SPARSE)
+    },
+}
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload by name in the extended catalogue."""
+    try:
+        return EXTENDED_WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXTENDED_WORKLOADS))
+        raise ConfigurationError(
+            f"unknown workload {name!r}; known workloads: {known}"
+        ) from None

@@ -1,0 +1,162 @@
+"""Trace records and containers.
+
+A trace is the sequence of **L2 references** (L1 misses) observed by the
+last-level cache, which is the granularity at which the paper characterises
+workloads (Section 3) and at which every design differentiates itself.  Each
+record carries the number of instructions the issuing core committed since
+its previous L2 reference, so the simulation engine can convert stall cycles
+into CPI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.cache.block import AccessType
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One L2 reference."""
+
+    core: int
+    access_type: AccessType
+    address: int
+    #: Instructions committed by this core since its previous L2 reference.
+    instructions: int = 20
+    #: Software thread issuing the access (defaults to one thread per core).
+    thread_id: int | None = None
+    #: Ground-truth access class assigned by the generator ("instruction",
+    #: "private", "shared_rw", "shared_ro").  Used only by the analysis code
+    #: (classification-accuracy experiment); designs never see it.
+    true_class: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.core < 0:
+            raise TraceError("core id cannot be negative")
+        if self.address < 0:
+            raise TraceError("address cannot be negative")
+        if self.instructions < 0:
+            raise TraceError("instruction count cannot be negative")
+
+    @property
+    def thread(self) -> int:
+        """Thread id, defaulting to the core id."""
+        return self.core if self.thread_id is None else self.thread_id
+
+    @property
+    def is_instruction(self) -> bool:
+        return self.access_type is AccessType.INSTRUCTION
+
+    @property
+    def is_write(self) -> bool:
+        return self.access_type is AccessType.STORE
+
+
+class Trace:
+    """An in-memory sequence of trace records plus workload metadata."""
+
+    def __init__(
+        self,
+        records: Sequence[TraceRecord] | Iterable[TraceRecord],
+        *,
+        workload: str = "unknown",
+        num_cores: int = 0,
+        metadata: dict | None = None,
+    ) -> None:
+        self.records = list(records)
+        self.workload = workload
+        self.num_cores = num_cores or (
+            1 + max((r.core for r in self.records), default=0)
+        )
+        self.metadata = dict(metadata or {})
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self.records[index]
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(r.instructions for r in self.records)
+
+    def records_for_core(self, core: int) -> list[TraceRecord]:
+        return [r for r in self.records if r.core == core]
+
+    def class_mix(self) -> dict[str, float]:
+        """Fraction of references per ground-truth class."""
+        if not self.records:
+            return {}
+        counts: dict[str, int] = {}
+        for record in self.records:
+            key = record.true_class or "unknown"
+            counts[key] = counts.get(key, 0) + 1
+        total = len(self.records)
+        return {key: count / total for key, count in sorted(counts.items())}
+
+    # ------------------------------------------------------------------ #
+    # Persistence (JSON-lines; traces are small enough for text)
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> None:
+        """Write the trace as JSON lines (one header line, then records)."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            header = {
+                "workload": self.workload,
+                "num_cores": self.num_cores,
+                "metadata": self.metadata,
+            }
+            handle.write(json.dumps(header) + "\n")
+            for record in self.records:
+                handle.write(
+                    json.dumps(
+                        [
+                            record.core,
+                            record.access_type.value,
+                            record.address,
+                            record.instructions,
+                            record.thread_id,
+                            record.true_class,
+                        ]
+                    )
+                    + "\n"
+                )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Read a trace previously written by :meth:`save`."""
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as handle:
+            header_line = handle.readline()
+            if not header_line:
+                raise TraceError(f"trace file {path} is empty")
+            header = json.loads(header_line)
+            records = []
+            for line in handle:
+                core, kind, address, instructions, thread_id, true_class = json.loads(
+                    line
+                )
+                records.append(
+                    TraceRecord(
+                        core=core,
+                        access_type=AccessType(kind),
+                        address=address,
+                        instructions=instructions,
+                        thread_id=thread_id,
+                        true_class=true_class,
+                    )
+                )
+        return cls(
+            records,
+            workload=header.get("workload", "unknown"),
+            num_cores=header.get("num_cores", 0),
+            metadata=header.get("metadata", {}),
+        )

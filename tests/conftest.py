@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite.
+
+Tests run on heavily scaled configurations and short traces so the whole
+suite stays fast; the benchmarks exercise the realistic configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cmp.chip import TiledChip
+from repro.cmp.config import SystemConfig
+from repro.workloads.generator import SyntheticTraceGenerator
+from repro.workloads.spec import get_workload
+
+#: Scale factor used throughout the tests (64x smaller than the paper).
+TEST_SCALE = 64
+
+
+@pytest.fixture
+def config16():
+    """The 16-core server configuration, scaled for fast tests."""
+    return SystemConfig.server_16core().scaled(TEST_SCALE)
+
+
+@pytest.fixture
+def config8():
+    """The 8-core multi-programmed configuration, scaled for fast tests."""
+    return SystemConfig.multiprogrammed_8core().scaled(TEST_SCALE)
+
+
+@pytest.fixture
+def chip16(config16):
+    return TiledChip(config16)
+
+
+@pytest.fixture
+def chip8(config8):
+    return TiledChip(config8)
+
+
+@pytest.fixture
+def oltp_trace(config16):
+    """A small OLTP trace on the scaled 16-core machine."""
+    generator = SyntheticTraceGenerator(
+        get_workload("oltp-db2"), config16, seed=7, scale=TEST_SCALE
+    )
+    return generator.generate(4000)
+
+
+@pytest.fixture
+def mix_trace(config8):
+    """A small multi-programmed trace on the scaled 8-core machine."""
+    generator = SyntheticTraceGenerator(
+        get_workload("mix"), config8, seed=7, scale=TEST_SCALE
+    )
+    return generator.generate(3000)

@@ -1,0 +1,216 @@
+"""Tests for the characterisation and figure-generation code."""
+
+import pytest
+
+from repro.analysis.characterization import (
+    REUSE_BINS,
+    classification_accuracy,
+    classify_blocks,
+    reference_breakdown,
+    reference_clustering,
+    reuse_histogram,
+    working_set_cdf,
+)
+from repro.analysis.cpi_breakdown import (
+    FIG7_COMPONENTS,
+    cluster_size_sweep,
+    fig7_cpi_breakdown,
+    fig8_shared_data_cpi,
+    fig9_private_data_cpi,
+    fig10_instruction_cpi,
+)
+from repro.analysis.evaluation import EvaluationSuite, run_evaluation, simulate_rnuca_cluster
+from repro.analysis.reporting import format_percentage_map, format_table
+from repro.analysis.speedup import fig12_speedups, headline_numbers, workload_aversion
+from repro.errors import SimulationError
+from repro.workloads.spec import get_workload
+
+from .conftest import TEST_SCALE
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    """A tiny evaluation suite shared by the figure tests (module-scoped)."""
+    return run_evaluation(
+        workloads=("oltp-db2", "mix"),
+        designs=("P", "S", "R", "I"),
+        num_records=3000,
+        scale=TEST_SCALE,
+        seed=2,
+        include_cluster_sweep=True,
+        cluster_sizes=(1, 4),
+        use_cache=False,
+    )
+
+
+class TestCharacterization:
+    def test_classify_blocks_counts(self, oltp_trace):
+        profiles = classify_blocks(oltp_trace)
+        assert sum(p.accesses for p in profiles.values()) == len(oltp_trace)
+        assert any(p.is_instruction for p in profiles.values())
+        assert any(p.category == "private" for p in profiles.values())
+
+    def test_reference_clustering_shape(self, oltp_trace):
+        rows = reference_clustering(oltp_trace)
+        assert sum(row["access_share"] for row in rows) == pytest.approx(1.0)
+        for row in rows:
+            assert 0 <= row["read_write_block_fraction"] <= 1
+            assert row["kind"] in ("instruction", "data")
+        # Server workloads: widely shared data bubbles exist (Figure 2a).
+        assert any(row["sharers"] >= 8 for row in rows)
+
+    def test_instruction_bubbles_are_read_only(self, oltp_trace):
+        for row in reference_clustering(oltp_trace):
+            if row["kind"] == "instruction":
+                assert row["read_write_block_fraction"] == 0.0
+
+    def test_reference_breakdown_matches_spec(self, oltp_trace):
+        spec = get_workload("oltp-db2")
+        breakdown = reference_breakdown(oltp_trace)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["instruction"] == pytest.approx(
+            spec.instructions.fraction, abs=0.05
+        )
+
+    def test_working_set_cdf_monotone(self, oltp_trace):
+        curves = working_set_cdf(oltp_trace)
+        assert set(curves) == {"instruction", "private", "shared"}
+        for points in curves.values():
+            footprints = [p[0] for p in points]
+            fractions = [p[1] for p in points]
+            assert footprints == sorted(footprints)
+            assert fractions == sorted(fractions)
+            assert fractions[-1] <= 1.0
+
+    def test_reuse_histogram_instructions_dominated_by_first_access(self, oltp_trace):
+        """Figure 5: instruction accesses are finely interleaved between cores."""
+        histogram = reuse_histogram(oltp_trace)
+        assert set(histogram) == {"instruction", "shared"}
+        for group in histogram.values():
+            assert set(group) == set(REUSE_BINS)
+            assert sum(group.values()) == pytest.approx(1.0)
+        assert histogram["instruction"]["1st access"] > 0.5
+
+    def test_classification_accuracy_bounds(self, oltp_trace, config16):
+        accuracy = classification_accuracy(oltp_trace, page_size=config16.page_size)
+        assert 0 <= accuracy["misclassified_access_fraction"] <= 0.1
+        assert 0 <= accuracy["multi_class_page_access_fraction"] <= 0.6
+        assert (
+            accuracy["misclassified_access_fraction"]
+            <= accuracy["multi_class_page_access_fraction"]
+        )
+
+
+class TestEvaluationSuite:
+    def test_contains_all_pairs(self, small_suite):
+        assert set(small_suite.results) == {
+            (w, d) for w in ("oltp-db2", "mix") for d in ("P", "S", "R", "I")
+        }
+        assert small_suite.baseline("mix").design_letter == "P"
+        assert set(small_suite.workload_results("mix")) == {"P", "S", "R", "I"}
+
+    def test_cluster_sweep_populated(self, small_suite):
+        assert set(small_suite.cluster_sweep) == {
+            (w, s) for w in ("oltp-db2", "mix") for s in (1, 4)
+        }
+
+    def test_cache_reuses_suite(self):
+        first = run_evaluation(
+            workloads=("mix",), designs=("P",), num_records=1200, scale=TEST_SCALE
+        )
+        second = run_evaluation(
+            workloads=("mix",), designs=("P",), num_records=1200, scale=TEST_SCALE
+        )
+        assert first is second
+
+    def test_simulate_rnuca_cluster_records_size(self):
+        result = simulate_rnuca_cluster(
+            "mix", 2, num_records=1200, scale=TEST_SCALE
+        )
+        assert result.metadata["instruction_cluster_size"] == 2
+
+
+class TestFigures:
+    def test_fig7_rows(self, small_suite):
+        rows = fig7_cpi_breakdown(small_suite)
+        assert len(rows) == 8
+        for row in rows:
+            assert set(FIG7_COMPONENTS) <= set(row)
+            assert row["total"] == pytest.approx(
+                sum(row[c] for c in FIG7_COMPONENTS), rel=1e-6
+            )
+        # The private design is the normalisation baseline: total == 1.
+        for row in rows:
+            if row["design"] == "P":
+                assert row["total"] == pytest.approx(1.0)
+
+    def test_fig8_rows_nonnegative(self, small_suite):
+        for row in fig8_shared_data_cpi(small_suite):
+            assert row["l2_shared_load"] >= 0
+            assert row["l2_shared_load_coherence"] >= 0
+            assert row["l1_to_l1"] >= 0
+
+    def test_fig8_only_directory_designs_have_coherence(self, small_suite):
+        for row in fig8_shared_data_cpi(small_suite):
+            if row["design"] in ("S", "R", "I"):
+                assert row["l2_shared_load_coherence"] == 0.0
+
+    def test_fig9_and_fig10_rows(self, small_suite):
+        for rows in (fig9_private_data_cpi(small_suite), fig10_instruction_cpi(small_suite)):
+            assert len(rows) == 8
+            assert all(row["normalized_cpi"] >= 0 for row in rows)
+
+    def test_cluster_sweep_normalised_to_size1(self, small_suite):
+        rows = cluster_size_sweep(small_suite)
+        for row in rows:
+            if row["cluster_size"] == 1:
+                assert row["total"] == pytest.approx(1.0)
+
+    def test_cluster_sweep_requires_sweep_data(self):
+        empty = EvaluationSuite()
+        with pytest.raises(SimulationError):
+            cluster_size_sweep(empty)
+
+    def test_fig12_speedups(self, small_suite):
+        rows = fig12_speedups(small_suite)
+        by_key = {(r["workload"], r["design"]): r for r in rows}
+        assert by_key[("mix", "P")]["speedup"] == pytest.approx(0.0)
+        assert all(r["ci_half_width"] >= 0 for r in rows)
+
+    def test_headline_numbers_fields(self, small_suite):
+        numbers = headline_numbers(small_suite)
+        assert set(numbers) == {
+            "avg_speedup_over_private",
+            "max_speedup_over_private",
+            "avg_speedup_over_private_server",
+            "avg_speedup_over_shared",
+            "avg_speedup_over_shared_multiprogrammed",
+            "avg_gap_to_ideal",
+        }
+        assert numbers["max_speedup_over_private"] >= numbers["avg_speedup_over_private"]
+
+    def test_workload_aversion_labels(self, small_suite):
+        aversion = workload_aversion(small_suite)
+        assert set(aversion) == {"oltp-db2", "mix"}
+        assert all(v in ("private-averse", "shared-averse") for v in aversion.values())
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1.23456, "b": "x"}, {"a": 2.0, "b": "longer"}]
+        text = format_table(rows, title="demo", precision=2)
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "1.23" in text and "longer" in text
+        assert len({len(line) for line in lines[2:]}) == 1
+
+    def test_format_table_empty(self):
+        assert "(no data)" in format_table([], title="empty")
+
+    def test_format_table_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_percentage_map(self):
+        text = format_percentage_map({"speedup": 0.14}, title="headline")
+        assert "14.00%" in text and "headline" in text

@@ -1,0 +1,228 @@
+"""Tests for the cache substrate: arrays, blocks, MSHRs, victim caches."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.block import AccessType, CacheBlock, CoherenceState
+from repro.cache.cache_array import CacheArray
+from repro.cache.mshr import MshrFile
+from repro.cache.victim import VictimCache
+from repro.cmp.config import CacheConfig
+from repro.errors import SimulationError
+
+
+def small_cache(sets: int = 4, ways: int = 2) -> CacheArray:
+    return CacheArray(CacheConfig(size_bytes=sets * ways * 64, associativity=ways))
+
+
+class TestCoherenceState:
+    def test_dirty_states(self):
+        assert CoherenceState.MODIFIED.is_dirty
+        assert CoherenceState.OWNED.is_dirty
+        assert not CoherenceState.SHARED.is_dirty
+        assert not CoherenceState.INVALID.is_dirty
+
+    def test_writable_states(self):
+        assert CoherenceState.MODIFIED.can_write
+        assert CoherenceState.EXCLUSIVE.can_write
+        assert not CoherenceState.SHARED.can_write
+
+    def test_invalid_cannot_read(self):
+        assert not CoherenceState.INVALID.can_read
+
+
+class TestAccessType:
+    def test_instruction_flag(self):
+        assert AccessType.INSTRUCTION.is_instruction
+        assert not AccessType.LOAD.is_instruction
+
+    def test_write_flag(self):
+        assert AccessType.STORE.is_write
+        assert not AccessType.LOAD.is_write
+
+
+class TestCacheBlock:
+    def test_touch_updates_lru_metadata(self):
+        block = CacheBlock(address=0x10)
+        block.touch(5)
+        assert block.last_access == 5
+        assert block.access_count == 1
+        assert not block.dirty
+
+    def test_touch_write_marks_dirty_and_modified(self):
+        block = CacheBlock(address=0x10)
+        block.touch(1, write=True)
+        assert block.dirty
+        assert block.state is CoherenceState.MODIFIED
+
+    def test_invalidate(self):
+        block = CacheBlock(address=0x10, dirty=True)
+        block.invalidate()
+        assert block.state is CoherenceState.INVALID
+        assert not block.dirty
+
+
+class TestCacheArray:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.lookup(0x100).hit
+        cache.insert(0x100)
+        assert cache.lookup(0x100).hit
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(sets=1, ways=2)
+        cache.insert(0)
+        cache.insert(1)
+        cache.lookup(0)  # 0 becomes MRU, 1 is now LRU
+        result = cache.insert(2)
+        assert result.victim is not None
+        assert result.victim.address == 1
+
+    def test_insert_existing_block_does_not_evict(self):
+        cache = small_cache(sets=1, ways=2)
+        cache.insert(0)
+        cache.insert(1)
+        result = cache.insert(0, dirty=True)
+        assert result.victim is None
+        assert cache.peek(0).dirty
+
+    def test_set_isolation(self):
+        cache = small_cache(sets=4, ways=1)
+        cache.insert(0)
+        cache.insert(1)
+        assert cache.peek(0) is not None
+        assert cache.peek(1) is not None
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.insert(0x40)
+        assert cache.invalidate(0x40) is not None
+        assert cache.peek(0x40) is None
+        assert cache.invalidations == 1
+
+    def test_invalidate_where(self):
+        cache = small_cache(sets=8, ways=2)
+        for addr in range(8):
+            cache.insert(addr)
+        removed = cache.invalidate_where(lambda blk: blk.address < 4)
+        assert {b.address for b in removed} == {0, 1, 2, 3}
+        assert len(cache) == 4
+
+    def test_peek_does_not_affect_stats(self):
+        cache = small_cache()
+        cache.insert(7)
+        cache.peek(7)
+        assert cache.hits == 0
+
+    def test_occupancy_and_len(self):
+        cache = small_cache(sets=2, ways=2)
+        assert cache.occupancy == 0.0
+        cache.insert(0)
+        cache.insert(1)
+        assert len(cache) == 2
+        assert cache.occupancy == 0.5
+
+    def test_write_lookup_marks_dirty(self):
+        cache = small_cache()
+        cache.insert(3)
+        cache.lookup(3, write=True)
+        assert cache.peek(3).dirty
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.lookup(1)
+        cache.insert(1)
+        cache.lookup(1)
+        assert cache.miss_rate == pytest.approx(0.5)
+
+    def test_clear_and_reset_stats(self):
+        cache = small_cache()
+        cache.insert(1)
+        cache.lookup(1)
+        cache.clear()
+        cache.reset_stats()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=4096), max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_capacity_never_exceeded(self, addresses):
+        cache = small_cache(sets=4, ways=2)
+        for address in addresses:
+            cache.insert(address)
+        assert len(cache) <= cache.num_sets * cache.associativity
+        for cache_set in cache._sets:
+            assert len(cache_set) <= cache.associativity
+
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=64), min_size=1, max_size=100))
+    @settings(max_examples=25, deadline=None)
+    def test_most_recent_insert_is_always_resident(self, addresses):
+        cache = small_cache(sets=2, ways=2)
+        for address in addresses:
+            cache.insert(address)
+            assert cache.peek(address) is not None
+
+
+class TestMshrFile:
+    def test_allocation_and_merge(self):
+        mshrs = MshrFile(entries=4)
+        assert mshrs.allocate(0x1, core_id=0, now=1)
+        assert not mshrs.allocate(0x1, core_id=1, now=2)
+        assert mshrs.merges == 1
+        assert mshrs.merge_rate == pytest.approx(0.5)
+
+    def test_release_returns_requestors(self):
+        mshrs = MshrFile(entries=4)
+        mshrs.allocate(0x1, core_id=0, now=1)
+        mshrs.allocate(0x1, core_id=3, now=2)
+        assert mshrs.release(0x1) == [0, 3]
+        assert mshrs.release(0x1) == []
+
+    def test_structural_stall_when_full(self):
+        mshrs = MshrFile(entries=2)
+        mshrs.allocate(1, 0, now=1)
+        mshrs.allocate(2, 0, now=2)
+        mshrs.allocate(3, 0, now=3)
+        assert mshrs.structural_stalls == 1
+        assert len(mshrs) == 2
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(SimulationError):
+            MshrFile(entries=0)
+
+
+class TestVictimCache:
+    def test_insert_and_extract(self):
+        victim = VictimCache(entries=2)
+        victim.insert(CacheBlock(address=1))
+        extracted = victim.extract(1)
+        assert extracted is not None and extracted.address == 1
+        assert victim.extract(1) is None  # already removed
+        assert victim.hits == 1 and victim.misses == 1
+
+    def test_fifo_displacement(self):
+        victim = VictimCache(entries=2)
+        displaced = [victim.insert(CacheBlock(address=a)) for a in (1, 2, 3)]
+        assert displaced[0] is None and displaced[1] is None
+        assert displaced[2] is not None and displaced[2].address == 1
+
+    def test_zero_capacity_passes_through(self):
+        victim = VictimCache(entries=0)
+        block = CacheBlock(address=9)
+        assert victim.insert(block) is block
+        assert 9 not in victim
+
+    def test_hit_rate(self):
+        victim = VictimCache(entries=4)
+        victim.insert(CacheBlock(address=1))
+        victim.extract(1)
+        victim.extract(2)
+        assert victim.hit_rate == pytest.approx(0.5)
+
+    def test_invalidate_silent(self):
+        victim = VictimCache(entries=4)
+        victim.insert(CacheBlock(address=5))
+        assert victim.invalidate(5) is not None
+        assert victim.hits == 0 and victim.misses == 0

@@ -1,0 +1,166 @@
+"""Tests for cluster abstractions and the placement policy."""
+
+import pytest
+
+from repro.core.clusters import (
+    Cluster,
+    ClusterType,
+    FixedBoundaryCluster,
+    FixedCenterCluster,
+    partition_into_fixed_boundary,
+    single_tile_cluster,
+    validate_overlapping_capacity,
+    whole_chip_cluster,
+)
+from repro.core.indexing import StandardInterleaver
+from repro.core.placement import PlacementPolicy
+from repro.core.rotational import RotationalInterleaver
+from repro.errors import ClusterError
+from repro.interconnect.topology import FoldedTorus2D
+from repro.osmodel.page_table import PageClass
+
+
+def torus16() -> FoldedTorus2D:
+    return FoldedTorus2D(4, 4)
+
+
+class TestCluster:
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(ClusterError):
+            Cluster(cluster_type=ClusterType.FIXED_BOUNDARY, members=(0, 1, 2))
+
+    def test_members_must_be_distinct(self):
+        with pytest.raises(ClusterError):
+            Cluster(cluster_type=ClusterType.FIXED_BOUNDARY, members=(0, 0))
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ClusterError):
+            Cluster(cluster_type=ClusterType.FIXED_BOUNDARY, members=())
+
+    def test_slice_for_wraps_on_size(self):
+        cluster = Cluster(cluster_type=ClusterType.FIXED_BOUNDARY, members=(3, 7))
+        assert cluster.slice_for(0) == 3
+        assert cluster.slice_for(1) == 7
+        assert cluster.slice_for(2) == 3
+
+    def test_contains(self):
+        cluster = single_tile_cluster(5)
+        assert 5 in cluster and 4 not in cluster
+        assert cluster.size == 1
+
+
+class TestFixedCenterCluster:
+    def test_members_ordered_by_interleave_bits(self):
+        interleaver = RotationalInterleaver(torus16(), 4)
+        cluster = FixedCenterCluster.around(interleaver, center=5)
+        for bits in range(4):
+            target = cluster.slice_for(bits)
+            assert interleaver.stored_bits(target) == bits
+        assert cluster.center == 5
+        assert 5 in cluster
+
+    def test_overlapping_clusters_cover_every_tile_n_times(self):
+        interleaver = RotationalInterleaver(torus16(), 4)
+        clusters = [FixedCenterCluster.around(interleaver, c) for c in range(16)]
+        counts = validate_overlapping_capacity(clusters, 16)
+        assert all(count == 4 for count in counts.values())
+
+
+class TestFixedBoundaryCluster:
+    def test_rectangle_members(self):
+        cluster = FixedBoundaryCluster.rectangle(
+            torus16(), origin_row=0, origin_col=0, rows=2, cols=2
+        )
+        assert set(cluster.members) == {0, 1, 4, 5}
+
+    def test_rectangle_must_fit_on_chip(self):
+        with pytest.raises(ClusterError):
+            FixedBoundaryCluster.rectangle(
+                torus16(), origin_row=3, origin_col=3, rows=2, cols=2
+            )
+
+    def test_partition_covers_chip_exactly_once(self):
+        clusters = partition_into_fixed_boundary(torus16(), 2, 2)
+        assert len(clusters) == 4
+        counts = validate_overlapping_capacity(clusters, 16)
+        assert all(count == 1 for count in counts.values())
+
+    def test_partition_requires_divisible_dimensions(self):
+        with pytest.raises(ClusterError):
+            partition_into_fixed_boundary(torus16(), 3, 2)
+
+
+class TestWholeChipCluster:
+    def test_whole_chip_is_identity_interleaving(self):
+        cluster = whole_chip_cluster(16)
+        assert cluster.size == 16
+        assert all(cluster.slice_for(i) == i for i in range(16))
+
+
+class TestStandardInterleaver:
+    def test_target_uses_bits_above_set_index(self):
+        cluster = whole_chip_cluster(16)
+        interleaver = StandardInterleaver(cluster, set_index_bits=5)
+        assert interleaver.target_slice(0) == 0
+        assert interleaver.target_slice(1 << 5) == 1
+        assert interleaver.target_slice(15 << 5) == 15
+        assert interleaver.target_slice(16 << 5) == 0
+
+    def test_unique_mapping(self):
+        cluster = whole_chip_cluster(4)
+        interleaver = StandardInterleaver(cluster, set_index_bits=2)
+        assert interleaver.blocks_map_uniquely(list(range(256)))
+
+    def test_negative_set_bits_rejected(self):
+        with pytest.raises(ClusterError):
+            StandardInterleaver(whole_chip_cluster(4), set_index_bits=-1)
+
+
+class TestPlacementPolicy:
+    def make_policy(self, cluster_size: int = 4) -> PlacementPolicy:
+        return PlacementPolicy(
+            torus16(), set_index_bits=5, instruction_cluster_size=cluster_size
+        )
+
+    def test_private_data_always_local(self):
+        policy = self.make_policy()
+        for core in range(16):
+            for block in (0, 97, 4095):
+                decision = policy.place(core, block, PageClass.PRIVATE)
+                assert decision.target_slice == core
+                assert decision.is_local
+
+    def test_shared_data_has_single_home_for_all_cores(self):
+        policy = self.make_policy()
+        for block in (3, 40, 555):
+            targets = {
+                policy.place(core, block, PageClass.SHARED).target_slice
+                for core in range(16)
+            }
+            assert len(targets) == 1
+
+    def test_instruction_lookup_is_within_one_hop(self):
+        policy = self.make_policy()
+        torus = torus16()
+        for core in range(16):
+            for block in range(64):
+                decision = policy.place(core, block, PageClass.INSTRUCTION)
+                assert torus.hop_distance(core, decision.target_slice) <= 1
+
+    def test_instruction_cluster_size_one_means_local(self):
+        policy = self.make_policy(cluster_size=1)
+        for core in (0, 7, 15):
+            decision = policy.place(core, 123, PageClass.INSTRUCTION)
+            assert decision.target_slice == core
+
+    def test_rids_exposed(self):
+        assert self.make_policy().rids is not None
+        assert self.make_policy(cluster_size=1).rids is None
+
+    def test_rejects_unsupported_private_cluster(self):
+        with pytest.raises(ClusterError):
+            PlacementPolicy(torus16(), set_index_bits=5, private_cluster_size=4)
+
+    def test_rejects_partial_shared_cluster(self):
+        with pytest.raises(ClusterError):
+            PlacementPolicy(torus16(), set_index_bits=5, shared_cluster_size=8)

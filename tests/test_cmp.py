@@ -1,0 +1,115 @@
+"""Tests for the tiled-chip assembly and the memory system."""
+
+import pytest
+
+from repro.cmp.chip import TiledChip
+from repro.cmp.config import SystemConfig
+from repro.cmp.memory import MemorySystem
+from repro.interconnect.network import NetworkModel
+
+
+class TestTile:
+    def test_tile_structures(self, chip16, config16):
+        tile = chip16.tile(3)
+        assert tile.tile_id == 3
+        assert tile.l1i.config == config16.l1i
+        assert tile.l2.config == config16.l2_slice
+        assert tile.directory.home == 3
+        assert tile.rid is None
+
+    def test_l1_for_selects_instruction_or_data(self, chip16):
+        tile = chip16.tile(0)
+        assert tile.l1_for(instruction=True) is tile.l1i
+        assert tile.l1_for(instruction=False) is tile.l1d
+
+    def test_reset_stats(self, chip16):
+        tile = chip16.tile(0)
+        tile.l2.lookup(0x1)
+        tile.reset_stats()
+        assert tile.l2.misses == 0
+
+
+class TestTiledChip:
+    def test_tile_count_and_topology(self, chip16, chip8):
+        assert chip16.num_tiles == 16
+        assert chip8.num_tiles == 8
+        assert chip16.distance(0, 3) == 1  # torus wrap-around
+
+    def test_block_and_page_helpers(self, chip16, config16):
+        assert chip16.block_address(config16.block_size) == 1
+        assert chip16.page_number(config16.page_size) == 1
+        block = chip16.block_address(config16.page_size)
+        assert chip16.page_of_block(block) == 1
+
+    def test_home_slice_uses_bits_above_set_index(self, chip16, config16):
+        sets = config16.l2_slice.num_sets
+        assert chip16.home_slice(0) == 0
+        assert chip16.home_slice(sets) == 1
+        assert chip16.home_slice(sets * (config16.num_tiles + 1)) == 1
+
+    def test_home_slice_distribution_is_uniform(self, chip16, config16):
+        from collections import Counter
+
+        sets = config16.l2_slice.num_sets
+        homes = Counter(chip16.home_slice(b * sets) for b in range(160))
+        assert len(homes) == 16
+        assert max(homes.values()) == min(homes.values())
+
+    def test_interleave_bits_width(self, chip16, config16):
+        sets = config16.l2_slice.num_sets
+        assert chip16.interleave_bits(sets * 3, width=2) == 3
+
+    def test_aggregate_occupancy_and_reset(self, chip16):
+        chip16.tile(0).l2.insert(0x1)
+        assert chip16.aggregate_l2_occupancy() > 0
+        chip16.reset_stats()
+        assert chip16.network.messages == 0
+
+
+class TestMemorySystem:
+    def test_controller_count_and_placement(self, config16):
+        network = NetworkModel(config16.interconnect)
+        memory = MemorySystem(config16, network)
+        assert len(memory.controllers) == 4
+        assert len({c.tile_id for c in memory.controllers}) == 4
+
+    def test_access_latency_includes_network(self, config16):
+        network = NetworkModel(config16.interconnect)
+        memory = MemorySystem(config16, network)
+        controller = memory.controller_for(0)
+        latency = memory.access(controller.tile_id, 0)
+        assert latency >= config16.memory_latency_cycles
+        remote_latency = memory.access((controller.tile_id + 8) % 16, 0)
+        assert remote_latency > latency
+
+    def test_page_interleaving_spreads_pages(self, config16):
+        network = NetworkModel(config16.interconnect)
+        memory = MemorySystem(config16, network)
+        blocks_per_page = config16.page_size // config16.block_size
+        controllers = {
+            memory.controller_for(page * blocks_per_page).controller_id
+            for page in range(8)
+        }
+        assert len(controllers) == len(memory.controllers)
+
+    def test_read_write_counters(self, config16):
+        network = NetworkModel(config16.interconnect)
+        memory = MemorySystem(config16, network)
+        memory.access(0, 0x1, write=False)
+        memory.access(0, 0x2, write=True)
+        assert memory.total_reads == 1
+        assert memory.total_writes == 1
+        assert memory.total_accesses == 2
+        memory.reset_stats()
+        assert memory.total_accesses == 0
+
+
+class TestFullSizeConfigs:
+    def test_full_size_chip_constructs(self):
+        chip = TiledChip(SystemConfig.server_16core())
+        assert chip.config.l2_slice.num_sets == 1024
+        assert chip.num_tiles == 16
+
+    def test_full_size_8core_chip_constructs(self):
+        chip = TiledChip(SystemConfig.multiprogrammed_8core())
+        assert chip.num_tiles == 8

@@ -1,0 +1,180 @@
+"""Tests for the MOSI protocol tables and the full-map directory."""
+
+import pytest
+
+from repro.cache.block import CoherenceState
+from repro.coherence.directory import DirectoryState, FullMapDirectory
+from repro.coherence.messages import (
+    CONTROL_MESSAGE_BYTES,
+    DATA_MESSAGE_BYTES,
+    CoherenceMessage,
+    MessageType,
+)
+from repro.coherence.mosi import LocalOutcome, MosiProtocol
+from repro.errors import ProtocolError
+
+
+class TestMessages:
+    def test_data_messages_are_larger(self):
+        assert MessageType.DATA.size_bytes == DATA_MESSAGE_BYTES
+        assert MessageType.GET_SHARED.size_bytes == CONTROL_MESSAGE_BYTES
+        assert DATA_MESSAGE_BYTES > CONTROL_MESSAGE_BYTES
+
+    def test_message_wrapper(self):
+        msg = CoherenceMessage(MessageType.WRITEBACK, src=1, dst=2, block_address=0x40)
+        assert msg.size_bytes == DATA_MESSAGE_BYTES
+
+
+class TestMosiLocalAction:
+    protocol = MosiProtocol()
+
+    @pytest.mark.parametrize(
+        "state",
+        [CoherenceState.MODIFIED, CoherenceState.OWNED, CoherenceState.SHARED,
+         CoherenceState.EXCLUSIVE],
+    )
+    def test_read_hits_in_any_valid_state(self, state):
+        assert self.protocol.local_action(state, write=False) is LocalOutcome.HIT
+
+    def test_read_misses_when_invalid(self):
+        assert (
+            self.protocol.local_action(CoherenceState.INVALID, write=False)
+            is LocalOutcome.MISS
+        )
+
+    def test_write_hits_only_with_ownership(self):
+        assert (
+            self.protocol.local_action(CoherenceState.MODIFIED, write=True)
+            is LocalOutcome.HIT
+        )
+        assert (
+            self.protocol.local_action(CoherenceState.SHARED, write=True)
+            is LocalOutcome.UPGRADE
+        )
+        assert (
+            self.protocol.local_action(CoherenceState.INVALID, write=True)
+            is LocalOutcome.MISS
+        )
+
+
+class TestMosiMisses:
+    protocol = MosiProtocol()
+
+    def test_read_miss_with_dirty_owner_forwards(self):
+        action = self.protocol.read_miss(owner_exists=True, sharers_exist=False)
+        assert action.source == "remote_l1"
+        assert MessageType.FORWARD_GET_SHARED in action.messages
+        assert action.new_state is CoherenceState.SHARED
+
+    def test_read_miss_without_copies_gives_exclusive(self):
+        action = self.protocol.read_miss(owner_exists=False, sharers_exist=False)
+        assert action.new_state is CoherenceState.EXCLUSIVE
+
+    def test_write_miss_invalidates_sharers(self):
+        action = self.protocol.write_miss(
+            owner_exists=False, sharers_exist=True, local_state=CoherenceState.INVALID
+        )
+        assert action.invalidate_sharers
+        assert MessageType.INVALIDATE in action.messages
+        assert action.new_state is CoherenceState.MODIFIED
+
+    def test_upgrade_from_shared_requires_no_data(self):
+        action = self.protocol.write_miss(
+            owner_exists=False, sharers_exist=True, local_state=CoherenceState.SHARED
+        )
+        assert action.outcome is LocalOutcome.UPGRADE
+        assert action.source == "none"
+
+    def test_write_miss_with_writable_state_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            self.protocol.write_miss(
+                owner_exists=False,
+                sharers_exist=False,
+                local_state=CoherenceState.MODIFIED,
+            )
+
+    def test_eviction_messages(self):
+        assert MessageType.PUT_MODIFIED in self.protocol.eviction_messages(
+            CoherenceState.MODIFIED
+        )
+        assert self.protocol.eviction_messages(CoherenceState.INVALID) == []
+
+    def test_downgrade_on_remote_read(self):
+        assert (
+            self.protocol.downgrade_on_remote_read(CoherenceState.MODIFIED)
+            is CoherenceState.OWNED
+        )
+        assert (
+            self.protocol.downgrade_on_remote_read(CoherenceState.SHARED)
+            is CoherenceState.SHARED
+        )
+
+    def test_state_on_fill(self):
+        assert self.protocol.state_on_fill(write=True, exclusive=False) is CoherenceState.MODIFIED
+        assert self.protocol.state_on_fill(write=False, exclusive=True) is CoherenceState.EXCLUSIVE
+        assert self.protocol.state_on_fill(write=False, exclusive=False) is CoherenceState.SHARED
+
+
+class TestDirectory:
+    def test_read_then_write_transitions(self):
+        directory = FullMapDirectory(home=0, num_tiles=16)
+        directory.record_read(0x100, requestor=1)
+        entry = directory.peek(0x100)
+        assert entry.state is DirectoryState.SHARED
+        assert 1 in entry.sharers
+        invalidated = directory.record_write(0x100, requestor=2)
+        assert invalidated == [1]
+        entry = directory.peek(0x100)
+        assert entry.state is DirectoryState.MODIFIED
+        assert entry.owner == 2
+
+    def test_write_then_read_downgrades(self):
+        directory = FullMapDirectory(home=0, num_tiles=16)
+        directory.record_write(0x200, requestor=3)
+        directory.record_read(0x200, requestor=4)
+        entry = directory.peek(0x200)
+        assert entry.state is DirectoryState.SHARED
+        assert {3, 4} <= entry.sharers
+
+    def test_eviction_clears_entry(self):
+        directory = FullMapDirectory(home=0, num_tiles=16)
+        directory.record_read(0x300, requestor=1)
+        directory.record_eviction(0x300, tile=1)
+        assert directory.peek(0x300) is None
+
+    def test_eviction_of_owner_keeps_other_sharers(self):
+        directory = FullMapDirectory(home=0, num_tiles=16)
+        directory.record_write(0x300, requestor=1)
+        directory.record_read(0x300, requestor=2)
+        directory.record_eviction(0x300, tile=1)
+        entry = directory.peek(0x300)
+        assert entry is not None
+        assert 2 in entry.sharers
+
+    def test_invalidate_block_returns_all_holders(self):
+        directory = FullMapDirectory(home=0, num_tiles=16)
+        directory.record_read(0x400, requestor=1)
+        directory.record_read(0x400, requestor=5)
+        holders = directory.invalidate_block(0x400)
+        assert holders == [1, 5]
+        assert directory.peek(0x400) is None
+
+    def test_validate_passes_on_consistent_state(self):
+        directory = FullMapDirectory(home=0, num_tiles=16)
+        directory.record_write(0x10, requestor=0)
+        directory.record_read(0x20, requestor=1)
+        directory.validate()
+
+    def test_storage_model_matches_section_2_2(self):
+        """Section 2.2: 16-bit sharer mask + 5-bit state per entry."""
+        assert FullMapDirectory.entry_bits(num_tiles=16) == 21
+        # 288K entries at 21 bits is roughly 756 KB; the paper quotes 1.2 MB
+        # for a directory covering both L1s and L2 slices with extra state.
+        size = FullMapDirectory.storage_bytes(num_tiles=16, covered_blocks=288 * 1024)
+        assert 700 * 1024 < size < 800 * 1024
+
+    def test_lookup_counter(self):
+        directory = FullMapDirectory(home=0, num_tiles=4)
+        directory.entry(0x1)
+        directory.entry(0x1)
+        assert directory.lookups == 2

@@ -1,0 +1,175 @@
+"""Tests for the Table-1 system configurations."""
+
+import pytest
+
+from repro.cmp.config import (
+    BLOCK_SIZE,
+    CacheConfig,
+    CoreConfig,
+    InterconnectConfig,
+    MemoryConfig,
+    SystemConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        cache = CacheConfig(size_bytes=64 * 1024, associativity=2)
+        assert cache.num_blocks == 1024
+        assert cache.num_sets == 512
+
+    def test_block_size_default_matches_paper(self):
+        assert CacheConfig(size_bytes=1024, associativity=2).block_size == 64
+        assert BLOCK_SIZE == 64
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=3 * 64 * 5, associativity=5)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=0, associativity=2)
+
+    def test_rejects_negative_associativity(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=1024, associativity=0)
+
+    def test_scaled_keeps_power_of_two_sets(self):
+        cache = CacheConfig(size_bytes=1024 * 1024, associativity=16)
+        scaled = cache.scaled(32)
+        assert scaled.num_sets & (scaled.num_sets - 1) == 0
+        assert scaled.size_bytes < cache.size_bytes
+        assert scaled.block_size == cache.block_size
+
+    def test_scaled_by_one_is_identity(self):
+        cache = CacheConfig(size_bytes=64 * 1024, associativity=2)
+        assert cache.scaled(1) == cache
+
+    def test_scaled_rejects_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=1024, associativity=2).scaled(0)
+
+
+class TestCoreConfig:
+    def test_defaults_match_table1(self):
+        core = CoreConfig()
+        assert core.frequency_ghz == 2.0
+        assert core.dispatch_width == 4
+        assert core.rob_entries == 96
+        assert core.pipeline_stages == 8
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(frequency_ghz=0)
+
+
+class TestInterconnectConfig:
+    def test_defaults_match_table1(self):
+        net = InterconnectConfig()
+        assert net.topology == "folded_torus"
+        assert net.link_latency == 1
+        assert net.router_latency == 2
+        assert net.link_width_bytes == 32
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(ConfigurationError):
+            InterconnectConfig(topology="hypercube")
+
+    def test_num_nodes(self):
+        assert InterconnectConfig(rows=4, cols=2).num_nodes == 8
+
+
+class TestMemoryConfig:
+    def test_latency_cycles_at_2ghz(self):
+        memory = MemoryConfig()
+        assert memory.latency_cycles(2.0) == 90
+
+    def test_page_size_is_8kb(self):
+        assert MemoryConfig().page_size == 8192
+
+    def test_rejects_non_power_of_two_page(self):
+        with pytest.raises(ConfigurationError):
+            MemoryConfig(page_size=3000)
+
+
+class TestSystemConfig:
+    def test_server_16core_matches_table1(self):
+        config = SystemConfig.server_16core()
+        assert config.num_tiles == 16
+        assert config.l2_slice.size_bytes == 1024 * 1024
+        assert config.l2_slice.associativity == 16
+        assert config.l2_slice.hit_latency == 14
+        assert config.l1d.size_bytes == 64 * 1024
+        assert config.aggregate_l2_bytes == 16 * 1024 * 1024
+        assert config.memory_latency_cycles == 90
+        assert config.interconnect.rows == 4 and config.interconnect.cols == 4
+
+    def test_multiprogrammed_8core_matches_table1(self):
+        config = SystemConfig.multiprogrammed_8core()
+        assert config.num_tiles == 8
+        assert config.l2_slice.size_bytes == 3 * 1024 * 1024
+        assert config.l2_slice.associativity == 12
+        assert config.l2_slice.hit_latency == 25
+        assert config.num_memory_controllers == 2
+
+    def test_for_workload_category(self):
+        assert SystemConfig.for_workload_category("server").num_tiles == 16
+        assert SystemConfig.for_workload_category("scientific").num_tiles == 16
+        assert SystemConfig.for_workload_category("multiprogrammed").num_tiles == 8
+
+    def test_for_unknown_category_raises(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig.for_workload_category("graphics")
+
+    def test_scaled_preserves_latencies_and_topology(self):
+        config = SystemConfig.server_16core()
+        scaled = config.scaled(32)
+        assert scaled.l2_slice.hit_latency == config.l2_slice.hit_latency
+        assert scaled.num_tiles == config.num_tiles
+        assert scaled.memory_latency_cycles == config.memory_latency_cycles
+        assert scaled.l2_slice.size_bytes < config.l2_slice.size_bytes
+        assert scaled.page_size < config.page_size
+
+    def test_scaled_page_is_multiple_of_blocks(self):
+        scaled = SystemConfig.server_16core().scaled(64)
+        assert scaled.page_size % scaled.block_size == 0
+        assert scaled.blocks_per_page() >= 4
+
+    def test_memory_controllers_one_per_four_cores(self):
+        assert SystemConfig.server_16core().num_memory_controllers == 4
+
+    def test_tile_count_must_match_topology(self):
+        config = SystemConfig.server_16core()
+        with pytest.raises(ConfigurationError):
+            SystemConfig(
+                name="bad",
+                num_tiles=8,
+                core=config.core,
+                l1i=config.l1i,
+                l1d=config.l1d,
+                l2_slice=config.l2_slice,
+                interconnect=config.interconnect,
+                memory=config.memory,
+            )
+
+    def test_instruction_cluster_size_must_be_power_of_two(self):
+        config = SystemConfig.server_16core()
+        with pytest.raises(ConfigurationError):
+            SystemConfig(
+                name="bad",
+                num_tiles=16,
+                core=config.core,
+                l1i=config.l1i,
+                l1d=config.l1d,
+                l2_slice=config.l2_slice,
+                interconnect=config.interconnect,
+                memory=config.memory,
+                instruction_cluster_size=3,
+            )
+
+    def test_summary_mentions_key_parameters(self):
+        text = SystemConfig.server_16core().summary()
+        assert "16" in text
+        assert "folded_torus" in text
+        assert "1024 KB" in text

@@ -1,0 +1,306 @@
+"""Behavioural tests for the five cache designs."""
+
+import pytest
+
+from repro.cache.block import AccessType
+from repro.cmp.chip import TiledChip
+from repro.designs import DESIGNS, build_design
+from repro.designs.asr import STATIC_ASR_LEVELS, AsrDesign
+from repro.designs.base import L2, OFF_CHIP, L2Access
+from repro.designs.ideal import IdealDesign
+from repro.designs.private import PrivateDesign
+from repro.designs.rnuca_design import RNucaDesign
+from repro.designs.shared import SharedDesign
+from repro.osmodel.page_table import PageClass
+
+
+def make_access(chip, core, byte_address, kind=AccessType.LOAD, true_class="shared_rw"):
+    return L2Access(
+        core=core,
+        block_address=chip.block_address(byte_address),
+        byte_address=byte_address,
+        access_type=kind,
+        thread_id=core,
+        true_class=true_class,
+    )
+
+
+class TestFactory:
+    def test_build_by_letter_and_name(self, config16):
+        chip = TiledChip(config16)
+        assert isinstance(build_design("P", chip), PrivateDesign)
+        assert isinstance(build_design("shared", TiledChip(config16)), SharedDesign)
+        assert isinstance(build_design("r-nuca", TiledChip(config16)), RNucaDesign)
+        assert isinstance(build_design("ideal", TiledChip(config16)), IdealDesign)
+
+    def test_unknown_design_rejected(self, config16):
+        with pytest.raises(ValueError):
+            build_design("quantum", TiledChip(config16))
+
+    def test_letters_match_paper(self):
+        assert set(DESIGNS) == {"P", "A", "S", "R", "I"}
+
+
+class TestSharedDesign:
+    def test_miss_then_remote_hit(self, chip16):
+        design = SharedDesign(chip16)
+        address = 0x12340
+        core = 0
+        first = design.access(make_access(chip16, core, address))
+        assert first.offchip
+        second = design.access(make_access(chip16, core, address))
+        assert not second.offchip
+        home = chip16.home_slice(chip16.block_address(address))
+        assert second.target_slice == home
+        expected = "l2_local" if home == core else "l2_remote"
+        assert second.hit_where == expected
+
+    def test_single_copy_across_all_requestors(self, chip16):
+        """Address interleaving stores each block exactly once on chip."""
+        design = SharedDesign(chip16)
+        address = 0x55500
+        for core in range(chip16.num_tiles):
+            design.access(make_access(chip16, core, address))
+        resident = sum(
+            1 for tile in chip16.tiles if tile.l2.peek(chip16.block_address(address))
+        )
+        assert resident == 1
+
+    def test_remote_access_costs_more_than_local(self, chip16):
+        design = SharedDesign(chip16)
+        address = 0x400
+        home = chip16.home_slice(chip16.block_address(address))
+        remote_core = (home + 5) % chip16.num_tiles
+        design.access(make_access(chip16, home, address))
+        local_hit = design.access(make_access(chip16, home, address))
+        remote_hit = design.access(make_access(chip16, remote_core, address))
+        assert remote_hit.components[L2] > local_hit.components[L2]
+
+    def test_dirty_remote_l1_triggers_l1_to_l1(self, chip16):
+        design = SharedDesign(chip16)
+        address = 0x9980
+        design.access(make_access(chip16, 1, address, AccessType.STORE))
+        outcome = design.access(make_access(chip16, 2, address, AccessType.LOAD))
+        assert outcome.hit_where == "l1_remote"
+        assert outcome.components.get("l1_to_l1", 0) > 0
+
+    def test_write_invalidates_remote_l1_copies(self, chip16):
+        design = SharedDesign(chip16)
+        address = 0x7700
+        design.access(make_access(chip16, 3, address, AccessType.LOAD))
+        design.access(make_access(chip16, 4, address, AccessType.STORE))
+        block = chip16.block_address(address)
+        assert 3 not in design.l1.holders(block)
+
+
+class TestPrivateDesign:
+    def test_fill_is_local(self, chip16):
+        design = PrivateDesign(chip16)
+        address = 0x3300
+        core = 6
+        design.access(make_access(chip16, core, address, true_class="private"))
+        assert chip16.tile(core).l2.peek(chip16.block_address(address)) is not None
+
+    def test_local_hit_after_fill(self, chip16):
+        design = PrivateDesign(chip16)
+        address = 0x3340
+        outcome1 = design.access(make_access(chip16, 2, address, true_class="private"))
+        outcome2 = design.access(make_access(chip16, 2, address, true_class="private"))
+        assert outcome1.offchip and not outcome2.offchip
+        assert outcome2.hit_where == "l2_local"
+        assert outcome2.latency < outcome1.latency
+
+    def test_remote_copy_serviced_by_coherence_transfer(self, chip16):
+        design = PrivateDesign(chip16)
+        address = 0x11000
+        design.access(make_access(chip16, 0, address))
+        outcome = design.access(make_access(chip16, 9, address))
+        assert outcome.hit_where in ("l2_remote", "l1_remote")
+        assert outcome.coherence
+        assert not outcome.offchip
+
+    def test_replication_across_private_slices(self, chip16):
+        """Shared blocks are independently replicated in each private slice."""
+        design = PrivateDesign(chip16)
+        address = 0x22000
+        for core in range(4):
+            design.access(make_access(chip16, core, address))
+        block = chip16.block_address(address)
+        resident = sum(1 for t in chip16.tiles if t.l2.peek(block) is not None)
+        assert resident == 4
+
+    def test_write_invalidates_all_replicas(self, chip16):
+        design = PrivateDesign(chip16)
+        address = 0x23000
+        block = chip16.block_address(address)
+        for core in range(4):
+            design.access(make_access(chip16, core, address))
+        design.access(make_access(chip16, 5, address, AccessType.STORE))
+        resident = [t.tile_id for t in chip16.tiles if t.l2.peek(block) is not None]
+        assert resident == [5]
+
+    def test_directory_tracks_holders(self, chip16):
+        design = PrivateDesign(chip16)
+        address = 0x24000
+        block = chip16.block_address(address)
+        design.access(make_access(chip16, 1, address))
+        home = chip16.home_slice(block)
+        entry = chip16.tile(home).directory.peek(block)
+        assert entry is not None and 1 in entry.copy_holders()
+
+    def test_coherence_transfer_slower_than_local_hit(self, chip16):
+        design = PrivateDesign(chip16)
+        address = 0x25000
+        design.access(make_access(chip16, 0, address))
+        local = design.access(make_access(chip16, 0, address))
+        remote = design.access(make_access(chip16, 8, address))
+        assert remote.latency > local.latency
+
+
+class TestAsrDesign:
+    def test_static_levels(self):
+        assert STATIC_ASR_LEVELS == (0.0, 0.25, 0.5, 0.75, 1.0)
+
+    def test_invalid_probability_rejected(self, chip16):
+        with pytest.raises(ValueError):
+            AsrDesign(chip16, allocation_probability=1.5)
+
+    def test_adaptive_flag_and_name(self, chip16):
+        assert AsrDesign(chip16).adaptive
+        assert "0.25" in AsrDesign(chip16, allocation_probability=0.25).name
+
+    def test_probability_zero_never_replicates(self, config16):
+        chip = TiledChip(config16)
+        design = AsrDesign(chip, allocation_probability=0.0, seed=1)
+        self._drive_shared_evictions(chip, design)
+        assert design.replications == 0
+
+    def test_probability_one_always_replicates(self, config16):
+        chip = TiledChip(config16)
+        design = AsrDesign(chip, allocation_probability=1.0, seed=1)
+        self._drive_shared_evictions(chip, design)
+        assert design.replication_skips == 0
+        assert design.replications > 0
+
+    @staticmethod
+    def _drive_shared_evictions(chip, design):
+        """Touch many shared blocks from two cores to force L1 evictions."""
+        for i in range(400):
+            address = 0x50000 + i * 64
+            design.access(make_access(chip, 0, address))
+            design.access(make_access(chip, 1, address))
+
+    def test_behaves_like_private_for_private_data(self, config16):
+        chip = TiledChip(config16)
+        design = AsrDesign(chip, allocation_probability=0.5)
+        address = 0x66000
+        design.access(make_access(chip, 3, address, true_class="private"))
+        assert chip.tile(3).l2.peek(chip.block_address(address)) is not None
+
+
+class TestRNucaDesign:
+    def test_publishes_rids(self, chip16):
+        design = RNucaDesign(chip16)
+        rids = [tile.rid for tile in chip16.tiles]
+        assert sorted(set(rids)) == [0, 1, 2, 3]
+        assert design.instruction_cluster_size == 4
+
+    def test_private_data_stays_local(self, chip16):
+        design = RNucaDesign(chip16)
+        address = 0x81000
+        outcome = design.access(
+            make_access(chip16, 4, address, true_class="private")
+        )
+        assert outcome.target_slice == 4
+        assert outcome.page_class is PageClass.PRIVATE
+
+    def test_instructions_within_one_hop(self, chip16):
+        design = RNucaDesign(chip16)
+        for core in range(16):
+            outcome = design.access(
+                make_access(
+                    chip16, core, 0x90000, AccessType.INSTRUCTION, true_class="instruction"
+                )
+            )
+            assert chip16.distance(core, outcome.target_slice) <= 1
+            assert outcome.page_class is PageClass.INSTRUCTION
+
+    def test_instruction_replication_across_clusters(self, chip16):
+        """Distant cores build independent replicas; nearby cores share one."""
+        design = RNucaDesign(chip16)
+        address = 0x90040
+        block = chip16.block_address(address)
+        for core in range(16):
+            design.access(
+                make_access(chip16, core, address, AccessType.INSTRUCTION, "instruction")
+            )
+        resident = sum(1 for t in chip16.tiles if t.l2.peek(block) is not None)
+        assert 1 < resident <= 4  # replicated per cluster, not per tile
+
+    def test_shared_data_single_location_no_l2_coherence(self, chip16):
+        design = RNucaDesign(chip16)
+        address = 0xA0000
+        block = chip16.block_address(address)
+        design.access(make_access(chip16, 0, address))
+        design.access(make_access(chip16, 1, address))
+        for core in range(16):
+            design.access(make_access(chip16, core, address))
+        resident = sum(1 for t in chip16.tiles if t.l2.peek(block) is not None)
+        assert resident == 1
+
+    def test_reclassification_charges_latency_and_shoots_down(self, chip16):
+        design = RNucaDesign(chip16)
+        address = 0xB0000
+        design.access(make_access(chip16, 2, address, true_class="private"))
+        outcome = design.access(make_access(chip16, 7, address, true_class="shared_rw"))
+        assert outcome.components.get("reclassification", 0) > 0
+        # The previous owner's slice no longer caches the page's blocks.
+        assert chip16.tile(2).l2.peek(chip16.block_address(address)) is None
+
+    def test_misclassification_tracked(self, chip16):
+        design = RNucaDesign(chip16)
+        address = 0xC0000
+        # Truth says shared, but the first touch classifies the page private.
+        design.access(make_access(chip16, 0, address, true_class="shared_rw"))
+        assert design.misclassified_accesses >= 1
+        assert 0 <= design.misclassification_rate <= 1
+
+    def test_cluster_size_configurable(self, chip16, config16):
+        from repro.core.rnuca import RNucaConfig
+
+        design = RNucaDesign(chip16, rnuca_config=RNucaConfig(instruction_cluster_size=16))
+        assert design.instruction_cluster_size == 16
+        outcome = design.access(
+            make_access(chip16, 0, 0xD0000, AccessType.INSTRUCTION, "instruction")
+        )
+        assert 0 <= outcome.target_slice < config16.num_tiles
+
+
+class TestIdealDesign:
+    def test_no_network_cost(self, chip16):
+        design = IdealDesign(chip16)
+        assert design.network_round_trip(0, 15) == 0
+
+    def test_hit_latency_is_local_slice_latency(self, chip16, config16):
+        design = IdealDesign(chip16)
+        address = 0xE0000
+        design.access(make_access(chip16, 0, address))
+        outcome = design.access(make_access(chip16, 9, address))
+        assert not outcome.offchip
+        assert outcome.components[L2] == config16.l2_slice.hit_latency
+
+    def test_capacity_matches_shared_design(self, chip16):
+        """The ideal design is a shared organisation: one copy per block."""
+        design = IdealDesign(chip16)
+        address = 0xF0000
+        block = chip16.block_address(address)
+        for core in range(8):
+            design.access(make_access(chip16, core, address))
+        resident = sum(1 for t in chip16.tiles if t.l2.peek(block) is not None)
+        assert resident == 1
+
+    def test_offchip_component_has_no_onchip_traversal(self, chip16, config16):
+        design = IdealDesign(chip16)
+        outcome = design.access(make_access(chip16, 0, 0xF1000))
+        assert outcome.offchip
+        assert outcome.components[OFF_CHIP] == config16.memory_latency_cycles

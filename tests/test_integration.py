@@ -1,0 +1,119 @@
+"""Integration tests: end-to-end simulations and cross-design invariants."""
+
+import pytest
+
+from repro.cmp.chip import TiledChip
+from repro.cmp.config import SystemConfig
+from repro.designs import build_design
+from repro.sim.engine import TraceSimulator, simulate_workload
+from repro.sim.latency import CpiModel
+from repro.workloads.generator import SyntheticTraceGenerator
+from repro.workloads.spec import get_workload
+
+from .conftest import TEST_SCALE
+
+RECORDS = 6000
+
+
+@pytest.fixture(scope="module")
+def oltp_results():
+    """P/S/R/I results for one OLTP trace (module-scoped: built once)."""
+    spec = get_workload("oltp-db2")
+    config = SystemConfig.server_16core().scaled(TEST_SCALE)
+    trace = SyntheticTraceGenerator(spec, config, seed=9, scale=TEST_SCALE).generate(RECORDS)
+    results = {}
+    for letter in ("P", "S", "R", "I"):
+        chip = TiledChip(config)
+        simulator = TraceSimulator(
+            build_design(letter, chip), CpiModel.for_workload(spec), warmup_fraction=0.3
+        )
+        results[letter] = simulator.run(trace)
+    return results
+
+
+class TestCrossDesignInvariants:
+    def test_all_designs_service_every_access(self, oltp_results):
+        accesses = {r.stats.accesses for r in oltp_results.values()}
+        assert len(accesses) == 1
+
+    def test_instruction_counts_identical(self, oltp_results):
+        instructions = {r.stats.instructions for r in oltp_results.values()}
+        assert len(instructions) == 1
+
+    def test_busy_cpi_identical_across_designs(self, oltp_results):
+        busy = {round(r.stats.component_cpi("busy"), 9) for r in oltp_results.values()}
+        assert len(busy) == 1
+
+    def test_ideal_is_best(self, oltp_results):
+        ideal = oltp_results["I"].cpi
+        for letter in ("P", "S", "R"):
+            assert ideal <= oltp_results[letter].cpi * 1.02
+
+    def test_rnuca_at_least_matches_best_conventional_design(self, oltp_results):
+        """The paper's headline: R-NUCA matches the best design per workload."""
+        best_conventional = min(oltp_results["P"].cpi, oltp_results["S"].cpi)
+        assert oltp_results["R"].cpi <= best_conventional * 1.05
+
+    def test_oltp_is_private_averse(self, oltp_results):
+        """Section 5.3 classifies OLTP DB2 as private-averse."""
+        assert oltp_results["P"].cpi > oltp_results["S"].cpi * 0.98
+
+    def test_only_directory_designs_use_coherence(self, oltp_results):
+        assert oltp_results["P"].stats.coherence_accesses > 0
+        assert oltp_results["S"].stats.coherence_accesses == 0
+        assert oltp_results["R"].stats.coherence_accesses == 0
+        assert oltp_results["I"].stats.coherence_accesses == 0
+
+    def test_rnuca_reclassification_overhead_negligible(self, oltp_results):
+        """Section 5.3: the re-classification overhead of R-NUCA is negligible."""
+        result = oltp_results["R"]
+        assert result.stats.component_cpi("reclassification") < 0.05 * result.cpi
+
+    def test_rnuca_misclassification_low(self, oltp_results):
+        """Section 5.2: page-granularity classification misclassifies few accesses."""
+        assert oltp_results["R"].metadata["misclassification_rate"] < 0.05
+
+    def test_confidence_intervals_reported(self, oltp_results):
+        for result in oltp_results.values():
+            assert result.cpi_confidence is not None
+            assert result.cpi_confidence.mean == pytest.approx(result.cpi, rel=0.25)
+
+
+class TestMultiprogrammed:
+    def test_mix_runs_on_8core_machine(self):
+        result = simulate_workload("mix", "R", num_records=2500, scale=TEST_SCALE)
+        assert result.metadata["config"].startswith("multiprogrammed-8core")
+
+    def test_mix_is_shared_averse(self):
+        """Section 5.3: the multi-programmed mix favours private-like locality."""
+        shared = simulate_workload("mix", "S", num_records=5000, scale=TEST_SCALE, seed=4)
+        private = simulate_workload("mix", "P", num_records=5000, scale=TEST_SCALE, seed=4)
+        rnuca = simulate_workload("mix", "R", num_records=5000, scale=TEST_SCALE, seed=4)
+        assert shared.cpi > private.cpi
+        assert rnuca.cpi <= private.cpi * 1.03
+
+
+class TestClusterSizeTradeoff:
+    def test_size4_not_worse_than_extremes(self):
+        """Figure 11: size-4 clusters balance latency and off-chip misses."""
+        from repro.analysis.evaluation import simulate_rnuca_cluster
+
+        results = {
+            size: simulate_rnuca_cluster(
+                "apache", size, num_records=6000, scale=TEST_SCALE, seed=6
+            )
+            for size in (1, 4, 16)
+        }
+        # Size-1 replicates everywhere (more off-chip); size-16 has no replication
+        # (higher instruction latency).  Size-4 should not lose to both.
+        assert results[4].cpi <= max(results[1].cpi, results[16].cpi) * 1.02
+        assert results[1].metadata["offchip_rate"] >= results[16].metadata["offchip_rate"]
+
+    def test_instruction_latency_grows_with_cluster_size(self):
+        from repro.analysis.evaluation import simulate_rnuca_cluster
+
+        small = simulate_rnuca_cluster("apache", 1, num_records=4000, scale=TEST_SCALE, seed=6)
+        large = simulate_rnuca_cluster("apache", 16, num_records=4000, scale=TEST_SCALE, seed=6)
+        assert large.stats.class_component_cpi("instruction", "l2") > (
+            small.stats.class_component_cpi("instruction", "l2")
+        )

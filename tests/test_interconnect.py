@@ -1,0 +1,154 @@
+"""Tests for topologies, routing and the network latency model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cmp.config import InterconnectConfig
+from repro.errors import ConfigurationError
+from repro.interconnect.network import NetworkModel
+from repro.interconnect.routing import dimension_order_route, link_loads
+from repro.interconnect.topology import FoldedTorus2D, Mesh2D, build_topology
+
+
+class TestFoldedTorus:
+    def test_wraparound_distance(self):
+        torus = FoldedTorus2D(4, 4)
+        # Tile 0 (0,0) and tile 3 (0,3) are one hop apart thanks to wrap-around.
+        assert torus.hop_distance(0, 3) == 1
+        assert torus.hop_distance(0, 12) == 1
+
+    def test_maximum_distance_on_4x4(self):
+        torus = FoldedTorus2D(4, 4)
+        assert torus.diameter() == 4
+        assert torus.hop_distance(0, 10) == 4
+
+    def test_distance_symmetry(self):
+        torus = FoldedTorus2D(4, 4)
+        for src in range(16):
+            for dst in range(16):
+                assert torus.hop_distance(src, dst) == torus.hop_distance(dst, src)
+
+    def test_every_node_has_same_latency_profile(self):
+        """A torus has no edges: every node sees the same distance distribution."""
+        torus = FoldedTorus2D(4, 4)
+        reference = torus.average_distance(0)
+        for node in range(1, 16):
+            assert torus.average_distance(node) == pytest.approx(reference)
+
+    def test_neighbors(self):
+        torus = FoldedTorus2D(4, 4)
+        assert torus.neighbors(0) == [1, 3, 4, 12]
+
+    def test_4x2_torus(self):
+        torus = FoldedTorus2D(4, 2)
+        assert torus.num_nodes == 8
+        assert torus.hop_distance(0, 1) == 1
+        assert torus.hop_distance(0, 7) == 2
+
+    def test_nodes_within(self):
+        torus = FoldedTorus2D(4, 4)
+        assert set(torus.nodes_within(0, 1)) == {0, 1, 3, 4, 12}
+
+    def test_rejects_bad_node(self):
+        with pytest.raises(ConfigurationError):
+            FoldedTorus2D(4, 4).hop_distance(0, 16)
+
+
+class TestMesh:
+    def test_no_wraparound(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.hop_distance(0, 3) == 3
+        assert mesh.hop_distance(0, 15) == 6
+
+    def test_corner_has_two_neighbors(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.neighbors(0) == [1, 4]
+        assert len(mesh.neighbors(5)) == 4
+
+    def test_mesh_penalizes_edges_relative_to_torus(self):
+        """Section 5.1: meshes penalise edge tiles; tori treat nodes equally."""
+        mesh, torus = Mesh2D(4, 4), FoldedTorus2D(4, 4)
+        assert mesh.average_distance(0) > torus.average_distance(0)
+        assert mesh.average_distance(5) < mesh.average_distance(0)
+
+
+class TestBuildTopology:
+    def test_builds_torus_and_mesh(self):
+        assert isinstance(build_topology(InterconnectConfig()), FoldedTorus2D)
+        assert isinstance(
+            build_topology(InterconnectConfig(topology="mesh")), Mesh2D
+        )
+
+
+class TestRouting:
+    def test_route_endpoints(self):
+        torus = FoldedTorus2D(4, 4)
+        path = dimension_order_route(torus, 0, 10)
+        assert path[0] == 0 and path[-1] == 10
+
+    def test_route_length_matches_hop_distance(self):
+        torus = FoldedTorus2D(4, 4)
+        for src in range(16):
+            for dst in range(16):
+                path = dimension_order_route(torus, src, dst)
+                assert len(path) - 1 == torus.hop_distance(src, dst)
+
+    def test_route_steps_are_adjacent(self):
+        torus = FoldedTorus2D(4, 4)
+        path = dimension_order_route(torus, 0, 10)
+        for a, b in zip(path, path[1:]):
+            assert b in torus.neighbors(a)
+
+    def test_mesh_route_length(self):
+        mesh = Mesh2D(4, 4)
+        path = dimension_order_route(mesh, 0, 15)
+        assert len(path) - 1 == 6
+
+    def test_link_loads_counts_traffic(self):
+        torus = FoldedTorus2D(2, 2)
+        loads = link_loads(torus, {(0, 1): 5, (1, 0): 2})
+        assert loads[(0, 1)] == 5
+        assert loads[(1, 0)] == 2
+
+    @given(src=st.integers(0, 15), dst=st.integers(0, 15))
+    @settings(max_examples=60, deadline=None)
+    def test_route_is_minimal_on_torus(self, src, dst):
+        torus = FoldedTorus2D(4, 4)
+        path = dimension_order_route(torus, src, dst)
+        assert len(path) - 1 == torus.hop_distance(src, dst)
+
+
+class TestNetworkModel:
+    def test_local_latency_is_single_router(self):
+        network = NetworkModel(InterconnectConfig())
+        assert network.one_way_latency(0, 0) == 2
+
+    def test_one_hop_latency(self):
+        network = NetworkModel(InterconnectConfig())
+        # 1 link + 2 routers = 1*1 + 2*2 = 5 cycles.
+        assert network.one_way_latency(0, 1) == 5
+
+    def test_round_trip_is_double(self):
+        network = NetworkModel(InterconnectConfig())
+        assert network.round_trip_latency(0, 5) == 2 * network.one_way_latency(0, 5)
+
+    def test_send_accumulates_stats(self):
+        network = NetworkModel(InterconnectConfig())
+        network.send(0, 1, "req")
+        network.send(0, 2, "data")
+        assert network.messages == 2
+        assert network.messages_by_class["req"] == 1
+        assert network.total_hops == 3
+        assert network.average_hops == pytest.approx(1.5)
+
+    def test_average_latency_uniform_on_torus(self):
+        network = NetworkModel(InterconnectConfig())
+        values = {network.average_one_way_latency(n) for n in range(16)}
+        assert len(values) == 1
+
+    def test_reset_stats(self):
+        network = NetworkModel(InterconnectConfig())
+        network.send(0, 1)
+        network.reset_stats()
+        assert network.messages == 0 and network.total_hops == 0

@@ -1,0 +1,190 @@
+"""Tests for the OS model: page table, TLB, classifier, scheduler."""
+
+import pytest
+
+from repro.errors import ClassificationError, ConfigurationError
+from repro.osmodel.classifier import ClassificationEvent, PageClassifier
+from repro.osmodel.page_table import PageClass, PageTable, PageTableEntry
+from repro.osmodel.scheduler import ThreadScheduler
+from repro.osmodel.tlb import Tlb, TlbEntry
+
+
+class TestPageTable:
+    def test_get_or_create(self):
+        table = PageTable()
+        entry = table.get_or_create(5)
+        assert entry.page_number == 5
+        assert table.get_or_create(5) is entry
+        assert len(table) == 1
+
+    def test_default_entry_is_private(self):
+        entry = PageTableEntry(page_number=1)
+        assert entry.page_class is PageClass.PRIVATE
+        assert entry.private
+
+    def test_mark_shared_clears_private_bit(self):
+        entry = PageTableEntry(page_number=1)
+        entry.mark_private(3)
+        entry.mark_shared()
+        assert entry.page_class is PageClass.SHARED
+        assert not entry.private
+        assert entry.owner_cid is None
+
+    def test_instruction_page_cannot_become_shared(self):
+        entry = PageTableEntry(page_number=1)
+        entry.mark_instruction()
+        with pytest.raises(ClassificationError):
+            entry.mark_shared()
+
+    def test_pages_of_class(self):
+        table = PageTable()
+        table.get_or_create(1).mark_shared()
+        table.get_or_create(2).mark_private(0)
+        assert [e.page_number for e in table.pages_of_class(PageClass.SHARED)] == [1]
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(core_id=0, entries=4)
+        assert tlb.lookup(7) is None
+        tlb.fill(TlbEntry(page_number=7, page_class=PageClass.PRIVATE, private=True))
+        assert tlb.lookup(7) is not None
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_lru_replacement(self):
+        tlb = Tlb(core_id=0, entries=2)
+        for page in (1, 2):
+            tlb.fill(TlbEntry(page_number=page, page_class=PageClass.SHARED, private=False))
+        tlb.lookup(1)
+        tlb.fill(TlbEntry(page_number=3, page_class=PageClass.SHARED, private=False))
+        assert 1 in tlb and 3 in tlb and 2 not in tlb
+
+    def test_shootdown(self):
+        tlb = Tlb(core_id=0, entries=4)
+        tlb.fill(TlbEntry(page_number=9, page_class=PageClass.PRIVATE, private=True))
+        assert tlb.shootdown(9)
+        assert not tlb.shootdown(9)
+        assert tlb.shootdowns == 1
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Tlb(core_id=0, entries=0)
+
+    def test_miss_rate(self):
+        tlb = Tlb(core_id=0, entries=4)
+        tlb.lookup(1)
+        tlb.fill(TlbEntry(page_number=1, page_class=PageClass.SHARED, private=False))
+        tlb.lookup(1)
+        assert tlb.miss_rate == pytest.approx(0.5)
+
+
+class TestScheduler:
+    def test_default_mapping_is_identity_modulo_cores(self):
+        scheduler = ThreadScheduler(num_cores=4)
+        assert scheduler.core_of(2) == 2
+        assert scheduler.core_of(6) == 2
+
+    def test_schedule_and_migrate(self):
+        scheduler = ThreadScheduler(num_cores=4)
+        scheduler.schedule(thread_id=1, core_id=3)
+        record = scheduler.migrate(thread_id=1, to_core=0)
+        assert record.from_core == 3 and record.to_core == 0
+        assert scheduler.core_of(1) == 0
+        assert scheduler.recently_migrated(1)
+        assert not scheduler.recently_migrated(2)
+
+    def test_invalid_core_rejected(self):
+        scheduler = ThreadScheduler(num_cores=4)
+        with pytest.raises(ConfigurationError):
+            scheduler.schedule(thread_id=0, core_id=9)
+
+
+class TestPageClassifier:
+    def test_instruction_accesses_classified_immediately(self):
+        classifier = PageClassifier(num_cores=4)
+        page_class, event = classifier.classify_access(0, 10, instruction=True)
+        assert page_class is PageClass.INSTRUCTION
+        assert event.kind == ClassificationEvent.INSTRUCTION
+        assert classifier.classification_of(10) is PageClass.INSTRUCTION
+
+    def test_first_data_touch_is_private(self):
+        classifier = PageClassifier(num_cores=4)
+        page_class, event = classifier.classify_access(2, 11, instruction=False)
+        assert page_class is PageClass.PRIVATE
+        assert event.kind == ClassificationEvent.FIRST_TOUCH
+        assert classifier.page_table.lookup(11).owner_cid == 2
+
+    def test_same_core_reaccess_stays_private(self):
+        classifier = PageClassifier(num_cores=4)
+        classifier.classify_access(2, 11, instruction=False)
+        page_class, event = classifier.classify_access(2, 11, instruction=False)
+        assert page_class is PageClass.PRIVATE
+        assert event.kind == ClassificationEvent.TLB_HIT
+
+    def test_second_core_triggers_reclassification_to_shared(self):
+        classifier = PageClassifier(num_cores=4)
+        shootdowns = []
+        classifier.classify_access(0, 20, instruction=False)
+        page_class, event = classifier.classify_access(
+            1, 20, instruction=False,
+            shootdown=lambda page, owner: shootdowns.append((page, owner)) or 3,
+        )
+        assert page_class is PageClass.SHARED
+        assert event.kind == ClassificationEvent.RECLASSIFY_TO_SHARED
+        assert event.shootdown_blocks == 3
+        assert shootdowns == [(20, 0)]
+        assert classifier.reclassifications == 1
+        entry = classifier.page_table.lookup(20)
+        assert entry.page_class is PageClass.SHARED
+        assert not entry.poisoned
+
+    def test_reclassification_shoots_down_all_tlbs(self):
+        classifier = PageClassifier(num_cores=4)
+        classifier.classify_access(0, 21, instruction=False)
+        classifier.classify_access(1, 21, instruction=False)
+        # Core 0's stale private translation must be gone.
+        assert 21 not in classifier.tlbs[0]
+
+    def test_third_core_sees_shared_without_reclassification(self):
+        classifier = PageClassifier(num_cores=4)
+        classifier.classify_access(0, 22, instruction=False)
+        classifier.classify_access(1, 22, instruction=False)
+        page_class, event = classifier.classify_access(3, 22, instruction=False)
+        assert page_class is PageClass.SHARED
+        assert event.kind == ClassificationEvent.TLB_FILL
+        assert classifier.reclassifications == 1
+
+    def test_thread_migration_keeps_page_private(self):
+        classifier = PageClassifier(num_cores=4)
+        classifier.scheduler.schedule(thread_id=7, core_id=0)
+        classifier.classify_access(0, 30, instruction=False, thread_id=7)
+        classifier.scheduler.migrate(thread_id=7, to_core=2)
+        page_class, event = classifier.classify_access(
+            2, 30, instruction=False, thread_id=7
+        )
+        assert page_class is PageClass.PRIVATE
+        assert event.kind == ClassificationEvent.MIGRATION_REOWN
+        assert classifier.page_table.lookup(30).owner_cid == 2
+        assert classifier.migration_reowns == 1
+
+    def test_data_touch_of_instruction_page_becomes_private(self):
+        classifier = PageClassifier(num_cores=4)
+        classifier.classify_access(0, 40, instruction=True)
+        page_class, _ = classifier.classify_access(1, 40, instruction=False)
+        assert page_class is PageClass.PRIVATE
+
+    def test_reclassification_costs_more_than_a_trap(self):
+        classifier = PageClassifier(num_cores=4)
+        classifier.classify_access(0, 50, instruction=False)
+        _, event = classifier.classify_access(1, 50, instruction=False)
+        assert event.latency_cycles == classifier.reclassify_latency
+        assert classifier.total_overhead_cycles >= classifier.reclassify_latency
+
+    def test_invalid_core_rejected(self):
+        classifier = PageClassifier(num_cores=2)
+        with pytest.raises(ClassificationError):
+            classifier.classify_access(5, 1, instruction=False)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ClassificationError):
+            PageClassifier(num_cores=0)

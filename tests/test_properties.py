@@ -1,0 +1,188 @@
+"""Cross-cutting property-based tests on the core invariants of the paper.
+
+These hypothesis tests drive the designs and the R-NUCA mechanisms with
+arbitrary access sequences and check the invariants the paper's correctness
+argument rests on:
+
+* under the shared, ideal and R-NUCA designs every modifiable (data) block
+  has at most one copy in the aggregate L2, which is what makes L2 coherence
+  unnecessary;
+* R-NUCA resolves every access with exactly one slice probe, and instruction
+  lookups never leave the fixed-center cluster;
+* the OS page classification never "forgets" a shared classification (a page
+  never silently reverts to private without a migration event);
+* the CPI accounting is conservative: total CPI equals the sum of its
+  components for any access mix.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.block import AccessType
+from repro.cmp.chip import TiledChip
+from repro.cmp.config import SystemConfig
+from repro.core.rnuca import RNucaPolicy
+from repro.designs import build_design
+from repro.designs.base import L2Access
+from repro.osmodel.classifier import PageClassifier
+from repro.osmodel.page_table import PageClass
+from repro.sim.stats import SimulationStats
+from repro.workloads.trace import TraceRecord
+
+from .conftest import TEST_SCALE
+
+
+def scaled_config() -> SystemConfig:
+    return SystemConfig.server_16core().scaled(TEST_SCALE)
+
+
+#: An access is (core, block index, is_write).
+ACCESSES = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=255),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _to_l2_access(chip: TiledChip, core: int, block_index: int, write: bool) -> L2Access:
+    byte_address = block_index * chip.config.block_size * 131 + (1 << 22)
+    return L2Access(
+        core=core,
+        block_address=chip.block_address(byte_address),
+        byte_address=byte_address,
+        access_type=AccessType.STORE if write else AccessType.LOAD,
+        thread_id=core,
+        true_class="shared_rw",
+    )
+
+
+class TestSingleCopyInvariant:
+    @given(accesses=ACCESSES)
+    @settings(max_examples=15, deadline=None)
+    def test_shared_design_never_replicates(self, accesses):
+        chip = TiledChip(scaled_config())
+        design = build_design("S", chip)
+        touched = set()
+        for core, block_index, write in accesses:
+            access = _to_l2_access(chip, core, block_index, write)
+            design.access(access)
+            touched.add(access.block_address)
+        for block in touched:
+            copies = sum(1 for t in chip.tiles if t.l2.peek(block) is not None)
+            assert copies <= 1
+
+    @given(accesses=ACCESSES)
+    @settings(max_examples=15, deadline=None)
+    def test_rnuca_data_blocks_have_one_location(self, accesses):
+        chip = TiledChip(scaled_config())
+        design = build_design("R", chip)
+        touched = set()
+        for core, block_index, write in accesses:
+            access = _to_l2_access(chip, core, block_index, write)
+            design.access(access)
+            touched.add(access.block_address)
+        for block in touched:
+            copies = sum(1 for t in chip.tiles if t.l2.peek(block) is not None)
+            assert copies <= 1
+
+    @given(accesses=ACCESSES)
+    @settings(max_examples=10, deadline=None)
+    def test_private_design_write_leaves_single_writable_copy(self, accesses):
+        chip = TiledChip(scaled_config())
+        design = build_design("P", chip)
+        last_writer: dict[int, int] = {}
+        for core, block_index, write in accesses:
+            access = _to_l2_access(chip, core, block_index, write)
+            design.access(access)
+            if write:
+                last_writer[access.block_address] = core
+        for block, writer in last_writer.items():
+            holders = [t.tile_id for t in chip.tiles if t.l2.peek(block) is not None]
+            # After the final write, the writer is the only L2 holder until
+            # somebody else reads the block again.
+            reread = any(
+                _to_l2_access(chip, c, b, w).block_address == block and not w and c != writer
+                for c, b, w in accesses[::-1]
+            )
+            if not reread:
+                assert holders == [writer] or holders == []
+
+
+class TestRNucaLookupProperties:
+    @given(
+        core=st.integers(min_value=0, max_value=15),
+        page=st.integers(min_value=0, max_value=4095),
+        offset=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_instruction_lookup_stays_in_cluster(self, core, page, offset):
+        config = SystemConfig.server_16core()
+        policy = RNucaPolicy(config)
+        address = page * config.page_size + offset * config.block_size
+        lookup = policy.lookup(core, address, instruction=True)
+        cluster = policy.placement.instruction_cluster(core)
+        assert lookup.target_slice in cluster.members
+        assert policy.topology.hop_distance(core, lookup.target_slice) <= 1
+
+    @given(
+        first_core=st.integers(min_value=0, max_value=15),
+        second_core=st.integers(min_value=0, max_value=15),
+        page=st.integers(min_value=16, max_value=2047),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_classification_is_monotone(self, first_core, second_core, page):
+        """private -> shared transitions happen at most once and never revert."""
+        classifier = PageClassifier(num_cores=16)
+        classifier.classify_access(first_core, page, instruction=False)
+        classifier.classify_access(second_core, page, instruction=False)
+        expected = (
+            PageClass.PRIVATE if first_core == second_core else PageClass.SHARED
+        )
+        assert classifier.classification_of(page) is expected
+        # Re-touching by the original core never flips a shared page back.
+        classifier.classify_access(first_core, page, instruction=False)
+        assert classifier.classification_of(page) is expected
+        assert classifier.reclassifications <= 1
+
+
+class TestAccountingProperties:
+    @given(
+        records=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=15),
+                st.integers(min_value=1, max_value=60),
+                st.sampled_from(["instruction", "private", "shared_rw"]),
+                st.floats(min_value=0.0, max_value=200.0),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cpi_equals_sum_of_components(self, records):
+        from repro.designs.base import L2, AccessOutcome
+
+        stats = SimulationStats()
+        for core, instructions, true_class, latency in records:
+            record = TraceRecord(
+                core=core,
+                access_type=(
+                    AccessType.INSTRUCTION
+                    if true_class == "instruction"
+                    else AccessType.LOAD
+                ),
+                address=64 * core,
+                instructions=instructions,
+                true_class=true_class,
+            )
+            stats.record(record, AccessOutcome(components={L2: latency}), busy_cycles=instructions)
+        breakdown = stats.cpi_breakdown()
+        assert abs(stats.cpi - sum(breakdown.values())) < 1e-9
+        class_total = sum(stats.class_cpi(c) for c in ("instruction", "private", "shared"))
+        assert abs(class_total - (stats.cpi - stats.component_cpi("busy"))) < 1e-9

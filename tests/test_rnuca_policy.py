@@ -1,0 +1,91 @@
+"""Tests for the end-to-end R-NUCA policy (classification + placement)."""
+
+import pytest
+
+from repro.cmp.config import SystemConfig
+from repro.core.rnuca import RNucaConfig, RNucaPolicy
+from repro.errors import ConfigurationError
+from repro.osmodel.page_table import PageClass
+
+
+@pytest.fixture
+def policy():
+    return RNucaPolicy(SystemConfig.server_16core())
+
+
+class TestRNucaConfig:
+    def test_defaults(self):
+        config = RNucaConfig()
+        assert config.instruction_cluster_size == 4
+
+    def test_rejects_non_power_of_two_cluster(self):
+        with pytest.raises(ConfigurationError):
+            RNucaConfig(instruction_cluster_size=6)
+
+
+class TestRNucaPolicy:
+    def test_instruction_lookup_nearby(self, policy):
+        lookup = policy.lookup(3, 0x1234_0000, instruction=True)
+        assert lookup.page_class is PageClass.INSTRUCTION
+        assert policy.topology.hop_distance(3, lookup.target_slice) <= 1
+
+    def test_private_then_shared_transition(self, policy):
+        address = 0x8000_0000
+        first = policy.lookup(0, address, instruction=False)
+        assert first.page_class is PageClass.PRIVATE
+        assert first.target_slice == 0
+        second = policy.lookup(5, address, instruction=False)
+        assert second.page_class is PageClass.SHARED
+        # Once shared, every core agrees on the same interleaved slice.
+        targets = {
+            policy.lookup(core, address, instruction=False).target_slice
+            for core in range(16)
+        }
+        assert len(targets) == 1
+
+    def test_shared_block_single_location_obviates_coherence(self, policy):
+        """Each modifiable block maps to exactly one slice in the aggregate cache."""
+        base = 0x4000_0000
+        for offset in range(0, 64 * 64, 64):
+            address = base + offset
+            policy.lookup(0, address, instruction=False)
+            policy.lookup(1, address, instruction=False)
+            targets = {
+                policy.lookup(core, address, instruction=False).target_slice
+                for core in range(16)
+            }
+            assert len(targets) == 1
+
+    def test_shootdown_callback_invoked_on_reclassification(self, policy):
+        calls = []
+        address = 0x9000_0000
+        policy.lookup(2, address, instruction=False)
+        policy.lookup(3, address, instruction=False, shootdown=lambda p, o: calls.append((p, o)) or 0)
+        assert calls == [(policy.page_number(address), 2)]
+
+    def test_statistics(self, policy):
+        policy.lookup(0, 0x100, instruction=True)
+        policy.lookup(0, 0x8000_0000, instruction=False)
+        assert policy.lookups == 2
+        assert policy.lookups_by_class[PageClass.INSTRUCTION] == 1
+        assert policy.lookups_by_class[PageClass.PRIVATE] == 1
+        assert 0.0 <= policy.local_lookup_fraction <= 1.0
+
+    def test_describe_mentions_cluster_sizes(self, policy):
+        text = policy.describe()
+        assert "size-4" in text
+        assert "size-16" in text
+
+    def test_rids_published(self, policy):
+        rids = policy.rids
+        assert rids is not None and len(rids) == 16
+        assert sorted(set(rids)) == [0, 1, 2, 3]
+
+    def test_block_and_page_helpers(self, policy):
+        assert policy.block_address(128) == 2
+        assert policy.page_number(policy.system_config.page_size) == 1
+
+    def test_scaled_config_also_works(self):
+        policy = RNucaPolicy(SystemConfig.multiprogrammed_8core().scaled(64))
+        lookup = policy.lookup(1, 0x2000, instruction=True)
+        assert lookup.target_slice in range(8)

@@ -1,0 +1,173 @@
+"""Tests for rotational interleaving (paper Section 4.1).
+
+These tests check the paper's central mechanism: overlapping fixed-center
+clusters replicate data without increasing per-slice capacity pressure, and
+every lookup needs exactly one probe.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rotational import (
+    RotationalInterleaver,
+    owner_interleave_bits,
+    rid_assignment,
+    rotational_index,
+)
+from repro.errors import ClusterError
+from repro.interconnect.topology import FoldedTorus2D
+
+CLUSTER_SIZES = (2, 4, 8, 16)
+
+
+def torus16() -> FoldedTorus2D:
+    return FoldedTorus2D(4, 4)
+
+
+class TestRidAssignment:
+    def test_every_rid_value_appears_equally_often(self):
+        rids = rid_assignment(4, 4, 4)
+        assert sorted(rids) == sorted(list(range(4)) * 4)
+
+    def test_rows_have_consecutive_rids(self):
+        rids = rid_assignment(4, 4, 4)
+        for row in range(4):
+            for col in range(3):
+                left, right = rids[row * 4 + col], rids[row * 4 + col + 1]
+                assert (left - right) % 4 == 1
+
+    def test_columns_differ_by_log2_n(self):
+        rids = rid_assignment(4, 4, 4)
+        for row in range(3):
+            for col in range(4):
+                upper, lower = rids[row * 4 + col], rids[(row + 1) * 4 + col]
+                assert (upper - lower) % 4 == 2
+
+    def test_base_rid_offsets_everything(self):
+        base0 = rid_assignment(4, 4, 4, base_rid=0)
+        base2 = rid_assignment(4, 4, 4, base_rid=2)
+        assert all((b - a) % 4 == 2 for a, b in zip(base0, base2))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ClusterError):
+            rid_assignment(4, 4, 3)
+
+    def test_rejects_bad_base_rid(self):
+        with pytest.raises(ClusterError):
+            rid_assignment(4, 4, 4, base_rid=4)
+
+
+class TestIndexingFunction:
+    def test_matches_paper_formula(self):
+        """R = (Addr bits + RID + 1) mod n."""
+        assert rotational_index(0, 0, 4) == 1
+        assert rotational_index(3, 0, 4) == 0
+        assert rotational_index(1, 2, 4) == 0
+        assert rotational_index(2, 3, 4) == 2
+
+    def test_rejects_out_of_range_inputs(self):
+        with pytest.raises(ClusterError):
+            rotational_index(4, 0, 4)
+        with pytest.raises(ClusterError):
+            rotational_index(0, 4, 4)
+
+    def test_owner_bits_inverse_relationship(self):
+        for n in CLUSTER_SIZES:
+            for rid in range(n):
+                bits = owner_interleave_bits(rid, n)
+                # The owner's own lookup of those bits must map to itself (R == 0).
+                assert rotational_index(bits, rid, n) == 0
+
+
+class TestRotationalInterleaver:
+    @pytest.mark.parametrize("size", CLUSTER_SIZES)
+    def test_cluster_covers_all_rids(self, size):
+        interleaver = RotationalInterleaver(torus16(), size)
+        for center in range(16):
+            members = interleaver.cluster_members(center)
+            assert len(members) == size
+            assert sorted(interleaver.rids[m] for m in members) == list(range(size))
+
+    def test_cluster_center_is_member_zero(self):
+        interleaver = RotationalInterleaver(torus16(), 4)
+        for center in range(16):
+            assert interleaver.cluster_members(center)[0] == center
+
+    def test_size4_cluster_is_nearest_neighbors(self):
+        """On the 4x4 torus, size-4 clusters are the center plus 3 adjacent tiles."""
+        interleaver = RotationalInterleaver(torus16(), 4)
+        torus = torus16()
+        for center in range(16):
+            assert interleaver.max_lookup_distance(center) == 1
+            for member in interleaver.cluster_members(center):
+                assert torus.hop_distance(center, member) <= 1
+
+    def test_single_probe_lookup(self):
+        """Every (center, address-bits) pair resolves to exactly one slice."""
+        interleaver = RotationalInterleaver(torus16(), 4)
+        for center in range(16):
+            targets = {interleaver.target_slice(center, bits) for bits in range(4)}
+            assert len(targets) == 4
+
+    @pytest.mark.parametrize("size", CLUSTER_SIZES)
+    def test_each_slice_stores_the_same_data_for_every_cluster(self, size):
+        """The key invariant of Section 4.1.
+
+        A tile stores exactly the same 1/n-th of the data (the same
+        interleaving-bit value) regardless of which cluster's lookup reaches
+        it, so overlapping clusters do not increase capacity pressure.
+        """
+        interleaver = RotationalInterleaver(torus16(), size)
+        stored: dict[int, set[int]] = {tile: set() for tile in range(16)}
+        for center in range(16):
+            for bits in range(size):
+                target = interleaver.target_slice(center, bits)
+                stored[target].add(bits)
+        for tile, bit_values in stored.items():
+            if bit_values:
+                assert bit_values == {interleaver.stored_bits(tile)}
+
+    def test_whole_chip_cluster_is_unique_placement(self):
+        interleaver = RotationalInterleaver(torus16(), 16)
+        for bits in range(16):
+            targets = {interleaver.target_slice(c, bits) for c in range(16)}
+            assert len(targets) == 1
+
+    def test_8core_torus_supported(self):
+        interleaver = RotationalInterleaver(FoldedTorus2D(4, 2), 4)
+        for center in range(8):
+            members = interleaver.cluster_members(center)
+            assert sorted(interleaver.rids[m] for m in members) == [0, 1, 2, 3]
+
+    def test_average_lookup_distance_grows_with_cluster_size(self):
+        distances = []
+        for size in (1, 4, 16):
+            if size == 1:
+                distances.append(0.0)
+                continue
+            interleaver = RotationalInterleaver(torus16(), size)
+            distances.append(
+                sum(interleaver.average_lookup_distance(c) for c in range(16)) / 16
+            )
+        assert distances[0] < distances[1] < distances[2]
+
+    def test_cluster_too_large_rejected(self):
+        with pytest.raises(ClusterError):
+            RotationalInterleaver(torus16(), 32)
+
+    def test_wrong_rid_count_rejected(self):
+        with pytest.raises(ClusterError):
+            RotationalInterleaver(torus16(), 4, rids=[0, 1, 2, 3])
+
+    @given(
+        base_rid=st.integers(min_value=0, max_value=3),
+        center=st.integers(min_value=0, max_value=15),
+        bits=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lookup_consistency_property(self, base_rid, center, bits):
+        """Whoever a lookup lands on stores exactly those interleaving bits."""
+        interleaver = RotationalInterleaver(torus16(), 4, base_rid=base_rid)
+        target = interleaver.target_slice(center, bits)
+        assert interleaver.stored_bits(target) == bits

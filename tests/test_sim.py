@@ -1,0 +1,213 @@
+"""Tests for the simulation engine, CPI model, statistics and sampling."""
+
+import math
+
+import pytest
+
+from repro.cache.block import AccessType
+from repro.cmp.chip import TiledChip
+from repro.designs import build_design
+from repro.designs.base import BUSY, L2, OFF_CHIP, AccessOutcome
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import TraceSimulator, simulate_best_asr, simulate_workload, warm_page_tables
+from repro.sim.latency import CpiModel
+from repro.sim.sampling import ConfidenceInterval, sample_mean, speedup_interval, split_into_samples
+from repro.sim.stats import SimulationStats
+from repro.workloads.spec import get_workload
+from repro.workloads.trace import Trace, TraceRecord
+
+from .conftest import TEST_SCALE
+
+
+class TestCpiModel:
+    def test_busy_cycles(self):
+        model = CpiModel(busy_cpi=0.8)
+        record = TraceRecord(core=0, access_type=AccessType.LOAD, address=0, instructions=10)
+        assert model.busy_cycles(record) == pytest.approx(8.0)
+
+    def test_overlap_scales_components(self):
+        model = CpiModel(busy_cpi=1.0, stall_factors={L2: 0.5, OFF_CHIP: 0.5})
+        outcome = AccessOutcome(components={L2: 10.0, OFF_CHIP: 100.0})
+        model.apply_overlap(outcome)
+        assert outcome.components[L2] == pytest.approx(5.0)
+        assert outcome.components[OFF_CHIP] == pytest.approx(50.0)
+
+    def test_for_workload_uses_spec_busy_cpi(self):
+        spec = get_workload("em3d")
+        assert CpiModel.for_workload(spec).busy_cpi == spec.busy_cpi
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CpiModel(busy_cpi=0)
+        with pytest.raises(ConfigurationError):
+            CpiModel(busy_cpi=1.0, stall_factors={L2: 1.5})
+
+
+class TestSimulationStats:
+    def make_record(self, true_class="private", instructions=10):
+        return TraceRecord(
+            core=0,
+            access_type=AccessType.LOAD,
+            address=64,
+            instructions=instructions,
+            true_class=true_class,
+        )
+
+    def test_cpi_accumulation(self):
+        stats = SimulationStats()
+        outcome = AccessOutcome(components={L2: 20.0})
+        stats.record(self.make_record(), outcome, busy_cycles=10.0)
+        assert stats.instructions == 10
+        assert stats.cpi == pytest.approx(3.0)
+        assert stats.component_cpi(BUSY) == pytest.approx(1.0)
+        assert stats.component_cpi(L2) == pytest.approx(2.0)
+
+    def test_class_attribution(self):
+        stats = SimulationStats()
+        stats.record(self.make_record("private"), AccessOutcome(components={L2: 10.0}), 5.0)
+        stats.record(self.make_record("shared_rw"), AccessOutcome(components={L2: 30.0}), 5.0)
+        assert stats.class_component_cpi("private", L2) == pytest.approx(0.5)
+        assert stats.class_component_cpi("shared", L2) == pytest.approx(1.5)
+        assert stats.class_cpi("shared") == pytest.approx(1.5)
+
+    def test_shared_service_tracking(self):
+        stats = SimulationStats()
+        outcome = AccessOutcome(components={L2: 40.0}, coherence=True)
+        stats.record(self.make_record("shared_rw"), outcome, 5.0)
+        assert stats.shared_service["coherence"] == 1
+        assert stats.shared_service_cpi("coherence") == pytest.approx(4.0)
+
+    def test_offchip_and_hits_counters(self):
+        stats = SimulationStats()
+        stats.record(self.make_record(), AccessOutcome(offchip=True, hit_where="offchip"), 1.0)
+        assert stats.offchip_accesses == 1
+        assert stats.hits_by_location["offchip"] == 1
+        assert stats.offchip_rate == 1.0
+
+    def test_merge(self):
+        a, b = SimulationStats(), SimulationStats()
+        a.record(self.make_record(), AccessOutcome(components={L2: 10.0}), 5.0)
+        b.record(self.make_record(), AccessOutcome(components={L2: 20.0}), 5.0)
+        a.merge(b)
+        assert a.accesses == 2
+        assert a.cycles_by_component[L2] == pytest.approx(30.0)
+
+    def test_breakdown_components_complete(self):
+        stats = SimulationStats()
+        stats.record(self.make_record(), AccessOutcome(components={L2: 1.0}), 1.0)
+        breakdown = stats.cpi_breakdown()
+        assert set(breakdown) == {BUSY, "l1_to_l1", L2, OFF_CHIP, "other", "reclassification"}
+        assert stats.ipc == pytest.approx(1.0 / stats.cpi)
+
+
+class TestSampling:
+    def test_single_sample_has_zero_width(self):
+        interval = sample_mean([2.0])
+        assert interval.mean == 2.0 and interval.half_width == 0.0
+
+    def test_confidence_interval(self):
+        interval = sample_mean([1.0, 2.0, 3.0, 4.0])
+        assert interval.mean == pytest.approx(2.5)
+        assert interval.low < 2.5 < interval.high
+        assert interval.num_samples == 4
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(SimulationError):
+            sample_mean([])
+
+    def test_split_into_samples_covers_everything(self):
+        slices = split_into_samples(103, 8)
+        covered = sum(s.stop - s.start for s in slices)
+        assert covered == 103
+        assert len(slices) == 8
+
+    def test_split_more_samples_than_items(self):
+        slices = split_into_samples(3, 8)
+        assert sum(s.stop - s.start for s in slices) == 3
+
+    def test_speedup_interval(self):
+        base = ConfidenceInterval(mean=2.0, half_width=0.1, num_samples=8)
+        better = ConfidenceInterval(mean=1.0, half_width=0.05, num_samples=8)
+        ratio = speedup_interval(better, base)
+        assert ratio.mean == pytest.approx(2.0)
+        assert ratio.half_width > 0
+
+    def test_overlap_detection(self):
+        a = ConfidenceInterval(mean=1.0, half_width=0.2, num_samples=4)
+        b = ConfidenceInterval(mean=1.3, half_width=0.2, num_samples=4)
+        c = ConfidenceInterval(mean=2.0, half_width=0.1, num_samples=4)
+        assert a.overlaps(b) and not a.overlaps(c)
+        assert "±" in str(a)
+
+
+class TestTraceSimulator:
+    def test_empty_trace_rejected(self, chip16):
+        design = build_design("S", chip16)
+        simulator = TraceSimulator(design, CpiModel(busy_cpi=1.0))
+        with pytest.raises(SimulationError):
+            simulator.run(Trace([], workload="empty"))
+
+    def test_bad_warmup_fraction_rejected(self, chip16):
+        with pytest.raises(SimulationError):
+            TraceSimulator(build_design("S", chip16), CpiModel(busy_cpi=1.0), warmup_fraction=1.0)
+
+    def test_run_produces_consistent_result(self, chip16, oltp_trace):
+        design = build_design("S", chip16)
+        simulator = TraceSimulator(design, CpiModel(busy_cpi=1.0), warmup_fraction=0.25)
+        result = simulator.run(oltp_trace)
+        assert result.workload == "oltp-db2"
+        assert result.design_letter == "S"
+        assert result.cpi > 1.0
+        assert result.cpi_confidence is not None
+        assert math.isclose(
+            result.cpi, sum(result.cpi_breakdown().values()), rel_tol=1e-9
+        )
+        assert result.stats.accesses == len(oltp_trace) - int(len(oltp_trace) * 0.25)
+
+    def test_warm_page_tables_only_affects_rnuca(self, chip16, oltp_trace):
+        shared = build_design("S", chip16)
+        assert warm_page_tables(shared, oltp_trace) == 0
+        rnuca = build_design("R", TiledChip(chip16.config))
+        primed = warm_page_tables(rnuca, oltp_trace)
+        assert primed > 0
+        assert len(rnuca.policy.classifier.page_table) == primed
+
+    def test_warm_page_tables_marks_shared_pages(self, chip16, oltp_trace):
+        from repro.osmodel.page_table import PageClass
+
+        rnuca = build_design("R", chip16)
+        warm_page_tables(rnuca, oltp_trace)
+        table = rnuca.policy.classifier.page_table
+        classes = {entry.page_class for entry in table}
+        assert PageClass.SHARED in classes and PageClass.PRIVATE in classes
+
+
+class TestSimulateWorkload:
+    def test_end_to_end_small(self):
+        result = simulate_workload(
+            "oltp-db2", "R", num_records=2500, scale=TEST_SCALE, seed=3
+        )
+        assert result.design == "rnuca"
+        assert result.cpi > 0
+        assert result.metadata["scale"] == TEST_SCALE
+        assert "misclassification_rate" in result.metadata
+
+    def test_deterministic_given_seed(self):
+        a = simulate_workload("mix", "S", num_records=2000, scale=TEST_SCALE, seed=5)
+        b = simulate_workload("mix", "S", num_records=2000, scale=TEST_SCALE, seed=5)
+        assert a.cpi == pytest.approx(b.cpi)
+
+    def test_speedup_and_normalised_breakdown(self):
+        base = simulate_workload("mix", "P", num_records=2000, scale=TEST_SCALE)
+        other = simulate_workload("mix", "S", num_records=2000, scale=TEST_SCALE)
+        speedup = other.speedup_over(base)
+        assert speedup == pytest.approx(base.cpi / other.cpi - 1.0)
+        normalized = base.normalized_breakdown(base.cpi)
+        assert sum(normalized.values()) == pytest.approx(1.0)
+
+    def test_best_asr_reports_variants(self):
+        result = simulate_best_asr(
+            "mix", num_records=1500, scale=TEST_SCALE, include_adaptive=False
+        )
+        assert result.design_letter == "A"
+        assert result.metadata["asr_variants_evaluated"] == 5

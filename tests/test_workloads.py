@@ -1,0 +1,240 @@
+"""Tests for workload specs, the trace generator and trace persistence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.block import AccessType
+from repro.cmp.config import SystemConfig
+from repro.errors import ConfigurationError, TraceError
+from repro.workloads.generator import SyntheticTraceGenerator
+from repro.workloads.spec import (
+    EXTENDED_WORKLOADS,
+    WORKLOADS,
+    AccessClassProfile,
+    WorkloadSpec,
+    get_workload,
+)
+from repro.workloads.trace import Trace, TraceRecord
+
+from .conftest import TEST_SCALE
+
+
+class TestSpecs:
+    def test_eight_primary_workloads(self):
+        assert len(WORKLOADS) == 8
+        assert set(WORKLOADS) == {
+            "oltp-db2", "apache", "dss-qry6", "dss-qry8", "dss-qry13",
+            "em3d", "oltp-oracle", "mix",
+        }
+
+    def test_extended_catalogue_is_superset(self):
+        assert set(WORKLOADS) <= set(EXTENDED_WORKLOADS)
+        assert len(EXTENDED_WORKLOADS) > len(WORKLOADS)
+
+    def test_fractions_sum_to_one(self):
+        for spec in EXTENDED_WORKLOADS.values():
+            assert sum(spec.class_fractions.values()) == pytest.approx(1.0)
+
+    def test_server_workloads_are_instruction_and_shared_heavy(self):
+        """Figure 3: server workloads are dominated by instructions + shared data."""
+        for name in ("oltp-db2", "oltp-oracle", "apache"):
+            spec = WORKLOADS[name]
+            assert spec.instructions.fraction + spec.shared_fraction > 0.5
+
+    def test_scientific_and_multiprogrammed_are_private_heavy(self):
+        """Figure 3: em3d and MIX are dominated by private data."""
+        for name in ("em3d", "mix"):
+            assert WORKLOADS[name].private_data.fraction > 0.7
+
+    def test_instructions_are_read_only(self):
+        for spec in EXTENDED_WORKLOADS.values():
+            assert spec.instructions.read_write_fraction == 0.0
+
+    def test_shared_rw_is_mostly_read_write(self):
+        """Figure 2: shared data is predominantly read-write."""
+        for spec in WORKLOADS.values():
+            assert spec.shared_rw.read_write_fraction >= 0.8
+
+    def test_get_workload_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_workload("doom")
+
+    def test_invalid_fraction_sum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(
+                name="bad",
+                category="server",
+                description="",
+                instructions=AccessClassProfile(fraction=0.5, working_set_kb=10),
+                private_data=AccessClassProfile(fraction=0.5, working_set_kb=10),
+                shared_rw=AccessClassProfile(fraction=0.5, working_set_kb=10),
+                shared_ro=AccessClassProfile(fraction=0.5, working_set_kb=10),
+            )
+
+    def test_invalid_category_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(
+                name="bad",
+                category="mobile",
+                description="",
+                instructions=AccessClassProfile(fraction=0.25, working_set_kb=10),
+                private_data=AccessClassProfile(fraction=0.25, working_set_kb=10),
+                shared_rw=AccessClassProfile(fraction=0.25, working_set_kb=10),
+                shared_ro=AccessClassProfile(fraction=0.25, working_set_kb=10),
+            )
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            AccessClassProfile(fraction=1.5, working_set_kb=1)
+        with pytest.raises(ConfigurationError):
+            AccessClassProfile(fraction=0.5, working_set_kb=-1)
+
+
+class TestTraceRecord:
+    def test_defaults(self):
+        record = TraceRecord(core=2, access_type=AccessType.LOAD, address=0x40)
+        assert record.thread == 2
+        assert not record.is_instruction and not record.is_write
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            TraceRecord(core=-1, access_type=AccessType.LOAD, address=0)
+        with pytest.raises(TraceError):
+            TraceRecord(core=0, access_type=AccessType.LOAD, address=-4)
+
+
+class TestTraceContainer:
+    def test_len_iter_getitem(self, oltp_trace):
+        assert len(oltp_trace) == 4000
+        assert oltp_trace[0] is next(iter(oltp_trace))
+
+    def test_num_cores_inferred(self):
+        records = [TraceRecord(core=c, access_type=AccessType.LOAD, address=64 * c) for c in range(3)]
+        assert Trace(records).num_cores == 3
+
+    def test_class_mix_sums_to_one(self, oltp_trace):
+        assert sum(oltp_trace.class_mix().values()) == pytest.approx(1.0)
+
+    def test_records_for_core(self, oltp_trace):
+        for record in oltp_trace.records_for_core(3):
+            assert record.core == 3
+
+    def test_save_and_load_roundtrip(self, tmp_path, mix_trace):
+        path = tmp_path / "trace.jsonl"
+        mix_trace.save(path)
+        loaded = Trace.load(path)
+        assert len(loaded) == len(mix_trace)
+        assert loaded.workload == mix_trace.workload
+        assert loaded.num_cores == mix_trace.num_cores
+        first_original, first_loaded = mix_trace[0], loaded[0]
+        assert first_original.address == first_loaded.address
+        assert first_original.access_type == first_loaded.access_type
+        assert first_original.true_class == first_loaded.true_class
+
+    def test_load_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            Trace.load(path)
+
+
+class TestGenerator:
+    def make_generator(self, name: str = "oltp-db2", seed: int = 0):
+        spec = get_workload(name)
+        config = SystemConfig.for_workload_category(spec.category).scaled(TEST_SCALE)
+        return SyntheticTraceGenerator(spec, config, seed=seed, scale=TEST_SCALE)
+
+    def test_determinism(self):
+        trace_a = self.make_generator(seed=11).generate(2000)
+        trace_b = self.make_generator(seed=11).generate(2000)
+        assert [r.address for r in trace_a] == [r.address for r in trace_b]
+        assert [r.core for r in trace_a] == [r.core for r in trace_b]
+
+    def test_different_seeds_differ(self):
+        trace_a = self.make_generator(seed=1).generate(2000)
+        trace_b = self.make_generator(seed=2).generate(2000)
+        assert [r.address for r in trace_a] != [r.address for r in trace_b]
+
+    def test_class_mix_tracks_spec(self):
+        spec = get_workload("oltp-db2")
+        trace = self.make_generator().generate(12000)
+        mix = trace.class_mix()
+        for name, expected in spec.class_fractions.items():
+            assert mix.get(name, 0.0) == pytest.approx(expected, abs=0.03)
+
+    def test_private_blocks_touched_by_single_core(self):
+        trace = self.make_generator().generate(8000)
+        sharers: dict[int, set[int]] = {}
+        for record in trace:
+            if record.true_class == "private":
+                sharers.setdefault(record.address >> 6, set()).add(record.core)
+        # Aside from the deliberately mixed pages, private blocks have 1 sharer.
+        multi = sum(1 for cores in sharers.values() if len(cores) > 1)
+        assert multi / max(1, len(sharers)) < 0.02
+
+    def test_instruction_accesses_are_fetches_and_shared(self):
+        trace = self.make_generator().generate(8000)
+        instruction_cores: dict[int, set[int]] = {}
+        for record in trace:
+            if record.true_class == "instruction":
+                assert record.access_type is AccessType.INSTRUCTION
+                instruction_cores.setdefault(record.address >> 6, set()).add(record.core)
+        popular = [cores for cores in instruction_cores.values() if len(cores) >= 2]
+        assert popular, "server instruction blocks should be shared by many cores"
+
+    def test_shared_ro_blocks_never_written(self):
+        trace = self.make_generator().generate(8000)
+        for record in trace:
+            if record.true_class == "shared_ro":
+                assert not record.is_write
+
+    def test_scientific_sharing_is_neighbour_limited(self):
+        trace = self.make_generator("em3d").generate(12000)
+        sharers: dict[int, set[int]] = {}
+        for record in trace:
+            if record.true_class == "shared_rw":
+                sharers.setdefault(record.address >> 6, set()).add(record.core)
+        counts = [len(cores) for cores in sharers.values() if len(cores) > 1]
+        assert counts and np.mean(counts) <= 6
+
+    def test_addresses_are_block_aligned_and_positive(self):
+        trace = self.make_generator().generate(3000)
+        for record in trace:
+            assert record.address % 64 == 0
+            assert record.address >= 0
+
+    def test_page_scatter_spreads_home_slices(self):
+        """Physical page allocation must not concentrate blocks on few slices."""
+        config = SystemConfig.server_16core().scaled(TEST_SCALE)
+        trace = self.make_generator().generate(8000)
+        from repro.cmp.chip import TiledChip
+
+        chip = TiledChip(config)
+        homes = {chip.home_slice(r.address >> 6) for r in trace}
+        assert len(homes) == config.num_tiles
+
+    def test_working_set_blocks_reporting(self):
+        generator = self.make_generator()
+        blocks = generator.working_set_blocks
+        assert blocks["private_total"] == blocks["private"] * 16
+        assert all(count >= 4 for count in blocks.values())
+
+    def test_rejects_bad_parameters(self):
+        spec = get_workload("mix")
+        config = SystemConfig.multiprogrammed_8core().scaled(TEST_SCALE)
+        with pytest.raises(ConfigurationError):
+            SyntheticTraceGenerator(spec, config, scale=0)
+        generator = SyntheticTraceGenerator(spec, config, scale=TEST_SCALE)
+        with pytest.raises(TraceError):
+            generator.generate(0)
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=5, deadline=None)
+    def test_any_seed_produces_valid_records(self, seed):
+        trace = self.make_generator(seed=seed).generate(500)
+        assert len(trace) == 500
+        for record in trace:
+            assert 0 <= record.core < 16
+            assert record.instructions >= 1
