@@ -3,13 +3,22 @@
 The full evaluation (every workload on every design, plus the ASR variants
 and the instruction-cluster sweep) is simulated once per session and shared
 by the per-figure benchmark modules, mirroring how the paper reports many
-figures from one set of simulations.
+figures from one set of simulations.  The grid is executed through the
+parallel :class:`~repro.sim.runner.BatchRunner`, so worker fan-out and the
+on-disk result cache are both available from the environment.
 
 Environment knobs:
 
 ``RNUCA_EVAL_RECORDS``
     Number of L2 references per (workload, design) simulation
     (default 40000).  Lower it for a quick smoke run.
+
+``RNUCA_JOBS``
+    Worker processes for the simulation grid (default 1 = serial).
+
+``RNUCA_RESULTS_DIR``
+    If set, persist simulation results as content-addressed JSON under this
+    directory; repeat benchmark runs then reuse them as cache hits.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ import pytest
 
 from repro.analysis.evaluation import run_evaluation
 from repro.cmp.config import SystemConfig
+from repro.sim.runner import ResultStore
 from repro.workloads.generator import DEFAULT_SCALE, SyntheticTraceGenerator
 from repro.workloads.spec import WORKLOADS, get_workload
 
@@ -32,10 +42,16 @@ CHARACTERIZATION_RECORDS = int(
 )
 
 
+def _result_store():
+    """Optional on-disk result cache, enabled via ``RNUCA_RESULTS_DIR``."""
+    directory = os.environ.get("RNUCA_RESULTS_DIR")
+    return ResultStore(directory) if directory else None
+
+
 @pytest.fixture(scope="session")
 def evaluation_suite():
     """P/A/S/R/I results for the eight primary workloads (Figures 7-10, 12)."""
-    return run_evaluation(num_records=EVAL_RECORDS)
+    return run_evaluation(num_records=EVAL_RECORDS, store=_result_store())
 
 
 @pytest.fixture(scope="session")
@@ -45,6 +61,7 @@ def sweep_suite():
         designs=("P", "R"),
         num_records=EVAL_RECORDS,
         include_cluster_sweep=True,
+        store=_result_store(),
     )
 
 

@@ -8,28 +8,43 @@ Reproduces two of the paper's design-space studies on one server workload:
 * the six ASR variants (adaptive + five static allocation probabilities)
   from which the paper reports the best per workload.
 
+Both studies are expressed as :class:`~repro.sim.runner.ExperimentGrid`
+parameter sweeps and fanned out across worker processes by a
+:class:`~repro.sim.runner.BatchRunner`, so the whole exploration runs in
+parallel and re-runs are served from the JSON result cache.
+
 Run with::
 
-    python examples/design_space_exploration.py [workload] [num_records]
+    python examples/design_space_exploration.py [workload] [num_records] [jobs]
+
+Set ``jobs`` (or ``RNUCA_JOBS``) above 1 to parallelise.
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro.analysis.evaluation import simulate_rnuca_cluster
 from repro.analysis.reporting import format_table
-from repro.sim.engine import simulate_workload
+from repro.sim.runner import BatchRunner, ExperimentGrid
+
+CLUSTER_SIZES = (1, 2, 4, 8, 16)
+ASR_PROBABILITIES = (None, 0.0, 0.25, 0.5, 0.75, 1.0)
 
 
-def cluster_sweep(workload: str, num_records: int) -> None:
+def cluster_sweep(runner: BatchRunner, workload: str, num_records: int) -> None:
+    grid = ExperimentGrid(
+        workloads=(workload,),
+        designs=(),
+        num_records=num_records,
+        cluster_sizes=CLUSTER_SIZES,
+    )
+    batch = runner.run(grid.points())
     rows = []
-    for size in (1, 2, 4, 8, 16):
-        result = simulate_rnuca_cluster(workload, size, num_records=num_records)
+    for point, result in batch.items():
         breakdown = result.cpi_breakdown()
         rows.append(
             {
-                "cluster_size": size,
+                "cluster_size": point.param_dict["instruction_cluster_size"],
                 "cpi": result.cpi,
                 "instruction_l2_cpi": result.stats.class_component_cpi("instruction", "l2"),
                 "offchip_cpi": breakdown["offchip"],
@@ -41,11 +56,22 @@ def cluster_sweep(workload: str, num_records: int) -> None:
     print(f"Best cluster size for {workload}: {best['cluster_size']}\n")
 
 
-def asr_variants(workload: str, num_records: int) -> None:
+def asr_variants(runner: BatchRunner, workload: str, num_records: int) -> None:
+    overrides = tuple(
+        {"best_asr": False} if probability is None
+        else {"best_asr": False, "allocation_probability": probability}
+        for probability in ASR_PROBABILITIES
+    )
+    grid = ExperimentGrid(
+        workloads=(workload,),
+        designs=("A",),
+        num_records=num_records,
+        overrides=overrides,
+    )
+    batch = runner.run(grid.points())
     rows = []
-    for probability in (None, 0.0, 0.25, 0.5, 0.75, 1.0):
-        kwargs = {} if probability is None else {"allocation_probability": probability}
-        result = simulate_workload(workload, "A", num_records=num_records, **kwargs)
+    for point, result in batch.items():
+        probability = point.param_dict.get("allocation_probability")
         rows.append(
             {
                 "variant": "adaptive" if probability is None else f"static p={probability}",
@@ -62,9 +88,14 @@ def asr_variants(workload: str, num_records: int) -> None:
 def main() -> None:
     workload = sys.argv[1] if len(sys.argv) > 1 else "apache"
     num_records = int(sys.argv[2]) if len(sys.argv) > 2 else 30_000
-    print(f"Exploring the design space on {workload!r} ({num_records} references per run)\n")
-    cluster_sweep(workload, num_records)
-    asr_variants(workload, num_records)
+    jobs = int(sys.argv[3]) if len(sys.argv) > 3 else None
+    runner = BatchRunner(jobs=jobs)
+    print(
+        f"Exploring the design space on {workload!r} "
+        f"({num_records} references per run, {runner.jobs} job(s))\n"
+    )
+    cluster_sweep(runner, workload, num_records)
+    asr_variants(runner, workload, num_records)
 
 
 if __name__ == "__main__":

@@ -1,10 +1,14 @@
 """End-to-end evaluation runner (the machinery behind Figures 7-12).
 
-:func:`run_evaluation` simulates every requested workload on every requested
-design — running the six ASR variants and keeping the best, as the paper
-does — and returns an :class:`EvaluationSuite` from which each figure's rows
-are derived.  Results are memoised per process so that the benchmark modules
-for Figures 7 through 12 can share a single simulation pass.
+:func:`run_evaluation` enumerates every requested (workload, design) pair —
+plus the optional instruction-cluster sweep — as an
+:class:`~repro.sim.runner.ExperimentGrid` and executes it through a
+:class:`~repro.sim.runner.BatchRunner`, running the six ASR variants and
+keeping the best, as the paper does.  Pass ``jobs`` (or set ``RNUCA_JOBS``)
+to fan the grid out across worker processes, and ``store`` to persist and
+reuse results across runs.  Suites are additionally memoised per process so
+that the benchmark modules for Figures 7 through 12 can share a single
+simulation pass.
 """
 
 from __future__ import annotations
@@ -14,13 +18,9 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.cmp.config import SystemConfig
-from repro.sim.engine import (
-    DEFAULT_TRACE_LENGTH,
-    SimulationResult,
-    simulate_best_asr,
-    simulate_workload,
-)
-from repro.workloads.generator import DEFAULT_SCALE, SyntheticTraceGenerator
+from repro.sim.engine import DEFAULT_TRACE_LENGTH, SimulationResult, simulate_workload
+from repro.sim.runner import BatchRunner, ExperimentGrid, ResultStore
+from repro.workloads.generator import DEFAULT_SCALE
 from repro.workloads.spec import WORKLOADS, get_workload
 
 #: The paper's presentation order: private-averse workloads, then shared-averse.
@@ -75,6 +75,28 @@ class EvaluationSuite:
             if (workload, design) in self.results
         }
 
+    @classmethod
+    def from_batch(cls, grid: ExperimentGrid, batch) -> "EvaluationSuite":
+        """Assemble a suite from a grid and its :class:`BatchResult`.
+
+        Plain grid points land in :attr:`results` keyed (workload, design);
+        instruction-cluster-sweep points land in :attr:`cluster_sweep` keyed
+        (workload, requested size).
+        """
+        suite = cls(
+            workloads=grid.workloads,
+            designs=grid.designs,
+            num_records=grid.num_records,
+            scale=grid.scale,
+        )
+        for point, result in batch.items():
+            size = point.param_dict.get("instruction_cluster_size")
+            if size is not None:
+                suite.cluster_sweep[(point.workload, size)] = result
+            else:
+                suite.results[(point.workload, point.design)] = result
+        return suite
+
 
 _SUITE_CACHE: dict[tuple, EvaluationSuite] = {}
 
@@ -89,11 +111,17 @@ def run_evaluation(
     include_cluster_sweep: bool = False,
     cluster_sizes: Iterable[int] = CLUSTER_SIZES,
     use_cache: bool = True,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
 ) -> EvaluationSuite:
     """Simulate every (workload, design) pair and return the suite.
 
-    ``RNUCA_EVAL_RECORDS`` in the environment overrides ``num_records`` so
-    that continuous-integration runs can use shorter traces.
+    The grid runs through a :class:`~repro.sim.runner.BatchRunner`: ``jobs``
+    (default ``$RNUCA_JOBS`` or 1) fans simulations out across worker
+    processes, and ``store`` persists results as content-addressed JSON so
+    repeat runs are cache hits.  ``RNUCA_EVAL_RECORDS`` in the environment
+    overrides ``num_records`` so that continuous-integration runs can use
+    shorter traces.
     """
     workloads = tuple(workloads)
     designs = tuple(designs)
@@ -103,40 +131,16 @@ def run_evaluation(
     if use_cache and key in _SUITE_CACHE:
         return _SUITE_CACHE[key]
 
-    suite = EvaluationSuite(
+    grid = ExperimentGrid(
         workloads=workloads,
         designs=designs,
         num_records=num_records,
         scale=scale,
+        seed=seed,
+        cluster_sizes=cluster_sizes if include_cluster_sweep else (),
     )
-    for workload in workloads:
-        spec = get_workload(workload)
-        config = SystemConfig.for_workload_category(spec.category).scaled(scale)
-        generator = SyntheticTraceGenerator(spec, config, seed=seed, scale=scale)
-        trace = generator.generate(num_records)
-        for design in designs:
-            if design == "A":
-                result = simulate_best_asr(
-                    spec, num_records=num_records, scale=scale, seed=seed,
-                    config=config, trace=trace,
-                )
-            else:
-                result = simulate_workload(
-                    spec, design, num_records=num_records, scale=scale, seed=seed,
-                    config=config, trace=trace,
-                )
-            suite.results[(workload, design)] = result
-        if include_cluster_sweep:
-            for size in cluster_sizes:
-                suite.cluster_sweep[(workload, size)] = simulate_rnuca_cluster(
-                    workload,
-                    size,
-                    num_records=num_records,
-                    scale=scale,
-                    seed=seed,
-                    config=config,
-                    trace=trace,
-                )
+    batch = BatchRunner(store=store, jobs=jobs).run(grid.points())
+    suite = EvaluationSuite.from_batch(grid, batch)
     if use_cache:
         _SUITE_CACHE[key] = suite
     return suite

@@ -2,13 +2,19 @@
 
 Speedups are throughput (IPC) improvements over the private design, with
 95% confidence intervals propagated from the per-sample CPI measurements.
+Inputs come either from an in-process :class:`EvaluationSuite` or, via
+:func:`speedup_table`, from the flat result lists a
+:class:`~repro.sim.runner.BatchRunner`/:class:`~repro.sim.runner.ResultStore`
+produces.
 """
 
 from __future__ import annotations
 
 from statistics import mean
+from typing import Iterable
 
-from repro.analysis.evaluation import EvaluationSuite
+from repro.analysis.evaluation import DEFAULT_DESIGNS, EvaluationSuite
+from repro.sim.engine import SimulationResult
 from repro.sim.sampling import ConfidenceInterval, speedup_interval
 from repro.workloads.spec import MULTIPROGRAMMED, SERVER, get_workload
 
@@ -32,6 +38,56 @@ def fig12_speedups(suite: EvaluationSuite) -> list[dict[str, object]]:
                     "workload": workload,
                     "design": design,
                     "speedup": speedup,
+                    "ci_half_width": interval.half_width if interval else 0.0,
+                }
+            )
+    return rows
+
+
+def speedup_table(results: Iterable[SimulationResult]) -> list[dict[str, object]]:
+    """Figure-12-style speedups from flat runner/store results.
+
+    Works directly on the :class:`~repro.sim.engine.SimulationResult` lists
+    that :class:`~repro.sim.runner.BatchRunner` and
+    :class:`~repro.sim.runner.ResultStore` hand back, so the CLI ``report``
+    command needs no :class:`EvaluationSuite`.  Results are grouped by
+    (workload, trace length, scale, seed) so a design is only ever compared
+    against a baseline from the same experiment — a store mixing runs of
+    different lengths yields one row group per run, never a cross-run
+    ratio.  Instruction-cluster-sweep results are skipped, and groups
+    without a private ("P") baseline are dropped.
+    """
+    groups: dict[tuple, dict[str, SimulationResult]] = {}
+    for result in results:
+        if "instruction_cluster_size" in result.metadata:
+            continue
+        key = (
+            result.workload,
+            result.metadata.get("trace_length"),
+            result.metadata.get("scale"),
+            result.metadata.get("seed"),
+        )
+        groups.setdefault(key, {})[result.design_letter] = result
+    rows: list[dict[str, object]] = []
+    for key in sorted(groups, key=lambda k: tuple(str(part) for part in k)):
+        designs = groups[key]
+        baseline = designs.get("P")
+        if baseline is None:
+            continue
+        for letter in DEFAULT_DESIGNS:
+            if letter not in designs:
+                continue
+            result = designs[letter]
+            interval = None
+            if baseline.cpi_confidence and result.cpi_confidence:
+                interval = speedup_interval(result.cpi_confidence, baseline.cpi_confidence)
+            rows.append(
+                {
+                    "workload": result.workload,
+                    "design": letter,
+                    "records": result.metadata.get("trace_length"),
+                    "cpi": result.cpi,
+                    "speedup": result.speedup_over(baseline),
                     "ci_half_width": interval.half_width if interval else 0.0,
                 }
             )

@@ -1,0 +1,193 @@
+"""Command-line front end for the parallel experiment runner.
+
+Two subcommands drive the grid/cache/report workflow:
+
+``run``
+    Enumerate an :class:`~repro.sim.runner.ExperimentGrid` from
+    ``--workloads``/``--designs`` (plus optional ``--cluster-sizes``), fan
+    it out across ``--jobs`` worker processes, and persist every
+    :class:`~repro.sim.engine.SimulationResult` as a content-addressed JSON
+    file under ``--results-dir``.  Re-running the same grid reports cache
+    hits instead of re-simulating, so interrupted sweeps resume for free.
+
+``report``
+    Load everything in ``--results-dir`` and print per-workload CPI tables
+    with speedups over the private baseline (the paper's normalisation).
+
+Examples::
+
+    python -m repro.cli run --designs private,shared,rnuca \\
+        --workloads oltp-db2,apache --jobs 4
+    python -m repro.cli report
+    python -m repro.cli list
+
+The console script ``repro`` (see ``pyproject.toml``) maps to :func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.analysis.speedup import speedup_table
+from repro.designs import DESIGNS, normalize_design
+from repro.sim.engine import DEFAULT_TRACE_LENGTH
+from repro.sim.runner import (
+    DEFAULT_RESULTS_DIR,
+    BatchRunner,
+    ExperimentGrid,
+    ResultStore,
+    default_jobs,
+)
+from repro.workloads.generator import DEFAULT_SCALE
+from repro.workloads.spec import WORKLOADS
+
+
+def _csv(text: str) -> list[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _csv_ints(text: str) -> list[int]:
+    return [int(item) for item in _csv(text)]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel R-NUCA experiment runner (grid -> cache -> report).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate an experiment grid in parallel")
+    run.add_argument(
+        "--workloads",
+        type=_csv,
+        default=list(WORKLOADS),
+        help="comma-separated workload names (default: all eight)",
+    )
+    run.add_argument(
+        "--designs",
+        type=_csv,
+        default=["P", "A", "S", "R", "I"],
+        help="comma-separated designs, letters or names (default: P,A,S,R,I)",
+    )
+    run.add_argument(
+        "--records",
+        type=int,
+        default=DEFAULT_TRACE_LENGTH,
+        help=f"L2 references per simulation (default: {DEFAULT_TRACE_LENGTH})",
+    )
+    run.add_argument(
+        "--scale",
+        type=int,
+        default=DEFAULT_SCALE,
+        help=f"system down-scale factor (default: {DEFAULT_SCALE})",
+    )
+    run.add_argument("--seed", type=int, default=0, help="base RNG seed (default: 0)")
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: $RNUCA_JOBS or 1)",
+    )
+    run.add_argument(
+        "--cluster-sizes",
+        type=_csv_ints,
+        default=[],
+        help="also sweep R-NUCA instruction-cluster sizes, e.g. 1,2,4",
+    )
+    run.add_argument(
+        "--results-dir",
+        default=DEFAULT_RESULTS_DIR,
+        help=f"JSON result store directory (default: {DEFAULT_RESULTS_DIR}/)",
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress per-point progress lines"
+    )
+
+    report = sub.add_parser("report", help="summarise stored results")
+    report.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
+    report.add_argument(
+        "--workloads",
+        type=_csv,
+        default=None,
+        help="restrict the report to these workloads",
+    )
+
+    sub.add_parser("list", help="show known workloads and designs")
+    return parser
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    grid = ExperimentGrid(
+        workloads=tuple(args.workloads),
+        designs=tuple(normalize_design(d) for d in args.designs),
+        num_records=args.records,
+        scale=args.scale,
+        seed=args.seed,
+        cluster_sizes=tuple(args.cluster_sizes),
+    )
+    store = ResultStore(args.results_dir)
+
+    def progress(line: str) -> None:
+        if not args.quiet:
+            print(f"  {line}")
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    print(
+        f"Running {len(grid)} experiment points "
+        f"({len(grid.workloads)} workloads x {len(grid.designs)} designs"
+        + (f" + {len(grid.cluster_sizes)}-size cluster sweep" if grid.cluster_sizes else "")
+        + f") with {jobs} job(s); store: {store.directory}/"
+    )
+    batch = BatchRunner(store=store, jobs=jobs, progress=progress).run(grid.points())
+    print(
+        f"Done: {batch.executed} simulated, {batch.cache_hits} cache hits, "
+        f"{len(batch)} results in {store.directory}/"
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.results_dir)
+    pairs = store.load_all()
+    if args.workloads:
+        wanted = set(args.workloads)
+        pairs = [(p, r) for p, r in pairs if p.workload in wanted]
+    if not pairs:
+        print(f"No results under {store.directory}/ — run `repro run` first.")
+        return 1
+    rows = [
+        {
+            "point": point.label,
+            "cpi": result.cpi,
+            "ipc": result.ipc,
+            "offchip_rate": result.metadata.get("offchip_rate", 0.0),
+            "records": point.num_records,
+        }
+        for point, result in pairs
+    ]
+    print(format_table(rows, title=f"Stored results ({store.directory}/)"))
+    speedups = speedup_table([result for _, result in pairs])
+    if speedups:
+        print()
+        print(format_table(speedups, title="Speedup over the private design (Fig. 12)"))
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("Workloads: " + ", ".join(WORKLOADS))
+    print("Designs:   " + ", ".join(f"{letter} ({cls.__name__})" for letter, cls in DESIGNS.items()))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"run": cmd_run, "report": cmd_report, "list": cmd_list}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,15 +36,18 @@ _ALIASES = {
 }
 
 
+def normalize_design(name: str) -> str:
+    """Canonicalise a design letter ("P") or long name ("private") to a letter."""
+    key = _ALIASES.get(name.lower(), name.upper())
+    if key not in DESIGNS:
+        known = ", ".join(sorted(set(DESIGNS) | set(_ALIASES)))
+        raise ValueError(f"unknown design {name!r}; known designs: {known}")
+    return key
+
+
 def build_design(name: str, chip, **kwargs):
     """Instantiate a design by letter ("P") or by name ("private")."""
-    key = _ALIASES.get(name.lower(), name.upper())
-    try:
-        design_cls = DESIGNS[key]
-    except KeyError:
-        known = ", ".join(sorted(set(DESIGNS) | set(_ALIASES)))
-        raise ValueError(f"unknown design {name!r}; known designs: {known}") from None
-    return design_cls(chip, **kwargs)
+    return DESIGNS[normalize_design(name)](chip, **kwargs)
 
 
 __all__ = [
@@ -58,4 +61,5 @@ __all__ = [
     "IdealDesign",
     "DESIGNS",
     "build_design",
+    "normalize_design",
 ]

@@ -2,6 +2,15 @@
 
 from repro.sim.engine import SimulationResult, TraceSimulator, simulate_workload
 from repro.sim.latency import CpiModel
+from repro.sim.runner import (
+    BatchResult,
+    BatchRunner,
+    ExperimentGrid,
+    ExperimentPoint,
+    ResultStore,
+    execute_point,
+    run_grid,
+)
 from repro.sim.sampling import ConfidenceInterval, sample_mean
 from repro.sim.stats import SimulationStats
 
@@ -13,4 +22,11 @@ __all__ = [
     "SimulationStats",
     "ConfidenceInterval",
     "sample_mean",
+    "BatchResult",
+    "BatchRunner",
+    "ExperimentGrid",
+    "ExperimentPoint",
+    "ResultStore",
+    "execute_point",
+    "run_grid",
 ]

@@ -108,6 +108,33 @@ class SimulationResult:
             raise SimulationError("cannot compute speedup with zero CPI")
         return baseline.cpi / self.cpi - 1.0
 
+    def to_dict(self) -> dict:
+        """JSON-serializable representation, inverse of :meth:`from_dict`."""
+        return {
+            "workload": self.workload,
+            "design": self.design,
+            "design_letter": self.design_letter,
+            "stats": self.stats.to_dict(),
+            "cpi_confidence": (
+                self.cpi_confidence.to_dict() if self.cpi_confidence else None
+            ),
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        confidence = data.get("cpi_confidence")
+        return cls(
+            workload=data["workload"],
+            design=data["design"],
+            design_letter=data["design_letter"],
+            stats=SimulationStats.from_dict(data["stats"]),
+            cpi_confidence=(
+                ConfidenceInterval.from_dict(confidence) if confidence else None
+            ),
+            metadata=dict(data.get("metadata", {})),
+        )
+
 
 class TraceSimulator:
     """Replays one trace through one design."""

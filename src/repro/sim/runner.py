@@ -1,0 +1,435 @@
+"""Parallel experiment runner: grids, batch fan-out and a JSON result cache.
+
+The paper's evaluation is an embarrassingly parallel grid — every figure
+sweeps (workload x design x configuration) points through independent
+trace-driven simulations.  This module turns that grid into first-class
+objects:
+
+:class:`ExperimentPoint`
+    One fully specified simulation: workload, design, trace length, scale,
+    seed and any extra parameters (instruction-cluster size, ASR allocation
+    probability, ...).  A point is content-addressed: its
+    :attr:`~ExperimentPoint.content_hash` is a SHA-256 digest of its
+    canonical JSON form, so the same point always maps to the same cache
+    key no matter which process (or run) produced it.
+
+:class:`ExperimentGrid`
+    Enumerates the cross product of workloads, designs and parameter
+    overrides into a list of points.  Seeds are fixed at enumeration time,
+    so results never depend on worker scheduling order.
+
+:class:`ResultStore`
+    A directory of ``<content-hash>.json`` files, each holding a point and
+    its serialized :class:`~repro.sim.engine.SimulationResult`.  Re-runs of
+    an already-computed point are cache hits and skip simulation entirely,
+    which makes large batch jobs resumable.
+
+:class:`BatchRunner`
+    Fans missing points out across worker processes with
+    :class:`concurrent.futures.ProcessPoolExecutor` (or runs them inline
+    for ``jobs=1``), consulting and filling the store.
+
+Typical use::
+
+    grid = ExperimentGrid(workloads=("oltp-db2", "mix"), designs=("P", "R"))
+    runner = BatchRunner(store=ResultStore("results"), jobs=4)
+    batch = runner.run(grid)
+    for point, result in batch.items():
+        print(point.label, result.cpi)
+
+The command-line front end lives in :mod:`repro.cli`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.cmp.config import SystemConfig
+from repro.designs import normalize_design
+from repro.errors import SimulationError
+from repro.sim.engine import (
+    DEFAULT_TRACE_LENGTH,
+    SimulationResult,
+    simulate_best_asr,
+    simulate_workload,
+)
+from repro.workloads.generator import DEFAULT_SCALE, SyntheticTraceGenerator
+from repro.workloads.spec import get_workload
+
+#: Environment variable read for the default worker count.
+JOBS_ENV = "RNUCA_JOBS"
+
+#: Default directory for the JSON result store.
+DEFAULT_RESULTS_DIR = "results"
+
+#: Point parameters with dedicated execution semantics (everything else is
+#: forwarded verbatim to :func:`repro.designs.build_design`).
+_CLUSTER_PARAM = "instruction_cluster_size"
+_BEST_ASR_PARAM = "best_asr"
+
+
+def default_jobs() -> int:
+    """Worker count from ``RNUCA_JOBS``, defaulting to serial execution."""
+    try:
+        return max(1, int(os.environ.get(JOBS_ENV, "1")))
+    except ValueError:
+        return 1
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One fully specified (workload, design, configuration) simulation.
+
+    ``params`` is a tuple of sorted ``(key, value)`` pairs so the point is
+    hashable and its canonical form is order-independent.  Use
+    :meth:`make` to build one from a plain dict.
+    """
+
+    workload: str
+    design: str
+    num_records: int = DEFAULT_TRACE_LENGTH
+    scale: int = DEFAULT_SCALE
+    seed: int = 0
+    params: tuple = ()
+
+    @classmethod
+    def make(
+        cls,
+        workload: str,
+        design: str,
+        *,
+        num_records: int = DEFAULT_TRACE_LENGTH,
+        scale: int = DEFAULT_SCALE,
+        seed: int = 0,
+        params: Optional[dict] = None,
+    ) -> "ExperimentPoint":
+        return cls(
+            workload=workload,
+            design=normalize_design(design),
+            num_records=num_records,
+            scale=scale,
+            seed=seed,
+            params=tuple(sorted((params or {}).items())),
+        )
+
+    @property
+    def param_dict(self) -> dict:
+        return dict(self.params)
+
+    @property
+    def label(self) -> str:
+        """Human-readable point name, e.g. ``oltp-db2/R[instruction_cluster_size=4]``."""
+        suffix = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.workload}/{self.design}" + (f"[{suffix}]" if suffix else "")
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "design": self.design,
+            "num_records": self.num_records,
+            "scale": self.scale,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentPoint":
+        return cls.make(
+            data["workload"],
+            data["design"],
+            num_records=data["num_records"],
+            scale=data["scale"],
+            seed=data["seed"],
+            params=data.get("params"),
+        )
+
+    @property
+    def content_hash(self) -> str:
+        """SHA-256 of the canonical JSON form; the result-store cache key."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+
+@dataclass
+class ExperimentGrid:
+    """The cross product of workloads, designs and parameter overrides.
+
+    ``overrides`` is an extra grid axis: each dict is merged into the
+    parameters of every (workload, design) pair.  ``cluster_sizes`` adds
+    the Figure-11 instruction-cluster sweep (R-NUCA points with an explicit
+    ``instruction_cluster_size``) for every workload.
+    """
+
+    workloads: tuple = ()
+    designs: tuple = ()
+    num_records: int = DEFAULT_TRACE_LENGTH
+    scale: int = DEFAULT_SCALE
+    seed: int = 0
+    overrides: tuple = ({},)
+    cluster_sizes: tuple = ()
+
+    def __post_init__(self) -> None:
+        self.workloads = tuple(self.workloads)
+        self.designs = tuple(normalize_design(d) for d in self.designs)
+        self.overrides = tuple(dict(o) for o in self.overrides) or ({},)
+        self.cluster_sizes = tuple(self.cluster_sizes)
+
+    def points(self) -> list[ExperimentPoint]:
+        """Enumerate the grid, seeds fixed at enumeration time."""
+        points = []
+        for workload in self.workloads:
+            for design in self.designs:
+                for override in self.overrides:
+                    points.append(
+                        ExperimentPoint.make(
+                            workload,
+                            design,
+                            num_records=self.num_records,
+                            scale=self.scale,
+                            seed=self.seed,
+                            params=override,
+                        )
+                    )
+            for size in self.cluster_sizes:
+                points.append(
+                    ExperimentPoint.make(
+                        workload,
+                        "R",
+                        num_records=self.num_records,
+                        scale=self.scale,
+                        seed=self.seed,
+                        params={_CLUSTER_PARAM: size},
+                    )
+                )
+        return points
+
+    def __iter__(self) -> Iterator[ExperimentPoint]:
+        return iter(self.points())
+
+    def __len__(self) -> int:
+        return (
+            len(self.workloads) * len(self.designs) * len(self.overrides)
+            + len(self.workloads) * len(self.cluster_sizes)
+        )
+
+
+@lru_cache(maxsize=4)
+def _trace_for(workload: str, num_records: int, scale: int, seed: int):
+    """Per-process trace cache so one workload's grid points share a trace.
+
+    Generation is seeded and deterministic, so sharing is purely a speed-up:
+    a (workload, P/A/S/R/I + cluster sweep) slice of the grid replays one
+    trace object instead of regenerating it per point.  Traces are read-only
+    during simulation, which is what made the old serial path's sharing safe.
+    """
+    spec = get_workload(workload)
+    config = SystemConfig.for_workload_category(spec.category).scaled(scale)
+    generator = SyntheticTraceGenerator(spec, config, seed=seed, scale=scale)
+    return generator.generate(num_records)
+
+
+def execute_point(point: ExperimentPoint) -> SimulationResult:
+    """Run one grid point in the current process.
+
+    This is the process-pool worker: it must stay importable at module
+    level (picklable by reference) and depend only on the point itself.
+
+    Design "A" runs the paper's best-of-six ASR selection when the point
+    carries no explicit ASR parameters (or sets ``best_asr=True``); any
+    explicit parameter such as ``allocation_probability`` runs exactly that
+    single variant instead.
+    """
+    params = point.param_dict
+    spec = get_workload(point.workload)
+    config = SystemConfig.for_workload_category(spec.category).scaled(point.scale)
+    trace = _trace_for(point.workload, point.num_records, point.scale, point.seed)
+    best_asr = params.pop(_BEST_ASR_PARAM, None)
+    if best_asr is None:
+        best_asr = not params
+    if point.design == "A" and best_asr:
+        if params:
+            raise SimulationError(
+                f"best_asr=True is incompatible with explicit ASR parameters {params!r}"
+            )
+        result = simulate_best_asr(
+            spec,
+            num_records=point.num_records,
+            scale=point.scale,
+            seed=point.seed,
+            config=config,
+            trace=trace,
+        )
+    elif point.design == "R" and _CLUSTER_PARAM in params:
+        from repro.analysis.evaluation import simulate_rnuca_cluster
+
+        result = simulate_rnuca_cluster(
+            point.workload,
+            params.pop(_CLUSTER_PARAM),
+            num_records=point.num_records,
+            scale=point.scale,
+            seed=point.seed,
+            config=config,
+            trace=trace,
+            **params,
+        )
+    else:
+        result = simulate_workload(
+            spec,
+            point.design,
+            num_records=point.num_records,
+            scale=point.scale,
+            seed=point.seed,
+            config=config,
+            trace=trace,
+            **params,
+        )
+    result.metadata["point"] = point.to_dict()
+    return result
+
+
+class ResultStore:
+    """A directory of content-addressed ``<hash>.json`` simulation results."""
+
+    def __init__(self, directory: str | Path = DEFAULT_RESULTS_DIR) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, point: ExperimentPoint) -> Path:
+        return self.directory / f"{point.content_hash}.json"
+
+    def get(self, point: ExperimentPoint) -> Optional[SimulationResult]:
+        """Return the cached result for ``point``, or ``None`` on a miss."""
+        path = self.path_for(point)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("point") != point.to_dict():
+            return None  # hash collision or stale schema: treat as a miss
+        return SimulationResult.from_dict(payload["result"])
+
+    def put(self, point: ExperimentPoint, result: SimulationResult) -> Path:
+        """Persist ``result`` under the point's content hash (atomically)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(point)
+        payload = {"point": point.to_dict(), "result": result.to_dict()}
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        tmp.replace(path)
+        return path
+
+    def load_all(self) -> list[tuple[ExperimentPoint, SimulationResult]]:
+        """Every (point, result) pair in the store, label-sorted."""
+        pairs = []
+        if not self.directory.is_dir():
+            return pairs
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                point = ExperimentPoint.from_dict(payload["point"])
+                result = SimulationResult.from_dict(payload["result"])
+            except (OSError, KeyError, TypeError, ValueError):
+                continue  # skip unreadable/stale entries rather than crash reports
+            pairs.append((point, result))
+        pairs.sort(key=lambda pair: pair[0].label)
+        return pairs
+
+
+@dataclass
+class BatchResult:
+    """What one :meth:`BatchRunner.run` call produced."""
+
+    points: list = field(default_factory=list)
+    results: dict = field(default_factory=dict)  # content_hash -> SimulationResult
+    cache_hits: int = 0
+    executed: int = 0
+
+    def result_for(self, point: ExperimentPoint) -> SimulationResult:
+        return self.results[point.content_hash]
+
+    def items(self) -> Iterator[tuple[ExperimentPoint, SimulationResult]]:
+        for point in self.points:
+            yield point, self.results[point.content_hash]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class BatchRunner:
+    """Fan a batch of experiment points out across worker processes.
+
+    Cached points are served from the :class:`ResultStore`; the rest run in
+    a :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs > 1``) or
+    inline (``jobs=1``).  Every point carries its own seed, so the outcome
+    is identical whichever path executes it.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        *,
+        jobs: Optional[int] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.store = store
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise SimulationError("jobs must be >= 1")
+        self.progress = progress or (lambda message: None)
+
+    def run(self, points: Iterable[ExperimentPoint]) -> BatchResult:
+        """Execute (or fetch from cache) every point and return the batch."""
+        batch = BatchResult()
+        missing: list[ExperimentPoint] = []
+        seen: set[str] = set()
+        for point in points:
+            if point.content_hash in seen:
+                continue  # identical point requested twice in one batch
+            seen.add(point.content_hash)
+            batch.points.append(point)
+            cached = self.store.get(point) if self.store else None
+            if cached is not None:
+                batch.results[point.content_hash] = cached
+                batch.cache_hits += 1
+                self.progress(f"cached    {point.label}")
+            else:
+                missing.append(point)
+        for point, result in self._execute(missing):
+            batch.results[point.content_hash] = result
+            batch.executed += 1
+            if self.store is not None:
+                self.store.put(point, result)
+            self.progress(f"simulated {point.label}  cpi={result.cpi:.3f}")
+        return batch
+
+    def _execute(
+        self, missing: list[ExperimentPoint]
+    ) -> Iterator[tuple[ExperimentPoint, SimulationResult]]:
+        if not missing:
+            return
+        workers = min(self.jobs, len(missing))
+        if workers == 1:
+            for point in missing:
+                yield point, execute_point(point)
+            return
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            yield from zip(missing, pool.map(execute_point, missing))
+
+
+def run_grid(
+    grid: ExperimentGrid,
+    *,
+    store: Optional[ResultStore] = None,
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BatchResult:
+    """Convenience wrapper: run every point of ``grid`` through a runner."""
+    return BatchRunner(store=store, jobs=jobs, progress=progress).run(grid.points())

@@ -44,6 +44,21 @@ class ConfidenceInterval:
     def __str__(self) -> str:
         return f"{self.mean:.4f} ± {self.half_width:.4f} (n={self.num_samples})"
 
+    def to_dict(self) -> dict:
+        return {
+            "mean": self.mean,
+            "half_width": self.half_width,
+            "num_samples": self.num_samples,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConfidenceInterval":
+        return cls(
+            mean=data["mean"],
+            half_width=data["half_width"],
+            num_samples=data["num_samples"],
+        )
+
 
 def sample_mean(values: Sequence[float]) -> ConfidenceInterval:
     """Mean and 95% CI of per-sample measurements."""

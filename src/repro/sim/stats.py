@@ -135,6 +135,45 @@ class SimulationStats:
     def offchip_rate(self) -> float:
         return self.offchip_accesses / self.accesses if self.accesses else 0.0
 
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (tuple keys flattened)."""
+        return {
+            "instructions": self.instructions,
+            "accesses": self.accesses,
+            "cycles_by_component": dict(self.cycles_by_component),
+            "cycles_by_class_component": {
+                f"{cls}::{component}": cycles
+                for (cls, component), cycles in self.cycles_by_class_component.items()
+            },
+            "accesses_by_class": dict(self.accesses_by_class),
+            "hits_by_location": dict(self.hits_by_location),
+            "offchip_accesses": self.offchip_accesses,
+            "coherence_accesses": self.coherence_accesses,
+            "shared_service": dict(self.shared_service),
+            "shared_service_cycles": dict(self.shared_service_cycles),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationStats":
+        stats = cls(
+            instructions=data["instructions"],
+            accesses=data["accesses"],
+            cycles_by_component=Counter(data["cycles_by_component"]),
+            accesses_by_class=Counter(data["accesses_by_class"]),
+            hits_by_location=Counter(data["hits_by_location"]),
+            offchip_accesses=data["offchip_accesses"],
+            coherence_accesses=data["coherence_accesses"],
+            shared_service=Counter(data["shared_service"]),
+            shared_service_cycles=Counter(data["shared_service_cycles"]),
+        )
+        for key, cycles in data["cycles_by_class_component"].items():
+            access_class, _, component = key.partition("::")
+            stats.cycles_by_class_component[(access_class, component)] = cycles
+        return stats
+
     def merge(self, other: "SimulationStats") -> None:
         """Fold another stats object into this one (used by sampling)."""
         self.instructions += other.instructions

@@ -1,0 +1,1 @@
+"""Test package marker so ``from .conftest import ...`` resolves under pytest."""

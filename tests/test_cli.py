@@ -1,0 +1,83 @@
+"""Tests for the ``repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+from .conftest import TEST_SCALE
+
+RUN_ARGS = [
+    "run",
+    "--workloads", "mix",
+    "--designs", "private,rnuca",
+    "--records", "1000",
+    "--scale", str(TEST_SCALE),
+    "--jobs", "2",
+]
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    return str(tmp_path / "results")
+
+
+def test_run_simulates_then_hits_cache(results_dir, capsys):
+    assert main(RUN_ARGS + ["--results-dir", results_dir]) == 0
+    out = capsys.readouterr().out
+    assert "2 simulated, 0 cache hits" in out
+    assert "simulated mix/P" in out and "simulated mix/R" in out
+
+    assert main(RUN_ARGS + ["--results-dir", results_dir]) == 0
+    out = capsys.readouterr().out
+    assert "0 simulated, 2 cache hits" in out
+    assert "cached    mix/P" in out
+
+
+def test_run_quiet_suppresses_progress(results_dir, capsys):
+    assert main(RUN_ARGS + ["--results-dir", results_dir, "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "simulated mix/P" not in out
+    assert "2 simulated" in out
+
+
+def test_report_lists_results_and_speedups(results_dir, capsys):
+    main(RUN_ARGS + ["--results-dir", results_dir, "--quiet"])
+    capsys.readouterr()
+    assert main(["report", "--results-dir", results_dir]) == 0
+    out = capsys.readouterr().out
+    assert "mix/P" in out and "mix/R" in out
+    assert "Speedup over the private design" in out
+
+
+def test_report_workload_filter(results_dir, capsys):
+    main(RUN_ARGS + ["--results-dir", results_dir, "--quiet"])
+    capsys.readouterr()
+    assert main(["report", "--results-dir", results_dir, "--workloads", "apache"]) == 1
+    assert "No results" in capsys.readouterr().out
+
+
+def test_report_empty_store_fails(tmp_path, capsys):
+    assert main(["report", "--results-dir", str(tmp_path / "nope")]) == 1
+    assert "No results" in capsys.readouterr().out
+
+
+def test_cluster_sweep_points(results_dir, capsys):
+    args = [
+        "run", "--workloads", "mix", "--designs", "rnuca",
+        "--records", "800", "--scale", str(TEST_SCALE),
+        "--cluster-sizes", "1,2", "--results-dir", results_dir, "--quiet",
+    ]
+    assert main(args) == 0
+    assert "3 simulated" in capsys.readouterr().out
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "oltp-db2" in out and "RNucaDesign" in out
+
+
+def test_unknown_design_errors(results_dir):
+    with pytest.raises(ValueError, match="unknown design"):
+        main(["run", "--workloads", "mix", "--designs", "bogus",
+              "--results-dir", results_dir])

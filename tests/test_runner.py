@@ -1,0 +1,249 @@
+"""Tests for the parallel experiment runner (grid, batch, result store)."""
+
+import json
+
+import pytest
+
+from repro.analysis.evaluation import run_evaluation
+from repro.analysis.speedup import speedup_table
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationResult, simulate_workload
+from repro.sim.runner import (
+    BatchRunner,
+    ExperimentGrid,
+    ExperimentPoint,
+    ResultStore,
+    execute_point,
+    run_grid,
+)
+
+from .conftest import TEST_SCALE
+
+RECORDS = 1200
+
+
+def small_grid(**kwargs):
+    defaults = dict(
+        workloads=("mix",),
+        designs=("P", "R"),
+        num_records=RECORDS,
+        scale=TEST_SCALE,
+        seed=5,
+    )
+    defaults.update(kwargs)
+    return ExperimentGrid(**defaults)
+
+
+class TestExperimentPoint:
+    def test_make_normalises_design_names(self):
+        point = ExperimentPoint.make("mix", "private", scale=TEST_SCALE)
+        assert point.design == "P"
+        assert point.label == "mix/P"
+
+    def test_content_hash_is_order_independent(self):
+        a = ExperimentPoint.make("mix", "R", params={"x": 1, "y": 2})
+        b = ExperimentPoint.make("mix", "R", params={"y": 2, "x": 1})
+        assert a.content_hash == b.content_hash
+
+    def test_content_hash_distinguishes_points(self):
+        a = ExperimentPoint.make("mix", "P", seed=1)
+        b = ExperimentPoint.make("mix", "P", seed=2)
+        assert a.content_hash != b.content_hash
+
+    def test_dict_round_trip(self):
+        point = ExperimentPoint.make(
+            "oltp-db2", "rnuca", num_records=500, scale=TEST_SCALE, seed=9,
+            params={"instruction_cluster_size": 4},
+        )
+        assert ExperimentPoint.from_dict(point.to_dict()) == point
+
+
+class TestExperimentGrid:
+    def test_enumerates_cross_product(self):
+        grid = small_grid(workloads=("mix", "oltp-db2"), designs=("P", "S", "R"))
+        points = grid.points()
+        assert len(points) == len(grid) == 6
+        assert {(p.workload, p.design) for p in points} == {
+            (w, d) for w in ("mix", "oltp-db2") for d in ("P", "S", "R")
+        }
+
+    def test_cluster_sweep_points(self):
+        grid = small_grid(designs=(), cluster_sizes=(1, 4))
+        points = grid.points()
+        assert len(points) == len(grid) == 2
+        assert all(p.design == "R" for p in points)
+        assert {p.param_dict["instruction_cluster_size"] for p in points} == {1, 4}
+
+    def test_overrides_axis(self):
+        grid = small_grid(
+            designs=("A",),
+            overrides=({"best_asr": False}, {"best_asr": False, "allocation_probability": 1.0}),
+        )
+        assert len(grid.points()) == 2
+
+
+class TestSerialization:
+    def test_result_json_round_trip(self):
+        result = simulate_workload("mix", "R", num_records=RECORDS, scale=TEST_SCALE, seed=5)
+        restored = SimulationResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored.cpi == result.cpi
+        assert restored.ipc == result.ipc
+        assert restored.cpi_breakdown() == result.cpi_breakdown()
+        assert restored.stats.to_dict() == result.stats.to_dict()
+        assert restored.cpi_confidence == result.cpi_confidence
+        assert restored.metadata == result.metadata
+
+    def test_round_trip_without_confidence(self):
+        result = simulate_workload("mix", "P", num_records=RECORDS, scale=TEST_SCALE)
+        result.cpi_confidence = None
+        restored = SimulationResult.from_dict(result.to_dict())
+        assert restored.cpi_confidence is None
+
+
+class TestBatchRunner:
+    def test_pool_matches_in_process_run(self):
+        """Same seed -> identical results across a process pool and inline."""
+        grid = small_grid()
+        pooled = BatchRunner(jobs=2).run(grid.points())
+        inline = BatchRunner(jobs=1).run(grid.points())
+        assert pooled.executed == inline.executed == len(grid)
+        for point in grid:
+            assert (
+                pooled.result_for(point).stats.to_dict()
+                == inline.result_for(point).stats.to_dict()
+            )
+
+    def test_runner_matches_direct_simulation(self):
+        point = ExperimentPoint.make("mix", "P", num_records=RECORDS, scale=TEST_SCALE, seed=5)
+        direct = simulate_workload("mix", "P", num_records=RECORDS, scale=TEST_SCALE, seed=5)
+        assert execute_point(point).cpi == direct.cpi
+
+    def test_asr_point_defaults_to_best_of_six(self):
+        point = ExperimentPoint.make("mix", "A", num_records=RECORDS, scale=TEST_SCALE)
+        result = execute_point(point)
+        assert result.metadata["asr_variants_evaluated"] == 6
+
+    def test_asr_point_with_explicit_probability_runs_single_variant(self):
+        point = ExperimentPoint.make(
+            "mix", "A", num_records=RECORDS, scale=TEST_SCALE,
+            params={"allocation_probability": 0.25},
+        )
+        result = execute_point(point)
+        assert "asr_variants_evaluated" not in result.metadata
+        assert result.metadata["asr_allocation_probability"] == 0.25
+
+    def test_asr_best_conflicts_with_explicit_params(self):
+        point = ExperimentPoint.make(
+            "mix", "A", num_records=RECORDS, scale=TEST_SCALE,
+            params={"best_asr": True, "allocation_probability": 0.25},
+        )
+        with pytest.raises(SimulationError):
+            execute_point(point)
+
+    def test_cache_hit_and_miss(self, tmp_path):
+        grid = small_grid()
+        store = ResultStore(tmp_path)
+        first = run_grid(grid, store=store, jobs=1)
+        assert (first.executed, first.cache_hits) == (len(grid), 0)
+        assert len(list(tmp_path.glob("*.json"))) == len(grid)
+        second = run_grid(grid, store=store, jobs=1)
+        assert (second.executed, second.cache_hits) == (0, len(grid))
+        for point in grid:
+            assert second.result_for(point).cpi == first.result_for(point).cpi
+
+    def test_changed_point_misses_cache(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_grid(small_grid(), store=store, jobs=1)
+        other = run_grid(small_grid(seed=6), store=store, jobs=1)
+        assert other.cache_hits == 0
+
+    def test_corrupt_store_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        point = small_grid().points()[0]
+        store.put(point, execute_point(point))
+        store.path_for(point).write_text("{ not json")
+        assert store.get(point) is None
+
+    def test_duplicate_points_run_once(self):
+        point = ExperimentPoint.make("mix", "P", num_records=RECORDS, scale=TEST_SCALE)
+        batch = BatchRunner(jobs=1).run([point, point])
+        assert batch.executed == 1
+        assert len(batch) == 1
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(SimulationError):
+            BatchRunner(jobs=0)
+
+    def test_store_load_all(self, tmp_path):
+        grid = small_grid()
+        store = ResultStore(tmp_path)
+        run_grid(grid, store=store, jobs=1)
+        pairs = store.load_all()
+        assert [point.label for point, _ in pairs] == ["mix/P", "mix/R"]
+        assert all(isinstance(result, SimulationResult) for _, result in pairs)
+
+    def test_load_all_skips_stale_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        point = small_grid().points()[0]
+        store.put(point, execute_point(point))
+        stale = json.loads(store.path_for(point).read_text())
+        stale["point"]["design"] = "X"  # e.g. schema drift after a rename
+        (tmp_path / "stale.json").write_text(json.dumps(stale))
+        (tmp_path / "junk.json").write_text("{ not json")
+        assert [p.label for p, _ in store.load_all()] == [point.label]
+
+
+class TestEvaluationThroughRunner:
+    def test_same_numbers_as_serial_seed_path(self):
+        """run_evaluation via the runner == the direct serial simulate() path."""
+        suite = run_evaluation(
+            workloads=("mix",),
+            designs=("P", "R"),
+            num_records=RECORDS,
+            scale=TEST_SCALE,
+            seed=5,
+            use_cache=False,
+        )
+        for design in ("P", "R"):
+            direct = simulate_workload(
+                "mix", design, num_records=RECORDS, scale=TEST_SCALE, seed=5
+            )
+            assert suite.result("mix", design).cpi == direct.cpi
+
+    def test_parallel_evaluation_matches_serial(self):
+        serial = run_evaluation(
+            workloads=("mix",), designs=("P", "S"), num_records=RECORDS,
+            scale=TEST_SCALE, seed=5, use_cache=False, jobs=1,
+        )
+        parallel = run_evaluation(
+            workloads=("mix",), designs=("P", "S"), num_records=RECORDS,
+            scale=TEST_SCALE, seed=5, use_cache=False, jobs=2,
+        )
+        for key, result in serial.results.items():
+            assert parallel.results[key].cpi == result.cpi
+
+    def test_speedup_table_never_mixes_experiments(self):
+        """A baseline from one trace length must not normalise another's."""
+        short = execute_point(
+            ExperimentPoint.make("mix", "P", num_records=RECORDS, scale=TEST_SCALE)
+        )
+        long_p = execute_point(
+            ExperimentPoint.make("mix", "P", num_records=2 * RECORDS, scale=TEST_SCALE)
+        )
+        long_r = execute_point(
+            ExperimentPoint.make("mix", "R", num_records=2 * RECORDS, scale=TEST_SCALE)
+        )
+        rows = speedup_table([short, long_p, long_r])
+        assert {(row["records"], row["design"]) for row in rows} == {
+            (RECORDS, "P"), (2 * RECORDS, "P"), (2 * RECORDS, "R"),
+        }
+        long_row = next(r for r in rows if r["design"] == "R")
+        assert long_row["speedup"] == long_r.speedup_over(long_p)
+
+    def test_evaluation_uses_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_evaluation(
+            workloads=("mix",), designs=("P",), num_records=RECORDS,
+            scale=TEST_SCALE, use_cache=False, store=store,
+        )
+        assert len(list(tmp_path.glob("*.json"))) == 1
