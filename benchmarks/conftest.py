@@ -19,6 +19,13 @@ Environment knobs:
 ``RNUCA_RESULTS_DIR``
     If set, persist simulation results as content-addressed JSON under this
     directory; repeat benchmark runs then reuse them as cache hits.
+
+``RNUCA_ENGINE``
+    Replay engine for every simulation: ``fast`` (default, the columnar
+    allocation-free path) or ``reference`` (the preserved seed path).  Both
+    produce identical numbers — see tests/test_engine_equivalence.py — so
+    this knob exists for cross-checking and for benchmarking the engines
+    against each other (``repro bench``).
 """
 
 from __future__ import annotations

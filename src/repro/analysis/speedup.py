@@ -31,8 +31,8 @@ def fig12_speedups(suite: EvaluationSuite) -> list[dict[str, object]]:
             speedup = result.speedup_over(baseline)
             interval = None
             if baseline.cpi_confidence and result.cpi_confidence:
-                # Speedup = baseline CPI / design CPI - 1.
-                interval = speedup_interval(result.cpi_confidence, baseline.cpi_confidence)
+                # Speedup ratio = baseline CPI / design CPI.
+                interval = speedup_interval(baseline.cpi_confidence, result.cpi_confidence)
             rows.append(
                 {
                     "workload": workload,
@@ -80,7 +80,7 @@ def speedup_table(results: Iterable[SimulationResult]) -> list[dict[str, object]
             result = designs[letter]
             interval = None
             if baseline.cpi_confidence and result.cpi_confidence:
-                interval = speedup_interval(result.cpi_confidence, baseline.cpi_confidence)
+                interval = speedup_interval(baseline.cpi_confidence, result.cpi_confidence)
             rows.append(
                 {
                     "workload": result.workload,

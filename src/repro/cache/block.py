@@ -59,7 +59,7 @@ class AccessType(enum.Enum):
         return self is AccessType.STORE
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheBlock:
     """Metadata for one cached block frame.
 

@@ -19,6 +19,8 @@ from repro.cache.block import CacheBlock, CoherenceState
 from repro.cmp.config import CacheConfig
 from repro.errors import ConfigurationError
 
+_INVALID = CoherenceState.INVALID
+
 
 @dataclass
 class LookupResult:
@@ -51,6 +53,7 @@ class CacheArray:
             OrderedDict() for _ in range(config.num_sets)
         ]
         self._set_mask = config.num_sets - 1
+        self._associativity = config.associativity
         self._now = 0
         # Statistics
         self.hits = 0
@@ -89,16 +92,30 @@ class CacheArray:
     # ------------------------------------------------------------------ #
     def lookup(self, block_address: int, *, write: bool = False) -> LookupResult:
         """Probe the array; on a hit, update LRU and access metadata."""
-        self._now += 1
-        cache_set = self._sets[self.set_index(block_address)]
-        block = cache_set.get(block_address)
-        if block is None or not block.state.is_valid:
-            self.misses += 1
+        block = self.lookup_block(block_address, write=write)
+        if block is None:
             return LookupResult(hit=False)
-        cache_set.move_to_end(block_address)
-        block.touch(self._now, write=write)
-        self.hits += 1
         return LookupResult(hit=True, block=block)
+
+    def lookup_block(
+        self, block_address: int, write: bool = False
+    ) -> Optional[CacheBlock]:
+        """Allocation-free :meth:`lookup`: the hit block, or ``None``."""
+        now = self._now = self._now + 1
+        cache_set = self._sets[block_address & self._set_mask]
+        block = cache_set.get(block_address)
+        if block is None or block.state is _INVALID:
+            self.misses += 1
+            return None
+        cache_set.move_to_end(block_address)
+        # Inline CacheBlock.touch - this probe is the hottest cache operation.
+        block.last_access = now
+        block.access_count += 1
+        if write:
+            block.dirty = True
+            block.state = CoherenceState.MODIFIED
+        self.hits += 1
+        return block
 
     def peek(self, block_address: int) -> Optional[CacheBlock]:
         """Probe without disturbing LRU state or statistics."""
@@ -120,18 +137,36 @@ class CacheArray:
         If the block is already resident, its state is updated in place and
         no eviction occurs.
         """
-        self._now += 1
-        cache_set = self._sets[self.set_index(block_address)]
+        inserted, victim = self.insert_block(
+            block_address, state=state, dirty=dirty, metadata=metadata
+        )
+        return EvictionResult(inserted=inserted, victim=victim)
+
+    def insert_block(
+        self,
+        block_address: int,
+        state: CoherenceState = CoherenceState.SHARED,
+        dirty: bool = False,
+        metadata: Optional[dict] = None,
+    ) -> tuple[CacheBlock, Optional[CacheBlock]]:
+        """Allocation-free :meth:`insert`: returns ``(inserted, victim)``."""
+        now = self._now = self._now + 1
+        cache_set = self._sets[block_address & self._set_mask]
         existing = cache_set.get(block_address)
         if existing is not None:
             existing.state = state
             existing.dirty = existing.dirty or dirty
-            existing.touch(self._now, write=dirty)
+            # Inline CacheBlock.touch (the write case re-asserts MODIFIED).
+            existing.last_access = now
+            existing.access_count += 1
+            if dirty:
+                existing.dirty = True
+                existing.state = CoherenceState.MODIFIED
             cache_set.move_to_end(block_address)
-            return EvictionResult(inserted=existing)
+            return existing, None
 
         victim: Optional[CacheBlock] = None
-        if len(cache_set) >= self.associativity:
+        if len(cache_set) >= self._associativity:
             _, victim = cache_set.popitem(last=False)
             self.evictions += 1
         block = CacheBlock(
@@ -142,7 +177,7 @@ class CacheArray:
             metadata=metadata or {},
         )
         cache_set[block_address] = block
-        return EvictionResult(inserted=block, victim=victim)
+        return block, victim
 
     def invalidate(self, block_address: int) -> Optional[CacheBlock]:
         """Remove a block (coherence invalidation or page shootdown)."""

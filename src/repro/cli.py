@@ -1,6 +1,6 @@
 """Command-line front end for the parallel experiment runner.
 
-Two subcommands drive the grid/cache/report workflow:
+Subcommands:
 
 ``run``
     Enumerate an :class:`~repro.sim.runner.ExperimentGrid` from
@@ -13,12 +13,23 @@ Two subcommands drive the grid/cache/report workflow:
 ``report``
     Load everything in ``--results-dir`` and print per-workload CPI tables
     with speedups over the private baseline (the paper's normalisation).
+    An empty or missing results directory is not an error: the command
+    prints a pointer to ``repro run`` and exits 0.
+
+``bench``
+    Measure the trace engine's records/sec per design — fast columnar path
+    vs the preserved seed path — and write ``BENCH_engine.json``
+    (see :mod:`repro.sim.bench`).
+
+``list``
+    Show the known workloads and designs.
 
 Examples::
 
     python -m repro.cli run --designs private,shared,rnuca \\
         --workloads oltp-db2,apache --jobs 4
     python -m repro.cli report
+    python -m repro.cli bench --quick
     python -m repro.cli list
 
 The console script ``repro`` (see ``pyproject.toml``) maps to :func:`main`.
@@ -33,6 +44,15 @@ from typing import Optional, Sequence
 from repro.analysis.reporting import format_table
 from repro.analysis.speedup import speedup_table
 from repro.designs import DESIGNS, normalize_design
+from repro.sim.bench import (
+    DEFAULT_BENCH_OUTPUT,
+    DEFAULT_BENCH_RECORDS,
+    DEFAULT_BENCH_REPEATS,
+    QUICK_BENCH_RECORDS,
+    QUICK_BENCH_REPEATS,
+    run_bench,
+    write_bench,
+)
 from repro.sim.engine import DEFAULT_TRACE_LENGTH
 from repro.sim.runner import (
     DEFAULT_RESULTS_DIR,
@@ -116,6 +136,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict the report to these workloads",
     )
 
+    bench = sub.add_parser(
+        "bench", help="measure engine records/sec per design (fast vs seed path)"
+    )
+    bench.add_argument(
+        "--designs",
+        type=_csv,
+        default=["P", "A", "S", "R", "I"],
+        help="comma-separated designs to benchmark (default: P,A,S,R,I)",
+    )
+    bench.add_argument(
+        "--workload",
+        default="oltp-db2",
+        help="workload whose trace is replayed (default: oltp-db2)",
+    )
+    bench.add_argument(
+        "--records",
+        type=int,
+        default=None,
+        help=f"trace length (default: {DEFAULT_BENCH_RECORDS}, "
+        f"--quick: {QUICK_BENCH_RECORDS})",
+    )
+    bench.add_argument(
+        "--scale",
+        type=int,
+        default=DEFAULT_SCALE,
+        help=f"system down-scale factor (default: {DEFAULT_SCALE})",
+    )
+    bench.add_argument("--seed", type=int, default=0, help="RNG seed (default: 0)")
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help=f"best-of repeats per measurement (default: {DEFAULT_BENCH_REPEATS}, "
+        f"--quick: {QUICK_BENCH_REPEATS})",
+    )
+    bench.add_argument(
+        "--output",
+        default=DEFAULT_BENCH_OUTPUT,
+        help=f"JSON output path (default: {DEFAULT_BENCH_OUTPUT})",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="short smoke run (fewer records and repeats)",
+    )
+
     sub.add_parser("list", help="show known workloads and designs")
     return parser
 
@@ -152,13 +218,19 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.results_dir)
-    pairs = store.load_all()
+    try:
+        pairs = store.load_all()
+    except OSError as error:
+        print(f"Cannot read results under {store.directory}/: {error}")
+        return 1
     if args.workloads:
         wanted = set(args.workloads)
         pairs = [(p, r) for p, r in pairs if p.workload in wanted]
     if not pairs:
+        # Nothing stored (or nothing matching) is a clean no-op, not an
+        # error: print a pointer and exit 0.
         print(f"No results under {store.directory}/ — run `repro run` first.")
-        return 1
+        return 0
     rows = [
         {
             "point": point.label,
@@ -177,6 +249,52 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    records = args.records
+    repeats = args.repeats
+    if args.quick:
+        records = records if records is not None else QUICK_BENCH_RECORDS
+        repeats = repeats if repeats is not None else QUICK_BENCH_REPEATS
+    else:
+        records = records if records is not None else DEFAULT_BENCH_RECORDS
+        repeats = repeats if repeats is not None else DEFAULT_BENCH_REPEATS
+    payload = run_bench(
+        designs=args.designs,
+        workload=args.workload,
+        num_records=records,
+        scale=args.scale,
+        seed=args.seed,
+        repeats=repeats,
+        progress=lambda line: print(f"  {line}"),
+    )
+    rows = [
+        {
+            "design": result["design"],
+            "fast_rec/s": result["fast_records_per_sec"],
+            "seed_rec/s": result["reference_records_per_sec"],
+            "speedup": result["speedup"],
+            "stats_match": result["stats_match"],
+        }
+        for result in payload["results"]
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Engine throughput on {payload['workload']} "
+                f"({payload['records']} records, best of {payload['repeats']})"
+            ),
+        )
+    )
+    path = write_bench(payload, args.output)
+    print(f"Wrote {path}")
+    mismatches = [r["design"] for r in payload["results"] if not r["stats_match"]]
+    if mismatches:
+        print(f"WARNING: fast/seed stats mismatch for {', '.join(mismatches)}")
+        return 1
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("Workloads: " + ", ".join(WORKLOADS))
     print("Designs:   " + ", ".join(f"{letter} ({cls.__name__})" for letter, cls in DESIGNS.items()))
@@ -185,7 +303,7 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"run": cmd_run, "report": cmd_report, "list": cmd_list}
+    handlers = {"run": cmd_run, "report": cmd_report, "bench": cmd_bench, "list": cmd_list}
     return handlers[args.command](args)
 
 

@@ -136,3 +136,14 @@ class PlacementPolicy:
             target_slice=target,
             is_local=(target == core),
         )
+
+    def target_for(self, core: int, block_address: int, page_class: PageClass) -> int:
+        """Allocation-free :meth:`place`: just the slice to probe."""
+        if page_class is PageClass.PRIVATE:
+            # Size-1 cluster at the requesting tile.
+            return core
+        if page_class is PageClass.INSTRUCTION:
+            members = self._instruction_clusters[core].members
+        else:
+            members = self._shared_cluster.members
+        return members[(block_address >> self.set_index_bits) & (len(members) - 1)]

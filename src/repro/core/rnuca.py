@@ -91,10 +91,39 @@ class RNucaPolicy:
         )
         self._block_shift = config.block_size.bit_length() - 1
         self._page_shift = config.page_size.bit_length() - 1
-        # Statistics
-        self.lookups = 0
+        # Hot-path tables: cluster member tuples and the interleave geometry,
+        # resolved once so :meth:`lookup_fast` runs without method dispatch.
+        self._set_index_bits = self.placement.set_index_bits
+        self._shared_members = self.placement.shared_cluster().members
+        self._shared_mask = len(self._shared_members) - 1
+        self._instruction_members = [
+            self.placement.instruction_cluster(core).members
+            for core in range(config.num_tiles)
+        ]
+        self._instruction_mask = self.config.instruction_cluster_size - 1
+        self._tlbs = self.classifier.tlbs
+        #: The classifier's page-table dict, bound once; PageTable mutates
+        #: this dict in place (including clear()), never rebinds it.
+        self._page_entries = self.classifier.page_table._entries
+        # Statistics (per-class counts kept as scalars; enum-keyed dict
+        # updates would hash the PageClass member twice per lookup, and the
+        # total is derived instead of being a fourth per-lookup increment).
         self.local_lookups = 0
-        self.lookups_by_class: dict[PageClass, int] = {c: 0 for c in PageClass}
+        self.instruction_lookups = 0
+        self.private_lookups = 0
+        self.shared_lookups = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.instruction_lookups + self.private_lookups + self.shared_lookups
+
+    @property
+    def lookups_by_class(self) -> dict[PageClass, int]:
+        return {
+            PageClass.INSTRUCTION: self.instruction_lookups,
+            PageClass.PRIVATE: self.private_lookups,
+            PageClass.SHARED: self.shared_lookups,
+        }
 
     # ------------------------------------------------------------------ #
     # Address helpers
@@ -132,13 +161,54 @@ class RNucaPolicy:
             shootdown=shootdown,
         )
         decision = self.placement.place(core, block, page_class)
-        self.lookups += 1
-        self.lookups_by_class[page_class] += 1
+        self._count_class(page_class)
         if decision.is_local:
             self.local_lookups += 1
         return RNucaLookup(
             decision=decision, classification=event, page_class=page_class
         )
+
+    def lookup_fast(
+        self,
+        core: int,
+        block_address: int,
+        page_number: int,
+        instruction: bool,
+        thread_id: Optional[int] = None,
+        shootdown: Optional[ShootdownCallback] = None,
+    ) -> tuple[int, PageClass, str, int]:
+        """Allocation-free :meth:`lookup`.
+
+        Takes the block and page numbers precomputed by the caller (once per
+        trace, instead of per access) and returns ``(target slice, page
+        class, OS event kind, OS event latency)`` without building the
+        :class:`RNucaLookup`/:class:`PlacementDecision` wrappers.  This is
+        the reference statement of the fast-lookup contract;
+        :meth:`repro.designs.rnuca_design.RNucaDesign._service` fuses the
+        same steps (with the classification branches inlined) into the
+        simulation hot loop, and tests pin the two to :meth:`lookup`.
+        """
+        classifier = self.classifier
+        page_class, kind, latency, _ = classifier.classify_fast(
+            core,
+            page_number,
+            instruction=instruction,
+            thread_id=thread_id,
+            shootdown=shootdown,
+        )
+        target = self.placement.target_for(core, block_address, page_class)
+        self._count_class(page_class)
+        if target == core:
+            self.local_lookups += 1
+        return target, page_class, kind, latency
+
+    def _count_class(self, page_class: PageClass) -> None:
+        if page_class is PageClass.INSTRUCTION:
+            self.instruction_lookups += 1
+        elif page_class is PageClass.PRIVATE:
+            self.private_lookups += 1
+        else:
+            self.shared_lookups += 1
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -30,8 +30,6 @@ property-tested) here.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from repro.errors import ClusterError
 from repro.interconnect.topology import Topology
 
@@ -145,6 +143,7 @@ class RotationalInterleaver:
             raise ClusterError("one RID is required per tile")
         self.rids = list(rids)
         self._members_cache: dict[int, list[int]] = {}
+        self._max_distance_cache: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # Cluster membership
@@ -211,13 +210,21 @@ class RotationalInterleaver:
         """Interleaving-bit value this tile stores (identical for all clusters)."""
         return owner_interleave_bits(self.rids[tile], self.cluster_size)
 
-    @lru_cache(maxsize=None)
     def max_lookup_distance(self, center: int) -> int:
-        """Largest hop distance from a center to any of its cluster members."""
-        return max(
-            self.topology.hop_distance(center, member)
-            for member in self.cluster_members(center)
-        )
+        """Largest hop distance from a center to any of its cluster members.
+
+        Cached per instance (like ``_members_cache``): an ``lru_cache`` on an
+        instance method would hold a strong reference to every interleaver
+        ever created, leaking them across batch runs.
+        """
+        cached = self._max_distance_cache.get(center)
+        if cached is None:
+            cached = max(
+                self.topology.hop_distance(center, member)
+                for member in self.cluster_members(center)
+            )
+            self._max_distance_cache[center] = cached
+        return cached
 
     def average_lookup_distance(self, center: int) -> float:
         """Mean hop distance from a center to its cluster members."""

@@ -74,7 +74,7 @@ class AsrDesign(PrivateDesign):
         if victim.dirty or victim.state.is_dirty:
             # Dirty blocks are written back to the local slice regardless;
             # ASR only concerns clean (read-shared) blocks.
-            self.chip.tile(core).l2.insert(
+            self.chip.tiles[core].l2.insert_block(
                 block_address, state=CoherenceState.OWNED, dirty=True
             )
             return
@@ -84,21 +84,21 @@ class AsrDesign(PrivateDesign):
         if not remote_copy_exists:
             # Not a shared block: keep it in the local slice like the
             # private design would.
-            self.chip.tile(core).l2.insert(
+            self.chip.tiles[core].l2.insert_block(
                 block_address, state=CoherenceState.SHARED, dirty=False
             )
             return
 
         self._window_evictions += 1
         if self._rng.random() < self.allocation_probability:
-            tile = self.chip.tile(core)
-            result = tile.l2.insert(
+            tile = self.chip.tiles[core]
+            inserted, evicted = tile.l2.insert_block(
                 block_address, state=CoherenceState.SHARED, dirty=False
             )
-            result.inserted.metadata["asr_replica"] = True
-            if result.victim is not None:
+            inserted.metadata["asr_replica"] = True
+            if evicted is not None:
                 self._replica_evictions += 1
-                self._handle_eviction(core, tile.l2, result.victim)
+                self._handle_eviction(core, tile.l2, evicted)
             self.replications += 1
         else:
             # The block is dropped locally; another on-chip copy (or memory)
@@ -107,13 +107,12 @@ class AsrDesign(PrivateDesign):
         if self.adaptive and self._window_evictions >= _ADAPTATION_PERIOD:
             self._adapt()
 
-    def _service(self, access: L2Access):
-        outcome = super()._service(access)
+    def _service(self, access: L2Access, outcome) -> None:
+        super()._service(access, outcome)
         if outcome.hit_where == "l2_local":
-            block = self.chip.tile(access.core).l2.peek(access.block_address)
+            block = self.chip.tiles[access.core].l2.peek(access.block_address)
             if block is not None and block.metadata.get("asr_replica"):
                 self._replica_hits += 1
-        return outcome
 
     # ------------------------------------------------------------------ #
     # Adaptive controller

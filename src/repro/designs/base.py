@@ -40,25 +40,52 @@ STALL_COMPONENTS = (L1_TO_L1, L2, OFF_CHIP, OTHER, RECLASSIFICATION)
 DIRECTORY_LATENCY = 2
 L1_PROBE_LATENCY = 2
 
+_MODIFIED = CoherenceState.MODIFIED
+_SHARED = CoherenceState.SHARED
 
-@dataclass(frozen=True)
+
 class L2Access:
-    """One L2 reference presented to a design."""
+    """One L2 reference presented to a design.
 
-    core: int
-    block_address: int
-    byte_address: int
-    access_type: AccessType
-    thread_id: int = 0
-    true_class: Optional[str] = None
+    Mutable by design: the simulation hot loop reuses a single instance,
+    rewriting its fields per trace record instead of allocating sixty
+    thousand of them per run.  ``is_instruction``/``is_write`` are plain
+    precomputed attributes (not properties) for the same reason, and
+    ``page_number`` carries the page number precomputed once per trace
+    (``None`` means "derive it from ``byte_address``").
+    """
 
-    @property
-    def is_instruction(self) -> bool:
-        return self.access_type is AccessType.INSTRUCTION
+    __slots__ = (
+        "core",
+        "block_address",
+        "byte_address",
+        "access_type",
+        "thread_id",
+        "true_class",
+        "page_number",
+        "is_instruction",
+        "is_write",
+    )
 
-    @property
-    def is_write(self) -> bool:
-        return self.access_type is AccessType.STORE
+    def __init__(
+        self,
+        core: int = 0,
+        block_address: int = 0,
+        byte_address: int = 0,
+        access_type: AccessType = AccessType.LOAD,
+        thread_id: int = 0,
+        true_class: Optional[str] = None,
+        page_number: Optional[int] = None,
+    ) -> None:
+        self.core = core
+        self.block_address = block_address
+        self.byte_address = byte_address
+        self.access_type = access_type
+        self.thread_id = thread_id
+        self.true_class = true_class
+        self.page_number = page_number
+        self.is_instruction = access_type is AccessType.INSTRUCTION
+        self.is_write = access_type is AccessType.STORE
 
     @property
     def data_class(self) -> str:
@@ -69,8 +96,14 @@ class L2Access:
             return "shared"
         return self.true_class
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"L2Access(core={self.core}, block_address={self.block_address:#x}, "
+            f"access_type={self.access_type.value})"
+        )
 
-@dataclass
+
+@dataclass(slots=True)
 class AccessOutcome:
     """Latency and bookkeeping for one serviced access."""
 
@@ -92,6 +125,15 @@ class AccessOutcome:
         if cycles:
             self.components[component] = self.components.get(component, 0.0) + cycles
 
+    def reset(self) -> None:
+        """Restore the defaults so one instance can be reused per access."""
+        self.components.clear()
+        self.hit_where = "l2_local"
+        self.target_slice = 0
+        self.offchip = False
+        self.coherence = False
+        self.page_class = None
+
 
 class L1Tracker:
     """Mirrors each core's L1 data cache contents."""
@@ -107,9 +149,12 @@ class L1Tracker:
     def holders(self, block_address: int) -> dict[int, CoherenceState]:
         return self._holders.get(block_address, {})
 
-    def dirty_owner(self, block_address: int, *, exclude: int) -> Optional[int]:
+    def dirty_owner(self, block_address: int, exclude: int = -1) -> Optional[int]:
         """Core (other than ``exclude``) holding a modified copy, if any."""
-        for core, state in self.holders(block_address).items():
+        holders = self._holders.get(block_address)
+        if holders is None:
+            return None
+        for core, state in holders.items():
             if core != exclude and state.can_write:
                 return core
         return None
@@ -118,13 +163,40 @@ class L1Tracker:
         return [c for c in self.holders(block_address) if c != exclude]
 
     def fill(
-        self, core: int, block_address: int, *, write: bool
+        self, core: int, block_address: int, write: bool = False
     ) -> Optional[CacheBlock]:
-        """Install a block in a core's L1; returns the evicted block, if any."""
-        state = CoherenceState.MODIFIED if write else CoherenceState.SHARED
-        result = self._arrays[core].insert(block_address, state=state, dirty=write)
-        self._holders.setdefault(block_address, {})[core] = state
-        victim = result.victim
+        """Install a block in a core's L1; returns the evicted block, if any.
+
+        Runs once per data access, so :meth:`CacheArray.insert_block` is
+        inlined here (same state updates, same statistics).
+        """
+        state = _MODIFIED if write else _SHARED
+        array = self._arrays[core]
+        now = array._now = array._now + 1
+        cache_set = array._sets[block_address & array._set_mask]
+        existing = cache_set.get(block_address)
+        victim: Optional[CacheBlock] = None
+        if existing is not None:
+            existing.dirty = existing.dirty or write
+            existing.state = state
+            existing.last_access = now
+            existing.access_count += 1
+            cache_set.move_to_end(block_address)
+        else:
+            if len(cache_set) >= array._associativity:
+                _, victim = cache_set.popitem(last=False)
+                array.evictions += 1
+            cache_set[block_address] = CacheBlock(
+                address=block_address,
+                state=state,
+                dirty=write,
+                last_access=now,
+                metadata={},
+            )
+        holders = self._holders.get(block_address)
+        if holders is None:
+            holders = self._holders[block_address] = {}
+        holders[core] = state
         if victim is not None:
             self._forget(core, victim.address)
         return victim
@@ -170,28 +242,50 @@ class CacheDesign(ABC):
         self.l1 = L1Tracker(chip)
         self.accesses = 0
         self.offchip_accesses = 0
+        # Hot-path caches: all static for the design's lifetime.
+        self._l2_hit_latency = chip.config.l2_slice.hit_latency
+        self._one_way = chip.network.one_way_table
+        self._wants_l1_evictions = (
+            type(self).on_l1_eviction is not CacheDesign.on_l1_eviction
+        )
+        self._l1_fill = self.l1.fill
+        self._tiles = chip.tiles
 
     # ------------------------------------------------------------------ #
     # Main entry point
     # ------------------------------------------------------------------ #
-    def access(self, access: L2Access) -> AccessOutcome:
-        """Service one L2 reference."""
+    def access(
+        self, access: L2Access, outcome: Optional[AccessOutcome] = None
+    ) -> AccessOutcome:
+        """Service one L2 reference.
+
+        ``outcome`` may be a caller-owned instance to reuse across accesses
+        (the hot loop passes the same one every time); it is reset here.
+        """
         self.accesses += 1
-        outcome = self._service(access)
+        if outcome is None:
+            outcome = AccessOutcome()
+        else:
+            # Inline AccessOutcome.reset - this wrapper runs once per record.
+            outcome.components.clear()
+            outcome.hit_where = "l2_local"
+            outcome.target_slice = 0
+            outcome.offchip = False
+            outcome.coherence = False
+            outcome.page_class = None
+        self._service(access, outcome)
         if outcome.offchip:
             self.offchip_accesses += 1
         # Mirror the fill into the requestor's L1 (data accesses only).
         if not access.is_instruction:
-            victim = self.l1.fill(
-                access.core, access.block_address, write=access.is_write
-            )
-            if victim is not None:
+            victim = self._l1_fill(access.core, access.block_address, access.is_write)
+            if victim is not None and self._wants_l1_evictions:
                 self.on_l1_eviction(access.core, victim)
         return outcome
 
     @abstractmethod
-    def _service(self, access: L2Access) -> AccessOutcome:
-        """Design-specific handling of one access."""
+    def _service(self, access: L2Access, outcome: AccessOutcome) -> None:
+        """Design-specific handling of one access, written into ``outcome``."""
 
     def on_l1_eviction(self, core: int, victim: CacheBlock) -> None:
         """Hook invoked when the requesting core's L1 evicts a block."""
@@ -200,13 +294,13 @@ class CacheDesign(ABC):
     # Shared helpers
     # ------------------------------------------------------------------ #
     def l2_hit_latency(self) -> int:
-        return self.config.l2_slice.hit_latency
+        return self._l2_hit_latency
 
     def network_round_trip(self, src: int, dst: int) -> int:
         """Request/response latency; zero network cost for the local slice."""
         if src == dst:
             return 0
-        return self.network.round_trip_latency(src, dst)
+        return 2 * self._one_way[src][dst]
 
     def remote_l1_transfer(
         self, access: L2Access, home: int, owner: int, outcome: AccessOutcome

@@ -33,38 +33,38 @@ class PrivateDesign(CacheDesign):
     short_name = "P"
     name = "private"
 
-    def _service(self, access: L2Access) -> AccessOutcome:
-        outcome = AccessOutcome()
+    def _service(self, access: L2Access, outcome: AccessOutcome) -> None:
         core = access.core
-        local_tile = self.chip.tile(core)
+        local_tile = self._tiles[core]
         outcome.target_slice = core
 
-        lookup = local_tile.l2.lookup(access.block_address, write=access.is_write)
-        if lookup.hit:
-            outcome.add(L2, self.l2_hit_latency())
+        hit = local_tile.l2.lookup_block(access.block_address, access.is_write)
+        if hit is not None:
+            # First (and only) L2 write on this path: a direct component
+            # store is equivalent to outcome.add(L2, ...).
+            outcome.components[L2] = self._l2_hit_latency
             outcome.hit_where = "l2_local"
             if access.is_write:
                 self._invalidate_remote_copies(access)
-            return outcome
+            return
 
         victim_hit = local_tile.l2_victim.extract(access.block_address)
         if victim_hit is not None:
             self._fill_local(core, access, state=victim_hit.state, dirty=victim_hit.dirty)
-            outcome.add(L2, self.l2_hit_latency())
+            outcome.components[L2] = self._l2_hit_latency
             outcome.hit_where = "l2_local"
             if access.is_write:
                 self._invalidate_remote_copies(access)
-            return outcome
+            return
 
         # Local miss: consult the distributed directory at the block's home.
         outcome.add(L2, self.l2_hit_latency())  # the local probe that missed
         dir_home = self.chip.home_slice(access.block_address)
-        directory = self.chip.tile(dir_home).directory
+        directory = self._tiles[dir_home].directory
         to_directory = self.network.one_way_latency(core, dir_home) + DIRECTORY_LATENCY
-        entry = directory.peek(access.block_address)
 
         remote_l2_holder = self._find_remote_l2_holder(access.block_address, core)
-        remote_l1_owner = self.l1.dirty_owner(access.block_address, exclude=core)
+        remote_l1_owner = self.l1.dirty_owner(access.block_address, core)
 
         if remote_l1_owner is not None:
             # Data supplied by a remote L1 (through its tile), i.e. an
@@ -95,7 +95,7 @@ class PrivateDesign(CacheDesign):
             directory.record_write(
                 access.block_address, core
             ) if access.is_write else directory.record_read(access.block_address, core)
-            return outcome
+            return
 
         if remote_l2_holder is not None:
             # Coherence transfer from a remote private L2 slice.
@@ -122,7 +122,7 @@ class PrivateDesign(CacheDesign):
                 ),
                 dirty=access.is_write,
             )
-            return outcome
+            return
 
         # Nobody on chip has the block: fetch from memory via the directory.
         outcome.add(L2, to_directory)
@@ -140,7 +140,6 @@ class PrivateDesign(CacheDesign):
             ),
             dirty=access.is_write,
         )
-        return outcome
 
     # ------------------------------------------------------------------ #
     # Helpers
@@ -189,15 +188,15 @@ class PrivateDesign(CacheDesign):
         dirty: bool,
     ) -> None:
         """Allocate the block in the requesting tile's private slice."""
-        tile = self.chip.tile(core)
-        result = tile.l2.insert(access.block_address, state=state, dirty=dirty)
-        directory = self.chip.tile(self.chip.home_slice(access.block_address)).directory
+        tile = self._tiles[core]
+        _, victim = tile.l2.insert_block(access.block_address, state=state, dirty=dirty)
+        directory = self._tiles[self.chip.home_slice(access.block_address)].directory
         if access.is_write:
             directory.record_write(access.block_address, core)
         else:
             directory.record_read(access.block_address, core)
-        if result.victim is not None:
-            self._handle_eviction(tile.tile_id, tile.l2, result.victim)
+        if victim is not None:
+            self._handle_eviction(tile.tile_id, tile.l2, victim)
 
     def _handle_eviction(self, tile_id: int, array: CacheArray, victim: CacheBlock) -> None:
         tile = self.chip.tile(tile_id)

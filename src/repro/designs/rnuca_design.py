@@ -31,7 +31,12 @@ from repro.designs.base import (
     L2Access,
 )
 from repro.osmodel.classifier import ClassificationEvent
-from repro.osmodel.page_table import PageClass
+from repro.osmodel.page_table import PageClass, PageTableEntry
+
+_INSTRUCTION = PageClass.INSTRUCTION
+_PRIVATE = PageClass.PRIVATE
+_SHARED = PageClass.SHARED
+_INVALID = CoherenceState.INVALID
 
 
 class RNucaDesign(CacheDesign):
@@ -56,6 +61,15 @@ class RNucaDesign(CacheDesign):
             for tile, rid in zip(chip.tiles, rids):
                 tile.rid = rid
         self.misclassified_accesses = 0
+        self._page_shift = chip.config.page_size.bit_length() - 1
+        # Bound once: creating the bound methods per access costs more than
+        # the calls themselves.
+        self._shootdown_handler = self._shootdown
+        self._dirty_owner = self.l1.dirty_owner
+        self._invalidate_all_remote = self.l1.invalidate_all_remote
+        #: true_class string -> the PageClass ground truth expects (lazily
+        #: filled; avoids re-deriving the coarse class string per access).
+        self._expected_class: dict[str, PageClass] = {}
 
     @property
     def instruction_cluster_size(self) -> int:
@@ -64,61 +78,148 @@ class RNucaDesign(CacheDesign):
     # ------------------------------------------------------------------ #
     # Access handling
     # ------------------------------------------------------------------ #
-    def _service(self, access: L2Access) -> AccessOutcome:
-        outcome = AccessOutcome()
-        lookup = self.policy.lookup(
-            access.core,
-            access.byte_address,
-            instruction=access.is_instruction,
-            thread_id=access.thread_id,
-            shootdown=self._shootdown,
-        )
-        target = lookup.target_slice
+    def _service(self, access: L2Access, outcome: AccessOutcome) -> None:
+        """Service one access.
+
+        This is the hottest method of the whole simulator, so the per-access
+        pieces of :meth:`RNucaPolicy.lookup_fast` (classification + placement
+        + policy counters) and :meth:`CacheArray.lookup_block` (the single L2
+        probe) are fused in rather than called — every counter and state
+        update matches those methods exactly, and the seed-path equivalence
+        suite pins the behaviour.
+        """
+        core = access.core
+        block_address = access.block_address
+        page_number = access.page_number
+        if page_number is None:
+            page_number = access.byte_address >> self._page_shift
+        policy = self.policy
+        classifier = policy.classifier
+        if not 0 <= core < classifier.num_cores:
+            classifier._check_core(core)  # raises the range error
+        instruction = access.is_instruction
+        if instruction:
+            # Classification: the classifier's instruction branch.
+            classifier.instruction_accesses += 1
+            entries = policy._page_entries
+            entry = entries.get(page_number)
+            if entry is None:
+                entry = PageTableEntry(page_number=page_number)
+                entries[page_number] = entry
+            if entry.page_class is not _INSTRUCTION and entry.owner_cid is None:
+                entry.mark_instruction()
+            page_class = _INSTRUCTION
+            policy.instruction_lookups += 1
+            members = policy._instruction_members[core]
+            target = members[
+                (block_address >> policy._set_index_bits) & policy._instruction_mask
+            ]
+        else:
+            # Classification: TLB hit inline, TLB miss through the state
+            # machine (which may charge an OS event).
+            classifier.data_accesses += 1
+            tlb = policy._tlbs[core]
+            entries = tlb._entries
+            cached = entries.get(page_number)
+            if cached is not None:
+                entries.move_to_end(page_number)
+                tlb.hits += 1
+                page_class = cached.page_class
+            else:
+                tlb.misses += 1
+                page_class, kind, event_latency, _ = classifier._handle_tlb_miss(
+                    core,
+                    page_number,
+                    thread_id=access.thread_id,
+                    shootdown=self._shootdown_handler,
+                )
+                if event_latency:
+                    self._account_os_event(kind, event_latency, outcome)
+            # Placement (RNucaPolicy.target tables).
+            if page_class is _PRIVATE:
+                policy.private_lookups += 1
+                target = core
+            elif page_class is _SHARED:
+                policy.shared_lookups += 1
+                target = policy._shared_members[
+                    (block_address >> policy._set_index_bits) & policy._shared_mask
+                ]
+            else:  # pragma: no cover - data accesses never classify as instruction
+                policy.instruction_lookups += 1
+                members = policy._instruction_members[core]
+                target = members[
+                    (block_address >> policy._set_index_bits) & policy._instruction_mask
+                ]
+        if target == core:
+            policy.local_lookups += 1
         outcome.target_slice = target
-        outcome.page_class = lookup.page_class
-        self._account_os_event(lookup.classification, outcome)
-        self._track_misclassification(access, lookup.page_class)
+        outcome.page_class = page_class
+
+        # Misclassification tracking (inlined _track_misclassification).
+        true_class = access.true_class
+        if true_class is None:
+            expected = _INSTRUCTION if instruction else _SHARED
+        else:
+            expected = self._expected_class.get(true_class)
+            if expected is None:
+                expected = self._expect_class_for(true_class)
+        if page_class is not expected:
+            self.misclassified_accesses += 1
 
         # Shared read-write data may live dirty in a remote L1; the home
         # slice (the unique interleaved location) forwards the request.
-        if lookup.page_class is PageClass.SHARED and not access.is_instruction:
-            owner = self.l1.dirty_owner(access.block_address, exclude=access.core)
+        if page_class is _SHARED and not instruction:
+            owner = self._dirty_owner(block_address, core)
             if owner is not None:
                 self.remote_l1_transfer(access, target, owner, outcome)
-                self.chip.tile(target).l2.insert(
-                    access.block_address, state=CoherenceState.OWNED, dirty=True
+                self._tiles[target].l2.insert_block(
+                    block_address, state=CoherenceState.OWNED, dirty=True
                 )
-                return outcome
+                return
 
-        tile = self.chip.tile(target)
-        network = self.network_round_trip(access.core, target)
-        result = tile.l2.lookup(access.block_address, write=access.is_write)
-        if result.hit:
-            outcome.add(L2, network + self.l2_hit_latency())
-            outcome.hit_where = "l2_local" if target == access.core else "l2_remote"
+        tile = self._tiles[target]
+        # Inline network_round_trip + outcome.add(L2, ...): the L2 component
+        # is written exactly once per access, so a direct store is safe.
+        latency = self._l2_hit_latency
+        if target != core:
+            latency += 2 * self._one_way[core][target]
+        # The L2 probe (CacheArray.lookup_block inlined).
+        write = access.is_write
+        l2_array = tile.l2
+        now = l2_array._now = l2_array._now + 1
+        cache_set = l2_array._sets[block_address & l2_array._set_mask]
+        block = cache_set.get(block_address)
+        if block is not None and block.state is not _INVALID:
+            cache_set.move_to_end(block_address)
+            block.last_access = now
+            block.access_count += 1
+            if write:
+                block.dirty = True
+                block.state = CoherenceState.MODIFIED
+            l2_array.hits += 1
+            outcome.components[L2] = latency
+            outcome.hit_where = "l2_local" if target == core else "l2_remote"
         else:
-            victim_hit = tile.l2_victim.extract(access.block_address)
+            l2_array.misses += 1
+            victim_hit = tile.l2_victim.extract(block_address)
             if victim_hit is not None:
-                tile.l2.insert(
-                    access.block_address,
+                l2_array.insert_block(
+                    block_address,
                     state=victim_hit.state,
                     dirty=victim_hit.dirty,
                 )
-                outcome.add(L2, network + self.l2_hit_latency())
-                outcome.hit_where = (
-                    "l2_local" if target == access.core else "l2_remote"
-                )
+                outcome.components[L2] = latency
+                outcome.hit_where = "l2_local" if target == core else "l2_remote"
             else:
                 # R-NUCA never retrieves instruction blocks from other
                 # clusters' replicas: a cluster miss goes off chip
                 # (a "compulsory" miss per cluster, Section 4.2).
-                outcome.add(L2, network + self.l2_hit_latency())
+                outcome.components[L2] = latency
                 self.offchip_fetch(access, target, outcome)
-                self._fill(tile, access, lookup.page_class)
+                self._fill(tile, access, page_class)
 
-        if access.is_write:
-            self.l1.invalidate_all_remote(access.block_address, exclude=access.core)
-        return outcome
+        if write:
+            self._invalidate_all_remote(block_address, exclude=core)
 
     # ------------------------------------------------------------------ #
     # Helpers
@@ -127,19 +228,19 @@ class RNucaDesign(CacheDesign):
         state = (
             CoherenceState.MODIFIED if access.is_write else CoherenceState.SHARED
         )
-        result = tile.l2.insert(
+        _, victim = tile.l2.insert_block(
             access.block_address,
             state=state,
             dirty=access.is_write,
             metadata={"class": page_class.value},
         )
-        if result.victim is not None:
-            displaced = tile.l2_victim.insert(result.victim)
+        if victim is not None:
+            displaced = tile.l2_victim.insert(victim)
             if displaced is not None and displaced.dirty:
                 self.memory.access(tile.tile_id, displaced.address, write=True)
 
     def _account_os_event(
-        self, event: ClassificationEvent, outcome: AccessOutcome
+        self, kind: str, latency_cycles: int, outcome: AccessOutcome
     ) -> None:
         """Charge the CPI cost of OS involvement.
 
@@ -149,27 +250,31 @@ class RNucaDesign(CacheDesign):
         charged because every design pays them equally and the baseline
         designs do not model them at all.
         """
-        if event.latency_cycles == 0:
+        if latency_cycles == 0:
             return
-        if event.kind in (
+        if kind in (
             ClassificationEvent.RECLASSIFY_TO_SHARED,
             ClassificationEvent.MIGRATION_REOWN,
         ):
-            outcome.add(RECLASSIFICATION, event.latency_cycles)
-        elif event.kind == ClassificationEvent.FIRST_TOUCH:
-            outcome.add(OTHER, event.latency_cycles)
+            outcome.add(RECLASSIFICATION, latency_cycles)
+        elif kind == ClassificationEvent.FIRST_TOUCH:
+            outcome.add(OTHER, latency_cycles)
 
-    def _track_misclassification(self, access: L2Access, page_class: PageClass) -> None:
-        """Count accesses whose page-level class differs from the block truth."""
-        truth = access.data_class
-        if truth == "instruction":
-            expected = PageClass.INSTRUCTION
-        elif truth == "private":
-            expected = PageClass.PRIVATE
+    def _expect_class_for(self, true_class: str) -> PageClass:
+        """Memoise the PageClass a ground-truth label maps to.
+
+        Same mapping as ``L2Access.data_class`` folded into expected
+        classes: "instruction" and "private" map to their classes, every
+        other label (the shared_* variants and unknown strings) to SHARED.
+        """
+        if true_class == "instruction":
+            expected = _INSTRUCTION
+        elif true_class == "private":
+            expected = _PRIVATE
         else:
-            expected = PageClass.SHARED
-        if page_class is not expected:
-            self.misclassified_accesses += 1
+            expected = _SHARED
+        self._expected_class[true_class] = expected
+        return expected
 
     def _shootdown(self, page_number: int, previous_owner: int) -> int:
         """Invalidate a page's blocks at the previous owner's slice and L1."""

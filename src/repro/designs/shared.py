@@ -25,44 +25,45 @@ class SharedDesign(CacheDesign):
     short_name = "S"
     name = "shared"
 
-    def _service(self, access: L2Access) -> AccessOutcome:
-        outcome = AccessOutcome()
+    def _service(self, access: L2Access, outcome: AccessOutcome) -> None:
         home = self.chip.home_slice(access.block_address)
         outcome.target_slice = home
-        tile = self.chip.tile(home)
+        tile = self._tiles[home]
 
         # A dirty copy in a remote L1 must supply the data (L1-to-L1 via the
         # home slice, which holds the L1 directory state).
         if not access.is_instruction:
-            owner = self.l1.dirty_owner(access.block_address, exclude=access.core)
+            owner = self.l1.dirty_owner(access.block_address, access.core)
             if owner is not None:
                 self.remote_l1_transfer(access, home, owner, outcome)
                 # The home slice keeps (or receives) the up-to-date data.
-                tile.l2.insert(
+                tile.l2.insert_block(
                     access.block_address,
                     state=CoherenceState.OWNED,
                     dirty=True,
                 )
-                return outcome
+                return
 
-        network = self.network_round_trip(access.core, home)
-        lookup = tile.l2.lookup(access.block_address, write=access.is_write)
-        if lookup.hit:
-            outcome.add(L2, network + self.l2_hit_latency())
+        # The L2 component is written exactly once per access below, so the
+        # direct component store is equivalent to outcome.add(L2, ...).
+        latency = self.network_round_trip(access.core, home) + self._l2_hit_latency
+        hit = tile.l2.lookup_block(access.block_address, access.is_write)
+        if hit is not None:
+            outcome.components[L2] = latency
             outcome.hit_where = "l2_local" if home == access.core else "l2_remote"
         else:
             # Check the slice's victim buffer before going off chip.
             victim_hit = tile.l2_victim.extract(access.block_address)
             if victim_hit is not None:
-                tile.l2.insert(
+                tile.l2.insert_block(
                     access.block_address,
                     state=victim_hit.state,
                     dirty=victim_hit.dirty,
                 )
-                outcome.add(L2, network + self.l2_hit_latency())
+                outcome.components[L2] = latency
                 outcome.hit_where = "l2_local" if home == access.core else "l2_remote"
             else:
-                outcome.add(L2, network + self.l2_hit_latency())
+                outcome.components[L2] = latency
                 self.offchip_fetch(access, home, outcome)
                 self._fill(tile, access)
 
@@ -70,14 +71,15 @@ class SharedDesign(CacheDesign):
             # Invalidate the other L1 copies (store latency itself is hidden
             # by the store buffer and accounted under "other" by the paper).
             self.l1.invalidate_all_remote(access.block_address, exclude=access.core)
-        return outcome
 
     def _fill(self, tile, access: L2Access) -> None:
         state = (
             CoherenceState.MODIFIED if access.is_write else CoherenceState.SHARED
         )
-        result = tile.l2.insert(access.block_address, state=state, dirty=access.is_write)
-        if result.victim is not None:
-            displaced = tile.l2_victim.insert(result.victim)
+        _, victim = tile.l2.insert_block(
+            access.block_address, state=state, dirty=access.is_write
+        )
+        if victim is not None:
+            displaced = tile.l2_victim.insert(victim)
             if displaced is not None and displaced.dirty:
                 self.memory.access(tile.tile_id, displaced.address, write=True)

@@ -40,6 +40,20 @@ class NetworkModel:
         self.total_hops = 0
         self.hops_by_class: Counter[str] = Counter()
         self.messages_by_class: Counter[str] = Counter()
+        # Latency is a pure function of the (static) topology, so the full
+        # pairwise table is precomputed once; the simulation hot path indexes
+        # it instead of recomputing hop distances per access.
+        link = config.link_latency
+        router = config.router_latency
+        nodes = range(self.topology.num_nodes)
+        self.one_way_table: list[list[int]] = [
+            [
+                self.topology.hop_distance(src, dst) * link
+                + (self.topology.hop_distance(src, dst) + 1) * router
+                for dst in nodes
+            ]
+            for src in nodes
+        ]
 
     # ------------------------------------------------------------------ #
     # Latency
@@ -49,8 +63,13 @@ class NetworkModel:
 
         A local (same-tile) transfer costs a single router traversal.
         """
-        hops = self.topology.hop_distance(src, dst)
-        return hops * self.config.link_latency + (hops + 1) * self.config.router_latency
+        if src < 0 or dst < 0:
+            self.topology.hop_distance(src, dst)  # raises the range error
+        try:
+            return self.one_way_table[src][dst]
+        except IndexError:
+            self.topology.hop_distance(src, dst)  # raises the range error
+            raise  # pragma: no cover - hop_distance always raises first
 
     def round_trip_latency(self, src: int, dst: int) -> int:
         """Request + response latency between two tiles."""

@@ -13,7 +13,6 @@ and column ``t % cols``.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from functools import lru_cache
 
 from repro.cmp.config import InterconnectConfig
 from repro.errors import ConfigurationError
@@ -89,8 +88,10 @@ class FoldedTorus2D(Topology):
         self._check_node(dst)
         return self._distance(src, dst)
 
-    @lru_cache(maxsize=None)
     def _distance(self, src: int, dst: int) -> int:
+        # Deliberately uncached: an ``lru_cache`` on an instance method pins
+        # every topology ever created.  Hot paths use the precomputed latency
+        # table in :class:`repro.interconnect.network.NetworkModel` instead.
         sr, sc = divmod(src, self.cols)
         dr, dc = divmod(dst, self.cols)
         dy = abs(sr - dr)

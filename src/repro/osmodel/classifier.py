@@ -109,6 +109,38 @@ class PageClassifier:
         ``shootdown`` is invoked when a page moves away from its previous
         owner so the design can invalidate that tile's cached copies.
         """
+        page_class, kind, latency, shootdown_blocks = self.classify_fast(
+            core_id,
+            page_number,
+            instruction=instruction,
+            thread_id=thread_id,
+            shootdown=shootdown,
+        )
+        event = ClassificationEvent(
+            kind=kind,
+            page_number=page_number,
+            page_class=page_class,
+            latency_cycles=latency,
+            shootdown_blocks=shootdown_blocks,
+        )
+        return page_class, event
+
+    def classify_fast(
+        self,
+        core_id: int,
+        page_number: int,
+        *,
+        instruction: bool,
+        thread_id: Optional[int] = None,
+        shootdown: Optional[ShootdownCallback] = None,
+    ) -> tuple[PageClass, str, int, int]:
+        """Allocation-free :meth:`classify_access`.
+
+        Returns ``(page class, event kind, latency cycles, shootdown
+        blocks)`` as a flat tuple so the simulation hot loop never builds a
+        :class:`ClassificationEvent` for the overwhelmingly common TLB-hit
+        and instruction cases.
+        """
         self._check_core(core_id)
         if instruction:
             self.instruction_accesses += 1
@@ -116,23 +148,12 @@ class PageClassifier:
             if entry.page_class is not PageClass.INSTRUCTION and entry.owner_cid is None:
                 # Never touched as data: adopt the instruction classification.
                 entry.mark_instruction()
-            event = ClassificationEvent(
-                kind=ClassificationEvent.INSTRUCTION,
-                page_number=page_number,
-                page_class=PageClass.INSTRUCTION,
-            )
-            return PageClass.INSTRUCTION, event
+            return PageClass.INSTRUCTION, ClassificationEvent.INSTRUCTION, 0, 0
 
         self.data_accesses += 1
-        tlb = self.tlbs[core_id]
-        cached = tlb.lookup(page_number)
+        cached = self.tlbs[core_id].lookup(page_number)
         if cached is not None:
-            event = ClassificationEvent(
-                kind=ClassificationEvent.TLB_HIT,
-                page_number=page_number,
-                page_class=cached.page_class,
-            )
-            return cached.page_class, event
+            return cached.page_class, ClassificationEvent.TLB_HIT, 0, 0
         return self._handle_tlb_miss(
             core_id, page_number, thread_id=thread_id, shootdown=shootdown
         )
@@ -152,7 +173,7 @@ class PageClassifier:
         *,
         thread_id: Optional[int],
         shootdown: Optional[ShootdownCallback],
-    ) -> tuple[PageClass, ClassificationEvent]:
+    ) -> tuple[PageClass, str, int, int]:
         entry = self.page_table.lookup(page_number)
         if entry is None:
             return self._first_touch(core_id, page_number)
@@ -178,7 +199,7 @@ class PageClassifier:
 
     def _first_touch(
         self, core_id: int, page_number: int
-    ) -> tuple[PageClass, ClassificationEvent]:
+    ) -> tuple[PageClass, str, int, int]:
         entry = self.page_table.get_or_create(page_number)
         entry.mark_private(core_id)
         self.first_touches += 1
@@ -191,17 +212,16 @@ class PageClassifier:
                 owner_cid=core_id,
             )
         )
-        event = ClassificationEvent(
-            kind=ClassificationEvent.FIRST_TOUCH,
-            page_number=page_number,
-            page_class=PageClass.PRIVATE,
-            latency_cycles=self.trap_latency,
+        return (
+            PageClass.PRIVATE,
+            ClassificationEvent.FIRST_TOUCH,
+            self.trap_latency,
+            0,
         )
-        return PageClass.PRIVATE, event
 
     def _fill(
         self, core_id: int, entry: PageTableEntry, kind: str
-    ) -> tuple[PageClass, ClassificationEvent]:
+    ) -> tuple[PageClass, str, int, int]:
         self.total_overhead_cycles += self.trap_latency
         self.tlbs[core_id].fill(
             TlbEntry(
@@ -211,20 +231,14 @@ class PageClassifier:
                 owner_cid=entry.owner_cid,
             )
         )
-        event = ClassificationEvent(
-            kind=kind,
-            page_number=entry.page_number,
-            page_class=entry.page_class,
-            latency_cycles=self.trap_latency,
-        )
-        return entry.page_class, event
+        return entry.page_class, kind, self.trap_latency, 0
 
     def _migration_reown(
         self,
         core_id: int,
         entry: PageTableEntry,
         shootdown: Optional[ShootdownCallback],
-    ) -> tuple[PageClass, ClassificationEvent]:
+    ) -> tuple[PageClass, str, int, int]:
         previous_owner = entry.owner_cid
         invalidated = 0
         if shootdown is not None and previous_owner is not None:
@@ -242,21 +256,19 @@ class PageClassifier:
                 owner_cid=core_id,
             )
         )
-        event = ClassificationEvent(
-            kind=ClassificationEvent.MIGRATION_REOWN,
-            page_number=entry.page_number,
-            page_class=PageClass.PRIVATE,
-            latency_cycles=self.reclassify_latency,
-            shootdown_blocks=invalidated,
+        return (
+            PageClass.PRIVATE,
+            ClassificationEvent.MIGRATION_REOWN,
+            self.reclassify_latency,
+            invalidated,
         )
-        return PageClass.PRIVATE, event
 
     def _reclassify_to_shared(
         self,
         core_id: int,
         entry: PageTableEntry,
         shootdown: Optional[ShootdownCallback],
-    ) -> tuple[PageClass, ClassificationEvent]:
+    ) -> tuple[PageClass, str, int, int]:
         previous_owner = entry.owner_cid
         entry.poisoned = True
         invalidated = 0
@@ -275,14 +287,12 @@ class PageClassifier:
                 private=False,
             )
         )
-        event = ClassificationEvent(
-            kind=ClassificationEvent.RECLASSIFY_TO_SHARED,
-            page_number=entry.page_number,
-            page_class=PageClass.SHARED,
-            latency_cycles=self.reclassify_latency,
-            shootdown_blocks=invalidated,
+        return (
+            PageClass.SHARED,
+            ClassificationEvent.RECLASSIFY_TO_SHARED,
+            self.reclassify_latency,
+            invalidated,
         )
-        return PageClass.SHARED, event
 
     def _shootdown_tlbs(self, page_number: int, exclude: Optional[int]) -> int:
         count = 0

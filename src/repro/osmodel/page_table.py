@@ -24,7 +24,7 @@ class PageClass(enum.Enum):
     SHARED = "shared"
 
 
-@dataclass
+@dataclass(slots=True)
 class PageTableEntry:
     """One page's OS-visible classification state."""
 

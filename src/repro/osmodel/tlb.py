@@ -16,7 +16,7 @@ from repro.errors import ConfigurationError
 from repro.osmodel.page_table import PageClass
 
 
-@dataclass
+@dataclass(slots=True)
 class TlbEntry:
     """A cached translation plus the R-NUCA classification bits."""
 

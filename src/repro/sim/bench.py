@@ -1,0 +1,181 @@
+"""Engine micro-benchmark: records/sec per design, fast path vs seed path.
+
+``repro bench`` (see :mod:`repro.cli`) measures how many trace records per
+second each cache design replays under
+
+* the **fast** columnar engine (the default production path), and
+* the **reference** seed engine (:mod:`repro.sim.seed_path`, the preserved
+  pre-fast-path implementation),
+
+on one freshly generated trace shared by all measurements.  Each (design,
+engine) pair runs ``repeats`` times on a fresh chip and the best wall time
+is kept; the reported ``speedup`` is fast/reference records per second.
+Both engines' results are also compared field by field, so every bench run
+doubles as an end-to-end equivalence check.
+
+The JSON payload written to ``BENCH_engine.json`` is stable input for CI
+artifacts and for tracking engine performance across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Optional
+
+from repro.cmp.chip import TiledChip
+from repro.cmp.config import SystemConfig
+from repro.designs import build_design, normalize_design
+from repro.sim.engine import TraceSimulator
+from repro.sim.latency import CpiModel
+from repro.workloads.generator import DEFAULT_SCALE, SyntheticTraceGenerator
+from repro.workloads.spec import get_workload
+
+#: Default trace length for a bench run (long enough to amortise warm-up).
+DEFAULT_BENCH_RECORDS = 40_000
+
+#: Trace length used by ``repro bench --quick`` (CI smoke).  Long enough
+#: that the measurement is not dominated by the cold-start miss burst.
+QUICK_BENCH_RECORDS = 16_000
+
+#: Repeats used by ``repro bench --quick``.
+QUICK_BENCH_REPEATS = 2
+
+#: Default best-of repeats per (design, engine) measurement.
+DEFAULT_BENCH_REPEATS = 3
+
+#: Default output file name.
+DEFAULT_BENCH_OUTPUT = "BENCH_engine.json"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Throughput of one design under both replay engines."""
+
+    design: str
+    design_name: str
+    records: int
+    fast_records_per_sec: float
+    reference_records_per_sec: float
+    speedup: float
+    cpi: float
+    offchip_rate: float
+    stats_match: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "design": self.design,
+            "design_name": self.design_name,
+            "records": self.records,
+            "fast_records_per_sec": round(self.fast_records_per_sec, 1),
+            "reference_records_per_sec": round(self.reference_records_per_sec, 1),
+            "speedup": round(self.speedup, 3),
+            "cpi": self.cpi,
+            "offchip_rate": self.offchip_rate,
+            "stats_match": self.stats_match,
+        }
+
+
+def _measure_once(letter: str, spec, config: SystemConfig, trace, engine: str):
+    """One replay of the trace on a fresh chip; returns (result, seconds)."""
+    chip = TiledChip(config)
+    design = build_design(letter, chip)
+    simulator = TraceSimulator(design, CpiModel.for_workload(spec), engine=engine)
+    start = time.perf_counter()
+    result = simulator.run(trace)
+    return result, time.perf_counter() - start
+
+
+def bench_design(
+    letter: str,
+    spec,
+    config: SystemConfig,
+    trace,
+    *,
+    repeats: int = DEFAULT_BENCH_REPEATS,
+) -> BenchResult:
+    """Benchmark one design under both engines on a shared trace.
+
+    The engines are measured in interleaved repeats (reference, fast,
+    reference, fast, ...) and the best wall time per engine is kept, so a
+    transient machine-load burst cannot bias the ratio by landing entirely
+    on one engine's measurements.
+    """
+    best = {"reference": float("inf"), "fast": float("inf")}
+    results = {}
+    for _ in range(max(1, repeats)):
+        for engine in ("reference", "fast"):
+            result, elapsed = _measure_once(letter, spec, config, trace, engine)
+            results[engine] = result
+            best[engine] = min(best[engine], elapsed)
+    reference_result = results["reference"]
+    fast_result = results["fast"]
+    reference_rate = len(trace) / best["reference"]
+    fast_rate = len(trace) / best["fast"]
+    return BenchResult(
+        design=letter,
+        design_name=fast_result.design,
+        records=len(trace),
+        fast_records_per_sec=fast_rate,
+        reference_records_per_sec=reference_rate,
+        speedup=fast_rate / reference_rate,
+        cpi=fast_result.cpi,
+        offchip_rate=fast_result.metadata.get("offchip_rate", 0.0),
+        stats_match=(
+            fast_result.stats.to_dict() == reference_result.stats.to_dict()
+            and fast_result.cpi == reference_result.cpi
+        ),
+    )
+
+
+def run_bench(
+    *,
+    designs: Iterable[str] = ("P", "A", "S", "R", "I"),
+    workload: str = "oltp-db2",
+    num_records: int = DEFAULT_BENCH_RECORDS,
+    scale: int = DEFAULT_SCALE,
+    seed: int = 0,
+    repeats: int = DEFAULT_BENCH_REPEATS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run the engine benchmark and return the JSON-ready payload."""
+    letters = [normalize_design(d) for d in designs]
+    spec = get_workload(workload)
+    config = SystemConfig.for_workload_category(spec.category).scaled(scale)
+    generator = SyntheticTraceGenerator(spec, config, seed=seed, scale=scale)
+    trace = generator.generate(num_records)
+    # Materialise both trace representations up front so the timings measure
+    # replay, not one-time trace preparation (the seed engine consumed a
+    # prebuilt record list; the fast engine consumes the columnar rows).
+    trace.records
+    trace.hot_rows(config.block_size, config.page_size)
+
+    results = []
+    for letter in letters:
+        if progress:
+            progress(f"benchmarking {letter} on {workload} ({num_records} records)")
+        results.append(bench_design(letter, spec, config, trace, repeats=repeats))
+
+    return {
+        "benchmark": "trace-engine-records-per-sec",
+        "workload": workload,
+        "records": num_records,
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "baseline": "reference (seed replay path, repro.sim.seed_path)",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "results": [result.to_dict() for result in results],
+    }
+
+
+def write_bench(payload: dict, path: str | Path = DEFAULT_BENCH_OUTPUT) -> Path:
+    """Write the bench payload as JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

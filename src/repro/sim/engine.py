@@ -6,24 +6,47 @@ tiled chip, converts each access's latency into CPI contributions with the
 :class:`~repro.sim.stats.SimulationStats`.  A warm-up prefix of the trace is
 replayed without measurement (caches, directories, TLBs and OS page tables
 warm up), mirroring the paper's checkpoint-with-warmed-state methodology.
+
+Two replay engines produce numerically identical results:
+
+``fast`` (the default)
+    Reads the trace's columnar representation directly and reuses a single
+    mutable :class:`~repro.designs.base.L2Access`/:class:`AccessOutcome`
+    pair, with block/page numbers precomputed once per trace and statistics
+    accumulated into flat per-sample counters
+    (:class:`~repro.sim.stats.SampleAccumulator`).
+
+``reference``
+    The seed implementation: one :class:`TraceRecord` and one fresh
+    access/outcome object per reference.  Kept as the equivalence baseline
+    and as the denominator of ``repro bench``.
+
+Select an engine per :class:`TraceSimulator` (``engine=...``), per call
+(``run(trace, engine=...)``), or process-wide via the ``RNUCA_ENGINE``
+environment variable.
 """
 
 from __future__ import annotations
 
+import gc
+import os
 from dataclasses import dataclass, field
 from typing import Optional
+
+import numpy as np
 
 from repro.cmp.chip import TiledChip
 from repro.cmp.config import SystemConfig
 from repro.designs import build_design
-from repro.designs.base import CacheDesign, L2Access
+from repro.designs.base import AccessOutcome, CacheDesign, L2Access
 from repro.errors import SimulationError
 from repro.sim.latency import CpiModel
 from repro.sim.sampling import ConfidenceInterval, sample_mean, split_into_samples
-from repro.sim.stats import SimulationStats
+from repro.sim.seed_path import seed_access, to_seed_access
+from repro.sim.stats import SampleAccumulator, SimulationStats
 from repro.workloads.generator import DEFAULT_SCALE, SyntheticTraceGenerator
 from repro.workloads.spec import WorkloadSpec, get_workload
-from repro.workloads.trace import Trace
+from repro.workloads.trace import INSTRUCTION_CODE, STORE_CODE, Trace
 
 #: Default number of L2 references simulated per (workload, design) run.
 DEFAULT_TRACE_LENGTH = 60_000
@@ -33,6 +56,22 @@ DEFAULT_WARMUP_FRACTION = 0.25
 
 #: Number of measurement samples for confidence intervals.
 DEFAULT_NUM_SAMPLES = 8
+
+#: Environment variable selecting the replay engine ("fast" or "reference").
+ENGINE_ENV = "RNUCA_ENGINE"
+
+#: Known replay engines.
+ENGINES = ("fast", "reference")
+
+
+def default_engine() -> str:
+    """Replay engine from ``RNUCA_ENGINE``, defaulting to the fast path.
+
+    The value is returned unvalidated; :class:`TraceSimulator` rejects
+    unknown engines, so a typo in the environment variable fails loudly
+    instead of silently running the fast path.
+    """
+    return os.environ.get(ENGINE_ENV, "fast")
 
 
 def warm_page_tables(design: CacheDesign, trace: Trace) -> int:
@@ -46,29 +85,40 @@ def warm_page_tables(design: CacheDesign, trace: Trace) -> int:
     rather than steady-state behaviour.
 
     Only designs exposing an R-NUCA ``policy`` attribute are affected.
-    Returns the number of pages primed.
+    Returns the number of pages primed.  The per-page classification is
+    computed from the trace columns in bulk (the same result as walking the
+    records one at a time, derived once per trace instead of per design).
     """
     policy = getattr(design, "policy", None)
     if policy is None:
         return 0
-    data_cores: dict[int, set[int]] = {}
-    instruction_pages: set[int] = set()
-    for record in trace.records:
-        page = policy.page_number(record.address)
-        if record.is_instruction:
-            instruction_pages.add(page)
-        else:
-            data_cores.setdefault(page, set()).add(record.core)
+    pages = trace.page_number_array(design.config.page_size)
+    is_instruction = trace.columns.access_type == INSTRUCTION_CODE
+    data_mask = ~is_instruction
     page_table = policy.classifier.page_table
-    for page, cores in data_cores.items():
-        entry = page_table.get_or_create(page)
-        if len(cores) > 1:
-            entry.mark_shared()
-        else:
-            entry.mark_private(next(iter(cores)))
-    for page in instruction_pages - set(data_cores):
+    data_pages = np.empty(0, dtype=np.int64)
+    if data_mask.any():
+        pairs = np.unique(
+            np.stack((pages[data_mask], trace.columns.core[data_mask])), axis=1
+        )
+        data_pages, first_index, counts = np.unique(
+            pairs[0], return_index=True, return_counts=True
+        )
+        owners = pairs[1][first_index]
+        for page, count, owner in zip(
+            data_pages.tolist(), counts.tolist(), owners.tolist()
+        ):
+            entry = page_table.get_or_create(page)
+            if count > 1:
+                entry.mark_shared()
+            else:
+                entry.mark_private(owner)
+    instruction_only = np.setdiff1d(
+        np.unique(pages[is_instruction]), data_pages, assume_unique=True
+    )
+    for page in instruction_only.tolist():
         page_table.get_or_create(page).mark_instruction()
-    return len(data_cores) + len(instruction_pages - set(data_cores))
+    return int(data_pages.size) + int(instruction_only.size)
 
 
 @dataclass
@@ -147,43 +197,47 @@ class TraceSimulator:
         warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
         num_samples: int = DEFAULT_NUM_SAMPLES,
         warm_os_state: bool = True,
+        engine: Optional[str] = None,
     ) -> None:
         if not 0.0 <= warmup_fraction < 1.0:
             raise SimulationError("warmup_fraction must be within [0, 1)")
+        engine = engine if engine is not None else default_engine()
+        if engine not in ENGINES:
+            raise SimulationError(f"unknown replay engine {engine!r}")
         self.design = design
         self.cpi_model = cpi_model
         self.warmup_fraction = warmup_fraction
         self.num_samples = num_samples
         self.warm_os_state = warm_os_state
+        self.engine = engine
 
-    def run(self, trace: Trace) -> SimulationResult:
+    def run(self, trace: Trace, *, engine: Optional[str] = None) -> SimulationResult:
         """Replay the trace and return the measured result."""
+        mode = engine if engine is not None else self.engine
+        if mode not in ENGINES:
+            raise SimulationError(f"unknown replay engine {mode!r}")
         if len(trace) == 0:
             raise SimulationError("cannot simulate an empty trace")
         warmup_count = int(len(trace) * self.warmup_fraction)
-        measured_records = trace.records[warmup_count:]
-        if not measured_records:
+        if warmup_count >= len(trace):
             raise SimulationError("warm-up consumed the entire trace")
 
         # Warm-up phase: prime OS page tables, then replay without measuring.
         if self.warm_os_state:
             warm_page_tables(self.design, trace)
-        for record in trace.records[:warmup_count]:
-            self.design.access(self._to_access(record))
-
-        # Measurement phase, split into samples for confidence intervals.
-        total = SimulationStats()
-        sample_cpis: list[float] = []
-        for window in split_into_samples(len(measured_records), self.num_samples):
-            sample_stats = SimulationStats()
-            for record in measured_records[window]:
-                access = self._to_access(record)
-                outcome = self.design.access(access)
-                self.cpi_model.apply_overlap(outcome)
-                sample_stats.record(record, outcome, self.cpi_model.busy_cycles(record))
-            if sample_stats.instructions:
-                sample_cpis.append(sample_stats.cpi)
-            total.merge(sample_stats)
+        # Pause cyclic GC for the replay (both engines): the simulation
+        # objects are acyclic, so collections only add latency spikes.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if mode == "fast":
+                total, sample_cpis = self._replay_fast(trace, warmup_count)
+            else:
+                total, sample_cpis = self._replay_reference(trace, warmup_count)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
 
         confidence = sample_mean(sample_cpis) if sample_cpis else None
         metadata = {
@@ -204,16 +258,241 @@ class TraceSimulator:
             metadata=metadata,
         )
 
-    def _to_access(self, record) -> L2Access:
-        block_shift = self.design.config.block_size.bit_length() - 1
-        return L2Access(
-            core=record.core,
-            block_address=record.address >> block_shift,
-            byte_address=record.address,
-            access_type=record.access_type,
-            thread_id=record.thread,
-            true_class=record.true_class,
-        )
+    # ------------------------------------------------------------------ #
+    # Fast columnar replay
+    # ------------------------------------------------------------------ #
+    def _replay_fast(
+        self, trace: Trace, warmup_count: int
+    ) -> tuple[SimulationStats, list[float]]:
+        """Columnar replay reusing one access/outcome pair, no per-record allocation."""
+        design = self.design
+        config = design.config
+        rows = trace.hot_rows(config.block_size, config.page_size)
+
+        access = L2Access()
+        outcome = AccessOutcome()
+        components = outcome.components  # identity is stable across resets
+        design_service = design._service
+        l1_fill = design._l1_fill
+        wants_evictions = design._wants_l1_evictions
+        on_l1_eviction = design.on_l1_eviction
+        busy_cpi = self.cpi_model.busy_cpi
+        stall_factors = self.cpi_model.stall_factors
+
+        def replay_warmup(start: int, stop: int) -> None:
+            accesses = 0
+            offchip_count = 0
+            # A plain slice of prebuilt row tuples: a single C-level list
+            # iterator with tuple unpacking is the cheapest per-record walk.
+            for core, code, address, instructions, thread, true_class, coarse, block, page in rows[
+                start:stop
+            ]:
+                access.core = core
+                # access_type itself is not consulted on the hot path (the
+                # designs read the precomputed is_instruction/is_write flags
+                # and data_class derives from true_class + is_instruction),
+                # so only the flags are refreshed per record.
+                instruction = code == INSTRUCTION_CODE
+                write = code == STORE_CODE
+                access.is_instruction = instruction
+                access.is_write = write
+                access.block_address = block
+                access.byte_address = address
+                access.thread_id = thread
+                access.true_class = true_class
+                access.page_number = page
+                # Inline CacheDesign.access (reset + service + counters +
+                # L1 mirroring) to drop two call frames per record.
+                accesses += 1
+                components.clear()
+                # target_slice/page_class are not reset: no stats consumer
+                # reads them and every design overwrites target_slice.
+                outcome.hit_where = "l2_local"
+                outcome.offchip = False
+                outcome.coherence = False
+                design_service(access, outcome)
+                if outcome.offchip:
+                    offchip_count += 1
+                if not instruction:
+                    victim = l1_fill(core, block, write)
+                    if victim is not None and wants_evictions:
+                        on_l1_eviction(core, victim)
+            # The design's totals are not read mid-replay, so they are
+            # accumulated locally and folded in once per phase.
+            design.accesses += accesses
+            design.offchip_accesses += offchip_count
+
+        def replay_measured(start: int, stop: int, acc: SampleAccumulator) -> None:
+            # The same replay as replay_warmup plus statistics accumulation.
+            # The per-record counters live in LOCAL variables (an order of
+            # magnitude cheaper than attribute or dict updates) and are
+            # transferred into the accumulator once per sample window.  The
+            # arithmetic (and its floating-point order) is identical to
+            # SampleAccumulator.record_access / SimulationStats.record.
+            instructions_total = 0
+            accesses = 0
+            busy_cycles = 0.0
+            instruction_cls = private_cls = shared_cls = 0
+            l2_local = l2_remote = l1_remote = offchip_where = 0
+            offchip_count = coherence_count = 0
+            interleaved_n = coherence_n = l1_to_l1_n = 0
+            interleaved_cyc = coherence_cyc = l1_to_l1_cyc = 0.0
+            stall_by_component = acc.stall_by_component
+            per_class = acc.class_components
+            # A plain slice of prebuilt row tuples: a single C-level list
+            # iterator with tuple unpacking is the cheapest per-record walk.
+            for core, code, address, instructions, thread, true_class, coarse, block, page in rows[
+                start:stop
+            ]:
+                access.core = core
+                instruction = code == INSTRUCTION_CODE
+                write = code == STORE_CODE
+                access.is_instruction = instruction
+                access.is_write = write
+                access.block_address = block
+                access.byte_address = address
+                access.thread_id = thread
+                access.true_class = true_class
+                access.page_number = page
+                components.clear()
+                # target_slice/page_class are not reset: no stats consumer
+                # reads them and every design overwrites target_slice.
+                outcome.hit_where = "l2_local"
+                outcome.offchip = False
+                outcome.coherence = False
+                design_service(access, outcome)
+                offchip = outcome.offchip
+                if not instruction:
+                    victim = l1_fill(core, block, write)
+                    if victim is not None and wants_evictions:
+                        on_l1_eviction(core, victim)
+
+                # --- statistics (CpiModel.apply_overlap fused in) ---
+                instructions_total += instructions
+                accesses += 1
+                shared = False
+                if coarse == "shared":
+                    shared = True
+                    shared_cls += 1
+                elif coarse == "instruction":
+                    instruction_cls += 1
+                elif coarse == "private":
+                    private_cls += 1
+                else:
+                    acc.other_class_accesses[coarse] = (
+                        acc.other_class_accesses.get(coarse, 0) + 1
+                    )
+                busy_cycles += busy_cpi * instructions
+                hit_where = outcome.hit_where
+                if hit_where == "l2_local":
+                    l2_local += 1
+                elif hit_where == "l2_remote":
+                    l2_remote += 1
+                elif hit_where == "offchip":
+                    offchip_where += 1
+                elif hit_where == "l1_remote":
+                    l1_remote += 1
+                else:
+                    acc.other_hits[hit_where] = acc.other_hits.get(hit_where, 0) + 1
+                if offchip:
+                    offchip_count += 1
+                coherence = outcome.coherence
+                if coherence:
+                    coherence_count += 1
+                class_components = per_class.get(coarse)
+                if class_components is None:
+                    class_components = per_class[coarse] = {}
+                latency = 0.0
+                for component, cycles in components.items():
+                    cycles = cycles * stall_factors.get(component, 1.0)
+                    stall_by_component[component] = (
+                        stall_by_component.get(component, 0.0) + cycles
+                    )
+                    class_components[component] = (
+                        class_components.get(component, 0.0) + cycles
+                    )
+                    latency += cycles
+                if shared:
+                    if hit_where == "l1_remote":
+                        l1_to_l1_n += 1
+                        l1_to_l1_cyc += latency
+                    elif coherence:
+                        coherence_n += 1
+                        coherence_cyc += latency
+                    else:
+                        interleaved_n += 1
+                        interleaved_cyc += latency
+
+            # The design's totals are not read mid-replay, so they are
+            # accumulated locally and folded in once per window.
+            design.accesses += accesses
+            design.offchip_accesses += offchip_count
+            acc.instructions = instructions_total
+            acc.accesses = accesses
+            acc.busy_cycles = busy_cycles
+            acc.instruction_accesses = instruction_cls
+            acc.private_accesses = private_cls
+            acc.shared_accesses = shared_cls
+            acc.l2_local_hits = l2_local
+            acc.l2_remote_hits = l2_remote
+            acc.l1_remote_hits = l1_remote
+            acc.offchip_services = offchip_where
+            acc.offchip_accesses = offchip_count
+            acc.coherence_accesses = coherence_count
+            acc.interleaved_count = interleaved_n
+            acc.coherence_count = coherence_n
+            acc.l1_to_l1_count = l1_to_l1_n
+            acc.interleaved_cycles = interleaved_cyc
+            acc.coherence_cycles = coherence_cyc
+            acc.l1_to_l1_cycles = l1_to_l1_cyc
+
+        replay_warmup(0, warmup_count)
+
+        total = SimulationStats()
+        sample_cpis: list[float] = []
+        measured = len(trace) - warmup_count
+        for window in split_into_samples(measured, self.num_samples):
+            accumulator = SampleAccumulator(stall_factors)
+            replay_measured(
+                warmup_count + window.start, warmup_count + window.stop, accumulator
+            )
+            sample_stats = accumulator.to_stats()
+            if sample_stats.instructions:
+                sample_cpis.append(sample_stats.cpi)
+            total.merge(sample_stats)
+        return total, sample_cpis
+
+    # ------------------------------------------------------------------ #
+    # Reference (seed) replay
+    # ------------------------------------------------------------------ #
+    def _replay_reference(
+        self, trace: Trace, warmup_count: int
+    ) -> tuple[SimulationStats, list[float]]:
+        """The seed engine: one record, one access, one outcome at a time.
+
+        Replays through :mod:`repro.sim.seed_path`, which preserves the
+        pre-fast-path service bodies and per-record object allocations, so
+        this path's cost and results are the pre-optimisation baseline.
+        """
+        design = self.design
+        block_shift = design.config.block_size.bit_length() - 1
+        measured_records = trace.records[warmup_count:]
+        for record in trace.records[:warmup_count]:
+            seed_access(design, to_seed_access(record, block_shift))
+
+        total = SimulationStats()
+        sample_cpis: list[float] = []
+        for window in split_into_samples(len(measured_records), self.num_samples):
+            sample_stats = SimulationStats()
+            for record in measured_records[window]:
+                access = to_seed_access(record, block_shift)
+                outcome = seed_access(design, access)
+                self.cpi_model.apply_overlap(outcome)
+                sample_stats.record(record, outcome, self.cpi_model.busy_cycles(record))
+            if sample_stats.instructions:
+                sample_cpis.append(sample_stats.cpi)
+            total.merge(sample_stats)
+        return total, sample_cpis
 
 
 def _resolve_spec(workload: str | WorkloadSpec) -> WorkloadSpec:
@@ -230,6 +509,7 @@ def simulate_workload(
     config: Optional[SystemConfig] = None,
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
     trace: Optional[Trace] = None,
+    engine: Optional[str] = None,
     **design_kwargs,
 ) -> SimulationResult:
     """End-to-end convenience: build chip + trace + design and simulate.
@@ -251,6 +531,7 @@ def simulate_workload(
         design_instance,
         CpiModel.for_workload(spec),
         warmup_fraction=warmup_fraction,
+        engine=engine,
     )
     result = simulator.run(trace)
     result.metadata["scale"] = scale

@@ -36,7 +36,15 @@ class ConfidenceInterval:
 
     @property
     def relative_error(self) -> float:
-        return self.half_width / self.mean if self.mean else 0.0
+        """Half-width as a (non-negative) fraction of the mean.
+
+        Uses the magnitude of the mean so negative-mean intervals do not
+        report a negative error, and a zero mean with a nonzero half-width
+        reports infinite relative error instead of silently claiming zero.
+        """
+        if self.mean == 0:
+            return math.inf if self.half_width else 0.0
+        return abs(self.half_width / self.mean)
 
     def overlaps(self, other: "ConfidenceInterval") -> bool:
         return not (self.high < other.low or other.high < self.low)
@@ -92,15 +100,27 @@ def split_into_samples(count: int, num_samples: int) -> list[slice]:
 def speedup_interval(
     baseline: ConfidenceInterval, improved: ConfidenceInterval
 ) -> ConfidenceInterval:
-    """Approximate CI for a ratio of means (first-order error propagation)."""
-    if baseline.mean == 0:
-        raise SimulationError("baseline mean is zero; speedup undefined")
-    ratio = improved.mean / baseline.mean
+    """CI for the speedup ratio ``baseline.mean / improved.mean``.
+
+    For CPI measurements this is the throughput improvement of ``improved``
+    over ``baseline`` (first-order error propagation for a ratio of means).
+    The parameter order matches the semantics: the *baseline* measurement
+    comes first, the improved/compared one second.
+    """
+    if improved.mean == 0:
+        raise SimulationError("improved mean is zero; speedup undefined")
+    ratio = baseline.mean / improved.mean
     rel = math.sqrt(
         baseline.relative_error**2 + improved.relative_error**2
     )
+    if math.isinf(rel):
+        # A zero-mean measurement with nonzero width has unbounded relative
+        # error; propagate an unbounded half-width rather than 0*inf = NaN.
+        half_width = math.inf
+    else:
+        half_width = abs(ratio) * rel
     return ConfidenceInterval(
         mean=ratio,
-        half_width=ratio * rel,
+        half_width=half_width,
         num_samples=min(baseline.num_samples, improved.num_samples),
     )

@@ -1,0 +1,412 @@
+"""The seed (pre-fast-path) replay engine, preserved verbatim.
+
+This module snapshots how the simulation hot path worked before the columnar
+fast engine: one frozen-dataclass access object per trace record, a fresh
+outcome object per access, and the allocation-heavy helper APIs
+(:meth:`RNucaPolicy.lookup` building ``RNucaLookup``/``PlacementDecision``/
+``ClassificationEvent`` wrappers, :meth:`CacheArray.lookup`/:meth:`insert`
+returning ``LookupResult``/``EvictionResult``).  Two things depend on it:
+
+* the **equivalence guard tests**, which prove the fast columnar engine
+  reproduces this path's ``SimulationStats``/CPI bit for bit — i.e. the
+  optimisation changed no numbers; and
+* ``repro bench``, which reports the fast engine's records/sec against this
+  path as the pre-fast-path baseline.
+
+The service bodies below are copied from the seed implementations of the
+five designs and must not be "optimised": their cost profile *is* the
+baseline.  They run against the same live design/chip instances as the fast
+path (designs are driven through public attributes only), so both engines
+exercise identical cache, directory, TLB and page-table state machines.
+If a design's behaviour is deliberately changed in the future, its seed
+body here must be updated to match (the equivalence suite will flag the
+divergence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cache.block import AccessType, CoherenceState
+from repro.designs.asr import AsrDesign
+from repro.designs.base import (
+    DIRECTORY_LATENCY,
+    L1_PROBE_LATENCY,
+    L1_TO_L1,
+    L2,
+    OTHER,
+    RECLASSIFICATION,
+    CacheDesign,
+)
+from repro.designs.ideal import IdealDesign
+from repro.designs.private import PrivateDesign
+from repro.designs.rnuca_design import RNucaDesign
+from repro.designs.shared import SharedDesign
+from repro.osmodel.classifier import ClassificationEvent
+from repro.osmodel.page_table import PageClass
+
+
+@dataclass(frozen=True)
+class SeedL2Access:
+    """The seed engine's access record: a frozen dataclass with properties.
+
+    Field-for-field the original ``L2Access``; the fast path replaced it
+    with a reusable mutable object carrying precomputed flags.
+    """
+
+    core: int
+    block_address: int
+    byte_address: int
+    access_type: AccessType
+    thread_id: int = 0
+    true_class: Optional[str] = None
+
+    @property
+    def is_instruction(self) -> bool:
+        return self.access_type is AccessType.INSTRUCTION
+
+    @property
+    def is_write(self) -> bool:
+        return self.access_type is AccessType.STORE
+
+    @property
+    def data_class(self) -> str:
+        if self.true_class is None:
+            return "instruction" if self.is_instruction else "shared"
+        if self.true_class.startswith("shared"):
+            return "shared"
+        return self.true_class
+
+
+@dataclass
+class SeedAccessOutcome:
+    """The seed engine's outcome object (one fresh instance per access)."""
+
+    components: dict[str, float] = field(default_factory=dict)
+    hit_where: str = "l2_local"
+    target_slice: int = 0
+    offchip: bool = False
+    coherence: bool = False
+    page_class: Optional[PageClass] = None
+
+    @property
+    def latency(self) -> float:
+        return sum(self.components.values())
+
+    def add(self, component: str, cycles: float) -> None:
+        if cycles:
+            self.components[component] = self.components.get(component, 0.0) + cycles
+
+
+def to_seed_access(record, block_shift: int) -> SeedL2Access:
+    """The seed ``TraceSimulator._to_access``."""
+    return SeedL2Access(
+        core=record.core,
+        block_address=record.address >> block_shift,
+        byte_address=record.address,
+        access_type=record.access_type,
+        thread_id=record.thread,
+        true_class=record.true_class,
+    )
+
+
+def seed_access(design: CacheDesign, access: SeedL2Access) -> SeedAccessOutcome:
+    """The seed ``CacheDesign.access`` wrapper (counters, service, L1 fill)."""
+    design.accesses += 1
+    outcome = _service_for(design)(design, access)
+    if outcome.offchip:
+        design.offchip_accesses += 1
+    if not access.is_instruction:
+        victim = _seed_l1_fill(design, access.core, access.block_address, access.is_write)
+        if victim is not None:
+            design.on_l1_eviction(access.core, victim)
+    return outcome
+
+
+def _seed_l1_fill(design: CacheDesign, core: int, block_address: int, write: bool):
+    """The seed ``L1Tracker.fill`` (via ``CacheArray.insert``/EvictionResult)."""
+    l1 = design.l1
+    state = CoherenceState.MODIFIED if write else CoherenceState.SHARED
+    result = l1._arrays[core].insert(block_address, state=state, dirty=write)
+    l1._holders.setdefault(block_address, {})[core] = state
+    victim = result.victim
+    if victim is not None:
+        l1._forget(core, victim.address)
+    return victim
+
+
+# --------------------------------------------------------------------- #
+# Seed service bodies (one per design)
+# --------------------------------------------------------------------- #
+def _service_shared(design: SharedDesign, access: SeedL2Access) -> SeedAccessOutcome:
+    outcome = SeedAccessOutcome()
+    home = design.chip.home_slice(access.block_address)
+    outcome.target_slice = home
+    tile = design.chip.tile(home)
+
+    if not access.is_instruction:
+        owner = design.l1.dirty_owner(access.block_address, access.core)
+        if owner is not None:
+            design.remote_l1_transfer(access, home, owner, outcome)
+            tile.l2.insert(
+                access.block_address, state=CoherenceState.OWNED, dirty=True
+            )
+            return outcome
+
+    network = design.network_round_trip(access.core, home)
+    lookup = tile.l2.lookup(access.block_address, write=access.is_write)
+    if lookup.hit:
+        outcome.add(L2, network + design.l2_hit_latency())
+        outcome.hit_where = "l2_local" if home == access.core else "l2_remote"
+    else:
+        victim_hit = tile.l2_victim.extract(access.block_address)
+        if victim_hit is not None:
+            tile.l2.insert(
+                access.block_address, state=victim_hit.state, dirty=victim_hit.dirty
+            )
+            outcome.add(L2, network + design.l2_hit_latency())
+            outcome.hit_where = "l2_local" if home == access.core else "l2_remote"
+        else:
+            outcome.add(L2, network + design.l2_hit_latency())
+            design.offchip_fetch(access, home, outcome)
+            state = (
+                CoherenceState.MODIFIED if access.is_write else CoherenceState.SHARED
+            )
+            result = tile.l2.insert(
+                access.block_address, state=state, dirty=access.is_write
+            )
+            if result.victim is not None:
+                displaced = tile.l2_victim.insert(result.victim)
+                if displaced is not None and displaced.dirty:
+                    design.memory.access(tile.tile_id, displaced.address, write=True)
+
+    if access.is_write:
+        design.l1.invalidate_all_remote(access.block_address, exclude=access.core)
+    return outcome
+
+
+def _service_rnuca(design: RNucaDesign, access: SeedL2Access) -> SeedAccessOutcome:
+    outcome = SeedAccessOutcome()
+    lookup = design.policy.lookup(
+        access.core,
+        access.byte_address,
+        instruction=access.is_instruction,
+        thread_id=access.thread_id,
+        shootdown=design._shootdown,
+    )
+    target = lookup.target_slice
+    outcome.target_slice = target
+    outcome.page_class = lookup.page_class
+
+    # Seed _account_os_event (event-object based).
+    event = lookup.classification
+    if event.latency_cycles:
+        if event.kind in (
+            ClassificationEvent.RECLASSIFY_TO_SHARED,
+            ClassificationEvent.MIGRATION_REOWN,
+        ):
+            outcome.add(RECLASSIFICATION, event.latency_cycles)
+        elif event.kind == ClassificationEvent.FIRST_TOUCH:
+            outcome.add(OTHER, event.latency_cycles)
+
+    # Seed _track_misclassification (data_class property based).
+    truth = access.data_class
+    if truth == "instruction":
+        expected = PageClass.INSTRUCTION
+    elif truth == "private":
+        expected = PageClass.PRIVATE
+    else:
+        expected = PageClass.SHARED
+    if lookup.page_class is not expected:
+        design.misclassified_accesses += 1
+
+    if lookup.page_class is PageClass.SHARED and not access.is_instruction:
+        owner = design.l1.dirty_owner(access.block_address, access.core)
+        if owner is not None:
+            design.remote_l1_transfer(access, target, owner, outcome)
+            design.chip.tile(target).l2.insert(
+                access.block_address, state=CoherenceState.OWNED, dirty=True
+            )
+            return outcome
+
+    tile = design.chip.tile(target)
+    network = design.network_round_trip(access.core, target)
+    result = tile.l2.lookup(access.block_address, write=access.is_write)
+    if result.hit:
+        outcome.add(L2, network + design.l2_hit_latency())
+        outcome.hit_where = "l2_local" if target == access.core else "l2_remote"
+    else:
+        victim_hit = tile.l2_victim.extract(access.block_address)
+        if victim_hit is not None:
+            tile.l2.insert(
+                access.block_address, state=victim_hit.state, dirty=victim_hit.dirty
+            )
+            outcome.add(L2, network + design.l2_hit_latency())
+            outcome.hit_where = "l2_local" if target == access.core else "l2_remote"
+        else:
+            outcome.add(L2, network + design.l2_hit_latency())
+            design.offchip_fetch(access, target, outcome)
+            state = (
+                CoherenceState.MODIFIED if access.is_write else CoherenceState.SHARED
+            )
+            result = tile.l2.insert(
+                access.block_address,
+                state=state,
+                dirty=access.is_write,
+                metadata={"class": lookup.page_class.value},
+            )
+            if result.victim is not None:
+                displaced = tile.l2_victim.insert(result.victim)
+                if displaced is not None and displaced.dirty:
+                    design.memory.access(tile.tile_id, displaced.address, write=True)
+
+    if access.is_write:
+        design.l1.invalidate_all_remote(access.block_address, exclude=access.core)
+    return outcome
+
+
+def _service_private(design: PrivateDesign, access: SeedL2Access) -> SeedAccessOutcome:
+    outcome = SeedAccessOutcome()
+    core = access.core
+    local_tile = design.chip.tile(core)
+    outcome.target_slice = core
+
+    lookup = local_tile.l2.lookup(access.block_address, write=access.is_write)
+    if lookup.hit:
+        outcome.add(L2, design.l2_hit_latency())
+        outcome.hit_where = "l2_local"
+        if access.is_write:
+            design._invalidate_remote_copies(access)
+        return outcome
+
+    victim_hit = local_tile.l2_victim.extract(access.block_address)
+    if victim_hit is not None:
+        _seed_fill_local(design, core, access, victim_hit.state, victim_hit.dirty)
+        outcome.add(L2, design.l2_hit_latency())
+        outcome.hit_where = "l2_local"
+        if access.is_write:
+            design._invalidate_remote_copies(access)
+        return outcome
+
+    outcome.add(L2, design.l2_hit_latency())  # the local probe that missed
+    dir_home = design.chip.home_slice(access.block_address)
+    directory = design.chip.tile(dir_home).directory
+    to_directory = design.network.one_way_latency(core, dir_home) + DIRECTORY_LATENCY
+    directory.peek(access.block_address)  # seed probed the entry here
+
+    remote_l2_holder = design._find_remote_l2_holder(access.block_address, core)
+    remote_l1_owner = design.l1.dirty_owner(access.block_address, core)
+
+    if remote_l1_owner is not None:
+        latency = (
+            to_directory
+            + design.network.one_way_latency(dir_home, remote_l1_owner)
+            + design.l2_hit_latency()
+            + L1_PROBE_LATENCY
+            + design.network.one_way_latency(remote_l1_owner, core)
+        )
+        outcome.add(L1_TO_L1, latency)
+        outcome.hit_where = "l1_remote"
+        outcome.coherence = True
+        if access.is_write:
+            design.l1.invalidate_all_remote(access.block_address, exclude=core)
+            design._invalidate_remote_l2_copies(access.block_address, exclude=core)
+        else:
+            design.l1.downgrade(remote_l1_owner, access.block_address)
+        _seed_fill_local(
+            design,
+            core,
+            access,
+            CoherenceState.MODIFIED if access.is_write else CoherenceState.SHARED,
+            access.is_write,
+        )
+        directory.record_write(
+            access.block_address, core
+        ) if access.is_write else directory.record_read(access.block_address, core)
+        return outcome
+
+    if remote_l2_holder is not None:
+        latency = (
+            to_directory
+            + design.network.one_way_latency(dir_home, remote_l2_holder)
+            + design.l2_hit_latency()
+            + design.network.one_way_latency(remote_l2_holder, core)
+        )
+        outcome.add(L2, latency)
+        outcome.hit_where = "l2_remote"
+        outcome.coherence = True
+        if access.is_write:
+            design._invalidate_remote_l2_copies(access.block_address, exclude=core)
+            design.l1.invalidate_all_remote(access.block_address, exclude=core)
+            directory.record_write(access.block_address, core)
+        else:
+            directory.record_read(access.block_address, core)
+        _seed_fill_local(
+            design,
+            core,
+            access,
+            CoherenceState.MODIFIED if access.is_write else CoherenceState.SHARED,
+            access.is_write,
+        )
+        return outcome
+
+    outcome.add(L2, to_directory)
+    design.offchip_fetch(access, dir_home, outcome)
+    outcome.coherence = False
+    if access.is_write:
+        directory.record_write(access.block_address, core)
+    else:
+        directory.record_read(access.block_address, core)
+    _seed_fill_local(
+        design,
+        core,
+        access,
+        CoherenceState.MODIFIED if access.is_write else CoherenceState.EXCLUSIVE,
+        access.is_write,
+    )
+    return outcome
+
+
+def _seed_fill_local(
+    design: PrivateDesign,
+    core: int,
+    access: SeedL2Access,
+    state: CoherenceState,
+    dirty: bool,
+) -> None:
+    """The seed ``PrivateDesign._fill_local`` (insert + EvictionResult)."""
+    tile = design.chip.tile(core)
+    result = tile.l2.insert(access.block_address, state=state, dirty=dirty)
+    directory = design.chip.tile(design.chip.home_slice(access.block_address)).directory
+    if access.is_write:
+        directory.record_write(access.block_address, core)
+    else:
+        directory.record_read(access.block_address, core)
+    if result.victim is not None:
+        design._handle_eviction(tile.tile_id, tile.l2, result.victim)
+
+
+def _service_asr(design: AsrDesign, access: SeedL2Access) -> SeedAccessOutcome:
+    outcome = _service_private(design, access)
+    if outcome.hit_where == "l2_local":
+        block = design.chip.tile(access.core).l2.peek(access.block_address)
+        if block is not None and block.metadata.get("asr_replica"):
+            design._replica_hits += 1
+    return outcome
+
+
+def _service_for(design: CacheDesign):
+    """Resolve the seed service body for a design (subclass order matters)."""
+    if isinstance(design, RNucaDesign):
+        return _service_rnuca
+    if isinstance(design, AsrDesign):
+        return _service_asr
+    if isinstance(design, PrivateDesign):
+        return _service_private
+    if isinstance(design, (IdealDesign, SharedDesign)):
+        return _service_shared
+    raise TypeError(
+        f"no seed replay path for {type(design).__name__}; "
+        "run it through the fast engine instead"
+    )

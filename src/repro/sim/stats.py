@@ -26,6 +26,211 @@ def _coarse_class(record: TraceRecord) -> str:
     return "private" if record.true_class == "private" else "shared"
 
 
+class SampleAccumulator:
+    """Flat counters for one measurement sample of the fast engine loop.
+
+    Mirrors :meth:`SimulationStats.record` field for field but uses plain
+    dicts and scalars so the hot loop never touches :class:`Counter`'s
+    ``__missing__`` machinery or builds per-record objects.  Integer counts
+    with a small fixed key set (access classes, hit locations, shared
+    service kinds) live in scalars; only float cycle totals stay in dicts,
+    keyed exactly as :class:`SimulationStats` keys them so their insertion
+    order — and therefore every downstream floating-point summation order —
+    matches what a per-record :meth:`SimulationStats.record` sequence
+    produces.  The engine-equivalence tests rely on that bitwise parity.
+
+    NOTE: the fast engine's measured loop
+    (``TraceSimulator._replay_fast.replay_measured``) fuses a copy of
+    :meth:`record_access` with local-variable counters for speed; keep the
+    two in sync.  Divergence is caught by
+    ``tests/test_sim.py::test_sample_accumulator_matches_per_record_path``
+    (this class vs ``SimulationStats.record``) and by
+    ``tests/test_engine_equivalence.py`` (the fused loop vs the seed path).
+    """
+
+    __slots__ = (
+        "stall_factors",
+        "instructions",
+        "accesses",
+        "busy_cycles",
+        "stall_by_component",
+        "class_components",
+        "instruction_accesses",
+        "private_accesses",
+        "shared_accesses",
+        "other_class_accesses",
+        "l2_local_hits",
+        "l2_remote_hits",
+        "l1_remote_hits",
+        "offchip_services",
+        "other_hits",
+        "offchip_accesses",
+        "coherence_accesses",
+        "interleaved_count",
+        "coherence_count",
+        "l1_to_l1_count",
+        "interleaved_cycles",
+        "coherence_cycles",
+        "l1_to_l1_cycles",
+    )
+
+    def __init__(self, stall_factors: dict[str, float] | None = None) -> None:
+        #: Per-component overlap factors applied while accumulating.
+        self.stall_factors = stall_factors if stall_factors is not None else {}
+        self.instructions = 0
+        self.accesses = 0
+        #: Busy cycles are kept as a scalar (every record adds to them) and
+        #: re-inserted first in :meth:`to_stats`, matching the Counter
+        #: insertion order ``SimulationStats.record`` produces.
+        self.busy_cycles = 0.0
+        self.stall_by_component: dict[str, float] = {}
+        #: access class -> {component -> cycles}.  Nested dicts instead of
+        #: (class, component) tuple keys: string keys cache their hashes,
+        #: tuple keys re-hash on every update.
+        self.class_components: dict[str, dict[str, float]] = {}
+        self.instruction_accesses = 0
+        self.private_accesses = 0
+        self.shared_accesses = 0
+        self.other_class_accesses: dict[str, int] = {}
+        self.l2_local_hits = 0
+        self.l2_remote_hits = 0
+        self.l1_remote_hits = 0
+        self.offchip_services = 0
+        self.other_hits: dict[str, int] = {}
+        self.offchip_accesses = 0
+        self.coherence_accesses = 0
+        self.interleaved_count = 0
+        self.coherence_count = 0
+        self.l1_to_l1_count = 0
+        self.interleaved_cycles = 0.0
+        self.coherence_cycles = 0.0
+        self.l1_to_l1_cycles = 0.0
+
+    def record_access(
+        self,
+        access_class: str,
+        instructions: int,
+        busy_cycles: float,
+        outcome: AccessOutcome,
+    ) -> None:
+        """Accumulate one serviced access.
+
+        Applies the CPI model's per-component overlap factors while
+        accumulating (one pass over the outcome instead of
+        ``CpiModel.apply_overlap`` followed by ``SimulationStats.record``);
+        ``outcome.components`` itself is left unscaled.
+        """
+        self.instructions += instructions
+        self.accesses += 1
+        shared = False
+        if access_class == "shared":
+            shared = True
+            self.shared_accesses += 1
+        elif access_class == "instruction":
+            self.instruction_accesses += 1
+        elif access_class == "private":
+            self.private_accesses += 1
+        else:
+            self.other_class_accesses[access_class] = (
+                self.other_class_accesses.get(access_class, 0) + 1
+            )
+        self.busy_cycles += busy_cycles
+        hit_where = outcome.hit_where
+        if hit_where == "l2_local":
+            self.l2_local_hits += 1
+        elif hit_where == "l2_remote":
+            self.l2_remote_hits += 1
+        elif hit_where == "offchip":
+            self.offchip_services += 1
+        elif hit_where == "l1_remote":
+            self.l1_remote_hits += 1
+        else:
+            self.other_hits[hit_where] = self.other_hits.get(hit_where, 0) + 1
+        if outcome.offchip:
+            self.offchip_accesses += 1
+        coherence = outcome.coherence
+        if coherence:
+            self.coherence_accesses += 1
+        components = self.stall_by_component
+        class_components = self.class_components.get(access_class)
+        if class_components is None:
+            class_components = self.class_components[access_class] = {}
+        stall_factors = self.stall_factors
+        latency = 0.0
+        for component, cycles in outcome.components.items():
+            cycles = cycles * stall_factors.get(component, 1.0)
+            components[component] = components.get(component, 0.0) + cycles
+            class_components[component] = class_components.get(component, 0.0) + cycles
+            latency += cycles
+        if shared:
+            if hit_where == "l1_remote":
+                self.l1_to_l1_count += 1
+                self.l1_to_l1_cycles += latency
+            elif coherence:
+                self.coherence_count += 1
+                self.coherence_cycles += latency
+            else:
+                self.interleaved_count += 1
+                self.interleaved_cycles += latency
+
+    def to_stats(self) -> "SimulationStats":
+        """Package the sample as a :class:`SimulationStats`.
+
+        Scalar counters are integer counts, so re-packing them into
+        Counters in a fixed key order (zero counts skipped, like the seed
+        path never inserting them) changes no value and no float sum.
+        """
+        cycles_by_component: Counter = Counter()
+        if self.accesses:
+            cycles_by_component[BUSY] = self.busy_cycles
+        cycles_by_component.update(self.stall_by_component)
+        cycles_by_class_component: Counter = Counter()
+        for access_class, per_component in self.class_components.items():
+            for component, cycles in per_component.items():
+                cycles_by_class_component[(access_class, component)] = cycles
+        accesses_by_class: Counter = Counter()
+        for name, count in (
+            ("instruction", self.instruction_accesses),
+            ("private", self.private_accesses),
+            ("shared", self.shared_accesses),
+        ):
+            if count:
+                accesses_by_class[name] = count
+        accesses_by_class.update(self.other_class_accesses)
+        hits_by_location: Counter = Counter()
+        for name, count in (
+            ("l2_local", self.l2_local_hits),
+            ("l2_remote", self.l2_remote_hits),
+            ("l1_remote", self.l1_remote_hits),
+            ("offchip", self.offchip_services),
+        ):
+            if count:
+                hits_by_location[name] = count
+        hits_by_location.update(self.other_hits)
+        shared_service: Counter = Counter()
+        shared_service_cycles: Counter = Counter()
+        for name, count, cycles in (
+            ("interleaved", self.interleaved_count, self.interleaved_cycles),
+            ("coherence", self.coherence_count, self.coherence_cycles),
+            ("l1_to_l1", self.l1_to_l1_count, self.l1_to_l1_cycles),
+        ):
+            if count:
+                shared_service[name] = count
+                shared_service_cycles[name] = cycles
+        return SimulationStats(
+            instructions=self.instructions,
+            accesses=self.accesses,
+            cycles_by_component=cycles_by_component,
+            cycles_by_class_component=cycles_by_class_component,
+            accesses_by_class=accesses_by_class,
+            hits_by_location=hits_by_location,
+            offchip_accesses=self.offchip_accesses,
+            coherence_accesses=self.coherence_accesses,
+            shared_service=shared_service,
+            shared_service_cycles=shared_service_cycles,
+        )
+
+
 @dataclass
 class SimulationStats:
     """Accumulated measurements for one design running one trace."""

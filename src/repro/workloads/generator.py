@@ -32,11 +32,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cache.block import AccessType
 from repro.cmp.config import SystemConfig
 from repro.errors import ConfigurationError, TraceError
 from repro.workloads.spec import MULTIPROGRAMMED, SCIENTIFIC, WorkloadSpec
-from repro.workloads.trace import Trace, TraceRecord
+from repro.workloads.trace import (
+    INSTRUCTION_CODE,
+    LOAD_CODE,
+    NO_THREAD,
+    STORE_CODE,
+    Trace,
+    TraceColumns,
+)
 
 #: Size of the physical address space the page allocator draws frames from.
 PHYSICAL_PAGE_FRAMES = 1 << 20
@@ -349,26 +355,30 @@ class SyntheticTraceGenerator:
             if region.store_probability > 0:
                 is_store[mask] = store_draw[mask] < region.store_probability
 
-        records = []
+        # Assemble the columnar trace directly — no per-record Python objects.
         instruction_class = self._class_names.index("instruction")
-        for i in range(num_records):
-            if class_ids[i] == instruction_class:
-                access_type = AccessType.INSTRUCTION
-            elif is_store[i]:
-                access_type = AccessType.STORE
-            else:
-                access_type = AccessType.LOAD
-            records.append(
-                TraceRecord(
-                    core=int(cores[i]),
-                    access_type=access_type,
-                    address=int(addresses[i]),
-                    instructions=int(instructions[i]),
-                    true_class=str(labels[i]),
-                )
-            )
-        return Trace(
-            records,
+        access_codes = np.where(
+            class_ids == instruction_class,
+            INSTRUCTION_CODE,
+            np.where(is_store, STORE_CODE, LOAD_CODE),
+        ).astype(np.int8)
+        # ``labels`` holds the class-name strings; map them onto a compact
+        # code table ordered None-first so unlabeled records stay code 0.
+        class_table: tuple[str | None, ...] = (None, *self._class_names)
+        label_codes = np.zeros(num_records, dtype=np.int16)
+        for code, class_name in enumerate(self._class_names, start=1):
+            label_codes[labels == class_name] = code
+        columns = TraceColumns(
+            core=cores.astype(np.int64),
+            access_type=access_codes,
+            address=addresses,
+            instructions=instructions.astype(np.int64),
+            thread_id=np.full(num_records, NO_THREAD, dtype=np.int64),
+            true_class=label_codes,
+            class_table=class_table,
+        )
+        return Trace.from_columns(
+            columns,
             workload=self.spec.name,
             num_cores=self.num_cores,
             metadata={

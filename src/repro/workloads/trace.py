@@ -6,6 +6,15 @@ workloads (Section 3) and at which every design differentiates itself.  Each
 record carries the number of instructions the issuing core committed since
 its previous L2 reference, so the simulation engine can convert stall cycles
 into CPI.
+
+Storage is **columnar**: a trace holds one numpy array per field
+(:class:`TraceColumns`), so sixty thousand references cost a handful of
+arrays instead of sixty thousand dataclass instances.  The record-oriented
+API (:attr:`Trace.records`, iteration, indexing) is preserved as a lazily
+materialised view, and the hot-path accessors (:meth:`Trace.hot_columns`,
+:meth:`Trace.block_numbers`, :meth:`Trace.page_numbers`) hand the simulation
+engine plain Python lists with block/page numbers precomputed once per trace
+instead of once per (design, record).
 """
 
 from __future__ import annotations
@@ -13,13 +22,33 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, NamedTuple, Optional, Sequence
+
+import numpy as np
 
 from repro.cache.block import AccessType
 from repro.errors import TraceError
 
+#: Integer codes used for :attr:`TraceColumns.access_type`.  Index into
+#: :data:`ACCESS_TYPE_BY_CODE`; the instruction code is 0 so hot loops can
+#: test ``code == 0`` instead of comparing enum members.
+INSTRUCTION_CODE = 0
+LOAD_CODE = 1
+STORE_CODE = 2
 
-@dataclass(frozen=True)
+ACCESS_TYPE_BY_CODE: tuple[AccessType, ...] = (
+    AccessType.INSTRUCTION,
+    AccessType.LOAD,
+    AccessType.STORE,
+)
+
+_CODE_BY_ACCESS_TYPE = {kind: code for code, kind in enumerate(ACCESS_TYPE_BY_CODE)}
+
+#: Sentinel in the ``thread_id`` column meaning "defaults to the core id".
+NO_THREAD = -1
+
+
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One L2 reference."""
 
@@ -57,26 +86,196 @@ class TraceRecord:
         return self.access_type is AccessType.STORE
 
 
+@dataclass(frozen=True)
+class TraceColumns:
+    """Structure-of-arrays representation of a trace.
+
+    ``true_class`` stores small integer codes into ``class_table`` (entry 0
+    is always ``None`` for records without a ground-truth label).
+    """
+
+    core: np.ndarray  # int64
+    access_type: np.ndarray  # int8 codes, see ACCESS_TYPE_BY_CODE
+    address: np.ndarray  # int64 physical byte addresses
+    instructions: np.ndarray  # int64
+    thread_id: np.ndarray  # int64, NO_THREAD means "use the core id"
+    true_class: np.ndarray  # int16 codes into class_table
+    class_table: tuple[Optional[str], ...]
+
+    def __len__(self) -> int:
+        return int(self.core.shape[0])
+
+    def validate(self) -> None:
+        n = len(self)
+        for name in ("access_type", "address", "instructions", "thread_id", "true_class"):
+            if getattr(self, name).shape[0] != n:
+                raise TraceError(f"column {name!r} length differs from the core column")
+        if n == 0:
+            return
+        if self.core.min(initial=0) < 0:
+            raise TraceError("core id cannot be negative")
+        if self.address.min(initial=0) < 0:
+            raise TraceError("address cannot be negative")
+        if self.instructions.min(initial=0) < 0:
+            raise TraceError("instruction count cannot be negative")
+        if self.access_type.min(initial=0) < 0 or self.access_type.max(
+            initial=0
+        ) >= len(ACCESS_TYPE_BY_CODE):
+            raise TraceError("unknown access-type code in trace columns")
+
+
+class HotColumns(NamedTuple):
+    """Plain-list columns for the allocation-free simulation loop.
+
+    Everything derivable per record is resolved once here: ``thread`` applies
+    the core-id default, ``true_class`` is decoded to strings, and
+    ``coarse_class`` carries the instruction/private/shared label the
+    statistics use (see :func:`repro.sim.stats.coarse_class_label`).
+    """
+
+    core: list[int]
+    access_code: list[int]
+    address: list[int]
+    instructions: list[int]
+    thread: list[int]
+    true_class: list[Optional[str]]
+    coarse_class: list[str]
+
+
+def _coarse_label(access_code: int, true_class: Optional[str]) -> str:
+    if access_code == INSTRUCTION_CODE or true_class == "instruction":
+        return "instruction"
+    if true_class is None:
+        return "shared"
+    return "private" if true_class == "private" else "shared"
+
+
+def _int64_column(values: list[int], what: str) -> np.ndarray:
+    try:
+        return np.asarray(values, dtype=np.int64)
+    except OverflowError as error:
+        raise TraceError(
+            f"trace {what} must fit in a signed 64-bit integer "
+            "(columnar storage)"
+        ) from error
+
+
+def _columns_from_records(records: Sequence[TraceRecord]) -> TraceColumns:
+    class_codes: dict[Optional[str], int] = {None: 0}
+    table: list[Optional[str]] = [None]
+    cores: list[int] = []
+    kinds: list[int] = []
+    addresses: list[int] = []
+    instructions: list[int] = []
+    threads: list[int] = []
+    labels: list[int] = []
+    for record in records:
+        cores.append(record.core)
+        kinds.append(_CODE_BY_ACCESS_TYPE[record.access_type])
+        addresses.append(record.address)
+        instructions.append(record.instructions)
+        threads.append(NO_THREAD if record.thread_id is None else record.thread_id)
+        code = class_codes.get(record.true_class)
+        if code is None:
+            code = len(table)
+            class_codes[record.true_class] = code
+            table.append(record.true_class)
+        labels.append(code)
+    return TraceColumns(
+        core=_int64_column(cores, "core ids"),
+        access_type=np.asarray(kinds, dtype=np.int8),
+        address=_int64_column(addresses, "addresses"),
+        instructions=_int64_column(instructions, "instruction counts"),
+        thread_id=_int64_column(threads, "thread ids"),
+        true_class=np.asarray(labels, dtype=np.int16),
+        class_table=tuple(table),
+    )
+
+
 class Trace:
-    """An in-memory sequence of trace records plus workload metadata."""
+    """An in-memory, columnar sequence of trace records plus metadata.
+
+    The columns are the single source of truth and a trace is effectively
+    immutable once built: :attr:`records` (and every other accessor) is a
+    view **derived** from the columns, so mutating the returned record list
+    does not change the trace the engines replay.  Build a new ``Trace``
+    (or new :class:`TraceColumns`) to alter one.
+    """
 
     def __init__(
         self,
-        records: Sequence[TraceRecord] | Iterable[TraceRecord],
+        records: Sequence[TraceRecord] | Iterable[TraceRecord] = (),
         *,
         workload: str = "unknown",
         num_cores: int = 0,
         metadata: dict | None = None,
+        columns: TraceColumns | None = None,
     ) -> None:
-        self.records = list(records)
+        if columns is None:
+            columns = _columns_from_records(list(records))
+        columns.validate()
+        self.columns = columns
         self.workload = workload
         self.num_cores = num_cores or (
-            1 + max((r.core for r in self.records), default=0)
+            1 + int(columns.core.max(initial=0))
         )
         self.metadata = dict(metadata or {})
+        self._records: list[TraceRecord] | None = None
+        self._hot: HotColumns | None = None
+        self._hot_rows: dict[tuple[int, int], list[tuple]] = {}
+        self._block_numbers: dict[int, list[int]] = {}
+        self._page_numbers: dict[int, list[int]] = {}
+        self._page_arrays: dict[int, np.ndarray] = {}
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: TraceColumns,
+        *,
+        workload: str = "unknown",
+        num_cores: int = 0,
+        metadata: dict | None = None,
+    ) -> "Trace":
+        return cls(
+            workload=workload, num_cores=num_cores, metadata=metadata, columns=columns
+        )
+
+    # ------------------------------------------------------------------ #
+    # Record-oriented view (compatibility API)
+    # ------------------------------------------------------------------ #
+    @property
+    def records(self) -> list[TraceRecord]:
+        """The trace as :class:`TraceRecord` objects (materialised lazily).
+
+        A derived, cached view of :attr:`columns`: mutating the returned
+        list (or its records) does not modify the trace — the columns stay
+        authoritative for ``len``, replay, and persistence.
+        """
+        if self._records is None:
+            cols = self.columns
+            table = cols.class_table
+            self._records = [
+                TraceRecord(
+                    core=core,
+                    access_type=ACCESS_TYPE_BY_CODE[kind],
+                    address=address,
+                    instructions=instructions,
+                    thread_id=None if thread == NO_THREAD else thread,
+                    true_class=table[label],
+                )
+                for core, kind, address, instructions, thread, label in zip(
+                    cols.core.tolist(),
+                    cols.access_type.tolist(),
+                    cols.address.tolist(),
+                    cols.instructions.tolist(),
+                    cols.thread_id.tolist(),
+                    cols.true_class.tolist(),
+                )
+            ]
+        return self._records
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self.columns)
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)
@@ -86,21 +285,106 @@ class Trace:
 
     @property
     def total_instructions(self) -> int:
-        return sum(r.instructions for r in self.records)
+        return int(self.columns.instructions.sum())
 
     def records_for_core(self, core: int) -> list[TraceRecord]:
-        return [r for r in self.records if r.core == core]
+        records = self.records
+        return [records[i] for i in np.nonzero(self.columns.core == core)[0].tolist()]
 
     def class_mix(self) -> dict[str, float]:
         """Fraction of references per ground-truth class."""
-        if not self.records:
+        total = len(self)
+        if not total:
             return {}
-        counts: dict[str, int] = {}
-        for record in self.records:
-            key = record.true_class or "unknown"
-            counts[key] = counts.get(key, 0) + 1
-        total = len(self.records)
-        return {key: count / total for key, count in sorted(counts.items())}
+        counts = np.bincount(
+            self.columns.true_class, minlength=len(self.columns.class_table)
+        )
+        mix = {
+            (name if name is not None else "unknown"): int(count) / total
+            for name, count in zip(self.columns.class_table, counts.tolist())
+            if count
+        }
+        return dict(sorted(mix.items()))
+
+    # ------------------------------------------------------------------ #
+    # Hot-path accessors (columnar fast path)
+    # ------------------------------------------------------------------ #
+    def hot_columns(self) -> HotColumns:
+        """Plain-list columns for the simulation hot loop (cached)."""
+        if self._hot is None:
+            cols = self.columns
+            codes = cols.access_type.tolist()
+            table = cols.class_table
+            true_class = [table[label] for label in cols.true_class.tolist()]
+            threads = np.where(
+                cols.thread_id == NO_THREAD, cols.core, cols.thread_id
+            ).tolist()
+            self._hot = HotColumns(
+                core=cols.core.tolist(),
+                access_code=codes,
+                address=cols.address.tolist(),
+                instructions=cols.instructions.tolist(),
+                thread=threads,
+                true_class=true_class,
+                coarse_class=[
+                    _coarse_label(code, label)
+                    for code, label in zip(codes, true_class)
+                ],
+            )
+        return self._hot
+
+    def hot_rows(self, block_size: int, page_size: int) -> list[tuple]:
+        """Per-record tuples for the replay loop, cached per geometry.
+
+        Each row is ``(core, access code, address, instructions, thread,
+        true_class, coarse_class, block number, page number)``.  One list of
+        prebuilt tuples iterates with a single iterator where zipping nine
+        parallel columns would advance nine.
+        """
+        rows = self._hot_rows.get((block_size, page_size))
+        if rows is None:
+            hot = self.hot_columns()
+            rows = list(
+                zip(
+                    hot.core,
+                    hot.access_code,
+                    hot.address,
+                    hot.instructions,
+                    hot.thread,
+                    hot.true_class,
+                    hot.coarse_class,
+                    self.block_numbers(block_size),
+                    self.page_numbers(page_size),
+                )
+            )
+            self._hot_rows[(block_size, page_size)] = rows
+        return rows
+
+    def block_numbers(self, block_size: int) -> list[int]:
+        """Per-record block numbers, computed once per (trace, block size)."""
+        numbers = self._block_numbers.get(block_size)
+        if numbers is None:
+            shift = block_size.bit_length() - 1
+            numbers = (self.columns.address >> shift).tolist()
+            self._block_numbers[block_size] = numbers
+        return numbers
+
+    def page_numbers(self, page_size: int) -> list[int]:
+        """Per-record page numbers, computed once per (trace, page size)."""
+        numbers = self._page_numbers.get(page_size)
+        if numbers is None:
+            numbers = self.page_number_array(page_size).tolist()
+            self._page_numbers[page_size] = numbers
+        return numbers
+
+    def page_number_array(self, page_size: int) -> np.ndarray:
+        """Per-record page numbers as an int64 array (cached)."""
+        array = self._page_arrays.get(page_size)
+        if array is None:
+            shift = page_size.bit_length() - 1
+            array = self.columns.address >> shift
+            self._page_arrays[page_size] = array
+        return array
 
     # ------------------------------------------------------------------ #
     # Persistence (JSON-lines; traces are small enough for text)
@@ -108,6 +392,8 @@ class Trace:
     def save(self, path: str | Path) -> None:
         """Write the trace as JSON lines (one header line, then records)."""
         path = Path(path)
+        cols = self.columns
+        table = cols.class_table
         with path.open("w", encoding="utf-8") as handle:
             header = {
                 "workload": self.workload,
@@ -115,16 +401,23 @@ class Trace:
                 "metadata": self.metadata,
             }
             handle.write(json.dumps(header) + "\n")
-            for record in self.records:
+            for core, kind, address, instructions, thread, label in zip(
+                cols.core.tolist(),
+                cols.access_type.tolist(),
+                cols.address.tolist(),
+                cols.instructions.tolist(),
+                cols.thread_id.tolist(),
+                cols.true_class.tolist(),
+            ):
                 handle.write(
                     json.dumps(
                         [
-                            record.core,
-                            record.access_type.value,
-                            record.address,
-                            record.instructions,
-                            record.thread_id,
-                            record.true_class,
+                            core,
+                            ACCESS_TYPE_BY_CODE[kind].value,
+                            address,
+                            instructions,
+                            None if thread == NO_THREAD else thread,
+                            table[label],
                         ]
                     )
                     + "\n"
@@ -134,28 +427,43 @@ class Trace:
     def load(cls, path: str | Path) -> "Trace":
         """Read a trace previously written by :meth:`save`."""
         path = Path(path)
+        class_codes: dict[Optional[str], int] = {None: 0}
+        table: list[Optional[str]] = [None]
+        cores: list[int] = []
+        kinds: list[int] = []
+        addresses: list[int] = []
+        instructions: list[int] = []
+        threads: list[int] = []
+        labels: list[int] = []
         with path.open("r", encoding="utf-8") as handle:
             header_line = handle.readline()
             if not header_line:
                 raise TraceError(f"trace file {path} is empty")
             header = json.loads(header_line)
-            records = []
             for line in handle:
-                core, kind, address, instructions, thread_id, true_class = json.loads(
-                    line
-                )
-                records.append(
-                    TraceRecord(
-                        core=core,
-                        access_type=AccessType(kind),
-                        address=address,
-                        instructions=instructions,
-                        thread_id=thread_id,
-                        true_class=true_class,
-                    )
-                )
-        return cls(
-            records,
+                core, kind, address, count, thread_id, true_class = json.loads(line)
+                cores.append(core)
+                kinds.append(_CODE_BY_ACCESS_TYPE[AccessType(kind)])
+                addresses.append(address)
+                instructions.append(count)
+                threads.append(NO_THREAD if thread_id is None else thread_id)
+                code = class_codes.get(true_class)
+                if code is None:
+                    code = len(table)
+                    class_codes[true_class] = code
+                    table.append(true_class)
+                labels.append(code)
+        columns = TraceColumns(
+            core=_int64_column(cores, "core ids"),
+            access_type=np.asarray(kinds, dtype=np.int8),
+            address=_int64_column(addresses, "addresses"),
+            instructions=_int64_column(instructions, "instruction counts"),
+            thread_id=_int64_column(threads, "thread ids"),
+            true_class=np.asarray(labels, dtype=np.int16),
+            class_table=tuple(table),
+        )
+        return cls.from_columns(
+            columns,
             workload=header.get("workload", "unknown"),
             num_cores=header.get("num_cores", 0),
             metadata=header.get("metadata", {}),

@@ -1,0 +1,80 @@
+"""Tests for ``repro bench`` and the engine benchmark module."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.cmp.config import SystemConfig
+from repro.sim.bench import bench_design, run_bench
+from repro.workloads.generator import SyntheticTraceGenerator
+from repro.workloads.spec import get_workload
+
+from .conftest import TEST_SCALE
+
+BENCH_ARGS = [
+    "bench",
+    "--designs", "shared,rnuca",
+    "--workload", "mix",
+    "--records", "1500",
+    "--scale", str(TEST_SCALE),
+    "--repeats", "1",
+]
+
+
+def test_bench_cli_writes_json(tmp_path, capsys):
+    output = tmp_path / "BENCH_engine.json"
+    assert main(BENCH_ARGS + ["--output", str(output)]) == 0
+    out = capsys.readouterr().out
+    assert "Engine throughput" in out and str(output) in out
+
+    payload = json.loads(output.read_text())
+    assert payload["benchmark"] == "trace-engine-records-per-sec"
+    assert payload["workload"] == "mix"
+    assert payload["records"] == 1500
+    assert [r["design"] for r in payload["results"]] == ["S", "R"]
+    for result in payload["results"]:
+        assert result["fast_records_per_sec"] > 0
+        assert result["reference_records_per_sec"] > 0
+        assert result["speedup"] > 0
+        # Every bench run doubles as an equivalence check.
+        assert result["stats_match"] is True
+
+
+def test_bench_cli_quick_defaults(tmp_path, capsys):
+    output = tmp_path / "quick.json"
+    args = [
+        "bench", "--quick", "--designs", "private",
+        "--workload", "mix", "--records", "1200",
+        "--scale", str(TEST_SCALE), "--output", str(output),
+    ]
+    assert main(args) == 0
+    payload = json.loads(output.read_text())
+    from repro.sim.bench import QUICK_BENCH_REPEATS
+
+    assert payload["repeats"] == QUICK_BENCH_REPEATS  # --quick lowers repeats
+    assert payload["results"][0]["design"] == "P"
+
+
+def test_bench_design_measures_both_engines():
+    spec = get_workload("mix")
+    config = SystemConfig.for_workload_category(spec.category).scaled(TEST_SCALE)
+    trace = SyntheticTraceGenerator(spec, config, seed=1, scale=TEST_SCALE).generate(1200)
+    result = bench_design("R", spec, config, trace, repeats=1)
+    assert result.design == "R" and result.design_name == "rnuca"
+    assert result.stats_match
+    assert result.records == 1200
+    assert result.speedup == result.fast_records_per_sec / result.reference_records_per_sec
+
+
+def test_run_bench_payload_shape():
+    payload = run_bench(
+        designs=("ideal",),
+        workload="oltp-db2",
+        num_records=1200,
+        scale=TEST_SCALE,
+        repeats=1,
+    )
+    assert payload["baseline"].startswith("reference")
+    (result,) = payload["results"]
+    assert result["design"] == "I" and result["stats_match"] is True

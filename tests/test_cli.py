@@ -52,13 +52,31 @@ def test_report_lists_results_and_speedups(results_dir, capsys):
 def test_report_workload_filter(results_dir, capsys):
     main(RUN_ARGS + ["--results-dir", results_dir, "--quiet"])
     capsys.readouterr()
-    assert main(["report", "--results-dir", results_dir, "--workloads", "apache"]) == 1
+    assert main(["report", "--results-dir", results_dir, "--workloads", "apache"]) == 0
     assert "No results" in capsys.readouterr().out
 
 
-def test_report_empty_store_fails(tmp_path, capsys):
-    assert main(["report", "--results-dir", str(tmp_path / "nope")]) == 1
+def test_report_missing_store_exits_cleanly(tmp_path, capsys):
+    """A results directory that does not exist is a no-op, not a crash."""
+    assert main(["report", "--results-dir", str(tmp_path / "nope")]) == 0
+    out = capsys.readouterr().out
+    assert "No results" in out and "repro run" in out
+
+
+def test_report_empty_store_exits_cleanly(tmp_path, capsys):
+    """An existing-but-empty results directory exits 0 with a pointer."""
+    empty = tmp_path / "results"
+    empty.mkdir()
+    assert main(["report", "--results-dir", str(empty)]) == 0
     assert "No results" in capsys.readouterr().out
+
+
+def test_list_works_without_results_dir(tmp_path, capsys, monkeypatch):
+    """`repro list` never touches a results directory."""
+    monkeypatch.chdir(tmp_path)  # no results/ anywhere in sight
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "Workloads:" in out and "Designs:" in out
 
 
 def test_cluster_sweep_points(results_dir, capsys):

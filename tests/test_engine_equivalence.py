@@ -1,0 +1,125 @@
+"""Equivalence guard: the fast columnar engine must reproduce the seed path.
+
+The fast engine (columnar trace, reused access/outcome objects, fused
+statistics accumulation) and the reference engine (the preserved seed
+implementation in :mod:`repro.sim.seed_path`) replay the same trace through
+fresh chips and must produce **numerically identical** results — the same
+``SimulationStats`` field for field, the same CPI, the same breakdown, the
+same off-chip rate, the same confidence interval, for every design on both
+workload categories.  Any optimisation that changes a number fails here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cmp.chip import TiledChip
+from repro.cmp.config import SystemConfig
+from repro.designs import build_design
+from repro.sim.engine import TraceSimulator, simulate_workload
+from repro.sim.latency import CpiModel
+from repro.workloads.generator import SyntheticTraceGenerator
+from repro.workloads.spec import get_workload
+
+from .conftest import TEST_SCALE
+
+DESIGN_LETTERS = ("P", "A", "S", "R", "I")
+
+#: One server and one multiprogrammed workload (different chip geometry,
+#: different class mixes, different CPI models).
+WORKLOADS = ("oltp-db2", "mix")
+
+RECORDS = 4000
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """One shared trace + config per workload (both engines replay it)."""
+    shared = {}
+    for name in WORKLOADS:
+        spec = get_workload(name)
+        config = SystemConfig.for_workload_category(spec.category).scaled(TEST_SCALE)
+        generator = SyntheticTraceGenerator(spec, config, seed=3, scale=TEST_SCALE)
+        shared[name] = (spec, config, generator.generate(RECORDS))
+    return shared
+
+
+def _simulate(engine, letter, spec, config, trace):
+    chip = TiledChip(config)
+    design = build_design(letter, chip)
+    simulator = TraceSimulator(design, CpiModel.for_workload(spec), engine=engine)
+    return simulator.run(trace)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("letter", DESIGN_LETTERS)
+def test_fast_engine_matches_seed_path(traces, workload, letter):
+    spec, config, trace = traces[workload]
+    fast = _simulate("fast", letter, spec, config, trace)
+    seed = _simulate("reference", letter, spec, config, trace)
+
+    # Full statistics object, field for field (exact floats, no approx).
+    assert fast.stats.to_dict() == seed.stats.to_dict()
+    # Headline metrics.
+    assert fast.cpi == seed.cpi
+    assert fast.ipc == seed.ipc
+    assert fast.cpi_breakdown() == seed.cpi_breakdown()
+    assert fast.stats.offchip_rate == seed.stats.offchip_rate
+    # Per-class CPI components (Figures 8-10 inputs).
+    for access_class in ("instruction", "private", "shared"):
+        assert fast.stats.class_cpi(access_class) == seed.stats.class_cpi(access_class)
+    # Confidence interval from the per-sample CPIs.
+    assert (fast.cpi_confidence is None) == (seed.cpi_confidence is None)
+    if fast.cpi_confidence is not None:
+        assert fast.cpi_confidence.to_dict() == seed.cpi_confidence.to_dict()
+    # Metadata (includes offchip_rate and any design-specific extras such as
+    # the R-NUCA misclassification rate and the ASR allocation probability).
+    assert fast.metadata == seed.metadata
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_engine_env_and_kwarg_select_reference(monkeypatch, traces, workload):
+    spec, config, trace = traces[workload]
+    by_kwarg = _simulate("reference", "S", spec, config, trace)
+    monkeypatch.setenv("RNUCA_ENGINE", "reference")
+    chip = TiledChip(config)
+    design = build_design("S", chip)
+    by_env = TraceSimulator(design, CpiModel.for_workload(spec)).run(trace)
+    assert by_env.stats.to_dict() == by_kwarg.stats.to_dict()
+
+
+def test_simulate_workload_accepts_engine(traces):
+    spec, config, trace = traces["mix"]
+    fast = simulate_workload(
+        spec, "R", config=config, scale=TEST_SCALE, trace=trace, engine="fast"
+    )
+    seed = simulate_workload(
+        spec, "R", config=config, scale=TEST_SCALE, trace=trace, engine="reference"
+    )
+    assert fast.cpi == seed.cpi
+    assert fast.stats.to_dict() == seed.stats.to_dict()
+
+
+def test_unknown_engine_rejected(traces):
+    from repro.errors import SimulationError
+
+    spec, config, trace = traces["mix"]
+    chip = TiledChip(config)
+    design = build_design("P", chip)
+    with pytest.raises(SimulationError):
+        TraceSimulator(design, CpiModel.for_workload(spec), engine="warp")
+    simulator = TraceSimulator(design, CpiModel.for_workload(spec))
+    with pytest.raises(SimulationError):
+        simulator.run(trace, engine="warp")
+
+
+def test_env_engine_typo_fails_loudly(monkeypatch, traces):
+    """A misspelt RNUCA_ENGINE must not silently fall back to the fast path."""
+    from repro.errors import SimulationError
+
+    spec, config, _ = traces["mix"]
+    monkeypatch.setenv("RNUCA_ENGINE", "refernce")
+    chip = TiledChip(config)
+    design = build_design("P", chip)
+    with pytest.raises(SimulationError):
+        TraceSimulator(design, CpiModel.for_workload(spec))

@@ -89,3 +89,40 @@ class TestRNucaPolicy:
         policy = RNucaPolicy(SystemConfig.multiprogrammed_8core().scaled(64))
         lookup = policy.lookup(1, 0x2000, instruction=True)
         assert lookup.target_slice in range(8)
+
+
+class TestLookupFastParity:
+    def test_lookup_fast_matches_lookup(self):
+        """lookup_fast must mirror lookup: same targets, classes, counters.
+
+        Two fresh policies replay the same access sequence, one through each
+        API; placement, classification and every statistic must agree.
+        """
+        config = SystemConfig.server_16core()
+        slow = RNucaPolicy(config)
+        fast = RNucaPolicy(config)
+        accesses = [
+            (core, address, instruction)
+            for core in (0, 3, 7, 15)
+            for address, instruction in (
+                (0x1234_0000, True),
+                (0x8000_0000 + core * 0x1000, False),
+                (0x4000_0000, False),  # same page from many cores -> shared
+            )
+        ]
+        for core, address, instruction in accesses:
+            reference = slow.lookup(core, address, instruction=instruction)
+            target, page_class, kind, latency = fast.lookup_fast(
+                core,
+                slow.block_address(address),
+                slow.page_number(address),
+                instruction,
+            )
+            assert target == reference.target_slice
+            assert page_class is reference.page_class
+            assert kind == reference.classification.kind
+            assert latency == reference.classification.latency_cycles
+        assert fast.lookups == slow.lookups
+        assert fast.local_lookups == slow.local_lookups
+        assert fast.lookups_by_class == slow.lookups_by_class
+        assert fast.classifier.reclassifications == slow.classifier.reclassifications

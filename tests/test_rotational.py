@@ -171,3 +171,42 @@ class TestRotationalInterleaver:
         interleaver = RotationalInterleaver(torus16(), 4, base_rid=base_rid)
         target = interleaver.target_slice(center, bits)
         assert interleaver.stored_bits(target) == bits
+
+
+class TestMaxLookupDistanceCache:
+    def test_cache_is_per_instance(self):
+        """Regression: the distance cache must live on the instance.
+
+        The old ``lru_cache`` on the method keyed on ``self`` (so results
+        were always correct) but kept a strong reference to every
+        interleaver ever created, leaking them across batch runs.  The
+        cache now lives on the instance, like ``_members_cache``.
+        """
+        a = RotationalInterleaver(torus16(), 4)
+        b = RotationalInterleaver(torus16(), 16)
+        assert a.max_lookup_distance(0) == 1
+        assert b.max_lookup_distance(0) > 1
+        assert a._max_distance_cache is not b._max_distance_cache
+        assert 0 in a._max_distance_cache and 0 in b._max_distance_cache
+
+    def test_instances_are_garbage_collected(self):
+        """The method must hold no global strong reference to instances."""
+        import gc
+        import weakref
+
+        interleaver = RotationalInterleaver(torus16(), 4)
+        interleaver.max_lookup_distance(0)
+        ref = weakref.ref(interleaver)
+        del interleaver
+        gc.collect()
+        assert ref() is None
+
+    def test_cached_value_matches_recomputation(self):
+        interleaver = RotationalInterleaver(torus16(), 4)
+        for center in range(16):
+            first = interleaver.max_lookup_distance(center)
+            assert interleaver.max_lookup_distance(center) == first
+            assert first == max(
+                interleaver.topology.hop_distance(center, member)
+                for member in interleaver.cluster_members(center)
+            )

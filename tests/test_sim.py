@@ -12,7 +12,7 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.sim.engine import TraceSimulator, simulate_best_asr, simulate_workload, warm_page_tables
 from repro.sim.latency import CpiModel
 from repro.sim.sampling import ConfidenceInterval, sample_mean, speedup_interval, split_into_samples
-from repro.sim.stats import SimulationStats
+from repro.sim.stats import SampleAccumulator, SimulationStats, _coarse_class
 from repro.workloads.spec import get_workload
 from repro.workloads.trace import Trace, TraceRecord
 
@@ -69,6 +69,44 @@ class TestSimulationStats:
         assert stats.class_component_cpi("private", L2) == pytest.approx(0.5)
         assert stats.class_component_cpi("shared", L2) == pytest.approx(1.5)
         assert stats.class_cpi("shared") == pytest.approx(1.5)
+
+    def test_sample_accumulator_matches_per_record_path(self):
+        """The fast engine's flat accumulator reproduces record() exactly.
+
+        The accumulator also fuses the overlap scaling in, so the per-record
+        path applies ``CpiModel.apply_overlap`` first.
+        """
+        model = CpiModel(busy_cpi=0.5)
+        cases = [
+            ("private", {L2: 10.0}, "l2_local", False, False),
+            ("shared_rw", {L2: 30.0}, "l2_remote", False, False),
+            ("shared_ro", {L2: 4.0, OFF_CHIP: 100.0}, "offchip", True, False),
+            ("shared_rw", {"l1_to_l1": 25.0}, "l1_remote", False, True),
+            ("instruction", {L2: 6.0}, "l2_remote", False, False),
+        ]
+        expected = SimulationStats()
+        accumulator = SampleAccumulator(model.stall_factors)
+        for true_class, components, hit_where, offchip, coherence in cases:
+            record = self.make_record(true_class)
+            scaled = AccessOutcome(
+                components=dict(components),
+                hit_where=hit_where,
+                offchip=offchip,
+                coherence=coherence,
+            )
+            model.apply_overlap(scaled)
+            expected.record(record, scaled, model.busy_cycles(record))
+            raw = AccessOutcome(
+                components=dict(components),
+                hit_where=hit_where,
+                offchip=offchip,
+                coherence=coherence,
+            )
+            accumulator.record_access(
+                _coarse_class(record), record.instructions,
+                model.busy_cycles(record), raw,
+            )
+        assert accumulator.to_stats().to_dict() == expected.to_dict()
 
     def test_shared_service_tracking(self):
         stats = SimulationStats()
@@ -128,9 +166,49 @@ class TestSampling:
     def test_speedup_interval(self):
         base = ConfidenceInterval(mean=2.0, half_width=0.1, num_samples=8)
         better = ConfidenceInterval(mean=1.0, half_width=0.05, num_samples=8)
-        ratio = speedup_interval(better, base)
+        ratio = speedup_interval(base, better)
         assert ratio.mean == pytest.approx(2.0)
         assert ratio.half_width > 0
+
+    def test_speedup_interval_direction(self):
+        """Regression: the declared order is (baseline, improved).
+
+        ``speedup_interval(baseline, improved)`` computes
+        ``baseline.mean / improved.mean`` — a design that halves the CPI
+        reports a 2x speedup, and swapping the arguments inverts the ratio.
+        """
+        baseline = ConfidenceInterval(mean=4.0, half_width=0.0, num_samples=4)
+        improved = ConfidenceInterval(mean=1.0, half_width=0.0, num_samples=4)
+        assert speedup_interval(baseline, improved).mean == pytest.approx(4.0)
+        assert speedup_interval(improved, baseline).mean == pytest.approx(0.25)
+
+    def test_speedup_interval_zero_improved_rejected(self):
+        """The zero guard checks the denominator: the improved mean."""
+        baseline = ConfidenceInterval(mean=2.0, half_width=0.1, num_samples=4)
+        zero = ConfidenceInterval(mean=0.0, half_width=0.0, num_samples=4)
+        with pytest.raises(SimulationError):
+            speedup_interval(baseline, zero)
+        # A zero baseline is fine: the ratio is simply 0.
+        assert speedup_interval(zero, baseline).mean == 0.0
+
+    def test_relative_error_uses_magnitude(self):
+        negative = ConfidenceInterval(mean=-2.0, half_width=0.5, num_samples=4)
+        assert negative.relative_error == pytest.approx(0.25)
+
+    def test_relative_error_zero_mean(self):
+        degenerate = ConfidenceInterval(mean=0.0, half_width=0.5, num_samples=4)
+        assert degenerate.relative_error == math.inf
+        clean = ConfidenceInterval(mean=0.0, half_width=0.0, num_samples=4)
+        assert clean.relative_error == 0.0
+
+    def test_speedup_interval_zero_mean_baseline_is_not_nan(self):
+        """An unbounded relative error propagates as inf, never 0*inf=NaN."""
+        fuzzy_zero = ConfidenceInterval(mean=0.0, half_width=0.1, num_samples=4)
+        improved = ConfidenceInterval(mean=2.0, half_width=0.1, num_samples=4)
+        interval = speedup_interval(fuzzy_zero, improved)
+        assert interval.mean == 0.0
+        assert interval.half_width == math.inf
+        assert not math.isnan(interval.half_width)
 
     def test_overlap_detection(self):
         a = ConfidenceInterval(mean=1.0, half_width=0.2, num_samples=4)

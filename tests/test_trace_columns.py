@@ -1,0 +1,134 @@
+"""Tests for the columnar trace representation and its record view."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.block import AccessType
+from repro.errors import TraceError
+from repro.workloads.trace import (
+    ACCESS_TYPE_BY_CODE,
+    INSTRUCTION_CODE,
+    LOAD_CODE,
+    NO_THREAD,
+    STORE_CODE,
+    Trace,
+    TraceColumns,
+    TraceRecord,
+)
+
+
+def make_records():
+    return [
+        TraceRecord(core=0, access_type=AccessType.LOAD, address=0x1000,
+                    instructions=10, true_class="shared_rw"),
+        TraceRecord(core=1, access_type=AccessType.INSTRUCTION, address=0x2000,
+                    instructions=5, true_class="instruction"),
+        TraceRecord(core=2, access_type=AccessType.STORE, address=0x3040,
+                    instructions=7, thread_id=9, true_class="private"),
+        TraceRecord(core=0, access_type=AccessType.LOAD, address=0x1000,
+                    instructions=3),
+    ]
+
+
+class TestColumnarStorage:
+    def test_records_round_trip_through_columns(self):
+        records = make_records()
+        trace = Trace(records, workload="t")
+        assert trace.records == records
+        assert len(trace) == 4
+        assert trace[2].thread == 9
+        assert [r.core for r in trace] == [0, 1, 2, 0]
+
+    def test_columns_match_records(self):
+        trace = Trace(make_records())
+        cols = trace.columns
+        assert cols.core.tolist() == [0, 1, 2, 0]
+        assert cols.access_type.tolist() == [
+            LOAD_CODE, INSTRUCTION_CODE, STORE_CODE, LOAD_CODE,
+        ]
+        assert cols.address.tolist() == [0x1000, 0x2000, 0x3040, 0x1000]
+        assert cols.thread_id.tolist() == [NO_THREAD, NO_THREAD, 9, NO_THREAD]
+        assert cols.class_table[cols.true_class[3]] is None
+
+    def test_hot_columns_resolve_defaults(self):
+        trace = Trace(make_records())
+        hot = trace.hot_columns()
+        assert hot.thread == [0, 1, 9, 0]  # thread defaults to core
+        assert hot.coarse_class == ["shared", "instruction", "private", "shared"]
+        assert hot.true_class == ["shared_rw", "instruction", "private", None]
+
+    def test_hot_rows_carry_block_and_page_numbers(self):
+        trace = Trace(make_records())
+        rows = trace.hot_rows(64, 4096)
+        assert len(rows) == 4
+        core, code, address, instructions, thread, true_class, coarse, block, page = rows[2]
+        assert (core, code, address) == (2, STORE_CODE, 0x3040)
+        assert block == 0x3040 >> 6 and page == 0x3040 >> 12
+        # Cached per geometry.
+        assert trace.hot_rows(64, 4096) is rows
+
+    def test_block_and_page_numbers_precomputed(self):
+        trace = Trace(make_records())
+        assert trace.block_numbers(64) == [a >> 6 for a in (0x1000, 0x2000, 0x3040, 0x1000)]
+        assert trace.page_numbers(4096) == [a >> 12 for a in (0x1000, 0x2000, 0x3040, 0x1000)]
+        assert trace.page_number_array(4096).dtype == np.int64
+
+    def test_total_instructions_and_class_mix(self):
+        trace = Trace(make_records())
+        assert trace.total_instructions == 25
+        mix = trace.class_mix()
+        assert mix["shared_rw"] == 0.25 and mix["unknown"] == 0.25
+
+    def test_records_for_core(self):
+        trace = Trace(make_records())
+        assert [r.address for r in trace.records_for_core(0)] == [0x1000, 0x1000]
+
+    def test_access_type_code_table_is_consistent(self):
+        for code, kind in enumerate(ACCESS_TYPE_BY_CODE):
+            assert ACCESS_TYPE_BY_CODE[code] is kind
+
+    def test_from_columns_validates(self):
+        with pytest.raises(TraceError):
+            TraceColumns(
+                core=np.array([-1], dtype=np.int64),
+                access_type=np.array([0], dtype=np.int8),
+                address=np.array([0], dtype=np.int64),
+                instructions=np.array([1], dtype=np.int64),
+                thread_id=np.array([NO_THREAD], dtype=np.int64),
+                true_class=np.array([0], dtype=np.int16),
+                class_table=(None,),
+            ).validate()
+        with pytest.raises(TraceError):
+            TraceColumns(
+                core=np.array([0, 1], dtype=np.int64),
+                access_type=np.array([0], dtype=np.int8),
+                address=np.array([0, 0], dtype=np.int64),
+                instructions=np.array([1, 1], dtype=np.int64),
+                thread_id=np.array([NO_THREAD, NO_THREAD], dtype=np.int64),
+                true_class=np.array([0, 0], dtype=np.int16),
+                class_table=(None,),
+            ).validate()
+
+    def test_save_load_round_trip(self, tmp_path):
+        trace = Trace(make_records(), workload="rt", metadata={"k": 1})
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.records == trace.records
+        assert loaded.workload == "rt"
+        assert loaded.num_cores == trace.num_cores
+        assert loaded.metadata == {"k": 1}
+
+    def test_empty_trace(self):
+        trace = Trace([])
+        assert len(trace) == 0
+        assert trace.records == []
+        assert trace.class_mix() == {}
+
+    def test_oversized_address_raises_trace_error(self):
+        """Columnar int64 storage rejects >=2**63 addresses with a clear error."""
+        record = TraceRecord(core=0, access_type=AccessType.LOAD, address=2**63)
+        with pytest.raises(TraceError, match="64-bit"):
+            Trace([record])
