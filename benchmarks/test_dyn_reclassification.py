@@ -1,0 +1,136 @@
+"""Re-classification overhead under dynamic behaviour (paper Sections 4.3/5.2).
+
+The paper argues that R-NUCA's OS-driven page re-classification — the
+poison/TLB-shootdown/block-invalidation sequence triggered when a thread
+migrates or private data becomes shared — is **negligible in practice**,
+because such events happen at OS-scheduling timescales (many millions of
+instructions apart), while the per-event cost is fixed and small.
+
+The synthetic dynamic scenarios compress that timescale enormously (a
+handful of migrations inside a tens-of-thousands-of-records trace), so the
+checks here separate the two halves of the claim:
+
+* the *per-event* accounting is exact — every migration re-own and every
+  private->shared re-classification charges the Section-4.3 latency, and
+  nothing else lands in the ``reclassification`` CPI component;
+* projected back to a realistic event rate, the overhead is far below one
+  percent of total CPI (the paper's "negligible"); and
+* R-NUCA's placement advantage survives the dynamics: net of the
+  fixed OS-event charges (whose rate here is a trace-brevity artefact),
+  R-NUCA still beats the private and shared designs on the migrating
+  scenario, and beats them outright on the phased scenario, where the mix
+  varies but no OS events fire.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.osmodel.classifier import DEFAULT_RECLASSIFY_LATENCY
+from repro.sim.engine import simulate_workload
+from repro.workloads.generator import DEFAULT_SCALE
+
+#: Records per simulation: the suite-wide RNUCA_EVAL_RECORDS knob, bounded
+#: so tier-1 stays fast (benchmarks/ is not an importable package, so the
+#: conftest constant cannot be imported here).
+DYN_RECORDS = min(int(os.environ.get("RNUCA_EVAL_RECORDS", 40_000)), 40_000)
+
+#: A generous realistic event rate: five OS events per hundred million
+#: instructions (OS quanta are tens of milliseconds on GHz cores; the
+#: paper's migrations are rarer still).
+REALISTIC_EVENTS_PER_INSTRUCTION = 5 / 100e6
+
+DESIGNS = ("P", "S", "R")
+
+
+@pytest.fixture(scope="module")
+def migrate_results():
+    return {
+        design: simulate_workload(
+            "oltp-db2:migrate",
+            design,
+            num_records=DYN_RECORDS,
+            scale=DEFAULT_SCALE,
+            seed=1,
+        )
+        for design in DESIGNS
+    }
+
+
+@pytest.fixture(scope="module")
+def phased_results():
+    return {
+        design: simulate_workload(
+            "mix:phased",
+            design,
+            num_records=DYN_RECORDS,
+            scale=DEFAULT_SCALE,
+            seed=1,
+        )
+        for design in DESIGNS
+    }
+
+
+def test_migrating_scenario_exercises_the_reactive_paths(migrate_results):
+    stats = migrate_results["R"].stats
+    assert stats.thread_migrations == 4
+    assert stats.sharing_onsets == 1
+    assert stats.migration_reowns > 0
+    assert stats.reclassifications > 0
+    assert stats.component_cpi("reclassification") > 0
+
+
+def test_reclassification_charging_is_exact(migrate_results):
+    """Every charged cycle maps to a counted OS event, and vice versa."""
+    stats = migrate_results["R"].stats
+    charged_cycles = stats.component_cpi("reclassification") * stats.instructions
+    charged_events = charged_cycles / DEFAULT_RECLASSIFY_LATENCY
+    counted = stats.migration_reowns + stats.reclassifications
+    # Events during warm-up are counted but fall outside the measured
+    # window, so charged <= counted; with the schedule's events placed past
+    # the warm-up fraction they coincide exactly.
+    assert charged_events == pytest.approx(counted)
+
+
+def test_overhead_negligible_at_realistic_event_rates(migrate_results):
+    """The paper's claim is about rates: project the measured per-event cost
+    onto an OS-timescale event rate and the overhead share vanishes."""
+    result = migrate_results["R"]
+    stats = result.stats
+    events = stats.migration_reowns + stats.reclassifications
+    overhead_cycles = stats.component_cpi("reclassification") * stats.instructions
+    cycles_per_event = overhead_cycles / events
+    projected_overhead_cpi = cycles_per_event * REALISTIC_EVENTS_PER_INSTRUCTION
+    assert projected_overhead_cpi / result.cpi < 0.005  # far below 1%
+
+
+def test_rnuca_placement_survives_migration(migrate_results):
+    """Net of the fixed per-event charges (whose *rate* here is a
+    trace-brevity artefact), R-NUCA still beats private and shared on the
+    migrating scenario: shootdowns, re-owned pages and newly interleaved
+    onset pages are all still in play."""
+    rnuca = migrate_results["R"]
+    net_cpi = rnuca.cpi - rnuca.stats.component_cpi("reclassification")
+    assert net_cpi < migrate_results["P"].cpi
+    assert net_cpi < migrate_results["S"].cpi
+
+
+def test_rnuca_wins_outright_on_phased_scenario(phased_results):
+    """With time-varying demand but no OS events, R-NUCA beats both
+    baselines outright — adaptivity costs nothing when nothing reacts."""
+    assert phased_results["R"].cpi < phased_results["P"].cpi
+    assert phased_results["R"].cpi < phased_results["S"].cpi
+    assert phased_results["R"].stats.reclassifications == 0
+
+
+def test_per_phase_cpi_reported_for_every_phase(phased_results):
+    for design in DESIGNS:
+        breakdown = phased_results[design].stats.phase_breakdown()
+        assert [row["phase"] for row in breakdown] == [
+            "base",
+            "private-heavy",
+            "shared-heavy",
+        ]
+        assert all(row["cpi"] > 0 for row in breakdown)

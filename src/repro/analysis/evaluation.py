@@ -21,7 +21,7 @@ from repro.cmp.config import SystemConfig
 from repro.sim.engine import DEFAULT_TRACE_LENGTH, SimulationResult, simulate_workload
 from repro.sim.runner import BatchRunner, ExperimentGrid, ResultStore
 from repro.workloads.generator import DEFAULT_SCALE
-from repro.workloads.spec import WORKLOADS, get_workload
+from repro.workloads.spec import WORKLOADS
 
 #: The paper's presentation order: private-averse workloads, then shared-averse.
 DEFAULT_WORKLOAD_ORDER = (
@@ -158,13 +158,14 @@ def simulate_rnuca_cluster(
 ) -> SimulationResult:
     """Run R-NUCA with a specific instruction-cluster size (Figure 11)."""
     from repro.core.rnuca import RNucaConfig  # local import to avoid a cycle
+    from repro.sim.engine import resolve_workload
 
-    spec = get_workload(workload)
+    spec, dyn = resolve_workload(workload)
     if config is None:
         config = SystemConfig.for_workload_category(spec.category).scaled(scale)
     cluster_size = min(cluster_size, config.num_tiles)
     result = simulate_workload(
-        spec,
+        dyn if dyn is not None else spec,
         "R",
         num_records=num_records,
         scale=scale,

@@ -44,6 +44,7 @@ from typing import Optional, Sequence
 from repro.analysis.reporting import format_table
 from repro.analysis.speedup import speedup_table
 from repro.designs import DESIGNS, normalize_design
+from repro.dynamics.scenarios import DYNAMIC_VARIANTS, dynamic_workload_names
 from repro.sim.bench import (
     DEFAULT_BENCH_OUTPUT,
     DEFAULT_BENCH_RECORDS,
@@ -53,7 +54,7 @@ from repro.sim.bench import (
     run_bench,
     write_bench,
 )
-from repro.sim.engine import DEFAULT_TRACE_LENGTH
+from repro.sim.engine import DEFAULT_TRACE_LENGTH, ENGINES, default_engine
 from repro.sim.runner import (
     DEFAULT_RESULTS_DIR,
     BatchRunner,
@@ -85,7 +86,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--workloads",
         type=_csv,
         default=list(WORKLOADS),
-        help="comma-separated workload names (default: all eight)",
+        help="comma-separated workload names (default: all eight); dynamic "
+        "scenarios use <workload>:<variant>, e.g. oltp-db2:migrate,mix:phased",
     )
     run.add_argument(
         "--designs",
@@ -219,10 +221,17 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.results_dir)
     try:
-        pairs = store.load_all()
+        pairs, skipped = store.load_all_with_errors()
     except OSError as error:
         print(f"Cannot read results under {store.directory}/: {error}")
         return 1
+    if skipped:
+        # Corrupt files are not silently dropped: name them so a damaged
+        # cache is visible in the report instead of shrinking it.
+        print(
+            f"WARNING: skipped {len(skipped)} corrupt/unreadable result "
+            f"file(s): {', '.join(path.name for path in skipped)}"
+        )
     if args.workloads:
         wanted = set(args.workloads)
         pairs = [(p, r) for p, r in pairs if p.workload in wanted]
@@ -242,6 +251,37 @@ def cmd_report(args: argparse.Namespace) -> int:
         for point, result in pairs
     ]
     print(format_table(rows, title=f"Stored results ({store.directory}/)"))
+    phase_rows = [
+        {
+            "point": point.label,
+            "phase": row["phase"],
+            "accesses": row["accesses"],
+            "cpi": row["cpi"],
+        }
+        for point, result in pairs
+        for row in result.stats.phase_breakdown()
+    ]
+    if phase_rows:
+        print()
+        print(format_table(phase_rows, title="Per-phase CPI (dynamic scenarios)"))
+    dynamic_rows = [
+        {
+            "point": point.label,
+            "migrations": result.stats.thread_migrations,
+            "reowns": result.stats.migration_reowns,
+            "reclassifications": result.stats.reclassifications,
+            "onsets": result.stats.sharing_onsets,
+        }
+        for point, result in pairs
+        if result.metadata.get("dynamic")
+    ]
+    if dynamic_rows:
+        print()
+        print(
+            format_table(
+                dynamic_rows, title="OS re-classification activity (dynamic scenarios)"
+            )
+        )
     speedups = speedup_table([result for _, result in pairs])
     if speedups:
         print()
@@ -297,7 +337,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 def cmd_list(_args: argparse.Namespace) -> int:
     print("Workloads: " + ", ".join(WORKLOADS))
+    print(
+        "Dynamic:   <workload>:<variant> with variants "
+        + ", ".join(sorted(DYNAMIC_VARIANTS))
+        + " (e.g. " + ", ".join(dynamic_workload_names(("oltp-db2",))) + ")"
+    )
     print("Designs:   " + ", ".join(f"{letter} ({cls.__name__})" for letter, cls in DESIGNS.items()))
+    print("Engines:   " + ", ".join(ENGINES) + f" (default: {default_engine()})")
+    print(
+        "Env knobs: RNUCA_JOBS (worker count), RNUCA_RESULTS_DIR (result cache), "
+        "RNUCA_EVAL_RECORDS (trace length for quick runs), "
+        "RNUCA_ENGINE (fast | reference replay engine)"
+    )
     return 0
 
 

@@ -36,6 +36,11 @@ class RNucaConfig:
     base_rid: int = 0
     #: TLB entries per core in the OS model.
     tlb_entries: int = 512
+    #: How long (in scheduler migration ticks) a thread migration keeps
+    #: counting as "recent" for the classifier's re-own decision; ``None``
+    #: means forever (the seed behaviour).  See
+    #: :attr:`repro.osmodel.scheduler.ThreadScheduler.migration_window`.
+    migration_window: int | None = None
 
     def __post_init__(self) -> None:
         size = self.instruction_cluster_size
@@ -43,6 +48,8 @@ class RNucaConfig:
             raise ConfigurationError(
                 "instruction cluster size must be a positive power of two"
             )
+        if self.migration_window is not None and self.migration_window < 0:
+            raise ConfigurationError("migration window cannot be negative")
 
 
 @dataclass
@@ -87,7 +94,9 @@ class RNucaPolicy:
             base_rid=self.config.base_rid,
         )
         self.classifier = PageClassifier(
-            config.num_tiles, tlb_entries=self.config.tlb_entries
+            config.num_tiles,
+            tlb_entries=self.config.tlb_entries,
+            migration_window=self.config.migration_window,
         )
         self._block_shift = config.block_size.bit_length() - 1
         self._page_shift = config.page_size.bit_length() - 1

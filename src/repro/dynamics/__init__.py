@@ -1,0 +1,56 @@
+"""Dynamic-behaviour subsystem: phased workloads, thread migration and
+online re-classification.
+
+``repro.dynamics`` models **time-varying execution**, the "reactive" half of
+Reactive NUCA (paper Sections 2.3/4.3) that static traces never exercise: a
+:class:`DynamicWorkloadSpec` describes a sequence of
+:class:`PhaseSpec` phases (per-phase access-mix overrides, durations in
+records) plus a deterministic, seeded :class:`MigrationSchedule` of
+thread-to-core moves and sharing-onset events (a private region going shared
+mid-run).  The :class:`DynamicTraceGenerator` turns one into the usual
+columnar :class:`~repro.workloads.trace.TraceColumns` with **load-bearing
+thread ids** plus a compact, sorted event stream
+(:class:`~repro.workloads.trace.TraceEvents`).  The fast replay engine
+consumes events at their record index — migrations update the
+:class:`~repro.osmodel.scheduler.ThreadScheduler` so R-NUCA's classifier
+re-owns a migrated thread's pages (or reclassifies genuinely shared ones),
+charging shootdown/re-classification latency into the CPI model — and
+per-phase CPI plus migration/re-classification counters land in
+:class:`~repro.sim.stats.SimulationStats`.  Named scenarios
+(``oltp-db2:migrate``, ``mix:phased``, ...) plug into the runner and CLI
+next to the static workloads; see :mod:`repro.dynamics.scenarios`.
+
+A dynamic spec with a single phase and an empty schedule replays
+bit-identically to the static fast path (pinned by
+``tests/test_engine_equivalence.py``), so dynamics is a strict extension,
+not a fork, of the static pipeline.
+"""
+
+from repro.dynamics.generator import DynamicTraceGenerator, generate_dynamic_trace
+from repro.dynamics.scenarios import (
+    DYNAMIC_VARIANTS,
+    dynamic_workload_names,
+    is_dynamic_workload,
+    resolve_dynamic,
+)
+from repro.dynamics.spec import (
+    DynamicWorkloadSpec,
+    MigrationEvent,
+    MigrationSchedule,
+    PhaseSpec,
+    SharingOnset,
+)
+
+__all__ = [
+    "PhaseSpec",
+    "MigrationEvent",
+    "SharingOnset",
+    "MigrationSchedule",
+    "DynamicWorkloadSpec",
+    "DynamicTraceGenerator",
+    "generate_dynamic_trace",
+    "DYNAMIC_VARIANTS",
+    "dynamic_workload_names",
+    "is_dynamic_workload",
+    "resolve_dynamic",
+]

@@ -1,0 +1,288 @@
+"""Phased, event-driven trace generation.
+
+:class:`DynamicTraceGenerator` drives the static
+:class:`~repro.workloads.generator.SyntheticTraceGenerator` machinery one
+*segment* at a time, where segments are delimited by phase boundaries and
+schedule events.  Within a segment it samples **threads** (not cores) and
+maps them onto cores through the current thread-to-core assignment, so a
+migrated thread's private working set follows it to the new core — which is
+exactly what lets R-NUCA's OS model tell migration apart from sharing.
+Per-core regions (private data, multiprogrammed instructions) are indexed
+by thread id for the same reason: the working set belongs to the software
+thread, not to whichever core happens to run it.
+
+The output trace carries explicit thread ids in the ``thread_id`` column
+(load-bearing, unlike the static generator's ``NO_THREAD`` sentinel) and a
+sorted :class:`~repro.workloads.trace.TraceEvents` stream with one entry
+per phase boundary, migration and sharing onset.
+
+For a :class:`~repro.dynamics.spec.DynamicWorkloadSpec` with a single
+phase, no mix overrides and an empty schedule, the RNG draw sequence is
+identical to the static generator's, so the generated columns match the
+static trace element for element (only the ``thread_id`` column differs:
+explicit ids instead of the sentinel, which the replay engines treat
+identically — see ``tests/test_properties.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cmp.config import SystemConfig
+from repro.dynamics.spec import DynamicWorkloadSpec
+from repro.errors import TraceError
+from repro.workloads.generator import DEFAULT_SCALE, SyntheticTraceGenerator
+from repro.workloads.trace import (
+    INSTRUCTION_CODE,
+    LOAD_CODE,
+    MIGRATION_EVENT,
+    PHASE_EVENT,
+    SHARING_ONSET_EVENT,
+    STORE_CODE,
+    Trace,
+    TraceColumns,
+    TraceEvents,
+)
+
+_PRIVATE_INDEX = 1  # index of "private" in the generator's class order
+_SHARED_RW_INDEX = 2  # index of "shared_rw" in the generator's class order
+
+
+@dataclass(frozen=True)
+class _ActiveOnset:
+    """A sharing onset in effect: redirect shared_rw draws into the region."""
+
+    blocks: np.ndarray
+    pages: np.ndarray  # unique page numbers the region spans
+    redirect_fraction: float
+
+
+class DynamicTraceGenerator:
+    """Generates deterministic phased/migrating traces for one scenario."""
+
+    def __init__(
+        self,
+        dspec: DynamicWorkloadSpec,
+        config: SystemConfig,
+        *,
+        seed: int = 0,
+        scale: float = DEFAULT_SCALE,
+    ) -> None:
+        self.dspec = dspec
+        self.config = config
+        self.seed = seed
+        self.scale = scale
+        self._static = SyntheticTraceGenerator(
+            dspec.base, config, seed=seed, scale=scale
+        )
+        self.num_cores = config.num_tiles
+        #: One software thread per core at launch; migrations unbalance it.
+        self.num_threads = config.num_tiles
+        for event in dspec.schedule.migrations:
+            if event.thread_id >= self.num_threads or event.to_core >= self.num_cores:
+                raise TraceError(
+                    f"schedule event {event} exceeds the {self.num_cores}-core machine"
+                )
+        for onset in dspec.schedule.sharing_onsets:
+            if onset.victim_thread >= self.num_threads:
+                raise TraceError(
+                    f"onset victim {onset.victim_thread} exceeds the machine's threads"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Segment planning
+    # ------------------------------------------------------------------ #
+    def _plan(self, num_records: int):
+        """Resolve phases and schedule events to absolute record indices.
+
+        Returns ``(phase_starts, actions)`` where ``actions`` maps a record
+        index to the list of (kind, payload) state changes taking effect
+        *before* that record.
+        """
+        dspec = self.dspec
+        phase_starts = dspec.phase_boundaries(num_records)
+        actions: dict[int, list[tuple[int, tuple]]] = {}
+
+        def add(index: int, kind: int, payload: tuple) -> None:
+            actions.setdefault(index, []).append((kind, payload))
+
+        for phase_index, start in enumerate(phase_starts):
+            if phase_index:  # phase 0 is implicit at record 0
+                add(start, PHASE_EVENT, (phase_index,))
+        for event in dspec.schedule.migrations:
+            index = min(num_records - 1, int(event.at * num_records))
+            add(index, MIGRATION_EVENT, (event.thread_id, event.to_core))
+        for onset in dspec.schedule.sharing_onsets:
+            index = min(num_records - 1, int(onset.at * num_records))
+            add(index, SHARING_ONSET_EVENT, (onset,))
+        return phase_starts, actions
+
+    def _onset_blocks(self, onset) -> np.ndarray:
+        """The victim thread's hottest private blocks, now shared."""
+        region = self._static._regions["private"]
+        count = max(1, int(onset.region_fraction * region.num_blocks))
+        if region.per_core:
+            return region.addresses[onset.victim_thread, :count]
+        return region.addresses[:count]
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+    def generate(self, num_records: int) -> Trace:
+        """Generate a dynamic trace with ``num_records`` L2 references."""
+        if num_records <= 0:
+            raise TraceError("num_records must be positive")
+        static = self._static
+        rng = static._rng
+        dspec = self.dspec
+        phase_starts, actions = self._plan(num_records)
+        boundaries = sorted({0, num_records, *actions})
+
+        mapping = np.arange(self.num_threads, dtype=np.int64) % self.num_cores
+        phase_index = 0
+        phase_probs = dspec.phases[0].class_probabilities(dspec.base)
+        active_onsets: list[_ActiveOnset] = []
+        event_rows: list[tuple[int, int, int, int]] = []
+        onset_pages: set[int] = set()
+        page_shift = self.config.page_size.bit_length() - 1
+
+        class_names = static._class_names
+        geometric_p = 1.0 / dspec.base.instructions_per_l2_access
+
+        thread_parts: list[np.ndarray] = []
+        core_parts: list[np.ndarray] = []
+        class_parts: list[np.ndarray] = []
+        instr_parts: list[np.ndarray] = []
+        address_parts: list[np.ndarray] = []
+        store_parts: list[np.ndarray] = []
+
+        for start, stop in zip(boundaries[:-1], boundaries[1:]):
+            for kind, payload in actions.get(start, ()):
+                if kind == PHASE_EVENT:
+                    phase_index = payload[0]
+                    phase_probs = dspec.phases[phase_index].class_probabilities(
+                        dspec.base
+                    )
+                    event_rows.append((start, PHASE_EVENT, phase_index, 0))
+                elif kind == MIGRATION_EVENT:
+                    thread_id, to_core = payload
+                    mapping[thread_id] = to_core
+                    event_rows.append((start, MIGRATION_EVENT, thread_id, to_core))
+                else:  # SHARING_ONSET_EVENT
+                    (onset,) = payload
+                    blocks = self._onset_blocks(onset)
+                    pages = np.unique(blocks >> page_shift)
+                    active_onsets.append(
+                        _ActiveOnset(
+                            blocks=blocks,
+                            pages=pages,
+                            redirect_fraction=onset.redirect_fraction,
+                        )
+                    )
+                    onset_pages.update(pages.tolist())
+                    event_rows.append(
+                        (start, SHARING_ONSET_EVENT, onset.victim_thread, len(blocks))
+                    )
+
+            seg_len = stop - start
+            threads = rng.integers(0, self.num_threads, size=seg_len)
+            class_ids = rng.choice(len(class_names), size=seg_len, p=phase_probs)
+            instructions = rng.geometric(geometric_p, size=seg_len)
+            store_draw = rng.random(seg_len)
+
+            addresses = np.zeros(seg_len, dtype=np.int64)
+            is_store = np.zeros(seg_len, dtype=bool)
+            # Same structure (and therefore the same RNG stream) as the
+            # static generator's per-class loop, with threads standing in
+            # for cores when indexing per-core regions.
+            for class_index, class_name in enumerate(class_names):
+                mask = class_ids == class_index
+                if not mask.any():
+                    continue
+                addr, _ = static._addresses_for_class(class_name, threads[mask])
+                addresses[mask] = addr
+                region = static._regions[class_name]
+                if region.store_probability > 0:
+                    is_store[mask] = store_draw[mask] < region.store_probability
+            # Sharing onsets: redirect a slice of shared_rw references into
+            # the formerly-private region, from every thread.
+            for onset in active_onsets:
+                redirect = (class_ids == _SHARED_RW_INDEX) & (
+                    rng.random(seg_len) < onset.redirect_fraction
+                )
+                n_redirect = int(redirect.sum())
+                if n_redirect:
+                    addresses[redirect] = rng.choice(onset.blocks, size=n_redirect)
+            # The victim's own draws onto an active onset region's pages are
+            # now genuinely shared (classification is page-granular, so the
+            # whole page reclassifies): fix the ground-truth label so the
+            # classifier's correct SHARED answer is not counted as a
+            # misclassification by the accuracy experiment.
+            for onset in active_onsets:
+                stale = (class_ids == _PRIVATE_INDEX) & np.isin(
+                    addresses >> page_shift, onset.pages
+                )
+                if stale.any():
+                    class_ids[stale] = _SHARED_RW_INDEX
+
+            thread_parts.append(threads.astype(np.int64))
+            core_parts.append(mapping[threads.astype(np.int64)])
+            class_parts.append(class_ids.astype(np.int16))
+            instr_parts.append(instructions.astype(np.int64))
+            address_parts.append(addresses)
+            store_parts.append(is_store)
+
+        class_ids = np.concatenate(class_parts)
+        is_store = np.concatenate(store_parts)
+        access_codes = np.where(
+            class_ids == class_names.index("instruction"),
+            INSTRUCTION_CODE,
+            np.where(is_store, STORE_CODE, LOAD_CODE),
+        ).astype(np.int8)
+        columns = TraceColumns(
+            core=np.concatenate(core_parts),
+            access_type=access_codes,
+            address=np.concatenate(address_parts),
+            instructions=np.concatenate(instr_parts),
+            thread_id=np.concatenate(thread_parts),
+            # Class ids index class_names; the table is None-first, so the
+            # ground-truth code is simply the class id shifted by one.
+            true_class=(class_ids + 1).astype(np.int16),
+            class_table=(None, *class_names),
+        )
+        return Trace.from_columns(
+            columns,
+            workload=dspec.name,
+            num_cores=self.num_cores,
+            events=TraceEvents.from_rows(event_rows),
+            metadata={
+                "seed": self.seed,
+                "scale": self.scale,
+                "category": dspec.category,
+                "working_set_blocks": static.working_set_blocks,
+                "dynamic": True,
+                "phases": [phase.name for phase in dspec.phases],
+                "phase_starts": phase_starts,
+                "migrations": len(dspec.schedule.migrations),
+                "sharing_onsets": len(dspec.schedule.sharing_onsets),
+                # Pages whose sharing begins only at an onset event; warm
+                # priming must leave them private so the OS discovers the
+                # transition during replay (see engine.warm_page_tables).
+                "onset_pages": sorted(onset_pages),
+            },
+        )
+
+
+def generate_dynamic_trace(
+    dspec: DynamicWorkloadSpec,
+    config: SystemConfig,
+    num_records: int,
+    *,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+) -> Trace:
+    """One-call convenience wrapper around :class:`DynamicTraceGenerator`."""
+    generator = DynamicTraceGenerator(dspec, config, seed=seed, scale=scale)
+    return generator.generate(num_records)

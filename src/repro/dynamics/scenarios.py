@@ -1,0 +1,133 @@
+"""Named dynamic scenarios: ``<workload>:<variant>``.
+
+Every static workload in the catalogue composes with every variant, so
+``oltp-db2:migrate``, ``mix:phased`` and ``apache:onset`` are all valid
+scenario names for ``repro run``/``repro list`` and
+:func:`repro.sim.engine.simulate_workload`.
+
+Variants
+--------
+
+``migrate``
+    The full reactive scenario: four seeded thread migrations plus one
+    sharing onset in measured time.  Exercises both OS reactions —
+    migration re-owning (a private page follows its thread) and
+    private->shared re-classification (a formerly private region gains
+    sharers).
+
+``phased``
+    Three phases sweeping the access mix from the base workload toward
+    private-heavy and then shared-heavy behaviour; no schedule events.
+    Exercises per-phase CPI accounting under time-varying demand.
+
+``onset``
+    A single sharing onset and nothing else: the cleanest probe of
+    re-classification cost in isolation.
+"""
+
+from __future__ import annotations
+
+from repro.cmp.config import SystemConfig
+from repro.dynamics.spec import (
+    DynamicWorkloadSpec,
+    MigrationSchedule,
+    PhaseSpec,
+    SharingOnset,
+)
+from repro.errors import ConfigurationError
+from repro.workloads.spec import WorkloadSpec, get_workload
+
+#: Separator between the base workload and the variant in scenario names.
+SCENARIO_SEPARATOR = ":"
+
+
+def _machine_cores(base: WorkloadSpec) -> int:
+    return SystemConfig.for_workload_category(base.category).num_tiles
+
+
+def _migrate(name: str, base: WorkloadSpec) -> DynamicWorkloadSpec:
+    cores = _machine_cores(base)
+    return DynamicWorkloadSpec(
+        name=name,
+        base=base,
+        phases=(PhaseSpec(name="steady", duration=60_000),),
+        schedule=MigrationSchedule.seeded(cores, cores, migrations=4, onsets=1, seed=11),
+    )
+
+
+def _phased(name: str, base: WorkloadSpec) -> DynamicWorkloadSpec:
+    fractions = base.class_fractions
+    # Shift a third of the shared traffic into private data and vice versa;
+    # the overrides are renormalised per phase, so any base mix works.
+    shift = min(fractions["shared_rw"], fractions["private"]) / 3 + 0.02
+    return DynamicWorkloadSpec(
+        name=name,
+        base=base,
+        phases=(
+            PhaseSpec(name="base", duration=20_000),
+            PhaseSpec(
+                name="private-heavy",
+                duration=20_000,
+                mix={
+                    "private": fractions["private"] + shift,
+                    "shared_rw": max(0.0, fractions["shared_rw"] - shift),
+                },
+            ),
+            PhaseSpec(
+                name="shared-heavy",
+                duration=20_000,
+                mix={
+                    "private": max(0.0, fractions["private"] - shift),
+                    "shared_rw": fractions["shared_rw"] + shift,
+                },
+            ),
+        ),
+    )
+
+
+def _onset(name: str, base: WorkloadSpec) -> DynamicWorkloadSpec:
+    return DynamicWorkloadSpec(
+        name=name,
+        base=base,
+        phases=(PhaseSpec(name="steady", duration=60_000),),
+        schedule=MigrationSchedule(
+            sharing_onsets=(SharingOnset(at=0.45, victim_thread=0),)
+        ),
+    )
+
+
+#: Variant name -> builder(scenario_name, base_spec).
+DYNAMIC_VARIANTS = {
+    "migrate": _migrate,
+    "phased": _phased,
+    "onset": _onset,
+}
+
+
+def is_dynamic_workload(name: str) -> bool:
+    """Whether ``name`` looks like a ``<workload>:<variant>`` scenario."""
+    return SCENARIO_SEPARATOR in name
+
+
+def resolve_dynamic(name: str) -> DynamicWorkloadSpec:
+    """Resolve a ``<workload>:<variant>`` scenario name to its spec."""
+    base_name, _, variant = name.partition(SCENARIO_SEPARATOR)
+    builder = DYNAMIC_VARIANTS.get(variant)
+    if builder is None:
+        known = ", ".join(sorted(DYNAMIC_VARIANTS))
+        raise ConfigurationError(
+            f"unknown dynamic variant {variant!r} in {name!r}; known variants: {known}"
+        )
+    return builder(name, get_workload(base_name))
+
+
+def dynamic_workload_names(bases: tuple[str, ...] = ()) -> list[str]:
+    """Scenario names for the given base workloads (all eight by default)."""
+    from repro.workloads.spec import WORKLOADS
+
+    names = bases or tuple(WORKLOADS)
+    return [
+        f"{base}{SCENARIO_SEPARATOR}{variant}"
+        for base in names
+        for variant in sorted(DYNAMIC_VARIANTS)
+    ]

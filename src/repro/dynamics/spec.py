@@ -1,0 +1,233 @@
+"""Specifications for time-varying workloads.
+
+A :class:`DynamicWorkloadSpec` wraps a static
+:class:`~repro.workloads.spec.WorkloadSpec` with two time axes:
+
+* a sequence of :class:`PhaseSpec` phases, each with a duration (in
+  records, used as proportional weights when the requested trace length
+  differs from the nominal total) and optional access-mix overrides; and
+* a :class:`MigrationSchedule` of thread-to-core moves and sharing-onset
+  events, positioned as fractions of the trace so one spec scales to any
+  trace length.
+
+Schedules are plain data: :meth:`MigrationSchedule.seeded` derives a
+deterministic schedule from a seed, so two runs of the same scenario (or
+the same scenario on two machines) generate identical traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.spec import WorkloadSpec
+
+#: Access-class keys a phase may override.
+MIX_CLASSES = ("instruction", "private", "shared_rw", "shared_ro")
+
+#: Fraction of shared_rw references redirected into an onset region once a
+#: sharing onset is active (the "new sharers" of the formerly private data).
+DEFAULT_ONSET_REDIRECT = 0.35
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase of a dynamic workload.
+
+    ``duration`` is the nominal phase length in records; phases are scaled
+    proportionally when a trace of a different total length is requested.
+    ``mix`` optionally overrides a subset of the base workload's access-class
+    fractions (the four :data:`MIX_CLASSES` keys); the resulting mix is
+    renormalised to sum to one.
+    """
+
+    name: str
+    duration: int
+    mix: dict[str, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigurationError(f"phase {self.name!r} duration must be positive")
+        if self.mix is not None:
+            unknown = set(self.mix) - set(MIX_CLASSES)
+            if unknown:
+                raise ConfigurationError(
+                    f"phase {self.name!r} overrides unknown classes: {sorted(unknown)}"
+                )
+            for key, fraction in self.mix.items():
+                if not 0.0 <= fraction <= 1.0:
+                    raise ConfigurationError(
+                        f"phase {self.name!r} fraction for {key} must be within [0, 1]"
+                    )
+
+    def class_probabilities(self, base: WorkloadSpec) -> np.ndarray:
+        """The phase's class mix: base fractions + overrides, renormalised."""
+        fractions = dict(base.class_fractions)
+        if self.mix:
+            fractions.update(self.mix)
+        probs = np.array([fractions[name] for name in MIX_CLASSES], dtype=np.float64)
+        total = probs.sum()
+        if total <= 0:
+            raise ConfigurationError(f"phase {self.name!r} mix sums to zero")
+        return probs / total
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One scheduled thread-to-core move.
+
+    ``at`` positions the event as a fraction of the trace length, so the
+    same schedule works for a 4k smoke trace and a 60k evaluation trace.
+    """
+
+    at: float
+    thread_id: int
+    to_core: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.at < 1.0:
+            raise ConfigurationError("migration position must be within [0, 1)")
+        if self.thread_id < 0:
+            raise ConfigurationError("thread id cannot be negative")
+        if self.to_core < 0:
+            raise ConfigurationError("destination core cannot be negative")
+
+
+@dataclass(frozen=True)
+class SharingOnset:
+    """A private region going shared mid-run.
+
+    From ``at`` onward, ``region_fraction`` of the victim thread's private
+    working set (its hottest blocks) is also touched by the other threads:
+    ``redirect_fraction`` of every thread's shared_rw references are
+    redirected into that region.  The OS discovers the new sharing through
+    ordinary TLB misses and reclassifies the pages private->shared.
+    """
+
+    at: float
+    victim_thread: int
+    region_fraction: float = 0.5
+    redirect_fraction: float = DEFAULT_ONSET_REDIRECT
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.at < 1.0:
+            raise ConfigurationError("onset position must be within [0, 1)")
+        if self.victim_thread < 0:
+            raise ConfigurationError("victim thread cannot be negative")
+        if not 0.0 < self.region_fraction <= 1.0:
+            raise ConfigurationError("region fraction must be within (0, 1]")
+        if not 0.0 < self.redirect_fraction <= 1.0:
+            raise ConfigurationError("redirect fraction must be within (0, 1]")
+
+
+@dataclass(frozen=True)
+class MigrationSchedule:
+    """A deterministic set of migrations and sharing onsets."""
+
+    migrations: tuple[MigrationEvent, ...] = ()
+    sharing_onsets: tuple[SharingOnset, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "migrations", tuple(self.migrations))
+        object.__setattr__(self, "sharing_onsets", tuple(self.sharing_onsets))
+
+    def __len__(self) -> int:
+        return len(self.migrations) + len(self.sharing_onsets)
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    @classmethod
+    def seeded(
+        cls,
+        num_threads: int,
+        num_cores: int,
+        *,
+        migrations: int = 4,
+        onsets: int = 1,
+        seed: int = 0,
+        start: float = 0.35,
+        stop: float = 0.9,
+    ) -> "MigrationSchedule":
+        """Derive a deterministic schedule from a seed.
+
+        Migration times are sorted uniform draws in ``[start, stop)``;
+        each moves a random thread to a random core other than the one it
+        currently occupies (the thread-to-core mapping is tracked while
+        drawing, so every move is a genuine move).  ``start`` defaults past
+        the engine's warm-up window so the events land in measured time.
+        """
+        if num_threads <= 0 or num_cores <= 1:
+            raise ConfigurationError("seeded schedules need >1 core and >=1 thread")
+        if not 0.0 <= start < stop <= 1.0:
+            raise ConfigurationError("schedule window must satisfy 0 <= start < stop <= 1")
+        rng = np.random.default_rng(seed)
+        mapping = {thread: thread % num_cores for thread in range(num_threads)}
+        moves = []
+        for at in sorted(rng.uniform(start, stop, size=migrations).tolist()):
+            thread = int(rng.integers(0, num_threads))
+            current = mapping[thread]
+            to_core = int(rng.integers(0, num_cores - 1))
+            if to_core >= current:
+                to_core += 1
+            mapping[thread] = to_core
+            moves.append(MigrationEvent(at=at, thread_id=thread, to_core=to_core))
+        onset_events = tuple(
+            SharingOnset(at=float(at), victim_thread=int(rng.integers(0, num_threads)))
+            for at in sorted(rng.uniform(start, stop, size=onsets).tolist())
+        )
+        return cls(migrations=tuple(moves), sharing_onsets=onset_events)
+
+
+@dataclass(frozen=True)
+class DynamicWorkloadSpec:
+    """A static workload spec extended with phases and a schedule."""
+
+    name: str
+    base: WorkloadSpec
+    phases: tuple[PhaseSpec, ...] = ()
+    schedule: MigrationSchedule = field(default_factory=MigrationSchedule)
+
+    def __post_init__(self) -> None:
+        phases = tuple(self.phases) or (
+            PhaseSpec(name=self.base.name, duration=60_000),
+        )
+        object.__setattr__(self, "phases", phases)
+        names = [phase.name for phase in phases]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate phase names in {self.name!r}: {names}")
+
+    @property
+    def category(self) -> str:
+        return self.base.category
+
+    @property
+    def total_duration(self) -> int:
+        return sum(phase.duration for phase in self.phases)
+
+    @property
+    def is_static_equivalent(self) -> bool:
+        """True when replay must match the static path bit for bit."""
+        return (
+            len(self.phases) == 1
+            and self.phases[0].mix is None
+            and self.schedule.is_empty
+        )
+
+    def phase_boundaries(self, num_records: int) -> list[int]:
+        """Start index of each phase for a trace of ``num_records`` records.
+
+        Durations act as proportional weights; every phase is guaranteed at
+        least one record when the trace is long enough to allow it.
+        """
+        if num_records <= 0:
+            raise ConfigurationError("num_records must be positive")
+        total = self.total_duration
+        starts = [0]
+        for phase in self.phases[:-1]:
+            step = max(1, round(num_records * phase.duration / total))
+            starts.append(min(num_records - 1, starts[-1] + step))
+        return starts

@@ -73,13 +73,16 @@ class PageClassifier:
         tlb_entries: int = 512,
         trap_latency: int = DEFAULT_TRAP_LATENCY,
         reclassify_latency: int = DEFAULT_RECLASSIFY_LATENCY,
+        migration_window: Optional[int] = None,
     ) -> None:
         if num_cores <= 0:
             raise ClassificationError("classifier needs at least one core")
         self.num_cores = num_cores
         self.page_table = page_table if page_table is not None else PageTable()
         self.scheduler = (
-            scheduler if scheduler is not None else ThreadScheduler(num_cores)
+            scheduler
+            if scheduler is not None
+            else ThreadScheduler(num_cores, migration_window=migration_window)
         )
         self.tlbs = [Tlb(core, entries=tlb_entries) for core in range(num_cores)]
         self.trap_latency = trap_latency
@@ -193,7 +196,12 @@ class PageClassifier:
         # Private page.
         if entry.owner_cid == core_id:
             return self._fill(core_id, entry, ClassificationEvent.TLB_FILL)
-        if thread_id is not None and self.scheduler.recently_migrated(thread_id):
+        # Re-own only when the accessing thread migrated *away from the
+        # page's owner core* — a thread that migrated between unrelated
+        # cores and then touches the page is a genuine new sharer.
+        if thread_id is not None and self.scheduler.migrated_from(
+            thread_id, entry.owner_cid
+        ):
             return self._migration_reown(core_id, entry, shootdown)
         return self._reclassify_to_shared(core_id, entry, shootdown)
 

@@ -25,9 +25,17 @@ class MigrationRecord:
 
 @dataclass
 class ThreadScheduler:
-    """Tracks which core each thread runs on."""
+    """Tracks which core each thread runs on.
+
+    ``migration_window`` bounds how long a migration keeps counting as
+    *recent* for :meth:`recently_migrated`, measured in scheduler clock
+    ticks (the clock advances once per migration).  ``None`` — the
+    default, and the seed behaviour — means a migrated thread is treated
+    as recently migrated forever.
+    """
 
     num_cores: int
+    migration_window: int | None = None
     _thread_to_core: dict[int, int] = field(default_factory=dict)
     migrations: list[MigrationRecord] = field(default_factory=list)
     _clock: int = 0
@@ -35,6 +43,8 @@ class ThreadScheduler:
     def __post_init__(self) -> None:
         if self.num_cores <= 0:
             raise ConfigurationError("scheduler needs at least one core")
+        if self.migration_window is not None and self.migration_window < 0:
+            raise ConfigurationError("migration_window cannot be negative")
 
     def schedule(self, thread_id: int, core_id: int) -> None:
         """Pin (or initially place) a thread on a core."""
@@ -61,13 +71,40 @@ class ThreadScheduler:
         return record
 
     def recently_migrated(self, thread_id: int) -> bool:
-        """Whether the thread's most recent event was a migration.
+        """Whether the thread migrated within the migration window.
 
         The page classifier uses this to decide that a CID mismatch on a
-        private page is due to thread migration rather than sharing.
+        private page is due to thread migration rather than sharing.  With
+        the default ``migration_window=None`` any past migration counts;
+        with a window of ``w``, a migration only counts while at most ``w``
+        further migrations have happened since (the scheduler clock advances
+        once per migration, so ``w=0`` means "the very last migration").
         """
+        window = self.migration_window
         for record in reversed(self.migrations):
+            if window is not None and self._clock - record.time > window:
+                return False
             if record.thread_id == thread_id:
+                return True
+        return False
+
+    def migrated_from(self, thread_id: int, from_core: int | None) -> bool:
+        """Whether the thread migrated away from ``from_core`` in the window.
+
+        This is the page classifier's re-own test: a CID mismatch on a
+        private page is attributable to migration only when the accessing
+        thread's (windowed) migration history includes a move *away from
+        the page's owner core* — a thread that migrated between two
+        unrelated cores and then touches the page is a genuine new sharer,
+        not the owner following itself.
+        """
+        if from_core is None:
+            return False
+        window = self.migration_window
+        for record in reversed(self.migrations):
+            if window is not None and self._clock - record.time > window:
+                return False
+            if record.thread_id == thread_id and record.from_core == from_core:
                 return True
         return False
 

@@ -39,6 +39,9 @@ from repro.cmp.chip import TiledChip
 from repro.cmp.config import SystemConfig
 from repro.designs import build_design
 from repro.designs.base import AccessOutcome, CacheDesign, L2Access
+from repro.dynamics.generator import DynamicTraceGenerator
+from repro.dynamics.scenarios import is_dynamic_workload, resolve_dynamic
+from repro.dynamics.spec import DynamicWorkloadSpec
 from repro.errors import SimulationError
 from repro.sim.latency import CpiModel
 from repro.sim.sampling import ConfidenceInterval, sample_mean, split_into_samples
@@ -46,7 +49,14 @@ from repro.sim.seed_path import seed_access, to_seed_access
 from repro.sim.stats import SampleAccumulator, SimulationStats
 from repro.workloads.generator import DEFAULT_SCALE, SyntheticTraceGenerator
 from repro.workloads.spec import WorkloadSpec, get_workload
-from repro.workloads.trace import INSTRUCTION_CODE, STORE_CODE, Trace
+from repro.workloads.trace import (
+    INSTRUCTION_CODE,
+    MIGRATION_EVENT,
+    NO_THREAD,
+    PHASE_EVENT,
+    STORE_CODE,
+    Trace,
+)
 
 #: Default number of L2 references simulated per (workload, design) run.
 DEFAULT_TRACE_LENGTH = 60_000
@@ -82,7 +92,9 @@ def warm_page_tables(design: CacheDesign, trace: Trace) -> int:
     classified shared when measurement begins.  Without this, a short trace
     charges R-NUCA one private->shared re-classification per shared page
     right inside the measurement window, which is a cold-start artefact
-    rather than steady-state behaviour.
+    rather than steady-state behaviour.  (Dynamic traces use
+    :func:`warm_page_tables_dynamic` instead, which derives sharing from
+    thread identity so schedule-created sharing stays undiscovered.)
 
     Only designs exposing an R-NUCA ``policy`` attribute are affected.
     Returns the number of pages primed.  The per-page classification is
@@ -113,6 +125,57 @@ def warm_page_tables(design: CacheDesign, trace: Trace) -> int:
                 entry.mark_shared()
             else:
                 entry.mark_private(owner)
+    instruction_only = np.setdiff1d(
+        np.unique(pages[is_instruction]), data_pages, assume_unique=True
+    )
+    for page in instruction_only.tolist():
+        page_table.get_or_create(page).mark_instruction()
+    return int(data_pages.size) + int(instruction_only.size)
+
+
+def warm_page_tables_dynamic(design: CacheDesign, trace: Trace) -> int:
+    """Prime the OS page table for a dynamic (event-carrying) trace.
+
+    The static rule (a page touched by two *cores* anywhere in the trace is
+    shared) would classify the dynamics away before replay begins: a
+    migrated thread touches its private pages from two cores, and an onset
+    region is touched by many cores once sharing starts, so both would be
+    primed shared and the engine would never observe a migration re-own or
+    a private->shared re-classification.  Instead, sharing is derived from
+    **thread identity**: a page touched by more than one thread is
+    steady-state shared (schedule events never create new thread-sharing
+    except at onset regions, which the generator names in
+    ``trace.metadata["onset_pages"]`` and which stay private to their first
+    toucher); a single-thread page is primed private to the first core (in
+    record order) that touches it, so a later migration re-owns it exactly
+    when the thread's accesses start arriving from the new core.
+    """
+    policy = getattr(design, "policy", None)
+    if policy is None:
+        return 0
+    cols = trace.columns
+    pages = trace.page_number_array(design.config.page_size)
+    threads = np.where(cols.thread_id == NO_THREAD, cols.core, cols.thread_id)
+    is_instruction = cols.access_type == INSTRUCTION_CODE
+    data_mask = ~is_instruction
+    onset_pages = set(trace.metadata.get("onset_pages", ()))
+    page_table = policy.classifier.page_table
+    data_pages = np.empty(0, dtype=np.int64)
+    if data_mask.any():
+        d_pages = pages[data_mask]
+        d_cores = cols.core[data_mask]
+        pairs = np.unique(np.stack((d_pages, threads[data_mask])), axis=1)
+        data_pages, thread_counts = np.unique(pairs[0], return_counts=True)
+        first_pages, first_index = np.unique(d_pages, return_index=True)
+        owner_by_page = dict(
+            zip(first_pages.tolist(), d_cores[first_index].tolist())
+        )
+        for page, count in zip(data_pages.tolist(), thread_counts.tolist()):
+            entry = page_table.get_or_create(page)
+            if count > 1 and page not in onset_pages:
+                entry.mark_shared()
+            else:
+                entry.mark_private(owner_by_page[page])
     instruction_only = np.setdiff1d(
         np.unique(pages[is_instruction]), data_pages, assume_unique=True
     )
@@ -218,13 +281,27 @@ class TraceSimulator:
             raise SimulationError(f"unknown replay engine {mode!r}")
         if len(trace) == 0:
             raise SimulationError("cannot simulate an empty trace")
+        if trace.is_dynamic and mode != "fast":
+            raise SimulationError(
+                "dynamic traces (with events) require the fast engine; "
+                "the reference path predates the dynamics subsystem"
+            )
         warmup_count = int(len(trace) * self.warmup_fraction)
         if warmup_count >= len(trace):
             raise SimulationError("warm-up consumed the entire trace")
 
         # Warm-up phase: prime OS page tables, then replay without measuring.
+        # Dynamic traces prime by thread identity so that sharing created by
+        # schedule events is discovered by the OS during replay instead of
+        # being classified away beforehand.
         if self.warm_os_state:
-            warm_page_tables(self.design, trace)
+            if trace.is_dynamic:
+                warm_page_tables_dynamic(self.design, trace)
+            else:
+                warm_page_tables(self.design, trace)
+        classifier = getattr(getattr(self.design, "policy", None), "classifier", None)
+        reowns_before = classifier.migration_reowns if classifier else 0
+        reclass_before = classifier.reclassifications if classifier else 0
         # Pause cyclic GC for the replay (both engines): the simulation
         # objects are acyclic, so collections only add latency spikes.
         gc_was_enabled = gc.isenabled()
@@ -239,12 +316,21 @@ class TraceSimulator:
             if gc_was_enabled:
                 gc.enable()
 
+        if classifier is not None:
+            # OS re-classification activity observed over the whole replay
+            # (both engines drive the same classifier state machine).
+            total.migration_reowns = classifier.migration_reowns - reowns_before
+            total.reclassifications = classifier.reclassifications - reclass_before
+
         confidence = sample_mean(sample_cpis) if sample_cpis else None
         metadata = {
             "trace_length": len(trace),
             "warmup_records": warmup_count,
             "offchip_rate": self.design.offchip_rate,
         }
+        if trace.is_dynamic:
+            metadata["dynamic"] = True
+            metadata["events"] = len(trace.events)
         if hasattr(self.design, "misclassification_rate"):
             metadata["misclassification_rate"] = self.design.misclassification_rate
         if hasattr(self.design, "allocation_probability"):
@@ -446,6 +532,11 @@ class TraceSimulator:
             acc.coherence_cycles = coherence_cyc
             acc.l1_to_l1_cycles = l1_to_l1_cyc
 
+        if trace.is_dynamic:
+            return self._replay_fast_dynamic(
+                trace, warmup_count, replay_warmup, replay_measured, stall_factors
+            )
+
         replay_warmup(0, warmup_count)
 
         total = SimulationStats()
@@ -460,6 +551,93 @@ class TraceSimulator:
             if sample_stats.instructions:
                 sample_cpis.append(sample_stats.cpi)
             total.merge(sample_stats)
+        return total, sample_cpis
+
+    def _replay_fast_dynamic(
+        self, trace: Trace, warmup_count: int, replay_warmup, replay_measured,
+        stall_factors,
+    ) -> tuple[SimulationStats, list[float]]:
+        """Fast replay of a trace with events (``repro.dynamics``).
+
+        Reuses the static fast path's replay closures but splits every span
+        at event boundaries: an event at record index ``i`` is applied
+        before record ``i`` replays.  Migrations update the design's
+        :class:`~repro.osmodel.scheduler.ThreadScheduler` (R-NUCA's OS
+        model; the other designs have no OS state to update), so the
+        classifier's next TLB miss on an affected page re-owns or
+        reclassifies it through the ordinary Section-4.3 state machine.
+        Measured segments are accumulated per (sample window x phase), so
+        per-phase CPI lands in :attr:`SimulationStats.phases`.
+        """
+        design = self.design
+        events = trace.events.rows()
+        n_events = len(events)
+        phase_names = list(trace.metadata.get("phases") or ())
+        policy = getattr(design, "policy", None)
+        scheduler = policy.classifier.scheduler if policy is not None else None
+
+        state = {"phase": 0, "migrations": 0, "onsets": 0, "next": 0}
+
+        def apply_event(kind: int, arg0: int, arg1: int) -> None:
+            if kind == MIGRATION_EVENT:
+                state["migrations"] += 1
+                if scheduler is not None:
+                    scheduler.migrate(arg0, arg1)
+            elif kind == PHASE_EVENT:
+                state["phase"] = arg0
+            else:  # SHARING_ONSET_EVENT: generation-side; count it only.
+                state["onsets"] += 1
+
+        def phase_label() -> str:
+            index = state["phase"]
+            return phase_names[index] if index < len(phase_names) else f"phase{index}"
+
+        def replay_span(start: int, stop: int, window, phase_stats) -> None:
+            """Replay [start, stop), applying events at their indices.
+
+            ``window`` is None for warm-up spans; for measured spans each
+            event-free segment gets its own accumulator whose stats are
+            merged into ``window`` and folded into the current phase of
+            ``phase_stats`` (the run total).
+            """
+            pos = start
+            while pos < stop:
+                index = state["next"]
+                if index < n_events and events[index][0] < stop:
+                    boundary = max(pos, events[index][0])
+                else:
+                    boundary = stop
+                if boundary > pos:
+                    if window is None:
+                        replay_warmup(pos, boundary)
+                    else:
+                        accumulator = SampleAccumulator(stall_factors)
+                        replay_measured(pos, boundary, accumulator)
+                        segment = accumulator.to_stats()
+                        phase_stats.fold_phase(phase_label(), segment)
+                        window.merge(segment)
+                    pos = boundary
+                while state["next"] < n_events and events[state["next"]][0] <= pos:
+                    _, kind, arg0, arg1 = events[state["next"]]
+                    apply_event(kind, arg0, arg1)
+                    state["next"] += 1
+
+        replay_span(0, warmup_count, None, None)
+
+        total = SimulationStats()
+        sample_cpis: list[float] = []
+        measured = len(trace) - warmup_count
+        for window in split_into_samples(measured, self.num_samples):
+            window_stats = SimulationStats()
+            replay_span(
+                warmup_count + window.start, warmup_count + window.stop,
+                window_stats, total,
+            )
+            if window_stats.instructions:
+                sample_cpis.append(window_stats.cpi)
+            total.merge(window_stats)
+        total.thread_migrations = state["migrations"]
+        total.sharing_onsets = state["onsets"]
         return total, sample_cpis
 
     # ------------------------------------------------------------------ #
@@ -495,8 +673,44 @@ class TraceSimulator:
         return total, sample_cpis
 
 
+def resolve_workload(workload) -> tuple[WorkloadSpec, Optional["DynamicWorkloadSpec"]]:
+    """Resolve a workload argument to ``(base spec, dynamic spec or None)``.
+
+    Accepts a static :class:`WorkloadSpec`, a
+    :class:`~repro.dynamics.spec.DynamicWorkloadSpec`, a static workload
+    name ("oltp-db2") or a dynamic scenario name ("oltp-db2:migrate").
+    """
+    if isinstance(workload, DynamicWorkloadSpec):
+        return workload.base, workload
+    if isinstance(workload, WorkloadSpec):
+        return workload, None
+    if is_dynamic_workload(workload):
+        dyn = resolve_dynamic(workload)
+        return dyn.base, dyn
+    return get_workload(workload), None
+
+
 def _resolve_spec(workload: str | WorkloadSpec) -> WorkloadSpec:
-    return workload if isinstance(workload, WorkloadSpec) else get_workload(workload)
+    return resolve_workload(workload)[0]
+
+
+def generate_workload_trace(
+    spec: WorkloadSpec,
+    dyn: Optional[DynamicWorkloadSpec],
+    config: SystemConfig,
+    num_records: int,
+    *,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+) -> Trace:
+    """Build the trace for a resolved workload (dynamic when ``dyn`` is set)."""
+    if dyn is not None:
+        return DynamicTraceGenerator(dyn, config, seed=seed, scale=scale).generate(
+            num_records
+        )
+    return SyntheticTraceGenerator(spec, config, seed=seed, scale=scale).generate(
+        num_records
+    )
 
 
 def simulate_workload(
@@ -518,13 +732,18 @@ def simulate_workload(
     ("private", "asr", "shared", "rnuca", "ideal").  The system configuration
     defaults to the paper's machine for the workload's category, scaled by
     ``scale`` (the same factor applied to the synthetic working sets).
+    ``workload`` may also name a dynamic scenario ("oltp-db2:migrate") or be
+    a :class:`~repro.dynamics.spec.DynamicWorkloadSpec`; the trace then
+    comes from the :class:`~repro.dynamics.generator.DynamicTraceGenerator`
+    and replays through the event-aware fast engine.
     """
-    spec = _resolve_spec(workload)
+    spec, dyn = resolve_workload(workload)
     if config is None:
         config = SystemConfig.for_workload_category(spec.category).scaled(scale)
     if trace is None:
-        generator = SyntheticTraceGenerator(spec, config, seed=seed, scale=scale)
-        trace = generator.generate(num_records)
+        trace = generate_workload_trace(
+            spec, dyn, config, num_records, seed=seed, scale=scale
+        )
     chip = TiledChip(config)
     design_instance = build_design(design, chip, **design_kwargs)
     simulator = TraceSimulator(
@@ -551,12 +770,13 @@ def simulate_best_asr(
     include_adaptive: bool = True,
 ) -> SimulationResult:
     """Run the six ASR variants and return the best one (paper Section 5.1)."""
-    spec = _resolve_spec(workload)
+    spec, dyn = resolve_workload(workload)
     if config is None:
         config = SystemConfig.for_workload_category(spec.category).scaled(scale)
     if trace is None:
-        generator = SyntheticTraceGenerator(spec, config, seed=seed, scale=scale)
-        trace = generator.generate(num_records)
+        trace = generate_workload_trace(
+            spec, dyn, config, num_records, seed=seed, scale=scale
+        )
     probabilities: list[Optional[float]] = [0.0, 0.25, 0.5, 0.75, 1.0]
     if include_adaptive:
         probabilities.insert(0, None)

@@ -57,11 +57,12 @@ from repro.errors import SimulationError
 from repro.sim.engine import (
     DEFAULT_TRACE_LENGTH,
     SimulationResult,
+    generate_workload_trace,
+    resolve_workload,
     simulate_best_asr,
     simulate_workload,
 )
-from repro.workloads.generator import DEFAULT_SCALE, SyntheticTraceGenerator
-from repro.workloads.spec import get_workload
+from repro.workloads.generator import DEFAULT_SCALE
 
 #: Environment variable read for the default worker count.
 JOBS_ENV = "RNUCA_JOBS"
@@ -228,11 +229,12 @@ def _trace_for(workload: str, num_records: int, scale: int, seed: int):
     a (workload, P/A/S/R/I + cluster sweep) slice of the grid replays one
     trace object instead of regenerating it per point.  Traces are read-only
     during simulation, which is what made the old serial path's sharing safe.
+    Dynamic scenario names ("oltp-db2:migrate") route through the
+    :class:`~repro.dynamics.generator.DynamicTraceGenerator`.
     """
-    spec = get_workload(workload)
+    spec, dyn = resolve_workload(workload)
     config = SystemConfig.for_workload_category(spec.category).scaled(scale)
-    generator = SyntheticTraceGenerator(spec, config, seed=seed, scale=scale)
-    return generator.generate(num_records)
+    return generate_workload_trace(spec, dyn, config, num_records, seed=seed, scale=scale)
 
 
 def execute_point(point: ExperimentPoint) -> SimulationResult:
@@ -247,7 +249,7 @@ def execute_point(point: ExperimentPoint) -> SimulationResult:
     single variant instead.
     """
     params = point.param_dict
-    spec = get_workload(point.workload)
+    spec, _ = resolve_workload(point.workload)
     config = SystemConfig.for_workload_category(spec.category).scaled(point.scale)
     trace = _trace_for(point.workload, point.num_records, point.scale, point.seed)
     best_asr = params.pop(_BEST_ASR_PARAM, None)
@@ -327,20 +329,32 @@ class ResultStore:
         return path
 
     def load_all(self) -> list[tuple[ExperimentPoint, SimulationResult]]:
-        """Every (point, result) pair in the store, label-sorted."""
+        """Every (point, result) pair in the store, label-sorted.
+
+        Corrupt or stale files are skipped; use :meth:`load_all_with_errors`
+        when the caller should surface them instead of dropping them.
+        """
+        return self.load_all_with_errors()[0]
+
+    def load_all_with_errors(
+        self,
+    ) -> tuple[list[tuple[ExperimentPoint, SimulationResult]], list[Path]]:
+        """Like :meth:`load_all`, plus the corrupt/unreadable files skipped."""
         pairs = []
+        skipped: list[Path] = []
         if not self.directory.is_dir():
-            return pairs
+            return pairs, skipped
         for path in sorted(self.directory.glob("*.json")):
             try:
                 payload = json.loads(path.read_text())
                 point = ExperimentPoint.from_dict(payload["point"])
                 result = SimulationResult.from_dict(payload["result"])
             except (OSError, KeyError, TypeError, ValueError):
-                continue  # skip unreadable/stale entries rather than crash reports
+                skipped.append(path)
+                continue  # a bad file must not crash the whole report
             pairs.append((point, result))
         pairs.sort(key=lambda pair: pair[0].label)
-        return pairs
+        return pairs, skipped
 
 
 @dataclass

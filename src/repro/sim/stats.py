@@ -250,6 +250,18 @@ class SimulationStats:
     #: Stall cycles of shared-data accesses split by service type
     #: ("interleaved" plain L2, "coherence" remote-L2 transfer, "l1_to_l1").
     shared_service_cycles: Counter = field(default_factory=Counter)
+    # --- dynamic-behaviour measurements (repro.dynamics) ---------------- #
+    #: Thread-migration events applied during replay.
+    thread_migrations: int = 0
+    #: Sharing-onset events observed during replay.
+    sharing_onsets: int = 0
+    #: OS migration re-owns (a private page following its migrated thread).
+    migration_reowns: int = 0
+    #: OS private->shared page re-classifications.
+    reclassifications: int = 0
+    #: Per-phase totals for phased traces: phase name ->
+    #: {"instructions", "cycles", "accesses"} over the measured window.
+    phases: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -332,6 +344,38 @@ class SimulationStats:
             return 0.0
         return self.shared_service_cycles.get(service, 0.0) / self.instructions
 
+    def phase_cpi(self, phase: str) -> float:
+        """CPI of one phase of a phased trace (0.0 for unknown phases)."""
+        totals = self.phases.get(phase)
+        if not totals or not totals.get("instructions"):
+            return 0.0
+        return totals["cycles"] / totals["instructions"]
+
+    def phase_breakdown(self) -> list[dict]:
+        """Per-phase rows (phase, accesses, instructions, cpi), replay order."""
+        return [
+            {
+                "phase": name,
+                "accesses": totals.get("accesses", 0),
+                "instructions": totals.get("instructions", 0),
+                "cpi": self.phase_cpi(name),
+            }
+            for name, totals in self.phases.items()
+        ]
+
+    def fold_phase(self, phase: str, sample: "SimulationStats") -> None:
+        """Attribute one replay segment's totals to a phase."""
+        totals = self.phases.get(phase)
+        if totals is None:
+            totals = self.phases[phase] = {
+                "instructions": 0,
+                "cycles": 0.0,
+                "accesses": 0,
+            }
+        totals["instructions"] += sample.instructions
+        totals["cycles"] += sample.total_cycles
+        totals["accesses"] += sample.accesses
+
     @property
     def ipc(self) -> float:
         return 1.0 / self.cpi if self.cpi else 0.0
@@ -359,6 +403,11 @@ class SimulationStats:
             "coherence_accesses": self.coherence_accesses,
             "shared_service": dict(self.shared_service),
             "shared_service_cycles": dict(self.shared_service_cycles),
+            "thread_migrations": self.thread_migrations,
+            "sharing_onsets": self.sharing_onsets,
+            "migration_reowns": self.migration_reowns,
+            "reclassifications": self.reclassifications,
+            "phases": {name: dict(totals) for name, totals in self.phases.items()},
         }
 
     @classmethod
@@ -373,6 +422,15 @@ class SimulationStats:
             coherence_accesses=data["coherence_accesses"],
             shared_service=Counter(data["shared_service"]),
             shared_service_cycles=Counter(data["shared_service_cycles"]),
+            # Dynamic-behaviour fields postdate stored results; default them.
+            thread_migrations=data.get("thread_migrations", 0),
+            sharing_onsets=data.get("sharing_onsets", 0),
+            migration_reowns=data.get("migration_reowns", 0),
+            reclassifications=data.get("reclassifications", 0),
+            phases={
+                name: dict(totals)
+                for name, totals in data.get("phases", {}).items()
+            },
         )
         for key, cycles in data["cycles_by_class_component"].items():
             access_class, _, component = key.partition("::")
@@ -391,3 +449,14 @@ class SimulationStats:
         self.coherence_accesses += other.coherence_accesses
         self.shared_service.update(other.shared_service)
         self.shared_service_cycles.update(other.shared_service_cycles)
+        self.thread_migrations += other.thread_migrations
+        self.sharing_onsets += other.sharing_onsets
+        self.migration_reowns += other.migration_reowns
+        self.reclassifications += other.reclassifications
+        for name, totals in other.phases.items():
+            mine = self.phases.get(name)
+            if mine is None:
+                self.phases[name] = dict(totals)
+            else:
+                for key, value in totals.items():
+                    mine[key] = mine.get(key, 0) + value

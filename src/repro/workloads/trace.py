@@ -47,6 +47,80 @@ _CODE_BY_ACCESS_TYPE = {kind: code for code, kind in enumerate(ACCESS_TYPE_BY_CO
 #: Sentinel in the ``thread_id`` column meaning "defaults to the core id".
 NO_THREAD = -1
 
+#: Integer codes for :attr:`TraceEvents.kind`.
+MIGRATION_EVENT = 0  # arg0 = thread id, arg1 = destination core
+SHARING_ONSET_EVENT = 1  # arg0 = victim thread whose private region went shared
+PHASE_EVENT = 2  # arg0 = phase index into the trace's "phases" metadata
+
+
+@dataclass(frozen=True)
+class TraceEvents:
+    """Compact, sorted event stream accompanying a dynamic trace.
+
+    Events mark points in the record stream where execution behaviour
+    changes: a thread migrating to another core, a private region going
+    shared, or a workload phase boundary.  Storage is columnar (one numpy
+    array per field, like :class:`TraceColumns`) so the fast replay engine
+    walks events without allocating per-event objects.  ``record_index``
+    is sorted ascending; an event at index ``i`` takes effect *before*
+    record ``i`` replays.
+    """
+
+    record_index: np.ndarray  # int64, sorted ascending
+    kind: np.ndarray  # int8 codes, see MIGRATION_EVENT & friends
+    arg0: np.ndarray  # int64 payload (thread id / phase index)
+    arg1: np.ndarray  # int64 payload (destination core / unused)
+
+    def __len__(self) -> int:
+        return int(self.record_index.shape[0])
+
+    def validate(self) -> None:
+        n = len(self)
+        for name in ("kind", "arg0", "arg1"):
+            if getattr(self, name).shape[0] != n:
+                raise TraceError(f"event column {name!r} length differs")
+        if n == 0:
+            return
+        if self.record_index.min(initial=0) < 0:
+            raise TraceError("event record index cannot be negative")
+        if np.any(np.diff(self.record_index) < 0):
+            raise TraceError("trace events must be sorted by record index")
+        if self.kind.min(initial=0) < MIGRATION_EVENT or self.kind.max(
+            initial=0
+        ) > PHASE_EVENT:
+            raise TraceError("unknown event kind in trace events")
+
+    @classmethod
+    def empty(cls) -> "TraceEvents":
+        return cls(
+            record_index=np.empty(0, dtype=np.int64),
+            kind=np.empty(0, dtype=np.int8),
+            arg0=np.empty(0, dtype=np.int64),
+            arg1=np.empty(0, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple[int, int, int, int]]) -> "TraceEvents":
+        """Build from ``(record_index, kind, arg0, arg1)`` tuples (sorted here)."""
+        ordered = sorted(rows, key=lambda row: row[0])
+        return cls(
+            record_index=_int64_column([r[0] for r in ordered], "event indices"),
+            kind=np.asarray([r[1] for r in ordered], dtype=np.int8),
+            arg0=_int64_column([r[2] for r in ordered], "event payloads"),
+            arg1=_int64_column([r[3] for r in ordered], "event payloads"),
+        )
+
+    def rows(self) -> list[tuple[int, int, int, int]]:
+        """Plain ``(record_index, kind, arg0, arg1)`` tuples for replay."""
+        return list(
+            zip(
+                self.record_index.tolist(),
+                self.kind.tolist(),
+                self.arg0.tolist(),
+                self.arg1.tolist(),
+            )
+        )
+
 
 @dataclass(frozen=True, slots=True)
 class TraceRecord:
@@ -210,11 +284,21 @@ class Trace:
         num_cores: int = 0,
         metadata: dict | None = None,
         columns: TraceColumns | None = None,
+        events: TraceEvents | None = None,
     ) -> None:
         if columns is None:
             columns = _columns_from_records(list(records))
         columns.validate()
+        if events is None:
+            events = TraceEvents.empty()
+        events.validate()
+        if len(events) and int(events.record_index[-1]) >= len(columns):
+            raise TraceError(
+                "trace event index past the end of the trace: replay would "
+                "silently drop it"
+            )
         self.columns = columns
+        self.events = events
         self.workload = workload
         self.num_cores = num_cores or (
             1 + int(columns.core.max(initial=0))
@@ -235,10 +319,20 @@ class Trace:
         workload: str = "unknown",
         num_cores: int = 0,
         metadata: dict | None = None,
+        events: TraceEvents | None = None,
     ) -> "Trace":
         return cls(
-            workload=workload, num_cores=num_cores, metadata=metadata, columns=columns
+            workload=workload,
+            num_cores=num_cores,
+            metadata=metadata,
+            columns=columns,
+            events=events,
         )
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Whether the trace carries behaviour-changing events."""
+        return len(self.events) > 0
 
     # ------------------------------------------------------------------ #
     # Record-oriented view (compatibility API)
@@ -400,6 +494,8 @@ class Trace:
                 "num_cores": self.num_cores,
                 "metadata": self.metadata,
             }
+            if len(self.events):
+                header["events"] = self.events.rows()
             handle.write(json.dumps(header) + "\n")
             for core, kind, address, instructions, thread, label in zip(
                 cols.core.tolist(),
@@ -462,9 +558,13 @@ class Trace:
             true_class=np.asarray(labels, dtype=np.int16),
             class_table=tuple(table),
         )
+        events = header.get("events")
         return cls.from_columns(
             columns,
             workload=header.get("workload", "unknown"),
             num_cores=header.get("num_cores", 0),
             metadata=header.get("metadata", {}),
+            events=TraceEvents.from_rows(
+                [tuple(row) for row in events]
+            ) if events else None,
         )

@@ -95,6 +95,48 @@ def test_list_command(capsys):
     assert "oltp-db2" in out and "RNucaDesign" in out
 
 
+def test_list_shows_engines_knobs_and_dynamic_variants(capsys):
+    """The ROADMAP usage block is discoverable from the CLI."""
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "Engines:" in out and "fast" in out and "reference" in out
+    assert "RNUCA_JOBS" in out and "RNUCA_RESULTS_DIR" in out
+    assert "RNUCA_EVAL_RECORDS" in out and "RNUCA_ENGINE" in out
+    assert "migrate" in out and "phased" in out and "onset" in out
+
+
+def test_run_and_report_dynamic_scenario(results_dir, capsys):
+    args = [
+        "run", "--workloads", "mix:phased", "--designs", "rnuca",
+        "--records", "1200", "--scale", str(TEST_SCALE),
+        "--results-dir", results_dir, "--quiet",
+    ]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(["report", "--results-dir", results_dir]) == 0
+    out = capsys.readouterr().out
+    assert "mix:phased/R" in out
+    assert "Per-phase CPI" in out
+    assert "private-heavy" in out and "shared-heavy" in out
+    assert "OS re-classification activity" in out
+
+
+def test_report_counts_corrupt_result_files(results_dir, capsys):
+    main(RUN_ARGS + ["--results-dir", results_dir, "--quiet"])
+    capsys.readouterr()
+    from pathlib import Path
+
+    store = Path(results_dir)
+    (store / "corrupt-a.json").write_text("{not json")
+    (store / "corrupt-b.json").write_text('{"point": {}}')
+    assert main(["report", "--results-dir", results_dir]) == 0
+    out = capsys.readouterr().out
+    assert "skipped 2 corrupt/unreadable result file(s)" in out
+    assert "corrupt-a.json" in out and "corrupt-b.json" in out
+    # The healthy results still report.
+    assert "mix/P" in out and "mix/R" in out
+
+
 def test_unknown_design_errors(results_dir):
     with pytest.raises(ValueError, match="unknown design"):
         main(["run", "--workloads", "mix", "--designs", "bogus",

@@ -1,0 +1,432 @@
+"""Tests for the dynamic-behaviour subsystem (``repro.dynamics``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cmp.chip import TiledChip
+from repro.cmp.config import SystemConfig
+from repro.designs import build_design
+from repro.dynamics import (
+    DynamicTraceGenerator,
+    DynamicWorkloadSpec,
+    MigrationEvent,
+    MigrationSchedule,
+    PhaseSpec,
+    SharingOnset,
+    dynamic_workload_names,
+    is_dynamic_workload,
+    resolve_dynamic,
+)
+from repro.errors import ConfigurationError, SimulationError, TraceError
+from repro.sim.engine import TraceSimulator, simulate_workload
+from repro.sim.latency import CpiModel
+from repro.sim.stats import SimulationStats
+from repro.workloads.spec import get_workload
+from repro.workloads.trace import (
+    MIGRATION_EVENT,
+    PHASE_EVENT,
+    SHARING_ONSET_EVENT,
+    Trace,
+    TraceEvents,
+)
+
+from .conftest import TEST_SCALE
+
+RECORDS = 6000
+
+
+def server_config() -> SystemConfig:
+    return SystemConfig.server_16core().scaled(TEST_SCALE)
+
+
+@pytest.fixture(scope="module")
+def migrate_trace():
+    dyn = resolve_dynamic("oltp-db2:migrate")
+    config = server_config()
+    return dyn, config, DynamicTraceGenerator(
+        dyn, config, seed=3, scale=TEST_SCALE
+    ).generate(RECORDS)
+
+
+# --------------------------------------------------------------------- #
+# Specs
+# --------------------------------------------------------------------- #
+class TestSpecs:
+    def test_phase_validation(self):
+        with pytest.raises(ConfigurationError):
+            PhaseSpec(name="p", duration=0)
+        with pytest.raises(ConfigurationError):
+            PhaseSpec(name="p", duration=10, mix={"bogus": 0.5})
+        with pytest.raises(ConfigurationError):
+            PhaseSpec(name="p", duration=10, mix={"private": 1.5})
+
+    def test_phase_mix_renormalises(self):
+        base = get_workload("oltp-db2")
+        probs = PhaseSpec(
+            name="p", duration=10, mix={"private": 0.5}
+        ).class_probabilities(base)
+        assert probs.shape == (4,)
+        assert probs.sum() == pytest.approx(1.0)
+        # The private share grew relative to the base mix.
+        assert probs[1] > base.private_data.fraction
+
+    def test_schedule_event_validation(self):
+        with pytest.raises(ConfigurationError):
+            MigrationEvent(at=1.0, thread_id=0, to_core=1)
+        with pytest.raises(ConfigurationError):
+            SharingOnset(at=0.5, victim_thread=0, region_fraction=0.0)
+
+    def test_seeded_schedule_is_deterministic_and_moves(self):
+        first = MigrationSchedule.seeded(16, 16, migrations=5, onsets=2, seed=9)
+        second = MigrationSchedule.seeded(16, 16, migrations=5, onsets=2, seed=9)
+        assert first == second
+        assert len(first.migrations) == 5 and len(first.sharing_onsets) == 2
+        # Every move is a genuine move given the tracked mapping.
+        mapping = {t: t % 16 for t in range(16)}
+        for event in first.migrations:
+            assert event.to_core != mapping[event.thread_id]
+            mapping[event.thread_id] = event.to_core
+
+    def test_duplicate_phase_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DynamicWorkloadSpec(
+                name="x",
+                base=get_workload("mix"),
+                phases=(
+                    PhaseSpec(name="a", duration=10),
+                    PhaseSpec(name="a", duration=10),
+                ),
+            )
+
+    def test_phase_boundaries_scale_with_records(self):
+        dyn = resolve_dynamic("mix:phased")
+        assert dyn.phase_boundaries(6000) == [0, 2000, 4000]
+        assert dyn.phase_boundaries(60) == [0, 20, 40]
+
+    def test_static_equivalence_predicate(self):
+        base = get_workload("mix")
+        assert DynamicWorkloadSpec(name="x", base=base).is_static_equivalent
+        assert not resolve_dynamic("mix:phased").is_static_equivalent
+        assert not resolve_dynamic("mix:migrate").is_static_equivalent
+
+
+# --------------------------------------------------------------------- #
+# Event stream
+# --------------------------------------------------------------------- #
+class TestTraceEvents:
+    def test_from_rows_sorts_and_validates(self):
+        events = TraceEvents.from_rows([(30, PHASE_EVENT, 1, 0), (10, MIGRATION_EVENT, 2, 5)])
+        assert events.record_index.tolist() == [10, 30]
+        events.validate()
+
+    def test_unsorted_events_rejected(self):
+        events = TraceEvents(
+            record_index=np.array([5, 1], dtype=np.int64),
+            kind=np.zeros(2, dtype=np.int8),
+            arg0=np.zeros(2, dtype=np.int64),
+            arg1=np.zeros(2, dtype=np.int64),
+        )
+        with pytest.raises(TraceError):
+            events.validate()
+
+    def test_unknown_kind_rejected(self):
+        events = TraceEvents(
+            record_index=np.array([5], dtype=np.int64),
+            kind=np.array([9], dtype=np.int8),
+            arg0=np.zeros(1, dtype=np.int64),
+            arg1=np.zeros(1, dtype=np.int64),
+        )
+        with pytest.raises(TraceError):
+            events.validate()
+
+    def test_save_load_roundtrip_preserves_events(self, tmp_path, migrate_trace):
+        _, _, trace = migrate_trace
+        path = tmp_path / "dyn.trace"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.is_dynamic
+        assert loaded.events.rows() == trace.events.rows()
+        assert loaded.metadata["phases"] == trace.metadata["phases"]
+
+    def test_static_trace_has_no_events(self, oltp_trace):
+        assert not oltp_trace.is_dynamic
+        assert len(oltp_trace.events) == 0
+
+    def test_event_past_end_of_trace_rejected(self, oltp_trace):
+        out_of_range = TraceEvents.from_rows(
+            [(len(oltp_trace), MIGRATION_EVENT, 0, 1)]
+        )
+        with pytest.raises(TraceError, match="past the end"):
+            Trace.from_columns(oltp_trace.columns, events=out_of_range)
+
+
+# --------------------------------------------------------------------- #
+# Generation
+# --------------------------------------------------------------------- #
+class TestGeneration:
+    def test_thread_ids_are_load_bearing(self, migrate_trace):
+        _, _, trace = migrate_trace
+        cols = trace.columns
+        assert (cols.thread_id >= 0).all()
+        # Before the first migration every thread runs on its own core.
+        first = int(trace.events.record_index[0])
+        prefix = slice(0, first)
+        assert np.array_equal(cols.core[prefix], cols.thread_id[prefix])
+
+    def test_migrated_thread_issues_from_new_core(self, migrate_trace):
+        _, _, trace = migrate_trace
+        cols = trace.columns
+        migrations = [
+            row for row in trace.events.rows() if row[1] == MIGRATION_EVENT
+        ]
+        assert migrations
+        index, _, thread, to_core = migrations[0]
+        after = cols.thread_id[index:] == thread
+        # The thread's next records come from its new core (until it
+        # migrates again, so check up to the following event involving it).
+        next_move = next(
+            (
+                row[0]
+                for row in migrations[1:]
+                if row[2] == thread
+            ),
+            len(cols.core),
+        )
+        window = cols.core[index:next_move][after[: next_move - index]]
+        assert window.size > 0 and (window == to_core).all()
+
+    def test_phased_mix_shifts_per_phase(self):
+        dyn = resolve_dynamic("mix:phased")
+        config = SystemConfig.multiprogrammed_8core().scaled(TEST_SCALE)
+        trace = DynamicTraceGenerator(dyn, config, seed=5, scale=TEST_SCALE).generate(
+            RECORDS
+        )
+        starts = trace.metadata["phase_starts"] + [len(trace)]
+        shares = []
+        for begin, end in zip(starts[:-1], starts[1:]):
+            labels = trace.columns.true_class[begin:end]
+            # code 3 == shared_rw (class table is None-first).
+            shares.append(float((labels == 3).mean()))
+        base, private_heavy, shared_heavy = shares
+        assert private_heavy < base < shared_heavy
+
+    def test_onset_redirects_shared_traffic(self):
+        dyn = resolve_dynamic("oltp-db2:onset")
+        config = server_config()
+        trace = DynamicTraceGenerator(dyn, config, seed=5, scale=TEST_SCALE).generate(
+            RECORDS
+        )
+        onset_pages = set(trace.metadata["onset_pages"])
+        assert onset_pages
+        shift = config.page_size.bit_length() - 1
+        pages = trace.columns.address >> shift
+        (onset_index,) = [
+            row[0] for row in trace.events.rows() if row[1] == SHARING_ONSET_EVENT
+        ]
+        touched_before = {int(p) for p in pages[:onset_index]} & onset_pages
+        cores_after = trace.columns.core[onset_index:]
+        on_onset_pages = np.isin(pages[onset_index:], sorted(onset_pages))
+        # After the onset the region is touched from many cores; before it,
+        # only the victim's accesses could reach it.
+        assert len(np.unique(cores_after[on_onset_pages])) > 1
+        assert touched_before <= onset_pages
+
+    def test_onset_region_loses_its_private_ground_truth(self):
+        """Post-onset, no record keeps a stale private label on the now
+        genuinely shared region (misclassification accounting stays honest)."""
+        dyn = resolve_dynamic("oltp-db2:onset")
+        config = server_config()
+        trace = DynamicTraceGenerator(dyn, config, seed=5, scale=TEST_SCALE).generate(
+            RECORDS
+        )
+        (onset_index,) = [
+            row[0] for row in trace.events.rows() if row[1] == SHARING_ONSET_EVENT
+        ]
+        shift = config.page_size.bit_length() - 1
+        pages = trace.columns.address >> shift
+        on_onset = np.isin(pages[onset_index:], trace.metadata["onset_pages"])
+        labels_after = trace.columns.true_class[onset_index:]
+        # Class table is None-first: code 2 == "private".
+        assert not (on_onset & (labels_after == 2)).any()
+
+    def test_schedule_exceeding_machine_rejected(self):
+        base = get_workload("mix")  # 8-core machine
+        dyn = DynamicWorkloadSpec(
+            name="mix:bad",
+            base=base,
+            schedule=MigrationSchedule(
+                migrations=(MigrationEvent(at=0.5, thread_id=30, to_core=1),)
+            ),
+        )
+        with pytest.raises(TraceError):
+            DynamicTraceGenerator(
+                dyn,
+                SystemConfig.multiprogrammed_8core().scaled(TEST_SCALE),
+                scale=TEST_SCALE,
+            )
+
+    def test_generation_is_deterministic(self, migrate_trace):
+        dyn, config, trace = migrate_trace
+        again = DynamicTraceGenerator(
+            dyn, config, seed=3, scale=TEST_SCALE
+        ).generate(RECORDS)
+        assert np.array_equal(again.columns.address, trace.columns.address)
+        assert np.array_equal(again.columns.core, trace.columns.core)
+        assert again.events.rows() == trace.events.rows()
+
+
+# --------------------------------------------------------------------- #
+# Replay
+# --------------------------------------------------------------------- #
+class TestDynamicReplay:
+    def test_migrating_scenario_reports_os_activity(self, migrate_trace):
+        dyn, config, trace = migrate_trace
+        chip = TiledChip(config)
+        design = build_design("R", chip)
+        result = TraceSimulator(design, CpiModel.for_workload(dyn.base)).run(trace)
+        stats = result.stats
+        assert stats.thread_migrations == len(dyn.schedule.migrations)
+        assert stats.sharing_onsets == len(dyn.schedule.sharing_onsets)
+        assert stats.migration_reowns > 0
+        assert stats.reclassifications > 0
+        assert result.metadata["dynamic"] is True
+        # The OS charges the events into the reclassification component.
+        assert stats.component_cpi("reclassification") > 0
+
+    def test_phased_scenario_reports_per_phase_cpi(self):
+        result = simulate_workload(
+            "mix:phased", "R", num_records=RECORDS, scale=TEST_SCALE, seed=5
+        )
+        breakdown = result.stats.phase_breakdown()
+        assert [row["phase"] for row in breakdown] == [
+            "base",
+            "private-heavy",
+            "shared-heavy",
+        ]
+        for row in breakdown:
+            assert row["cpi"] > 0 and row["accesses"] > 0
+        # Phase totals cover exactly the measured window.
+        measured = RECORDS - result.metadata["warmup_records"]
+        assert sum(row["accesses"] for row in breakdown) == measured
+        total_cycles = sum(
+            totals["cycles"] for totals in result.stats.phases.values()
+        )
+        assert total_cycles == pytest.approx(result.stats.total_cycles)
+
+    def test_non_rnuca_designs_replay_dynamic_traces(self, migrate_trace):
+        dyn, config, trace = migrate_trace
+        for letter in ("P", "S", "I"):
+            chip = TiledChip(config)
+            design = build_design(letter, chip)
+            result = TraceSimulator(design, CpiModel.for_workload(dyn.base)).run(trace)
+            assert result.cpi > 0
+            assert result.stats.thread_migrations == len(dyn.schedule.migrations)
+            # No OS model: nothing to re-own or reclassify.
+            assert result.stats.migration_reowns == 0
+
+    def test_reference_engine_rejects_dynamic_traces(self, migrate_trace):
+        dyn, config, trace = migrate_trace
+        chip = TiledChip(config)
+        design = build_design("R", chip)
+        simulator = TraceSimulator(
+            design, CpiModel.for_workload(dyn.base), engine="reference"
+        )
+        with pytest.raises(SimulationError, match="fast engine"):
+            simulator.run(trace)
+
+    def test_migration_window_wires_through_rnuca_config(self):
+        """The window knob reaches the live scheduler (not just unit tests)."""
+        from repro.core.rnuca import RNucaConfig
+
+        chip = TiledChip(server_config())
+        design = build_design(
+            "R", chip, rnuca_config=RNucaConfig(migration_window=3)
+        )
+        assert design.policy.classifier.scheduler.migration_window == 3
+        default = build_design("R", TiledChip(server_config()))
+        assert default.policy.classifier.scheduler.migration_window is None
+
+    def test_simulate_workload_accepts_scenario_names(self):
+        result = simulate_workload(
+            "oltp-db2:migrate", "R", num_records=4000, scale=TEST_SCALE, seed=1
+        )
+        assert result.workload == "oltp-db2:migrate"
+        assert result.stats.thread_migrations > 0
+
+
+# --------------------------------------------------------------------- #
+# Stats plumbing
+# --------------------------------------------------------------------- #
+class TestDynamicStats:
+    def test_roundtrip_preserves_dynamic_fields(self):
+        stats = SimulationStats(
+            instructions=10,
+            accesses=4,
+            thread_migrations=2,
+            sharing_onsets=1,
+            migration_reowns=3,
+            reclassifications=5,
+            phases={"a": {"instructions": 10, "cycles": 20.0, "accesses": 4}},
+        )
+        clone = SimulationStats.from_dict(stats.to_dict())
+        assert clone.to_dict() == stats.to_dict()
+        assert clone.phase_cpi("a") == pytest.approx(2.0)
+
+    def test_from_dict_defaults_for_old_payloads(self):
+        stats = SimulationStats(instructions=1, accesses=1)
+        payload = stats.to_dict()
+        for key in (
+            "thread_migrations",
+            "sharing_onsets",
+            "migration_reowns",
+            "reclassifications",
+            "phases",
+        ):
+            payload.pop(key)
+        old = SimulationStats.from_dict(payload)
+        assert old.thread_migrations == 0 and old.phases == {}
+
+    def test_merge_sums_dynamic_fields(self):
+        left = SimulationStats(
+            migration_reowns=1,
+            phases={"a": {"instructions": 5, "cycles": 10.0, "accesses": 2}},
+        )
+        right = SimulationStats(
+            migration_reowns=2,
+            phases={
+                "a": {"instructions": 5, "cycles": 6.0, "accesses": 2},
+                "b": {"instructions": 1, "cycles": 1.0, "accesses": 1},
+            },
+        )
+        left.merge(right)
+        assert left.migration_reowns == 3
+        assert left.phases["a"]["cycles"] == pytest.approx(16.0)
+        assert left.phases["b"]["accesses"] == 1
+
+
+# --------------------------------------------------------------------- #
+# Scenario catalogue
+# --------------------------------------------------------------------- #
+class TestScenarios:
+    def test_names_compose_workloads_and_variants(self):
+        names = dynamic_workload_names(("oltp-db2",))
+        assert names == ["oltp-db2:migrate", "oltp-db2:onset", "oltp-db2:phased"]
+        assert all(is_dynamic_workload(name) for name in names)
+        assert not is_dynamic_workload("oltp-db2")
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown dynamic variant"):
+            resolve_dynamic("oltp-db2:teleport")
+
+    def test_unknown_base_workload_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            resolve_dynamic("nope:migrate")
+
+    def test_every_variant_resolves_for_every_category(self):
+        for name in ("oltp-db2", "em3d", "mix"):
+            for scenario in dynamic_workload_names((name,)):
+                dyn = resolve_dynamic(scenario)
+                assert dyn.name == scenario
+                assert dyn.base.name == name

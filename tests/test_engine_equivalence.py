@@ -113,6 +113,37 @@ def test_unknown_engine_rejected(traces):
         simulator.run(trace, engine="warp")
 
 
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("letter", DESIGN_LETTERS)
+def test_single_phase_dynamic_replay_is_bit_identical_to_static(
+    traces, workload, letter
+):
+    """The dynamics backward-compatibility contract.
+
+    A DynamicWorkloadSpec with one phase and an empty schedule generates a
+    trace whose replay is **bit-identical** to today's static fast path:
+    same RNG draw sequence in the generator (thread ids explicit instead of
+    the NO_THREAD sentinel, which the engines treat identically) and no
+    events, so the event-aware replay never engages.
+    """
+    from repro.dynamics import DynamicTraceGenerator, DynamicWorkloadSpec
+
+    spec, config, trace = traces[workload]
+    dynamic_trace = DynamicTraceGenerator(
+        DynamicWorkloadSpec(name=workload, base=spec), config, seed=3, scale=TEST_SCALE
+    ).generate(RECORDS)
+    assert not dynamic_trace.is_dynamic
+
+    static = _simulate("fast", letter, spec, config, trace)
+    dynamic = _simulate("fast", letter, spec, config, dynamic_trace)
+    assert dynamic.stats.to_dict() == static.stats.to_dict()
+    assert dynamic.cpi == static.cpi
+    assert dynamic.cpi_breakdown() == static.cpi_breakdown()
+    assert (dynamic.cpi_confidence is None) == (static.cpi_confidence is None)
+    if dynamic.cpi_confidence is not None:
+        assert dynamic.cpi_confidence.to_dict() == static.cpi_confidence.to_dict()
+
+
 def test_env_engine_typo_fails_loudly(monkeypatch, traces):
     """A misspelt RNUCA_ENGINE must not silently fall back to the fast path."""
     from repro.errors import SimulationError

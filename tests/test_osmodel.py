@@ -99,6 +99,80 @@ class TestScheduler:
             scheduler.schedule(thread_id=0, core_id=9)
 
 
+class TestSchedulerMigrationWindow:
+    """Window semantics of :meth:`ThreadScheduler.recently_migrated`."""
+
+    def test_never_migrated_thread_is_never_recent(self):
+        scheduler = ThreadScheduler(num_cores=4)
+        assert not scheduler.recently_migrated(0)
+        scheduler.migrate(thread_id=1, to_core=2)
+        assert not scheduler.recently_migrated(0)
+
+    def test_default_window_is_forever(self):
+        scheduler = ThreadScheduler(num_cores=4)
+        scheduler.migrate(thread_id=1, to_core=2)
+        for other in range(20):
+            scheduler.migrate(thread_id=2, to_core=other % 4)
+        assert scheduler.recently_migrated(1)
+
+    def test_bounded_window_expires(self):
+        scheduler = ThreadScheduler(num_cores=4, migration_window=2)
+        scheduler.migrate(thread_id=1, to_core=2)
+        assert scheduler.recently_migrated(1)
+        scheduler.migrate(thread_id=2, to_core=3)
+        scheduler.migrate(thread_id=3, to_core=0)
+        # Two further migrations: thread 1's move is exactly at the window edge.
+        assert scheduler.recently_migrated(1)
+        scheduler.migrate(thread_id=2, to_core=1)
+        assert not scheduler.recently_migrated(1)
+
+    def test_zero_window_means_only_the_last_migration(self):
+        scheduler = ThreadScheduler(num_cores=4, migration_window=0)
+        scheduler.migrate(thread_id=1, to_core=2)
+        assert scheduler.recently_migrated(1)
+        scheduler.migrate(thread_id=2, to_core=3)
+        assert scheduler.recently_migrated(2)
+        assert not scheduler.recently_migrated(1)
+
+    def test_remigration_refreshes_the_window(self):
+        scheduler = ThreadScheduler(num_cores=4, migration_window=1)
+        scheduler.migrate(thread_id=1, to_core=2)
+        scheduler.migrate(thread_id=2, to_core=3)
+        scheduler.migrate(thread_id=1, to_core=3)  # refreshes thread 1
+        scheduler.migrate(thread_id=2, to_core=0)
+        assert scheduler.recently_migrated(1)
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThreadScheduler(num_cores=4, migration_window=-1)
+
+    def test_migrated_from_matches_only_the_origin_core(self):
+        scheduler = ThreadScheduler(num_cores=4)
+        scheduler.schedule(thread_id=7, core_id=1)
+        scheduler.migrate(thread_id=7, to_core=2)
+        assert scheduler.migrated_from(7, 1)
+        assert not scheduler.migrated_from(7, 0)  # never ran there
+        assert not scheduler.migrated_from(5, 1)  # different thread
+        assert not scheduler.migrated_from(7, None)  # ownerless page
+
+    def test_migrated_from_follows_chained_migrations(self):
+        scheduler = ThreadScheduler(num_cores=4)
+        scheduler.schedule(thread_id=7, core_id=0)
+        scheduler.migrate(thread_id=7, to_core=1)
+        scheduler.migrate(thread_id=7, to_core=2)
+        # Pages owned at either earlier stop are still reownable.
+        assert scheduler.migrated_from(7, 0)
+        assert scheduler.migrated_from(7, 1)
+
+    def test_migrated_from_respects_the_window(self):
+        scheduler = ThreadScheduler(num_cores=4, migration_window=0)
+        scheduler.schedule(thread_id=7, core_id=0)
+        scheduler.migrate(thread_id=7, to_core=1)
+        assert scheduler.migrated_from(7, 0)
+        scheduler.migrate(thread_id=2, to_core=3)
+        assert not scheduler.migrated_from(7, 0)
+
+
 class TestPageClassifier:
     def test_instruction_accesses_classified_immediately(self):
         classifier = PageClassifier(num_cores=4)
@@ -166,6 +240,87 @@ class TestPageClassifier:
         assert event.kind == ClassificationEvent.MIGRATION_REOWN
         assert classifier.page_table.lookup(30).owner_cid == 2
         assert classifier.migration_reowns == 1
+
+    def test_unmigrated_thread_on_new_core_means_sharing(self):
+        """CID mismatch + no migration record => genuine sharing."""
+        classifier = PageClassifier(num_cores=4)
+        classifier.classify_access(0, 31, instruction=False, thread_id=7)
+        page_class, event = classifier.classify_access(
+            2, 31, instruction=False, thread_id=9
+        )
+        assert page_class is PageClass.SHARED
+        assert event.kind == ClassificationEvent.RECLASSIFY_TO_SHARED
+        assert classifier.migration_reowns == 0
+
+    def test_missing_thread_id_cannot_claim_migration(self):
+        """Without thread attribution the OS must assume sharing."""
+        classifier = PageClassifier(num_cores=4)
+        classifier.scheduler.schedule(thread_id=7, core_id=0)
+        classifier.classify_access(0, 32, instruction=False, thread_id=7)
+        classifier.scheduler.migrate(thread_id=7, to_core=2)
+        page_class, event = classifier.classify_access(2, 32, instruction=False)
+        assert page_class is PageClass.SHARED
+        assert event.kind == ClassificationEvent.RECLASSIFY_TO_SHARED
+
+    def test_migrated_thread_touching_anothers_page_means_sharing(self):
+        """A thread that migrated between unrelated cores is still a new
+        sharer of somebody else's private page, not its migrated owner."""
+        classifier = PageClassifier(num_cores=4)
+        classifier.scheduler.schedule(thread_id=5, core_id=0)
+        classifier.classify_access(0, 36, instruction=False, thread_id=5)
+        classifier.scheduler.schedule(thread_id=7, core_id=1)
+        classifier.scheduler.migrate(thread_id=7, to_core=2)  # 1 -> 2, not 0
+        page_class, event = classifier.classify_access(
+            2, 36, instruction=False, thread_id=7
+        )
+        assert page_class is PageClass.SHARED
+        assert event.kind == ClassificationEvent.RECLASSIFY_TO_SHARED
+        assert classifier.migration_reowns == 0
+
+    def test_expired_migration_window_reclassifies_instead_of_reowning(self):
+        scheduler = ThreadScheduler(num_cores=4, migration_window=0)
+        classifier = PageClassifier(num_cores=4, scheduler=scheduler)
+        scheduler.schedule(thread_id=7, core_id=0)
+        classifier.classify_access(0, 33, instruction=False, thread_id=7)
+        scheduler.migrate(thread_id=7, to_core=2)
+        scheduler.migrate(thread_id=9, to_core=3)  # pushes 7 out of the window
+        page_class, event = classifier.classify_access(
+            2, 33, instruction=False, thread_id=7
+        )
+        assert page_class is PageClass.SHARED
+        assert event.kind == ClassificationEvent.RECLASSIFY_TO_SHARED
+        assert classifier.reclassifications == 1 and classifier.migration_reowns == 0
+
+    def test_reown_charges_reclassify_latency_and_shoots_down(self):
+        classifier = PageClassifier(num_cores=4)
+        shootdowns = []
+        classifier.scheduler.schedule(thread_id=7, core_id=0)
+        classifier.classify_access(0, 34, instruction=False, thread_id=7)
+        classifier.scheduler.migrate(thread_id=7, to_core=2)
+        _, event = classifier.classify_access(
+            2, 34, instruction=False, thread_id=7,
+            shootdown=lambda page, owner: shootdowns.append((page, owner)) or 2,
+        )
+        assert event.kind == ClassificationEvent.MIGRATION_REOWN
+        assert event.latency_cycles == classifier.reclassify_latency
+        assert event.shootdown_blocks == 2
+        assert shootdowns == [(34, 0)]  # blocks invalidated at the old owner
+        assert 34 not in classifier.tlbs[0]  # stale translation shot down
+        assert classifier.page_table.lookup(34).migrations == 1
+
+    def test_reowned_page_can_still_become_shared_later(self):
+        classifier = PageClassifier(num_cores=4)
+        classifier.scheduler.schedule(thread_id=7, core_id=0)
+        classifier.classify_access(0, 35, instruction=False, thread_id=7)
+        classifier.scheduler.migrate(thread_id=7, to_core=2)
+        classifier.classify_access(2, 35, instruction=False, thread_id=7)
+        page_class, event = classifier.classify_access(
+            1, 35, instruction=False, thread_id=9
+        )
+        assert page_class is PageClass.SHARED
+        assert event.kind == ClassificationEvent.RECLASSIFY_TO_SHARED
+        assert classifier.migration_reowns == 1
+        assert classifier.reclassifications == 1
 
     def test_data_touch_of_instruction_page_becomes_private(self):
         classifier = PageClassifier(num_cores=4)

@@ -186,3 +186,95 @@ class TestAccountingProperties:
         assert abs(stats.cpi - sum(breakdown.values())) < 1e-9
         class_total = sum(stats.class_cpi(c) for c in ("instruction", "private", "shared"))
         assert abs(class_total - (stats.cpi - stats.component_cpi("busy"))) < 1e-9
+
+
+class TestThreadSentinelContract:
+    """``thread_id == core`` columns replay exactly like the NO_THREAD sentinel.
+
+    The dynamics subsystem makes thread ids load-bearing (migrated threads
+    carry their identity to new cores), so this pins the pre-existing
+    contract the static generator relies on: an explicit one-thread-per-core
+    column is indistinguishable from the sentinel everywhere in the replay
+    path (hot columns, classifier thread attribution, seed conversion).
+    """
+
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=15),  # core
+                st.integers(min_value=0, max_value=48),  # page
+                st.integers(min_value=0, max_value=3),  # block offset in page
+                st.sampled_from(["instruction", "private", "shared_rw"]),
+                st.booleans(),  # write (data only)
+            ),
+            min_size=8,
+            max_size=120,
+        )
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_explicit_thread_ids_replay_identically(self, rows):
+        import numpy as np
+
+        from repro.sim.engine import TraceSimulator
+        from repro.sim.latency import CpiModel
+        from repro.workloads.spec import get_workload
+        from repro.workloads.trace import (
+            INSTRUCTION_CODE,
+            LOAD_CODE,
+            NO_THREAD,
+            STORE_CODE,
+            Trace,
+            TraceColumns,
+        )
+
+        config = scaled_config()
+        table = (None, "instruction", "private", "shared_rw")
+        codes = {"instruction": 1, "private": 2, "shared_rw": 3}
+
+        def columns(threads: "np.ndarray") -> TraceColumns:
+            return TraceColumns(
+                core=cores,
+                access_type=kinds,
+                address=addresses,
+                instructions=np.full(len(rows), 20, dtype=np.int64),
+                thread_id=threads,
+                true_class=labels,
+                class_table=table,
+            )
+
+        cores = np.array([r[0] for r in rows], dtype=np.int64)
+        addresses = np.array(
+            [
+                (1 << 22) + page * config.page_size + offset * config.block_size
+                for _, page, offset, _, _ in rows
+            ],
+            dtype=np.int64,
+        )
+        kinds = np.array(
+            [
+                INSTRUCTION_CODE
+                if cls == "instruction"
+                else (STORE_CODE if write else LOAD_CODE)
+                for _, _, _, cls, write in rows
+            ],
+            dtype=np.int8,
+        )
+        labels = np.array([codes[r[3]] for r in rows], dtype=np.int16)
+
+        sentinel = Trace.from_columns(
+            columns(np.full(len(rows), NO_THREAD, dtype=np.int64)),
+            workload="prop", num_cores=config.num_tiles,
+        )
+        explicit = Trace.from_columns(
+            columns(cores.copy()), workload="prop", num_cores=config.num_tiles
+        )
+
+        spec = get_workload("oltp-db2")
+        results = []
+        for trace in (sentinel, explicit):
+            chip = TiledChip(config)
+            design = build_design("R", chip)
+            simulator = TraceSimulator(design, CpiModel.for_workload(spec))
+            results.append(simulator.run(trace))
+        assert results[0].stats.to_dict() == results[1].stats.to_dict()
+        assert results[0].cpi == results[1].cpi

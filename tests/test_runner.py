@@ -192,6 +192,37 @@ class TestBatchRunner:
         (tmp_path / "junk.json").write_text("{ not json")
         assert [p.label for p, _ in store.load_all()] == [point.label]
 
+    def test_load_all_with_errors_names_the_skipped_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        point = small_grid().points()[0]
+        store.put(point, execute_point(point))
+        (tmp_path / "junk.json").write_text("{ not json")
+        (tmp_path / "stale.json").write_text('{"result": {}}')
+        pairs, skipped = store.load_all_with_errors()
+        assert [p.label for p, _ in pairs] == [point.label]
+        assert sorted(path.name for path in skipped) == ["junk.json", "stale.json"]
+
+    def test_load_all_with_errors_on_missing_dir(self, tmp_path):
+        pairs, skipped = ResultStore(tmp_path / "nope").load_all_with_errors()
+        assert pairs == [] and skipped == []
+
+    def test_dynamic_scenario_points_run_and_cache(self, tmp_path):
+        grid = ExperimentGrid(
+            workloads=("mix:phased",),
+            designs=("R",),
+            num_records=1000,
+            scale=TEST_SCALE,
+            seed=2,
+        )
+        store = ResultStore(tmp_path)
+        first = run_grid(grid, store=store, jobs=1)
+        assert first.executed == 1
+        again = run_grid(grid, store=store, jobs=1)
+        assert again.cache_hits == 1 and again.executed == 0
+        result = again.result_for(grid.points()[0])
+        assert result.workload == "mix:phased"
+        assert set(result.stats.phases) == {"base", "private-heavy", "shared-heavy"}
+
 
 class TestEvaluationThroughRunner:
     def test_same_numbers_as_serial_seed_path(self):
