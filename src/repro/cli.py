@@ -19,7 +19,9 @@ Subcommands:
 ``bench``
     Measure the trace engine's records/sec per design — fast columnar path
     vs the preserved seed path — and write ``BENCH_engine.json``
-    (see :mod:`repro.sim.bench`).
+    (see :mod:`repro.sim.bench`).  ``bench --traces`` measures the trace
+    pipeline instead — generation, binary-vs-JSON save/load, and dynamic
+    (event-carrying) replay — and writes ``BENCH_trace.json``.
 
 ``list``
     Show the known workloads and designs.
@@ -49,9 +51,12 @@ from repro.sim.bench import (
     DEFAULT_BENCH_OUTPUT,
     DEFAULT_BENCH_RECORDS,
     DEFAULT_BENCH_REPEATS,
+    DEFAULT_TRACE_BENCH_OUTPUT,
+    DEFAULT_TRACE_BENCH_RECORDS,
     QUICK_BENCH_RECORDS,
     QUICK_BENCH_REPEATS,
     run_bench,
+    run_trace_bench,
     write_bench,
 )
 from repro.sim.engine import DEFAULT_TRACE_LENGTH, ENGINES, default_engine
@@ -64,6 +69,7 @@ from repro.sim.runner import (
 )
 from repro.workloads.generator import DEFAULT_SCALE
 from repro.workloads.spec import WORKLOADS
+from repro.workloads.store import DEFAULT_TRACE_DIR, TraceStore
 
 
 def _csv(text: str) -> list[str]:
@@ -126,6 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"JSON result store directory (default: {DEFAULT_RESULTS_DIR}/)",
     )
     run.add_argument(
+        "--trace-dir",
+        default=None,
+        help="binary trace cache directory (default: $RNUCA_TRACE_DIR or "
+        f"{DEFAULT_TRACE_DIR}/); each workload trace is generated once and "
+        "memory-mapped by every worker",
+    )
+    run.add_argument(
         "--quiet", action="store_true", help="suppress per-point progress lines"
     )
 
@@ -153,11 +166,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload whose trace is replayed (default: oltp-db2)",
     )
     bench.add_argument(
+        "--traces",
+        action="store_true",
+        help="benchmark the trace pipeline (generation, binary vs JSON "
+        "save/load, dynamic replay) instead of the replay engines",
+    )
+    bench.add_argument(
         "--records",
         type=int,
         default=None,
         help=f"trace length (default: {DEFAULT_BENCH_RECORDS}, "
-        f"--quick: {QUICK_BENCH_RECORDS})",
+        f"--quick: {QUICK_BENCH_RECORDS}, "
+        f"--traces: {DEFAULT_TRACE_BENCH_RECORDS})",
     )
     bench.add_argument(
         "--scale",
@@ -175,8 +195,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--output",
-        default=DEFAULT_BENCH_OUTPUT,
-        help=f"JSON output path (default: {DEFAULT_BENCH_OUTPUT})",
+        default=None,
+        help=f"JSON output path (default: {DEFAULT_BENCH_OUTPUT}, "
+        f"--traces: {DEFAULT_TRACE_BENCH_OUTPUT})",
     )
     bench.add_argument(
         "--quick",
@@ -198,6 +219,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         cluster_sizes=tuple(args.cluster_sizes),
     )
     store = ResultStore(args.results_dir)
+    trace_store = TraceStore(args.trace_dir) if args.trace_dir else TraceStore.from_env()
 
     def progress(line: str) -> None:
         if not args.quiet:
@@ -208,9 +230,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"Running {len(grid)} experiment points "
         f"({len(grid.workloads)} workloads x {len(grid.designs)} designs"
         + (f" + {len(grid.cluster_sizes)}-size cluster sweep" if grid.cluster_sizes else "")
-        + f") with {jobs} job(s); store: {store.directory}/"
+        + f") with {jobs} job(s); store: {store.directory}/; "
+        + f"traces: {trace_store.directory}/"
     )
-    batch = BatchRunner(store=store, jobs=jobs, progress=progress).run(grid.points())
+    batch = BatchRunner(
+        store=store, jobs=jobs, progress=progress, trace_store=trace_store
+    ).run(grid.points())
     print(
         f"Done: {batch.executed} simulated, {batch.cache_hits} cache hits, "
         f"{len(batch)} results in {store.directory}/"
@@ -290,6 +315,8 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.traces:
+        return cmd_bench_traces(args)
     records = args.records
     repeats = args.repeats
     if args.quick:
@@ -326,11 +353,103 @@ def cmd_bench(args: argparse.Namespace) -> int:
             ),
         )
     )
-    path = write_bench(payload, args.output)
+    path = write_bench(payload, args.output or DEFAULT_BENCH_OUTPUT)
     print(f"Wrote {path}")
     mismatches = [r["design"] for r in payload["results"] if not r["stats_match"]]
     if mismatches:
         print(f"WARNING: fast/seed stats mismatch for {', '.join(mismatches)}")
+        return 1
+    return 0
+
+
+def cmd_bench_traces(args: argparse.Namespace) -> int:
+    records = args.records
+    repeats = args.repeats
+    if args.quick:
+        records = records if records is not None else QUICK_BENCH_RECORDS
+        repeats = repeats if repeats is not None else QUICK_BENCH_REPEATS
+    else:
+        records = records if records is not None else DEFAULT_TRACE_BENCH_RECORDS
+        repeats = repeats if repeats is not None else DEFAULT_BENCH_REPEATS
+    payload = run_trace_bench(
+        designs=args.designs,
+        workload=args.workload,
+        num_records=records,
+        scale=args.scale,
+        seed=args.seed,
+        repeats=repeats,
+        progress=lambda line: print(f"  {line}"),
+    )
+    generation = payload["generation"]
+    persistence = payload["persistence"]
+    print(
+        format_table(
+            [
+                {
+                    "phase": "generate",
+                    "static_rec/s": generation["static_records_per_sec"],
+                    "dynamic_rec/s": generation["dynamic_records_per_sec"],
+                },
+            ],
+            title=(
+                f"Trace generation on {payload['workload']} / {payload['scenario']} "
+                f"({payload['records']} records, best of {payload['repeats']})"
+            ),
+        )
+    )
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "path": "binary (.npz, mmap)",
+                    "save_rec/s": persistence["binary_save_records_per_sec"],
+                    "load_rec/s": persistence["binary_load_records_per_sec"],
+                    "bytes": persistence["binary_bytes"],
+                },
+                {
+                    "path": "legacy JSON-lines",
+                    "save_rec/s": persistence["jsonl_save_records_per_sec"],
+                    "load_rec/s": persistence["jsonl_load_records_per_sec"],
+                    "bytes": persistence["jsonl_bytes"],
+                },
+            ],
+            title=(
+                f"Trace persistence (binary load "
+                f"{persistence['binary_load_speedup']}x the JSON-lines path)"
+            ),
+        )
+    )
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "design": row["design"],
+                    "static_rec/s": row["static_records_per_sec"],
+                    "dynamic_rec/s": row["dynamic_records_per_sec"],
+                    "mmap_rec/s": row["mmap_records_per_sec"],
+                    "event_overhead": row["event_overhead"],
+                    "mmap_stats_match": row["mmap_stats_match"],
+                }
+                for row in payload["replay"]
+            ],
+            title=f"Dynamic replay ({payload['events']} events in the stream)",
+        )
+    )
+    path = write_bench(payload, args.output or DEFAULT_TRACE_BENCH_OUTPUT)
+    print(f"Wrote {path}")
+    problems = []
+    if not persistence["round_trip_ok"]:
+        problems.append("binary save/load round trip altered the trace")
+    problems.extend(
+        f"mmap/memory stats mismatch for {row['design']}"
+        for row in payload["replay"]
+        if not row["mmap_stats_match"]
+    )
+    if problems:
+        for problem in problems:
+            print(f"WARNING: {problem}")
         return 1
     return 0
 
@@ -346,6 +465,7 @@ def cmd_list(_args: argparse.Namespace) -> int:
     print("Engines:   " + ", ".join(ENGINES) + f" (default: {default_engine()})")
     print(
         "Env knobs: RNUCA_JOBS (worker count), RNUCA_RESULTS_DIR (result cache), "
+        "RNUCA_TRACE_DIR (binary trace cache), "
         "RNUCA_EVAL_RECORDS (trace length for quick runs), "
         "RNUCA_ENGINE (fast | reference replay engine)"
     )

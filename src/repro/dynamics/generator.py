@@ -187,7 +187,7 @@ class DynamicTraceGenerator:
                     )
 
             seg_len = stop - start
-            threads = rng.integers(0, self.num_threads, size=seg_len)
+            threads = rng.integers(0, self.num_threads, size=seg_len, dtype=np.int64)
             class_ids = rng.choice(len(class_names), size=seg_len, p=phase_probs)
             instructions = rng.geometric(geometric_p, size=seg_len)
             store_draw = rng.random(seg_len)
@@ -201,8 +201,7 @@ class DynamicTraceGenerator:
                 mask = class_ids == class_index
                 if not mask.any():
                     continue
-                addr, _ = static._addresses_for_class(class_name, threads[mask])
-                addresses[mask] = addr
+                addresses[mask] = static._addresses_for_class(class_name, threads[mask])
                 region = static._regions[class_name]
                 if region.store_probability > 0:
                     is_store[mask] = store_draw[mask] < region.store_probability
@@ -227,8 +226,8 @@ class DynamicTraceGenerator:
                 if stale.any():
                     class_ids[stale] = _SHARED_RW_INDEX
 
-            thread_parts.append(threads.astype(np.int64))
-            core_parts.append(mapping[threads.astype(np.int64)])
+            thread_parts.append(threads)
+            core_parts.append(mapping[threads])
             class_parts.append(class_ids.astype(np.int16))
             instr_parts.append(instructions.astype(np.int64))
             address_parts.append(addresses)

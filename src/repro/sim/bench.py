@@ -1,4 +1,4 @@
-"""Engine micro-benchmark: records/sec per design, fast path vs seed path.
+"""Engine micro-benchmarks: replay, trace generation and trace persistence.
 
 ``repro bench`` (see :mod:`repro.cli`) measures how many trace records per
 second each cache design replays under
@@ -13,14 +13,23 @@ is kept; the reported ``speedup`` is fast/reference records per second.
 Both engines' results are also compared field by field, so every bench run
 doubles as an end-to-end equivalence check.
 
-The JSON payload written to ``BENCH_engine.json`` is stable input for CI
-artifacts and for tracking engine performance across commits.
+``repro bench --traces`` measures the trace *pipeline* instead of the
+replay engines (:func:`run_trace_bench`): generation throughput for static
+and dynamic (event-carrying) traces, save/load throughput of the binary
+columnar format against the legacy JSON-lines path, and fast-engine
+records/sec on a dynamic trace versus its static base — keeping the
+event-splitting overhead and the mmap-vs-memory equivalence visible.
+
+The JSON payloads written to ``BENCH_engine.json`` / ``BENCH_trace.json``
+are stable input for CI artifacts and for tracking performance across
+commits.
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -29,10 +38,13 @@ from typing import Callable, Iterable, Optional
 from repro.cmp.chip import TiledChip
 from repro.cmp.config import SystemConfig
 from repro.designs import build_design, normalize_design
+from repro.dynamics.generator import DynamicTraceGenerator
+from repro.dynamics.scenarios import resolve_dynamic
 from repro.sim.engine import TraceSimulator
 from repro.sim.latency import CpiModel
 from repro.workloads.generator import DEFAULT_SCALE, SyntheticTraceGenerator
 from repro.workloads.spec import get_workload
+from repro.workloads.trace import Trace
 
 #: Default trace length for a bench run (long enough to amortise warm-up).
 DEFAULT_BENCH_RECORDS = 40_000
@@ -49,6 +61,17 @@ DEFAULT_BENCH_REPEATS = 3
 
 #: Default output file name.
 DEFAULT_BENCH_OUTPUT = "BENCH_engine.json"
+
+#: Default trace length for ``repro bench --traces`` (the paper's
+#: per-simulation trace length, where the >=10x binary-vs-JSON load claim
+#: is pinned).
+DEFAULT_TRACE_BENCH_RECORDS = 60_000
+
+#: Default output file name for the trace-pipeline benchmark.
+DEFAULT_TRACE_BENCH_OUTPUT = "BENCH_trace.json"
+
+#: Dynamic scenario variant replayed by the trace bench.
+TRACE_BENCH_VARIANT = "migrate"
 
 
 @dataclass(frozen=True)
@@ -179,3 +202,187 @@ def write_bench(payload: dict, path: str | Path = DEFAULT_BENCH_OUTPUT) -> Path:
     path = Path(path)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+# --------------------------------------------------------------------------- #
+# Trace-pipeline benchmark (``repro bench --traces``)
+# --------------------------------------------------------------------------- #
+
+
+def _best_of(repeats: int, measure: Callable[[], float]) -> float:
+    """Best wall time of ``repeats`` calls to ``measure`` (itself a timing)."""
+    return min(measure() for _ in range(max(1, repeats)))
+
+
+def _bench_generation(spec, dspec, config, num_records, scale, seed, repeats) -> dict:
+    """Trace-synthesis throughput, static and dynamic (fresh generator each run)."""
+    def static_once() -> float:
+        start = time.perf_counter()
+        SyntheticTraceGenerator(spec, config, seed=seed, scale=scale).generate(num_records)
+        return time.perf_counter() - start
+
+    def dynamic_once() -> float:
+        start = time.perf_counter()
+        DynamicTraceGenerator(dspec, config, seed=seed, scale=scale).generate(num_records)
+        return time.perf_counter() - start
+
+    return {
+        "static_records_per_sec": round(num_records / _best_of(repeats, static_once), 1),
+        "dynamic_records_per_sec": round(num_records / _best_of(repeats, dynamic_once), 1),
+    }
+
+
+def _bench_persistence(trace: Trace, repeats: int) -> dict:
+    """Save/load throughput: binary columnar (mmap) vs legacy JSON-lines."""
+    num_records = len(trace)
+    with tempfile.TemporaryDirectory(prefix="rnuca-bench-") as tmp:
+        binary_path = Path(tmp) / "trace.npz"
+        jsonl_path = Path(tmp) / "trace.jsonl"
+
+        def binary_save() -> float:
+            start = time.perf_counter()
+            trace.save(binary_path)
+            return time.perf_counter() - start
+
+        def jsonl_save() -> float:
+            start = time.perf_counter()
+            trace.save(jsonl_path, format="jsonl")
+            return time.perf_counter() - start
+
+        def binary_load() -> float:
+            start = time.perf_counter()
+            Trace.load(binary_path)
+            return time.perf_counter() - start
+
+        def jsonl_load() -> float:
+            start = time.perf_counter()
+            Trace.load(jsonl_path)
+            return time.perf_counter() - start
+
+        binary_save_s = _best_of(repeats, binary_save)
+        jsonl_save_s = _best_of(repeats, jsonl_save)
+        binary_load_s = _best_of(repeats, binary_load)
+        jsonl_load_s = _best_of(repeats, jsonl_load)
+        round_trip_ok = Trace.load(binary_path).equals(trace)
+        binary_bytes = binary_path.stat().st_size
+        jsonl_bytes = jsonl_path.stat().st_size
+    return {
+        "binary_save_records_per_sec": round(num_records / binary_save_s, 1),
+        "binary_load_records_per_sec": round(num_records / binary_load_s, 1),
+        "jsonl_save_records_per_sec": round(num_records / jsonl_save_s, 1),
+        "jsonl_load_records_per_sec": round(num_records / jsonl_load_s, 1),
+        "binary_load_speedup": round(jsonl_load_s / binary_load_s, 1),
+        "binary_bytes": binary_bytes,
+        "jsonl_bytes": jsonl_bytes,
+        "round_trip_ok": round_trip_ok,
+    }
+
+
+def _replay_rate(letter, spec, config, trace, repeats) -> tuple[float, object]:
+    """Best-of fast-engine records/sec on ``trace``; returns (rate, result)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        result, elapsed = _measure_once(letter, spec, config, trace, "fast")
+        best = min(best, elapsed)
+    return len(trace) / best, result
+
+
+def _bench_dynamic_replay(
+    letters, spec, config, static_trace, dynamic_trace, repeats, progress,
+) -> list[dict]:
+    """Fast-engine throughput with events in the stream vs the static base.
+
+    For each design, the dynamic trace is also replayed from its
+    memory-mapped binary form and the statistics compared, so the bench
+    doubles as a zero-copy equivalence check.
+    """
+    with tempfile.TemporaryDirectory(prefix="rnuca-bench-") as tmp:
+        stored = Path(tmp) / "dynamic.npz"
+        dynamic_trace.save(stored)
+        mmap_trace = Trace.load(stored)
+        # Same pre-materialisation as the other traces: the timings must
+        # compare replay against replay, not one-time row preparation.
+        mmap_trace.hot_rows(config.block_size, config.page_size)
+        rows = []
+        for letter in letters:
+            if progress:
+                progress(f"replaying {letter} (static / dynamic / mmap)")
+            static_rate, _ = _replay_rate(letter, spec, config, static_trace, repeats)
+            dynamic_rate, memory_result = _replay_rate(
+                letter, spec, config, dynamic_trace, repeats
+            )
+            mmap_rate, mmap_result = _replay_rate(letter, spec, config, mmap_trace, repeats)
+            rows.append(
+                {
+                    "design": letter,
+                    "static_records_per_sec": round(static_rate, 1),
+                    "dynamic_records_per_sec": round(dynamic_rate, 1),
+                    "mmap_records_per_sec": round(mmap_rate, 1),
+                    "event_overhead": round(static_rate / dynamic_rate, 3),
+                    "mmap_stats_match": (
+                        mmap_result.stats.to_dict() == memory_result.stats.to_dict()
+                        and mmap_result.cpi == memory_result.cpi
+                    ),
+                }
+            )
+    return rows
+
+
+def run_trace_bench(
+    *,
+    designs: Iterable[str] = ("P", "R"),
+    workload: str = "oltp-db2",
+    variant: str = TRACE_BENCH_VARIANT,
+    num_records: int = DEFAULT_TRACE_BENCH_RECORDS,
+    scale: int = DEFAULT_SCALE,
+    seed: int = 0,
+    repeats: int = DEFAULT_BENCH_REPEATS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run the trace-pipeline benchmark and return the JSON-ready payload."""
+    letters = [normalize_design(d) for d in designs]
+    scenario = f"{workload}:{variant}"
+    spec = get_workload(workload)
+    dspec = resolve_dynamic(scenario)
+    config = SystemConfig.for_workload_category(spec.category).scaled(scale)
+
+    if progress:
+        progress(f"generating {workload} / {scenario} ({num_records} records)")
+    generation = _bench_generation(spec, dspec, config, num_records, scale, seed, repeats)
+    static_trace = SyntheticTraceGenerator(spec, config, seed=seed, scale=scale).generate(
+        num_records
+    )
+    dynamic_trace = DynamicTraceGenerator(dspec, config, seed=seed, scale=scale).generate(
+        num_records
+    )
+
+    if progress:
+        progress("timing save/load (binary columnar vs legacy JSON-lines)")
+    persistence = _bench_persistence(static_trace, repeats)
+
+    # Materialise the replay representations up front so the replay timings
+    # measure the engines, not one-time trace preparation.
+    static_trace.hot_rows(config.block_size, config.page_size)
+    dynamic_trace.hot_rows(config.block_size, config.page_size)
+    replay = _bench_dynamic_replay(
+        letters, spec, config, static_trace, dynamic_trace, repeats, progress
+    )
+
+    return {
+        "benchmark": "trace-pipeline",
+        "workload": workload,
+        "scenario": scenario,
+        "records": num_records,
+        "events": len(dynamic_trace.events),
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "baseline": "legacy JSON-lines persistence + static (event-free) replay",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "generation": generation,
+        "persistence": persistence,
+        "replay": replay,
+    }

@@ -49,6 +49,7 @@ from repro.sim.seed_path import seed_access, to_seed_access
 from repro.sim.stats import SampleAccumulator, SimulationStats
 from repro.workloads.generator import DEFAULT_SCALE, SyntheticTraceGenerator
 from repro.workloads.spec import WorkloadSpec, get_workload
+from repro.workloads.store import TraceKey, TraceStore
 from repro.workloads.trace import (
     INSTRUCTION_CODE,
     MIGRATION_EVENT,
@@ -702,15 +703,38 @@ def generate_workload_trace(
     *,
     seed: int = 0,
     scale: float = DEFAULT_SCALE,
+    store: Optional[TraceStore] = None,
 ) -> Trace:
-    """Build the trace for a resolved workload (dynamic when ``dyn`` is set)."""
-    if dyn is not None:
-        return DynamicTraceGenerator(dyn, config, seed=seed, scale=scale).generate(
+    """Build the trace for a resolved workload (dynamic when ``dyn`` is set).
+
+    With a :class:`~repro.workloads.store.TraceStore`, the trace is served
+    from the binary columnar cache when present (memory-mapped, zero-copy)
+    and generated + persisted exactly once when not; the cache key covers
+    the resolved spec's fingerprint, so edited workload parameters never
+    serve stale traces.
+    """
+    def build() -> Trace:
+        if dyn is not None:
+            return DynamicTraceGenerator(dyn, config, seed=seed, scale=scale).generate(
+                num_records
+            )
+        return SyntheticTraceGenerator(spec, config, seed=seed, scale=scale).generate(
             num_records
         )
-    return SyntheticTraceGenerator(spec, config, seed=seed, scale=scale).generate(
-        num_records
+
+    if store is None:
+        return build()
+    key = TraceKey.make(
+        dyn.name if dyn is not None else spec.name,
+        num_records=num_records,
+        scale=scale,
+        seed=seed,
+        spec=spec,
+        dyn=dyn,
+        config=config,
     )
+    trace, _ = store.get_or_create(key, build)
+    return trace
 
 
 def simulate_workload(

@@ -27,7 +27,13 @@ objects:
 :class:`BatchRunner`
     Fans missing points out across worker processes with
     :class:`concurrent.futures.ProcessPoolExecutor` (or runs them inline
-    for ``jobs=1``), consulting and filling the store.
+    for ``jobs=1``), consulting and filling the store.  With a
+    :class:`~repro.workloads.store.TraceStore` attached (``trace_store=``
+    or the ``RNUCA_TRACE_DIR`` environment variable), every workload trace
+    in the batch is generated **exactly once**: the parent pre-materialises
+    missing traces into the binary columnar store before fanning out, and
+    the workers memory-map them read-only — no regeneration per process,
+    no trace pickling over the pool.
 
 Typical use::
 
@@ -63,6 +69,7 @@ from repro.sim.engine import (
     simulate_workload,
 )
 from repro.workloads.generator import DEFAULT_SCALE
+from repro.workloads.store import TRACE_DIR_ENV, TraceStore
 
 #: Environment variable read for the default worker count.
 JOBS_ENV = "RNUCA_JOBS"
@@ -82,6 +89,17 @@ def default_jobs() -> int:
         return max(1, int(os.environ.get(JOBS_ENV, "1")))
     except ValueError:
         return 1
+
+
+def default_trace_store() -> Optional[TraceStore]:
+    """Trace store from ``RNUCA_TRACE_DIR``, or ``None`` when unset.
+
+    Library callers opt in through the environment (or an explicit
+    ``trace_store=``); the CLI always attaches a store (see
+    :func:`repro.cli.cmd_run`), defaulting to ``traces/``.
+    """
+    directory = os.environ.get(TRACE_DIR_ENV)
+    return TraceStore(directory) if directory else None
 
 
 @dataclass(frozen=True)
@@ -221,6 +239,27 @@ class ExperimentGrid:
         )
 
 
+#: The trace store this process consults inside :func:`execute_point`.
+#: Installed by :func:`set_process_trace_store` — the pool initializer in
+#: worker processes, and :meth:`BatchRunner.run` in the parent.
+_PROCESS_TRACE_STORE: Optional[TraceStore] = None
+
+
+def set_process_trace_store(directory: Optional[str]) -> None:
+    """Install (or clear) this process's trace store.
+
+    Doubles as the :class:`~concurrent.futures.ProcessPoolExecutor`
+    initializer: workers receive the store directory as a plain string, so
+    no trace ever crosses the pool boundary — each worker memory-maps the
+    files the parent pre-materialised.  Changing the store invalidates the
+    per-process trace cache (a different directory may hold different
+    artifacts for the same key).
+    """
+    global _PROCESS_TRACE_STORE
+    _PROCESS_TRACE_STORE = TraceStore(directory) if directory else None
+    _trace_for.cache_clear()
+
+
 @lru_cache(maxsize=4)
 def _trace_for(workload: str, num_records: int, scale: int, seed: int):
     """Per-process trace cache so one workload's grid points share a trace.
@@ -230,11 +269,16 @@ def _trace_for(workload: str, num_records: int, scale: int, seed: int):
     trace object instead of regenerating it per point.  Traces are read-only
     during simulation, which is what made the old serial path's sharing safe.
     Dynamic scenario names ("oltp-db2:migrate") route through the
-    :class:`~repro.dynamics.generator.DynamicTraceGenerator`.
+    :class:`~repro.dynamics.generator.DynamicTraceGenerator`.  When a trace
+    store is installed (:func:`set_process_trace_store`), the trace is
+    memory-mapped from the binary columnar cache instead of regenerated.
     """
     spec, dyn = resolve_workload(workload)
     config = SystemConfig.for_workload_category(spec.category).scaled(scale)
-    return generate_workload_trace(spec, dyn, config, num_records, seed=seed, scale=scale)
+    return generate_workload_trace(
+        spec, dyn, config, num_records, seed=seed, scale=scale,
+        store=_PROCESS_TRACE_STORE,
+    )
 
 
 def execute_point(point: ExperimentPoint) -> SimulationResult:
@@ -392,12 +436,14 @@ class BatchRunner:
         *,
         jobs: Optional[int] = None,
         progress: Optional[Callable[[str], None]] = None,
+        trace_store: Optional[TraceStore] = None,
     ) -> None:
         self.store = store
         self.jobs = jobs if jobs is not None else default_jobs()
         if self.jobs < 1:
             raise SimulationError("jobs must be >= 1")
         self.progress = progress or (lambda message: None)
+        self.trace_store = trace_store if trace_store is not None else default_trace_store()
 
     def run(self, points: Iterable[ExperimentPoint]) -> BatchResult:
         """Execute (or fetch from cache) every point and return the batch."""
@@ -416,6 +462,8 @@ class BatchRunner:
                 self.progress(f"cached    {point.label}")
             else:
                 missing.append(point)
+        if missing and self.trace_store is not None:
+            self._materialise_traces(missing)
         for point, result in self._execute(missing):
             batch.results[point.content_hash] = result
             batch.executed += 1
@@ -424,17 +472,54 @@ class BatchRunner:
             self.progress(f"simulated {point.label}  cpi={result.cpi:.3f}")
         return batch
 
+    def _materialise_traces(self, missing: list[ExperimentPoint]) -> None:
+        """Generate every distinct trace the batch needs, once, in the parent.
+
+        After this, every worker's :func:`_trace_for` is a pure read: it
+        memory-maps the stored file, so the columns live once in the page
+        cache no matter how many processes replay them.
+        """
+        done: set[tuple] = set()
+        for point in missing:
+            signature = (point.workload, point.num_records, point.scale, point.seed)
+            if signature in done:
+                continue
+            done.add(signature)
+            spec, dyn = resolve_workload(point.workload)
+            config = SystemConfig.for_workload_category(spec.category).scaled(point.scale)
+            generate_workload_trace(
+                spec, dyn, config, point.num_records,
+                seed=point.seed, scale=point.scale, store=self.trace_store,
+            )
+            self.progress(
+                f"trace     {point.workload} ({point.num_records} records) ready"
+            )
+
     def _execute(
         self, missing: list[ExperimentPoint]
     ) -> Iterator[tuple[ExperimentPoint, SimulationResult]]:
         if not missing:
             return
         workers = min(self.jobs, len(missing))
+        trace_dir = str(self.trace_store.directory) if self.trace_store else None
         if workers == 1:
-            for point in missing:
-                yield point, execute_point(point)
+            previous = (
+                str(_PROCESS_TRACE_STORE.directory) if _PROCESS_TRACE_STORE else None
+            )
+            if trace_dir is not None:
+                set_process_trace_store(trace_dir)
+            try:
+                for point in missing:
+                    yield point, execute_point(point)
+            finally:
+                if trace_dir is not None:
+                    set_process_trace_store(previous)
             return
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        initializer = set_process_trace_store if trace_dir is not None else None
+        initargs = (trace_dir,) if trace_dir is not None else ()
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        ) as pool:
             yield from zip(missing, pool.map(execute_point, missing))
 
 
@@ -444,6 +529,9 @@ def run_grid(
     store: Optional[ResultStore] = None,
     jobs: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    trace_store: Optional[TraceStore] = None,
 ) -> BatchResult:
     """Convenience wrapper: run every point of ``grid`` through a runner."""
-    return BatchRunner(store=store, jobs=jobs, progress=progress).run(grid.points())
+    return BatchRunner(
+        store=store, jobs=jobs, progress=progress, trace_store=trace_store
+    ).run(grid.points())

@@ -17,6 +17,7 @@ from repro.workloads.spec import (
     WorkloadSpec,
     get_workload,
 )
+from repro.workloads.store import TraceKey, TraceStore, spec_fingerprint
 from repro.workloads.trace import Trace, TraceRecord
 
 __all__ = [
@@ -27,5 +28,8 @@ __all__ = [
     "get_workload",
     "Trace",
     "TraceRecord",
+    "TraceKey",
+    "TraceStore",
+    "spec_fingerprint",
     "SyntheticTraceGenerator",
 ]

@@ -215,6 +215,9 @@ class SyntheticTraceGenerator:
         Each mixed page is filled mostly with shared read-write blocks; the
         last block of the page is reserved as a private block belonging to
         one particular core (page ``i`` belongs to core ``i % num_cores``).
+        Built with broadcast arithmetic — page bases outer-added to the
+        block offsets — in the same page-major order the old per-page loop
+        produced.
         """
         blocks_per_page = max(2, self.page_size // self.block_size)
         shared_region = self._regions["shared_rw"]
@@ -226,17 +229,11 @@ class SyntheticTraceGenerator:
                 / blocks_per_page
             ),
         )
-        frames = self._allocate_frames(num_pages)
-        shared_blocks = []
-        private_blocks = []
-        for page in range(num_pages):
-            page_base = int(frames[page]) * self.page_size
-            for offset in range(blocks_per_page - 1):
-                shared_blocks.append(page_base + offset * self.block_size)
-            private_blocks.append(page_base + (blocks_per_page - 1) * self.block_size)
+        page_bases = self._allocate_frames(num_pages) * np.int64(self.page_size)
+        offsets = np.arange(blocks_per_page - 1, dtype=np.int64) * self.block_size
         return {
-            "shared": np.array(shared_blocks, dtype=np.int64),
-            "private": np.array(private_blocks, dtype=np.int64),
+            "shared": (page_bases[:, None] + offsets[None, :]).reshape(-1),
+            "private": page_bases + (blocks_per_page - 1) * self.block_size,
         }
 
     # ------------------------------------------------------------------ #
@@ -271,15 +268,12 @@ class SyntheticTraceGenerator:
         span = group_size * sharers
         return start, span
 
-    def _addresses_for_class(
-        self, class_name: str, cores: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Byte addresses and true-class labels for one class's references."""
+    def _addresses_for_class(self, class_name: str, cores: np.ndarray) -> np.ndarray:
+        """Byte addresses for one class's references (one per entry of ``cores``)."""
         region = self._regions[class_name]
         count = len(cores)
-        labels = np.full(count, class_name, dtype=object)
         if count == 0:
-            return np.empty(0, dtype=np.int64), labels
+            return np.empty(0, dtype=np.int64)
 
         indices = self._sample_block_indices(region, count)
 
@@ -324,7 +318,7 @@ class SyntheticTraceGenerator:
                     cores[mixed_mask] % len(self._mixed_blocks["private"])
                 ]
                 addresses[mixed_mask] = owned
-        return addresses, labels
+        return addresses
 
     # ------------------------------------------------------------------ #
     # Generation
@@ -342,15 +336,12 @@ class SyntheticTraceGenerator:
         store_draw = rng.random(num_records)
 
         addresses = np.zeros(num_records, dtype=np.int64)
-        labels = np.empty(num_records, dtype=object)
         is_store = np.zeros(num_records, dtype=bool)
         for class_index, class_name in enumerate(self._class_names):
             mask = class_ids == class_index
             if not mask.any():
                 continue
-            addr, lab = self._addresses_for_class(class_name, cores[mask])
-            addresses[mask] = addr
-            labels[mask] = lab
+            addresses[mask] = self._addresses_for_class(class_name, cores[mask])
             region = self._regions[class_name]
             if region.store_probability > 0:
                 is_store[mask] = store_draw[mask] < region.store_probability
@@ -362,12 +353,10 @@ class SyntheticTraceGenerator:
             INSTRUCTION_CODE,
             np.where(is_store, STORE_CODE, LOAD_CODE),
         ).astype(np.int8)
-        # ``labels`` holds the class-name strings; map them onto a compact
-        # code table ordered None-first so unlabeled records stay code 0.
+        # Class ids index ``_class_names``; the code table is None-first, so
+        # the ground-truth code is simply the class id shifted by one.
         class_table: tuple[str | None, ...] = (None, *self._class_names)
-        label_codes = np.zeros(num_records, dtype=np.int16)
-        for code, class_name in enumerate(self._class_names, start=1):
-            label_codes[labels == class_name] = code
+        label_codes = (class_ids + 1).astype(np.int16)
         columns = TraceColumns(
             core=cores.astype(np.int64),
             access_type=access_codes,

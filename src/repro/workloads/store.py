@@ -1,0 +1,196 @@
+"""Content-addressed, memory-mapped trace persistence.
+
+The paper's evaluation replays one workload trace against every design
+point, so the trace lifecycle dominates a grid's wall clock once replay is
+fast: without a shared store every worker process regenerates each trace
+from scratch.  :class:`TraceStore` turns the trace into a build artifact:
+
+:class:`TraceKey`
+    Identifies one generated trace: ``(workload, num_records, scale, seed,
+    spec-hash)``.  The spec hash fingerprints the *resolved* workload
+    specification (including the dynamic phases/schedule for scenario
+    traces) and the scaled machine configuration the generator derives
+    addresses from, so editing a workload's parameters — or the machine
+    geometry — invalidates its cached traces without manual versioning.
+
+:class:`TraceStore`
+    A directory of ``<workload>.<hash>.npz`` files in the binary columnar
+    format of :meth:`repro.workloads.trace.Trace.save`.  ``get`` memory-maps
+    a stored trace (zero-copy: all processes share one physical copy of the
+    column data through the page cache); ``put`` writes atomically so
+    concurrent workers cannot observe a torn file; corrupt files read as
+    misses and are regenerated.  Every *actual* generation appends one line
+    to ``generated.log``, which is what lets the tests assert that a cold
+    parallel grid generates each workload trace exactly once.
+
+The cache location is controlled by ``RNUCA_TRACE_DIR`` (default
+``traces/``); see :class:`repro.sim.runner.BatchRunner` for how the parent
+process pre-materialises traces and workers attach read-only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.errors import TraceError
+from repro.workloads.trace import Trace
+
+#: Environment variable selecting the trace-store directory.
+TRACE_DIR_ENV = "RNUCA_TRACE_DIR"
+
+#: Default directory for the binary trace cache.
+DEFAULT_TRACE_DIR = "traces"
+
+#: Append-only log of traces the store actually generated (one line per
+#: generation, the stored file's name).  Cache hits do not log.
+GENERATION_LOG = "generated.log"
+
+
+def spec_fingerprint(spec, dyn=None, config=None) -> str:
+    """Digest of everything trace generation consumes.
+
+    All three arguments are (frozen) dataclasses; ``dataclasses.asdict``
+    flattens them — nested profiles, phases, schedules, cache and memory
+    geometry and all — into plain dicts whose canonical JSON form is
+    hashed.  Any change to a generation parameter therefore changes the
+    fingerprint and retires stale traces.  ``config`` (the scaled
+    :class:`~repro.cmp.config.SystemConfig`) matters because the generator
+    derives addresses from the machine's page/block geometry and core
+    count: two traces for the same workload on different machines are
+    different artifacts.
+    """
+    payload = {"spec": asdict(spec)}
+    if dyn is not None:
+        payload["dynamic"] = asdict(dyn)
+    if config is not None:
+        payload["config"] = asdict(config)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class TraceKey:
+    """Identity of one generated trace; the store's content address."""
+
+    workload: str
+    num_records: int
+    scale: float
+    seed: int
+    spec_hash: str
+
+    @classmethod
+    def make(
+        cls,
+        workload: str,
+        *,
+        num_records: int,
+        scale: float,
+        seed: int,
+        spec,
+        dyn=None,
+        config=None,
+    ) -> "TraceKey":
+        return cls(
+            workload=workload,
+            num_records=int(num_records),
+            scale=float(scale),
+            seed=int(seed),
+            spec_hash=spec_fingerprint(spec, dyn, config),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "num_records": self.num_records,
+            "scale": self.scale,
+            "seed": self.seed,
+            "spec_hash": self.spec_hash,
+        }
+
+    @property
+    def content_hash(self) -> str:
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+
+    @property
+    def filename(self) -> str:
+        # Scenario names carry ":" (e.g. "oltp-db2:migrate"); keep the
+        # filename portable across filesystems.
+        slug = re.sub(r"[^A-Za-z0-9._-]", "_", self.workload)
+        return f"{slug}.{self.content_hash}.npz"
+
+
+class TraceStore:
+    """A directory of content-addressed binary columnar trace files."""
+
+    def __init__(self, directory: str | Path = DEFAULT_TRACE_DIR) -> None:
+        self.directory = Path(directory)
+
+    @classmethod
+    def from_env(cls) -> "TraceStore":
+        """Store at ``RNUCA_TRACE_DIR``, defaulting to ``traces/``."""
+        return cls(os.environ.get(TRACE_DIR_ENV) or DEFAULT_TRACE_DIR)
+
+    def path_for(self, key: TraceKey) -> Path:
+        return self.directory / key.filename
+
+    def get(self, key: TraceKey, *, mmap: bool = True) -> Optional[Trace]:
+        """The stored trace for ``key`` (memory-mapped), or ``None``.
+
+        A corrupt or truncated file — a crashed writer, a damaged cache —
+        reads as a miss so the caller regenerates instead of crashing.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            return Trace.load(path, mmap=mmap)
+        except (TraceError, OSError):
+            return None
+
+    def put(self, key: TraceKey, trace: Trace) -> Path:
+        """Persist ``trace`` under ``key`` atomically (write + rename)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            trace.save(tmp)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    def get_or_create(self, key: TraceKey, factory: Callable[[], Trace]) -> tuple[Trace, bool]:
+        """Return ``(trace, was_cache_hit)``, generating at most once.
+
+        On a miss, ``factory()`` builds the trace, the store persists it,
+        and the generation is logged; the freshly built in-memory trace is
+        returned (identical, column for column, to what a later
+        memory-mapped ``get`` yields).
+        """
+        cached = self.get(key)
+        if cached is not None:
+            return cached, True
+        trace = factory()
+        self.put(key, trace)
+        self._log_generation(key)
+        return trace, False
+
+    def _log_generation(self, key: TraceKey) -> None:
+        # O_APPEND writes of one short line are atomic on POSIX, so worker
+        # processes can log concurrently without interleaving.
+        with (self.directory / GENERATION_LOG).open("a", encoding="utf-8") as handle:
+            handle.write(f"{key.filename}\n")
+
+    def generation_log(self) -> list[str]:
+        """Filenames of every trace this store actually generated, in order."""
+        path = self.directory / GENERATION_LOG
+        if not path.exists():
+            return []
+        return path.read_text(encoding="utf-8").splitlines()

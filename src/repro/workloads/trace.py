@@ -15,12 +15,23 @@ materialised view, and the hot-path accessors (:meth:`Trace.hot_columns`,
 :meth:`Trace.block_numbers`, :meth:`Trace.page_numbers`) hand the simulation
 engine plain Python lists with block/page numbers precomputed once per trace
 instead of once per (design, record).
+
+Persistence is **binary columnar**: :meth:`Trace.save` writes an
+uncompressed ``.npz`` archive (one ``.npy`` member per column, events
+included, plus a JSON header member for the workload name, core count,
+metadata and class table) and :meth:`Trace.load` memory-maps the members
+back, so a sixty-thousand-record trace loads in microseconds and any number
+of worker processes share one copy of the column data through the page
+cache.  The pre-binary JSON-lines format remains readable (``Trace.load``
+sniffs the file magic) and writable via ``save(path, format="jsonl")`` for
+one release.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+import zipfile
+from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Iterable, Iterator, NamedTuple, Optional, Sequence
 
@@ -51,6 +62,31 @@ NO_THREAD = -1
 MIGRATION_EVENT = 0  # arg0 = thread id, arg1 = destination core
 SHARING_ONSET_EVENT = 1  # arg0 = victim thread whose private region went shared
 PHASE_EVENT = 2  # arg0 = phase index into the trace's "phases" metadata
+
+#: Version stamp written into the binary trace header.
+TRACE_FORMAT_VERSION = 1
+
+#: Leading bytes of a zip archive — how :meth:`Trace.load` tells the binary
+#: columnar format apart from legacy JSON-lines files.
+_ZIP_MAGIC = b"PK\x03\x04"
+
+#: Column dtypes of the binary format, enforced on load so a trace restored
+#: from disk is indistinguishable from a freshly generated one.
+_COLUMN_DTYPES = {
+    "core": np.int64,
+    "access_type": np.int8,
+    "address": np.int64,
+    "instructions": np.int64,
+    "thread_id": np.int64,
+    "true_class": np.int16,
+}
+
+_EVENT_DTYPES = {
+    "event_record_index": np.int64,
+    "event_kind": np.int8,
+    "event_arg0": np.int64,
+    "event_arg1": np.int64,
+}
 
 
 @dataclass(frozen=True)
@@ -334,6 +370,33 @@ class Trace:
         """Whether the trace carries behaviour-changing events."""
         return len(self.events) > 0
 
+    def equals(self, other: "Trace") -> bool:
+        """Deep equality: columns, events, identity and metadata.
+
+        The column and event field lists come from the dataclass
+        definitions, so a field added to :class:`TraceColumns` or
+        :class:`TraceEvents` is compared automatically — persistence tests
+        and the bench round-trip check cannot silently stop covering it.
+        """
+        for field in fields(TraceColumns):
+            mine = getattr(self.columns, field.name)
+            theirs = getattr(other.columns, field.name)
+            if field.name == "class_table":
+                if mine != theirs:
+                    return False
+            elif not np.array_equal(mine, theirs):
+                return False
+        for field in fields(TraceEvents):
+            if not np.array_equal(
+                getattr(self.events, field.name), getattr(other.events, field.name)
+            ):
+                return False
+        return (
+            self.workload == other.workload
+            and self.num_cores == other.num_cores
+            and self.metadata == other.metadata
+        )
+
     # ------------------------------------------------------------------ #
     # Record-oriented view (compatibility API)
     # ------------------------------------------------------------------ #
@@ -382,8 +445,33 @@ class Trace:
         return int(self.columns.instructions.sum())
 
     def records_for_core(self, core: int) -> list[TraceRecord]:
-        records = self.records
-        return [records[i] for i in np.nonzero(self.columns.core == core)[0].tolist()]
+        """Records issued by one core, materialised from a boolean mask.
+
+        Only the matching rows become :class:`TraceRecord` objects; the rest
+        of the trace stays columnar (filtering sixty thousand records for
+        one of sixteen cores used to build all sixty thousand first).
+        """
+        cols = self.columns
+        mask = cols.core == core
+        table = cols.class_table
+        return [
+            TraceRecord(
+                core=row_core,
+                access_type=ACCESS_TYPE_BY_CODE[kind],
+                address=address,
+                instructions=instructions,
+                thread_id=None if thread == NO_THREAD else thread,
+                true_class=table[label],
+            )
+            for row_core, kind, address, instructions, thread, label in zip(
+                cols.core[mask].tolist(),
+                cols.access_type[mask].tolist(),
+                cols.address[mask].tolist(),
+                cols.instructions[mask].tolist(),
+                cols.thread_id[mask].tolist(),
+                cols.true_class[mask].tolist(),
+            )
+        ]
 
     def class_mix(self) -> dict[str, float]:
         """Fraction of references per ground-truth class."""
@@ -404,26 +492,37 @@ class Trace:
     # Hot-path accessors (columnar fast path)
     # ------------------------------------------------------------------ #
     def hot_columns(self) -> HotColumns:
-        """Plain-list columns for the simulation hot loop (cached)."""
+        """Plain-list columns for the simulation hot loop (cached).
+
+        Everything is derived from the typed column arrays with vectorised
+        table lookups — per-table-entry decode plus object-array fancy
+        indexing — so no per-record Python loop runs; the only per-record
+        work is the final ``tolist()`` conversion the replay loop needs.
+        Because the lookup tables hold one interned string per class, equal
+        labels in the result are the *same* string object, which keeps the
+        engine's string comparisons on the pointer-equality fast path.
+        """
         if self._hot is None:
             cols = self.columns
-            codes = cols.access_type.tolist()
-            table = cols.class_table
-            true_class = [table[label] for label in cols.true_class.tolist()]
-            threads = np.where(
-                cols.thread_id == NO_THREAD, cols.core, cols.thread_id
-            ).tolist()
+            class_table = np.array(cols.class_table, dtype=object)
+            true_class = class_table[cols.true_class]
+            # Coarse label per class-table entry (assuming a data access),
+            # then instruction accesses overridden in one vectorised store.
+            data_coarse = np.array(
+                [_coarse_label(LOAD_CODE, entry) for entry in cols.class_table],
+                dtype=object,
+            )
+            coarse = data_coarse[cols.true_class]
+            coarse[cols.access_type == INSTRUCTION_CODE] = "instruction"
+            threads = np.where(cols.thread_id == NO_THREAD, cols.core, cols.thread_id)
             self._hot = HotColumns(
                 core=cols.core.tolist(),
-                access_code=codes,
+                access_code=cols.access_type.tolist(),
                 address=cols.address.tolist(),
                 instructions=cols.instructions.tolist(),
-                thread=threads,
-                true_class=true_class,
-                coarse_class=[
-                    _coarse_label(code, label)
-                    for code, label in zip(codes, true_class)
-                ],
+                thread=threads.tolist(),
+                true_class=true_class.tolist(),
+                coarse_class=coarse.tolist(),
             )
         return self._hot
 
@@ -481,11 +580,57 @@ class Trace:
         return array
 
     # ------------------------------------------------------------------ #
-    # Persistence (JSON-lines; traces are small enough for text)
+    # Persistence (binary columnar .npz, with a legacy JSON-lines reader)
     # ------------------------------------------------------------------ #
-    def save(self, path: str | Path) -> None:
-        """Write the trace as JSON lines (one header line, then records)."""
-        path = Path(path)
+    def save(self, path: str | Path, *, format: str = "binary") -> None:
+        """Write the trace to ``path``.
+
+        ``format="binary"`` (the default) writes an uncompressed ``.npz``
+        archive — one ``.npy`` member per column (events included) plus a
+        JSON ``header`` member — which :meth:`load` memory-maps back
+        without copying the column data.  ``format="jsonl"`` writes the
+        legacy JSON-lines representation (kept for one release as a
+        migration aid and as the ``repro bench --traces`` baseline).
+        """
+        if format == "binary":
+            self._save_binary(Path(path))
+        elif format == "jsonl":
+            self._save_jsonl(Path(path))
+        else:
+            raise TraceError(f"unknown trace format {format!r}")
+
+    def _save_binary(self, path: Path) -> None:
+        cols = self.columns
+        events = self.events
+        header = {
+            "version": TRACE_FORMAT_VERSION,
+            "workload": self.workload,
+            "num_cores": self.num_cores,
+            "metadata": self.metadata,
+            "class_table": list(cols.class_table),
+        }
+        header_bytes = json.dumps(header, default=_json_scalar).encode("utf-8")
+        arrays = {
+            "core": np.ascontiguousarray(cols.core, dtype=np.int64),
+            "access_type": np.ascontiguousarray(cols.access_type, dtype=np.int8),
+            "address": np.ascontiguousarray(cols.address, dtype=np.int64),
+            "instructions": np.ascontiguousarray(cols.instructions, dtype=np.int64),
+            "thread_id": np.ascontiguousarray(cols.thread_id, dtype=np.int64),
+            "true_class": np.ascontiguousarray(cols.true_class, dtype=np.int16),
+            "event_record_index": np.ascontiguousarray(events.record_index, dtype=np.int64),
+            "event_kind": np.ascontiguousarray(events.kind, dtype=np.int8),
+            "event_arg0": np.ascontiguousarray(events.arg0, dtype=np.int64),
+            "event_arg1": np.ascontiguousarray(events.arg1, dtype=np.int64),
+            "header": np.frombuffer(header_bytes, dtype=np.uint8),
+        }
+        # np.savez on an open handle keeps the caller's exact path (the
+        # string form would append ".npz"); members are ZIP_STORED, which is
+        # what makes the member-level memory mapping in load() possible.
+        with path.open("wb") as handle:
+            np.savez(handle, **arrays)
+
+    def _save_jsonl(self, path: Path) -> None:
+        """The legacy JSON-lines writer (one header line, then records)."""
         cols = self.columns
         table = cols.class_table
         with path.open("w", encoding="utf-8") as handle:
@@ -496,7 +641,7 @@ class Trace:
             }
             if len(self.events):
                 header["events"] = self.events.rows()
-            handle.write(json.dumps(header) + "\n")
+            handle.write(json.dumps(header, default=_json_scalar) + "\n")
             for core, kind, address, instructions, thread, label in zip(
                 cols.core.tolist(),
                 cols.access_type.tolist(),
@@ -520,9 +665,64 @@ class Trace:
                 )
 
     @classmethod
-    def load(cls, path: str | Path) -> "Trace":
-        """Read a trace previously written by :meth:`save`."""
+    def load(cls, path: str | Path, *, mmap: bool = True) -> "Trace":
+        """Read a trace previously written by :meth:`save` (either format).
+
+        Binary traces are memory-mapped by default: the column arrays are
+        read-only views straight into the page cache, so loading is O(1) in
+        the trace length and concurrent processes share one physical copy.
+        Pass ``mmap=False`` to force an in-memory copy (e.g. when the file
+        will be replaced while the trace is still alive).
+        """
         path = Path(path)
+        try:
+            with path.open("rb") as handle:
+                magic = handle.read(len(_ZIP_MAGIC))
+        except OSError as error:
+            raise TraceError(f"cannot read trace file {path}: {error}") from error
+        if magic == _ZIP_MAGIC:
+            return cls._load_binary(path, mmap=mmap)
+        return cls._load_jsonl(path)
+
+    @classmethod
+    def _load_binary(cls, path: Path, *, mmap: bool) -> "Trace":
+        arrays = _mmap_npz_members(path) if mmap else None
+        if arrays is None:
+            try:
+                with np.load(path, allow_pickle=False) as bundle:
+                    arrays = {name: bundle[name] for name in bundle.files}
+            except (OSError, ValueError, zipfile.BadZipFile) as error:
+                raise TraceError(f"corrupt binary trace {path}: {error}") from error
+        try:
+            header = json.loads(bytes(arrays["header"]).decode("utf-8"))
+            columns = TraceColumns(
+                class_table=tuple(header["class_table"]),
+                **{
+                    name: _typed_column(arrays[name], dtype, name)
+                    for name, dtype in _COLUMN_DTYPES.items()
+                },
+            )
+            events = TraceEvents(
+                record_index=_typed_column(
+                    arrays["event_record_index"], np.int64, "event_record_index"
+                ),
+                kind=_typed_column(arrays["event_kind"], np.int8, "event_kind"),
+                arg0=_typed_column(arrays["event_arg0"], np.int64, "event_arg0"),
+                arg1=_typed_column(arrays["event_arg1"], np.int64, "event_arg1"),
+            )
+            return cls.from_columns(
+                columns,
+                workload=header.get("workload", "unknown"),
+                num_cores=header.get("num_cores", 0),
+                metadata=header.get("metadata", {}),
+                events=events,
+            )
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as error:
+            raise TraceError(f"corrupt binary trace {path}: {error}") from error
+
+    @classmethod
+    def _load_jsonl(cls, path: Path) -> "Trace":
+        """The legacy JSON-lines reader (kept for one release)."""
         class_codes: dict[Optional[str], int] = {None: 0}
         table: list[Optional[str]] = [None]
         cores: list[int] = []
@@ -568,3 +768,73 @@ class Trace:
                 [tuple(row) for row in events]
             ) if events else None,
         )
+
+
+def _json_scalar(value):
+    """JSON fallback for numpy scalars hiding in trace metadata."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    raise TypeError(f"{value!r} is not JSON serializable")
+
+
+def _typed_column(array: np.ndarray, dtype, name: str) -> np.ndarray:
+    """Check a loaded column's dtype without copying memory-mapped data."""
+    if array.dtype != dtype:
+        raise TraceError(f"trace column {name!r} has dtype {array.dtype}, expected {dtype}")
+    if array.ndim != 1:
+        raise TraceError(f"trace column {name!r} must be one-dimensional")
+    return array
+
+
+def _mmap_npz_members(path: Path) -> Optional[dict[str, np.ndarray]]:
+    """Memory-map every ``.npy`` member of an uncompressed ``.npz`` archive.
+
+    ``np.load(..., mmap_mode="r")`` silently ignores ``mmap_mode`` for zip
+    archives, so the zero-copy path is built by hand: each member written by
+    ``np.savez`` is ZIP_STORED (no compression), meaning its ``.npy`` bytes
+    sit verbatim in the file and a :class:`numpy.memmap` can be opened at
+    ``member data offset + npy header size``.  Returns ``None`` whenever the
+    archive does not match those expectations (compressed members, object
+    dtypes, Fortran order, unknown npy versions); callers then fall back to
+    a regular copying load.
+    """
+    read_header = {
+        (1, 0): np.lib.format.read_array_header_1_0,
+        (2, 0): np.lib.format.read_array_header_2_0,
+    }
+    try:
+        arrays: dict[str, np.ndarray] = {}
+        with zipfile.ZipFile(path) as archive, path.open("rb") as raw:
+            for info in archive.infolist():
+                if info.compress_type != zipfile.ZIP_STORED:
+                    return None
+                if not info.filename.endswith(".npy"):
+                    return None
+                # The local file header is 30 fixed bytes plus the name and
+                # the extra field; the member's data follows immediately.
+                raw.seek(info.header_offset)
+                local_header = raw.read(30)
+                if len(local_header) < 30 or not local_header.startswith(_ZIP_MAGIC):
+                    return None
+                name_len = int.from_bytes(local_header[26:28], "little")
+                extra_len = int.from_bytes(local_header[28:30], "little")
+                raw.seek(info.header_offset + 30 + name_len + extra_len)
+                version = np.lib.format.read_magic(raw)
+                if version not in read_header:
+                    return None
+                shape, fortran_order, dtype = read_header[version](raw)
+                if fortran_order or dtype.hasobject:
+                    return None
+                name = info.filename[: -len(".npy")]
+                if int(np.prod(shape)) == 0:
+                    # mmap cannot map zero bytes; an empty array is free.
+                    arrays[name] = np.empty(shape, dtype=dtype)
+                else:
+                    arrays[name] = np.memmap(
+                        path, mode="r", dtype=dtype, shape=shape, offset=raw.tell()
+                    )
+        return arrays
+    except (OSError, ValueError, zipfile.BadZipFile):
+        return None

@@ -17,6 +17,21 @@ from repro.workloads.spec import get_workload
 TEST_SCALE = 64
 
 
+@pytest.fixture(autouse=True)
+def trace_dir(tmp_path, monkeypatch):
+    """Isolate every test from the developer's real trace cache.
+
+    ``BatchRunner`` (and the CLI) pick up ``RNUCA_TRACE_DIR`` from the
+    environment; without this fixture a developer with the variable
+    exported would have the suite read from — and write into — their
+    actual trace store, and a cache generated under older code could fail
+    equivalence tests spuriously.
+    """
+    directory = tmp_path / "traces"
+    monkeypatch.setenv("RNUCA_TRACE_DIR", str(directory))
+    return directory
+
+
 @pytest.fixture
 def config16():
     """The 16-core server configuration, scaled for fast tests."""

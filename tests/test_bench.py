@@ -6,7 +6,7 @@ import json
 
 from repro.cli import main
 from repro.cmp.config import SystemConfig
-from repro.sim.bench import bench_design, run_bench
+from repro.sim.bench import bench_design, run_bench, run_trace_bench
 from repro.workloads.generator import SyntheticTraceGenerator
 from repro.workloads.spec import get_workload
 
@@ -78,3 +78,53 @@ def test_run_bench_payload_shape():
     assert payload["baseline"].startswith("reference")
     (result,) = payload["results"]
     assert result["design"] == "I" and result["stats_match"] is True
+
+
+# --------------------------------------------------------------------- #
+# Trace-pipeline bench (``repro bench --traces``)
+# --------------------------------------------------------------------- #
+def test_run_trace_bench_payload_shape():
+    payload = run_trace_bench(
+        designs=("rnuca",),
+        workload="mix",
+        num_records=1500,
+        scale=TEST_SCALE,
+        repeats=1,
+    )
+    assert payload["benchmark"] == "trace-pipeline"
+    assert payload["scenario"] == "mix:migrate"
+    assert payload["events"] > 0
+    generation = payload["generation"]
+    assert generation["static_records_per_sec"] > 0
+    assert generation["dynamic_records_per_sec"] > 0
+    persistence = payload["persistence"]
+    assert persistence["round_trip_ok"] is True
+    assert persistence["binary_load_speedup"] > 0
+    assert persistence["binary_bytes"] > 0 and persistence["jsonl_bytes"] > 0
+    (row,) = payload["replay"]
+    assert row["design"] == "R"
+    assert row["dynamic_records_per_sec"] > 0
+    assert row["mmap_records_per_sec"] > 0
+    assert row["event_overhead"] > 0
+    # The bench doubles as a zero-copy equivalence check.
+    assert row["mmap_stats_match"] is True
+
+
+def test_trace_bench_cli_writes_json(tmp_path, capsys):
+    output = tmp_path / "BENCH_trace.json"
+    args = [
+        "bench", "--traces",
+        "--designs", "private",
+        "--workload", "mix",
+        "--records", "1200",
+        "--scale", str(TEST_SCALE),
+        "--repeats", "1",
+        "--output", str(output),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "Trace persistence" in out and "Dynamic replay" in out
+    payload = json.loads(output.read_text())
+    assert payload["benchmark"] == "trace-pipeline"
+    assert payload["records"] == 1200
+    assert [row["design"] for row in payload["replay"]] == ["P"]

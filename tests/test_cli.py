@@ -102,6 +102,7 @@ def test_list_shows_engines_knobs_and_dynamic_variants(capsys):
     assert "Engines:" in out and "fast" in out and "reference" in out
     assert "RNUCA_JOBS" in out and "RNUCA_RESULTS_DIR" in out
     assert "RNUCA_EVAL_RECORDS" in out and "RNUCA_ENGINE" in out
+    assert "RNUCA_TRACE_DIR" in out
     assert "migrate" in out and "phased" in out and "onset" in out
 
 
@@ -141,3 +142,26 @@ def test_unknown_design_errors(results_dir):
     with pytest.raises(ValueError, match="unknown design"):
         main(["run", "--workloads", "mix", "--designs", "bogus",
               "--results-dir", results_dir])
+
+
+def test_run_populates_trace_cache(results_dir, tmp_path, capsys):
+    """`repro run --trace-dir` fills the binary trace store exactly once."""
+    explicit = tmp_path / "explicit-traces"
+    args = RUN_ARGS + ["--results-dir", results_dir, "--trace-dir", str(explicit)]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert f"traces: {explicit}/" in out
+    assert "trace     mix (1000 records) ready" in out
+    assert len(list(explicit.glob("*.npz"))) == 1
+    assert (explicit / "generated.log").read_text().count("\n") == 1
+
+    # Fresh results dir, same trace dir: results re-simulate, traces do not.
+    assert main(RUN_ARGS + ["--results-dir", str(tmp_path / "r2"),
+                            "--trace-dir", str(explicit)]) == 0
+    assert (explicit / "generated.log").read_text().count("\n") == 1
+
+
+def test_run_trace_cache_defaults_to_env(results_dir, trace_dir, capsys):
+    assert main(RUN_ARGS + ["--results-dir", results_dir]) == 0
+    capsys.readouterr()
+    assert len(list(trace_dir.glob("*.npz"))) == 1

@@ -154,3 +154,64 @@ def test_env_engine_typo_fails_loudly(monkeypatch, traces):
     design = build_design("P", chip)
     with pytest.raises(SimulationError):
         TraceSimulator(design, CpiModel.for_workload(spec))
+
+
+# --------------------------------------------------------------------- #
+# Zero-copy equivalence: memory-mapped traces replay bit-identically
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("engine", ("fast", "reference"))
+def test_mmap_loaded_trace_replays_bit_identically(tmp_path, traces, workload, engine):
+    """A trace served from the binary store is the trace, for both engines.
+
+    This is what makes the cross-process sharing in the batch runner safe:
+    a worker replaying the memory-mapped file must produce the same
+    ``SimulationStats`` field for field as the parent replaying the
+    in-memory original.
+    """
+    import numpy as np
+
+    from repro.workloads.trace import Trace
+
+    spec, config, trace = traces[workload]
+    path = tmp_path / "trace.npz"
+    trace.save(path)
+    mapped = Trace.load(path)
+    assert isinstance(mapped.columns.core, np.memmap)
+
+    from_memory = _simulate(engine, "R", spec, config, trace)
+    from_mmap = _simulate(engine, "R", spec, config, mapped)
+    assert from_mmap.stats.to_dict() == from_memory.stats.to_dict()
+    assert from_mmap.cpi == from_memory.cpi
+    assert from_mmap.cpi_breakdown() == from_memory.cpi_breakdown()
+    if from_memory.cpi_confidence is not None:
+        assert from_mmap.cpi_confidence.to_dict() == from_memory.cpi_confidence.to_dict()
+    assert from_mmap.metadata == from_memory.metadata
+
+
+@pytest.mark.parametrize("letter", DESIGN_LETTERS)
+def test_mmap_loaded_dynamic_trace_replays_bit_identically(tmp_path, letter):
+    """Event-carrying traces survive the store: same stats, phases and all."""
+    import numpy as np
+
+    from repro.dynamics.generator import DynamicTraceGenerator
+    from repro.dynamics.scenarios import resolve_dynamic
+    from repro.workloads.trace import Trace
+
+    dspec = resolve_dynamic("oltp-db2:migrate")
+    spec = dspec.base
+    config = SystemConfig.for_workload_category(spec.category).scaled(TEST_SCALE)
+    trace = DynamicTraceGenerator(dspec, config, seed=3, scale=TEST_SCALE).generate(RECORDS)
+    assert trace.is_dynamic
+
+    path = tmp_path / "dyn.npz"
+    trace.save(path)
+    mapped = Trace.load(path)
+    assert isinstance(mapped.columns.core, np.memmap)
+    assert mapped.events.rows() == trace.events.rows()
+
+    from_memory = _simulate("fast", letter, spec, config, trace)
+    from_mmap = _simulate("fast", letter, spec, config, mapped)
+    assert from_mmap.stats.to_dict() == from_memory.stats.to_dict()
+    assert from_mmap.cpi == from_memory.cpi
+    assert from_mmap.metadata == from_memory.metadata

@@ -16,6 +16,7 @@ from repro.sim.runner import (
     execute_point,
     run_grid,
 )
+from repro.workloads.store import TraceStore
 
 from .conftest import TEST_SCALE
 
@@ -222,6 +223,68 @@ class TestBatchRunner:
         result = again.result_for(grid.points()[0])
         assert result.workload == "mix:phased"
         assert set(result.stats.phases) == {"base", "private-heavy", "shared-heavy"}
+
+
+class TestTraceStoreIntegration:
+    def test_cold_parallel_grid_generates_each_trace_exactly_once(self, tmp_path):
+        """The acceptance contract: 3 designs x 2 workloads, jobs=4, cold.
+
+        The parent pre-materialises one binary trace per workload; every
+        worker memory-maps it.  The store's generation log is append-only
+        and written only by actual generations, so exactly-once generation
+        across all processes shows up as exactly one line per workload.
+        """
+        grid = ExperimentGrid(
+            workloads=("mix", "oltp-db2"),
+            designs=("P", "S", "R"),
+            num_records=800,
+            scale=TEST_SCALE,
+            seed=13,
+        )
+        trace_store = TraceStore(tmp_path / "traces")
+        batch = run_grid(
+            grid, store=ResultStore(tmp_path / "results"), jobs=4,
+            trace_store=trace_store,
+        )
+        assert batch.executed == len(grid) == 6
+        log = trace_store.generation_log()
+        assert len(log) == 2
+        assert sorted(name.split(".")[0] for name in log) == ["mix", "oltp-db2"]
+        assert len(list((tmp_path / "traces").glob("*.npz"))) == 2
+
+    def test_warm_rerun_generates_nothing(self, tmp_path):
+        grid = small_grid()
+        trace_store = TraceStore(tmp_path / "traces")
+        run_grid(grid, jobs=2, trace_store=trace_store)
+        assert len(trace_store.generation_log()) == 1
+        again = run_grid(grid, jobs=2, trace_store=trace_store)
+        assert again.executed == len(grid)  # no result store: all re-simulated
+        assert len(trace_store.generation_log()) == 1  # ... from mmapped traces
+
+    def test_results_identical_with_and_without_trace_store(self, tmp_path, monkeypatch):
+        """Memory-mapped traces must not change a single statistic."""
+        grid = small_grid(workloads=("mix:phased",), designs=("P", "R"))
+        monkeypatch.delenv("RNUCA_TRACE_DIR", raising=False)
+        plain = run_grid(grid, jobs=1)
+        stored = run_grid(grid, jobs=2, trace_store=TraceStore(tmp_path))
+        for point in grid:
+            assert (
+                stored.result_for(point).stats.to_dict()
+                == plain.result_for(point).stats.to_dict()
+            )
+            assert stored.result_for(point).cpi == plain.result_for(point).cpi
+
+    def test_trace_store_defaults_to_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("RNUCA_TRACE_DIR", str(tmp_path / "env-traces"))
+        runner = BatchRunner(jobs=1)
+        assert runner.trace_store is not None
+        assert runner.trace_store.directory == tmp_path / "env-traces"
+        runner.run(small_grid().points())
+        assert len(list((tmp_path / "env-traces").glob("*.npz"))) == 1
+
+    def test_no_trace_store_without_environment(self, monkeypatch):
+        monkeypatch.delenv("RNUCA_TRACE_DIR", raising=False)
+        assert BatchRunner(jobs=1).trace_store is None
 
 
 class TestEvaluationThroughRunner:

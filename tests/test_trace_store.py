@@ -1,0 +1,351 @@
+"""Tests for the binary trace persistence and the content-addressed store.
+
+Covers the zero-copy pipeline's contracts: binary save/load round trips
+(static and dynamic, events and metadata preserved, memory-mapped columns),
+the legacy JSON-lines read path, and the :class:`TraceStore` hit / miss /
+corruption / generation-log behaviour the exactly-once guarantee rests on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cmp.config import SystemConfig
+from repro.dynamics.generator import generate_dynamic_trace
+from repro.dynamics.scenarios import resolve_dynamic
+from repro.errors import TraceError
+from repro.workloads.spec import get_workload
+from repro.workloads.store import (
+    GENERATION_LOG,
+    TraceKey,
+    TraceStore,
+    spec_fingerprint,
+)
+from repro.workloads.trace import (
+    MIGRATION_EVENT,
+    PHASE_EVENT,
+    SHARING_ONSET_EVENT,
+    Trace,
+    TraceColumns,
+    TraceEvents,
+)
+
+from .conftest import TEST_SCALE
+
+
+def assert_traces_equal(a: Trace, b: Trace) -> None:
+    """Deep equality via Trace.equals, with per-field context on failure.
+
+    ``Trace.equals`` derives its field lists from the dataclass
+    definitions, so new columns are covered automatically; the named
+    asserts below only exist to say *which* part diverged.
+    """
+    if a.equals(b):
+        return
+    for name in ("core", "access_type", "address", "instructions", "thread_id", "true_class"):
+        assert np.array_equal(getattr(a.columns, name), getattr(b.columns, name)), name
+    assert a.columns.class_table == b.columns.class_table
+    for name in ("record_index", "kind", "arg0", "arg1"):
+        assert np.array_equal(getattr(a.events, name), getattr(b.events, name)), name
+    assert a.workload == b.workload
+    assert a.num_cores == b.num_cores
+    assert a.metadata == b.metadata
+    raise AssertionError("Trace.equals is false but no known field differs")
+
+
+@pytest.fixture
+def migrate_trace(config16):
+    dspec = resolve_dynamic("oltp-db2:migrate")
+    return generate_dynamic_trace(dspec, config16, 2000, seed=3, scale=TEST_SCALE)
+
+
+def store_key(seed: int = 0, num_records: int = 2000, workload: str = "oltp-db2") -> TraceKey:
+    return TraceKey.make(
+        workload,
+        num_records=num_records,
+        scale=TEST_SCALE,
+        seed=seed,
+        spec=get_workload(workload),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Binary persistence
+# --------------------------------------------------------------------- #
+class TestBinaryPersistence:
+    def test_default_save_is_binary(self, tmp_path, oltp_trace):
+        path = tmp_path / "trace.npz"
+        oltp_trace.save(path)
+        assert path.read_bytes()[:2] == b"PK"  # a zip archive, not JSON
+
+    def test_round_trip_static(self, tmp_path, oltp_trace):
+        path = tmp_path / "trace.npz"
+        oltp_trace.save(path)
+        assert_traces_equal(Trace.load(path), oltp_trace)
+
+    def test_round_trip_dynamic_preserves_events(self, tmp_path, migrate_trace):
+        path = tmp_path / "dyn.npz"
+        migrate_trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.is_dynamic
+        assert loaded.events.rows() == migrate_trace.events.rows()
+        assert_traces_equal(loaded, migrate_trace)
+
+    def test_load_memory_maps_the_columns(self, tmp_path, oltp_trace):
+        path = tmp_path / "trace.npz"
+        oltp_trace.save(path)
+        loaded = Trace.load(path)
+        # Zero-copy: the column data is a read-only view into the file.
+        assert isinstance(loaded.columns.core, np.memmap)
+        assert isinstance(loaded.columns.address, np.memmap)
+        with pytest.raises((ValueError, RuntimeError)):
+            loaded.columns.core[0] = 99
+
+    def test_load_without_mmap_copies(self, tmp_path, oltp_trace):
+        path = tmp_path / "trace.npz"
+        oltp_trace.save(path)
+        loaded = Trace.load(path, mmap=False)
+        assert not isinstance(loaded.columns.core, np.memmap)
+        assert_traces_equal(loaded, oltp_trace)
+
+    def test_legacy_jsonl_still_loads(self, tmp_path, oltp_trace):
+        path = tmp_path / "trace.jsonl"
+        oltp_trace.save(path, format="jsonl")
+        assert path.read_text()[0] == "{"
+        loaded = Trace.load(path)
+        assert loaded.records == oltp_trace.records
+        assert loaded.metadata == oltp_trace.metadata
+
+    def test_legacy_jsonl_round_trips_events(self, tmp_path, migrate_trace):
+        path = tmp_path / "dyn.jsonl"
+        migrate_trace.save(path, format="jsonl")
+        loaded = Trace.load(path)
+        assert loaded.events.rows() == migrate_trace.events.rows()
+
+    def test_unknown_format_rejected(self, tmp_path, oltp_trace):
+        with pytest.raises(TraceError, match="format"):
+            oltp_trace.save(tmp_path / "trace.bin", format="parquet")
+
+    def test_truncated_binary_raises_trace_error(self, tmp_path, oltp_trace):
+        path = tmp_path / "trace.npz"
+        oltp_trace.save(path)
+        path.write_bytes(path.read_bytes()[:128])  # zip magic intact, body gone
+        with pytest.raises(TraceError):
+            Trace.load(path)
+
+    def test_missing_member_raises_trace_error(self, tmp_path, oltp_trace):
+        path = tmp_path / "trace.npz"
+        with path.open("wb") as handle:
+            np.savez(handle, core=np.zeros(4, dtype=np.int64))
+        with pytest.raises(TraceError):
+            Trace.load(path)
+
+
+# --------------------------------------------------------------------- #
+# Property tests: arbitrary traces survive the binary round trip
+# --------------------------------------------------------------------- #
+record_counts = st.integers(min_value=1, max_value=40)
+
+
+@st.composite
+def arbitrary_traces(draw) -> Trace:
+    n = draw(record_counts)
+    ints = st.integers(min_value=0, max_value=2**40)
+    core = draw(st.lists(st.integers(0, 15), min_size=n, max_size=n))
+    access = draw(st.lists(st.integers(0, 2), min_size=n, max_size=n))
+    address = draw(st.lists(ints, min_size=n, max_size=n))
+    instructions = draw(st.lists(st.integers(0, 500), min_size=n, max_size=n))
+    thread = draw(st.lists(st.integers(-1, 31), min_size=n, max_size=n))
+    table = (None, "instruction", "private", "shared_rw", "shared_ro")
+    labels = draw(st.lists(st.integers(0, len(table) - 1), min_size=n, max_size=n))
+    columns = TraceColumns(
+        core=np.asarray(core, dtype=np.int64),
+        access_type=np.asarray(access, dtype=np.int8),
+        address=np.asarray(address, dtype=np.int64),
+        instructions=np.asarray(instructions, dtype=np.int64),
+        thread_id=np.asarray(thread, dtype=np.int64),
+        true_class=np.asarray(labels, dtype=np.int16),
+        class_table=table,
+    )
+    n_events = draw(st.integers(min_value=0, max_value=6))
+    rows = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.sampled_from((MIGRATION_EVENT, SHARING_ONSET_EVENT, PHASE_EVENT)),
+                st.integers(0, 31),
+                st.integers(0, 31),
+            ),
+            min_size=n_events,
+            max_size=n_events,
+        )
+    )
+    metadata = {"seed": draw(st.integers(0, 99)), "tag": draw(st.text(max_size=8))}
+    return Trace.from_columns(
+        columns,
+        workload=draw(st.text(min_size=1, max_size=12)),
+        metadata=metadata,
+        events=TraceEvents.from_rows(rows),
+    )
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(trace=arbitrary_traces())
+    def test_binary_round_trip_is_identity(self, tmp_path_factory, trace):
+        path = tmp_path_factory.mktemp("prop") / "trace.npz"
+        trace.save(path)
+        assert_traces_equal(Trace.load(path), trace)
+
+    @settings(max_examples=25, deadline=None)
+    @given(trace=arbitrary_traces())
+    def test_jsonl_round_trip_preserves_records_and_events(self, tmp_path_factory, trace):
+        path = tmp_path_factory.mktemp("prop") / "trace.jsonl"
+        trace.save(path, format="jsonl")
+        loaded = Trace.load(path)
+        assert loaded.records == trace.records
+        assert loaded.events.rows() == trace.events.rows()
+
+
+# --------------------------------------------------------------------- #
+# Spec fingerprints and keys
+# --------------------------------------------------------------------- #
+class TestTraceKey:
+    def test_fingerprint_changes_with_spec_parameters(self):
+        spec = get_workload("oltp-db2")
+        tweaked = dataclasses.replace(spec, mixed_page_fraction=0.21)
+        assert spec_fingerprint(spec) != spec_fingerprint(tweaked)
+
+    def test_fingerprint_covers_dynamic_extension(self):
+        spec = get_workload("oltp-db2")
+        dyn = resolve_dynamic("oltp-db2:migrate")
+        assert spec_fingerprint(spec) != spec_fingerprint(spec, dyn)
+        assert spec_fingerprint(spec, dyn) == spec_fingerprint(spec, dyn)
+
+    def test_fingerprint_covers_machine_geometry(self, config16):
+        """A config change (page size, tile count, ...) retires old traces.
+
+        The generator derives physical addresses from the machine geometry,
+        so the same workload on a different machine is a different trace —
+        the fingerprint must see the scaled SystemConfig, not just the spec.
+        """
+        spec = get_workload("oltp-db2")
+        other = SystemConfig.for_workload_category(spec.category).scaled(TEST_SCALE // 2)
+        assert spec_fingerprint(spec, config=config16) != spec_fingerprint(spec)
+        assert spec_fingerprint(spec, config=config16) != spec_fingerprint(
+            spec, config=other
+        )
+        assert spec_fingerprint(spec, config=config16) == spec_fingerprint(
+            spec, config=config16
+        )
+
+    def test_key_distinguishes_every_axis(self):
+        base = store_key()
+        assert base != store_key(seed=1)
+        assert base != store_key(num_records=3000)
+        assert base != store_key(workload="mix")
+        assert base.content_hash != store_key(seed=1).content_hash
+
+    def test_filename_is_filesystem_safe(self):
+        spec = get_workload("oltp-db2")
+        dyn = resolve_dynamic("oltp-db2:migrate")
+        key = TraceKey.make(
+            "oltp-db2:migrate", num_records=100, scale=TEST_SCALE, seed=0,
+            spec=spec, dyn=dyn,
+        )
+        assert ":" not in key.filename
+        assert key.filename.endswith(".npz")
+
+
+# --------------------------------------------------------------------- #
+# The store
+# --------------------------------------------------------------------- #
+class TestTraceStore:
+    def test_miss_then_hit(self, tmp_path, oltp_trace):
+        store = TraceStore(tmp_path)
+        key = store_key()
+        assert store.get(key) is None
+        store.put(key, oltp_trace)
+        cached = store.get(key)
+        assert cached is not None
+        assert_traces_equal(cached, oltp_trace)
+        assert isinstance(cached.columns.core, np.memmap)
+
+    def test_get_or_create_generates_exactly_once(self, tmp_path, oltp_trace):
+        store = TraceStore(tmp_path)
+        key = store_key()
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return oltp_trace
+
+        first, hit_first = store.get_or_create(key, factory)
+        second, hit_second = store.get_or_create(key, factory)
+        assert (hit_first, hit_second) == (False, True)
+        assert len(calls) == 1
+        assert store.generation_log() == [key.filename]
+        assert_traces_equal(first, second)
+
+    def test_corrupt_file_is_a_miss_and_regenerates(self, tmp_path, oltp_trace):
+        store = TraceStore(tmp_path)
+        key = store_key()
+        store.put(key, oltp_trace)
+        store.path_for(key).write_bytes(b"PK\x03\x04 definitely not a zip")
+        assert store.get(key) is None
+        regenerated, hit = store.get_or_create(key, lambda: oltp_trace)
+        assert not hit
+        assert store.generation_log() == [key.filename]
+        assert_traces_equal(store.get(key), regenerated)
+
+    def test_distinct_keys_store_distinct_files(self, tmp_path, oltp_trace, mix_trace):
+        store = TraceStore(tmp_path)
+        store.put(store_key(), oltp_trace)
+        store.put(store_key(workload="mix"), mix_trace)
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+        assert_traces_equal(store.get(store_key(workload="mix")), mix_trace)
+
+    def test_generation_log_empty_without_generations(self, tmp_path):
+        store = TraceStore(tmp_path)
+        assert store.generation_log() == []
+        assert not (tmp_path / GENERATION_LOG).exists()
+
+    def test_from_env_reads_trace_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("RNUCA_TRACE_DIR", str(tmp_path / "cache"))
+        assert TraceStore.from_env().directory == tmp_path / "cache"
+        monkeypatch.delenv("RNUCA_TRACE_DIR")
+        assert str(TraceStore.from_env().directory) == "traces"
+
+    def test_spec_change_misses_the_old_trace(self, tmp_path, oltp_trace):
+        store = TraceStore(tmp_path)
+        spec = get_workload("oltp-db2")
+        old = TraceKey.make(
+            "oltp-db2", num_records=2000, scale=TEST_SCALE, seed=0, spec=spec
+        )
+        store.put(old, oltp_trace)
+        tweaked = dataclasses.replace(spec, mixed_page_fraction=0.21)
+        new = TraceKey.make(
+            "oltp-db2", num_records=2000, scale=TEST_SCALE, seed=0, spec=tweaked
+        )
+        assert store.get(new) is None
+
+
+def test_store_header_is_json(tmp_path, oltp_trace):
+    """The binary header member is plain JSON — inspectable without numpy."""
+    import zipfile
+
+    path = tmp_path / "trace.npz"
+    oltp_trace.save(path)
+    with zipfile.ZipFile(path) as archive:
+        member = archive.read("header.npy")
+    # The npy header (an ASCII dict) ends at the first newline; the uint8
+    # payload after it is the UTF-8 JSON document.
+    header = json.loads(member[member.index(b"\n") + 1:].decode("utf-8"))
+    assert header["workload"] == oltp_trace.workload
+    assert header["num_cores"] == oltp_trace.num_cores
