@@ -1,0 +1,108 @@
+"""Adaptive-scheduler benchmark: feedback beats a fixed schedule under load.
+
+The ``mix:adaptive`` scenario launches two threads per core on half the
+machine (the other half idles), so the packed cores' L2 slices carry twice
+the working set and thrash.  A fixed schedule replays that imbalance
+verbatim; the ``greedy`` feedback policy observes per-core pressure during
+replay, spreads the hot threads across the idle cores, and pays for each
+move through the OS re-own machinery (5000 cycles per affected page at its
+next touch).
+
+The claim measured here mirrors the paper's reactive story at steady
+state: on a full-length trace (60k records — the default evaluation
+length), the one-time migration cost amortises and the greedy scheduler
+ends up with **lower mean CPI** than the fixed schedule on R-NUCA.  The
+run also pins the mechanism (off-chip rate drops because the spread
+working sets fit their slices) and the backward-compatibility contract
+(``scheduler=fixed`` is bit-identical to the pre-adaptive dynamics path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cmp.chip import TiledChip
+from repro.cmp.config import SystemConfig
+from repro.designs import build_design
+from repro.dynamics.scenarios import resolve_dynamic
+from repro.sim.engine import TraceSimulator, generate_workload_trace
+from repro.sim.latency import CpiModel
+from repro.workloads.generator import DEFAULT_SCALE
+
+#: Full evaluation length: long enough that the one-time re-own charges
+#: amortise against the per-record capacity benefit (the paper measures
+#: steady state, not migration transients).
+RECORDS = 60_000
+
+SCENARIO = "mix:adaptive"
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    """One shared (spec, config, trace) triple for every comparison."""
+    dyn = resolve_dynamic(SCENARIO)
+    config = SystemConfig.for_workload_category(dyn.category).scaled(DEFAULT_SCALE)
+    trace = generate_workload_trace(
+        dyn.base, dyn, config, RECORDS, seed=SEED, scale=DEFAULT_SCALE
+    )
+    return dyn, config, trace
+
+
+def _replay(scenario, scheduler):
+    dyn, config, trace = scenario
+    design = build_design("R", TiledChip(config))
+    simulator = TraceSimulator(
+        design, CpiModel.for_workload(dyn.base), scheduler=scheduler
+    )
+    return simulator.run(trace)
+
+
+@pytest.fixture(scope="module")
+def fixed_result(scenario):
+    return _replay(scenario, None)
+
+
+@pytest.fixture(scope="module")
+def greedy_result(scenario):
+    return _replay(scenario, "greedy")
+
+
+def test_greedy_beats_fixed_on_rnuca(fixed_result, greedy_result):
+    """The headline claim: feedback-driven rebalancing lowers mean CPI."""
+    assert greedy_result.stats.adaptive_migrations > 0
+    assert greedy_result.cpi < fixed_result.cpi, (
+        f"greedy CPI {greedy_result.cpi:.4f} should beat "
+        f"fixed CPI {fixed_result.cpi:.4f}"
+    )
+
+
+def test_rebalancing_mechanism_is_capacity_relief(fixed_result, greedy_result):
+    """The win comes from where the model says it should: the packed cores'
+    slices stop thrashing, so off-chip traffic falls."""
+    assert (
+        greedy_result.metadata["offchip_rate"]
+        < fixed_result.metadata["offchip_rate"]
+    )
+    imbalance = greedy_result.stats.window_imbalance
+    assert imbalance[0] > 0.5  # packed launch: visibly imbalanced
+    assert imbalance[-1] < imbalance[0] / 2  # repaired by the end
+    # The moves were paid for, not free: re-owns flowed through the OS.
+    assert greedy_result.stats.migration_reowns > 0
+
+
+def test_fixed_scheduler_is_bit_identical_to_the_dynamics_path(scenario, fixed_result):
+    """``scheduler=fixed`` must replay through the pre-adaptive code path."""
+    explicit_fixed = _replay(scenario, "fixed")
+    assert explicit_fixed.stats.to_dict() == fixed_result.stats.to_dict()
+    assert explicit_fixed.cpi == fixed_result.cpi
+    assert explicit_fixed.cpi_breakdown() == fixed_result.cpi_breakdown()
+    assert explicit_fixed.metadata == fixed_result.metadata
+    assert "scheduler" not in explicit_fixed.metadata
+
+
+def test_adaptive_replay_is_deterministic(scenario, greedy_result):
+    """Same trace + policy + seed: bit-identical statistics on a re-run."""
+    again = _replay(scenario, "greedy")
+    assert again.stats.to_dict() == greedy_result.stats.to_dict()
+    assert again.cpi == greedy_result.cpi

@@ -155,6 +155,7 @@ def simulate_rnuca_cluster(
     seed: int = 0,
     config: Optional[SystemConfig] = None,
     trace=None,
+    scheduler=None,
 ) -> SimulationResult:
     """Run R-NUCA with a specific instruction-cluster size (Figure 11)."""
     from repro.core.rnuca import RNucaConfig  # local import to avoid a cycle
@@ -172,6 +173,7 @@ def simulate_rnuca_cluster(
         seed=seed,
         config=config,
         trace=trace,
+        scheduler=scheduler,
         rnuca_config=RNucaConfig(instruction_cluster_size=cluster_size),
     )
     result.metadata["instruction_cluster_size"] = cluster_size

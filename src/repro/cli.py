@@ -4,37 +4,48 @@ Subcommands:
 
 ``run``
     Enumerate an :class:`~repro.sim.runner.ExperimentGrid` from
-    ``--workloads``/``--designs`` (plus optional ``--cluster-sizes``), fan
-    it out across ``--jobs`` worker processes, and persist every
+    ``--workloads``/``--designs`` (plus optional ``--cluster-sizes`` and
+    the replay-time ``--scheduler`` axis), fan it out across ``--jobs``
+    worker processes, and persist every
     :class:`~repro.sim.engine.SimulationResult` as a content-addressed JSON
     file under ``--results-dir``.  Re-running the same grid reports cache
     hits instead of re-simulating, so interrupted sweeps resume for free.
 
 ``report``
     Load everything in ``--results-dir`` and print per-workload CPI tables
-    with speedups over the private baseline (the paper's normalisation).
-    An empty or missing results directory is not an error: the command
-    prints a pointer to ``repro run`` and exits 0.
+    with speedups over the private baseline (the paper's normalisation),
+    plus a scheduler-comparison table whenever adaptive-scheduler results
+    are present.  An empty or missing results directory is not an error:
+    the command prints a pointer to ``repro run`` and exits 0.
 
 ``bench``
     Measure the trace engine's records/sec per design — fast columnar path
     vs the preserved seed path — and write ``BENCH_engine.json``
     (see :mod:`repro.sim.bench`).  ``bench --traces`` measures the trace
-    pipeline instead — generation, binary-vs-JSON save/load, and dynamic
+    pipeline instead — generation, binary save/load, and dynamic
     (event-carrying) replay — and writes ``BENCH_trace.json``.
 
+``traces``
+    Maintain the binary trace store: ``traces gc --max-bytes N`` evicts
+    least-recently-used traces until the store fits the budget.
+
 ``list``
-    Show the known workloads and designs.
+    Show the known workloads, designs, engines and schedulers.
 
 Examples::
 
     python -m repro.cli run --designs private,shared,rnuca \\
         --workloads oltp-db2,apache --jobs 4
+    python -m repro.cli run --workloads mix:adaptive --designs rnuca \\
+        --scheduler fixed,greedy
     python -m repro.cli report
     python -m repro.cli bench --quick
+    python -m repro.cli traces gc --max-bytes 500000000
     python -m repro.cli list
 
-The console script ``repro`` (see ``pyproject.toml``) maps to :func:`main`.
+The full reference (every flag and ``RNUCA_*`` environment knob) lives in
+``docs/CLI.md``.  The console script ``repro`` (see ``pyproject.toml``)
+maps to :func:`main`.
 """
 
 from __future__ import annotations
@@ -46,6 +57,7 @@ from typing import Optional, Sequence
 from repro.analysis.reporting import format_table
 from repro.analysis.speedup import speedup_table
 from repro.designs import DESIGNS, normalize_design
+from repro.dynamics.adaptive import SCHEDULERS
 from repro.dynamics.scenarios import DYNAMIC_VARIANTS, dynamic_workload_names
 from repro.sim.bench import (
     DEFAULT_BENCH_OUTPUT,
@@ -127,6 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="also sweep R-NUCA instruction-cluster sizes, e.g. 1,2,4",
     )
     run.add_argument(
+        "--scheduler",
+        type=_csv,
+        default=[],
+        help="replay-time scheduler axis: comma-separated names from "
+        f"{', '.join(SCHEDULERS)} (e.g. fixed,greedy to compare); "
+        "'fixed' replays schedules as generated",
+    )
+    run.add_argument(
         "--results-dir",
         default=DEFAULT_RESULTS_DIR,
         help=f"JSON result store directory (default: {DEFAULT_RESULTS_DIR}/)",
@@ -205,7 +225,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="short smoke run (fewer records and repeats)",
     )
 
-    sub.add_parser("list", help="show known workloads and designs")
+    traces = sub.add_parser("traces", help="maintain the binary trace store")
+    traces_sub = traces.add_subparsers(dest="traces_command", required=True)
+    gc = traces_sub.add_parser(
+        "gc", help="evict least-recently-used traces to fit a byte budget"
+    )
+    gc.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        help="keep the store at or below this many bytes of trace files",
+    )
+    gc.add_argument(
+        "--trace-dir",
+        default=None,
+        help=f"trace store to sweep (default: $RNUCA_TRACE_DIR or {DEFAULT_TRACE_DIR}/)",
+    )
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
+
+    sub.add_parser("list", help="show known workloads, designs, engines, schedulers")
     return parser
 
 
@@ -217,6 +259,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
         cluster_sizes=tuple(args.cluster_sizes),
+        schedulers=tuple(args.scheduler),
     )
     store = ResultStore(args.results_dir)
     trace_store = TraceStore(args.trace_dir) if args.trace_dir else TraceStore.from_env()
@@ -230,6 +273,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"Running {len(grid)} experiment points "
         f"({len(grid.workloads)} workloads x {len(grid.designs)} designs"
         + (f" + {len(grid.cluster_sizes)}-size cluster sweep" if grid.cluster_sizes else "")
+        + (f" x {len(grid.schedulers)} schedulers" if grid.schedulers else "")
         + f") with {jobs} job(s); store: {store.directory}/; "
         + f"traces: {trace_store.directory}/"
     )
@@ -307,11 +351,76 @@ def cmd_report(args: argparse.Namespace) -> int:
                 dynamic_rows, title="OS re-classification activity (dynamic scenarios)"
             )
         )
-    speedups = speedup_table([result for _, result in pairs])
+    scheduler_rows = _scheduler_comparison(pairs)
+    if scheduler_rows:
+        print()
+        print(
+            format_table(
+                scheduler_rows,
+                title="Scheduler comparison (replay-time adaptive axis)",
+            )
+        )
+    # Figure 12 is defined over the fixed-schedule results; adaptive
+    # variants get their own comparison table above instead.
+    speedups = speedup_table(
+        [
+            result
+            for point, result in pairs
+            if "scheduler" not in point.param_dict
+        ]
+    )
     if speedups:
         print()
         print(format_table(speedups, title="Speedup over the private design (Fig. 12)"))
     return 0
+
+
+def _scheduler_comparison(pairs) -> list[dict]:
+    """Rows comparing replay-time schedulers on otherwise-identical points.
+
+    Points are grouped by everything except the ``scheduler`` parameter;
+    a group shows up as soon as it contains an adaptive result, with each
+    row's CPI speedup over the group's ``fixed`` counterpart when one is
+    stored.
+    """
+    groups: dict[tuple, list] = {}
+    for point, result in pairs:
+        params = point.param_dict
+        scheduler = params.pop("scheduler", "fixed")
+        key = (
+            point.workload,
+            point.design,
+            point.num_records,
+            point.scale,
+            point.seed,
+            tuple(sorted(params.items())),
+        )
+        groups.setdefault(key, []).append((scheduler, point, result))
+    rows = []
+    for key in sorted(groups, key=str):
+        group = groups[key]
+        if all(scheduler == "fixed" for scheduler, _, _ in group):
+            continue
+        fixed = next((r for s, _, r in group if s == "fixed"), None)
+        for scheduler, point, result in sorted(group, key=lambda item: item[0]):
+            imbalance = result.stats.window_imbalance
+            rows.append(
+                {
+                    "point": f"{key[0]}/{key[1]}",
+                    "scheduler": scheduler,
+                    "cpi": result.cpi,
+                    "adaptive_migrations": result.stats.adaptive_migrations,
+                    "mean_imbalance": (
+                        sum(imbalance) / len(imbalance) if imbalance else 0.0
+                    ),
+                    "vs_fixed": (
+                        f"{(fixed.cpi / result.cpi - 1) * 100:+.1f}%"
+                        if scheduler != "fixed" and fixed is not None and result.cpi
+                        else ""
+                    ),
+                }
+            )
+    return rows
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -407,17 +516,8 @@ def cmd_bench_traces(args: argparse.Namespace) -> int:
                     "load_rec/s": persistence["binary_load_records_per_sec"],
                     "bytes": persistence["binary_bytes"],
                 },
-                {
-                    "path": "legacy JSON-lines",
-                    "save_rec/s": persistence["jsonl_save_records_per_sec"],
-                    "load_rec/s": persistence["jsonl_load_records_per_sec"],
-                    "bytes": persistence["jsonl_bytes"],
-                },
             ],
-            title=(
-                f"Trace persistence (binary load "
-                f"{persistence['binary_load_speedup']}x the JSON-lines path)"
-            ),
+            title="Trace persistence (binary columnar, memory-mapped)",
         )
     )
     print()
@@ -454,6 +554,29 @@ def cmd_bench_traces(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_traces(args: argparse.Namespace) -> int:
+    if args.traces_command == "gc":
+        return cmd_traces_gc(args)
+    raise SystemExit(f"unknown traces subcommand {args.traces_command!r}")
+
+
+def cmd_traces_gc(args: argparse.Namespace) -> int:
+    store = TraceStore(args.trace_dir) if args.trace_dir else TraceStore.from_env()
+    before = store.size_bytes()
+    evicted = store.gc(args.max_bytes, dry_run=args.dry_run)
+    freed = before - store.size_bytes() if not args.dry_run else sum(
+        path.stat().st_size for path in evicted if path.exists()
+    )
+    verb = "would evict" if args.dry_run else "evicted"
+    print(
+        f"Trace store {store.directory}/: {before} bytes, budget {args.max_bytes}; "
+        f"{verb} {len(evicted)} trace(s), {freed} bytes"
+    )
+    for path in evicted:
+        print(f"  {verb} {path.name}")
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("Workloads: " + ", ".join(WORKLOADS))
     print(
@@ -463,6 +586,10 @@ def cmd_list(_args: argparse.Namespace) -> int:
     )
     print("Designs:   " + ", ".join(f"{letter} ({cls.__name__})" for letter, cls in DESIGNS.items()))
     print("Engines:   " + ", ".join(ENGINES) + f" (default: {default_engine()})")
+    print(
+        "Schedulers: " + ", ".join(SCHEDULERS)
+        + " (replay-time axis, `repro run --scheduler`; fixed = as generated)"
+    )
     print(
         "Env knobs: RNUCA_JOBS (worker count), RNUCA_RESULTS_DIR (result cache), "
         "RNUCA_TRACE_DIR (binary trace cache), "
@@ -474,7 +601,13 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"run": cmd_run, "report": cmd_report, "bench": cmd_bench, "list": cmd_list}
+    handlers = {
+        "run": cmd_run,
+        "report": cmd_report,
+        "bench": cmd_bench,
+        "traces": cmd_traces,
+        "list": cmd_list,
+    }
     return handlers[args.command](args)
 
 

@@ -24,8 +24,26 @@ A dynamic spec with a single phase and an empty schedule replays
 bit-identically to the static fast path (pinned by
 ``tests/test_engine_equivalence.py``), so dynamics is a strict extension,
 not a fork, of the static pipeline.
+
+:mod:`repro.dynamics.adaptive` closes the loop: instead of replaying a
+schedule fixed at generation time, an :class:`AdaptiveScheduler` observes
+per-core pressure that the engine feeds back window by window and emits
+migration decisions (``greedy`` rebalancing or ``reinforced`` counters)
+that the engine applies to the rest of the replay.  Traces stay static;
+the scheduler is a replay-time experiment axis (``repro run --scheduler``)
+keyed into the result-store content hash.
 """
 
+from repro.dynamics.adaptive import (
+    SCHEDULERS,
+    AdaptiveScheduler,
+    GreedyRebalancePolicy,
+    MigrationDecision,
+    ReinforcedCounterPolicy,
+    SchedulingPolicy,
+    WindowPressure,
+    build_scheduler,
+)
 from repro.dynamics.generator import DynamicTraceGenerator, generate_dynamic_trace
 from repro.dynamics.scenarios import (
     DYNAMIC_VARIANTS,
@@ -42,6 +60,14 @@ from repro.dynamics.spec import (
 )
 
 __all__ = [
+    "SCHEDULERS",
+    "AdaptiveScheduler",
+    "SchedulingPolicy",
+    "GreedyRebalancePolicy",
+    "ReinforcedCounterPolicy",
+    "MigrationDecision",
+    "WindowPressure",
+    "build_scheduler",
     "PhaseSpec",
     "MigrationEvent",
     "SharingOnset",

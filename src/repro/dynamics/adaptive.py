@@ -1,0 +1,365 @@
+"""Feedback-driven (adaptive) scheduling: load balancing during replay.
+
+Everything in :mod:`repro.dynamics` up to this module is *open-loop*: phases
+and migrations are fixed when the trace is generated, and the engine merely
+replays them.  This module closes the loop.  An :class:`AdaptiveScheduler`
+rides along with the replay engine, observes per-core **pressure** (access
+counts the engine feeds back after every window of records), and emits
+:class:`MigrationDecision` thread moves that the engine applies to the rest
+of the replay — the dataflow inverts from trace→engine to
+engine→scheduler→engine.
+
+Two properties make this compose with the rest of the system:
+
+* **Traces stay static.**  A decision never rewrites the trace; it installs
+  a thread→core override inside the engine, so the same stored trace serves
+  every scheduler and the exactly-once trace store is untouched.  The
+  scheduler is a *replay-time* axis: it rides into the
+  :class:`~repro.sim.runner.ResultStore` content hash as an ordinary
+  experiment-point parameter (``scheduler=greedy``).
+* **Decisions are deterministic.**  Policies draw tie-breaks and
+  exploration from a seeded :class:`numpy.random.Generator` that is re-seeded
+  at the start of every run, and pressure windows are delimited by record
+  counts, so the same (trace, policy, seed) triple produces bit-identical
+  :class:`~repro.sim.stats.SimulationStats` in any process — pinned by
+  ``tests/test_adaptive.py``.
+
+Policies
+--------
+
+``greedy`` (:class:`GreedyRebalancePolicy`)
+    When the pressure imbalance of a window exceeds a threshold, move the
+    hottest thread off the most-pressured core onto the least-pressured one
+    — but only if that projected move actually lowers the peak.
+
+``reinforced`` (:class:`ReinforcedCounterPolicy`)
+    A hysteresis variant in the spirit of the adaptive-caching literature
+    (Ioannidis & Yeh, "Adaptive Caching Networks with Optimality
+    Guarantees"): candidate moves accumulate reinforcement credit while the
+    imbalance persists and decay while it does not; a thread only migrates
+    once its credit crosses a patience threshold, so a one-window noise
+    spike cannot trigger a move.  A small seeded exploration probability
+    occasionally reinforces the runner-up thread instead of the hottest.
+
+The engine charges applied decisions through the ordinary OS machinery: the
+:class:`~repro.osmodel.scheduler.ThreadScheduler` records the move, and the
+classifier's next TLB miss on an affected page re-owns it (or reclassifies
+it shared) through the Section-4.3 state machine, exactly as a
+generation-time migration would be charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Replay-time scheduler names accepted by the CLI and the runner
+#: ("fixed" replays schedules as generated and engages none of this module).
+SCHEDULERS = ("fixed", "greedy", "reinforced")
+
+#: Default pressure-window length, in trace records.
+DEFAULT_WINDOW_RECORDS = 1_000
+
+#: Default imbalance threshold above which a policy considers moving.
+DEFAULT_IMBALANCE_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class MigrationDecision:
+    """One thread move requested by a policy."""
+
+    thread_id: int
+    to_core: int
+
+
+@dataclass(frozen=True)
+class WindowPressure:
+    """What the engine feeds back to the policy after one window.
+
+    ``pressure`` holds per-core access counts over the window (indexed by
+    core id, post-override cores — the cores that actually serviced the
+    accesses).  ``thread_counts``/``thread_core`` break the same window
+    down by software thread.
+    """
+
+    index: int
+    pressure: tuple[int, ...]
+    thread_counts: dict[int, int]
+    thread_core: dict[int, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.pressure)
+
+    @property
+    def imbalance(self) -> float:
+        """Peak excess over the mean: ``max/mean - 1`` (0.0 when idle).
+
+        0.0 means perfectly balanced; 1.0 means the busiest core carries
+        twice the mean load.  Deterministic integer arithmetic until the
+        final division.
+        """
+        total = self.total
+        if not total:
+            return 0.0
+        mean = total / len(self.pressure)
+        return max(self.pressure) / mean - 1.0
+
+    def hottest_core(self) -> int:
+        """Most-pressured core (lowest id wins ties)."""
+        return max(range(len(self.pressure)), key=lambda c: (self.pressure[c], -c))
+
+    def coolest_cores(self) -> list[int]:
+        """All cores tied for the minimum pressure, ascending by id."""
+        low = min(self.pressure)
+        return [c for c, p in enumerate(self.pressure) if p == low]
+
+    def threads_on(self, core: int) -> list[tuple[int, int]]:
+        """``(count, thread)`` pairs on one core, hottest first, id ties low."""
+        pairs = [
+            (count, thread)
+            for thread, count in self.thread_counts.items()
+            if self.thread_core.get(thread) == core
+        ]
+        return sorted(pairs, key=lambda pair: (-pair[0], pair[1]))
+
+
+class SchedulingPolicy:
+    """Interface every replay-time scheduling policy implements."""
+
+    name = "abstract"
+
+    def reset(self) -> None:
+        """Re-seed and clear all decision state (called once per run)."""
+        raise NotImplementedError
+
+    def decide(self, window: WindowPressure) -> list[MigrationDecision]:
+        """Migration decisions to apply before the next window replays."""
+        raise NotImplementedError
+
+
+def _improves(window: WindowPressure, count: int, src: int, dst: int) -> bool:
+    """Whether moving ``count`` accesses from ``src`` to ``dst`` lowers the peak.
+
+    Guards both degenerate cases: a core running a single thread (the move
+    would just relocate the peak) and a destination that would end up worse
+    than the source it relieved.
+    """
+    return window.pressure[dst] + count < window.pressure[src]
+
+
+class GreedyRebalancePolicy(SchedulingPolicy):
+    """Move the hottest thread off the most-pressured core when imbalanced."""
+
+    name = "greedy"
+
+    def __init__(
+        self,
+        *,
+        threshold: float = DEFAULT_IMBALANCE_THRESHOLD,
+        seed: int = 0,
+    ) -> None:
+        if threshold < 0:
+            raise ConfigurationError("imbalance threshold cannot be negative")
+        self.threshold = threshold
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def decide(self, window: WindowPressure) -> list[MigrationDecision]:
+        if window.total == 0 or window.imbalance <= self.threshold:
+            return []
+        src = window.hottest_core()
+        ranked = window.threads_on(src)
+        if not ranked:
+            return []
+        count, thread = ranked[0]
+        targets = window.coolest_cores()
+        dst = int(targets[self._rng.integers(len(targets))])
+        if dst == src or not _improves(window, count, src, dst):
+            return []
+        return [MigrationDecision(thread_id=thread, to_core=dst)]
+
+
+class ReinforcedCounterPolicy(SchedulingPolicy):
+    """Reinforcement counters with decay: migrate only on persistent pressure."""
+
+    name = "reinforced"
+
+    def __init__(
+        self,
+        *,
+        threshold: float = DEFAULT_IMBALANCE_THRESHOLD,
+        patience: int = 2,
+        decay: float = 0.5,
+        explore: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if threshold < 0:
+            raise ConfigurationError("imbalance threshold cannot be negative")
+        if patience < 1:
+            raise ConfigurationError("patience must be at least 1")
+        if not 0.0 <= decay < 1.0:
+            raise ConfigurationError("decay must be within [0, 1)")
+        if not 0.0 <= explore < 1.0:
+            raise ConfigurationError("explore must be within [0, 1)")
+        self.threshold = threshold
+        self.patience = patience
+        self.decay = decay
+        self.explore = explore
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._credit: dict[int, float] = {}
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._credit = {}
+
+    def _decay_all(self, keep: Optional[int] = None) -> None:
+        for thread in list(self._credit):
+            if thread == keep:
+                continue
+            self._credit[thread] *= self.decay
+            if self._credit[thread] < 1e-3:
+                del self._credit[thread]
+
+    def decide(self, window: WindowPressure) -> list[MigrationDecision]:
+        if window.total == 0 or window.imbalance <= self.threshold:
+            self._decay_all()
+            return []
+        src = window.hottest_core()
+        ranked = window.threads_on(src)
+        if not ranked:
+            self._decay_all()
+            return []
+        pick = ranked[0]
+        if len(ranked) > 1 and self._rng.random() < self.explore:
+            pick = ranked[1]  # explore the runner-up occasionally
+        count, thread = pick
+        self._decay_all(keep=thread)
+        self._credit[thread] = self._credit.get(thread, 0.0) + 1.0
+        if self._credit[thread] < self.patience:
+            return []
+        targets = window.coolest_cores()
+        dst = int(targets[self._rng.integers(len(targets))])
+        if dst == src or not _improves(window, count, src, dst):
+            return []
+        del self._credit[thread]
+        return [MigrationDecision(thread_id=thread, to_core=dst)]
+
+
+class AdaptiveScheduler:
+    """The replay-side controller pairing a policy with its run state.
+
+    The engine drives it: :meth:`begin_run` resets everything (so one
+    scheduler object can serve many runs deterministically), then after
+    every ``window_records`` replayed records the engine calls
+    :meth:`observe` with the window's per-thread access counts and applies
+    the returned decisions, reporting each applied move back through
+    :meth:`record_applied`.  The per-window imbalance series and the
+    applied-migration log end up in
+    :attr:`~repro.sim.stats.SimulationStats.window_imbalance` /
+    :attr:`~repro.sim.stats.SimulationStats.adaptive_migrations`.
+    """
+
+    def __init__(
+        self,
+        policy: SchedulingPolicy,
+        *,
+        window_records: int = DEFAULT_WINDOW_RECORDS,
+    ) -> None:
+        if window_records <= 0:
+            raise ConfigurationError("window_records must be positive")
+        self.policy = policy
+        self.window_records = window_records
+        self.num_cores = 0
+        self.imbalance_series: list[float] = []
+        self.applied: list[tuple[int, int, Optional[int], int]] = []
+        self._window_index = 0
+
+    @property
+    def name(self) -> str:
+        return self.policy.name
+
+    @property
+    def migrations_applied(self) -> int:
+        return len(self.applied)
+
+    def begin_run(self, num_cores: int) -> None:
+        """Reset all run state; the engine calls this before replaying."""
+        if num_cores <= 0:
+            raise ConfigurationError("adaptive scheduling needs at least one core")
+        self.num_cores = num_cores
+        self.policy.reset()
+        self.imbalance_series = []
+        self.applied = []
+        self._window_index = 0
+
+    def observe(
+        self, thread_counts: dict[int, int], thread_core: dict[int, int]
+    ) -> list[MigrationDecision]:
+        """Feed one window's pressure back; returns the decisions to apply.
+
+        Decisions are validated here (in-range target, an actual move), so
+        the engine can apply whatever comes back without re-checking.
+        """
+        pressure = [0] * self.num_cores
+        for thread in sorted(thread_counts):
+            pressure[thread_core[thread]] += thread_counts[thread]
+        window = WindowPressure(
+            index=self._window_index,
+            pressure=tuple(pressure),
+            thread_counts=dict(thread_counts),
+            thread_core=dict(thread_core),
+        )
+        self._window_index += 1
+        self.imbalance_series.append(window.imbalance)
+        decisions = []
+        for decision in self.policy.decide(window):
+            if not 0 <= decision.to_core < self.num_cores:
+                raise ConfigurationError(
+                    f"policy {self.name!r} targeted core {decision.to_core} "
+                    f"on a {self.num_cores}-core machine"
+                )
+            if thread_core.get(decision.thread_id) == decision.to_core:
+                continue  # not a move
+            decisions.append(decision)
+        return decisions
+
+    def record_applied(
+        self, thread_id: int, from_core: Optional[int], to_core: int
+    ) -> None:
+        """The engine reports a decision it actually installed."""
+        self.applied.append((self._window_index - 1, thread_id, from_core, to_core))
+
+
+def build_scheduler(
+    name: str,
+    *,
+    seed: int = 0,
+    window_records: int = DEFAULT_WINDOW_RECORDS,
+    **policy_kwargs,
+) -> Optional[AdaptiveScheduler]:
+    """Build the scheduler for a CLI/runner name; ``"fixed"`` returns ``None``.
+
+    ``seed`` feeds the policy's tie-break/exploration RNG; the runner passes
+    the experiment point's base seed so a seed sweep varies scheduling too.
+    """
+    if name == "fixed":
+        return None
+    if name == "greedy":
+        policy: SchedulingPolicy = GreedyRebalancePolicy(seed=seed, **policy_kwargs)
+    elif name == "reinforced":
+        policy = ReinforcedCounterPolicy(seed=seed, **policy_kwargs)
+    else:
+        known = ", ".join(SCHEDULERS)
+        raise ConfigurationError(
+            f"unknown scheduler {name!r}; known schedulers: {known}"
+        )
+    return AdaptiveScheduler(policy, window_records=window_records)

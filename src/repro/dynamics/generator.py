@@ -80,6 +80,16 @@ class DynamicTraceGenerator:
         self.num_cores = config.num_tiles
         #: One software thread per core at launch; migrations unbalance it.
         self.num_threads = config.num_tiles
+        if dspec.initial_assignment is not None:
+            if len(dspec.initial_assignment) != self.num_threads:
+                raise TraceError(
+                    f"initial assignment covers {len(dspec.initial_assignment)} "
+                    f"threads; the machine runs {self.num_threads}"
+                )
+            if any(core >= self.num_cores for core in dspec.initial_assignment):
+                raise TraceError(
+                    f"initial assignment exceeds the {self.num_cores}-core machine"
+                )
         for event in dspec.schedule.migrations:
             if event.thread_id >= self.num_threads or event.to_core >= self.num_cores:
                 raise TraceError(
@@ -140,7 +150,11 @@ class DynamicTraceGenerator:
         phase_starts, actions = self._plan(num_records)
         boundaries = sorted({0, num_records, *actions})
 
-        mapping = np.arange(self.num_threads, dtype=np.int64) % self.num_cores
+        if dspec.initial_assignment is not None:
+            mapping = np.asarray(dspec.initial_assignment, dtype=np.int64)
+        else:
+            mapping = np.arange(self.num_threads, dtype=np.int64) % self.num_cores
+        initial_assignment = mapping.tolist()
         phase_index = 0
         phase_probs = dspec.phases[0].class_probabilities(dspec.base)
         active_onsets: list[_ActiveOnset] = []
@@ -266,6 +280,11 @@ class DynamicTraceGenerator:
                 "phase_starts": phase_starts,
                 "migrations": len(dspec.schedule.migrations),
                 "sharing_onsets": len(dspec.schedule.sharing_onsets),
+                # Launch-time thread->core placement: the adaptive replay
+                # primes the OS ThreadScheduler with this, so a replay-time
+                # move off a packed core is attributed to migration
+                # (re-own) instead of read as a second sharer.
+                "initial_assignment": initial_assignment,
                 # Pages whose sharing begins only at an onset event; warm
                 # priming must leave them private so the OS discovers the
                 # transition during replay (see engine.warm_page_tables).

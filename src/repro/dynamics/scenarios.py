@@ -23,6 +23,16 @@ Variants
 ``onset``
     A single sharing onset and nothing else: the cleanest probe of
     re-classification cost in isolation.
+
+``adaptive``
+    An *imbalanced* phased scenario: the launch-time thread placement packs
+    two threads per core onto half the machine (the other half idles) and
+    the access mix drifts private-heavy, so per-core pressure stays skewed
+    for the whole run.  Replayed with ``scheduler=fixed`` nothing reacts;
+    replayed with a feedback-driven scheduler
+    (:mod:`repro.dynamics.adaptive`) the imbalance is observable and
+    repairable at replay time — this is the scenario the adaptive-scheduler
+    benchmark measures.
 """
 
 from __future__ import annotations
@@ -96,11 +106,37 @@ def _onset(name: str, base: WorkloadSpec) -> DynamicWorkloadSpec:
     )
 
 
+def _adaptive(name: str, base: WorkloadSpec) -> DynamicWorkloadSpec:
+    cores = _machine_cores(base)
+    fractions = base.class_fractions
+    shift = min(fractions["shared_rw"], fractions["private"]) / 3 + 0.02
+    return DynamicWorkloadSpec(
+        name=name,
+        base=base,
+        phases=(
+            PhaseSpec(name="ramp", duration=20_000),
+            PhaseSpec(
+                name="private-heavy",
+                duration=40_000,
+                mix={
+                    "private": fractions["private"] + shift,
+                    "shared_rw": max(0.0, fractions["shared_rw"] - shift),
+                },
+            ),
+        ),
+        # Two threads per core on the first half of the machine; the second
+        # half idles.  Load stays skewed unless a replay-time scheduler
+        # spreads it.
+        initial_assignment=tuple(thread // 2 for thread in range(cores)),
+    )
+
+
 #: Variant name -> builder(scenario_name, base_spec).
 DYNAMIC_VARIANTS = {
     "migrate": _migrate,
     "phased": _phased,
     "onset": _onset,
+    "adaptive": _adaptive,
 }
 
 

@@ -184,12 +184,21 @@ class MigrationSchedule:
 
 @dataclass(frozen=True)
 class DynamicWorkloadSpec:
-    """A static workload spec extended with phases and a schedule."""
+    """A static workload spec extended with phases and a schedule.
+
+    ``initial_assignment`` optionally overrides the launch-time
+    thread-to-core mapping (entry ``t`` is thread ``t``'s starting core;
+    the default is thread ``t`` on core ``t``).  Packing several threads
+    onto a subset of cores is how the ``:adaptive`` scenarios create the
+    load imbalance a feedback-driven scheduler can repair (see
+    :mod:`repro.dynamics.adaptive`).
+    """
 
     name: str
     base: WorkloadSpec
     phases: tuple[PhaseSpec, ...] = ()
     schedule: MigrationSchedule = field(default_factory=MigrationSchedule)
+    initial_assignment: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         phases = tuple(self.phases) or (
@@ -199,6 +208,11 @@ class DynamicWorkloadSpec:
         names = [phase.name for phase in phases]
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate phase names in {self.name!r}: {names}")
+        if self.initial_assignment is not None:
+            assignment = tuple(int(core) for core in self.initial_assignment)
+            if any(core < 0 for core in assignment):
+                raise ConfigurationError("initial assignment cores cannot be negative")
+            object.__setattr__(self, "initial_assignment", assignment)
 
     @property
     def category(self) -> str:
@@ -215,6 +229,7 @@ class DynamicWorkloadSpec:
             len(self.phases) == 1
             and self.phases[0].mix is None
             and self.schedule.is_empty
+            and self.initial_assignment is None
         )
 
     def phase_boundaries(self, num_records: int) -> list[int]:

@@ -16,9 +16,10 @@ doubles as an end-to-end equivalence check.
 ``repro bench --traces`` measures the trace *pipeline* instead of the
 replay engines (:func:`run_trace_bench`): generation throughput for static
 and dynamic (event-carrying) traces, save/load throughput of the binary
-columnar format against the legacy JSON-lines path, and fast-engine
+columnar format (with its mmap round-trip cross-checked), and fast-engine
 records/sec on a dynamic trace versus its static base — keeping the
 event-splitting overhead and the mmap-vs-memory equivalence visible.
+(The legacy JSON-lines comparison column left with the format itself.)
 
 The JSON payloads written to ``BENCH_engine.json`` / ``BENCH_trace.json``
 are stable input for CI artifacts and for tracking performance across
@@ -233,20 +234,14 @@ def _bench_generation(spec, dspec, config, num_records, scale, seed, repeats) ->
 
 
 def _bench_persistence(trace: Trace, repeats: int) -> dict:
-    """Save/load throughput: binary columnar (mmap) vs legacy JSON-lines."""
+    """Save/load throughput of the binary columnar (mmap) format."""
     num_records = len(trace)
     with tempfile.TemporaryDirectory(prefix="rnuca-bench-") as tmp:
         binary_path = Path(tmp) / "trace.npz"
-        jsonl_path = Path(tmp) / "trace.jsonl"
 
         def binary_save() -> float:
             start = time.perf_counter()
             trace.save(binary_path)
-            return time.perf_counter() - start
-
-        def jsonl_save() -> float:
-            start = time.perf_counter()
-            trace.save(jsonl_path, format="jsonl")
             return time.perf_counter() - start
 
         def binary_load() -> float:
@@ -254,26 +249,14 @@ def _bench_persistence(trace: Trace, repeats: int) -> dict:
             Trace.load(binary_path)
             return time.perf_counter() - start
 
-        def jsonl_load() -> float:
-            start = time.perf_counter()
-            Trace.load(jsonl_path)
-            return time.perf_counter() - start
-
         binary_save_s = _best_of(repeats, binary_save)
-        jsonl_save_s = _best_of(repeats, jsonl_save)
         binary_load_s = _best_of(repeats, binary_load)
-        jsonl_load_s = _best_of(repeats, jsonl_load)
         round_trip_ok = Trace.load(binary_path).equals(trace)
         binary_bytes = binary_path.stat().st_size
-        jsonl_bytes = jsonl_path.stat().st_size
     return {
         "binary_save_records_per_sec": round(num_records / binary_save_s, 1),
         "binary_load_records_per_sec": round(num_records / binary_load_s, 1),
-        "jsonl_save_records_per_sec": round(num_records / jsonl_save_s, 1),
-        "jsonl_load_records_per_sec": round(num_records / jsonl_load_s, 1),
-        "binary_load_speedup": round(jsonl_load_s / binary_load_s, 1),
         "binary_bytes": binary_bytes,
-        "jsonl_bytes": jsonl_bytes,
         "round_trip_ok": round_trip_ok,
     }
 
@@ -358,7 +341,7 @@ def run_trace_bench(
     )
 
     if progress:
-        progress("timing save/load (binary columnar vs legacy JSON-lines)")
+        progress("timing save/load (binary columnar, mmap)")
     persistence = _bench_persistence(static_trace, repeats)
 
     # Materialise the replay representations up front so the replay timings
@@ -378,7 +361,7 @@ def run_trace_bench(
         "scale": scale,
         "seed": seed,
         "repeats": repeats,
-        "baseline": "legacy JSON-lines persistence + static (event-free) replay",
+        "baseline": "static (event-free) replay",
         "python": platform.python_version(),
         "platform": platform.platform(),
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),

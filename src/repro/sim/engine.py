@@ -24,6 +24,13 @@ Two replay engines produce numerically identical results:
 Select an engine per :class:`TraceSimulator` (``engine=...``), per call
 (``run(trace, engine=...)``), or process-wide via the ``RNUCA_ENGINE``
 environment variable.
+
+With a :class:`~repro.dynamics.adaptive.AdaptiveScheduler` attached
+(``scheduler=...``), the fast engine closes a feedback loop: per-window
+per-core pressure flows engine→scheduler and migration decisions flow
+scheduler→engine, deterministically (see
+:meth:`TraceSimulator._replay_fast_adaptive`).  ``scheduler=None`` (or the
+name ``"fixed"``) replays through the unmodified open-loop paths.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from repro.cmp.chip import TiledChip
 from repro.cmp.config import SystemConfig
 from repro.designs import build_design
 from repro.designs.base import AccessOutcome, CacheDesign, L2Access
+from repro.dynamics.adaptive import AdaptiveScheduler, build_scheduler
 from repro.dynamics.generator import DynamicTraceGenerator
 from repro.dynamics.scenarios import is_dynamic_workload, resolve_dynamic
 from repro.dynamics.spec import DynamicWorkloadSpec
@@ -185,6 +193,44 @@ def warm_page_tables_dynamic(design: CacheDesign, trace: Trace) -> int:
     return int(data_pages.size) + int(instruction_only.size)
 
 
+def _trace_event_machinery(trace: Trace, os_scheduler, on_migration=None):
+    """Shared event bookkeeping for the event-aware replay paths.
+
+    Both :meth:`TraceSimulator._replay_fast_dynamic` (open loop) and
+    :meth:`TraceSimulator._replay_fast_adaptive` (feedback loop) consume
+    trace events the same way; this helper is the single place their
+    semantics live, so a fix cannot land in one path and not the other.
+
+    Returns ``(events, state, apply_event, phase_label)``: the sorted event
+    rows, the mutable replay state (current phase, counters, next event
+    index), the event applicator, and the current-phase label function.
+    ``on_migration(thread_id)`` — when given — runs before the OS scheduler
+    records a migration event (the adaptive path uses it to invalidate a
+    stale replay-time override for the migrated thread).
+    """
+    events = trace.events.rows()
+    phase_names = list(trace.metadata.get("phases") or ())
+    state = {"phase": 0, "migrations": 0, "onsets": 0, "next": 0}
+
+    def apply_event(kind: int, arg0: int, arg1: int) -> None:
+        if kind == MIGRATION_EVENT:
+            state["migrations"] += 1
+            if on_migration is not None:
+                on_migration(arg0)
+            if os_scheduler is not None:
+                os_scheduler.migrate(arg0, arg1)
+        elif kind == PHASE_EVENT:
+            state["phase"] = arg0
+        else:  # SHARING_ONSET_EVENT: generation-side; count it only.
+            state["onsets"] += 1
+
+    def phase_label() -> str:
+        index = state["phase"]
+        return phase_names[index] if index < len(phase_names) else f"phase{index}"
+
+    return events, state, apply_event, phase_label
+
+
 @dataclass
 class SimulationResult:
     """Everything measured for one (workload, design) pair."""
@@ -251,7 +297,16 @@ class SimulationResult:
 
 
 class TraceSimulator:
-    """Replays one trace through one design."""
+    """Replays one trace through one design.
+
+    ``scheduler`` optionally attaches a feedback-driven scheduler: an
+    :class:`~repro.dynamics.adaptive.AdaptiveScheduler` instance, or a bare
+    name ("fixed", "greedy", "reinforced").  A bare name builds a policy
+    with the **default seed 0** — the simulator has no run seed of its own;
+    to tie the policy seed to a run's seed, pass an explicit scheduler
+    (``build_scheduler(name, seed=...)``) or go through
+    :func:`simulate_workload`, which does exactly that.
+    """
 
     def __init__(
         self,
@@ -262,18 +317,24 @@ class TraceSimulator:
         num_samples: int = DEFAULT_NUM_SAMPLES,
         warm_os_state: bool = True,
         engine: Optional[str] = None,
+        scheduler: "AdaptiveScheduler | str | None" = None,
     ) -> None:
         if not 0.0 <= warmup_fraction < 1.0:
             raise SimulationError("warmup_fraction must be within [0, 1)")
         engine = engine if engine is not None else default_engine()
         if engine not in ENGINES:
             raise SimulationError(f"unknown replay engine {engine!r}")
+        if isinstance(scheduler, str):
+            scheduler = build_scheduler(scheduler)
         self.design = design
         self.cpi_model = cpi_model
         self.warmup_fraction = warmup_fraction
         self.num_samples = num_samples
         self.warm_os_state = warm_os_state
         self.engine = engine
+        #: Optional feedback-driven scheduler (``repro.dynamics.adaptive``).
+        #: ``None`` means "fixed": replay exactly what the trace prescribes.
+        self.scheduler = scheduler
 
     def run(self, trace: Trace, *, engine: Optional[str] = None) -> SimulationResult:
         """Replay the trace and return the measured result."""
@@ -286,6 +347,11 @@ class TraceSimulator:
             raise SimulationError(
                 "dynamic traces (with events) require the fast engine; "
                 "the reference path predates the dynamics subsystem"
+            )
+        if self.scheduler is not None and mode != "fast":
+            raise SimulationError(
+                "adaptive scheduling requires the fast engine; the reference "
+                "path has no feedback hook"
             )
         warmup_count = int(len(trace) * self.warmup_fraction)
         if warmup_count >= len(trace):
@@ -309,7 +375,11 @@ class TraceSimulator:
         if gc_was_enabled:
             gc.disable()
         try:
-            if mode == "fast":
+            if mode == "fast" and self.scheduler is not None:
+                total, sample_cpis = self._replay_fast_adaptive(
+                    trace, warmup_count, self.scheduler
+                )
+            elif mode == "fast":
                 total, sample_cpis = self._replay_fast(trace, warmup_count)
             else:
                 total, sample_cpis = self._replay_reference(trace, warmup_count)
@@ -332,6 +402,9 @@ class TraceSimulator:
         if trace.is_dynamic:
             metadata["dynamic"] = True
             metadata["events"] = len(trace.events)
+        if self.scheduler is not None:
+            metadata["scheduler"] = self.scheduler.name
+            metadata["adaptive_migrations"] = total.adaptive_migrations
         if hasattr(self.design, "misclassification_rate"):
             metadata["misclassification_rate"] = self.design.misclassification_rate
         if hasattr(self.design, "allocation_probability"):
@@ -571,27 +644,12 @@ class TraceSimulator:
         per-phase CPI lands in :attr:`SimulationStats.phases`.
         """
         design = self.design
-        events = trace.events.rows()
-        n_events = len(events)
-        phase_names = list(trace.metadata.get("phases") or ())
         policy = getattr(design, "policy", None)
-        scheduler = policy.classifier.scheduler if policy is not None else None
-
-        state = {"phase": 0, "migrations": 0, "onsets": 0, "next": 0}
-
-        def apply_event(kind: int, arg0: int, arg1: int) -> None:
-            if kind == MIGRATION_EVENT:
-                state["migrations"] += 1
-                if scheduler is not None:
-                    scheduler.migrate(arg0, arg1)
-            elif kind == PHASE_EVENT:
-                state["phase"] = arg0
-            else:  # SHARING_ONSET_EVENT: generation-side; count it only.
-                state["onsets"] += 1
-
-        def phase_label() -> str:
-            index = state["phase"]
-            return phase_names[index] if index < len(phase_names) else f"phase{index}"
+        os_scheduler = policy.classifier.scheduler if policy is not None else None
+        events, state, apply_event, phase_label = _trace_event_machinery(
+            trace, os_scheduler
+        )
+        n_events = len(events)
 
         def replay_span(start: int, stop: int, window, phase_stats) -> None:
             """Replay [start, stop), applying events at their indices.
@@ -639,6 +697,198 @@ class TraceSimulator:
             total.merge(window_stats)
         total.thread_migrations = state["migrations"]
         total.sharing_onsets = state["onsets"]
+        return total, sample_cpis
+
+    # ------------------------------------------------------------------ #
+    # Adaptive (feedback-driven) replay
+    # ------------------------------------------------------------------ #
+    def _replay_fast_adaptive(
+        self, trace: Trace, warmup_count: int, controller: AdaptiveScheduler
+    ) -> tuple[SimulationStats, list[float]]:
+        """Fast replay with the engine→scheduler→engine feedback loop closed.
+
+        The static and fixed-dynamics paths are open-loop: events flow from
+        the trace into the engine and nothing flows back.  Here the engine
+        counts each window's accesses per software thread, feeds the window
+        to the :class:`~repro.dynamics.adaptive.AdaptiveScheduler`, and
+        installs the decisions that come back as thread→core overrides for
+        the rest of the replay — the trace itself is never modified, so the
+        same stored trace serves every scheduler.
+
+        Decisions are charged through the ordinary OS machinery: each
+        applied move is recorded in the design's
+        :class:`~repro.osmodel.scheduler.ThreadScheduler` (when the design
+        has one), so the classifier's next TLB miss on an affected page
+        re-owns it — or reclassifies it shared — through the Section-4.3
+        state machine, exactly like a generation-time migration.
+
+        Replay is split at three kinds of boundary: trace events (applied
+        before their record, as in the fixed-dynamics path), pressure-window
+        boundaries (every ``controller.window_records`` records, feedback
+        fires), and measurement sample windows (statistics accumulate per
+        sample for the confidence interval, per phase for phased traces).
+        Everything is a pure function of (trace, policy, seed), which is
+        what makes adaptive results deterministic across processes.
+        """
+        design = self.design
+        config = design.config
+        rows = trace.hot_rows(config.block_size, config.page_size)
+        stall_factors = self.cpi_model.stall_factors
+        busy_cpi = self.cpi_model.busy_cpi
+
+        access = L2Access()
+        outcome = AccessOutcome()
+        components = outcome.components
+        design_service = design._service
+        l1_fill = design._l1_fill
+        wants_evictions = design._wants_l1_evictions
+        on_l1_eviction = design.on_l1_eviction
+
+        policy = getattr(design, "policy", None)
+        os_scheduler = policy.classifier.scheduler if policy is not None else None
+        # The OS is fully aware of thread placement (Section 4.3): priming
+        # the scheduler with the trace's launch-time assignment lets the
+        # classifier attribute a replay-time move off a packed core to
+        # migration (re-own) instead of mistaking it for a second sharer.
+        initial = trace.metadata.get("initial_assignment")
+        if os_scheduler is not None and initial:
+            for thread, core in enumerate(initial):
+                os_scheduler.schedule(thread, int(core))
+
+        controller.begin_run(config.num_tiles)
+        window_records = controller.window_records
+        assignment: dict[int, int] = {}  # thread -> overriding core
+        counts: dict[int, int] = {}  # window-local per-thread access counts
+        located: dict[int, int] = {}  # window-local thread -> effective core
+
+        has_phases = bool(trace.metadata.get("phases"))
+        # A generation-time migration re-places the thread: the trace's
+        # core column already issues its accesses from the new core, so any
+        # adaptive override for this thread is stale and must be dropped —
+        # otherwise the override would silently cancel the scheduled
+        # migration for the rest of the replay.  The schedule (the OS, in
+        # the fiction) wins; the adaptive scheduler may of course move the
+        # thread again at a later window.
+        events, state, apply_event, phase_label = _trace_event_machinery(
+            trace, os_scheduler,
+            on_migration=lambda thread: assignment.pop(thread, None),
+        )
+        n_events = len(events)
+
+        def replay_segment(start: int, stop: int, acc) -> None:
+            """Replay [start, stop) under the current overrides.
+
+            ``acc`` is ``None`` for warm-up segments.  Statistics accumulate
+            through :meth:`SampleAccumulator.record_access` (the documented
+            slower-but-identical twin of the fused static loop), and every
+            access is counted against its issuing thread so the window's
+            pressure can be fed back.
+            """
+            accesses = 0
+            offchip_count = 0
+            get_override = assignment.get
+            for core, code, address, instructions, thread, true_class, coarse, block, page in rows[
+                start:stop
+            ]:
+                core = get_override(thread, core)
+                access.core = core
+                instruction = code == INSTRUCTION_CODE
+                write = code == STORE_CODE
+                access.is_instruction = instruction
+                access.is_write = write
+                access.block_address = block
+                access.byte_address = address
+                access.thread_id = thread
+                access.true_class = true_class
+                access.page_number = page
+                accesses += 1
+                components.clear()
+                outcome.hit_where = "l2_local"
+                outcome.offchip = False
+                outcome.coherence = False
+                design_service(access, outcome)
+                if outcome.offchip:
+                    offchip_count += 1
+                if not instruction:
+                    victim = l1_fill(core, block, write)
+                    if victim is not None and wants_evictions:
+                        on_l1_eviction(core, victim)
+                counts[thread] = counts.get(thread, 0) + 1
+                located[thread] = core
+                if acc is not None:
+                    acc.record_access(coarse, instructions, busy_cpi * instructions, outcome)
+            design.accesses += accesses
+            design.offchip_accesses += offchip_count
+
+        def feedback() -> None:
+            """Close the loop at a window boundary: observe, decide, apply."""
+            decisions = controller.observe(counts, located)
+            for decision in decisions:
+                previous = located.get(decision.thread_id)
+                assignment[decision.thread_id] = decision.to_core
+                if os_scheduler is not None:
+                    os_scheduler.migrate(decision.thread_id, decision.to_core)
+                controller.record_applied(
+                    decision.thread_id, previous, decision.to_core
+                )
+            counts.clear()
+            located.clear()
+
+        next_feedback = window_records
+
+        def replay_span(start: int, stop: int, window, phase_stats) -> None:
+            """Replay [start, stop), honouring events and window boundaries."""
+            nonlocal next_feedback
+            pos = start
+            while pos < stop:
+                boundary = stop
+                index = state["next"]
+                if index < n_events and events[index][0] < boundary:
+                    boundary = events[index][0]
+                if next_feedback < boundary:
+                    boundary = next_feedback
+                boundary = max(boundary, pos)
+                if boundary > pos:
+                    if window is None:
+                        replay_segment(pos, boundary, None)
+                    else:
+                        accumulator = SampleAccumulator(stall_factors)
+                        replay_segment(pos, boundary, accumulator)
+                        segment = accumulator.to_stats()
+                        if has_phases:
+                            phase_stats.fold_phase(phase_label(), segment)
+                        window.merge(segment)
+                    pos = boundary
+                while state["next"] < n_events and events[state["next"]][0] <= pos:
+                    _, kind, arg0, arg1 = events[state["next"]]
+                    apply_event(kind, arg0, arg1)
+                    state["next"] += 1
+                if pos == next_feedback:
+                    feedback()
+                    next_feedback += window_records
+
+        replay_span(0, warmup_count, None, None)
+
+        total = SimulationStats()
+        sample_cpis: list[float] = []
+        measured = len(trace) - warmup_count
+        for window in split_into_samples(measured, self.num_samples):
+            window_stats = SimulationStats()
+            replay_span(
+                warmup_count + window.start, warmup_count + window.stop,
+                window_stats, total,
+            )
+            if window_stats.instructions:
+                sample_cpis.append(window_stats.cpi)
+            total.merge(window_stats)
+        # A trailing partial pressure window (fewer than window_records
+        # records) is dropped rather than fed back: its decisions could
+        # never affect replay, and a short window's imbalance would be
+        # noise in the series.
+        total.thread_migrations = state["migrations"]
+        total.sharing_onsets = state["onsets"]
+        total.adaptive_migrations = controller.migrations_applied
+        total.window_imbalance = list(controller.imbalance_series)
         return total, sample_cpis
 
     # ------------------------------------------------------------------ #
@@ -748,6 +998,7 @@ def simulate_workload(
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
     trace: Optional[Trace] = None,
     engine: Optional[str] = None,
+    scheduler: "AdaptiveScheduler | str | None" = None,
     **design_kwargs,
 ) -> SimulationResult:
     """End-to-end convenience: build chip + trace + design and simulate.
@@ -760,6 +1011,13 @@ def simulate_workload(
     a :class:`~repro.dynamics.spec.DynamicWorkloadSpec`; the trace then
     comes from the :class:`~repro.dynamics.generator.DynamicTraceGenerator`
     and replays through the event-aware fast engine.
+
+    ``scheduler`` selects the replay-time scheduling axis: ``None``/"fixed"
+    replays exactly what the trace prescribes; "greedy"/"reinforced" (or an
+    explicit :class:`~repro.dynamics.adaptive.AdaptiveScheduler`) close the
+    engine→scheduler→engine feedback loop.  A scheduler name is seeded with
+    this run's ``seed``, so the whole simulation stays a pure function of
+    its arguments.
     """
     spec, dyn = resolve_workload(workload)
     if config is None:
@@ -768,6 +1026,8 @@ def simulate_workload(
         trace = generate_workload_trace(
             spec, dyn, config, num_records, seed=seed, scale=scale
         )
+    if isinstance(scheduler, str):
+        scheduler = build_scheduler(scheduler, seed=seed)
     chip = TiledChip(config)
     design_instance = build_design(design, chip, **design_kwargs)
     simulator = TraceSimulator(
@@ -775,6 +1035,7 @@ def simulate_workload(
         CpiModel.for_workload(spec),
         warmup_fraction=warmup_fraction,
         engine=engine,
+        scheduler=scheduler,
     )
     result = simulator.run(trace)
     result.metadata["scale"] = scale
@@ -792,8 +1053,13 @@ def simulate_best_asr(
     config: Optional[SystemConfig] = None,
     trace: Optional[Trace] = None,
     include_adaptive: bool = True,
+    scheduler: "AdaptiveScheduler | str | None" = None,
 ) -> SimulationResult:
-    """Run the six ASR variants and return the best one (paper Section 5.1)."""
+    """Run the six ASR variants and return the best one (paper Section 5.1).
+
+    ``scheduler`` (the replay-time axis) applies to *every* variant, so a
+    greedy-scheduler best-ASR result stays comparable to a fixed one.
+    """
     spec, dyn = resolve_workload(workload)
     if config is None:
         config = SystemConfig.for_workload_category(spec.category).scaled(scale)
@@ -815,6 +1081,7 @@ def simulate_best_asr(
             seed=seed,
             config=config,
             trace=trace,
+            scheduler=scheduler,
             **kwargs,
         )
         if best is None or result.cpi < best.cpi:

@@ -59,6 +59,7 @@ from typing import Callable, Iterable, Iterator, Optional
 
 from repro.cmp.config import SystemConfig
 from repro.designs import normalize_design
+from repro.dynamics.adaptive import SCHEDULERS
 from repro.errors import SimulationError
 from repro.sim.engine import (
     DEFAULT_TRACE_LENGTH,
@@ -81,6 +82,7 @@ DEFAULT_RESULTS_DIR = "results"
 #: forwarded verbatim to :func:`repro.designs.build_design`).
 _CLUSTER_PARAM = "instruction_cluster_size"
 _BEST_ASR_PARAM = "best_asr"
+_SCHEDULER_PARAM = "scheduler"
 
 
 def default_jobs() -> int:
@@ -183,7 +185,12 @@ class ExperimentGrid:
     ``overrides`` is an extra grid axis: each dict is merged into the
     parameters of every (workload, design) pair.  ``cluster_sizes`` adds
     the Figure-11 instruction-cluster sweep (R-NUCA points with an explicit
-    ``instruction_cluster_size``) for every workload.
+    ``instruction_cluster_size``) for every workload.  ``schedulers`` adds
+    the replay-time scheduling axis (:mod:`repro.dynamics.adaptive`):
+    ``"fixed"`` enumerates the plain point (no parameter, so its content
+    hash — and its cached result — is identical to a sweep-free run), while
+    ``"greedy"``/``"reinforced"`` enumerate points carrying a ``scheduler``
+    parameter.
     """
 
     workloads: tuple = ()
@@ -193,29 +200,48 @@ class ExperimentGrid:
     seed: int = 0
     overrides: tuple = ({},)
     cluster_sizes: tuple = ()
+    schedulers: tuple = ()
 
     def __post_init__(self) -> None:
         self.workloads = tuple(self.workloads)
         self.designs = tuple(normalize_design(d) for d in self.designs)
         self.overrides = tuple(dict(o) for o in self.overrides) or ({},)
         self.cluster_sizes = tuple(self.cluster_sizes)
+        self.schedulers = tuple(self.schedulers)
+        for name in self.schedulers:
+            if name not in SCHEDULERS:
+                known = ", ".join(SCHEDULERS)
+                raise SimulationError(
+                    f"unknown scheduler {name!r}; known schedulers: {known}"
+                )
+
+    def _scheduler_params(self) -> list[dict]:
+        """One params fragment per scheduler ("fixed" contributes none)."""
+        if not self.schedulers:
+            return [{}]
+        return [
+            {} if name == "fixed" else {"scheduler": name}
+            for name in self.schedulers
+        ]
 
     def points(self) -> list[ExperimentPoint]:
         """Enumerate the grid, seeds fixed at enumeration time."""
         points = []
+        scheduler_params = self._scheduler_params()
         for workload in self.workloads:
             for design in self.designs:
                 for override in self.overrides:
-                    points.append(
-                        ExperimentPoint.make(
-                            workload,
-                            design,
-                            num_records=self.num_records,
-                            scale=self.scale,
-                            seed=self.seed,
-                            params=override,
+                    for fragment in scheduler_params:
+                        points.append(
+                            ExperimentPoint.make(
+                                workload,
+                                design,
+                                num_records=self.num_records,
+                                scale=self.scale,
+                                seed=self.seed,
+                                params={**override, **fragment},
+                            )
                         )
-                    )
             for size in self.cluster_sizes:
                 points.append(
                     ExperimentPoint.make(
@@ -233,8 +259,10 @@ class ExperimentGrid:
         return iter(self.points())
 
     def __len__(self) -> int:
+        scheduler_count = max(1, len(self.schedulers))
         return (
             len(self.workloads) * len(self.designs) * len(self.overrides)
+            * scheduler_count
             + len(self.workloads) * len(self.cluster_sizes)
         )
 
@@ -296,6 +324,13 @@ def execute_point(point: ExperimentPoint) -> SimulationResult:
     spec, _ = resolve_workload(point.workload)
     config = SystemConfig.for_workload_category(spec.category).scaled(point.scale)
     trace = _trace_for(point.workload, point.num_records, point.scale, point.seed)
+    # The scheduler is a *replay-time* axis, orthogonal to design
+    # parameters: pop it before the best-ASR decision (a greedy-scheduler
+    # ASR point must still run the best-of-six selection its fixed
+    # counterpart runs, or the scheduler comparison would conflate
+    # scheduler effect with ASR-variant selection) and forward it to every
+    # execution path explicitly.
+    scheduler = params.pop(_SCHEDULER_PARAM, None)
     best_asr = params.pop(_BEST_ASR_PARAM, None)
     if best_asr is None:
         best_asr = not params
@@ -311,6 +346,7 @@ def execute_point(point: ExperimentPoint) -> SimulationResult:
             seed=point.seed,
             config=config,
             trace=trace,
+            scheduler=scheduler,
         )
     elif point.design == "R" and _CLUSTER_PARAM in params:
         from repro.analysis.evaluation import simulate_rnuca_cluster
@@ -323,6 +359,7 @@ def execute_point(point: ExperimentPoint) -> SimulationResult:
             seed=point.seed,
             config=config,
             trace=trace,
+            scheduler=scheduler,
             **params,
         )
     else:
@@ -334,6 +371,7 @@ def execute_point(point: ExperimentPoint) -> SimulationResult:
             seed=point.seed,
             config=config,
             trace=trace,
+            scheduler=scheduler,
             **params,
         )
     result.metadata["point"] = point.to_dict()

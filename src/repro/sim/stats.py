@@ -262,6 +262,13 @@ class SimulationStats:
     #: Per-phase totals for phased traces: phase name ->
     #: {"instructions", "cycles", "accesses"} over the measured window.
     phases: dict = field(default_factory=dict)
+    # --- adaptive-scheduling measurements (repro.dynamics.adaptive) ------ #
+    #: Thread migrations decided *during replay* by an adaptive scheduler
+    #: (distinct from :attr:`thread_migrations`, which counts trace events).
+    adaptive_migrations: int = 0
+    #: Per-pressure-window imbalance (``max/mean - 1`` of per-core access
+    #: counts) observed by the adaptive scheduler, in replay order.
+    window_imbalance: list = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -408,6 +415,8 @@ class SimulationStats:
             "migration_reowns": self.migration_reowns,
             "reclassifications": self.reclassifications,
             "phases": {name: dict(totals) for name, totals in self.phases.items()},
+            "adaptive_migrations": self.adaptive_migrations,
+            "window_imbalance": list(self.window_imbalance),
         }
 
     @classmethod
@@ -431,6 +440,8 @@ class SimulationStats:
                 name: dict(totals)
                 for name, totals in data.get("phases", {}).items()
             },
+            adaptive_migrations=data.get("adaptive_migrations", 0),
+            window_imbalance=list(data.get("window_imbalance", ())),
         )
         for key, cycles in data["cycles_by_class_component"].items():
             access_class, _, component = key.partition("::")
@@ -453,6 +464,8 @@ class SimulationStats:
         self.sharing_onsets += other.sharing_onsets
         self.migration_reowns += other.migration_reowns
         self.reclassifications += other.reclassifications
+        self.adaptive_migrations += other.adaptive_migrations
+        self.window_imbalance.extend(other.window_imbalance)
         for name, totals in other.phases.items():
             mine = self.phases.get(name)
             if mine is None:

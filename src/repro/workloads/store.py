@@ -21,7 +21,9 @@ from scratch.  :class:`TraceStore` turns the trace into a build artifact:
     concurrent workers cannot observe a torn file; corrupt files read as
     misses and are regenerated.  Every *actual* generation appends one line
     to ``generated.log``, which is what lets the tests assert that a cold
-    parallel grid generates each workload trace exactly once.
+    parallel grid generates each workload trace exactly once.  ``gc`` caps
+    the store with an LRU sweep (``repro traces gc --max-bytes N``); hits
+    bump file mtimes, so eviction order tracks actual use.
 
 The cache location is controlled by ``RNUCA_TRACE_DIR`` (default
 ``traces/``); see :class:`repro.sim.runner.BatchRunner` for how the parent
@@ -145,14 +147,22 @@ class TraceStore:
 
         A corrupt or truncated file — a crashed writer, a damaged cache —
         reads as a miss so the caller regenerates instead of crashing.
+        Every hit bumps the file's modification time, which is the recency
+        :meth:`gc` evicts by (least recently *used*, not least recently
+        written).
         """
         path = self.path_for(key)
         if not path.exists():
             return None
         try:
-            return Trace.load(path, mmap=mmap)
+            trace = Trace.load(path, mmap=mmap)
         except (TraceError, OSError):
             return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # read-only store: recency tracking degrades, reads still work
+        return trace
 
     def put(self, key: TraceKey, trace: Trace) -> Path:
         """Persist ``trace`` under ``key`` atomically (write + rename)."""
@@ -194,3 +204,56 @@ class TraceStore:
         if not path.exists():
             return []
         return path.read_text(encoding="utf-8").splitlines()
+
+    # ------------------------------------------------------------------ #
+    # Eviction (``repro traces gc``)
+    # ------------------------------------------------------------------ #
+    def entries(self) -> list[tuple[Path, int, float]]:
+        """Every stored trace as ``(path, size_bytes, mtime)``, oldest first.
+
+        Files that vanish mid-scan (a concurrent gc, a crashed writer's
+        cleanup) are skipped rather than raised.
+        """
+        if not self.directory.is_dir():
+            return []
+        rows = []
+        for path in self.directory.glob("*.npz"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            rows.append((path, stat.st_size, stat.st_mtime))
+        rows.sort(key=lambda row: (row[2], row[0].name))
+        return rows
+
+    def size_bytes(self) -> int:
+        """Total bytes of stored traces (the ``generated.log`` is not counted)."""
+        return sum(size for _, size, _ in self.entries())
+
+    def gc(self, max_bytes: int, *, dry_run: bool = False) -> list[Path]:
+        """LRU sweep: evict least-recently-used traces until ``max_bytes`` fits.
+
+        Recency is each file's modification time, which :meth:`get` bumps on
+        every hit and :meth:`put` sets on write, so the sweep drops the
+        traces no run has touched for longest.  Returns the evicted paths
+        (with ``dry_run=True``, the paths that *would* be evicted, deleting
+        nothing).  Eviction is safe by construction: the store is
+        content-addressed, so a swept trace that is needed again simply
+        regenerates on the next miss.
+        """
+        if max_bytes < 0:
+            raise TraceError("max_bytes cannot be negative")
+        entries = self.entries()
+        total = sum(size for _, size, _ in entries)
+        evicted: list[Path] = []
+        for path, size, _ in entries:
+            if total <= max_bytes:
+                break
+            if not dry_run:
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass  # a concurrent sweep got there first; same outcome
+            total -= size
+            evicted.append(path)
+        return evicted

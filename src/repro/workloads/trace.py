@@ -22,9 +22,11 @@ included, plus a JSON header member for the workload name, core count,
 metadata and class table) and :meth:`Trace.load` memory-maps the members
 back, so a sixty-thousand-record trace loads in microseconds and any number
 of worker processes share one copy of the column data through the page
-cache.  The pre-binary JSON-lines format remains readable (``Trace.load``
-sniffs the file magic) and writable via ``save(path, format="jsonl")`` for
-one release.
+cache.  The pre-binary JSON-lines format is gone: its one-release
+deprecation window (readable + writable via ``format="jsonl"``) has
+closed, and :meth:`Trace.load` now rejects non-binary files loudly.
+Content-addressed stores treat that rejection as a cache miss, so a stale
+JSON-lines artifact regenerates instead of crashing a run.
 """
 
 from __future__ import annotations
@@ -580,24 +582,17 @@ class Trace:
         return array
 
     # ------------------------------------------------------------------ #
-    # Persistence (binary columnar .npz, with a legacy JSON-lines reader)
+    # Persistence (binary columnar .npz)
     # ------------------------------------------------------------------ #
-    def save(self, path: str | Path, *, format: str = "binary") -> None:
-        """Write the trace to ``path``.
+    def save(self, path: str | Path) -> None:
+        """Write the trace to ``path`` as an uncompressed ``.npz`` archive.
 
-        ``format="binary"`` (the default) writes an uncompressed ``.npz``
-        archive — one ``.npy`` member per column (events included) plus a
-        JSON ``header`` member — which :meth:`load` memory-maps back
-        without copying the column data.  ``format="jsonl"`` writes the
-        legacy JSON-lines representation (kept for one release as a
-        migration aid and as the ``repro bench --traces`` baseline).
+        One ``.npy`` member per column (events included) plus a JSON
+        ``header`` member; :meth:`load` memory-maps the members back
+        without copying the column data.  (The legacy JSON-lines writer
+        was removed after its one-release deprecation window.)
         """
-        if format == "binary":
-            self._save_binary(Path(path))
-        elif format == "jsonl":
-            self._save_jsonl(Path(path))
-        else:
-            raise TraceError(f"unknown trace format {format!r}")
+        self._save_binary(Path(path))
 
     def _save_binary(self, path: Path) -> None:
         cols = self.columns
@@ -629,50 +624,20 @@ class Trace:
         with path.open("wb") as handle:
             np.savez(handle, **arrays)
 
-    def _save_jsonl(self, path: Path) -> None:
-        """The legacy JSON-lines writer (one header line, then records)."""
-        cols = self.columns
-        table = cols.class_table
-        with path.open("w", encoding="utf-8") as handle:
-            header = {
-                "workload": self.workload,
-                "num_cores": self.num_cores,
-                "metadata": self.metadata,
-            }
-            if len(self.events):
-                header["events"] = self.events.rows()
-            handle.write(json.dumps(header, default=_json_scalar) + "\n")
-            for core, kind, address, instructions, thread, label in zip(
-                cols.core.tolist(),
-                cols.access_type.tolist(),
-                cols.address.tolist(),
-                cols.instructions.tolist(),
-                cols.thread_id.tolist(),
-                cols.true_class.tolist(),
-            ):
-                handle.write(
-                    json.dumps(
-                        [
-                            core,
-                            ACCESS_TYPE_BY_CODE[kind].value,
-                            address,
-                            instructions,
-                            None if thread == NO_THREAD else thread,
-                            table[label],
-                        ]
-                    )
-                    + "\n"
-                )
-
     @classmethod
     def load(cls, path: str | Path, *, mmap: bool = True) -> "Trace":
-        """Read a trace previously written by :meth:`save` (either format).
+        """Read a trace previously written by :meth:`save`.
 
         Binary traces are memory-mapped by default: the column arrays are
         read-only views straight into the page cache, so loading is O(1) in
         the trace length and concurrent processes share one physical copy.
         Pass ``mmap=False`` to force an in-memory copy (e.g. when the file
         will be replaced while the trace is still alive).
+
+        A file that is not a binary columnar archive — including traces
+        written by the removed JSON-lines format — raises
+        :class:`~repro.errors.TraceError`; stores catch that and treat the
+        file as a cache miss.
         """
         path = Path(path)
         try:
@@ -680,9 +645,12 @@ class Trace:
                 magic = handle.read(len(_ZIP_MAGIC))
         except OSError as error:
             raise TraceError(f"cannot read trace file {path}: {error}") from error
-        if magic == _ZIP_MAGIC:
-            return cls._load_binary(path, mmap=mmap)
-        return cls._load_jsonl(path)
+        if magic != _ZIP_MAGIC:
+            raise TraceError(
+                f"{path} is not a binary columnar trace (the legacy "
+                "JSON-lines format was removed; regenerate the trace)"
+            )
+        return cls._load_binary(path, mmap=mmap)
 
     @classmethod
     def _load_binary(cls, path: Path, *, mmap: bool) -> "Trace":
@@ -719,56 +687,6 @@ class Trace:
             )
         except (KeyError, TypeError, ValueError, json.JSONDecodeError) as error:
             raise TraceError(f"corrupt binary trace {path}: {error}") from error
-
-    @classmethod
-    def _load_jsonl(cls, path: Path) -> "Trace":
-        """The legacy JSON-lines reader (kept for one release)."""
-        class_codes: dict[Optional[str], int] = {None: 0}
-        table: list[Optional[str]] = [None]
-        cores: list[int] = []
-        kinds: list[int] = []
-        addresses: list[int] = []
-        instructions: list[int] = []
-        threads: list[int] = []
-        labels: list[int] = []
-        with path.open("r", encoding="utf-8") as handle:
-            header_line = handle.readline()
-            if not header_line:
-                raise TraceError(f"trace file {path} is empty")
-            header = json.loads(header_line)
-            for line in handle:
-                core, kind, address, count, thread_id, true_class = json.loads(line)
-                cores.append(core)
-                kinds.append(_CODE_BY_ACCESS_TYPE[AccessType(kind)])
-                addresses.append(address)
-                instructions.append(count)
-                threads.append(NO_THREAD if thread_id is None else thread_id)
-                code = class_codes.get(true_class)
-                if code is None:
-                    code = len(table)
-                    class_codes[true_class] = code
-                    table.append(true_class)
-                labels.append(code)
-        columns = TraceColumns(
-            core=_int64_column(cores, "core ids"),
-            access_type=np.asarray(kinds, dtype=np.int8),
-            address=_int64_column(addresses, "addresses"),
-            instructions=_int64_column(instructions, "instruction counts"),
-            thread_id=_int64_column(threads, "thread ids"),
-            true_class=np.asarray(labels, dtype=np.int16),
-            class_table=tuple(table),
-        )
-        events = header.get("events")
-        return cls.from_columns(
-            columns,
-            workload=header.get("workload", "unknown"),
-            num_cores=header.get("num_cores", 0),
-            metadata=header.get("metadata", {}),
-            events=TraceEvents.from_rows(
-                [tuple(row) for row in events]
-            ) if events else None,
-        )
-
 
 def _json_scalar(value):
     """JSON fallback for numpy scalars hiding in trace metadata."""

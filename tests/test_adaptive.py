@@ -1,0 +1,449 @@
+"""Tests for the feedback-driven scheduler (``repro.dynamics.adaptive``).
+
+The two load-bearing contracts:
+
+* **Determinism** — replay-time decisions are a pure function of
+  (trace, policy, seed): the same run is bit-identical across repeats and
+  across worker processes (``jobs=4``), which is what lets adaptive results
+  live in the content-addressed :class:`~repro.sim.runner.ResultStore`.
+* **Fixed is a no-op** — ``scheduler=fixed`` (or no scheduler at all)
+  replays through exactly the pre-adaptive code path, bit for bit, so the
+  adaptive subsystem is a strict extension of the dynamics pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamics.adaptive import (
+    DEFAULT_WINDOW_RECORDS,
+    SCHEDULERS,
+    AdaptiveScheduler,
+    GreedyRebalancePolicy,
+    MigrationDecision,
+    ReinforcedCounterPolicy,
+    WindowPressure,
+    build_scheduler,
+)
+from repro.dynamics.scenarios import resolve_dynamic
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import simulate_workload
+from repro.sim.runner import BatchRunner, ExperimentGrid
+
+from .conftest import TEST_SCALE
+
+RECORDS = 6000
+
+
+def _window(pressure, thread_counts, thread_core, index=0):
+    return WindowPressure(
+        index=index,
+        pressure=tuple(pressure),
+        thread_counts=dict(thread_counts),
+        thread_core=dict(thread_core),
+    )
+
+
+# --------------------------------------------------------------------- #
+# WindowPressure arithmetic
+# --------------------------------------------------------------------- #
+class TestWindowPressure:
+    def test_imbalance_zero_when_balanced(self):
+        window = _window([5, 5, 5, 5], {}, {})
+        assert window.imbalance == 0.0
+
+    def test_imbalance_peak_over_mean(self):
+        # mean = 5, max = 10 -> 10/5 - 1 = 1.0
+        window = _window([10, 0, 5, 5], {}, {})
+        assert window.imbalance == pytest.approx(1.0)
+
+    def test_imbalance_idle_window_is_zero(self):
+        assert _window([0, 0], {}, {}).imbalance == 0.0
+
+    def test_hottest_core_breaks_ties_low(self):
+        assert _window([7, 7, 3], {}, {}).hottest_core() == 0
+
+    def test_threads_on_ranks_hottest_first_then_low_id(self):
+        window = _window(
+            [10, 0],
+            {3: 4, 1: 4, 2: 2},
+            {3: 0, 1: 0, 2: 0},
+        )
+        assert window.threads_on(0) == [(4, 1), (4, 3), (2, 2)]
+
+
+# --------------------------------------------------------------------- #
+# Policies
+# --------------------------------------------------------------------- #
+class TestGreedyPolicy:
+    def test_no_decision_below_threshold(self):
+        policy = GreedyRebalancePolicy(threshold=0.5)
+        policy.reset()
+        window = _window([6, 5, 5, 4], {0: 6}, {0: 0})
+        assert policy.decide(window) == []
+
+    def test_moves_hottest_thread_to_coolest_core(self):
+        policy = GreedyRebalancePolicy(threshold=0.25)
+        policy.reset()
+        window = _window(
+            [10, 2, 0, 0],
+            {0: 6, 4: 4, 1: 2},
+            {0: 0, 4: 0, 1: 1},
+        )
+        (decision,) = policy.decide(window)
+        assert decision.thread_id == 0  # hottest thread on the hottest core
+        assert decision.to_core in (2, 3)  # tied coolest cores: seeded pick
+        # The pick is reproducible: a fresh policy with the same seed agrees.
+        fresh = GreedyRebalancePolicy(threshold=0.25)
+        fresh.reset()
+        assert fresh.decide(window) == [decision]
+
+    def test_single_thread_core_is_not_shuffled(self):
+        """Moving a lone thread just relocates the peak: the improvement
+        guard must refuse."""
+        policy = GreedyRebalancePolicy(threshold=0.25)
+        policy.reset()
+        window = _window([10, 1, 1, 0], {0: 10, 1: 1, 2: 1}, {0: 0, 1: 1, 2: 2})
+        assert policy.decide(window) == []
+
+    def test_idle_trace_makes_no_decisions(self):
+        policy = GreedyRebalancePolicy()
+        policy.reset()
+        assert policy.decide(_window([0, 0], {}, {})) == []
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GreedyRebalancePolicy(threshold=-0.1)
+
+
+class TestReinforcedPolicy:
+    def test_patience_delays_the_move(self):
+        policy = ReinforcedCounterPolicy(threshold=0.25, patience=2, explore=0.0)
+        policy.reset()
+        window = _window(
+            [10, 0, 0, 0],
+            {0: 6, 1: 4},
+            {0: 0, 1: 0},
+        )
+        assert policy.decide(window) == []  # credit 1 < patience
+        (decision,) = policy.decide(window)  # credit 2 -> move
+        assert decision.thread_id == 0
+        assert decision.to_core in (1, 2, 3)
+
+    def test_credit_decays_when_balance_returns(self):
+        policy = ReinforcedCounterPolicy(threshold=0.25, patience=2, explore=0.0)
+        policy.reset()
+        hot = _window([10, 0], {0: 6, 1: 4}, {0: 0, 1: 0})
+        balanced = _window([5, 5], {0: 5, 1: 5}, {0: 0, 1: 1})
+        assert policy.decide(hot) == []
+        for _ in range(12):  # decay the credit away
+            assert policy.decide(balanced) == []
+        assert policy.decide(hot) == []  # back to square one: no move yet
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReinforcedCounterPolicy(patience=0)
+        with pytest.raises(ConfigurationError):
+            ReinforcedCounterPolicy(decay=1.0)
+        with pytest.raises(ConfigurationError):
+            ReinforcedCounterPolicy(explore=1.0)
+
+
+# --------------------------------------------------------------------- #
+# AdaptiveScheduler controller
+# --------------------------------------------------------------------- #
+class TestAdaptiveScheduler:
+    def test_observe_builds_pressure_and_records_imbalance(self):
+        scheduler = AdaptiveScheduler(GreedyRebalancePolicy(threshold=0.25))
+        scheduler.begin_run(4)
+        decisions = scheduler.observe({0: 6, 4: 4}, {0: 0, 4: 0})
+        assert scheduler.imbalance_series == [pytest.approx(3.0)]
+        (decision,) = decisions
+        assert decision.thread_id == 0
+        scheduler.record_applied(decision.thread_id, 0, decision.to_core)
+        assert scheduler.migrations_applied == 1
+
+    def test_begin_run_resets_everything(self):
+        scheduler = AdaptiveScheduler(GreedyRebalancePolicy())
+        scheduler.begin_run(2)
+        scheduler.observe({0: 5}, {0: 0})
+        scheduler.record_applied(0, 0, 1)
+        scheduler.begin_run(2)
+        assert scheduler.imbalance_series == []
+        assert scheduler.applied == []
+
+    def test_non_moves_are_filtered(self):
+        class Stubborn(GreedyRebalancePolicy):
+            def decide(self, window):
+                return [MigrationDecision(thread_id=0, to_core=0)]
+
+        scheduler = AdaptiveScheduler(Stubborn())
+        scheduler.begin_run(2)
+        assert scheduler.observe({0: 5}, {0: 0}) == []
+
+    def test_out_of_range_target_raises(self):
+        class Rogue(GreedyRebalancePolicy):
+            def decide(self, window):
+                return [MigrationDecision(thread_id=0, to_core=99)]
+
+        scheduler = AdaptiveScheduler(Rogue())
+        scheduler.begin_run(2)
+        with pytest.raises(ConfigurationError):
+            scheduler.observe({0: 5}, {0: 0})
+
+    def test_window_records_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveScheduler(GreedyRebalancePolicy(), window_records=0)
+
+    def test_build_scheduler_names(self):
+        assert build_scheduler("fixed") is None
+        assert build_scheduler("greedy").name == "greedy"
+        assert build_scheduler("reinforced").name == "reinforced"
+        assert build_scheduler("greedy").window_records == DEFAULT_WINDOW_RECORDS
+        with pytest.raises(ConfigurationError, match="known schedulers"):
+            build_scheduler("oracle")
+        assert set(SCHEDULERS) == {"fixed", "greedy", "reinforced"}
+
+
+# --------------------------------------------------------------------- #
+# End-to-end determinism and the fixed no-op contract
+# --------------------------------------------------------------------- #
+class TestAdaptiveReplay:
+    def _run(self, scheduler, *, workload="mix:adaptive", seed=5, **kwargs):
+        return simulate_workload(
+            workload, "R", num_records=RECORDS, scale=TEST_SCALE, seed=seed,
+            scheduler=scheduler, **kwargs,
+        )
+
+    @pytest.mark.parametrize("name", ("greedy", "reinforced"))
+    def test_same_seed_same_scheduler_is_bit_identical(self, name):
+        first = self._run(name)
+        second = self._run(name)
+        assert first.stats.to_dict() == second.stats.to_dict()
+        assert first.cpi == second.cpi
+        assert first.metadata == second.metadata
+
+    def test_fixed_name_is_a_noop_vs_no_scheduler(self):
+        """``scheduler="fixed"`` replays through the pre-adaptive path."""
+        plain = self._run(None, workload="mix:phased")
+        fixed = self._run("fixed", workload="mix:phased")
+        assert plain.stats.to_dict() == fixed.stats.to_dict()
+        assert "scheduler" not in fixed.metadata
+
+    def test_greedy_actually_migrates_and_rebalances(self):
+        result = self._run("greedy")
+        stats = result.stats
+        assert stats.adaptive_migrations > 0
+        assert result.metadata["scheduler"] == "greedy"
+        assert result.metadata["adaptive_migrations"] == stats.adaptive_migrations
+        # The packed launch placement is visibly imbalanced at first and
+        # visibly repaired by the end.
+        assert stats.window_imbalance[0] > 0.5
+        assert stats.window_imbalance[-1] < stats.window_imbalance[0] / 2
+        # Replay-time moves are charged through the OS machinery.
+        assert stats.migration_reowns > 0
+        # Trace events are still what the trace says (no generation-time
+        # migrations in the :adaptive scenarios).
+        assert stats.thread_migrations == 0
+
+    def test_adaptive_works_on_static_traces_too(self):
+        result = self._run("greedy", workload="mix")
+        # A balanced static workload never crosses the threshold ...
+        assert result.stats.adaptive_migrations == 0
+        # ... and the imbalance series is still observed.
+        assert len(result.stats.window_imbalance) > 0
+        # Static traces gain no phantom phase rows from the adaptive path.
+        assert result.stats.phases == {}
+
+    def test_window_series_covers_every_full_window(self):
+        """A trace ending exactly on a window boundary loses no windows."""
+        scheduler = AdaptiveScheduler(
+            GreedyRebalancePolicy(seed=5), window_records=500
+        )
+        result = self._run(scheduler)
+        assert len(result.stats.window_imbalance) == RECORDS // 500
+
+    def test_trace_migration_event_invalidates_adaptive_override(self, config8):
+        """A generation-time migration re-places the thread; a stale
+        adaptive override must not silently cancel it."""
+        from repro.dynamics.generator import generate_dynamic_trace
+        from repro.dynamics.spec import (
+            DynamicWorkloadSpec,
+            MigrationEvent,
+            MigrationSchedule,
+        )
+        from repro.sim.engine import TraceSimulator
+        from repro.sim.latency import CpiModel
+        from repro.cmp.chip import TiledChip
+        from repro.designs import build_design
+        from repro.workloads.spec import get_workload
+        from repro.dynamics.adaptive import SchedulingPolicy
+
+        class Scripted(SchedulingPolicy):
+            """Moves thread 0 to core 3 at window 0, then just records."""
+
+            name = "scripted"
+
+            def __init__(self):
+                self.seen = []
+
+            def reset(self):
+                self.seen = []
+
+            def decide(self, window):
+                self.seen.append(dict(window.thread_core))
+                if window.index == 0:
+                    return [MigrationDecision(thread_id=0, to_core=3)]
+                return []
+
+        base = get_workload("mix")
+        dyn = DynamicWorkloadSpec(
+            name="mix:event-vs-override",
+            base=base,
+            schedule=MigrationSchedule(
+                migrations=(MigrationEvent(at=0.5, thread_id=0, to_core=5),)
+            ),
+        )
+        trace = generate_dynamic_trace(dyn, config8, 8000, seed=2, scale=TEST_SCALE)
+        policy = Scripted()
+        simulator = TraceSimulator(
+            build_design("R", TiledChip(config8)),
+            CpiModel.for_workload(base),
+            scheduler=AdaptiveScheduler(policy, window_records=500),
+        )
+        simulator.run(trace)
+        # Before the scheduled migration the adaptive override holds ...
+        assert policy.seen[2][0] == 3
+        # ... and the trace's own migration (record 4000 -> core 5) then
+        # wins: the override is dropped, not left to shadow the schedule.
+        assert policy.seen[-1][0] == 5
+
+    def test_stats_round_trip_preserves_adaptive_fields(self):
+        from repro.sim.stats import SimulationStats
+
+        stats = self._run("greedy").stats
+        clone = SimulationStats.from_dict(stats.to_dict())
+        assert clone.adaptive_migrations == stats.adaptive_migrations
+        assert clone.window_imbalance == stats.window_imbalance
+        assert clone.to_dict() == stats.to_dict()
+
+    def test_reference_engine_rejects_schedulers(self):
+        with pytest.raises(SimulationError, match="fast engine"):
+            self._run("greedy", workload="mix", engine="reference")
+
+    def test_explicit_scheduler_object_is_accepted(self):
+        scheduler = AdaptiveScheduler(
+            GreedyRebalancePolicy(seed=5), window_records=500
+        )
+        by_object = self._run(scheduler)
+        assert by_object.metadata["scheduler"] == "greedy"
+        # Twice the windows of the default 1000-record cadence.
+        by_name = self._run("greedy")
+        assert len(by_object.stats.window_imbalance) == pytest.approx(
+            2 * len(by_name.stats.window_imbalance), abs=2
+        )
+
+
+# --------------------------------------------------------------------- #
+# Runner integration: the scheduler axis is deterministic across jobs
+# --------------------------------------------------------------------- #
+class TestSchedulerGridAxis:
+    GRID = dict(
+        workloads=("mix:adaptive",),
+        designs=("R",),
+        num_records=4000,
+        scale=TEST_SCALE,
+        seed=5,
+        schedulers=("fixed", "greedy"),
+    )
+
+    def test_grid_enumerates_scheduler_axis(self):
+        grid = ExperimentGrid(**self.GRID)
+        points = grid.points()
+        assert len(points) == len(grid) == 2
+        params = sorted(point.param_dict.get("scheduler", "fixed") for point in points)
+        assert params == ["fixed", "greedy"]
+        # "fixed" carries no parameter: its content hash equals the plain
+        # point's, so pre-existing cached results keep serving it.
+        plain = ExperimentGrid(**{**self.GRID, "schedulers": ()}).points()
+        assert points[0].content_hash == plain[0].content_hash
+
+    def test_scheduler_axis_keeps_asr_best_of_six(self):
+        """The replay-time axis is orthogonal to design parameters: an ASR
+        point with a scheduler still runs the paper's best-of-six
+        selection, so the scheduler comparison compares like with like."""
+        from repro.sim.runner import ExperimentPoint, execute_point
+
+        point = ExperimentPoint.make(
+            "mix:adaptive", "A", num_records=1500, scale=TEST_SCALE, seed=5,
+            params={"scheduler": "greedy"},
+        )
+        result = execute_point(point)
+        assert result.metadata["asr_variants_evaluated"] == 6
+        assert result.metadata["scheduler"] == "greedy"
+
+    def test_unknown_scheduler_rejected_at_grid_time(self):
+        with pytest.raises(SimulationError, match="known schedulers"):
+            ExperimentGrid(**{**self.GRID, "schedulers": ("oracle",)})
+
+    def test_bit_identical_across_jobs(self, tmp_path):
+        """jobs=1 and jobs=4 produce the same bytes for every point."""
+        grid = ExperimentGrid(**self.GRID)
+        serial = BatchRunner(jobs=1).run(grid.points())
+        parallel = BatchRunner(jobs=4).run(grid.points())
+        assert serial.executed == parallel.executed == 2
+        for point in grid.points():
+            a = serial.result_for(point)
+            b = parallel.result_for(point)
+            assert a.stats.to_dict() == b.stats.to_dict(), point.label
+            assert a.to_dict() == b.to_dict(), point.label
+
+
+# --------------------------------------------------------------------- #
+# The :adaptive scenario family
+# --------------------------------------------------------------------- #
+class TestAdaptiveScenario:
+    def test_packed_initial_assignment(self):
+        dyn = resolve_dynamic("mix:adaptive")
+        cores = len(dyn.initial_assignment)
+        assert dyn.initial_assignment == tuple(t // 2 for t in range(cores))
+        assert not dyn.is_static_equivalent
+
+    def test_trace_metadata_carries_the_assignment(self, config8):
+        from repro.dynamics.generator import generate_dynamic_trace
+
+        dyn = resolve_dynamic("mix:adaptive")
+        trace = generate_dynamic_trace(dyn, config8, 1000, seed=1, scale=TEST_SCALE)
+        assert trace.metadata["initial_assignment"] == list(dyn.initial_assignment)
+        # Only the packed half of the machine issues accesses at launch.
+        assert set(trace.columns.core.tolist()) <= set(dyn.initial_assignment)
+
+    def test_assignment_length_validated(self, config8):
+        from dataclasses import replace
+
+        from repro.dynamics.generator import DynamicTraceGenerator
+        from repro.errors import TraceError
+
+        dyn = replace(resolve_dynamic("mix:adaptive"), initial_assignment=(0, 1))
+        with pytest.raises(TraceError, match="initial assignment"):
+            DynamicTraceGenerator(dyn, config8, seed=1, scale=TEST_SCALE)
+
+    def test_assignment_core_range_validated(self, config8):
+        from dataclasses import replace
+
+        from repro.dynamics.generator import DynamicTraceGenerator
+        from repro.errors import TraceError
+
+        cores = config8.num_tiles
+        dyn = replace(
+            resolve_dynamic("mix:adaptive"),
+            initial_assignment=tuple([cores + 7] * cores),
+        )
+        with pytest.raises(TraceError, match="exceeds"):
+            DynamicTraceGenerator(dyn, config8, seed=1, scale=TEST_SCALE)
+
+    def test_negative_core_rejected_by_spec(self):
+        from dataclasses import replace
+
+        with pytest.raises(ConfigurationError):
+            replace(resolve_dynamic("mix:adaptive"), initial_assignment=(-1, 0))

@@ -99,8 +99,10 @@ def test_run_trace_bench_payload_shape():
     assert generation["dynamic_records_per_sec"] > 0
     persistence = payload["persistence"]
     assert persistence["round_trip_ok"] is True
-    assert persistence["binary_load_speedup"] > 0
-    assert persistence["binary_bytes"] > 0 and persistence["jsonl_bytes"] > 0
+    assert persistence["binary_save_records_per_sec"] > 0
+    assert persistence["binary_load_records_per_sec"] > 0
+    assert persistence["binary_bytes"] > 0
+    assert "jsonl_bytes" not in persistence  # the legacy format is gone
     (row,) = payload["replay"]
     assert row["design"] == "R"
     assert row["dynamic_records_per_sec"] > 0

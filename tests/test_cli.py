@@ -165,3 +165,94 @@ def test_run_trace_cache_defaults_to_env(results_dir, trace_dir, capsys):
     assert main(RUN_ARGS + ["--results-dir", results_dir]) == 0
     capsys.readouterr()
     assert len(list(trace_dir.glob("*.npz"))) == 1
+
+
+# --------------------------------------------------------------------- #
+# Replay-time scheduler axis (repro run --scheduler / repro report)
+# --------------------------------------------------------------------- #
+SCHED_RUN_ARGS = [
+    "run",
+    "--workloads", "mix:adaptive",
+    "--designs", "rnuca",
+    "--records", "4000",
+    "--scale", str(TEST_SCALE),
+]
+
+
+def test_run_scheduler_sweep_and_report_comparison(results_dir, capsys):
+    assert main(
+        SCHED_RUN_ARGS + ["--scheduler", "fixed,greedy", "--results-dir", results_dir]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "x 2 schedulers" in out
+    assert "simulated mix:adaptive/R[scheduler=greedy]" in out
+
+    assert main(["report", "--results-dir", results_dir]) == 0
+    out = capsys.readouterr().out
+    assert "Scheduler comparison" in out
+    assert "greedy" in out and "fixed" in out
+    assert "vs_fixed" in out
+
+
+def test_run_scheduler_fixed_reuses_plain_cache(results_dir, capsys):
+    """'fixed' adds no point parameter, so a plain run's cache serves it."""
+    assert main(SCHED_RUN_ARGS + ["--results-dir", results_dir, "--quiet"]) == 0
+    capsys.readouterr()
+    assert main(
+        SCHED_RUN_ARGS + ["--scheduler", "fixed", "--results-dir", results_dir]
+    ) == 0
+    assert "1 cache hits" in capsys.readouterr().out
+
+
+def test_run_unknown_scheduler_errors(results_dir):
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError, match="known schedulers"):
+        main(SCHED_RUN_ARGS + ["--scheduler", "oracle", "--results-dir", results_dir])
+
+
+def test_list_shows_schedulers(capsys):
+    main(["list"])
+    out = capsys.readouterr().out
+    assert "Schedulers:" in out
+    assert "fixed" in out and "greedy" in out and "reinforced" in out
+    assert "adaptive" in out  # the scenario variant is advertised too
+
+
+# --------------------------------------------------------------------- #
+# Trace-store maintenance (repro traces gc)
+# --------------------------------------------------------------------- #
+def test_traces_gc_sweeps_store(results_dir, tmp_path, capsys):
+    trace_dir = tmp_path / "traces"
+    assert main(
+        RUN_ARGS + ["--results-dir", results_dir, "--trace-dir", str(trace_dir), "--quiet"]
+    ) == 0
+    capsys.readouterr()
+    stored = list(trace_dir.glob("*.npz"))
+    assert stored
+
+    assert main(
+        ["traces", "gc", "--max-bytes", "0", "--trace-dir", str(trace_dir), "--dry-run"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "would evict 1 trace(s)" in out
+    assert list(trace_dir.glob("*.npz")) == stored  # dry run deletes nothing
+
+    assert main(
+        ["traces", "gc", "--max-bytes", "0", "--trace-dir", str(trace_dir)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "evicted 1 trace(s)" in out
+    assert list(trace_dir.glob("*.npz")) == []
+
+
+def test_traces_gc_defaults_to_env_store(trace_dir, tmp_path, capsys):
+    import os
+
+    assert os.environ["RNUCA_TRACE_DIR"] == str(trace_dir)
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    (trace_dir / "x.npz").write_bytes(b"PK\x03\x04junk")
+    assert main(["traces", "gc", "--max-bytes", "0"]) == 0
+    out = capsys.readouterr().out
+    assert str(trace_dir) in out
+    assert not (trace_dir / "x.npz").exists()

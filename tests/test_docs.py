@@ -1,0 +1,123 @@
+"""Docs-surface contracts: the documentation cannot drift from the code.
+
+Three cross-checks keep ``docs/`` honest:
+
+* every markdown link in ``docs/``, ``ROADMAP.md`` and ``CHANGES.md``
+  resolves (same checker the CI docs job runs);
+* every ``RNUCA_*`` environment variable grep-able in ``src/`` is
+  documented in ``docs/CLI.md``;
+* everything ``repro list`` advertises — workloads, designs, engines,
+  schedulers, scenario variants — appears in ``docs/CLI.md``.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DOCS = REPO_ROOT / "docs"
+
+
+@pytest.fixture(scope="module")
+def cli_md() -> str:
+    return (DOCS / "CLI.md").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def architecture_md() -> str:
+    return (DOCS / "ARCHITECTURE.md").read_text(encoding="utf-8")
+
+
+def test_docs_files_exist():
+    assert (DOCS / "ARCHITECTURE.md").is_file()
+    assert (DOCS / "CLI.md").is_file()
+
+
+def test_markdown_links_resolve():
+    """Same check as the CI docs job, enforced in tier 1."""
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "tools" / "check_links.py"),
+            str(DOCS),
+            str(REPO_ROOT / "ROADMAP.md"),
+            str(REPO_ROOT / "CHANGES.md"),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr + result.stdout
+
+
+def test_every_env_knob_in_src_is_documented(cli_md):
+    """grep RNUCA_* over src/ -> every hit must appear in docs/CLI.md."""
+    seen = set()
+    for path in (REPO_ROOT / "src").rglob("*.py"):
+        seen.update(re.findall(r"RNUCA_[A-Z_]+", path.read_text(encoding="utf-8")))
+    assert seen  # the grep itself must not silently go empty
+    undocumented = {name for name in seen if name not in cli_md}
+    assert not undocumented, f"env knobs missing from docs/CLI.md: {sorted(undocumented)}"
+
+
+@pytest.fixture(scope="module")
+def repro_list_output() -> str:
+    import contextlib
+    import io
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        assert main(["list"]) == 0
+    return buffer.getvalue()
+
+
+def test_cli_md_covers_repro_list_catalogue(cli_md, repro_list_output):
+    """Names the CLI advertises must be findable in the reference doc."""
+    from repro.designs import DESIGNS
+    from repro.dynamics.adaptive import SCHEDULERS
+    from repro.dynamics.scenarios import DYNAMIC_VARIANTS
+    from repro.sim.engine import ENGINES
+    from repro.workloads.spec import WORKLOADS
+
+    for workload in WORKLOADS:
+        assert workload in repro_list_output
+    for group in (WORKLOADS, DESIGNS, ENGINES, SCHEDULERS, DYNAMIC_VARIANTS):
+        for name in group:
+            assert name in repro_list_output, f"{name} missing from `repro list`"
+    # The reference documents every variant, engine and scheduler by name.
+    for name in (*DYNAMIC_VARIANTS, *ENGINES, *SCHEDULERS):
+        assert name in cli_md, f"{name} missing from docs/CLI.md"
+
+
+def test_cli_md_documents_every_subcommand(cli_md):
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subparsers = next(
+        action for action in parser._actions
+        if isinstance(action, type(parser._subparsers._group_actions[0]))
+    )
+    for name in subparsers.choices:
+        assert f"repro {name}" in cli_md, f"subcommand {name} missing from docs/CLI.md"
+
+
+def test_architecture_md_names_every_package(architecture_md):
+    """The layered map must cover every repro.* package on disk."""
+    packages = sorted(
+        path.parent.name
+        for path in (REPO_ROOT / "src" / "repro").glob("*/__init__.py")
+    )
+    assert len(packages) >= 11
+    for package in packages:
+        assert f"repro.{package}" in architecture_md, (
+            f"package repro.{package} missing from docs/ARCHITECTURE.md"
+        )
+    # The feedback loop and the content-addressing contracts have sections.
+    assert "feedback loop" in architecture_md.lower()
+    assert "content-addressing" in architecture_md.lower()

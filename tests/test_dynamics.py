@@ -412,7 +412,12 @@ class TestDynamicStats:
 class TestScenarios:
     def test_names_compose_workloads_and_variants(self):
         names = dynamic_workload_names(("oltp-db2",))
-        assert names == ["oltp-db2:migrate", "oltp-db2:onset", "oltp-db2:phased"]
+        assert names == [
+            "oltp-db2:adaptive",
+            "oltp-db2:migrate",
+            "oltp-db2:onset",
+            "oltp-db2:phased",
+        ]
         assert all(is_dynamic_workload(name) for name in names)
         assert not is_dynamic_workload("oltp-db2")
 

@@ -113,7 +113,7 @@ class TestColumnarStorage:
 
     def test_save_load_round_trip(self, tmp_path):
         trace = Trace(make_records(), workload="rt", metadata={"k": 1})
-        path = tmp_path / "trace.jsonl"
+        path = tmp_path / "trace.npz"
         trace.save(path)
         loaded = Trace.load(path)
         assert loaded.records == trace.records

@@ -122,7 +122,7 @@ class TestTraceContainer:
             assert record.core == 3
 
     def test_save_and_load_roundtrip(self, tmp_path, mix_trace):
-        path = tmp_path / "trace.jsonl"
+        path = tmp_path / "trace.npz"
         mix_trace.save(path)
         loaded = Trace.load(path)
         assert len(loaded) == len(mix_trace)
@@ -134,7 +134,7 @@ class TestTraceContainer:
         assert first_original.true_class == first_loaded.true_class
 
     def test_load_empty_file_raises(self, tmp_path):
-        path = tmp_path / "empty.jsonl"
+        path = tmp_path / "empty.npz"
         path.write_text("")
         with pytest.raises(TraceError):
             Trace.load(path)

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs surface (no third-party deps).
+
+Usage::
+
+    python tools/check_links.py docs ROADMAP.md CHANGES.md
+
+Directories are scanned recursively for ``*.md``.  For every inline
+markdown link ``[text](target)``:
+
+* ``http(s)://`` / ``mailto:`` targets are skipped (no network in CI);
+* relative file targets must exist on disk, resolved against the
+  containing file's directory;
+* ``#fragment`` anchors (same-file or into another ``.md``) must match a
+  heading in the target, using GitHub's slugging rules.
+
+Exits 0 when every link resolves, 1 with one line per broken link
+otherwise.  ``tests/test_docs.py`` runs the same check in tier 1, so a
+broken link fails locally before it fails the CI docs job.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_RE = re.compile(r"!\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (close enough for our docs)."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(markdown: str) -> set[str]:
+    return {github_slug(match) for match in HEADING_RE.findall(markdown)}
+
+
+def iter_markdown_files(arguments: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link descriptions for one markdown file."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        return [f"{path}: unreadable ({error})"]
+    # Links inside fenced code blocks are examples, not navigation.
+    prose = CODE_FENCE_RE.sub("", text)
+    problems = []
+    targets = LINK_RE.findall(prose) + IMAGE_RE.findall(prose)
+    for target in targets:
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}: broken link -> {target}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in heading_slugs(resolved.read_text(encoding="utf-8")):
+                    problems.append(f"{path}: missing anchor -> {target}")
+        elif fragment:
+            if fragment not in heading_slugs(text):
+                problems.append(f"{path}: missing anchor -> #{fragment}")
+    return problems
+
+
+def main(arguments: list[str]) -> int:
+    files = iter_markdown_files(arguments)
+    if not files:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 1
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"check_links: {len(files)} file(s), {len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
