@@ -1,0 +1,59 @@
+"""Serving-path benchmark contracts (``repro serve`` + ``repro loadgen``).
+
+Pins the properties the committed ``BENCH_serve.json`` baseline claims:
+
+* a closed-loop run with >= 4 concurrent clients over a duplicated point
+  mix completes with zero errors;
+* the in-flight dedupe fires (identical cold requests from concurrent
+  clients share one simulation, so executed == unique points);
+* warm requests (result-store hits) are measurably faster than cold ones
+  (the whole reason a long-lived daemon beats per-invocation ``repro
+  run``: no process startup, no pool spin-up, no re-simulation).
+
+The run is in-process (ephemeral port, throwaway stores), scaled down the
+same way the rest of the suite scales the machine, so it stays a few
+seconds in tier 1.
+"""
+
+from __future__ import annotations
+
+from repro.serve import run_serve_bench
+
+#: Down-scale factor for the served simulations (machine 8x smaller than
+#: the paper's; latency split, not absolute CPI, is what is pinned here).
+SERVE_BENCH_SCALE = 8
+
+#: Short traces: serving latency, not simulation depth, is under test.
+SERVE_BENCH_RECORDS = 2_000
+
+
+def test_serve_loadgen_dedupes_and_warm_beats_cold():
+    payload = run_serve_bench(
+        workloads=("mix", "oltp-db2"),
+        designs=("P", "R"),
+        clients=4,
+        num_requests=32,
+        num_records=SERVE_BENCH_RECORDS,
+        scale=SERVE_BENCH_SCALE,
+    )
+    assert payload["errors"] == 0, payload["error_messages"]
+    assert payload["requests"] == 32
+    assert payload["clients"] == 4
+    assert payload["requests_per_sec"] > 0
+
+    stats = payload["daemon_stats"]
+    # Exactly one simulation per unique point; everything else was served
+    # from the in-flight table or the result store.
+    assert stats["executed"] == payload["unique_points"]
+    assert stats["deduped"] > 0, stats
+    assert stats["cached"] > 0, stats
+    assert stats["errors"] == 0
+
+    # Warm (store-hit) requests must be measurably faster than cold
+    # (executed) ones — at least 2x on the mean, a conservative bound for
+    # a split that measures ~10-30x in practice.
+    cold = payload["cold"]["mean_ms"]
+    warm = payload["warm"]["mean_ms"]
+    assert warm > 0 and cold > 0
+    assert warm * 2 < cold, f"warm {warm}ms not measurably faster than cold {cold}ms"
+    assert payload["warm_speedup"] >= 2

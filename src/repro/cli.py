@@ -29,6 +29,18 @@ Subcommands:
     Maintain the binary trace store: ``traces gc --max-bytes N`` evicts
     least-recently-used traces until the store fits the budget.
 
+``serve``
+    Run the long-lived simulation daemon (:mod:`repro.serve`): a warm
+    worker pool, a shared mmap'd trace cache and the content-addressed
+    result store behind a loopback JSON-lines endpoint, with identical
+    in-flight requests deduplicated across clients.  ``serve --stop``
+    asks a running daemon to shut down cleanly.
+
+``loadgen``
+    Drive a running daemon closed-loop (N concurrent clients, think
+    time, duplicated point mix) and write ``BENCH_serve.json`` with
+    requests/sec, p50/p95/p99 latency and the warm/cold/dedupe split.
+
 ``list``
     Show the known workloads, designs, engines and schedulers.
 
@@ -59,15 +71,30 @@ from repro.analysis.speedup import speedup_table
 from repro.designs import DESIGNS, normalize_design
 from repro.dynamics.adaptive import SCHEDULERS
 from repro.dynamics.scenarios import DYNAMIC_VARIANTS, dynamic_workload_names
+from repro.serve.loadgen import (
+    DEFAULT_CLIENTS,
+    DEFAULT_LOADGEN_RECORDS,
+    DEFAULT_REQUESTS,
+    ServeWorkload,
+    run_loadgen,
+)
+from repro.serve.protocol import (
+    DEFAULT_SERVE_PORT,
+    ServeClient,
+    default_serve_host,
+    default_serve_port,
+)
 from repro.sim.bench import (
     DEFAULT_BENCH_OUTPUT,
     DEFAULT_BENCH_RECORDS,
     DEFAULT_BENCH_REPEATS,
+    DEFAULT_SERVE_BENCH_OUTPUT,
     DEFAULT_TRACE_BENCH_OUTPUT,
     DEFAULT_TRACE_BENCH_RECORDS,
     QUICK_BENCH_RECORDS,
     QUICK_BENCH_REPEATS,
     run_bench,
+    run_serve_bench,
     run_trace_bench,
     write_bench,
 )
@@ -177,8 +204,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--designs",
         type=_csv,
-        default=["P", "A", "S", "R", "I"],
-        help="comma-separated designs to benchmark (default: P,A,S,R,I)",
+        default=None,
+        help="comma-separated designs to benchmark "
+        "(default: P,A,S,R,I; --serve: P,R)",
     )
     bench.add_argument(
         "--workload",
@@ -224,6 +252,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="short smoke run (fewer records and repeats)",
     )
+    bench.add_argument(
+        "--serve",
+        action="store_true",
+        help="benchmark the serving path instead: in-process daemon + "
+        "closed-loop load generator, written to BENCH_serve.json",
+    )
+    bench.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="(--serve) concurrent closed-loop clients (default: 4)",
+    )
+    bench.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="(--serve) total requests across all clients (default: 32)",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="(--serve) daemon worker processes (default: $RNUCA_JOBS or 1)",
+    )
 
     traces = sub.add_parser("traces", help="maintain the binary trace store")
     traces_sub = traces.add_subparsers(dest="traces_command", required=True)
@@ -245,6 +297,121 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run",
         action="store_true",
         help="report what would be evicted without deleting anything",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived simulation daemon (JSON lines over TCP)"
+    )
+    serve.add_argument(
+        "--host",
+        default=None,
+        help="bind address (default: $RNUCA_SERVE_HOST or 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help=f"TCP port; 0 picks an ephemeral port "
+        f"(default: $RNUCA_SERVE_PORT or {DEFAULT_SERVE_PORT})",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes in the warm pool (default: $RNUCA_JOBS or 1)",
+    )
+    serve.add_argument(
+        "--results-dir",
+        default=DEFAULT_RESULTS_DIR,
+        help=f"JSON result store directory (default: {DEFAULT_RESULTS_DIR}/)",
+    )
+    serve.add_argument(
+        "--trace-dir",
+        default=None,
+        help="binary trace cache directory (default: $RNUCA_TRACE_DIR or "
+        f"{DEFAULT_TRACE_DIR}/)",
+    )
+    serve.add_argument(
+        "--stop",
+        action="store_true",
+        help="do not start a daemon; ask the one at --host/--port to shut down",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request log lines"
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a running daemon closed-loop and measure latency"
+    )
+    loadgen.add_argument(
+        "--host",
+        default=None,
+        help="daemon address (default: $RNUCA_SERVE_HOST or 127.0.0.1)",
+    )
+    loadgen.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help=f"daemon port (default: $RNUCA_SERVE_PORT or {DEFAULT_SERVE_PORT})",
+    )
+    loadgen.add_argument(
+        "--clients",
+        type=int,
+        default=DEFAULT_CLIENTS,
+        help=f"concurrent closed-loop clients (default: {DEFAULT_CLIENTS})",
+    )
+    loadgen.add_argument(
+        "--requests",
+        type=int,
+        default=DEFAULT_REQUESTS,
+        help=f"total requests across all clients (default: {DEFAULT_REQUESTS})",
+    )
+    loadgen.add_argument(
+        "--workloads",
+        type=_csv,
+        default=["mix", "oltp-db2"],
+        help="workloads in the point mix (default: mix,oltp-db2)",
+    )
+    loadgen.add_argument(
+        "--designs",
+        type=_csv,
+        default=["private", "rnuca"],
+        help="designs in the point mix (default: private,rnuca)",
+    )
+    loadgen.add_argument(
+        "--records",
+        type=int,
+        default=DEFAULT_LOADGEN_RECORDS,
+        help=f"trace length per point (default: {DEFAULT_LOADGEN_RECORDS})",
+    )
+    loadgen.add_argument(
+        "--scale",
+        type=int,
+        default=DEFAULT_SCALE,
+        help=f"system down-scale factor (default: {DEFAULT_SCALE})",
+    )
+    loadgen.add_argument("--seed", type=int, default=0, help="mix RNG seed (default: 0)")
+    loadgen.add_argument(
+        "--think-ms",
+        type=float,
+        default=0.0,
+        help="per-client think time between requests in ms (default: 0)",
+    )
+    loadgen.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to retry the first connect (daemon may still be booting)",
+    )
+    loadgen.add_argument(
+        "--output",
+        default=DEFAULT_SERVE_BENCH_OUTPUT,
+        help=f"JSON output path (default: {DEFAULT_SERVE_BENCH_OUTPUT})",
+    )
+    loadgen.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="send the daemon a shutdown request after the run",
     )
 
     sub.add_parser("list", help="show known workloads, designs, engines, schedulers")
@@ -426,6 +593,8 @@ def _scheduler_comparison(pairs) -> list[dict]:
 def cmd_bench(args: argparse.Namespace) -> int:
     if args.traces:
         return cmd_bench_traces(args)
+    if args.serve:
+        return cmd_bench_serve(args)
     records = args.records
     repeats = args.repeats
     if args.quick:
@@ -435,7 +604,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         records = records if records is not None else DEFAULT_BENCH_RECORDS
         repeats = repeats if repeats is not None else DEFAULT_BENCH_REPEATS
     payload = run_bench(
-        designs=args.designs,
+        designs=args.designs or ["P", "A", "S", "R", "I"],
         workload=args.workload,
         num_records=records,
         scale=args.scale,
@@ -481,7 +650,7 @@ def cmd_bench_traces(args: argparse.Namespace) -> int:
         records = records if records is not None else DEFAULT_TRACE_BENCH_RECORDS
         repeats = repeats if repeats is not None else DEFAULT_BENCH_REPEATS
     payload = run_trace_bench(
-        designs=args.designs,
+        designs=args.designs or ["P", "A", "S", "R", "I"],
         workload=args.workload,
         num_records=records,
         scale=args.scale,
@@ -554,6 +723,135 @@ def cmd_bench_traces(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_serve_summary(payload: dict) -> None:
+    rows = [
+        {
+            "phase": phase,
+            "count": payload[phase]["count"],
+            "mean_ms": payload[phase]["mean_ms"],
+            "p50_ms": payload[phase]["p50_ms"],
+            "p95_ms": payload[phase]["p95_ms"],
+            "p99_ms": payload[phase]["p99_ms"],
+        }
+        for phase in ("latency", "cold", "warm", "deduped")
+        if payload.get(phase, {}).get("count")
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Serving latency: {payload['clients']} clients, "
+                f"{payload['requests']} requests over {payload['unique_points']} "
+                f"unique points @ {payload['requests_per_sec']} req/s"
+            ),
+        )
+    )
+    stats = payload.get("daemon_stats")
+    if stats:
+        print(
+            f"  daemon: executed={stats['executed']} cached={stats['cached']} "
+            f"deduped={stats['deduped']} errors={stats['errors']}"
+        )
+    if payload.get("warm_speedup"):
+        print(f"  warm (store-hit) requests {payload['warm_speedup']}x faster than cold")
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    requests = args.requests if args.requests is not None else DEFAULT_REQUESTS
+    clients = args.clients if args.clients is not None else DEFAULT_CLIENTS
+    records = args.records
+    if records is None:
+        records = QUICK_BENCH_RECORDS // 8 if args.quick else DEFAULT_LOADGEN_RECORDS
+    payload = run_serve_bench(
+        workloads=tuple(dict.fromkeys(("mix", args.workload))),
+        designs=tuple(args.designs or ["P", "R"]),
+        clients=clients,
+        num_requests=requests,
+        num_records=records,
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs if args.jobs is not None else default_jobs(),
+        progress=lambda line: print(f"  {line}"),
+    )
+    _print_serve_summary(payload)
+    path = write_bench(payload, args.output or DEFAULT_SERVE_BENCH_OUTPUT)
+    print(f"Wrote {path}")
+    if payload["errors"]:
+        for message in payload["error_messages"]:
+            print(f"WARNING: {message}")
+        return 1
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.daemon import SimulationDaemon
+
+    host = args.host or default_serve_host()
+    port = args.port if args.port is not None else default_serve_port()
+    if args.stop:
+        try:
+            with ServeClient(host, port, connect_timeout=2.0) as client:
+                acknowledged = client.shutdown()
+        except Exception as error:
+            print(f"No daemon at {host}:{port}: {error}")
+            return 1
+        print(f"Daemon at {host}:{port} " + ("shutting down" if acknowledged else "did not acknowledge"))
+        return 0 if acknowledged else 1
+    store = ResultStore(args.results_dir)
+    trace_store = TraceStore(args.trace_dir) if args.trace_dir else TraceStore.from_env()
+    runner = BatchRunner(
+        store=store,
+        jobs=args.jobs if args.jobs is not None else default_jobs(),
+        trace_store=trace_store,
+    )
+    daemon = SimulationDaemon(runner, host=host, port=port, quiet=args.quiet)
+    print(f"repro serve: {daemon.describe()}", flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down")
+    print("repro serve: stopped cleanly")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    host = args.host or default_serve_host()
+    port = args.port if args.port is not None else default_serve_port()
+    workload = ServeWorkload.mixed(
+        tuple(args.workloads),
+        tuple(normalize_design(d) for d in args.designs),
+        num_records=args.records,
+        scale=args.scale,
+        seed=args.seed,
+        think_ms=args.think_ms,
+    )
+    payload = run_loadgen(
+        workload,
+        host=host,
+        port=port,
+        clients=args.clients,
+        num_requests=args.requests,
+        connect_timeout=args.connect_timeout,
+        progress=lambda line: print(f"  {line}"),
+    )
+    _print_serve_summary(payload)
+    path = write_bench(payload, args.output)
+    print(f"Wrote {path}")
+    if args.shutdown:
+        try:
+            with ServeClient(host, port, connect_timeout=args.connect_timeout) as client:
+                client.shutdown()
+            print(f"Sent shutdown to {host}:{port}")
+        except Exception as error:
+            print(f"WARNING: shutdown request failed: {error}")
+            return 1
+    if payload["errors"]:
+        for message in payload["error_messages"]:
+            print(f"WARNING: {message}")
+        return 1
+    return 0
+
+
 def cmd_traces(args: argparse.Namespace) -> int:
     if args.traces_command == "gc":
         return cmd_traces_gc(args)
@@ -594,7 +892,8 @@ def cmd_list(_args: argparse.Namespace) -> int:
         "Env knobs: RNUCA_JOBS (worker count), RNUCA_RESULTS_DIR (result cache), "
         "RNUCA_TRACE_DIR (binary trace cache), "
         "RNUCA_EVAL_RECORDS (trace length for quick runs), "
-        "RNUCA_ENGINE (fast | reference replay engine)"
+        "RNUCA_ENGINE (fast | reference replay engine), "
+        "RNUCA_SERVE_HOST / RNUCA_SERVE_PORT (daemon endpoint)"
     )
     return 0
 
@@ -606,6 +905,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": cmd_report,
         "bench": cmd_bench,
         "traces": cmd_traces,
+        "serve": cmd_serve,
+        "loadgen": cmd_loadgen,
         "list": cmd_list,
     }
     return handlers[args.command](args)

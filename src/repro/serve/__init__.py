@@ -1,0 +1,24 @@
+"""Long-lived simulation serving: daemon, wire protocol and load generator.
+
+``repro serve`` keeps one warm process — pool spun up, traces mmap'd,
+result store attached — and serves experiment points to any number of
+concurrent clients over a loopback JSON-lines protocol, deduplicating
+identical in-flight requests.  ``repro loadgen`` is the closed-loop
+driver that turns that into committed numbers (``BENCH_serve.json``).
+
+See :mod:`repro.serve.daemon`, :mod:`repro.serve.protocol` and
+:mod:`repro.serve.loadgen`.
+"""
+
+from repro.serve.daemon import SimulationDaemon
+from repro.serve.loadgen import ServeWorkload, run_loadgen, run_serve_bench
+from repro.serve.protocol import ProtocolError, ServeClient
+
+__all__ = [
+    "ProtocolError",
+    "ServeClient",
+    "ServeWorkload",
+    "SimulationDaemon",
+    "run_loadgen",
+    "run_serve_bench",
+]

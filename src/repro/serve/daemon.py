@@ -1,0 +1,237 @@
+"""The long-lived simulation daemon behind ``repro serve``.
+
+One :class:`SimulationDaemon` owns one reentrant
+:class:`~repro.sim.runner.BatchRunner` — and through it the warm worker
+pool, the content-addressed :class:`~repro.sim.runner.ResultStore` and the
+memory-mapped :class:`~repro.workloads.store.TraceStore` — and serves the
+JSON-lines protocol of :mod:`repro.serve.protocol` to any number of
+concurrent client connections (one handler thread each, via
+:class:`socketserver.ThreadingTCPServer`).
+
+What a persistent process buys over per-invocation ``repro run``:
+
+* **No startup tax.**  Interpreter boot, imports, pool spin-up and trace
+  materialisation are paid once; every request after the first rides the
+  warm pool and the mmap'd trace cache.
+* **Cross-client dedupe.**  Two clients requesting the same point while
+  it is simulating share one execution
+  (:meth:`~repro.sim.runner.BatchRunner.run_point`'s in-flight table);
+  requests for already-stored points are pure cache reads.
+* **A measurable serving surface.**  Requests/sec at a latency percentile
+  becomes a number the load generator (:mod:`repro.serve.loadgen`) can
+  drive and CI can gate.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+from typing import Optional
+
+from repro.serve.protocol import DEFAULT_SERVE_HOST, decode_line, encode_line
+from repro.sim.runner import BatchRunner, ExperimentPoint
+
+__all__ = ["SimulationDaemon"]
+
+
+class _ServeStats:
+    """Thread-safe daemon counters (reported by the ``stats`` op)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.monotonic()
+        self.connections = 0
+        self.requests = 0
+        self.executed = 0
+        self.cached = 0
+        self.deduped = 0
+        self.errors = 0
+
+    def bump(self, field: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + amount)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "connections": self.connections,
+                "requests": self.requests,
+                "executed": self.executed,
+                "cached": self.cached,
+                "deduped": self.deduped,
+                "errors": self.errors,
+                "uptime_s": round(time.monotonic() - self.started_at, 3),
+            }
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client connection: read request lines, stream event lines."""
+
+    # Small request/response frames on loopback: Nagle + delayed ACK would
+    # add ~40ms to every exchange, swamping the warm-path latency.
+    disable_nagle_algorithm = True
+
+    def handle(self) -> None:
+        daemon: SimulationDaemon = self.server.daemon  # type: ignore[attr-defined]
+        daemon.stats.bump("connections")
+        for raw in self.rfile:
+            raw = raw.strip()
+            if not raw:
+                continue
+            daemon.stats.bump("requests")
+            try:
+                request = decode_line(raw)
+            except Exception as error:
+                daemon.stats.bump("errors")
+                self._emit({"event": "error", "error": str(error)})
+                continue
+            if not self._dispatch(daemon, request):
+                return
+
+    def _dispatch(self, daemon: "SimulationDaemon", request: dict) -> bool:
+        """Handle one request; False ends the connection (shutdown)."""
+        op = request.get("op")
+        if op == "ping":
+            self._emit({"event": "pong"})
+        elif op == "stats":
+            self._emit({"event": "stats", "stats": daemon.stats.snapshot()})
+        elif op == "shutdown":
+            self._emit({"event": "shutting-down"})
+            daemon.request_shutdown()
+            return False
+        elif op == "run":
+            self._handle_run(daemon, request)
+        else:
+            daemon.stats.bump("errors")
+            self._emit({"event": "error", "error": f"unknown op {op!r}"})
+        return True
+
+    def _handle_run(self, daemon: "SimulationDaemon", request: dict) -> None:
+        start = time.perf_counter()
+        try:
+            point = ExperimentPoint.from_dict(request["point"])
+        except (KeyError, TypeError, ValueError) as error:
+            daemon.stats.bump("errors")
+            self._emit({"event": "error", "error": f"bad run request: {error}"})
+            return
+
+        def accepted(status: str) -> None:
+            self._emit(
+                {"event": "accepted", "hash": point.content_hash, "status": status}
+            )
+
+        try:
+            result, status = daemon.runner.run_point(point, on_status=accepted)
+        except Exception as error:
+            daemon.stats.bump("errors")
+            daemon.log(f"error     {point.label}: {error}")
+            self._emit({"event": "error", "error": str(error)})
+            return
+        daemon.stats.bump(status)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        daemon.log(f"{status:9s} {point.label}  {elapsed_ms:.1f}ms")
+        self._emit(
+            {
+                "event": "result",
+                "hash": point.content_hash,
+                "status": status,
+                "elapsed_ms": round(elapsed_ms, 3),
+                "point": point.to_dict(),
+                "result": result.to_dict(),
+            }
+        )
+
+    def _emit(self, payload: dict) -> None:
+        try:
+            self.wfile.write(encode_line(payload))
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, ValueError):
+            pass  # client went away; the simulation result is stored anyway
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    daemon_threads = True  # handler threads must not block process exit
+    allow_reuse_address = True  # fast restart after an unclean daemon death
+
+
+class SimulationDaemon:
+    """Serve simulation requests over a loopback TCP socket.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`port` always
+    reports the actual bound port.  ``serve_forever`` blocks the calling
+    thread; ``start`` runs the serve loop on a background thread instead
+    (the in-process mode the load-generator benchmark uses).
+    """
+
+    def __init__(
+        self,
+        runner: BatchRunner,
+        *,
+        host: str = DEFAULT_SERVE_HOST,
+        port: int = 0,
+        quiet: bool = True,
+    ) -> None:
+        self.runner = runner
+        self.stats = _ServeStats()
+        self.quiet = quiet
+        self._server = _Server((host, port), _Handler)
+        self._server.daemon = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._log_lock = threading.Lock()
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def log(self, message: str) -> None:
+        if not self.quiet:
+            with self._log_lock:
+                print(f"  {message}", flush=True)
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`request_shutdown` (or ^C)."""
+        try:
+            self._server.serve_forever(poll_interval=0.1)
+        finally:
+            self._server.server_close()
+            self.runner.close()
+
+    def start(self) -> "SimulationDaemon":
+        """Serve on a background thread; returns self once listening."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def request_shutdown(self) -> None:
+        """Stop the serve loop (callable from any thread, incl. handlers)."""
+        threading.Thread(target=self._server.shutdown, daemon=True).start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Shut down and join the background serve thread (if any)."""
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def __enter__(self) -> "SimulationDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def describe(self) -> str:
+        store = self.runner.store.directory if self.runner.store else "(none)"
+        traces = (
+            self.runner.trace_store.directory if self.runner.trace_store else "(none)"
+        )
+        return (
+            f"listening on {self.host}:{self.port} "
+            f"(jobs={self.runner.jobs}, results={store}/, traces={traces}/)"
+        )

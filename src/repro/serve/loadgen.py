@@ -1,0 +1,341 @@
+"""Closed-loop load generator for the simulation daemon (``repro loadgen``).
+
+Modelled on the driver split of serving-systems load generators (a
+*workload* describing what to request, a per-client *request engine*
+issuing it): :class:`ServeWorkload` enumerates a deterministic request
+sequence over a small pool of experiment points, and N
+:class:`_ClientEngine` threads walk that sequence **closed-loop** — each
+client has at most one request outstanding, sends the next only after the
+previous response (plus an optional think time), and records per-request
+latency and disposition.
+
+Every client walks the *same* seeded sequence.  That is deliberate: all
+clients issue the same first (cold) point within microseconds of each
+other, so the daemon's in-flight dedupe is exercised on every run — one
+client owns the simulation, the rest join it — and later passes over the
+sequence measure the warm (store-hit) path.  The resulting
+``BENCH_serve.json`` therefore splits latency into *cold* (``executed``)
+and *warm* (``cached``/``deduped``) phases.
+
+:func:`run_loadgen` drives an already-running daemon;
+:func:`run_serve_bench` (used by ``repro bench --serve``) spins up an
+in-process daemon on an ephemeral port, drives it, and shuts it down —
+the self-contained mode that produces the committed baseline.
+"""
+
+from __future__ import annotations
+
+import math
+import platform
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.serve.protocol import ServeClient
+from repro.sim.engine import DEFAULT_TRACE_LENGTH
+from repro.sim.runner import ExperimentGrid, ExperimentPoint
+from repro.workloads.generator import DEFAULT_SCALE
+
+#: Default client (connection) count; the CI smoke and the committed
+#: baseline both use at least this many.
+DEFAULT_CLIENTS = 4
+
+#: Default total request count across all clients.
+DEFAULT_REQUESTS = 32
+
+#: Default trace length per requested point (short: serving latency, not
+#: simulation depth, is what the load generator measures).
+DEFAULT_LOADGEN_RECORDS = 2_000
+
+#: Default output file name.
+DEFAULT_SERVE_BENCH_OUTPUT = "BENCH_serve.json"
+
+#: The warm phase: requests served straight from the result store.  A
+#: ``deduped`` request also runs no simulation, but its latency is bound
+#: to the cold execution it joined, so it is reported as its own bucket.
+WARM_STATUSES = ("cached",)
+
+
+@dataclass(frozen=True)
+class ServeWorkload:
+    """What the load generator asks for: a seeded sequence over a point mix.
+
+    ``points`` is the unique pool; ``sequence(n)`` deterministically
+    expands it into ``n`` requests (every point appears before any
+    repeats, so each run has a full cold phase followed by warm passes).
+    """
+
+    points: tuple = ()
+    seed: int = 0
+    think_ms: float = 0.0
+
+    @classmethod
+    def mixed(
+        cls,
+        workloads: tuple,
+        designs: tuple,
+        *,
+        num_records: int = DEFAULT_LOADGEN_RECORDS,
+        scale: int = DEFAULT_SCALE,
+        seed: int = 0,
+        think_ms: float = 0.0,
+    ) -> "ServeWorkload":
+        """The standard mix: the (workloads x designs) grid at one length."""
+        grid = ExperimentGrid(
+            workloads=workloads,
+            designs=designs,
+            num_records=num_records,
+            scale=scale,
+            seed=seed,
+        )
+        return cls(points=tuple(grid.points()), seed=seed, think_ms=think_ms)
+
+    def sequence(self, num_requests: int) -> list[ExperimentPoint]:
+        """``num_requests`` points: seeded shuffles of the pool, repeated."""
+        if not self.points:
+            raise ValueError("ServeWorkload has no points")
+        rng = random.Random(self.seed)
+        out: list[ExperimentPoint] = []
+        while len(out) < num_requests:
+            batch = list(self.points)
+            rng.shuffle(batch)
+            out.extend(batch)
+        return out[:num_requests]
+
+
+@dataclass
+class _RequestRecord:
+    client: int
+    index: int
+    point_hash: str
+    status: str
+    latency_ms: float
+
+
+@dataclass
+class _ClientEngine:
+    """One closed-loop client: connect, walk the sequence, record latency."""
+
+    client_id: int
+    host: str
+    port: int
+    requests: list
+    think_s: float
+    barrier: threading.Barrier
+    connect_timeout: float
+    records: list = field(default_factory=list)
+    errors: list = field(default_factory=list)
+
+    def run(self) -> None:
+        try:
+            with ServeClient(
+                self.host, self.port, connect_timeout=self.connect_timeout
+            ) as client:
+                # All clients release together so identical cold requests
+                # overlap and exercise the daemon's in-flight dedupe.
+                self.barrier.wait()
+                for index, point in enumerate(self.requests):
+                    start = time.perf_counter()
+                    final = client.run(point.to_dict())
+                    latency_ms = (time.perf_counter() - start) * 1000.0
+                    self.records.append(
+                        _RequestRecord(
+                            client=self.client_id,
+                            index=index,
+                            point_hash=final["hash"],
+                            status=final["status"],
+                            latency_ms=latency_ms,
+                        )
+                    )
+                    if self.think_s > 0:
+                        time.sleep(self.think_s)
+        except Exception as error:  # any failure is a loadgen error, not a crash
+            self.errors.append(f"client {self.client_id}: {error}")
+            try:
+                self.barrier.abort()
+            except threading.BrokenBarrierError:
+                pass
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending list (q in [0, 1])."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def _latency_summary(latencies_ms: list[float]) -> dict:
+    ordered = sorted(latencies_ms)
+    return {
+        "count": len(ordered),
+        "mean_ms": round(sum(ordered) / len(ordered), 3) if ordered else 0.0,
+        "p50_ms": round(_percentile(ordered, 0.50), 3),
+        "p95_ms": round(_percentile(ordered, 0.95), 3),
+        "p99_ms": round(_percentile(ordered, 0.99), 3),
+        "max_ms": round(ordered[-1], 3) if ordered else 0.0,
+    }
+
+
+def run_loadgen(
+    workload: ServeWorkload,
+    *,
+    host: str,
+    port: int,
+    clients: int = DEFAULT_CLIENTS,
+    num_requests: int = DEFAULT_REQUESTS,
+    connect_timeout: float = 10.0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Drive a running daemon closed-loop; return the JSON-ready payload.
+
+    ``num_requests`` is the total across all clients, split as evenly as
+    possible; every client draws from the same seeded sequence, so the
+    mix deliberately contains duplicates (the dedupe/warm path is part of
+    what is being measured).
+    """
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    if num_requests < clients:
+        raise ValueError("need at least one request per client")
+    per_client = [
+        num_requests // clients + (1 if i < num_requests % clients else 0)
+        for i in range(clients)
+    ]
+    sequence = workload.sequence(max(per_client))
+    barrier = threading.Barrier(clients)
+    engines = [
+        _ClientEngine(
+            client_id=i,
+            host=host,
+            port=port,
+            requests=sequence[: per_client[i]],
+            think_s=workload.think_ms / 1000.0,
+            barrier=barrier,
+            connect_timeout=connect_timeout,
+        )
+        for i in range(clients)
+    ]
+    if progress:
+        progress(
+            f"{clients} clients x {per_client[0]} requests over "
+            f"{len(workload.points)} unique points at {host}:{port}"
+        )
+    threads = [
+        threading.Thread(target=engine.run, name=f"loadgen-{engine.client_id}")
+        for engine in engines
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - start
+
+    records = [record for engine in engines for record in engine.records]
+    errors = [error for engine in engines for error in engine.errors]
+    by_status: dict[str, list[float]] = {}
+    for record in records:
+        by_status.setdefault(record.status, []).append(record.latency_ms)
+    cold = by_status.get("executed", [])
+    warm = [ms for status in WARM_STATUSES for ms in by_status.get(status, [])]
+
+    daemon_stats = None
+    try:
+        with ServeClient(host, port, connect_timeout=connect_timeout) as client:
+            daemon_stats = client.stats()
+    except Exception as error:
+        errors.append(f"stats: {error}")
+
+    all_latencies = [record.latency_ms for record in records]
+    return {
+        "benchmark": "serve-loadgen",
+        "host": f"{host}:{port}",
+        "clients": clients,
+        "requests": len(records),
+        "requested": num_requests,
+        "unique_points": len(workload.points),
+        "think_ms": workload.think_ms,
+        "seed": workload.seed,
+        "errors": len(errors),
+        "error_messages": errors[:10],
+        "wall_s": round(wall_s, 3),
+        "requests_per_sec": round(len(records) / wall_s, 2) if wall_s > 0 else 0.0,
+        "latency": _latency_summary(all_latencies),
+        "cold": _latency_summary(cold),
+        "warm": _latency_summary(warm),
+        "deduped": _latency_summary(by_status.get("deduped", [])),
+        "warm_speedup": (
+            round(
+                (sum(cold) / len(cold)) / (sum(warm) / len(warm)), 2
+            )
+            if cold and warm
+            else None
+        ),
+        "status_counts": {status: len(ms) for status, ms in sorted(by_status.items())},
+        "daemon_stats": daemon_stats,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
+def run_serve_bench(
+    *,
+    workloads: tuple = ("mix", "oltp-db2"),
+    designs: tuple = ("P", "R"),
+    clients: int = DEFAULT_CLIENTS,
+    num_requests: int = DEFAULT_REQUESTS,
+    num_records: int = DEFAULT_LOADGEN_RECORDS,
+    scale: int = DEFAULT_SCALE,
+    seed: int = 0,
+    think_ms: float = 0.0,
+    jobs: int = 1,
+    results_dir: Optional[str] = None,
+    trace_dir: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Self-contained serving benchmark: in-process daemon + loadgen.
+
+    With ``results_dir=None`` the run uses a throwaway store, so every
+    unique point is simulated cold exactly once and the warm/cold split
+    reflects the daemon alone, not a developer's populated cache.
+    """
+    import tempfile
+
+    from repro.serve.daemon import SimulationDaemon
+    from repro.sim.runner import BatchRunner, ResultStore
+    from repro.workloads.store import TraceStore
+
+    workload = ServeWorkload.mixed(
+        tuple(workloads),
+        tuple(designs),
+        num_records=num_records,
+        scale=scale,
+        seed=seed,
+        think_ms=think_ms,
+    )
+    with tempfile.TemporaryDirectory(prefix="rnuca-serve-") as tmp:
+        runner = BatchRunner(
+            store=ResultStore(results_dir or f"{tmp}/results"),
+            jobs=jobs,
+            trace_store=TraceStore(trace_dir or f"{tmp}/traces"),
+        )
+        with SimulationDaemon(runner, port=0) as daemon:
+            if progress:
+                progress(f"daemon {daemon.describe()}")
+            payload = run_loadgen(
+                workload,
+                host=daemon.host,
+                port=daemon.port,
+                clients=clients,
+                num_requests=num_requests,
+                progress=progress,
+            )
+    payload["mode"] = "in-process"
+    payload["records"] = num_records
+    payload["scale"] = scale
+    payload["jobs"] = jobs
+    return payload

@@ -1,0 +1,200 @@
+"""Wire protocol of the simulation daemon: JSON lines over a local socket.
+
+The protocol is deliberately primitive — newline-delimited JSON over TCP
+on loopback — so any client (a shell heredoc, ``nc``, the bundled load
+generator) can speak it.  A connection carries a sequence of requests;
+each request is one line, and the daemon answers with one or more event
+lines, the last of which is always ``result``, ``error`` or the op's
+single reply.
+
+Requests
+--------
+
+``{"op": "run", "point": {...}}``
+    Simulate (or fetch) one experiment point.  ``point`` is the
+    :meth:`~repro.sim.runner.ExperimentPoint.to_dict` form.  The daemon
+    streams::
+
+        {"event": "accepted", "hash": "...", "status": "executing"}
+        {"event": "result", "hash": "...", "status": "executed",
+         "elapsed_ms": 12.3, "point": {...}, "result": {...}}
+
+    ``accepted.status`` is ``executing`` (this request owns the
+    simulation), ``joined`` (an identical point is already in flight;
+    the request shares it) or ``cached`` (served from the result store).
+    ``result.status`` is the corresponding final disposition
+    (``executed`` / ``deduped`` / ``cached``) and ``result.result`` is
+    the full serialized :class:`~repro.sim.engine.SimulationResult`.
+
+``{"op": "ping"}``
+    Liveness probe; answered with ``{"event": "pong"}``.
+
+``{"op": "stats"}``
+    Daemon counters; answered with ``{"event": "stats", "stats": {...}}``
+    (requests, executed, cached, deduped, errors, in-flight, uptime).
+
+``{"op": "shutdown"}``
+    Answered with ``{"event": "shutting-down"}``, then the daemon stops
+    accepting connections and exits its serve loop cleanly.
+
+Any malformed line or failed simulation is answered with
+``{"event": "error", "error": "..."}``; the connection stays usable.
+
+:class:`ServeClient` wraps one connection with blocking helpers for each
+op; it is what the load generator and the tests use.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from typing import Iterator, Optional
+
+from repro.errors import SimulationError
+
+#: Environment variable overriding the daemon's bind/connect host.
+SERVE_HOST_ENV = "RNUCA_SERVE_HOST"
+
+#: Environment variable overriding the daemon's port.
+SERVE_PORT_ENV = "RNUCA_SERVE_PORT"
+
+#: Default loopback host: the daemon is a *local* service.
+DEFAULT_SERVE_HOST = "127.0.0.1"
+
+#: Default TCP port (an unremarkable high port; override with --port).
+DEFAULT_SERVE_PORT = 7781
+
+
+def default_serve_host() -> str:
+    return os.environ.get(SERVE_HOST_ENV) or DEFAULT_SERVE_HOST
+
+
+def default_serve_port() -> int:
+    try:
+        return int(os.environ.get(SERVE_PORT_ENV, ""))
+    except ValueError:
+        return DEFAULT_SERVE_PORT
+
+
+def encode_line(payload: dict) -> bytes:
+    """One protocol line: compact JSON + newline (the frame delimiter)."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one protocol line; raises :class:`ProtocolError` on garbage."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"malformed protocol line: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"protocol line must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+class ProtocolError(SimulationError):
+    """A malformed frame, an unexpected event, or a daemon-side error."""
+
+
+class ServeClient:
+    """One blocking connection to the daemon.
+
+    ``connect_timeout`` is a *retry window*, not a single-connect timeout:
+    the constructor retries the TCP connect until the daemon is up or the
+    window runs out, so a freshly backgrounded daemon (the CI smoke job)
+    needs no separate readiness poll.
+    """
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        *,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self.host = host or default_serve_host()
+        self.port = port if port is not None else default_serve_port()
+        self._sock = self._connect(connect_timeout)
+        self._reader = self._sock.makefile("rb")
+
+    def _connect(self, window: float) -> socket.socket:
+        deadline = time.monotonic() + window
+        while True:
+            try:
+                sock = socket.create_connection((self.host, self.port), timeout=None)
+                # Frames are tiny; Nagle + delayed ACK would add ~40ms each.
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                return sock
+            except OSError as error:
+                if time.monotonic() >= deadline:
+                    raise ProtocolError(
+                        f"cannot connect to daemon at {self.host}:{self.port} "
+                        f"within {window:.1f}s: {error}"
+                    ) from error
+                time.sleep(0.05)
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Request helpers
+    # ------------------------------------------------------------------ #
+    def _send(self, payload: dict) -> None:
+        self._sock.sendall(encode_line(payload))
+
+    def _read_event(self) -> dict:
+        line = self._reader.readline()
+        if not line:
+            raise ProtocolError("daemon closed the connection mid-request")
+        return decode_line(line)
+
+    def run_events(self, point_dict: dict) -> Iterator[dict]:
+        """Send a run request; yield every event line up to the final one."""
+        self._send({"op": "run", "point": point_dict})
+        while True:
+            event = self._read_event()
+            yield event
+            if event.get("event") in ("result", "error"):
+                return
+
+    def run(self, point_dict: dict) -> dict:
+        """Send a run request; return the final ``result`` event.
+
+        Raises :class:`ProtocolError` when the daemon answers ``error``.
+        """
+        final = None
+        for event in self.run_events(point_dict):
+            final = event
+        if final.get("event") == "error":
+            raise ProtocolError(f"daemon error: {final.get('error')}")
+        return final
+
+    def ping(self) -> bool:
+        self._send({"op": "ping"})
+        return self._read_event().get("event") == "pong"
+
+    def stats(self) -> dict:
+        self._send({"op": "stats"})
+        event = self._read_event()
+        if event.get("event") != "stats":
+            raise ProtocolError(f"expected stats event, got {event}")
+        return event["stats"]
+
+    def shutdown(self) -> bool:
+        """Ask the daemon to stop; True when it acknowledged."""
+        self._send({"op": "shutdown"})
+        try:
+            return self._read_event().get("event") == "shutting-down"
+        except ProtocolError:
+            return False  # it may drop the connection while winding down

@@ -74,6 +74,9 @@ DEFAULT_TRACE_BENCH_OUTPUT = "BENCH_trace.json"
 #: Dynamic scenario variant replayed by the trace bench.
 TRACE_BENCH_VARIANT = "migrate"
 
+#: Default output file name for the serving benchmark (``bench --serve``).
+DEFAULT_SERVE_BENCH_OUTPUT = "BENCH_serve.json"
+
 
 @dataclass(frozen=True)
 class BenchResult:
@@ -369,3 +372,21 @@ def run_trace_bench(
         "persistence": persistence,
         "replay": replay,
     }
+
+
+# --------------------------------------------------------------------------- #
+# Serving benchmark (``repro bench --serve``)
+# --------------------------------------------------------------------------- #
+
+
+def run_serve_bench(**kwargs) -> dict:
+    """Self-contained serving benchmark: in-process daemon + closed-loop load.
+
+    Thin delegation to :func:`repro.serve.loadgen.run_serve_bench` (imported
+    lazily so ``repro bench`` stays importable without the serve package in
+    degraded environments); measures requests/sec and p50/p95/p99 latency
+    with the warm/cold/dedupe split and writes ``BENCH_serve.json``.
+    """
+    from repro.serve.loadgen import run_serve_bench as _run
+
+    return _run(**kwargs)

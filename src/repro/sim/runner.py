@@ -51,6 +51,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -288,6 +290,13 @@ def set_process_trace_store(directory: Optional[str]) -> None:
     _trace_for.cache_clear()
 
 
+def _ensure_process_trace_store(directory: str) -> None:
+    """Install the store only when it differs (keeps the trace cache warm)."""
+    current = str(_PROCESS_TRACE_STORE.directory) if _PROCESS_TRACE_STORE else None
+    if current != directory:
+        set_process_trace_store(directory)
+
+
 @lru_cache(maxsize=4)
 def _trace_for(workload: str, num_records: int, scale: int, seed: int):
     """Per-process trace cache so one workload's grid points share a trace.
@@ -401,13 +410,29 @@ class ResultStore:
         return SimulationResult.from_dict(payload["result"])
 
     def put(self, point: ExperimentPoint, result: SimulationResult) -> Path:
-        """Persist ``result`` under the point's content hash (atomically)."""
+        """Persist ``result`` under the point's content hash (atomically).
+
+        The temp file is unique per writer (``tempfile.mkstemp``), so
+        concurrent writers of the *same* point — two daemon threads, two
+        pool workers racing on a shared store — each rename their own
+        file into place: last writer wins, nobody renames a path another
+        writer already consumed.  (A shared ``<hash>.json.tmp`` name
+        would let writer B's rename hit ``FileNotFoundError`` after
+        writer A renamed the file out from under it.)
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(point)
         payload = {"point": point.to_dict(), "result": result.to_dict()}
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        tmp.replace(path)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{point.content_hash}.", suffix=".tmp"
+        )
+        tmp = Path(tmp_name)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload, indent=2, sort_keys=True))
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
         return path
 
     def load_all(self) -> list[tuple[ExperimentPoint, SimulationResult]]:
@@ -459,6 +484,17 @@ class BatchResult:
         return len(self.points)
 
 
+class _InFlight:
+    """One in-progress simulation that concurrent requesters can join."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Optional[SimulationResult] = None
+        self.error: Optional[BaseException] = None
+
+
 class BatchRunner:
     """Fan a batch of experiment points out across worker processes.
 
@@ -466,6 +502,14 @@ class BatchRunner:
     a :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs > 1``) or
     inline (``jobs=1``).  Every point carries its own seed, so the outcome
     is identical whichever path executes it.
+
+    A runner is **reentrant**: :meth:`run_point` may be called from many
+    threads at once (the serve daemon does exactly this, one thread per
+    client connection).  Concurrent requests for the same point are
+    deduplicated on the point's content hash — one thread owns the
+    simulation, the others block on it and share the result — and the
+    worker pool, once spun up, stays warm across calls until
+    :meth:`close`.
     """
 
     def __init__(
@@ -482,6 +526,119 @@ class BatchRunner:
             raise SimulationError("jobs must be >= 1")
         self.progress = progress or (lambda message: None)
         self.trace_store = trace_store if trace_store is not None else default_trace_store()
+        self._inflight: dict[str, _InFlight] = {}
+        self._inflight_lock = threading.Lock()
+        self._trace_lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Long-lived (serve) execution: warm pool + in-flight dedupe
+    # ------------------------------------------------------------------ #
+    def _shared_pool(self) -> ProcessPoolExecutor:
+        """The persistent worker pool, created on first use and kept warm."""
+        with self._pool_lock:
+            if self._pool is None:
+                trace_dir = (
+                    str(self.trace_store.directory) if self.trace_store else None
+                )
+                initializer = set_process_trace_store if trace_dir else None
+                initargs = (trace_dir,) if trace_dir else ()
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs, initializer=initializer, initargs=initargs
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the persistent worker pool down (idempotent)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+
+    def __enter__(self) -> "BatchRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _execute_one(self, point: ExperimentPoint) -> SimulationResult:
+        """Run one point on the warm pool (``jobs > 1``) or inline."""
+        if self.jobs > 1:
+            return self._shared_pool().submit(execute_point, point).result()
+        if self.trace_store is not None:
+            _ensure_process_trace_store(str(self.trace_store.directory))
+        return execute_point(point)
+
+    def run_point(
+        self,
+        point: ExperimentPoint,
+        *,
+        on_status: Optional[Callable[[str], None]] = None,
+    ) -> tuple[SimulationResult, str]:
+        """Execute (or fetch, or join) one point; thread-safe.
+
+        Returns ``(result, status)`` where status is
+
+        ``"cached"``
+            served from the :class:`ResultStore` without simulating;
+        ``"executed"``
+            this call ran the simulation (and stored the result);
+        ``"deduped"``
+            an identical point was already in flight — this call blocked
+            on it and shares its result, so exactly one simulation ran.
+
+        ``on_status`` is invoked once with the status the call is about to
+        take (``"cached"``/``"executing"``/``"joined"``) before any
+        blocking work, which is what lets the daemon stream an *accepted*
+        event to the client while the simulation runs.
+        """
+        notify = on_status or (lambda status: None)
+        cached = self.store.get(point) if self.store else None
+        if cached is not None:
+            notify("cached")
+            return cached, "cached"
+        key = point.content_hash
+        with self._inflight_lock:
+            entry = self._inflight.get(key)
+            owner = entry is None
+            if owner:
+                entry = _InFlight()
+                self._inflight[key] = entry
+        if not owner:
+            notify("joined")
+            entry.event.wait()
+            if entry.error is not None:
+                raise entry.error
+            return entry.result, "deduped"
+        notify("executing")
+        try:
+            # Double-check the store: the point may have landed between the
+            # miss above and this thread winning the in-flight slot.
+            cached = self.store.get(point) if self.store else None
+            if cached is not None:
+                entry.result = cached
+                return cached, "cached"
+            if self.trace_store is not None:
+                # One generation per distinct trace even when concurrent
+                # points share a workload: the store's get_or_create is
+                # check-then-act, so serialise materialisation.
+                with self._trace_lock:
+                    self._materialise_traces([point])
+            result = self._execute_one(point)
+            if self.store is not None:
+                self.store.put(point, result)
+            entry.result = result
+            return result, "executed"
+        except BaseException as error:
+            entry.error = error
+            raise
+        finally:
+            # Pop before waking the joiners: a request arriving after the
+            # wake must start fresh (and will hit the store).
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            entry.event.set()
 
     def run(self, points: Iterable[ExperimentPoint]) -> BatchResult:
         """Execute (or fetch from cache) every point and return the batch."""

@@ -256,3 +256,79 @@ def test_traces_gc_defaults_to_env_store(trace_dir, tmp_path, capsys):
     out = capsys.readouterr().out
     assert str(trace_dir) in out
     assert not (trace_dir / "x.npz").exists()
+
+
+# --------------------------------------------------------------------- #
+# Serving surface (repro serve / repro loadgen / repro bench --serve)
+# --------------------------------------------------------------------- #
+def test_serve_and_loadgen_round_trip(tmp_path, capsys):
+    """Start the daemon CLI path on an ephemeral port, drive it with the
+    loadgen CLI, shut it down through the protocol, and check both exit 0."""
+    import threading
+
+    from repro.serve import SimulationDaemon
+    from repro.sim.runner import BatchRunner, ResultStore
+    from repro.workloads.store import TraceStore
+
+    runner = BatchRunner(
+        store=ResultStore(tmp_path / "results"),
+        jobs=1,
+        trace_store=TraceStore(tmp_path / "traces"),
+    )
+    daemon = SimulationDaemon(runner, port=0, quiet=True)
+    serve_thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    serve_thread.start()
+    try:
+        code = main([
+            "loadgen",
+            "--port", str(daemon.port),
+            "--clients", "2",
+            "--requests", "8",
+            "--workloads", "mix",
+            "--designs", "private,rnuca",
+            "--records", "600",
+            "--scale", str(TEST_SCALE),
+            "--output", str(tmp_path / "BENCH_serve.json"),
+            "--shutdown",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Serving latency" in out
+        assert "Sent shutdown" in out
+        assert (tmp_path / "BENCH_serve.json").exists()
+    finally:
+        serve_thread.join(timeout=10)
+    assert not serve_thread.is_alive()  # --shutdown stopped the serve loop
+
+
+def test_serve_stop_without_daemon_errors(capsys):
+    assert main(["serve", "--stop", "--port", "1"]) == 1
+    assert "No daemon" in capsys.readouterr().out
+
+
+def test_bench_serve_writes_payload(tmp_path, capsys):
+    output = tmp_path / "BENCH_serve.json"
+    code = main([
+        "bench", "--serve",
+        "--clients", "2",
+        "--requests", "8",
+        "--records", "600",
+        "--scale", str(TEST_SCALE),
+        "--workload", "mix",
+        "--designs", "private,rnuca",
+        "--output", str(output),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Serving latency" in out
+    import json as json_module
+
+    payload = json_module.loads(output.read_text())
+    assert payload["benchmark"] == "serve-loadgen"
+    assert payload["errors"] == 0
+
+
+def test_list_shows_serve_knobs(capsys):
+    main(["list"])
+    out = capsys.readouterr().out
+    assert "RNUCA_SERVE_HOST" in out and "RNUCA_SERVE_PORT" in out

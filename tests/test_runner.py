@@ -207,6 +207,41 @@ class TestBatchRunner:
         pairs, skipped = ResultStore(tmp_path / "nope").load_all_with_errors()
         assert pairs == [] and skipped == []
 
+    def test_concurrent_identical_puts_are_last_writer_wins_safe(self, tmp_path):
+        """Regression: concurrent writers of the *same* point used to share
+        one ``<hash>.json.tmp`` name, so a second writer could rename a
+        temp file the first had already consumed (FileNotFoundError) or
+        publish a half-written payload.  Unique per-writer temp files make
+        the race last-writer-wins: every put succeeds and the final file
+        is always a complete, parseable payload."""
+        import threading
+
+        store = ResultStore(tmp_path)
+        point = small_grid().points()[0]
+        result = execute_point(point)
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def writer():
+            barrier.wait()
+            try:
+                for _ in range(10):
+                    store.put(point, result)
+            except OSError as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        loaded = store.get(point)
+        assert loaded is not None
+        assert loaded.to_dict() == result.to_dict()
+        # No orphaned temp files survive the stampede.
+        assert list(tmp_path.glob("*.tmp")) == []
+
     def test_dynamic_scenario_points_run_and_cache(self, tmp_path):
         grid = ExperimentGrid(
             workloads=("mix:phased",),

@@ -1,0 +1,335 @@
+"""Tests for the serve daemon, its protocol, and the load generator.
+
+The correctness contract under test: N concurrent clients hammering the
+daemon with overlapping point sets must produce results bit-identical to
+a sequential ``run_grid`` over the union, with **exactly one simulation
+per unique point** (in-flight dedupe + result-store hits) and exactly one
+trace generation per unique workload signature (the PR-4 exactly-once
+pattern, extended to the serve path).
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+import repro.sim.runner as runner_module
+from repro.serve import ServeClient, ServeWorkload, SimulationDaemon, run_serve_bench
+from repro.serve.loadgen import run_loadgen
+from repro.sim.runner import (
+    BatchRunner,
+    ExperimentGrid,
+    ExperimentPoint,
+    ResultStore,
+    run_grid,
+)
+from repro.workloads.store import TraceStore
+
+from .conftest import TEST_SCALE
+
+RECORDS = 600
+
+
+def canonical(payload) -> str:
+    """JSON-canonical form: tuples become lists, key order fixed."""
+    return json.dumps(payload, sort_keys=True)
+
+
+def make_point(workload="mix", design="P", seed=3):
+    return ExperimentPoint.make(
+        workload, design, num_records=RECORDS, scale=TEST_SCALE, seed=seed
+    )
+
+
+@pytest.fixture
+def stores(tmp_path):
+    return (
+        ResultStore(tmp_path / "results"),
+        TraceStore(tmp_path / "traces"),
+    )
+
+
+@pytest.fixture
+def daemon(stores):
+    store, trace_store = stores
+    runner = BatchRunner(store=store, jobs=1, trace_store=trace_store)
+    with SimulationDaemon(runner, port=0) as daemon:
+        yield daemon
+
+
+class TestProtocolOps:
+    def test_ping(self, daemon):
+        with ServeClient(daemon.host, daemon.port) as client:
+            assert client.ping()
+
+    def test_stats_counts_requests(self, daemon):
+        with ServeClient(daemon.host, daemon.port) as client:
+            client.ping()
+            stats = client.stats()
+        assert stats["requests"] >= 2
+        assert stats["errors"] == 0
+        assert stats["uptime_s"] >= 0
+
+    def test_unknown_op_and_garbage_keep_connection_usable(self, daemon):
+        with ServeClient(daemon.host, daemon.port) as client:
+            client._send({"op": "no-such-op"})
+            assert client._read_event()["event"] == "error"
+            client._sock.sendall(b"this is not json\n")
+            assert client._read_event()["event"] == "error"
+            assert client.ping()  # the connection survived both
+
+    def test_bad_point_is_an_error_event(self, daemon):
+        with ServeClient(daemon.host, daemon.port) as client:
+            client._send({"op": "run", "point": {"workload": "mix"}})
+            event = client._read_event()
+            assert event["event"] == "error"
+            assert client.ping()
+
+    def test_shutdown_stops_the_daemon(self, stores):
+        store, trace_store = stores
+        runner = BatchRunner(store=store, jobs=1, trace_store=trace_store)
+        daemon = SimulationDaemon(runner, port=0).start()
+        with ServeClient(daemon.host, daemon.port) as client:
+            assert client.shutdown()
+        daemon._thread.join(timeout=10.0)
+        assert not daemon._thread.is_alive()
+
+
+class TestRunRequests:
+    def test_run_matches_direct_execution(self, daemon, stores):
+        point = make_point()
+        with ServeClient(daemon.host, daemon.port) as client:
+            final = client.run(point.to_dict())
+        assert final["status"] == "executed"
+        assert final["hash"] == point.content_hash
+        expected = runner_module.execute_point(point)
+        assert canonical(final["result"]) == canonical(expected.to_dict())
+
+    def test_second_request_is_cached(self, daemon):
+        point = make_point()
+        with ServeClient(daemon.host, daemon.port) as client:
+            assert client.run(point.to_dict())["status"] == "executed"
+            again = client.run(point.to_dict())
+        assert again["status"] == "cached"
+        assert daemon.stats.snapshot()["cached"] == 1
+
+    def test_accepted_event_streams_before_result(self, daemon):
+        point = make_point(design="R")
+        with ServeClient(daemon.host, daemon.port) as client:
+            events = list(client.run_events(point.to_dict()))
+        assert [event["event"] for event in events] == ["accepted", "result"]
+        assert events[0]["status"] == "executing"
+
+
+class TestConcurrentClients:
+    def test_overlapping_clients_match_sequential_grid_exactly_once(
+        self, daemon, stores, tmp_path, monkeypatch
+    ):
+        """4 clients, overlapping subsets -> bit-identical to run_grid(union),
+        one simulation per unique point, one generation per unique trace."""
+        union = ExperimentGrid(
+            workloads=("mix", "oltp-db2"),
+            designs=("P", "R"),
+            num_records=RECORDS,
+            scale=TEST_SCALE,
+            seed=3,
+        ).points()
+        # Overlapping subsets: every client shares points with its neighbours.
+        subsets = [union[0:3], union[1:4], [union[0], union[2], union[3]], union]
+
+        executions = []
+        lock = threading.Lock()
+        real_execute = runner_module.execute_point
+
+        def counting_execute(point):
+            with lock:
+                executions.append(point.content_hash)
+            return real_execute(point)
+
+        monkeypatch.setattr(runner_module, "execute_point", counting_execute)
+
+        responses: dict[int, list] = {}
+        errors: list = []
+
+        def client_thread(client_id, points):
+            try:
+                with ServeClient(daemon.host, daemon.port) as client:
+                    responses[client_id] = [client.run(p.to_dict()) for p in points]
+            except Exception as error:  # surfaced in the main thread's assert
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=client_thread, args=(i, subset))
+            for i, subset in enumerate(subsets)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+
+        # Exactly one simulation per unique point, daemon stats agree.
+        assert sorted(executions) == sorted(p.content_hash for p in union)
+        stats = daemon.stats.snapshot()
+        assert stats["executed"] == len(union)
+        assert stats["errors"] == 0
+        total_requests = sum(len(s) for s in subsets)
+        assert stats["cached"] + stats["deduped"] == total_requests - len(union)
+
+        # Exactly one trace generation per unique workload signature.
+        _, trace_store = stores
+        log = trace_store.generation_log()
+        assert len(log) == len({p.workload for p in union})
+
+        # Bit-identical to a sequential grid over the union (fresh stores).
+        monkeypatch.setattr(runner_module, "execute_point", real_execute)
+        sequential = run_grid(
+            ExperimentGrid(
+                workloads=("mix", "oltp-db2"),
+                designs=("P", "R"),
+                num_records=RECORDS,
+                scale=TEST_SCALE,
+                seed=3,
+            ),
+            store=ResultStore(tmp_path / "seq-results"),
+            jobs=1,
+            trace_store=TraceStore(tmp_path / "seq-traces"),
+        )
+        expected = {
+            point.content_hash: canonical(result.to_dict())
+            for point, result in sequential.items()
+        }
+        for client_id, finals in responses.items():
+            for final in finals:
+                assert canonical(final["result"]) == expected[final["hash"]], (
+                    f"client {client_id} diverged on {final['point']}"
+                )
+
+    def test_identical_inflight_requests_share_one_simulation(
+        self, stores, monkeypatch
+    ):
+        """run_point-level dedupe: N threads, one slow point, one execution."""
+        store, trace_store = stores
+        runner = BatchRunner(store=store, jobs=1, trace_store=trace_store)
+        point = make_point(design="R")
+        calls = []
+        lock = threading.Lock()
+        real_execute = runner_module.execute_point
+
+        def slow_execute(p):
+            with lock:
+                calls.append(p.content_hash)
+            time.sleep(0.15)  # hold the in-flight slot so joiners pile up
+            return real_execute(p)
+
+        monkeypatch.setattr(runner_module, "execute_point", slow_execute)
+        barrier = threading.Barrier(4)
+        outcomes = []
+
+        def worker():
+            barrier.wait()
+            result, status = runner.run_point(point)
+            with lock:
+                outcomes.append((status, result.cpi))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+
+        assert len(calls) == 1
+        statuses = sorted(status for status, _ in outcomes)
+        assert statuses == ["deduped", "deduped", "deduped", "executed"]
+        assert len({cpi for _, cpi in outcomes}) == 1  # all shared one result
+
+    def test_failed_execution_propagates_to_joiners_and_clears(
+        self, stores, monkeypatch
+    ):
+        store, trace_store = stores
+        runner = BatchRunner(store=store, jobs=1, trace_store=trace_store)
+        point = make_point(design="P", seed=11)
+
+        def boom(p):
+            time.sleep(0.05)
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(runner_module, "execute_point", boom)
+        barrier = threading.Barrier(2)
+        failures = []
+
+        def worker():
+            barrier.wait()
+            try:
+                runner.run_point(point)
+            except RuntimeError as error:
+                failures.append(str(error))
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert failures == ["injected failure", "injected failure"]
+        assert not runner._inflight  # the failed slot was cleared
+
+        # The point is retryable afterwards.
+        monkeypatch.undo()
+        result, status = runner.run_point(point)
+        assert status == "executed"
+        assert result.cpi > 0
+
+
+class TestLoadgen:
+    def test_serve_bench_payload(self):
+        payload = run_serve_bench(
+            workloads=("mix",),
+            designs=("P", "R"),
+            clients=4,
+            num_requests=16,
+            num_records=RECORDS,
+            scale=TEST_SCALE,
+        )
+        assert payload["benchmark"] == "serve-loadgen"
+        assert payload["errors"] == 0, payload["error_messages"]
+        assert payload["requests"] == 16
+        assert payload["clients"] == 4
+        assert payload["unique_points"] == 2
+        assert payload["requests_per_sec"] > 0
+        for phase in ("latency", "cold", "warm"):
+            assert set(payload[phase]) >= {"count", "mean_ms", "p50_ms", "p95_ms", "p99_ms"}
+        stats = payload["daemon_stats"]
+        assert stats["executed"] == 2  # exactly once per unique point
+        assert stats["deduped"] + stats["cached"] == 14
+        assert stats["deduped"] > 0  # identical sequences overlap in flight
+
+    def test_workload_sequence_is_deterministic_and_covers_pool(self):
+        workload = ServeWorkload.mixed(
+            ("mix", "oltp-db2"), ("P", "R"),
+            num_records=RECORDS, scale=TEST_SCALE, seed=7,
+        )
+        first = workload.sequence(10)
+        second = workload.sequence(10)
+        assert first == second
+        assert set(first[:4]) == set(workload.points)  # full pool before repeats
+
+    def test_loadgen_against_running_daemon(self, daemon):
+        workload = ServeWorkload.mixed(
+            ("mix",), ("P",), num_records=RECORDS, scale=TEST_SCALE
+        )
+        payload = run_loadgen(
+            workload, host=daemon.host, port=daemon.port, clients=2, num_requests=4
+        )
+        assert payload["errors"] == 0
+        assert payload["requests"] == 4
+        assert payload["status_counts"].get("executed") == 1
+
+    def test_loadgen_rejects_bad_shapes(self):
+        workload = ServeWorkload.mixed(("mix",), ("P",), num_records=RECORDS)
+        with pytest.raises(ValueError):
+            run_loadgen(workload, host="127.0.0.1", port=1, clients=0, num_requests=4)
+        with pytest.raises(ValueError):
+            run_loadgen(workload, host="127.0.0.1", port=1, clients=8, num_requests=4)
+        with pytest.raises(ValueError):
+            ServeWorkload().sequence(4)

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh bench run against a committed baseline.
+
+Usage::
+
+    python tools/check_bench.py --baseline BENCH_engine.json --current bench-engine-ci.json
+    python tools/check_bench.py --baseline BENCH_trace.json  --current bench-trace-ci.json \
+        --threshold 0.30
+
+Both files must be payloads written by ``repro bench`` (engine or trace
+flavour; the ``benchmark`` field says which, and the two files must
+match).  For every throughput metric present in both payloads the gate
+computes ``current / baseline`` and **fails (exit 1) when any ratio drops
+below ``1 - threshold``** — i.e. the default ``--threshold 0.30`` allows
+up to a 30% records/sec regression before failing, a deliberately
+tolerant bound for CI-runner speed variance.  Faster-than-baseline runs
+always pass; metrics missing from either side are reported but ignored.
+
+Metrics compared:
+
+* engine payloads — ``fast_records_per_sec`` per design (the production
+  replay path; R is the paper's R-NUCA number the gate exists for);
+* trace payloads — ``binary_load_records_per_sec`` plus the per-design
+  dynamic-replay ``dynamic_records_per_sec``.
+
+Stdlib only, like the rest of ``tools/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 0.30
+
+
+def engine_metrics(payload: dict) -> dict[str, float]:
+    return {
+        f"{row['design']}.fast_records_per_sec": row["fast_records_per_sec"]
+        for row in payload.get("results", [])
+    }
+
+
+def trace_metrics(payload: dict) -> dict[str, float]:
+    metrics = {}
+    persistence = payload.get("persistence", {})
+    if "binary_load_records_per_sec" in persistence:
+        metrics["binary_load_records_per_sec"] = persistence["binary_load_records_per_sec"]
+    for row in payload.get("replay", []):
+        metrics[f"{row['design']}.dynamic_records_per_sec"] = row["dynamic_records_per_sec"]
+    return metrics
+
+
+EXTRACTORS = {
+    "trace-engine-records-per-sec": engine_metrics,
+    "trace-pipeline": trace_metrics,
+}
+
+
+def load(path: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"check_bench: cannot read {path}: {error}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--current", required=True, help="freshly measured JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=f"max tolerated fractional regression (default: {DEFAULT_THRESHOLD})",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.threshold < 1:
+        parser.error("--threshold must be in [0, 1)")
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    kind = baseline.get("benchmark")
+    if current.get("benchmark") != kind:
+        sys.exit(
+            f"check_bench: benchmark kinds differ: baseline={kind!r} "
+            f"current={current.get('benchmark')!r}"
+        )
+    extractor = EXTRACTORS.get(kind)
+    if extractor is None:
+        sys.exit(f"check_bench: no metric extractor for benchmark kind {kind!r}")
+
+    base_metrics = extractor(baseline)
+    curr_metrics = extractor(current)
+    shared = sorted(set(base_metrics) & set(curr_metrics))
+    if not shared:
+        sys.exit("check_bench: no shared metrics between baseline and current")
+    for name in sorted(set(base_metrics) ^ set(curr_metrics)):
+        print(f"  (skipping {name}: present on one side only)")
+
+    floor = 1.0 - args.threshold
+    regressions = []
+    width = max(len(name) for name in shared)
+    for name in shared:
+        base, curr = base_metrics[name], curr_metrics[name]
+        ratio = curr / base if base else float("inf")
+        verdict = "ok" if ratio >= floor else "REGRESSED"
+        print(f"  {name:<{width}}  {base:>12.1f} -> {curr:>12.1f}  x{ratio:.3f}  {verdict}")
+        if ratio < floor:
+            regressions.append((name, ratio))
+    if regressions:
+        names = ", ".join(f"{name} (x{ratio:.3f})" for name, ratio in regressions)
+        print(
+            f"check_bench: FAIL — {len(regressions)} metric(s) regressed more than "
+            f"{args.threshold:.0%} vs {args.baseline}: {names}"
+        )
+        return 1
+    print(f"check_bench: OK — {len(shared)} metric(s) within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
