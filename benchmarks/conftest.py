@@ -30,10 +30,9 @@ Environment knobs:
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from repro import knobs
 from repro.analysis.evaluation import run_evaluation
 from repro.cmp.config import SystemConfig
 from repro.sim.runner import ResultStore
@@ -41,17 +40,15 @@ from repro.workloads.generator import DEFAULT_SCALE, SyntheticTraceGenerator
 from repro.workloads.spec import WORKLOADS, get_workload
 
 #: Trace length for the evaluation suite (per workload, per design).
-EVAL_RECORDS = int(os.environ.get("RNUCA_EVAL_RECORDS", 40_000))
+EVAL_RECORDS = knobs.eval_records(40_000)
 
 #: Trace length for the characterisation figures (no design simulation).
-CHARACTERIZATION_RECORDS = int(
-    os.environ.get("RNUCA_CHARACTERIZATION_RECORDS", 60_000)
-)
+CHARACTERIZATION_RECORDS = knobs.characterization_records(60_000)
 
 
 def _result_store():
     """Optional on-disk result cache, enabled via ``RNUCA_RESULTS_DIR``."""
-    directory = os.environ.get("RNUCA_RESULTS_DIR")
+    directory = knobs.results_dir()
     return ResultStore(directory) if directory else None
 
 

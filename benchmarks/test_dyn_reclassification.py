@@ -24,10 +24,9 @@ checks here separate the two halves of the claim:
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from repro import knobs
 from repro.osmodel.classifier import DEFAULT_RECLASSIFY_LATENCY
 from repro.sim.engine import simulate_workload
 from repro.workloads.generator import DEFAULT_SCALE
@@ -35,7 +34,7 @@ from repro.workloads.generator import DEFAULT_SCALE
 #: Records per simulation: the suite-wide RNUCA_EVAL_RECORDS knob, bounded
 #: so tier-1 stays fast (benchmarks/ is not an importable package, so the
 #: conftest constant cannot be imported here).
-DYN_RECORDS = min(int(os.environ.get("RNUCA_EVAL_RECORDS", 40_000)), 40_000)
+DYN_RECORDS = min(knobs.eval_records(40_000), 40_000)
 
 #: A generous realistic event rate: five OS events per hundred million
 #: instructions (OS quanta are tens of milliseconds on GHz cores; the

@@ -9,7 +9,7 @@ as in the paper's figures.
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.analysis.evaluation import CLUSTER_SIZES, EvaluationSuite
 from repro.designs.base import BUSY, L1_TO_L1, L2, OFF_CHIP, OTHER, RECLASSIFICATION

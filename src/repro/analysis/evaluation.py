@@ -13,10 +13,10 @@ simulation pass.
 
 from __future__ import annotations
 
-import os
+from collections.abc import Iterable
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
 
+from repro import knobs
 from repro.cmp.config import SystemConfig
 from repro.sim.engine import DEFAULT_TRACE_LENGTH, SimulationResult, simulate_workload
 from repro.sim.runner import BatchRunner, ExperimentGrid, ResultStore
@@ -42,12 +42,11 @@ DEFAULT_DESIGNS = ("P", "A", "S", "R", "I")
 CLUSTER_SIZES = (1, 2, 4, 8, 16)
 
 #: Environment variable to shrink the evaluation for quick runs.
-TRACE_LENGTH_ENV = "RNUCA_EVAL_RECORDS"
+TRACE_LENGTH_ENV = knobs.EVAL_RECORDS.name
 
 
 def _trace_length(default: int) -> int:
-    override = os.environ.get(TRACE_LENGTH_ENV)
-    return int(override) if override else default
+    return knobs.eval_records(default)
 
 
 @dataclass
@@ -111,8 +110,8 @@ def run_evaluation(
     include_cluster_sweep: bool = False,
     cluster_sizes: Iterable[int] = CLUSTER_SIZES,
     use_cache: bool = True,
-    jobs: Optional[int] = None,
-    store: Optional[ResultStore] = None,
+    jobs: int | None = None,
+    store: ResultStore | None = None,
 ) -> EvaluationSuite:
     """Simulate every (workload, design) pair and return the suite.
 
@@ -153,7 +152,7 @@ def simulate_rnuca_cluster(
     num_records: int = DEFAULT_TRACE_LENGTH,
     scale: int = DEFAULT_SCALE,
     seed: int = 0,
-    config: Optional[SystemConfig] = None,
+    config: SystemConfig | None = None,
     trace=None,
     scheduler=None,
 ) -> SimulationResult:

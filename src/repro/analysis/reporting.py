@@ -7,7 +7,7 @@ compared side-by-side with the paper's plots.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 
 def _format_value(value: object, precision: int) -> str:
@@ -38,11 +38,11 @@ def format_table(
     lines = []
     if title:
         lines.append(title)
-    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths, strict=True))
     lines.append(header)
     lines.append("  ".join("-" * width for width in widths))
     for line in rendered:
-        lines.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths, strict=True)))
     return "\n".join(lines)
 
 

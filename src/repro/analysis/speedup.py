@@ -10,8 +10,8 @@ produces.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from statistics import mean
-from typing import Iterable
 
 from repro.analysis.evaluation import DEFAULT_DESIGNS, EvaluationSuite
 from repro.sim.engine import SimulationResult

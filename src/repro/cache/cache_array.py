@@ -12,8 +12,8 @@ utilisation).
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional
 
 from repro.cache.block import CacheBlock, CoherenceState
 from repro.cmp.config import CacheConfig
@@ -27,7 +27,7 @@ class LookupResult:
     """Outcome of a cache lookup."""
 
     hit: bool
-    block: Optional[CacheBlock] = None
+    block: CacheBlock | None = None
 
 
 @dataclass
@@ -35,7 +35,7 @@ class EvictionResult:
     """Outcome of an insertion: the victim block, if any was displaced."""
 
     inserted: CacheBlock
-    victim: Optional[CacheBlock] = None
+    victim: CacheBlock | None = None
 
 
 class CacheArray:
@@ -99,7 +99,7 @@ class CacheArray:
 
     def lookup_block(
         self, block_address: int, write: bool = False
-    ) -> Optional[CacheBlock]:
+    ) -> CacheBlock | None:
         """Allocation-free :meth:`lookup`: the hit block, or ``None``."""
         now = self._now = self._now + 1
         cache_set = self._sets[block_address & self._set_mask]
@@ -117,7 +117,7 @@ class CacheArray:
         self.hits += 1
         return block
 
-    def peek(self, block_address: int) -> Optional[CacheBlock]:
+    def peek(self, block_address: int) -> CacheBlock | None:
         """Probe without disturbing LRU state or statistics."""
         block = self._sets[self.set_index(block_address)].get(block_address)
         if block is None or not block.state.is_valid:
@@ -130,7 +130,7 @@ class CacheArray:
         *,
         state: CoherenceState = CoherenceState.SHARED,
         dirty: bool = False,
-        metadata: Optional[dict] = None,
+        metadata: dict | None = None,
     ) -> EvictionResult:
         """Allocate a block, evicting the LRU entry of its set if full.
 
@@ -147,8 +147,8 @@ class CacheArray:
         block_address: int,
         state: CoherenceState = CoherenceState.SHARED,
         dirty: bool = False,
-        metadata: Optional[dict] = None,
-    ) -> tuple[CacheBlock, Optional[CacheBlock]]:
+        metadata: dict | None = None,
+    ) -> tuple[CacheBlock, CacheBlock | None]:
         """Allocation-free :meth:`insert`: returns ``(inserted, victim)``."""
         now = self._now = self._now + 1
         cache_set = self._sets[block_address & self._set_mask]
@@ -165,7 +165,7 @@ class CacheArray:
             cache_set.move_to_end(block_address)
             return existing, None
 
-        victim: Optional[CacheBlock] = None
+        victim: CacheBlock | None = None
         if len(cache_set) >= self._associativity:
             _, victim = cache_set.popitem(last=False)
             self.evictions += 1
@@ -179,7 +179,7 @@ class CacheArray:
         cache_set[block_address] = block
         return block, victim
 
-    def invalidate(self, block_address: int) -> Optional[CacheBlock]:
+    def invalidate(self, block_address: int) -> CacheBlock | None:
         """Remove a block (coherence invalidation or page shootdown)."""
         cache_set = self._sets[self.set_index(block_address)]
         block = cache_set.pop(block_address, None)

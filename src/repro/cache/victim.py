@@ -8,7 +8,6 @@ off-chip access.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
 
 from repro.cache.block import CacheBlock
 from repro.errors import ConfigurationError
@@ -32,11 +31,11 @@ class VictimCache:
     def __contains__(self, block_address: int) -> bool:
         return block_address in self._entries
 
-    def insert(self, block: CacheBlock) -> Optional[CacheBlock]:
+    def insert(self, block: CacheBlock) -> CacheBlock | None:
         """Park an evicted block; returns the block displaced, if any."""
         if self.capacity == 0:
             return block
-        displaced: Optional[CacheBlock] = None
+        displaced: CacheBlock | None = None
         if block.address in self._entries:
             self._entries.move_to_end(block.address)
             self._entries[block.address] = block
@@ -47,7 +46,7 @@ class VictimCache:
         self.insertions += 1
         return displaced
 
-    def extract(self, block_address: int) -> Optional[CacheBlock]:
+    def extract(self, block_address: int) -> CacheBlock | None:
         """Remove and return a block on a victim-cache hit."""
         block = self._entries.pop(block_address, None)
         if block is not None:
@@ -56,7 +55,7 @@ class VictimCache:
             self.misses += 1
         return block
 
-    def invalidate(self, block_address: int) -> Optional[CacheBlock]:
+    def invalidate(self, block_address: int) -> CacheBlock | None:
         """Drop a block without counting a hit or miss."""
         return self._entries.pop(block_address, None)
 

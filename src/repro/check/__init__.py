@@ -1,0 +1,50 @@
+"""Contract-enforcing static analysis (``repro check``).
+
+The simulator's correctness rests on invariants nothing used to enforce
+mechanically: bit-identical replay across engines and job counts,
+exactly-once trace generation, content-hash stability of the trace and
+result stores, and the lock discipline inside the runner and the serve
+daemon.  This package turns those contracts into three machine-checked
+passes:
+
+:mod:`repro.check.lints`
+    AST-based contract lints over the source tree — determinism (no
+    unseeded global RNG state, no wall-clock reads in the simulation
+    packages), configuration hygiene (every environment read goes through
+    :mod:`repro.knobs`), hash coverage (every field of a content-addressed
+    dataclass is consumed by its fingerprint), exception discipline and
+    annotation coverage for the strictly typed modules.
+
+:mod:`repro.check.locks`
+    A runtime lock-order/race detector: instrumented lock wrappers record
+    the per-thread acquisition graph, flag lock-order inversions
+    (potential deadlock cycles) and writes to registered shared state
+    made outside any lock.  Opt in with ``RNUCA_CHECK_LOCKS=1`` under
+    pytest (:mod:`repro.check.pytest_plugin`).
+
+:mod:`repro.check.typegate`
+    The strict-typing gate: runs mypy over the gated modules when it is
+    installed (CI always installs it) and reports "skipped" otherwise —
+    the AST annotation-coverage lint still runs either way, so the
+    annotation contract is enforced even without mypy.
+
+``repro check`` (see :mod:`repro.cli`) runs the lints and the typing gate
+and exits non-zero on any finding; the lock detector runs under the test
+suite, where there is real concurrency to observe.
+"""
+
+from __future__ import annotations
+
+from repro.check.lints import RULES, Finding, Rule, check_paths, default_paths
+from repro.check.typegate import STRICT_MODULES, TypeGateResult, run_typing_gate
+
+__all__ = [
+    "RULES",
+    "STRICT_MODULES",
+    "Finding",
+    "Rule",
+    "TypeGateResult",
+    "check_paths",
+    "default_paths",
+    "run_typing_gate",
+]

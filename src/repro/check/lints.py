@@ -1,0 +1,635 @@
+"""AST-based contract lints (the first ``repro check`` pass).
+
+Each rule encodes a repo-specific correctness contract — not style — and
+is registered in :data:`RULES` through the :func:`rule` decorator, so new
+contracts are one function away and ``repro check --rules`` can enumerate
+them for the docs cross-check.
+
+Scoping.  Rules carry a *scope* restricting where they fire inside the
+installed package:
+
+``determinism``
+    ``repro.sim`` / ``repro.designs`` / ``repro.dynamics`` /
+    ``repro.workloads`` — the packages whose outputs must be bit-identical
+    across runs, engines and job counts.
+``package``
+    everything under ``repro`` (except :mod:`repro.knobs` for the
+    environment rule, which is the sanctioned read path).
+``typed``
+    the strictly typed modules of :data:`repro.check.typegate.STRICT_MODULES`.
+``all``
+    every checked file.
+
+A file *outside* the installed package (a test fixture, a snippet) is
+checked in **snippet mode**: every rule applies.  That is what lets the
+committed bad-fixture snippets under ``tests/fixtures/check/`` fail
+``repro check`` without living inside the simulation packages.
+
+Suppressions are explicit and carry a reason, on the offending line or the
+line above::
+
+    payload["generated_at"] = time.strftime(...)  # repro: allow-wall-clock(bench metadata)
+
+An empty reason does not suppress: ``# repro: allow-wall-clock()`` is
+itself a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "RULES",
+    "DETERMINISM_PACKAGES",
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "check_paths",
+    "check_source",
+    "default_paths",
+    "iter_python_files",
+]
+
+#: Sub-packages whose replay output must be deterministic.
+DETERMINISM_PACKAGES = ("sim", "designs", "dynamics", "workloads")
+
+#: Module-path suffixes (relative to the package root) under the strict
+#: typing gate; kept in sync with ``repro.check.typegate.STRICT_MODULES``.
+TYPED_PATH_SUFFIXES = (
+    ("knobs.py",),
+    ("serve", "protocol.py"),
+    ("serve", "daemon.py"),
+    ("serve", "loadgen.py"),
+    ("sim", "runner.py"),
+    ("workloads", "store.py"),
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation, pointing at a file and line."""
+
+    rule: str
+    path: Path
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """A parsed file plus the package context the scoping rules need."""
+
+    path: Path
+    text: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+    package_relative: tuple[str, ...] | None  # path parts below repro/, or None
+
+    @property
+    def in_package(self) -> bool:
+        return self.package_relative is not None
+
+    @property
+    def snippet(self) -> bool:
+        return self.package_relative is None
+
+    def scope_determinism(self) -> bool:
+        if self.snippet:
+            return True
+        assert self.package_relative is not None
+        return bool(self.package_relative) and self.package_relative[0] in DETERMINISM_PACKAGES
+
+    def scope_package(self) -> bool:
+        return True  # package files and snippets alike
+
+    def scope_typed(self) -> bool:
+        if self.snippet:
+            return True
+        assert self.package_relative is not None
+        return self.package_relative in {tuple(s) for s in TYPED_PATH_SUFFIXES}
+
+    def is_knobs_module(self) -> bool:
+        return self.package_relative == ("knobs.py",)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered contract lint."""
+
+    name: str
+    scope: str
+    description: str
+    marker: str | None
+    check: Callable[[SourceFile], Iterator[Finding]]
+
+
+#: Registry of every contract lint, keyed by rule name.
+RULES: dict[str, Rule] = {}
+
+
+def rule(
+    name: str, *, scope: str, description: str, marker: str | None = None
+) -> Callable[[Callable[[SourceFile], Iterator[Finding]]], Callable[[SourceFile], Iterator[Finding]]]:
+    """Register a lint rule; ``marker`` names its suppression comment."""
+
+    def register(
+        check: Callable[[SourceFile], Iterator[Finding]],
+    ) -> Callable[[SourceFile], Iterator[Finding]]:
+        RULES[name] = Rule(
+            name=name, scope=scope, description=description, marker=marker, check=check
+        )
+        return check
+
+    return register
+
+
+# ---------------------------------------------------------------------- #
+# Shared helpers
+# ---------------------------------------------------------------------- #
+def _suppressed(source: SourceFile, lineno: int, marker: str | None) -> bool:
+    """True when an ``# repro: allow-<marker>(reason)`` comment covers lineno."""
+    if marker is None:
+        return False
+    pattern = re.compile(rf"#\s*repro:\s*{re.escape(marker)}\([^)]+\)")
+    for line_number in (lineno, lineno - 1):
+        if 1 <= line_number <= len(source.lines) and pattern.search(
+            source.lines[line_number - 1]
+        ):
+            return True
+    return False
+
+
+def _dotted_chain(node: ast.expr) -> tuple[str, ...] | None:
+    """``a.b.c`` as ``("a", "b", "c")``, or None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+def _walk_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+# ---------------------------------------------------------------------- #
+# Determinism rules
+# ---------------------------------------------------------------------- #
+#: ``numpy.random`` constructors that take an explicit seed.
+_SEEDED_NP_CONSTRUCTORS = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox", "MT19937", "SFC64"}
+)
+
+
+@rule(
+    "determinism-unseeded-random",
+    scope="determinism",
+    description=(
+        "No global-state RNG calls (random.*, np.random.*) in the simulation "
+        "packages; draw from an explicitly seeded random.Random or "
+        "numpy.random.default_rng(seed) so replay is bit-identical."
+    ),
+    marker="allow-unseeded-random",
+)
+def _check_unseeded_random(source: SourceFile) -> Iterator[Finding]:
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ImportFrom) and node.module in ("random", "numpy.random"):
+            allowed = (
+                {"Random", "SystemRandom"}
+                if node.module == "random"
+                else _SEEDED_NP_CONSTRUCTORS
+            )
+            bad = sorted(alias.name for alias in node.names if alias.name not in allowed)
+            if bad and not _suppressed(source, node.lineno, "allow-unseeded-random"):
+                yield Finding(
+                    "determinism-unseeded-random",
+                    source.path,
+                    node.lineno,
+                    f"importing {', '.join(bad)} from {node.module} pulls in "
+                    "global RNG state; use a seeded constructor instead",
+                )
+    for call in _walk_calls(source.tree):
+        chain = _dotted_chain(call.func)
+        if chain is None:
+            continue
+        finding = None
+        if chain[0] == "random" and len(chain) == 2:
+            if chain[1] in ("Random", "SystemRandom"):
+                if not call.args and not call.keywords:
+                    finding = (
+                        f"random.{chain[1]}() without a seed is "
+                        "nondeterministic; pass an explicit seed"
+                    )
+            else:
+                finding = (
+                    f"random.{chain[1]}() uses the global RNG; draw from a "
+                    "seeded random.Random instance"
+                )
+        elif len(chain) >= 3 and chain[-2] == "random" and chain[0] in ("np", "numpy"):
+            name = chain[-1]
+            if name not in _SEEDED_NP_CONSTRUCTORS:
+                finding = (
+                    f"np.random.{name}() uses numpy's global RNG; draw from a "
+                    "seeded np.random.default_rng(seed)"
+                )
+            elif not call.args and not call.keywords:
+                finding = f"np.random.{name}() without a seed is nondeterministic"
+        if finding and not _suppressed(source, call.lineno, "allow-unseeded-random"):
+            yield Finding(
+                "determinism-unseeded-random", source.path, call.lineno, finding
+            )
+
+
+#: ``time`` module attributes that read the wall clock.  perf_counter and
+#: monotonic are duration clocks and stay legal (benchmarking needs them).
+_WALL_TIME_ATTRS = frozenset(
+    {"time", "time_ns", "localtime", "gmtime", "ctime", "asctime", "strftime"}
+)
+_WALL_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+@rule(
+    "determinism-wall-clock",
+    scope="determinism",
+    description=(
+        "No wall-clock reads (time.time/strftime/..., datetime.now, "
+        "date.today) in the simulation packages; simulated time must come "
+        "from the trace, never from the host clock.  Duration clocks "
+        "(time.perf_counter, time.monotonic) stay legal."
+    ),
+    marker="allow-wall-clock",
+)
+def _check_wall_clock(source: SourceFile) -> Iterator[Finding]:
+    for call in _walk_calls(source.tree):
+        chain = _dotted_chain(call.func)
+        if chain is None or len(chain) < 2:
+            continue
+        dotted = ".".join(chain)
+        is_wall = (
+            (chain[0] == "time" and chain[-1] in _WALL_TIME_ATTRS)
+            or (chain[0] in ("datetime", "date") and chain[-1] in _WALL_DATETIME_ATTRS)
+        )
+        if is_wall and not _suppressed(source, call.lineno, "allow-wall-clock"):
+            yield Finding(
+                "determinism-wall-clock",
+                source.path,
+                call.lineno,
+                f"{dotted}() reads the wall clock inside a determinism "
+                "package; derive time from the trace (or mark a measurement "
+                "site with the allow-wall-clock marker)",
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Configuration hygiene
+# ---------------------------------------------------------------------- #
+@rule(
+    "knobs-env-registry",
+    scope="package",
+    description=(
+        "No raw os.environ / os.getenv access outside repro.knobs: every "
+        "environment knob is declared once in the registry and read through "
+        "its typed accessor, so the configuration surface stays enumerable "
+        "and documented."
+    ),
+    marker="allow-env",
+)
+def _check_env_registry(source: SourceFile) -> Iterator[Finding]:
+    if source.is_knobs_module():
+        return
+    for node in ast.walk(source.tree):
+        lineno = getattr(node, "lineno", 0)
+        message = None
+        if isinstance(node, ast.Attribute):
+            chain = _dotted_chain(node)
+            if chain == ("os", "environ"):
+                message = "raw os.environ access"
+            elif chain is not None and chain[0] == "os" and chain[-1] in (
+                "getenv",
+                "putenv",
+                "unsetenv",
+            ):
+                message = f"raw os.{chain[-1]} access"
+        elif isinstance(node, ast.ImportFrom) and node.module == "os":
+            bad = sorted(
+                alias.name
+                for alias in node.names
+                if alias.name in ("environ", "getenv", "putenv", "unsetenv")
+            )
+            if bad:
+                message = f"importing {', '.join(bad)} from os"
+        if message and not _suppressed(source, lineno, "allow-env"):
+            yield Finding(
+                "knobs-env-registry",
+                source.path,
+                lineno,
+                f"{message}; route environment reads through the repro.knobs registry",
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Exception and argument discipline
+# ---------------------------------------------------------------------- #
+_BROAD_EXCEPTION_NAMES = frozenset({"Exception", "BaseException"})
+
+
+@rule(
+    "no-broad-except",
+    scope="all",
+    description=(
+        "No bare except or except Exception/BaseException without an "
+        "explicit `# repro: allow-broad-except(reason)` marker; a silent "
+        "catch-all can swallow the very contract violations the rest of "
+        "this checker exists to surface."
+    ),
+    marker="allow-broad-except",
+)
+def _check_broad_except(source: SourceFile) -> Iterator[Finding]:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        caught: list[str] = []
+        if node.type is None:
+            caught.append("<bare>")
+        else:
+            exprs = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+            for expr in exprs:
+                chain = _dotted_chain(expr)
+                if chain and chain[-1] in _BROAD_EXCEPTION_NAMES:
+                    caught.append(chain[-1])
+        if caught and not _suppressed(source, node.lineno, "allow-broad-except"):
+            yield Finding(
+                "no-broad-except",
+                source.path,
+                node.lineno,
+                f"broad exception handler ({', '.join(caught)}); narrow the "
+                "type or annotate with # repro: allow-broad-except(reason)",
+            )
+
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
+
+
+@rule(
+    "no-mutable-default",
+    scope="all",
+    description=(
+        "No mutable default arguments (list/dict/set literals or "
+        "constructors): the default is evaluated once and shared across "
+        "calls, which is exactly the kind of cross-run state leak the "
+        "determinism contracts forbid."
+    ),
+    marker=None,
+)
+def _check_mutable_default(source: SourceFile) -> Iterator[Finding]:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, _MUTABLE_LITERALS) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CONSTRUCTORS
+            )
+            if mutable:
+                yield Finding(
+                    "no-mutable-default",
+                    source.path,
+                    default.lineno,
+                    f"mutable default argument in {node.name}(); default to "
+                    "None and build the object inside the function",
+                )
+
+
+# ---------------------------------------------------------------------- #
+# Content-hash coverage
+# ---------------------------------------------------------------------- #
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        chain = _dotted_chain(target)
+        if chain and chain[-1] == "dataclass":
+            return True
+    return False
+
+
+def _annotation_is_classvar(annotation: ast.expr) -> bool:
+    target = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+    chain = _dotted_chain(target)
+    return chain is not None and chain[-1] == "ClassVar"
+
+
+def _references_to_dict(func: ast.FunctionDef) -> bool:
+    return any(
+        isinstance(node, ast.Attribute) and node.attr == "to_dict"
+        for node in ast.walk(func)
+    )
+
+
+def _to_dict_keys(func: ast.FunctionDef) -> set[str] | None:
+    """Literal string keys of every dict returned by ``to_dict``.
+
+    Returns ``None`` when any return value is not a dict literal (e.g. a
+    ``dataclasses.asdict`` call, which covers every field by construction).
+    """
+    keys: set[str] = set()
+    saw_dict = False
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        if not isinstance(node.value, ast.Dict):
+            return None
+        saw_dict = True
+        for key in node.value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.add(key.value)
+            else:
+                return None  # dynamic key (e.g. **spread): cannot prove coverage
+    return keys if saw_dict else None
+
+
+@rule(
+    "hash-coverage",
+    scope="all",
+    description=(
+        "Every field of a content-addressed dataclass (one whose "
+        "content_hash fingerprints its to_dict() form) must appear as a "
+        "to_dict key: a silently unhashed field makes two distinct "
+        "configurations share a cache entry, corrupting the trace and "
+        "result stores."
+    ),
+    marker="allow-unhashed",
+)
+def _check_hash_coverage(source: SourceFile) -> Iterator[Finding]:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ClassDef) or not _is_dataclass_decorated(node):
+            continue
+        to_dict = None
+        hashes_to_dict = False
+        for item in node.body:
+            if isinstance(item, ast.FunctionDef):
+                if item.name == "to_dict":
+                    to_dict = item
+                elif item.name == "content_hash" and _references_to_dict(item):
+                    hashes_to_dict = True
+        if to_dict is None or not hashes_to_dict:
+            continue
+        keys = _to_dict_keys(to_dict)
+        if keys is None:
+            continue  # not a literal dict: asdict()-style coverage is total
+        for item in node.body:
+            if not isinstance(item, ast.AnnAssign) or not isinstance(
+                item.target, ast.Name
+            ):
+                continue
+            name = item.target.id
+            if name.startswith("_") or _annotation_is_classvar(item.annotation):
+                continue
+            if name not in keys and not _suppressed(
+                source, item.lineno, "allow-unhashed"
+            ):
+                yield Finding(
+                    "hash-coverage",
+                    source.path,
+                    item.lineno,
+                    f"field {name!r} of {node.name} is not consumed by "
+                    "to_dict()/content_hash; an unhashed field corrupts "
+                    "content-addressed cache keys",
+                )
+
+
+# ---------------------------------------------------------------------- #
+# Typing coverage (the AST half of the typing gate)
+# ---------------------------------------------------------------------- #
+@rule(
+    "typed-defs",
+    scope="typed",
+    description=(
+        "Every function in the strictly typed modules (repro.knobs, "
+        "repro.serve.*, repro.sim.runner, repro.workloads.store) carries "
+        "complete parameter and return annotations — the AST half of the "
+        "mypy gate, enforced even where mypy is not installed."
+    ),
+    marker=None,
+)
+def _check_typed_defs(source: SourceFile) -> Iterator[Finding]:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        missing: list[str] = []
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        for index, arg in enumerate(positional + list(args.kwonlyargs)):
+            if index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for special in (args.vararg, args.kwarg):
+            if special is not None and special.annotation is None:
+                missing.append(f"*{special.arg}")
+        if node.returns is None:
+            missing.append("return")
+        if missing:
+            yield Finding(
+                "typed-defs",
+                source.path,
+                node.lineno,
+                f"{node.name}() is missing annotations for: {', '.join(missing)}",
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Driving the rules
+# ---------------------------------------------------------------------- #
+_SCOPE_PREDICATES: dict[str, Callable[[SourceFile], bool]] = {
+    "determinism": SourceFile.scope_determinism,
+    "package": SourceFile.scope_package,
+    "typed": SourceFile.scope_typed,
+    "all": lambda source: True,
+}
+
+
+def _package_relative(path: Path) -> tuple[str, ...] | None:
+    """Path parts below the installed ``repro`` package, or ``None``.
+
+    A directory counts as the package root only when it is named ``repro``
+    and actually contains an ``__init__.py`` — so a repo checked out as
+    ``~/repro/`` does not accidentally put test fixtures in package scope.
+    """
+    resolved = path.resolve()
+    for parent in resolved.parents:
+        if parent.name == "repro" and (parent / "__init__.py").is_file():
+            return resolved.relative_to(parent).parts
+    return None
+
+
+def load_source(path: Path) -> SourceFile:
+    """Parse one file into the representation the rules consume."""
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text, filename=str(path))
+    return SourceFile(
+        path=path,
+        text=text,
+        tree=tree,
+        lines=tuple(text.splitlines()),
+        package_relative=_package_relative(path),
+    )
+
+
+def check_source(source: SourceFile) -> list[Finding]:
+    """Run every applicable rule over one parsed file."""
+    findings: list[Finding] = []
+    for registered in RULES.values():
+        if _SCOPE_PREDICATES[registered.scope](source):
+            findings.extend(registered.check(source))
+    return findings
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files to check."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        else:
+            yield path
+
+
+def default_paths() -> list[Path]:
+    """What ``repro check`` checks with no arguments: the installed package."""
+    return [Path(__file__).resolve().parents[1]]
+
+
+def check_paths(paths: Iterable[Path] | None = None) -> list[Finding]:
+    """Lint every file under ``paths`` (default: the repro package)."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths if paths is not None else default_paths()):
+        try:
+            source = load_source(path)
+        except (OSError, SyntaxError, ValueError) as error:
+            findings.append(
+                Finding("parse", path, getattr(error, "lineno", 0) or 0, str(error))
+            )
+            continue
+        findings.extend(check_source(source))
+    findings.sort(key=lambda finding: (str(finding.path), finding.line, finding.rule))
+    return findings

@@ -1,0 +1,350 @@
+"""Runtime lock-order and data-race detection (TSan-style, in miniature).
+
+The runner and the serve daemon are the repo's threaded surface, and PR 6
+shipped a real store race that only a human caught.  This module makes the
+lock discipline observable:
+
+:func:`make_lock`
+    The instrumented replacement for ``threading.Lock()`` used by
+    :class:`~repro.sim.runner.BatchRunner` and
+    :class:`~repro.serve.daemon.SimulationDaemon`.  Each returned
+    :class:`TrackedLock` behaves exactly like a ``threading.Lock`` and,
+    **when tracking is enabled**, records every acquisition into a
+    per-thread held-lock stack and a global lock-order graph.
+
+:func:`note_write`
+    Declares "this statement writes shared state ``name``".  With tracking
+    enabled, a write made while the current thread holds no tracked lock
+    (or not the specific ``guard`` it was registered with) is recorded as
+    an unguarded-write violation.
+
+:func:`lock_report`
+    The collected evidence: the acquisition-order edges, every lock-order
+    *inversion* (a cycle in the order graph — two threads that nest the
+    same locks in opposite orders can deadlock, even if this run got
+    lucky), and every unguarded write.
+
+Tracking is off by default and costs one attribute read per acquisition;
+enable it programmatically (:func:`enable_lock_tracking`) or for a whole
+pytest run with ``RNUCA_CHECK_LOCKS=1``
+(:mod:`repro.check.pytest_plugin`), which fails the session on any
+inversion or unguarded write.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = [
+    "LockOrderViolation",
+    "LockTracker",
+    "TrackedLock",
+    "disable_lock_tracking",
+    "enable_lock_tracking",
+    "find_inversions",
+    "lock_order_edges",
+    "lock_report",
+    "make_lock",
+    "note_write",
+    "register_shared_state",
+    "reset_lock_state",
+    "tracking_enabled",
+    "unguarded_writes",
+]
+
+
+@dataclass(frozen=True)
+class LockOrderViolation:
+    """A cycle in the acquisition-order graph (a potential deadlock)."""
+
+    cycle: tuple[str, ...]
+    witnesses: tuple[str, ...]
+
+    def format(self) -> str:
+        ring = " -> ".join((*self.cycle, self.cycle[0]))
+        return f"lock-order inversion: {ring} (seen: {'; '.join(self.witnesses)})"
+
+
+class LockTracker:
+    """One acquisition graph + per-thread held stacks.
+
+    The module keeps a process-global default instance behind
+    :func:`make_lock` and friends; tests that *provoke* violations build a
+    private ``LockTracker()`` (and pass it to :class:`TrackedLock`) so
+    their deliberate inversions never leak into the session-wide evidence
+    the pytest plugin asserts on.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        # The tracker's own mutex must be a *plain* lock: instrumenting it
+        # would recurse.  It only guards the edge/violation dicts, never
+        # user code, so it cannot participate in an application cycle.
+        self._mutex = threading.Lock()
+        self._held = threading.local()
+        self._edges: dict[tuple[str, str], str] = {}
+        self._writes: list[str] = []
+        self._guards: dict[str, str] = {}
+
+    # -------------------------------------------------------------- #
+    # Per-thread held stack
+    # -------------------------------------------------------------- #
+    def held_stack(self) -> list[TrackedLock]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def on_acquire(self, lock: TrackedLock) -> None:
+        stack = self.held_stack()
+        if stack:
+            thread = threading.current_thread().name
+            with self._mutex:
+                for held in stack:
+                    if held.name == lock.name:
+                        continue
+                    edge = (held.name, lock.name)
+                    self._edges.setdefault(
+                        edge,
+                        f"{held.name} -> {lock.name} on thread {thread!r}",
+                    )
+        stack.append(lock)
+
+    def on_release(self, lock: TrackedLock) -> None:
+        stack = self.held_stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is lock:
+                del stack[index]
+                return
+
+    # -------------------------------------------------------------- #
+    # Shared-state writes
+    # -------------------------------------------------------------- #
+    def register(self, state: str, guard: TrackedLock | None) -> None:
+        with self._mutex:
+            self._guards[state] = guard.name if guard is not None else ""
+
+    def on_write(self, state: str, guard: TrackedLock | None) -> None:
+        held = [lock.name for lock in self.held_stack()]
+        with self._mutex:
+            required = (
+                guard.name if guard is not None else self._guards.get(state, "")
+            )
+        thread = threading.current_thread().name
+        if required:
+            if required not in held:
+                self._record_write(
+                    f"{state} written on thread {thread!r} without holding "
+                    f"its guard lock {required!r} (held: {held or 'none'})"
+                )
+        elif not held:
+            self._record_write(
+                f"{state} written on thread {thread!r} with no lock held"
+            )
+
+    def _record_write(self, message: str) -> None:
+        with self._mutex:
+            self._writes.append(message)
+
+    # -------------------------------------------------------------- #
+    # Reporting
+    # -------------------------------------------------------------- #
+    def edges(self) -> dict[tuple[str, str], str]:
+        with self._mutex:
+            return dict(self._edges)
+
+    def writes(self) -> list[str]:
+        with self._mutex:
+            return list(self._writes)
+
+    def reset(self) -> None:
+        with self._mutex:
+            self._edges.clear()
+            self._writes.clear()
+            self._guards.clear()
+
+    def find_inversions(self) -> list[LockOrderViolation]:
+        """Cycles in the acquisition-order graph, one violation per cycle.
+
+        Two threads that nest the same pair of locks in opposite orders
+        can deadlock even if every individual run happened to interleave
+        safely, so the check is over the *union* of all observed orders:
+        any strongly connected component of two or more locks is an
+        inversion.
+        """
+        edges = self.edges()
+        graph: dict[str, set[str]] = {}
+        for outer, inner in edges:
+            graph.setdefault(outer, set()).add(inner)
+            graph.setdefault(inner, set())
+
+        # Iterative Tarjan SCC (deterministic: nodes and successors sorted).
+        index_of: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        components: list[list[str]] = []
+        counter = 0
+        for root in sorted(graph):
+            if root in index_of:
+                continue
+            work: list[tuple[str, list[str]]] = [(root, sorted(graph[root]))]
+            index_of[root] = low[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                while successors:
+                    nxt = successors.pop()
+                    if nxt not in index_of:
+                        index_of[nxt] = low[nxt] = counter
+                        counter += 1
+                        stack.append(nxt)
+                        on_stack.add(nxt)
+                        work.append((nxt, sorted(graph[nxt])))
+                        advanced = True
+                        break
+                    if nxt in on_stack:
+                        low[node] = min(low[node], index_of[nxt])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index_of[node]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+
+        violations: list[LockOrderViolation] = []
+        for component in components:
+            if len(component) < 2:
+                continue
+            members = tuple(sorted(component))
+            witnesses = tuple(
+                sorted(
+                    witness
+                    for (outer, inner), witness in edges.items()
+                    if outer in members and inner in members
+                )
+            )
+            violations.append(LockOrderViolation(cycle=members, witnesses=witnesses))
+        violations.sort(key=lambda violation: violation.cycle)
+        return violations
+
+    def report(self) -> dict[str, object]:
+        return {
+            "edges": self.edges(),
+            "inversions": self.find_inversions(),
+            "unguarded_writes": self.writes(),
+        }
+
+
+#: The process-global tracker the production locks report to.
+_TRACKER = LockTracker()
+
+
+class TrackedLock:
+    """A ``threading.Lock`` work-alike that reports to a tracker.
+
+    The wrapper adds one ``enabled`` check per acquisition when tracking
+    is off, so production code uses it unconditionally via
+    :func:`make_lock` — the checked and unchecked configurations run the
+    same code, and the detector observes the *real* locks, not copies.
+    """
+
+    __slots__ = ("name", "_lock", "_tracker")
+
+    def __init__(self, name: str, tracker: LockTracker | None = None) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._tracker = tracker if tracker is not None else _TRACKER
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired and self._tracker.enabled:
+            self._tracker.on_acquire(self)
+        return acquired
+
+    def release(self) -> None:
+        if self._tracker.enabled:
+            self._tracker.on_release(self)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "locked" if self.locked() else "unlocked"
+        return f"<TrackedLock {self.name!r} {state}>"
+
+
+def make_lock(name: str) -> TrackedLock:
+    """An instrumented lock; drop-in for ``threading.Lock()`` plus a name."""
+    return TrackedLock(name)
+
+
+def enable_lock_tracking() -> None:
+    """Start recording acquisitions (idempotent)."""
+    _TRACKER.enabled = True
+
+
+def disable_lock_tracking() -> None:
+    """Stop recording acquisitions (collected evidence is kept)."""
+    _TRACKER.enabled = False
+
+
+def tracking_enabled() -> bool:
+    return _TRACKER.enabled
+
+
+def reset_lock_state() -> None:
+    """Drop all collected edges, violations and registrations."""
+    _TRACKER.reset()
+
+
+def register_shared_state(state: str, guard: TrackedLock | None = None) -> None:
+    """Declare shared state; writes must then hold ``guard`` (or any lock)."""
+    _TRACKER.register(state, guard)
+
+
+def note_write(state: str, guard: TrackedLock | None = None) -> None:
+    """Record a write to shared state; flags it when made outside the lock."""
+    if _TRACKER.enabled:
+        _TRACKER.on_write(state, guard)
+
+
+def lock_order_edges() -> dict[tuple[str, str], str]:
+    """Every observed nested acquisition ``(outer, inner) -> witness``."""
+    return _TRACKER.edges()
+
+
+def unguarded_writes() -> list[str]:
+    """Every recorded write-outside-lock violation, in occurrence order."""
+    return _TRACKER.writes()
+
+
+def find_inversions() -> list[LockOrderViolation]:
+    """Cycles in the default tracker's acquisition-order graph."""
+    return _TRACKER.find_inversions()
+
+
+def lock_report() -> dict[str, object]:
+    """Everything the pytest plugin asserts on at session end."""
+    return _TRACKER.report()

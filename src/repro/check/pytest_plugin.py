@@ -1,0 +1,56 @@
+"""Pytest plugin wiring the lock detector into the test suite.
+
+Registered process-wide through ``addopts = "-p repro.check.pytest_plugin"``
+in ``pyproject.toml`` and **opt-in at runtime**: with ``RNUCA_CHECK_LOCKS``
+unset the plugin does nothing, so the plain suite pays no overhead.  With
+``RNUCA_CHECK_LOCKS=1`` every tracked lock acquisition in the session —
+the runner's in-flight/trace/pool locks, the daemon's stats/log locks,
+whatever real concurrency the serve and runner suites create — feeds the
+acquisition graph of :mod:`repro.check.locks`, and the session *errors* if
+any lock-order inversion or unguarded shared-state write was observed.
+
+CI runs the serve/runner test subset under this knob (the ``check`` job);
+locally::
+
+    RNUCA_CHECK_LOCKS=1 python -m pytest tests/test_serve.py tests/test_runner.py
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import pytest
+
+from repro import knobs
+from repro.check import locks
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _rnuca_lock_check() -> Iterator[None]:
+    """Enable tracking for the whole session; fail it on collected evidence.
+
+    A session-scoped autouse fixture (rather than sessionfinish hooks) so
+    a violation surfaces as an ordinary teardown error with a non-zero
+    exit code — no exit-status plumbing.
+    """
+    if not knobs.check_locks():
+        yield
+        return
+    locks.reset_lock_state()
+    locks.enable_lock_tracking()
+    try:
+        yield
+    finally:
+        locks.disable_lock_tracking()
+    inversions = locks.find_inversions()
+    writes = locks.unguarded_writes()
+    locks.reset_lock_state()
+    problems = [violation.format() for violation in inversions] + [
+        f"unguarded write: {message}" for message in writes
+    ]
+    if problems:
+        pytest.fail(
+            "RNUCA_CHECK_LOCKS found concurrency-contract violations:\n  "
+            + "\n  ".join(problems),
+            pytrace=False,
+        )

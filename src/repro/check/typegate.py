@@ -1,0 +1,80 @@
+"""The strict-typing gate (the third ``repro check`` pass).
+
+mypy runs in strict mode over the modules whose contracts the rest of the
+system leans on — the knob registry, the serve surface, the reentrant
+runner and the trace store — with the configuration living in
+``pyproject.toml`` (``[tool.mypy]``), so the CLI, CI and a bare ``mypy``
+invocation all check the same thing.
+
+mypy is a dev dependency, not a runtime one: in environments without it
+(a minimal container, a fresh checkout) the gate reports *skipped* rather
+than failing, and the ``typed-defs`` AST lint (:mod:`repro.check.lints`)
+still enforces full annotation coverage on the same modules.  CI installs
+mypy and runs the gate for real.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from dataclasses import dataclass
+from importlib import util as importlib_util
+
+__all__ = ["STRICT_MODULES", "TypeGateResult", "mypy_available", "run_typing_gate"]
+
+#: Modules under the strict mypy gate, in dependency order.  Kept in sync
+#: with ``[tool.mypy]`` in pyproject.toml and with
+#: ``repro.check.lints.TYPED_PATH_SUFFIXES``.
+STRICT_MODULES = (
+    "repro.knobs",
+    "repro.workloads.store",
+    "repro.sim.runner",
+    "repro.serve.protocol",
+    "repro.serve.daemon",
+    "repro.serve.loadgen",
+)
+
+
+@dataclass(frozen=True)
+class TypeGateResult:
+    """Outcome of one typing-gate run."""
+
+    status: str  # "passed" | "failed" | "skipped"
+    output: str
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("passed", "skipped")
+
+
+def mypy_available() -> bool:
+    """True when mypy is importable in this environment."""
+    return importlib_util.find_spec("mypy") is not None
+
+
+def run_typing_gate(timeout: float = 600.0) -> TypeGateResult:
+    """Run mypy over the gated modules (config from pyproject.toml).
+
+    The module list is passed explicitly (``-m`` per module) so the gate
+    checks exactly :data:`STRICT_MODULES` regardless of the working
+    directory, and ``follow_imports = silent`` in the shared config keeps
+    errors scoped to the gated modules themselves.
+    """
+    if not mypy_available():
+        return TypeGateResult(
+            status="skipped",
+            output="mypy is not installed; install dev dependencies to run "
+            "the typing gate (CI runs it on every push)",
+        )
+    command = [sys.executable, "-m", "mypy"]
+    for module in STRICT_MODULES:
+        command.extend(["-m", module])
+    try:
+        completed = subprocess.run(
+            command, capture_output=True, text=True, timeout=timeout, check=False
+        )
+    except (OSError, subprocess.TimeoutExpired) as error:
+        return TypeGateResult(status="failed", output=f"mypy did not run: {error}")
+    output = (completed.stdout + completed.stderr).strip()
+    status = "passed" if completed.returncode == 0 else "failed"
+    return TypeGateResult(status=status, output=output)

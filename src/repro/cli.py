@@ -64,8 +64,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from collections.abc import Sequence
+from pathlib import Path
 
+from repro import knobs
 from repro.analysis.reporting import format_table
 from repro.analysis.speedup import speedup_table
 from repro.designs import DESIGNS, normalize_design
@@ -80,6 +82,7 @@ from repro.serve.loadgen import (
 )
 from repro.serve.protocol import (
     DEFAULT_SERVE_PORT,
+    ProtocolError,
     ServeClient,
     default_serve_host,
     default_serve_port,
@@ -415,6 +418,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("list", help="show known workloads, designs, engines, schedulers")
+
+    check = sub.add_parser(
+        "check",
+        help="run the repo's contract checks (AST lints + strict typing gate)",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    check.add_argument(
+        "--no-mypy",
+        action="store_true",
+        help="skip the mypy strict typing gate (the AST lints still run)",
+    )
+    check.add_argument(
+        "--rules",
+        action="store_true",
+        help="list the registered lint rules and exit",
+    )
     return parser
 
 
@@ -792,7 +815,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         try:
             with ServeClient(host, port, connect_timeout=2.0) as client:
                 acknowledged = client.shutdown()
-        except Exception as error:
+        except (ProtocolError, OSError) as error:
             print(f"No daemon at {host}:{port}: {error}")
             return 1
         print(f"Daemon at {host}:{port} " + ("shutting down" if acknowledged else "did not acknowledge"))
@@ -842,7 +865,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             with ServeClient(host, port, connect_timeout=args.connect_timeout) as client:
                 client.shutdown()
             print(f"Sent shutdown to {host}:{port}")
-        except Exception as error:
+        except (ProtocolError, OSError) as error:
             print(f"WARNING: shutdown request failed: {error}")
             return 1
     if payload["errors"]:
@@ -888,17 +911,42 @@ def cmd_list(_args: argparse.Namespace) -> int:
         "Schedulers: " + ", ".join(SCHEDULERS)
         + " (replay-time axis, `repro run --scheduler`; fixed = as generated)"
     )
-    print(
-        "Env knobs: RNUCA_JOBS (worker count), RNUCA_RESULTS_DIR (result cache), "
-        "RNUCA_TRACE_DIR (binary trace cache), "
-        "RNUCA_EVAL_RECORDS (trace length for quick runs), "
-        "RNUCA_ENGINE (fast | reference replay engine), "
-        "RNUCA_SERVE_HOST / RNUCA_SERVE_PORT (daemon endpoint)"
-    )
+    print("Env knobs:")
+    for name in sorted(knobs.REGISTRY):
+        knob = knobs.REGISTRY[name]
+        default = f", default {knob.default}" if knob.default is not None else ""
+        print(f"  {name} ({knob.kind}{default}): {knob.description}")
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def cmd_check(args: argparse.Namespace) -> int:
+    """``repro check``: AST contract lints, then the strict typing gate."""
+    from repro.check import RULES, STRICT_MODULES, check_paths, run_typing_gate
+
+    if args.rules:
+        for name in sorted(RULES):
+            rule = RULES[name]
+            print(f"{name:30s} [{rule.scope}] {rule.description}")
+        return 0
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    findings = check_paths(paths)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"Lints: {len(findings)} finding(s)")
+    else:
+        print("Lints: clean")
+    failed = bool(findings)
+    if not args.no_mypy:
+        gate = run_typing_gate()
+        print(f"Typing gate [{gate.status}]: {', '.join(STRICT_MODULES)}")
+        if gate.output and gate.status != "passed":
+            print(gate.output)
+        failed = failed or not gate.ok
+    return 1 if failed else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": cmd_run,
@@ -908,6 +956,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
         "list": cmd_list,
+        "check": cmd_check,
     }
     return handlers[args.command](args)
 

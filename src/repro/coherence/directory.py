@@ -14,8 +14,8 @@ versus 152 KB/tile comparison (Section 2.2) can be reproduced.
 from __future__ import annotations
 
 import enum
+from collections.abc import Iterable
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
 
 from repro.errors import ProtocolError
 
@@ -35,7 +35,7 @@ class DirectoryEntry:
     block_address: int
     state: DirectoryState = DirectoryState.UNCACHED
     sharers: set[int] = field(default_factory=set)
-    owner: Optional[int] = None
+    owner: int | None = None
 
     def is_cached(self) -> bool:
         return self.state is not DirectoryState.UNCACHED
@@ -70,7 +70,7 @@ class FullMapDirectory:
             self._entries[block_address] = entry
         return entry
 
-    def peek(self, block_address: int) -> Optional[DirectoryEntry]:
+    def peek(self, block_address: int) -> DirectoryEntry | None:
         """Look at an entry without creating it or counting a lookup."""
         return self._entries.get(block_address)
 

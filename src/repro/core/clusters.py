@@ -17,8 +17,8 @@ R-NUCA operates on overlapping clusters of one or more tiles:
 from __future__ import annotations
 
 import enum
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.core.rotational import RotationalInterleaver
 from repro.errors import ClusterError

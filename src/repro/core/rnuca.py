@@ -16,7 +16,6 @@ used standalone (e.g. the quickstart example drives it directly) and by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.cmp.config import SystemConfig
 from repro.core.placement import PlacementDecision, PlacementPolicy
@@ -76,8 +75,8 @@ class RNucaPolicy:
         self,
         config: SystemConfig,
         *,
-        rnuca_config: Optional[RNucaConfig] = None,
-        topology: Optional[Topology] = None,
+        rnuca_config: RNucaConfig | None = None,
+        topology: Topology | None = None,
     ) -> None:
         self.system_config = config
         self.config = rnuca_config or RNucaConfig(
@@ -152,8 +151,8 @@ class RNucaPolicy:
         byte_address: int,
         *,
         instruction: bool,
-        thread_id: Optional[int] = None,
-        shootdown: Optional[ShootdownCallback] = None,
+        thread_id: int | None = None,
+        shootdown: ShootdownCallback | None = None,
     ) -> RNucaLookup:
         """Classify an access and return the slice R-NUCA will probe.
 
@@ -183,8 +182,8 @@ class RNucaPolicy:
         block_address: int,
         page_number: int,
         instruction: bool,
-        thread_id: Optional[int] = None,
-        shootdown: Optional[ShootdownCallback] = None,
+        thread_id: int | None = None,
+        shootdown: ShootdownCallback | None = None,
     ) -> tuple[int, PageClass, str, int]:
         """Allocation-free :meth:`lookup`.
 

@@ -18,7 +18,6 @@ does.
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from repro.cache.block import CacheBlock, CoherenceState
 from repro.cmp.chip import TiledChip
@@ -42,7 +41,7 @@ class AsrDesign(PrivateDesign):
         self,
         chip: TiledChip,
         *,
-        allocation_probability: Optional[float] = None,
+        allocation_probability: float | None = None,
         seed: int = 0,
     ) -> None:
         super().__init__(chip)

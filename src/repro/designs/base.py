@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.cache.block import AccessType, CacheBlock, CoherenceState
 from repro.cache.cache_array import CacheArray
@@ -74,8 +73,8 @@ class L2Access:
         byte_address: int = 0,
         access_type: AccessType = AccessType.LOAD,
         thread_id: int = 0,
-        true_class: Optional[str] = None,
-        page_number: Optional[int] = None,
+        true_class: str | None = None,
+        page_number: int | None = None,
     ) -> None:
         self.core = core
         self.block_address = block_address
@@ -115,7 +114,7 @@ class AccessOutcome:
     #: access through the directory in the private/ASR designs).
     coherence: bool = False
     #: Classification used by the design (R-NUCA) or ground truth otherwise.
-    page_class: Optional[PageClass] = None
+    page_class: PageClass | None = None
 
     @property
     def latency(self) -> float:
@@ -149,7 +148,7 @@ class L1Tracker:
     def holders(self, block_address: int) -> dict[int, CoherenceState]:
         return self._holders.get(block_address, {})
 
-    def dirty_owner(self, block_address: int, exclude: int = -1) -> Optional[int]:
+    def dirty_owner(self, block_address: int, exclude: int = -1) -> int | None:
         """Core (other than ``exclude``) holding a modified copy, if any."""
         holders = self._holders.get(block_address)
         if holders is None:
@@ -164,7 +163,7 @@ class L1Tracker:
 
     def fill(
         self, core: int, block_address: int, write: bool = False
-    ) -> Optional[CacheBlock]:
+    ) -> CacheBlock | None:
         """Install a block in a core's L1; returns the evicted block, if any.
 
         Runs once per data access, so :meth:`CacheArray.insert_block` is
@@ -175,7 +174,7 @@ class L1Tracker:
         now = array._now = array._now + 1
         cache_set = array._sets[block_address & array._set_mask]
         existing = cache_set.get(block_address)
-        victim: Optional[CacheBlock] = None
+        victim: CacheBlock | None = None
         if existing is not None:
             existing.dirty = existing.dirty or write
             existing.state = state
@@ -255,7 +254,7 @@ class CacheDesign(ABC):
     # Main entry point
     # ------------------------------------------------------------------ #
     def access(
-        self, access: L2Access, outcome: Optional[AccessOutcome] = None
+        self, access: L2Access, outcome: AccessOutcome | None = None
     ) -> AccessOutcome:
         """Service one L2 reference.
 

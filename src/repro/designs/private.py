@@ -12,8 +12,6 @@ optimistically gives the directory zero area overhead.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.cache.block import CacheBlock, CoherenceState
 from repro.cache.cache_array import CacheArray
 from repro.designs.base import (
@@ -144,7 +142,7 @@ class PrivateDesign(CacheDesign):
     # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
-    def _find_remote_l2_holder(self, block_address: int, exclude: int) -> Optional[int]:
+    def _find_remote_l2_holder(self, block_address: int, exclude: int) -> int | None:
         """Closest remote tile whose private L2 slice holds the block."""
         directory = self.chip.tile(self.chip.home_slice(block_address)).directory
         entry = directory.peek(block_address)

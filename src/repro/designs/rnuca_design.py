@@ -17,8 +17,6 @@ and is charged to the ``reclassification`` CPI component.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.cache.block import CoherenceState
 from repro.cmp.chip import TiledChip
 from repro.core.rnuca import RNucaConfig, RNucaPolicy
@@ -49,7 +47,7 @@ class RNucaDesign(CacheDesign):
         self,
         chip: TiledChip,
         *,
-        rnuca_config: Optional[RNucaConfig] = None,
+        rnuca_config: RNucaConfig | None = None,
     ) -> None:
         super().__init__(chip)
         self.policy = RNucaPolicy(
@@ -58,7 +56,7 @@ class RNucaDesign(CacheDesign):
         # Publish the OS-assigned RIDs on the tiles (useful for inspection).
         rids = self.policy.rids
         if rids is not None:
-            for tile, rid in zip(chip.tiles, rids):
+            for tile, rid in zip(chip.tiles, rids, strict=True):
                 tile.rid = rid
         self.misclassified_accesses = 0
         self._page_shift = chip.config.page_size.bit_length() - 1

@@ -51,7 +51,6 @@ generation-time migration would be charged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -221,7 +220,7 @@ class ReinforcedCounterPolicy(SchedulingPolicy):
         self._rng = np.random.default_rng(self.seed)
         self._credit = {}
 
-    def _decay_all(self, keep: Optional[int] = None) -> None:
+    def _decay_all(self, keep: int | None = None) -> None:
         for thread in list(self._credit):
             if thread == keep:
                 continue
@@ -280,7 +279,7 @@ class AdaptiveScheduler:
         self.window_records = window_records
         self.num_cores = 0
         self.imbalance_series: list[float] = []
-        self.applied: list[tuple[int, int, Optional[int], int]] = []
+        self.applied: list[tuple[int, int, int | None, int]] = []
         self._window_index = 0
 
     @property
@@ -333,7 +332,7 @@ class AdaptiveScheduler:
         return decisions
 
     def record_applied(
-        self, thread_id: int, from_core: Optional[int], to_core: int
+        self, thread_id: int, from_core: int | None, to_core: int
     ) -> None:
         """The engine reports a decision it actually installed."""
         self.applied.append((self._window_index - 1, thread_id, from_core, to_core))
@@ -345,7 +344,7 @@ def build_scheduler(
     seed: int = 0,
     window_records: int = DEFAULT_WINDOW_RECORDS,
     **policy_kwargs,
-) -> Optional[AdaptiveScheduler]:
+) -> AdaptiveScheduler | None:
     """Build the scheduler for a CLI/runner name; ``"fixed"`` returns ``None``.
 
     ``seed`` feeds the policy's tie-break/exploration RNG; the runner passes

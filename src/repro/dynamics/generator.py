@@ -172,7 +172,7 @@ class DynamicTraceGenerator:
         address_parts: list[np.ndarray] = []
         store_parts: list[np.ndarray] = []
 
-        for start, stop in zip(boundaries[:-1], boundaries[1:]):
+        for start, stop in zip(boundaries[:-1], boundaries[1:], strict=True):
             for kind, payload in actions.get(start, ()):
                 if kind == PHASE_EVENT:
                     phase_index = payload[0]

@@ -55,6 +55,6 @@ def link_loads(topology: Topology, traffic: dict[tuple[int, int], int]) -> dict:
     loads: dict[tuple[int, int], int] = {}
     for (src, dst), count in traffic.items():
         path = dimension_order_route(topology, src, dst)
-        for a, b in zip(path, path[1:]):
+        for a, b in zip(path, path[1:], strict=False):
             loads[(a, b)] = loads.get((a, b), 0) + count
     return loads

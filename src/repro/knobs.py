@@ -1,0 +1,175 @@
+"""Central registry of every ``RNUCA_*`` environment knob.
+
+Every environment variable the system reads is declared here once, with a
+type, a default and a one-line description, and read through a typed
+accessor.  Nothing else in ``src/repro`` may touch ``os.environ`` — the
+``knobs-env-registry`` lint (:mod:`repro.check.lints`) enforces that
+mechanically, and ``tests/test_docs.py`` cross-checks this registry (not a
+source grep) against ``docs/CLI.md``, so a knob cannot be added without
+being documented.
+
+Why centralise: scattered ``os.environ["RNUCA_*"]`` reads made the
+configuration surface invisible — a knob could be added, renamed or given
+inconsistent parsing in one module without any other layer noticing.  The
+registry turns the environment into a typed, enumerable API:
+
+>>> from repro import knobs
+>>> knobs.jobs()            # RNUCA_JOBS, int >= 1, default 1
+1
+>>> sorted(knobs.REGISTRY)[:2]
+['RNUCA_CHARACTERIZATION_RECORDS', 'RNUCA_CHECK_LOCKS']
+
+Accessors re-read the environment on every call (no import-time caching),
+so tests can flip knobs with ``monkeypatch.setenv`` and long-lived
+processes observe the environment they were launched with.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+# The environment accessor below is the single sanctioned read path.
+# repro: allow-env(this module IS the registry)
+_ENVIRON = os.environ
+
+__all__ = [
+    "Knob",
+    "REGISTRY",
+    "characterization_records",
+    "check_locks",
+    "engine",
+    "eval_records",
+    "jobs",
+    "results_dir",
+    "serve_host",
+    "serve_port",
+    "trace_dir",
+]
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One declared environment variable: name, type, default, doc."""
+
+    name: str
+    kind: str
+    default: str | None
+    description: str
+
+
+#: Every knob the system reads, keyed by environment-variable name.
+REGISTRY: dict[str, Knob] = {}
+
+
+def _declare(name: str, kind: str, default: str | None, description: str) -> Knob:
+    knob = Knob(name=name, kind=kind, default=default, description=description)
+    REGISTRY[name] = knob
+    return knob
+
+
+JOBS = _declare(
+    "RNUCA_JOBS", "int", "1",
+    "Worker processes for the experiment grid (default 1 = serial).",
+)
+RESULTS_DIR = _declare(
+    "RNUCA_RESULTS_DIR", "path", None,
+    "Persist simulation results as content-addressed JSON under this directory.",
+)
+TRACE_DIR = _declare(
+    "RNUCA_TRACE_DIR", "path", None,
+    "Binary trace cache directory (the content-addressed TraceStore).",
+)
+ENGINE = _declare(
+    "RNUCA_ENGINE", "str", "fast",
+    "Replay engine: 'fast' (columnar) or 'reference' (preserved seed path).",
+)
+EVAL_RECORDS = _declare(
+    "RNUCA_EVAL_RECORDS", "int", None,
+    "Trace length override for the evaluation figures (quick smoke runs).",
+)
+CHARACTERIZATION_RECORDS = _declare(
+    "RNUCA_CHARACTERIZATION_RECORDS", "int", None,
+    "Trace length override for the characterisation figures.",
+)
+SERVE_HOST = _declare(
+    "RNUCA_SERVE_HOST", "str", "127.0.0.1",
+    "Bind/connect host of the simulation daemon (repro serve).",
+)
+SERVE_PORT = _declare(
+    "RNUCA_SERVE_PORT", "int", "7781",
+    "TCP port of the simulation daemon (repro serve).",
+)
+CHECK_LOCKS = _declare(
+    "RNUCA_CHECK_LOCKS", "flag", None,
+    "Set to 1 to enable the runtime lock-order/race detector under pytest.",
+)
+
+
+def raw(knob: Knob) -> str | None:
+    """The knob's raw environment value, or ``None`` when unset."""
+    return _ENVIRON.get(knob.name)
+
+
+def _int_or_default(knob: Knob, default: int) -> int:
+    value = raw(knob)
+    if value is None:
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        return default
+
+
+def jobs() -> int:
+    """``RNUCA_JOBS`` as a worker count: an int clamped to >= 1."""
+    return max(1, _int_or_default(JOBS, 1))
+
+
+def results_dir() -> str | None:
+    """``RNUCA_RESULTS_DIR``, or ``None`` when unset or empty."""
+    return raw(RESULTS_DIR) or None
+
+
+def trace_dir() -> str | None:
+    """``RNUCA_TRACE_DIR``, or ``None`` when unset or empty."""
+    return raw(TRACE_DIR) or None
+
+
+def engine() -> str:
+    """``RNUCA_ENGINE``, verbatim (default ``"fast"``).
+
+    Deliberately unvalidated: :class:`~repro.sim.engine.TraceSimulator`
+    rejects unknown engines, so a typo in the environment fails loudly
+    instead of silently running the fast path.
+    """
+    value = raw(ENGINE)
+    return value if value is not None else "fast"
+
+
+def eval_records(default: int) -> int:
+    """``RNUCA_EVAL_RECORDS`` as a trace length, or ``default``."""
+    value = raw(EVAL_RECORDS)
+    return int(value) if value else default
+
+
+def characterization_records(default: int) -> int:
+    """``RNUCA_CHARACTERIZATION_RECORDS`` as a trace length, or ``default``."""
+    value = raw(CHARACTERIZATION_RECORDS)
+    return int(value) if value else default
+
+
+def serve_host() -> str:
+    """``RNUCA_SERVE_HOST``, or the loopback default when unset/empty."""
+    return raw(SERVE_HOST) or "127.0.0.1"
+
+
+def serve_port() -> int:
+    """``RNUCA_SERVE_PORT`` as a port number (default 7781)."""
+    return _int_or_default(SERVE_PORT, 7781)
+
+
+def check_locks() -> bool:
+    """``RNUCA_CHECK_LOCKS`` as an opt-in flag (1/true/yes/on)."""
+    value = raw(CHECK_LOCKS)
+    return value is not None and value.strip().lower() in ("1", "true", "yes", "on")

@@ -21,8 +21,8 @@ benchmarks confirm the same here.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable, Optional
 
 from repro.errors import ClassificationError
 from repro.osmodel.page_table import PageClass, PageTable, PageTableEntry
@@ -68,12 +68,12 @@ class PageClassifier:
         self,
         num_cores: int,
         *,
-        page_table: Optional[PageTable] = None,
-        scheduler: Optional[ThreadScheduler] = None,
+        page_table: PageTable | None = None,
+        scheduler: ThreadScheduler | None = None,
         tlb_entries: int = 512,
         trap_latency: int = DEFAULT_TRAP_LATENCY,
         reclassify_latency: int = DEFAULT_RECLASSIFY_LATENCY,
-        migration_window: Optional[int] = None,
+        migration_window: int | None = None,
     ) -> None:
         if num_cores <= 0:
             raise ClassificationError("classifier needs at least one core")
@@ -104,8 +104,8 @@ class PageClassifier:
         page_number: int,
         *,
         instruction: bool,
-        thread_id: Optional[int] = None,
-        shootdown: Optional[ShootdownCallback] = None,
+        thread_id: int | None = None,
+        shootdown: ShootdownCallback | None = None,
     ) -> tuple[PageClass, ClassificationEvent]:
         """Classify one access and return (class, OS event).
 
@@ -134,8 +134,8 @@ class PageClassifier:
         page_number: int,
         *,
         instruction: bool,
-        thread_id: Optional[int] = None,
-        shootdown: Optional[ShootdownCallback] = None,
+        thread_id: int | None = None,
+        shootdown: ShootdownCallback | None = None,
     ) -> tuple[PageClass, str, int, int]:
         """Allocation-free :meth:`classify_access`.
 
@@ -161,7 +161,7 @@ class PageClassifier:
             core_id, page_number, thread_id=thread_id, shootdown=shootdown
         )
 
-    def classification_of(self, page_number: int) -> Optional[PageClass]:
+    def classification_of(self, page_number: int) -> PageClass | None:
         """Current page-table classification (None if never touched)."""
         entry = self.page_table.lookup(page_number)
         return entry.page_class if entry else None
@@ -174,8 +174,8 @@ class PageClassifier:
         core_id: int,
         page_number: int,
         *,
-        thread_id: Optional[int],
-        shootdown: Optional[ShootdownCallback],
+        thread_id: int | None,
+        shootdown: ShootdownCallback | None,
     ) -> tuple[PageClass, str, int, int]:
         entry = self.page_table.lookup(page_number)
         if entry is None:
@@ -245,7 +245,7 @@ class PageClassifier:
         self,
         core_id: int,
         entry: PageTableEntry,
-        shootdown: Optional[ShootdownCallback],
+        shootdown: ShootdownCallback | None,
     ) -> tuple[PageClass, str, int, int]:
         previous_owner = entry.owner_cid
         invalidated = 0
@@ -275,7 +275,7 @@ class PageClassifier:
         self,
         core_id: int,
         entry: PageTableEntry,
-        shootdown: Optional[ShootdownCallback],
+        shootdown: ShootdownCallback | None,
     ) -> tuple[PageClass, str, int, int]:
         previous_owner = entry.owner_cid
         entry.poisoned = True
@@ -302,7 +302,7 @@ class PageClassifier:
             invalidated,
         )
 
-    def _shootdown_tlbs(self, page_number: int, exclude: Optional[int]) -> int:
+    def _shootdown_tlbs(self, page_number: int, exclude: int | None) -> int:
         count = 0
         for tlb in self.tlbs:
             if exclude is not None and tlb.core_id == exclude:

@@ -10,8 +10,8 @@ page are stalled.
 from __future__ import annotations
 
 import enum
+from collections.abc import Iterator
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
 
 from repro.errors import ClassificationError
 
@@ -33,7 +33,7 @@ class PageTableEntry:
     #: The Private bit of Section 4.3 (set for private data pages).
     private: bool = True
     #: CID of the last core to access the page (meaningful while private).
-    owner_cid: Optional[int] = None
+    owner_cid: int | None = None
     #: Poisoned bit: set during private->shared re-classification.
     poisoned: bool = False
     #: Number of re-classification events this page has undergone.
@@ -78,7 +78,7 @@ class PageTable:
     def __iter__(self) -> Iterator[PageTableEntry]:
         return iter(self._entries.values())
 
-    def lookup(self, page_number: int) -> Optional[PageTableEntry]:
+    def lookup(self, page_number: int) -> PageTableEntry | None:
         return self._entries.get(page_number)
 
     def get_or_create(self, page_number: int) -> PageTableEntry:

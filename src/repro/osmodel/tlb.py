@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.osmodel.page_table import PageClass
@@ -23,7 +22,7 @@ class TlbEntry:
     page_number: int
     page_class: PageClass
     private: bool
-    owner_cid: Optional[int] = None
+    owner_cid: int | None = None
 
 
 class Tlb:
@@ -45,7 +44,7 @@ class Tlb:
     def __contains__(self, page_number: int) -> bool:
         return page_number in self._entries
 
-    def lookup(self, page_number: int) -> Optional[TlbEntry]:
+    def lookup(self, page_number: int) -> TlbEntry | None:
         """Probe the TLB, updating LRU order and hit/miss statistics."""
         entry = self._entries.get(page_number)
         if entry is None:

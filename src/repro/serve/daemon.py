@@ -24,12 +24,14 @@ What a persistent process buys over per-invocation ``repro run``:
 
 from __future__ import annotations
 
+import contextlib
 import socketserver
 import threading
 import time
-from typing import Optional
+from typing import Any
 
-from repro.serve.protocol import DEFAULT_SERVE_HOST, decode_line, encode_line
+from repro.check.locks import make_lock, note_write
+from repro.serve.protocol import DEFAULT_SERVE_HOST, ProtocolError, decode_line, encode_line
 from repro.sim.runner import BatchRunner, ExperimentPoint
 
 __all__ = ["SimulationDaemon"]
@@ -39,7 +41,7 @@ class _ServeStats:
     """Thread-safe daemon counters (reported by the ``stats`` op)."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("daemon.stats")
         self.started_at = time.monotonic()
         self.connections = 0
         self.requests = 0
@@ -51,8 +53,9 @@ class _ServeStats:
     def bump(self, field: str, amount: int = 1) -> None:
         with self._lock:
             setattr(self, field, getattr(self, field) + amount)
+            note_write("daemon.stats.counters", self._lock)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         with self._lock:
             return {
                 "connections": self.connections,
@@ -82,14 +85,14 @@ class _Handler(socketserver.StreamRequestHandler):
             daemon.stats.bump("requests")
             try:
                 request = decode_line(raw)
-            except Exception as error:
+            except ProtocolError as error:
                 daemon.stats.bump("errors")
                 self._emit({"event": "error", "error": str(error)})
                 continue
             if not self._dispatch(daemon, request):
                 return
 
-    def _dispatch(self, daemon: "SimulationDaemon", request: dict) -> bool:
+    def _dispatch(self, daemon: SimulationDaemon, request: dict[str, Any]) -> bool:
         """Handle one request; False ends the connection (shutdown)."""
         op = request.get("op")
         if op == "ping":
@@ -107,7 +110,7 @@ class _Handler(socketserver.StreamRequestHandler):
             self._emit({"event": "error", "error": f"unknown op {op!r}"})
         return True
 
-    def _handle_run(self, daemon: "SimulationDaemon", request: dict) -> None:
+    def _handle_run(self, daemon: SimulationDaemon, request: dict[str, Any]) -> None:
         start = time.perf_counter()
         try:
             point = ExperimentPoint.from_dict(request["point"])
@@ -123,6 +126,7 @@ class _Handler(socketserver.StreamRequestHandler):
 
         try:
             result, status = daemon.runner.run_point(point, on_status=accepted)
+        # repro: allow-broad-except(any simulation failure becomes an error event; daemon stays up)
         except Exception as error:
             daemon.stats.bump("errors")
             daemon.log(f"error     {point.label}: {error}")
@@ -142,12 +146,11 @@ class _Handler(socketserver.StreamRequestHandler):
             }
         )
 
-    def _emit(self, payload: dict) -> None:
-        try:
+    def _emit(self, payload: dict[str, Any]) -> None:
+        with contextlib.suppress(BrokenPipeError, ConnectionResetError, ValueError):
+            # Client went away; the simulation result is stored anyway.
             self.wfile.write(encode_line(payload))
             self.wfile.flush()
-        except (BrokenPipeError, ConnectionResetError, ValueError):
-            pass  # client went away; the simulation result is stored anyway
 
 
 class _Server(socketserver.ThreadingTCPServer):
@@ -177,16 +180,16 @@ class SimulationDaemon:
         self.quiet = quiet
         self._server = _Server((host, port), _Handler)
         self._server.daemon = self  # type: ignore[attr-defined]
-        self._thread: Optional[threading.Thread] = None
-        self._log_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._log_lock = make_lock("daemon.log")
 
     @property
     def host(self) -> str:
-        return self._server.server_address[0]
+        return str(self._server.server_address[0])
 
     @property
     def port(self) -> int:
-        return self._server.server_address[1]
+        return int(self._server.server_address[1])
 
     def log(self, message: str) -> None:
         if not self.quiet:
@@ -201,7 +204,7 @@ class SimulationDaemon:
             self._server.server_close()
             self.runner.close()
 
-    def start(self) -> "SimulationDaemon":
+    def start(self) -> SimulationDaemon:
         """Serve on a background thread; returns self once listening."""
         self._thread = threading.Thread(
             target=self.serve_forever, name="repro-serve", daemon=True
@@ -220,10 +223,10 @@ class SimulationDaemon:
             self._thread.join(timeout=timeout)
             self._thread = None
 
-    def __enter__(self) -> "SimulationDaemon":
+    def __enter__(self) -> SimulationDaemon:
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
     def describe(self) -> str:

@@ -25,15 +25,17 @@ the self-contained mode that produces the committed baseline.
 
 from __future__ import annotations
 
+import contextlib
 import math
 import platform
 import random
 import threading
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any
 
-from repro.serve.protocol import ServeClient
+from repro.serve.protocol import ProtocolError, ServeClient
 from repro.sim.engine import DEFAULT_TRACE_LENGTH
 from repro.sim.runner import ExperimentGrid, ExperimentPoint
 from repro.workloads.generator import DEFAULT_SCALE
@@ -67,21 +69,21 @@ class ServeWorkload:
     repeats, so each run has a full cold phase followed by warm passes).
     """
 
-    points: tuple = ()
+    points: tuple[ExperimentPoint, ...] = ()
     seed: int = 0
     think_ms: float = 0.0
 
     @classmethod
     def mixed(
         cls,
-        workloads: tuple,
-        designs: tuple,
+        workloads: tuple[str, ...],
+        designs: tuple[str, ...],
         *,
         num_records: int = DEFAULT_LOADGEN_RECORDS,
         scale: int = DEFAULT_SCALE,
         seed: int = 0,
         think_ms: float = 0.0,
-    ) -> "ServeWorkload":
+    ) -> ServeWorkload:
         """The standard mix: the (workloads x designs) grid at one length."""
         grid = ExperimentGrid(
             workloads=workloads,
@@ -121,12 +123,12 @@ class _ClientEngine:
     client_id: int
     host: str
     port: int
-    requests: list
+    requests: list[ExperimentPoint]
     think_s: float
     barrier: threading.Barrier
     connect_timeout: float
-    records: list = field(default_factory=list)
-    errors: list = field(default_factory=list)
+    records: list[_RequestRecord] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
 
     def run(self) -> None:
         try:
@@ -151,12 +153,11 @@ class _ClientEngine:
                     )
                     if self.think_s > 0:
                         time.sleep(self.think_s)
-        except Exception as error:  # any failure is a loadgen error, not a crash
+        # repro: allow-broad-except(any client failure is a recorded loadgen error, not a crash)
+        except Exception as error:
             self.errors.append(f"client {self.client_id}: {error}")
-            try:
+            with contextlib.suppress(threading.BrokenBarrierError):
                 self.barrier.abort()
-            except threading.BrokenBarrierError:
-                pass
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -167,7 +168,7 @@ def _percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[rank - 1]
 
 
-def _latency_summary(latencies_ms: list[float]) -> dict:
+def _latency_summary(latencies_ms: list[float]) -> dict[str, float]:
     ordered = sorted(latencies_ms)
     return {
         "count": len(ordered),
@@ -187,8 +188,8 @@ def run_loadgen(
     clients: int = DEFAULT_CLIENTS,
     num_requests: int = DEFAULT_REQUESTS,
     connect_timeout: float = 10.0,
-    progress: Optional[Callable[[str], None]] = None,
-) -> dict:
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
     """Drive a running daemon closed-loop; return the JSON-ready payload.
 
     ``num_requests`` is the total across all clients, split as evenly as
@@ -246,7 +247,7 @@ def run_loadgen(
     try:
         with ServeClient(host, port, connect_timeout=connect_timeout) as client:
             daemon_stats = client.stats()
-    except Exception as error:
+    except (ProtocolError, OSError) as error:
         errors.append(f"stats: {error}")
 
     all_latencies = [record.latency_ms for record in records]
@@ -284,8 +285,8 @@ def run_loadgen(
 
 def run_serve_bench(
     *,
-    workloads: tuple = ("mix", "oltp-db2"),
-    designs: tuple = ("P", "R"),
+    workloads: tuple[str, ...] = ("mix", "oltp-db2"),
+    designs: tuple[str, ...] = ("P", "R"),
     clients: int = DEFAULT_CLIENTS,
     num_requests: int = DEFAULT_REQUESTS,
     num_records: int = DEFAULT_LOADGEN_RECORDS,
@@ -293,10 +294,10 @@ def run_serve_bench(
     seed: int = 0,
     think_ms: float = 0.0,
     jobs: int = 1,
-    results_dir: Optional[str] = None,
-    trace_dir: Optional[str] = None,
-    progress: Optional[Callable[[str], None]] = None,
-) -> dict:
+    results_dir: str | None = None,
+    trace_dir: str | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
     """Self-contained serving benchmark: in-process daemon + loadgen.
 
     With ``results_dir=None`` the run uses a throwaway store, so every

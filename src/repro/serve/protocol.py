@@ -47,18 +47,19 @@ op; it is what the load generator and the tests use.
 from __future__ import annotations
 
 import json
-import os
 import socket
 import time
-from typing import Iterator, Optional
+from collections.abc import Iterator
+from typing import Any
 
+from repro import knobs
 from repro.errors import SimulationError
 
 #: Environment variable overriding the daemon's bind/connect host.
-SERVE_HOST_ENV = "RNUCA_SERVE_HOST"
+SERVE_HOST_ENV = knobs.SERVE_HOST.name
 
 #: Environment variable overriding the daemon's port.
-SERVE_PORT_ENV = "RNUCA_SERVE_PORT"
+SERVE_PORT_ENV = knobs.SERVE_PORT.name
 
 #: Default loopback host: the daemon is a *local* service.
 DEFAULT_SERVE_HOST = "127.0.0.1"
@@ -68,25 +69,22 @@ DEFAULT_SERVE_PORT = 7781
 
 
 def default_serve_host() -> str:
-    return os.environ.get(SERVE_HOST_ENV) or DEFAULT_SERVE_HOST
+    return knobs.serve_host()
 
 
 def default_serve_port() -> int:
-    try:
-        return int(os.environ.get(SERVE_PORT_ENV, ""))
-    except ValueError:
-        return DEFAULT_SERVE_PORT
+    return knobs.serve_port()
 
 
-def encode_line(payload: dict) -> bytes:
+def encode_line(payload: dict[str, Any]) -> bytes:
     """One protocol line: compact JSON + newline (the frame delimiter)."""
-    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+    return json.dumps(payload, separators=(",", ":")).encode() + b"\n"
 
 
-def decode_line(line: bytes) -> dict:
+def decode_line(line: bytes) -> dict[str, Any]:
     """Parse one protocol line; raises :class:`ProtocolError` on garbage."""
     try:
-        payload = json.loads(line.decode("utf-8"))
+        payload = json.loads(line.decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
         raise ProtocolError(f"malformed protocol line: {error}") from error
     if not isinstance(payload, dict):
@@ -109,8 +107,8 @@ class ServeClient:
 
     def __init__(
         self,
-        host: Optional[str] = None,
-        port: Optional[int] = None,
+        host: str | None = None,
+        port: int | None = None,
         *,
         connect_timeout: float = 10.0,
     ) -> None:
@@ -141,25 +139,25 @@ class ServeClient:
         finally:
             self._sock.close()
 
-    def __enter__(self) -> "ServeClient":
+    def __enter__(self) -> ServeClient:
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------ #
     # Request helpers
     # ------------------------------------------------------------------ #
-    def _send(self, payload: dict) -> None:
+    def _send(self, payload: dict[str, Any]) -> None:
         self._sock.sendall(encode_line(payload))
 
-    def _read_event(self) -> dict:
+    def _read_event(self) -> dict[str, Any]:
         line = self._reader.readline()
         if not line:
             raise ProtocolError("daemon closed the connection mid-request")
         return decode_line(line)
 
-    def run_events(self, point_dict: dict) -> Iterator[dict]:
+    def run_events(self, point_dict: dict[str, Any]) -> Iterator[dict[str, Any]]:
         """Send a run request; yield every event line up to the final one."""
         self._send({"op": "run", "point": point_dict})
         while True:
@@ -168,12 +166,12 @@ class ServeClient:
             if event.get("event") in ("result", "error"):
                 return
 
-    def run(self, point_dict: dict) -> dict:
+    def run(self, point_dict: dict[str, Any]) -> dict[str, Any]:
         """Send a run request; return the final ``result`` event.
 
         Raises :class:`ProtocolError` when the daemon answers ``error``.
         """
-        final = None
+        final: dict[str, Any] = {}
         for event in self.run_events(point_dict):
             final = event
         if final.get("event") == "error":
@@ -184,12 +182,15 @@ class ServeClient:
         self._send({"op": "ping"})
         return self._read_event().get("event") == "pong"
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         self._send({"op": "stats"})
         event = self._read_event()
         if event.get("event") != "stats":
             raise ProtocolError(f"expected stats event, got {event}")
-        return event["stats"]
+        stats = event["stats"]
+        if not isinstance(stats, dict):
+            raise ProtocolError(f"malformed stats event: {event}")
+        return stats
 
     def shutdown(self) -> bool:
         """Ask the daemon to stop; True when it acknowledged."""

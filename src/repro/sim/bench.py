@@ -32,9 +32,9 @@ import json
 import platform
 import tempfile
 import time
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable, Optional
 
 from repro.cmp.chip import TiledChip
 from repro.cmp.config import SystemConfig
@@ -166,7 +166,7 @@ def run_bench(
     scale: int = DEFAULT_SCALE,
     seed: int = 0,
     repeats: int = DEFAULT_BENCH_REPEATS,
-    progress: Optional[Callable[[str], None]] = None,
+    progress: Callable[[str], None] | None = None,
 ) -> dict:
     """Run the engine benchmark and return the JSON-ready payload."""
     letters = [normalize_design(d) for d in designs]
@@ -196,6 +196,7 @@ def run_bench(
         "baseline": "reference (seed replay path, repro.sim.seed_path)",
         "python": platform.python_version(),
         "platform": platform.platform(),
+        # repro: allow-wall-clock(report timestamp only; never feeds simulation)
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "results": [result.to_dict() for result in results],
     }
@@ -324,7 +325,7 @@ def run_trace_bench(
     scale: int = DEFAULT_SCALE,
     seed: int = 0,
     repeats: int = DEFAULT_BENCH_REPEATS,
-    progress: Optional[Callable[[str], None]] = None,
+    progress: Callable[[str], None] | None = None,
 ) -> dict:
     """Run the trace-pipeline benchmark and return the JSON-ready payload."""
     letters = [normalize_design(d) for d in designs]
@@ -367,6 +368,7 @@ def run_trace_bench(
         "baseline": "static (event-free) replay",
         "python": platform.python_version(),
         "platform": platform.platform(),
+        # repro: allow-wall-clock(report timestamp only; never feeds simulation)
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "generation": generation,
         "persistence": persistence,

@@ -36,12 +36,11 @@ name ``"fixed"``) replays through the unmodified open-loop paths.
 from __future__ import annotations
 
 import gc
-import os
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
+from repro import knobs
 from repro.cmp.chip import TiledChip
 from repro.cmp.config import SystemConfig
 from repro.designs import build_design
@@ -77,7 +76,7 @@ DEFAULT_WARMUP_FRACTION = 0.25
 DEFAULT_NUM_SAMPLES = 8
 
 #: Environment variable selecting the replay engine ("fast" or "reference").
-ENGINE_ENV = "RNUCA_ENGINE"
+ENGINE_ENV = knobs.ENGINE.name
 
 #: Known replay engines.
 ENGINES = ("fast", "reference")
@@ -90,7 +89,7 @@ def default_engine() -> str:
     unknown engines, so a typo in the environment variable fails loudly
     instead of silently running the fast path.
     """
-    return os.environ.get(ENGINE_ENV, "fast")
+    return knobs.engine()
 
 
 def warm_page_tables(design: CacheDesign, trace: Trace) -> int:
@@ -127,7 +126,7 @@ def warm_page_tables(design: CacheDesign, trace: Trace) -> int:
         )
         owners = pairs[1][first_index]
         for page, count, owner in zip(
-            data_pages.tolist(), counts.tolist(), owners.tolist()
+            data_pages.tolist(), counts.tolist(), owners.tolist(), strict=True
         ):
             entry = page_table.get_or_create(page)
             if count > 1:
@@ -177,9 +176,9 @@ def warm_page_tables_dynamic(design: CacheDesign, trace: Trace) -> int:
         data_pages, thread_counts = np.unique(pairs[0], return_counts=True)
         first_pages, first_index = np.unique(d_pages, return_index=True)
         owner_by_page = dict(
-            zip(first_pages.tolist(), d_cores[first_index].tolist())
+            zip(first_pages.tolist(), d_cores[first_index].tolist(), strict=True)
         )
-        for page, count in zip(data_pages.tolist(), thread_counts.tolist()):
+        for page, count in zip(data_pages.tolist(), thread_counts.tolist(), strict=True):
             entry = page_table.get_or_create(page)
             if count > 1 and page not in onset_pages:
                 entry.mark_shared()
@@ -239,7 +238,7 @@ class SimulationResult:
     design: str
     design_letter: str
     stats: SimulationStats
-    cpi_confidence: Optional[ConfidenceInterval] = None
+    cpi_confidence: ConfidenceInterval | None = None
     metadata: dict = field(default_factory=dict)
 
     @property
@@ -316,7 +315,7 @@ class TraceSimulator:
         warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
         num_samples: int = DEFAULT_NUM_SAMPLES,
         warm_os_state: bool = True,
-        engine: Optional[str] = None,
+        engine: str | None = None,
         scheduler: "AdaptiveScheduler | str | None" = None,
     ) -> None:
         if not 0.0 <= warmup_fraction < 1.0:
@@ -336,7 +335,7 @@ class TraceSimulator:
         #: ``None`` means "fixed": replay exactly what the trace prescribes.
         self.scheduler = scheduler
 
-    def run(self, trace: Trace, *, engine: Optional[str] = None) -> SimulationResult:
+    def run(self, trace: Trace, *, engine: str | None = None) -> SimulationResult:
         """Replay the trace and return the measured result."""
         mode = engine if engine is not None else self.engine
         if mode not in ENGINES:
@@ -924,7 +923,7 @@ class TraceSimulator:
         return total, sample_cpis
 
 
-def resolve_workload(workload) -> tuple[WorkloadSpec, Optional["DynamicWorkloadSpec"]]:
+def resolve_workload(workload) -> tuple[WorkloadSpec, "DynamicWorkloadSpec" | None]:
     """Resolve a workload argument to ``(base spec, dynamic spec or None)``.
 
     Accepts a static :class:`WorkloadSpec`, a
@@ -947,13 +946,13 @@ def _resolve_spec(workload: str | WorkloadSpec) -> WorkloadSpec:
 
 def generate_workload_trace(
     spec: WorkloadSpec,
-    dyn: Optional[DynamicWorkloadSpec],
+    dyn: DynamicWorkloadSpec | None,
     config: SystemConfig,
     num_records: int,
     *,
     seed: int = 0,
     scale: float = DEFAULT_SCALE,
-    store: Optional[TraceStore] = None,
+    store: TraceStore | None = None,
 ) -> Trace:
     """Build the trace for a resolved workload (dynamic when ``dyn`` is set).
 
@@ -994,10 +993,10 @@ def simulate_workload(
     num_records: int = DEFAULT_TRACE_LENGTH,
     scale: int = DEFAULT_SCALE,
     seed: int = 0,
-    config: Optional[SystemConfig] = None,
+    config: SystemConfig | None = None,
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
-    trace: Optional[Trace] = None,
-    engine: Optional[str] = None,
+    trace: Trace | None = None,
+    engine: str | None = None,
     scheduler: "AdaptiveScheduler | str | None" = None,
     **design_kwargs,
 ) -> SimulationResult:
@@ -1050,8 +1049,8 @@ def simulate_best_asr(
     num_records: int = DEFAULT_TRACE_LENGTH,
     scale: int = DEFAULT_SCALE,
     seed: int = 0,
-    config: Optional[SystemConfig] = None,
-    trace: Optional[Trace] = None,
+    config: SystemConfig | None = None,
+    trace: Trace | None = None,
     include_adaptive: bool = True,
     scheduler: "AdaptiveScheduler | str | None" = None,
 ) -> SimulationResult:
@@ -1067,10 +1066,10 @@ def simulate_best_asr(
         trace = generate_workload_trace(
             spec, dyn, config, num_records, seed=seed, scale=scale
         )
-    probabilities: list[Optional[float]] = [0.0, 0.25, 0.5, 0.75, 1.0]
+    probabilities: list[float | None] = [0.0, 0.25, 0.5, 0.75, 1.0]
     if include_adaptive:
         probabilities.insert(0, None)
-    best: Optional[SimulationResult] = None
+    best: SimulationResult | None = None
     for probability in probabilities:
         kwargs = {} if probability is None else {"allocation_probability": probability}
         result = simulate_workload(

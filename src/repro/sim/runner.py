@@ -53,12 +53,15 @@ import json
 import os
 import tempfile
 import threading
+from collections.abc import Callable, Iterable, Iterator
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Optional
+from typing import Any
 
+from repro import knobs
+from repro.check.locks import TrackedLock, make_lock, note_write
 from repro.cmp.config import SystemConfig
 from repro.designs import normalize_design
 from repro.dynamics.adaptive import SCHEDULERS
@@ -72,10 +75,11 @@ from repro.sim.engine import (
     simulate_workload,
 )
 from repro.workloads.generator import DEFAULT_SCALE
-from repro.workloads.store import TRACE_DIR_ENV, TraceStore
+from repro.workloads.store import TraceStore
+from repro.workloads.trace import Trace
 
 #: Environment variable read for the default worker count.
-JOBS_ENV = "RNUCA_JOBS"
+JOBS_ENV = knobs.JOBS.name
 
 #: Default directory for the JSON result store.
 DEFAULT_RESULTS_DIR = "results"
@@ -89,20 +93,17 @@ _SCHEDULER_PARAM = "scheduler"
 
 def default_jobs() -> int:
     """Worker count from ``RNUCA_JOBS``, defaulting to serial execution."""
-    try:
-        return max(1, int(os.environ.get(JOBS_ENV, "1")))
-    except ValueError:
-        return 1
+    return knobs.jobs()
 
 
-def default_trace_store() -> Optional[TraceStore]:
+def default_trace_store() -> TraceStore | None:
     """Trace store from ``RNUCA_TRACE_DIR``, or ``None`` when unset.
 
     Library callers opt in through the environment (or an explicit
     ``trace_store=``); the CLI always attaches a store (see
     :func:`repro.cli.cmd_run`), defaulting to ``traces/``.
     """
-    directory = os.environ.get(TRACE_DIR_ENV)
+    directory = knobs.trace_dir()
     return TraceStore(directory) if directory else None
 
 
@@ -120,7 +121,7 @@ class ExperimentPoint:
     num_records: int = DEFAULT_TRACE_LENGTH
     scale: int = DEFAULT_SCALE
     seed: int = 0
-    params: tuple = ()
+    params: tuple[tuple[str, Any], ...] = ()
 
     @classmethod
     def make(
@@ -131,8 +132,8 @@ class ExperimentPoint:
         num_records: int = DEFAULT_TRACE_LENGTH,
         scale: int = DEFAULT_SCALE,
         seed: int = 0,
-        params: Optional[dict] = None,
-    ) -> "ExperimentPoint":
+        params: dict[str, Any] | None = None,
+    ) -> ExperimentPoint:
         return cls(
             workload=workload,
             design=normalize_design(design),
@@ -143,7 +144,7 @@ class ExperimentPoint:
         )
 
     @property
-    def param_dict(self) -> dict:
+    def param_dict(self) -> dict[str, Any]:
         return dict(self.params)
 
     @property
@@ -152,7 +153,7 @@ class ExperimentPoint:
         suffix = ",".join(f"{k}={v}" for k, v in self.params)
         return f"{self.workload}/{self.design}" + (f"[{suffix}]" if suffix else "")
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "workload": self.workload,
             "design": self.design,
@@ -163,7 +164,7 @@ class ExperimentPoint:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ExperimentPoint":
+    def from_dict(cls, data: dict[str, Any]) -> ExperimentPoint:
         return cls.make(
             data["workload"],
             data["design"],
@@ -177,7 +178,7 @@ class ExperimentPoint:
     def content_hash(self) -> str:
         """SHA-256 of the canonical JSON form; the result-store cache key."""
         canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+        return hashlib.sha256(canonical.encode()).hexdigest()[:24]
 
 
 @dataclass
@@ -195,14 +196,14 @@ class ExperimentGrid:
     parameter.
     """
 
-    workloads: tuple = ()
-    designs: tuple = ()
+    workloads: tuple[str, ...] = ()
+    designs: tuple[str, ...] = ()
     num_records: int = DEFAULT_TRACE_LENGTH
     scale: int = DEFAULT_SCALE
     seed: int = 0
-    overrides: tuple = ({},)
-    cluster_sizes: tuple = ()
-    schedulers: tuple = ()
+    overrides: tuple[dict[str, Any], ...] = ({},)
+    cluster_sizes: tuple[int, ...] = ()
+    schedulers: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         self.workloads = tuple(self.workloads)
@@ -217,7 +218,7 @@ class ExperimentGrid:
                     f"unknown scheduler {name!r}; known schedulers: {known}"
                 )
 
-    def _scheduler_params(self) -> list[dict]:
+    def _scheduler_params(self) -> list[dict[str, Any]]:
         """One params fragment per scheduler ("fixed" contributes none)."""
         if not self.schedulers:
             return [{}]
@@ -228,7 +229,7 @@ class ExperimentGrid:
 
     def points(self) -> list[ExperimentPoint]:
         """Enumerate the grid, seeds fixed at enumeration time."""
-        points = []
+        points: list[ExperimentPoint] = []
         scheduler_params = self._scheduler_params()
         for workload in self.workloads:
             for design in self.designs:
@@ -272,10 +273,10 @@ class ExperimentGrid:
 #: The trace store this process consults inside :func:`execute_point`.
 #: Installed by :func:`set_process_trace_store` — the pool initializer in
 #: worker processes, and :meth:`BatchRunner.run` in the parent.
-_PROCESS_TRACE_STORE: Optional[TraceStore] = None
+_PROCESS_TRACE_STORE: TraceStore | None = None
 
 
-def set_process_trace_store(directory: Optional[str]) -> None:
+def set_process_trace_store(directory: str | None) -> None:
     """Install (or clear) this process's trace store.
 
     Doubles as the :class:`~concurrent.futures.ProcessPoolExecutor`
@@ -298,7 +299,7 @@ def _ensure_process_trace_store(directory: str) -> None:
 
 
 @lru_cache(maxsize=4)
-def _trace_for(workload: str, num_records: int, scale: int, seed: int):
+def _trace_for(workload: str, num_records: int, scale: int, seed: int) -> Trace:
     """Per-process trace cache so one workload's grid points share a trace.
 
     Generation is seeded and deterministic, so sharing is purely a speed-up:
@@ -396,7 +397,7 @@ class ResultStore:
     def path_for(self, point: ExperimentPoint) -> Path:
         return self.directory / f"{point.content_hash}.json"
 
-    def get(self, point: ExperimentPoint) -> Optional[SimulationResult]:
+    def get(self, point: ExperimentPoint) -> SimulationResult | None:
         """Return the cached result for ``point``, or ``None`` on a miss."""
         path = self.path_for(point)
         if not path.exists():
@@ -447,7 +448,7 @@ class ResultStore:
         self,
     ) -> tuple[list[tuple[ExperimentPoint, SimulationResult]], list[Path]]:
         """Like :meth:`load_all`, plus the corrupt/unreadable files skipped."""
-        pairs = []
+        pairs: list[tuple[ExperimentPoint, SimulationResult]] = []
         skipped: list[Path] = []
         if not self.directory.is_dir():
             return pairs, skipped
@@ -468,8 +469,8 @@ class ResultStore:
 class BatchResult:
     """What one :meth:`BatchRunner.run` call produced."""
 
-    points: list = field(default_factory=list)
-    results: dict = field(default_factory=dict)  # content_hash -> SimulationResult
+    points: list[ExperimentPoint] = field(default_factory=list)
+    results: dict[str, SimulationResult] = field(default_factory=dict)
     cache_hits: int = 0
     executed: int = 0
 
@@ -491,8 +492,8 @@ class _InFlight:
 
     def __init__(self) -> None:
         self.event = threading.Event()
-        self.result: Optional[SimulationResult] = None
-        self.error: Optional[BaseException] = None
+        self.result: SimulationResult | None = None
+        self.error: BaseException | None = None
 
 
 class BatchRunner:
@@ -514,11 +515,11 @@ class BatchRunner:
 
     def __init__(
         self,
-        store: Optional[ResultStore] = None,
+        store: ResultStore | None = None,
         *,
-        jobs: Optional[int] = None,
-        progress: Optional[Callable[[str], None]] = None,
-        trace_store: Optional[TraceStore] = None,
+        jobs: int | None = None,
+        progress: Callable[[str], None] | None = None,
+        trace_store: TraceStore | None = None,
     ) -> None:
         self.store = store
         self.jobs = jobs if jobs is not None else default_jobs()
@@ -527,10 +528,13 @@ class BatchRunner:
         self.progress = progress or (lambda message: None)
         self.trace_store = trace_store if trace_store is not None else default_trace_store()
         self._inflight: dict[str, _InFlight] = {}
-        self._inflight_lock = threading.Lock()
-        self._trace_lock = threading.Lock()
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._pool_lock = threading.Lock()
+        # Tracked locks (repro.check.locks): under RNUCA_CHECK_LOCKS=1 the
+        # test suite records their acquisition order and fails on
+        # inversions or writes to _inflight made outside _inflight_lock.
+        self._inflight_lock: TrackedLock = make_lock("runner.inflight")
+        self._trace_lock: TrackedLock = make_lock("runner.traces")
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock: TrackedLock = make_lock("runner.pool")
 
     # ------------------------------------------------------------------ #
     # Long-lived (serve) execution: warm pool + in-flight dedupe
@@ -556,10 +560,10 @@ class BatchRunner:
                 self._pool.shutdown()
                 self._pool = None
 
-    def __enter__(self) -> "BatchRunner":
+    def __enter__(self) -> BatchRunner:
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def _execute_one(self, point: ExperimentPoint) -> SimulationResult:
@@ -574,7 +578,7 @@ class BatchRunner:
         self,
         point: ExperimentPoint,
         *,
-        on_status: Optional[Callable[[str], None]] = None,
+        on_status: Callable[[str], None] | None = None,
     ) -> tuple[SimulationResult, str]:
         """Execute (or fetch, or join) one point; thread-safe.
 
@@ -600,17 +604,21 @@ class BatchRunner:
             return cached, "cached"
         key = point.content_hash
         with self._inflight_lock:
-            entry = self._inflight.get(key)
-            owner = entry is None
-            if owner:
+            joined = self._inflight.get(key)
+            if joined is None:
                 entry = _InFlight()
                 self._inflight[key] = entry
-        if not owner:
+                note_write("BatchRunner._inflight", self._inflight_lock)
+        if joined is not None:
             notify("joined")
-            entry.event.wait()
-            if entry.error is not None:
-                raise entry.error
-            return entry.result, "deduped"
+            joined.event.wait()
+            if joined.error is not None:
+                raise joined.error
+            if joined.result is None:  # owner invariant: result precedes wake
+                raise SimulationError(
+                    f"in-flight simulation of {point.label} finished without a result"
+                )
+            return joined.result, "deduped"
         notify("executing")
         try:
             # Double-check the store: the point may have landed between the
@@ -630,6 +638,7 @@ class BatchRunner:
                 self.store.put(point, result)
             entry.result = result
             return result, "executed"
+        # repro: allow-broad-except(recorded for joiners, then re-raised)
         except BaseException as error:
             entry.error = error
             raise
@@ -638,6 +647,7 @@ class BatchRunner:
             # wake must start fresh (and will hit the store).
             with self._inflight_lock:
                 self._inflight.pop(key, None)
+                note_write("BatchRunner._inflight", self._inflight_lock)
             entry.event.set()
 
     def run(self, points: Iterable[ExperimentPoint]) -> BatchResult:
@@ -674,7 +684,7 @@ class BatchRunner:
         memory-maps the stored file, so the columns live once in the page
         cache no matter how many processes replay them.
         """
-        done: set[tuple] = set()
+        done: set[tuple[str, int, int, int]] = set()
         for point in missing:
             signature = (point.workload, point.num_records, point.scale, point.seed)
             if signature in done:
@@ -715,16 +725,16 @@ class BatchRunner:
         with ProcessPoolExecutor(
             max_workers=workers, initializer=initializer, initargs=initargs
         ) as pool:
-            yield from zip(missing, pool.map(execute_point, missing))
+            yield from zip(missing, pool.map(execute_point, missing), strict=True)
 
 
 def run_grid(
     grid: ExperimentGrid,
     *,
-    store: Optional[ResultStore] = None,
-    jobs: Optional[int] = None,
-    progress: Optional[Callable[[str], None]] = None,
-    trace_store: Optional[TraceStore] = None,
+    store: ResultStore | None = None,
+    jobs: int | None = None,
+    progress: Callable[[str], None] | None = None,
+    trace_store: TraceStore | None = None,
 ) -> BatchResult:
     """Convenience wrapper: run every point of ``grid`` through a runner."""
     return BatchRunner(

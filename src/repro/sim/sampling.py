@@ -9,8 +9,8 @@ a normal-approximation 95% confidence interval is reported.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.errors import SimulationError
 

@@ -26,7 +26,6 @@ divergence).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.cache.block import AccessType, CoherenceState
 from repro.designs.asr import AsrDesign
@@ -60,7 +59,7 @@ class SeedL2Access:
     byte_address: int
     access_type: AccessType
     thread_id: int = 0
-    true_class: Optional[str] = None
+    true_class: str | None = None
 
     @property
     def is_instruction(self) -> bool:
@@ -88,7 +87,7 @@ class SeedAccessOutcome:
     target_slice: int = 0
     offchip: bool = False
     coherence: bool = False
-    page_class: Optional[PageClass] = None
+    page_class: PageClass | None = None
 
     @property
     def latency(self) -> float:

@@ -32,19 +32,27 @@ process pre-materialises traces and workers attach read-only.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import re
+from collections.abc import Callable
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Callable, Optional
+from typing import TYPE_CHECKING
 
+from repro import knobs
 from repro.errors import TraceError
 from repro.workloads.trace import Trace
 
+if TYPE_CHECKING:
+    from repro.cmp.config import SystemConfig
+    from repro.dynamics.spec import DynamicWorkloadSpec
+    from repro.workloads.spec import WorkloadSpec
+
 #: Environment variable selecting the trace-store directory.
-TRACE_DIR_ENV = "RNUCA_TRACE_DIR"
+TRACE_DIR_ENV = knobs.TRACE_DIR.name
 
 #: Default directory for the binary trace cache.
 DEFAULT_TRACE_DIR = "traces"
@@ -54,7 +62,11 @@ DEFAULT_TRACE_DIR = "traces"
 GENERATION_LOG = "generated.log"
 
 
-def spec_fingerprint(spec, dyn=None, config=None) -> str:
+def spec_fingerprint(
+    spec: WorkloadSpec,
+    dyn: DynamicWorkloadSpec | None = None,
+    config: SystemConfig | None = None,
+) -> str:
     """Digest of everything trace generation consumes.
 
     All three arguments are (frozen) dataclasses; ``dataclasses.asdict``
@@ -67,13 +79,13 @@ def spec_fingerprint(spec, dyn=None, config=None) -> str:
     count: two traces for the same workload on different machines are
     different artifacts.
     """
-    payload = {"spec": asdict(spec)}
+    payload: dict[str, object] = {"spec": asdict(spec)}
     if dyn is not None:
         payload["dynamic"] = asdict(dyn)
     if config is not None:
         payload["config"] = asdict(config)
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -94,10 +106,10 @@ class TraceKey:
         num_records: int,
         scale: float,
         seed: int,
-        spec,
-        dyn=None,
-        config=None,
-    ) -> "TraceKey":
+        spec: WorkloadSpec,
+        dyn: DynamicWorkloadSpec | None = None,
+        config: SystemConfig | None = None,
+    ) -> TraceKey:
         return cls(
             workload=workload,
             num_records=int(num_records),
@@ -106,7 +118,7 @@ class TraceKey:
             spec_hash=spec_fingerprint(spec, dyn, config),
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {
             "workload": self.workload,
             "num_records": self.num_records,
@@ -118,7 +130,7 @@ class TraceKey:
     @property
     def content_hash(self) -> str:
         canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+        return hashlib.sha256(canonical.encode()).hexdigest()[:20]
 
     @property
     def filename(self) -> str:
@@ -135,14 +147,14 @@ class TraceStore:
         self.directory = Path(directory)
 
     @classmethod
-    def from_env(cls) -> "TraceStore":
+    def from_env(cls) -> TraceStore:
         """Store at ``RNUCA_TRACE_DIR``, defaulting to ``traces/``."""
-        return cls(os.environ.get(TRACE_DIR_ENV) or DEFAULT_TRACE_DIR)
+        return cls(knobs.trace_dir() or DEFAULT_TRACE_DIR)
 
     def path_for(self, key: TraceKey) -> Path:
         return self.directory / key.filename
 
-    def get(self, key: TraceKey, *, mmap: bool = True) -> Optional[Trace]:
+    def get(self, key: TraceKey, *, mmap: bool = True) -> Trace | None:
         """The stored trace for ``key`` (memory-mapped), or ``None``.
 
         A corrupt or truncated file — a crashed writer, a damaged cache —
@@ -158,10 +170,9 @@ class TraceStore:
             trace = Trace.load(path, mmap=mmap)
         except (TraceError, OSError):
             return None
-        try:
+        with contextlib.suppress(OSError):
+            # Read-only store: recency tracking degrades, reads still work.
             os.utime(path)
-        except OSError:
-            pass  # read-only store: recency tracking degrades, reads still work
         return trace
 
     def put(self, key: TraceKey, trace: Trace) -> Path:
@@ -216,7 +227,7 @@ class TraceStore:
         """
         if not self.directory.is_dir():
             return []
-        rows = []
+        rows: list[tuple[Path, int, float]] = []
         for path in self.directory.glob("*.npz"):
             try:
                 stat = path.stat()
@@ -250,10 +261,9 @@ class TraceStore:
             if total <= max_bytes:
                 break
             if not dry_run:
-                try:
+                with contextlib.suppress(FileNotFoundError):
+                    # A concurrent sweep may get there first; same outcome.
                     path.unlink()
-                except FileNotFoundError:
-                    pass  # a concurrent sweep got there first; same outcome
             total -= size
             evicted.append(path)
         return evicted

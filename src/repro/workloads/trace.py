@@ -33,9 +33,10 @@ from __future__ import annotations
 
 import json
 import zipfile
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Iterable, Iterator, NamedTuple, Optional, Sequence
+from typing import NamedTuple
 
 import numpy as np
 
@@ -156,6 +157,7 @@ class TraceEvents:
                 self.kind.tolist(),
                 self.arg0.tolist(),
                 self.arg1.tolist(),
+                strict=True,
             )
         )
 
@@ -212,7 +214,7 @@ class TraceColumns:
     instructions: np.ndarray  # int64
     thread_id: np.ndarray  # int64, NO_THREAD means "use the core id"
     true_class: np.ndarray  # int16 codes into class_table
-    class_table: tuple[Optional[str], ...]
+    class_table: tuple[str | None, ...]
 
     def __len__(self) -> int:
         return int(self.core.shape[0])
@@ -250,11 +252,11 @@ class HotColumns(NamedTuple):
     address: list[int]
     instructions: list[int]
     thread: list[int]
-    true_class: list[Optional[str]]
+    true_class: list[str | None]
     coarse_class: list[str]
 
 
-def _coarse_label(access_code: int, true_class: Optional[str]) -> str:
+def _coarse_label(access_code: int, true_class: str | None) -> str:
     if access_code == INSTRUCTION_CODE or true_class == "instruction":
         return "instruction"
     if true_class is None:
@@ -273,8 +275,8 @@ def _int64_column(values: list[int], what: str) -> np.ndarray:
 
 
 def _columns_from_records(records: Sequence[TraceRecord]) -> TraceColumns:
-    class_codes: dict[Optional[str], int] = {None: 0}
-    table: list[Optional[str]] = [None]
+    class_codes: dict[str | None, int] = {None: 0}
+    table: list[str | None] = [None]
     cores: list[int] = []
     kinds: list[int] = []
     addresses: list[int] = []
@@ -429,6 +431,7 @@ class Trace:
                     cols.instructions.tolist(),
                     cols.thread_id.tolist(),
                     cols.true_class.tolist(),
+                    strict=True,
                 )
             ]
         return self._records
@@ -472,6 +475,7 @@ class Trace:
                 cols.instructions[mask].tolist(),
                 cols.thread_id[mask].tolist(),
                 cols.true_class[mask].tolist(),
+                strict=True,
             )
         ]
 
@@ -485,7 +489,7 @@ class Trace:
         )
         mix = {
             (name if name is not None else "unknown"): int(count) / total
-            for name, count in zip(self.columns.class_table, counts.tolist())
+            for name, count in zip(self.columns.class_table, counts.tolist(), strict=True)
             if count
         }
         return dict(sorted(mix.items()))
@@ -550,6 +554,7 @@ class Trace:
                     hot.coarse_class,
                     self.block_numbers(block_size),
                     self.page_numbers(page_size),
+                    strict=True,
                 )
             )
             self._hot_rows[(block_size, page_size)] = rows
@@ -604,7 +609,7 @@ class Trace:
             "metadata": self.metadata,
             "class_table": list(cols.class_table),
         }
-        header_bytes = json.dumps(header, default=_json_scalar).encode("utf-8")
+        header_bytes = json.dumps(header, default=_json_scalar).encode()
         arrays = {
             "core": np.ascontiguousarray(cols.core, dtype=np.int64),
             "access_type": np.ascontiguousarray(cols.access_type, dtype=np.int8),
@@ -662,7 +667,7 @@ class Trace:
             except (OSError, ValueError, zipfile.BadZipFile) as error:
                 raise TraceError(f"corrupt binary trace {path}: {error}") from error
         try:
-            header = json.loads(bytes(arrays["header"]).decode("utf-8"))
+            header = json.loads(bytes(arrays["header"]).decode())
             columns = TraceColumns(
                 class_table=tuple(header["class_table"]),
                 **{
@@ -706,7 +711,7 @@ def _typed_column(array: np.ndarray, dtype, name: str) -> np.ndarray:
     return array
 
 
-def _mmap_npz_members(path: Path) -> Optional[dict[str, np.ndarray]]:
+def _mmap_npz_members(path: Path) -> dict[str, np.ndarray] | None:
     """Memory-map every ``.npy`` member of an uncompressed ``.npz`` archive.
 
     ``np.load(..., mmap_mode="r")`` silently ignores ``mmap_mode`` for zip

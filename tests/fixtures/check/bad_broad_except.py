@@ -1,0 +1,10 @@
+"""Bad: a catch-all with no suppression marker (no-broad-except)."""
+
+from collections.abc import Callable
+
+
+def swallow(action: Callable[[], None]) -> None:
+    try:
+        action()
+    except Exception:
+        return

@@ -1,0 +1,7 @@
+"""Bad: raw environment access (knobs-env-registry)."""
+
+import os
+
+
+def jobs() -> int:
+    return int(os.environ.get("RNUCA_JOBS", "1"))

@@ -1,0 +1,24 @@
+"""Bad: ``extra`` never reaches to_dict()/content_hash (hash-coverage).
+
+The regression this pins: a content-addressed dataclass gains a field,
+``to_dict`` is not updated, and two distinct configurations silently
+share one cache entry.
+"""
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Key:
+    workload: str
+    seed: int
+    extra: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {"workload": self.workload, "seed": self.seed}
+
+    def content_hash(self) -> str:
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()

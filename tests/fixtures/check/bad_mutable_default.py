@@ -1,0 +1,6 @@
+"""Bad: a shared mutable default argument (no-mutable-default)."""
+
+
+def collect(item: int, into: list[int] = []) -> list[int]:
+    into.append(item)
+    return into

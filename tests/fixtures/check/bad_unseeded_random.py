@@ -1,0 +1,7 @@
+"""Bad: draws from the global RNG (determinism-unseeded-random)."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()

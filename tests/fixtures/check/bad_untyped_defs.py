@@ -1,0 +1,5 @@
+"""Bad: missing parameter and return annotations (typed-defs)."""
+
+
+def scale(value, factor=2):
+    return value * factor

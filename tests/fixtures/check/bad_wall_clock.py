@@ -1,0 +1,7 @@
+"""Bad: reads the wall clock (determinism-wall-clock)."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,12 @@
+"""Good: duration clocks are legal; a wall-clock read carries a marker."""
+
+import time
+
+
+def elapsed(start: float) -> float:
+    return time.perf_counter() - start
+
+
+def report_stamp() -> str:
+    # repro: allow-wall-clock(report metadata only; never feeds simulation)
+    return time.strftime("%Y-%m-%d")

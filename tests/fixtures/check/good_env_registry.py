@@ -1,0 +1,7 @@
+"""Good: environment reads go through the repro.knobs registry."""
+
+from repro import knobs
+
+
+def jobs() -> int:
+    return knobs.jobs()

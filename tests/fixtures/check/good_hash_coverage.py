@@ -1,0 +1,19 @@
+"""Good: every field of the content-addressed dataclass is hashed."""
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Key:
+    workload: str
+    seed: int
+    extra: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {"workload": self.workload, "seed": self.seed, "extra": self.extra}
+
+    def content_hash(self) -> str:
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()

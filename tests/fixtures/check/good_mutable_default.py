@@ -1,0 +1,8 @@
+"""Good: default to None and build the object inside the function."""
+
+
+def collect(item: int, into: list[int] | None = None) -> list[int]:
+    if into is None:
+        into = []
+    into.append(item)
+    return into

@@ -1,0 +1,8 @@
+"""Good: every draw comes from an explicitly seeded generator."""
+
+import random
+
+
+def jitter(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random()

@@ -1,0 +1,5 @@
+"""Good: complete parameter and return annotations."""
+
+
+def scale(value: int, factor: int = 2) -> int:
+    return value * factor

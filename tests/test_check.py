@@ -1,0 +1,201 @@
+"""The ``repro.check`` lint pass: rules, fixtures, markers, CLI exit codes.
+
+The committed snippets under ``tests/fixtures/check/`` are the contract:
+every ``bad_*.py`` file must produce at least one finding for the rule it
+names (and drive ``repro check <file>`` to a non-zero exit), and every
+``good_*.py`` file must be clean under *all* rules — fixtures are checked
+in snippet mode, where scoping does not apply.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.check import RULES, check_paths
+from repro.check.lints import check_source, load_source
+from repro.cli import main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "check"
+
+#: bad fixture -> the rule it must trip.
+BAD_FIXTURES = {
+    "bad_unseeded_random.py": "determinism-unseeded-random",
+    "bad_wall_clock.py": "determinism-wall-clock",
+    "bad_env_read.py": "knobs-env-registry",
+    "bad_broad_except.py": "no-broad-except",
+    "bad_mutable_default.py": "no-mutable-default",
+    "bad_hash_coverage.py": "hash-coverage",
+    "bad_untyped_defs.py": "typed-defs",
+}
+
+GOOD_FIXTURES = (
+    "good_seeded_random.py",
+    "good_duration_clock.py",
+    "good_env_registry.py",
+    "good_broad_except.py",
+    "good_mutable_default.py",
+    "good_hash_coverage.py",
+    "good_typed_defs.py",
+)
+
+
+def test_fixture_sets_cover_every_rule():
+    """One bad fixture per registered rule; no stale fixture files."""
+    assert set(BAD_FIXTURES.values()) == set(RULES)
+    on_disk = {path.name for path in FIXTURES.glob("*.py")}
+    assert on_disk == set(BAD_FIXTURES) | set(GOOD_FIXTURES)
+
+
+@pytest.mark.parametrize("fixture,rule", sorted(BAD_FIXTURES.items()))
+def test_bad_fixture_trips_its_rule(fixture, rule):
+    findings = check_paths([FIXTURES / fixture])
+    assert findings, f"{fixture} produced no findings"
+    assert {finding.rule for finding in findings} == {rule}
+
+
+@pytest.mark.parametrize("fixture", GOOD_FIXTURES)
+def test_good_fixture_is_clean_under_every_rule(fixture):
+    findings = check_paths([FIXTURES / fixture])
+    assert findings == [], [finding.format() for finding in findings]
+
+
+def test_repo_package_is_clean():
+    """The installed package itself passes every lint (the CI gate)."""
+    findings = check_paths()
+    assert findings == [], "\n".join(finding.format() for finding in findings)
+
+
+# ---------------------------------------------------------------------- #
+# Rule mechanics
+# ---------------------------------------------------------------------- #
+def _check_snippet(tmp_path: Path, text: str) -> list[str]:
+    path = tmp_path / "snippet.py"
+    path.write_text(text)
+    return [finding.rule for finding in check_source(load_source(path))]
+
+
+def test_empty_suppression_reason_does_not_suppress(tmp_path):
+    rules = _check_snippet(
+        tmp_path,
+        "import time\n\n\n"
+        "def stamp() -> float:\n"
+        "    return time.time()  # repro: allow-wall-clock()\n",
+    )
+    assert "determinism-wall-clock" in rules
+
+
+def test_marker_on_preceding_line_suppresses(tmp_path):
+    rules = _check_snippet(
+        tmp_path,
+        "import time\n\n\n"
+        "def stamp() -> float:\n"
+        "    # repro: allow-wall-clock(report metadata only)\n"
+        "    return time.time()\n",
+    )
+    assert rules == []
+
+
+def test_marker_two_lines_up_does_not_suppress(tmp_path):
+    """Markers cover the same line or the one above — never farther."""
+    rules = _check_snippet(
+        tmp_path,
+        "import time\n\n\n"
+        "def stamp() -> float:\n"
+        "    # repro: allow-wall-clock(too far away)\n"
+        "    # an intervening comment breaks the association\n"
+        "    return time.time()\n",
+    )
+    assert "determinism-wall-clock" in rules
+
+
+def test_hash_coverage_accepts_asdict_style(tmp_path):
+    """A non-literal to_dict (asdict) covers every field by construction."""
+    rules = _check_snippet(
+        tmp_path,
+        "import dataclasses\n"
+        "import hashlib\n"
+        "import json\n"
+        "from dataclasses import dataclass\n\n\n"
+        "@dataclass(frozen=True)\n"
+        "class Key:\n"
+        "    workload: str\n"
+        "    extra: str\n\n"
+        "    def to_dict(self) -> dict[str, object]:\n"
+        "        return dataclasses.asdict(self)\n\n"
+        "    def content_hash(self) -> str:\n"
+        "        payload = json.dumps(self.to_dict(), sort_keys=True)\n"
+        "        return hashlib.sha256(payload.encode()).hexdigest()\n",
+    )
+    assert rules == []
+
+
+def test_hash_coverage_regression_new_field_must_be_hashed(tmp_path):
+    """The store regression: a dataclass gains a field, to_dict lags."""
+    covered = (
+        "import hashlib\n"
+        "import json\n"
+        "from dataclasses import dataclass\n\n\n"
+        "@dataclass(frozen=True)\n"
+        "class Key:\n"
+        "    workload: str\n"
+        "{field}"
+        "\n"
+        "    def to_dict(self) -> dict[str, object]:\n"
+        "        return {{'workload': self.workload}}\n\n"
+        "    def content_hash(self) -> str:\n"
+        "        payload = json.dumps(self.to_dict(), sort_keys=True)\n"
+        "        return hashlib.sha256(payload.encode()).hexdigest()\n"
+    )
+    assert _check_snippet(tmp_path, covered.format(field="")) == []
+    rules = _check_snippet(tmp_path, covered.format(field="    scale: int = 1\n"))
+    assert rules == ["hash-coverage"]
+
+
+def test_parse_error_becomes_a_finding(tmp_path):
+    path = tmp_path / "broken.py"
+    path.write_text("def broken(:\n")
+    findings = check_paths([path])
+    assert [finding.rule for finding in findings] == ["parse"]
+
+
+# ---------------------------------------------------------------------- #
+# CLI surface
+# ---------------------------------------------------------------------- #
+def _run_cli(*argv: str) -> tuple[int, str]:
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(list(argv))
+    return code, buffer.getvalue()
+
+
+@pytest.mark.parametrize("fixture", sorted(BAD_FIXTURES))
+def test_cli_exits_nonzero_per_bad_fixture(fixture):
+    code, out = _run_cli("check", "--no-mypy", str(FIXTURES / fixture))
+    assert code == 1
+    assert BAD_FIXTURES[fixture] in out
+
+
+def test_cli_exits_zero_on_clean_paths():
+    code, out = _run_cli(
+        "check", "--no-mypy", *(str(FIXTURES / name) for name in GOOD_FIXTURES)
+    )
+    assert code == 0
+    assert "Lints: clean" in out
+
+
+def test_cli_rules_listing_names_every_rule():
+    code, out = _run_cli("check", "--rules")
+    assert code == 0
+    for name in RULES:
+        assert name in out
+
+
+def test_cli_runs_typing_gate_by_default():
+    """Without --no-mypy the gate line appears (passed or skipped)."""
+    code, out = _run_cli("check", str(FIXTURES / "good_typed_defs.py"))
+    assert code == 0
+    assert "Typing gate [" in out

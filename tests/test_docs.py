@@ -56,14 +56,30 @@ def test_markdown_links_resolve():
     assert result.returncode == 0, result.stderr + result.stdout
 
 
-def test_every_env_knob_in_src_is_documented(cli_md):
-    """grep RNUCA_* over src/ -> every hit must appear in docs/CLI.md."""
+def test_every_registered_knob_is_documented(cli_md):
+    """Every knob in ``repro.knobs.REGISTRY`` must appear in docs/CLI.md."""
+    from repro import knobs
+
+    assert knobs.REGISTRY  # the registry itself must not silently go empty
+    undocumented = {name for name in knobs.REGISTRY if name not in cli_md}
+    assert not undocumented, f"env knobs missing from docs/CLI.md: {sorted(undocumented)}"
+
+
+def test_every_env_knob_in_src_is_registered():
+    """grep RNUCA_* over src/ -> every hit must be a registered knob.
+
+    The registry is the single place environment variables are declared;
+    a name that greps in ``src/`` but is absent from ``REGISTRY`` is a
+    knob read that bypassed :mod:`repro.knobs`.
+    """
+    from repro import knobs
+
     seen = set()
     for path in (REPO_ROOT / "src").rglob("*.py"):
         seen.update(re.findall(r"RNUCA_[A-Z_]+", path.read_text(encoding="utf-8")))
     assert seen  # the grep itself must not silently go empty
-    undocumented = {name for name in seen if name not in cli_md}
-    assert not undocumented, f"env knobs missing from docs/CLI.md: {sorted(undocumented)}"
+    unregistered = seen - set(knobs.REGISTRY)
+    assert not unregistered, f"env vars not in repro.knobs.REGISTRY: {sorted(unregistered)}"
 
 
 @pytest.fixture(scope="module")

@@ -205,7 +205,7 @@ class TestGeneration:
         )
         starts = trace.metadata["phase_starts"] + [len(trace)]
         shares = []
-        for begin, end in zip(starts[:-1], starts[1:]):
+        for begin, end in zip(starts[:-1], starts[1:], strict=True):
             labels = trace.columns.true_class[begin:end]
             # code 3 == shared_rw (class table is None-first).
             shares.append(float((labels == 3).mean()))

@@ -97,7 +97,7 @@ class TestRouting:
     def test_route_steps_are_adjacent(self):
         torus = FoldedTorus2D(4, 4)
         path = dimension_order_route(torus, 0, 10)
-        for a, b in zip(path, path[1:]):
+        for a, b in zip(path, path[1:], strict=False):
             assert b in torus.neighbors(a)
 
     def test_mesh_route_length(self):

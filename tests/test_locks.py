@@ -1,0 +1,226 @@
+"""The runtime lock-order and unguarded-write detector (repro.check.locks).
+
+Every test that *provokes* a violation builds a private
+:class:`LockTracker` and hands it to its :class:`TrackedLock` instances,
+so the deliberate inversions never reach the process-global tracker the
+``RNUCA_CHECK_LOCKS=1`` pytest plugin asserts on.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.check.locks import (
+    LockTracker,
+    TrackedLock,
+    find_inversions,
+    lock_report,
+    make_lock,
+    tracking_enabled,
+    unguarded_writes,
+)
+
+
+def _tracked_pair(tracker: LockTracker) -> tuple[TrackedLock, TrackedLock]:
+    return TrackedLock("A", tracker=tracker), TrackedLock("B", tracker=tracker)
+
+
+def _run_threads(*targets) -> None:
+    threads = [threading.Thread(target=target) for target in targets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+# ---------------------------------------------------------------------- #
+# Lock-order inversions
+# ---------------------------------------------------------------------- #
+def test_opposite_nesting_orders_are_an_inversion():
+    """Thread 1 nests A->B, thread 2 nests B->A: a potential deadlock."""
+    tracker = LockTracker()
+    tracker.enabled = True
+    lock_a, lock_b = _tracked_pair(tracker)
+
+    def a_then_b() -> None:
+        with lock_a, lock_b:
+            pass
+
+    def b_then_a() -> None:
+        with lock_b, lock_a:
+            pass
+
+    # Sequential execution still records both orders: the check is over
+    # the union of observed acquisition orders, not a lucky interleaving.
+    _run_threads(a_then_b)
+    _run_threads(b_then_a)
+
+    violations = tracker.find_inversions()
+    assert len(violations) == 1
+    violation = violations[0]
+    assert violation.cycle == ("A", "B")
+    assert len(violation.witnesses) == 2
+    assert "lock-order inversion" in violation.format()
+    assert "A" in violation.format() and "B" in violation.format()
+
+
+def test_consistent_nesting_is_clean():
+    """Always A->B, across many threads: edges exist but no cycle."""
+    tracker = LockTracker()
+    tracker.enabled = True
+    lock_a, lock_b = _tracked_pair(tracker)
+
+    def a_then_b() -> None:
+        with lock_a, lock_b:
+            pass
+
+    _run_threads(a_then_b, a_then_b, a_then_b)
+    assert ("A", "B") in tracker.edges()
+    assert tracker.find_inversions() == []
+
+
+def test_three_lock_cycle_is_one_violation():
+    """A->B, B->C, C->A collapses to one strongly connected component."""
+    tracker = LockTracker()
+    tracker.enabled = True
+    locks = {name: TrackedLock(name, tracker=tracker) for name in "ABC"}
+
+    for outer, inner in (("A", "B"), ("B", "C"), ("C", "A")):
+        with locks[outer], locks[inner]:
+            pass
+
+    violations = tracker.find_inversions()
+    assert len(violations) == 1
+    assert violations[0].cycle == ("A", "B", "C")
+
+
+def test_reentrant_same_name_does_not_self_edge():
+    """Two locks sharing a name (striped locks) never form a self-cycle."""
+    tracker = LockTracker()
+    tracker.enabled = True
+    first = TrackedLock("stripe", tracker=tracker)
+    second = TrackedLock("stripe", tracker=tracker)
+    with first, second:
+        pass
+    assert tracker.find_inversions() == []
+
+
+def test_disabled_tracker_records_nothing():
+    tracker = LockTracker()
+    lock_a, lock_b = _tracked_pair(tracker)
+    with lock_a, lock_b:
+        pass
+    assert tracker.edges() == {}
+    assert tracker.find_inversions() == []
+
+
+def test_reset_clears_collected_evidence():
+    tracker = LockTracker()
+    tracker.enabled = True
+    lock_a, lock_b = _tracked_pair(tracker)
+    with lock_a, lock_b:
+        pass
+    tracker.on_write("orphan", None)
+    assert tracker.edges() and tracker.writes()
+    tracker.reset()
+    assert tracker.edges() == {}
+    assert tracker.writes() == []
+
+
+# ---------------------------------------------------------------------- #
+# Unguarded writes
+# ---------------------------------------------------------------------- #
+def test_write_with_no_lock_held_is_flagged():
+    tracker = LockTracker()
+    tracker.enabled = True
+    tracker.on_write("store.results", None)
+    (message,) = tracker.writes()
+    assert "store.results" in message
+    assert "no lock held" in message
+
+
+def test_write_under_any_lock_satisfies_unregistered_state():
+    tracker = LockTracker()
+    tracker.enabled = True
+    lock_a, _ = _tracked_pair(tracker)
+    with lock_a:
+        tracker.on_write("store.results", None)
+    assert tracker.writes() == []
+
+
+def test_write_requires_the_specific_registered_guard():
+    """Holding the *wrong* lock is still an unguarded write."""
+    tracker = LockTracker()
+    tracker.enabled = True
+    lock_a, lock_b = _tracked_pair(tracker)
+    tracker.register("runner.inflight", lock_a)
+    with lock_b:
+        tracker.on_write("runner.inflight", None)
+    (message,) = tracker.writes()
+    assert "runner.inflight" in message and "'A'" in message
+    tracker.reset()
+    tracker.register("runner.inflight", lock_a)
+    with lock_a:
+        tracker.on_write("runner.inflight", None)
+    assert tracker.writes() == []
+
+
+def test_explicit_guard_argument_overrides_registry():
+    tracker = LockTracker()
+    tracker.enabled = True
+    lock_a, lock_b = _tracked_pair(tracker)
+    with lock_b:
+        tracker.on_write("daemon.stats", lock_a)
+    (message,) = tracker.writes()
+    assert "daemon.stats" in message
+    with lock_a:
+        tracker.on_write("daemon.stats", lock_a)
+    assert len(tracker.writes()) == 1  # the guarded write added nothing
+
+
+# ---------------------------------------------------------------------- #
+# TrackedLock behaves like threading.Lock
+# ---------------------------------------------------------------------- #
+def test_tracked_lock_api_matches_threading_lock():
+    lock = TrackedLock("api", tracker=LockTracker())
+    assert not lock.locked()
+    assert lock.acquire()
+    assert lock.locked()
+    assert not lock.acquire(blocking=False)
+    lock.release()
+    assert not lock.locked()
+    with lock:
+        assert lock.locked()
+    assert "api" in repr(lock)
+
+
+def test_tracked_lock_provides_mutual_exclusion():
+    lock = TrackedLock("counter", tracker=LockTracker())
+    state = {"value": 0}
+
+    def bump() -> None:
+        for _ in range(500):
+            with lock:
+                state["value"] += 1
+
+    _run_threads(bump, bump, bump, bump)
+    assert state["value"] == 2000
+
+
+# ---------------------------------------------------------------------- #
+# Module-level surface (the global tracker the plugin uses)
+# ---------------------------------------------------------------------- #
+def test_global_surface_is_quiet_by_default():
+    """make_lock locks report to the global tracker, off unless enabled."""
+    from repro import knobs
+
+    # The pytest plugin turns the global tracker on for the whole session
+    # under RNUCA_CHECK_LOCKS=1; otherwise tracking must default to off.
+    assert tracking_enabled() == knobs.check_locks()
+    lock = make_lock("test.module-surface")
+    with lock:
+        pass
+    assert find_inversions() == []
+    assert unguarded_writes() == []
+    report = lock_report()
+    assert set(report) == {"edges", "inversions", "unguarded_writes"}

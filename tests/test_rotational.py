@@ -47,7 +47,7 @@ class TestRidAssignment:
     def test_base_rid_offsets_everything(self):
         base0 = rid_assignment(4, 4, 4, base_rid=0)
         base2 = rid_assignment(4, 4, 4, base_rid=2)
-        assert all((b - a) % 4 == 2 for a, b in zip(base0, base2))
+        assert all((b - a) % 4 == 2 for a, b in zip(base0, base2, strict=True))
 
     def test_rejects_non_power_of_two(self):
         with pytest.raises(ClusterError):

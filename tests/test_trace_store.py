@@ -354,7 +354,7 @@ def test_store_header_is_json(tmp_path, oltp_trace):
         member = archive.read("header.npy")
     # The npy header (an ASCII dict) ends at the first newline; the uint8
     # payload after it is the UTF-8 JSON document.
-    header = json.loads(member[member.index(b"\n") + 1:].decode("utf-8"))
+    header = json.loads(member[member.index(b"\n") + 1:].decode())
     assert header["workload"] == oltp_trace.workload
     assert header["num_cores"] == oltp_trace.num_cores
 
