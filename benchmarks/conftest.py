@@ -26,6 +26,13 @@ Environment knobs:
     produce identical numbers — see tests/test_engine_equivalence.py — so
     this knob exists for cross-checking and for benchmarking the engines
     against each other (``repro bench``).
+
+``RNUCA_EVAL_SCHEDULERS``
+    Comma-separated scheduler axis for the evaluation grid (e.g.
+    ``fixed,greedy``).  Non-``fixed`` names add one extra point per
+    (workload, design) pair, exposed via
+    ``evaluation_suite.scheduler_sweep`` — the figure baselines in
+    ``evaluation_suite.results`` are unchanged.
 """
 
 from __future__ import annotations
@@ -54,8 +61,17 @@ def _result_store():
 
 @pytest.fixture(scope="session")
 def evaluation_suite():
-    """P/A/S/R/I results for the eight primary workloads (Figures 7-10, 12)."""
-    return run_evaluation(num_records=EVAL_RECORDS, store=_result_store())
+    """P/A/S/R/I results for the eight primary workloads (Figures 7-10, 12).
+
+    ``RNUCA_EVAL_SCHEDULERS`` widens the grid with the replay-time
+    scheduler axis; the extra points land in ``suite.scheduler_sweep`` so
+    every figure's baseline numbers are unaffected.
+    """
+    return run_evaluation(
+        num_records=EVAL_RECORDS,
+        schedulers=knobs.eval_schedulers(),
+        store=_result_store(),
+    )
 
 
 @pytest.fixture(scope="session")

@@ -55,6 +55,8 @@ class EvaluationSuite:
 
     results: dict[tuple[str, str], SimulationResult] = field(default_factory=dict)
     cluster_sweep: dict[tuple[str, int], SimulationResult] = field(default_factory=dict)
+    scheduler_sweep: dict[tuple[str, str, str], SimulationResult] = field(default_factory=dict)
+    policy_sweep: dict[tuple[str, str, str], SimulationResult] = field(default_factory=dict)
     workloads: tuple[str, ...] = DEFAULT_WORKLOAD_ORDER
     designs: tuple[str, ...] = DEFAULT_DESIGNS
     num_records: int = DEFAULT_TRACE_LENGTH
@@ -80,7 +82,12 @@ class EvaluationSuite:
 
         Plain grid points land in :attr:`results` keyed (workload, design);
         instruction-cluster-sweep points land in :attr:`cluster_sweep` keyed
-        (workload, requested size).
+        (workload, requested size).  Points carrying a replay-time axis —
+        a non-fixed ``scheduler`` or a non-LRU ``l2_policy`` — land in
+        :attr:`scheduler_sweep` / :attr:`policy_sweep` keyed
+        (workload, design, axis value); the default axis value contributes
+        no parameter, so the baseline point stays in :attr:`results` and
+        sweep entries never shadow it.
         """
         suite = cls(
             workloads=grid.workloads,
@@ -90,8 +97,14 @@ class EvaluationSuite:
         )
         for point, result in batch.items():
             size = point.param_dict.get("instruction_cluster_size")
+            scheduler = point.param_dict.get("scheduler")
+            policy = point.param_dict.get("l2_policy")
             if size is not None:
                 suite.cluster_sweep[(point.workload, size)] = result
+            elif scheduler is not None:
+                suite.scheduler_sweep[(point.workload, point.design, scheduler)] = result
+            elif policy is not None:
+                suite.policy_sweep[(point.workload, point.design, policy)] = result
             else:
                 suite.results[(point.workload, point.design)] = result
         return suite
@@ -109,6 +122,8 @@ def run_evaluation(
     seed: int = 0,
     include_cluster_sweep: bool = False,
     cluster_sizes: Iterable[int] = CLUSTER_SIZES,
+    schedulers: Iterable[str] = (),
+    policies: Iterable[str] = (),
     use_cache: bool = True,
     jobs: int | None = None,
     store: ResultStore | None = None,
@@ -121,12 +136,24 @@ def run_evaluation(
     repeat runs are cache hits.  ``RNUCA_EVAL_RECORDS`` in the environment
     overrides ``num_records`` so that continuous-integration runs can use
     shorter traces.
+
+    ``schedulers`` and ``policies`` add the replay-time axes to the grid:
+    each non-default name (``"greedy"``/``"reinforced"``, or any
+    non-``"lru"`` replacement policy) enumerates one extra point per
+    (workload, design) pair, routed into
+    :attr:`EvaluationSuite.scheduler_sweep` /
+    :attr:`EvaluationSuite.policy_sweep`.
     """
     workloads = tuple(workloads)
     designs = tuple(designs)
     cluster_sizes = tuple(cluster_sizes)
+    schedulers = tuple(schedulers)
+    policies = tuple(policies)
     num_records = _trace_length(num_records)
-    key = (workloads, designs, num_records, scale, seed, include_cluster_sweep, cluster_sizes)
+    key = (
+        workloads, designs, num_records, scale, seed,
+        include_cluster_sweep, cluster_sizes, schedulers, policies,
+    )
     if use_cache and key in _SUITE_CACHE:
         return _SUITE_CACHE[key]
 
@@ -137,6 +164,8 @@ def run_evaluation(
         scale=scale,
         seed=seed,
         cluster_sizes=cluster_sizes if include_cluster_sweep else (),
+        schedulers=schedulers,
+        policies=policies,
     )
     batch = BatchRunner(store=store, jobs=jobs).run(grid.points())
     suite = EvaluationSuite.from_batch(grid, batch)
@@ -155,6 +184,7 @@ def simulate_rnuca_cluster(
     config: SystemConfig | None = None,
     trace=None,
     scheduler=None,
+    **design_kwargs,
 ) -> SimulationResult:
     """Run R-NUCA with a specific instruction-cluster size (Figure 11)."""
     from repro.core.rnuca import RNucaConfig  # local import to avoid a cycle
@@ -174,6 +204,7 @@ def simulate_rnuca_cluster(
         trace=trace,
         scheduler=scheduler,
         rnuca_config=RNucaConfig(instruction_cluster_size=cluster_size),
+        **design_kwargs,
     )
     result.metadata["instruction_cluster_size"] = cluster_size
     return result

@@ -1,0 +1,359 @@
+"""Belady/OPT replacement oracle: make "near-optimal" measurable.
+
+The paper positions R-NUCA as *near-optimal* block placement.  This module
+quantifies the claim on the replacement axis: it replays a workload with an
+offline-optimal (Belady's MIN) L2 replacement policy and reports each
+design's **placement regret** — how much CPI and miss rate an online policy
+leaves on the table versus clairvoyant replacement on the same trace.
+
+Two-pass structure
+------------------
+Pass 1 precomputes, from the columnar trace, the ordered positions at which
+every block address recurs (:class:`_FutureIndex`): a single stable
+``numpy.argsort`` over the block-number column groups all occurrences per
+address with no per-record dict churn.  Pass 2 is an ordinary replay with a
+:class:`BeladyPolicy` installed on every L2 slice; on an eviction it picks
+the resident block whose next use lies farthest in the future (never-used
+blocks first).
+
+Self-clocking
+-------------
+The policy does not see record indices, so it keeps its own clock: every
+probe consumes the probed address's next pending occurrence and advances
+the clock to that trace position.  A probe's own fill (or victim-cache
+swap-in) of the same address must *not* consume a second occurrence — a
+one-shot ``pending`` marker suppresses it.  Designs whose service path
+inserts a record's block without a preceding probe (the shared, R-NUCA and
+ideal designs' remote-L1 forwarding path) consume on such inserts instead
+(``consume_on_insert``); the private and ASR designs always probe first, so
+for them unmatched inserts are replica fills of *other* addresses (ASR's L1
+victims) and must not touch the clock.
+
+Exactness
+---------
+For a single cache array driven probe-then-fill (the property-test setup
+and the shared/ideal designs' home slices) the schedule is Belady's MIN,
+which is offline-optimal for uniform-size demand-fill caches.  For designs
+that replicate a block across multiple arrays (private, ASR) the oracle
+uses next-use-anywhere distances, so it is a strong clairvoyant heuristic
+rather than a per-array optimum; regret numbers for those designs are
+conservative (the true optimum can only be further away).  Victim buffers
+keep their native FIFO order in all cases.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.cache.policies import DEFAULT_POLICY, ReplacementPolicy, normalize_policy
+from repro.cmp.chip import TiledChip
+from repro.cmp.config import SystemConfig
+from repro.designs import build_design, normalize_design
+from repro.designs.base import CacheDesign
+from repro.sim.engine import (
+    DEFAULT_TRACE_LENGTH,
+    DEFAULT_WARMUP_FRACTION,
+    SimulationResult,
+    TraceSimulator,
+    generate_workload_trace,
+    resolve_workload,
+    simulate_workload,
+)
+from repro.sim.latency import CpiModel
+from repro.workloads.generator import DEFAULT_SCALE
+from repro.workloads.trace import Trace
+
+#: Sentinel next-use distance for "never referenced again".
+NEVER = float("inf")
+
+#: Designs whose service path inserts the probed record's block without a
+#: preceding probe on some path (remote-L1 forwarding at the home slice).
+_CONSUME_ON_INSERT_DESIGNS = frozenset({"S", "R", "I"})
+
+
+class _FutureIndex:
+    """Per-address future occurrence positions for one trace.
+
+    Built once per oracle replay with a stable argsort over the per-record
+    block numbers: occurrences of each address form a contiguous run of
+    ascending trace positions.  ``consume``/``next_use`` then run in
+    amortised O(1) per record off a per-address cursor and a monotone
+    clock — no dictionaries are built or torn down during the replay.
+    """
+
+    __slots__ = ("clock", "pending", "_positions", "_cursor")
+
+    def __init__(self, block_numbers: np.ndarray) -> None:
+        addresses = np.asarray(block_numbers, dtype=np.int64)
+        order = np.argsort(addresses, kind="stable")
+        grouped = addresses[order]
+        boundaries = np.flatnonzero(np.diff(grouped)) + 1
+        runs = np.split(order, boundaries)
+        self._positions: dict[int, np.ndarray] = {
+            int(run_addresses[0]): run
+            for run, run_addresses in zip(runs, np.split(grouped, boundaries))
+            if len(run)
+        }
+        self._cursor: dict[int, int] = dict.fromkeys(self._positions, 0)
+        #: Trace position of the most recently consumed occurrence.
+        self.clock: int = -1
+        #: One-shot marker: the address whose probe just consumed an
+        #: occurrence, so its own fill must not consume another.
+        self.pending: int | None = None
+
+    def consume(self, address: int) -> None:
+        """Consume the next pending occurrence of ``address``; advance clock."""
+        positions = self._positions.get(address)
+        if positions is None:
+            return
+        cursor = self._cursor[address]
+        clock = self.clock
+        # Skip occurrences already passed by the clock (e.g. suppressed
+        # fills of records processed out of probe order).
+        while cursor < len(positions) and positions[cursor] <= clock:
+            cursor += 1
+        if cursor < len(positions):
+            self.clock = int(positions[cursor])
+            cursor += 1
+        self._cursor[address] = cursor
+
+    def next_use(self, address: int) -> float:
+        """Trace position of the next occurrence after the clock (or inf)."""
+        positions = self._positions.get(address)
+        if positions is None:
+            return NEVER
+        cursor = self._cursor[address]
+        clock = self.clock
+        while cursor < len(positions) and positions[cursor] <= clock:
+            cursor += 1
+        self._cursor[address] = cursor
+        if cursor < len(positions):
+            return float(positions[cursor])
+        return NEVER
+
+
+class BeladyPolicy(ReplacementPolicy):
+    """Belady's MIN on one L2 slice, clocked by a shared :class:`_FutureIndex`.
+
+    All slices of a chip share one index (and therefore one clock), because
+    the trace is a single interleaved stream: a probe at any slice is the
+    stream's next occurrence of that address.
+    """
+
+    name = "belady"
+
+    def __init__(
+        self,
+        num_sets: int,
+        associativity: int,
+        future: _FutureIndex,
+        *,
+        consume_on_insert: bool = False,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_sets, associativity, seed=seed)
+        self._future = future
+        self._consume_on_insert = consume_on_insert
+
+    def on_probe(self, set_index: int, address: int) -> None:
+        future = self._future
+        future.consume(address)
+        future.pending = address
+
+    def on_hit(self, set_index: int, address: int) -> None:
+        self._resolve(address)
+
+    def on_insert(self, set_index: int, address: int) -> None:
+        self._resolve(address)
+
+    def _resolve(self, address: int) -> None:
+        """Match a hit/insert against the pending probe (one-shot)."""
+        future = self._future
+        if future.pending == address:
+            future.pending = None
+        elif self._consume_on_insert:
+            future.consume(address)
+
+    def victim(
+        self, set_index: int, resident: Mapping[int, Any], incoming: int
+    ) -> int:
+        next_use = self._future.next_use
+        doomed = None
+        farthest = -1.0
+        for address in resident:
+            distance = next_use(address)
+            if distance is NEVER:
+                return address
+            if distance > farthest:
+                farthest = distance
+                doomed = address
+        return doomed
+
+    def reset(self) -> None:
+        """Array cleared between samples: the trace clock keeps running."""
+
+
+def install_belady(
+    design: CacheDesign, trace: Trace, config: SystemConfig
+) -> _FutureIndex:
+    """Install a shared Belady policy on every L2 slice of ``design``.
+
+    Must run before any access is replayed (the arrays must be empty).
+    Returns the shared future index (useful for inspection in tests).
+    """
+    future = _FutureIndex(
+        np.asarray(trace.columns.address, dtype=np.int64)
+        >> (config.block_size.bit_length() - 1)
+    )
+    consume_on_insert = design.short_name in _CONSUME_ON_INSERT_DESIGNS
+    for tile in design.chip.tiles:
+        tile.l2.set_policy(
+            BeladyPolicy(
+                tile.l2.num_sets,
+                tile.l2.associativity,
+                future,
+                consume_on_insert=consume_on_insert,
+            )
+        )
+    design.l2_policy = BeladyPolicy.name
+    return future
+
+
+def simulate_with_oracle(
+    workload: str,
+    design: str,
+    *,
+    num_records: int = DEFAULT_TRACE_LENGTH,
+    scale: int = DEFAULT_SCALE,
+    seed: int = 0,
+    config: SystemConfig | None = None,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    trace: Trace | None = None,
+) -> SimulationResult:
+    """Replay ``workload`` on ``design`` with Belady/OPT L2 replacement.
+
+    Mirrors :func:`repro.sim.engine.simulate_workload` exactly (same trace,
+    same chip, same engine) apart from the oracle policy installed between
+    design construction and replay, so a result pair differs only by the
+    replacement schedule.
+    """
+    spec, dyn = resolve_workload(workload)
+    if config is None:
+        config = SystemConfig.for_workload_category(spec.category).scaled(scale)
+    if trace is None:
+        trace = generate_workload_trace(
+            spec, dyn, config, num_records, seed=seed, scale=scale
+        )
+    chip = TiledChip(config)
+    design_instance = build_design(design, chip)
+    install_belady(design_instance, trace, config)
+    simulator = TraceSimulator(
+        design_instance,
+        CpiModel.for_workload(spec),
+        warmup_fraction=warmup_fraction,
+    )
+    result = simulator.run(trace)
+    result.metadata["scale"] = scale
+    result.metadata["config"] = config.name
+    result.metadata["seed"] = seed
+    result.metadata["l2_policy"] = BeladyPolicy.name
+    return result
+
+
+@dataclass(frozen=True)
+class OracleRegret:
+    """One design's distance from offline-optimal replacement."""
+
+    workload: str
+    design: str
+    policy: str
+    policy_cpi: float
+    oracle_cpi: float
+    policy_offchip_rate: float
+    oracle_offchip_rate: float
+
+    @property
+    def cpi_regret(self) -> float:
+        return self.policy_cpi - self.oracle_cpi
+
+    @property
+    def cpi_regret_pct(self) -> float:
+        return 100.0 * self.cpi_regret / self.oracle_cpi if self.oracle_cpi else 0.0
+
+    @property
+    def offchip_regret(self) -> float:
+        return self.policy_offchip_rate - self.oracle_offchip_rate
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "design": self.design,
+            "policy": self.policy,
+            "policy_cpi": round(self.policy_cpi, 6),
+            "oracle_cpi": round(self.oracle_cpi, 6),
+            "cpi_regret": round(self.cpi_regret, 6),
+            "cpi_regret_pct": round(self.cpi_regret_pct, 3),
+            "policy_offchip_rate": round(self.policy_offchip_rate, 6),
+            "oracle_offchip_rate": round(self.oracle_offchip_rate, 6),
+            "offchip_regret": round(self.offchip_regret, 6),
+        }
+
+
+def placement_regret(
+    workload: str,
+    designs: Iterable[str] = ("P", "A", "S", "R", "I"),
+    *,
+    policies: Iterable[str] = (DEFAULT_POLICY,),
+    num_records: int = DEFAULT_TRACE_LENGTH,
+    scale: int = DEFAULT_SCALE,
+    seed: int = 0,
+    progress: Callable[[str], None] | None = None,
+) -> list[OracleRegret]:
+    """Per-design CPI / miss-rate regret of online policies vs Belady/OPT.
+
+    One oracle replay per design is shared by every online policy compared
+    against it; all replays consume the same generated trace.
+    """
+    letters = [normalize_design(d) for d in designs]
+    names = [normalize_policy(p) for p in policies]
+    spec, dyn = resolve_workload(workload)
+    config = SystemConfig.for_workload_category(spec.category).scaled(scale)
+    trace = generate_workload_trace(
+        spec, dyn, config, num_records, seed=seed, scale=scale
+    )
+    rows: list[OracleRegret] = []
+    for letter in letters:
+        if progress:
+            progress(f"oracle replay: {letter} on {workload}")
+        oracle = simulate_with_oracle(
+            workload, letter, scale=scale, seed=seed, config=config, trace=trace
+        )
+        for policy in names:
+            if progress:
+                progress(f"online replay: {letter}/{policy} on {workload}")
+            kwargs = {} if policy == DEFAULT_POLICY else {"l2_policy": policy}
+            online = simulate_workload(
+                workload,
+                letter,
+                scale=scale,
+                seed=seed,
+                config=config,
+                trace=trace,
+                **kwargs,
+            )
+            rows.append(
+                OracleRegret(
+                    workload=workload,
+                    design=letter,
+                    policy=policy,
+                    policy_cpi=online.cpi,
+                    oracle_cpi=oracle.cpi,
+                    policy_offchip_rate=online.metadata.get("offchip_rate", 0.0),
+                    oracle_offchip_rate=oracle.metadata.get("offchip_rate", 0.0),
+                )
+            )
+    return rows

@@ -1,8 +1,15 @@
-"""Cache substrate: set-associative arrays, MSHRs and victim caches."""
+"""Cache substrate: arrays, replacement policies, MSHRs and victim caches."""
 
 from repro.cache.block import AccessType, CacheBlock, CoherenceState
 from repro.cache.cache_array import CacheArray, LookupResult
 from repro.cache.mshr import Mshr, MshrFile
+from repro.cache.policies import (
+    DEFAULT_POLICY,
+    POLICIES,
+    ReplacementPolicy,
+    build_policy,
+    normalize_policy,
+)
 from repro.cache.victim import VictimCache
 
 __all__ = [
@@ -14,4 +21,9 @@ __all__ = [
     "Mshr",
     "MshrFile",
     "VictimCache",
+    "DEFAULT_POLICY",
+    "POLICIES",
+    "ReplacementPolicy",
+    "build_policy",
+    "normalize_policy",
 ]

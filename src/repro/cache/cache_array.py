@@ -7,6 +7,12 @@ the block address, exactly as a hardware array would; an optional
 ``index_offset`` lets a design skip interleaving bits that are constant
 within one slice (not needed for correctness, only for realistic set
 utilisation).
+
+Replacement defaults to true LRU on the per-set ``OrderedDict`` (the first
+entry is the victim).  :meth:`CacheArray.set_policy` installs a
+:class:`~repro.cache.policies.ReplacementPolicy` that takes over victim
+selection and observes probe/hit/insert/evict events; with no policy
+installed every operation follows the original inlined LRU path unchanged.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 
 from repro.cache.block import CacheBlock, CoherenceState
+from repro.cache.policies import ReplacementPolicy
 from repro.cmp.config import CacheConfig
 from repro.errors import ConfigurationError
 
@@ -55,6 +62,8 @@ class CacheArray:
         self._set_mask = config.num_sets - 1
         self._associativity = config.associativity
         self._now = 0
+        #: Optional replacement policy; ``None`` is the native LRU path.
+        self._policy: ReplacementPolicy | None = None
         # Statistics
         self.hits = 0
         self.misses = 0
@@ -75,6 +84,32 @@ class CacheArray:
     def set_index(self, block_address: int) -> int:
         """Set index for a block address (low-order bits above the offset)."""
         return block_address & self._set_mask
+
+    @property
+    def policy(self) -> ReplacementPolicy | None:
+        """The installed replacement policy (``None`` = native LRU)."""
+        return self._policy
+
+    def set_policy(self, policy: ReplacementPolicy | None) -> None:
+        """Install (or remove) a replacement policy.
+
+        Must be called on an empty array: a policy's bookkeeping only sees
+        events from the moment it is installed, so pre-existing resident
+        blocks would be invisible to its victim selection.
+        """
+        if policy is not None and len(self):
+            raise ConfigurationError(
+                "replacement policies must be installed on an empty array"
+            )
+        if policy is not None and (
+            policy.num_sets != self.num_sets
+            or policy.associativity != self._associativity
+        ):
+            raise ConfigurationError(
+                f"policy geometry {policy.num_sets}x{policy.associativity} does "
+                f"not match array {self.num_sets}x{self._associativity}"
+            )
+        self._policy = policy
 
     def __len__(self) -> int:
         return sum(len(s) for s in self._sets)
@@ -103,6 +138,9 @@ class CacheArray:
         """Allocation-free :meth:`lookup`: the hit block, or ``None``."""
         now = self._now = self._now + 1
         cache_set = self._sets[block_address & self._set_mask]
+        policy = self._policy
+        if policy is not None:
+            policy.on_probe(block_address & self._set_mask, block_address)
         block = cache_set.get(block_address)
         if block is None or block.state is _INVALID:
             self.misses += 1
@@ -114,6 +152,8 @@ class CacheArray:
         if write:
             block.dirty = True
             block.state = CoherenceState.MODIFIED
+        if policy is not None:
+            policy.on_hit(block_address & self._set_mask, block_address)
         self.hits += 1
         return block
 
@@ -152,6 +192,7 @@ class CacheArray:
         """Allocation-free :meth:`insert`: returns ``(inserted, victim)``."""
         now = self._now = self._now + 1
         cache_set = self._sets[block_address & self._set_mask]
+        policy = self._policy
         existing = cache_set.get(block_address)
         if existing is not None:
             existing.state = state
@@ -163,11 +204,20 @@ class CacheArray:
                 existing.dirty = True
                 existing.state = CoherenceState.MODIFIED
             cache_set.move_to_end(block_address)
+            if policy is not None:
+                policy.on_hit(block_address & self._set_mask, block_address)
             return existing, None
 
         victim: CacheBlock | None = None
         if len(cache_set) >= self._associativity:
-            _, victim = cache_set.popitem(last=False)
+            if policy is None:
+                _, victim = cache_set.popitem(last=False)
+            else:
+                doomed = policy.victim(
+                    block_address & self._set_mask, cache_set, block_address
+                )
+                victim = cache_set.pop(doomed)
+                policy.on_evict(block_address & self._set_mask, doomed)
             self.evictions += 1
         block = CacheBlock(
             address=block_address,
@@ -177,6 +227,8 @@ class CacheArray:
             metadata=metadata or {},
         )
         cache_set[block_address] = block
+        if policy is not None:
+            policy.on_insert(block_address & self._set_mask, block_address)
         return block, victim
 
     def invalidate(self, block_address: int) -> CacheBlock | None:
@@ -185,6 +237,8 @@ class CacheArray:
         block = cache_set.pop(block_address, None)
         if block is not None:
             self.invalidations += 1
+            if self._policy is not None:
+                self._policy.on_evict(self.set_index(block_address), block_address)
         return block
 
     def invalidate_where(
@@ -196,10 +250,12 @@ class CacheArray:
         the previous accessor's tile when a page is re-classified.
         """
         removed: list[CacheBlock] = []
-        for cache_set in self._sets:
+        for set_index, cache_set in enumerate(self._sets):
             doomed = [addr for addr, blk in cache_set.items() if predicate(blk)]
             for addr in doomed:
                 removed.append(cache_set.pop(addr))
+                if self._policy is not None:
+                    self._policy.on_evict(set_index, addr)
         self.invalidations += len(removed)
         return removed
 
@@ -207,6 +263,8 @@ class CacheArray:
         """Empty the array (used between measurement samples)."""
         for cache_set in self._sets:
             cache_set.clear()
+        if self._policy is not None:
+            self._policy.reset()
 
     # ------------------------------------------------------------------ #
     # Statistics

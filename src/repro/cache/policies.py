@@ -1,0 +1,401 @@
+"""Pluggable replacement policies for the set-associative cache arrays.
+
+The default replacement behaviour of :class:`~repro.cache.cache_array.CacheArray`
+is true LRU, implemented directly on the per-set ``OrderedDict`` (the first
+entry is the victim).  That inlined path is the hottest code in the
+simulator, so it stays exactly as it is: an array with **no** policy
+installed replays bit-identically to the pre-policy code.  Installing a
+:class:`ReplacementPolicy` (``CacheArray.set_policy``) reroutes only the
+victim choice and adds bookkeeping hooks; the hit/miss accounting, block
+metadata updates and coherence semantics are unchanged.
+
+Hook contract (all driven by :class:`CacheArray`):
+
+``on_probe(set_index, address)``
+    every lookup, hit or miss, before the result is known (the Belady/OPT
+    oracle uses this to advance its next-use clock);
+``on_hit(set_index, address)``
+    a lookup hit, or an insert finding the block already resident;
+``on_insert(set_index, address)``
+    a new block was placed in the set (after any eviction);
+``victim(set_index, resident, incoming)``
+    the set is full and ``incoming`` needs a frame: return the address of
+    the resident block to evict (must be a key of ``resident``);
+``on_evict(set_index, address)``
+    the block left the array, whether chosen by :meth:`victim` or removed
+    by an invalidation;
+``reset()``
+    the array was cleared.
+
+Every implementation is deterministic: :class:`RandomPolicy` draws from a
+seeded :class:`random.Random`, and every tie-break follows the (fully
+deterministic) insertion order of the per-set structures.  The catalogue is
+the ``POLICIES`` mapping; ``"lru"`` is the default and deliberately builds
+to ``None`` — the array's native fast path *is* the LRU implementation, and
+the extracted :class:`LruPolicy` exists so the equivalence tests can prove
+the injection point reproduces it event for event.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from collections.abc import Mapping
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+#: The policy name that means "the array's native LRU fast path".
+DEFAULT_POLICY = "lru"
+
+
+class ReplacementPolicy(ABC):
+    """Interface a replacement policy implements (see module docstring)."""
+
+    #: Registry name (matches the ``POLICIES`` key).
+    name: str = "?"
+
+    def __init__(self, num_sets: int, associativity: int, *, seed: int = 0) -> None:
+        if num_sets < 1 or associativity < 1:
+            raise ConfigurationError("policy geometry must be at least 1x1")
+        self.num_sets = num_sets
+        self.associativity = associativity
+        self.seed = seed
+
+    @abstractmethod
+    def victim(
+        self, set_index: int, resident: Mapping[int, Any], incoming: int
+    ) -> int:
+        """Address of the resident block to evict for ``incoming``."""
+
+    def on_probe(self, set_index: int, address: int) -> None:
+        """A lookup is probing ``address`` (hit not yet known)."""
+
+    def on_hit(self, set_index: int, address: int) -> None:
+        """``address`` was found resident (lookup hit or re-insert)."""
+
+    def on_insert(self, set_index: int, address: int) -> None:
+        """``address`` was newly placed in its set."""
+
+    def on_evict(self, set_index: int, address: int) -> None:
+        """``address`` left the array (eviction or invalidation)."""
+
+    def reset(self) -> None:
+        """The array was cleared."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(sets={self.num_sets}, "
+            f"ways={self.associativity}, seed={self.seed})"
+        )
+
+
+class LruPolicy(ReplacementPolicy):
+    """True LRU, extracted from the array's native OrderedDict logic.
+
+    The native path *is* LRU; this class replays the same recency order in
+    its own per-set structures so tests can verify the injection point is
+    faithful to the extraction (identical victims, event for event).
+    """
+
+    name = "lru"
+
+    def __init__(self, num_sets: int, associativity: int, *, seed: int = 0) -> None:
+        super().__init__(num_sets, associativity, seed=seed)
+        self._order: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(num_sets)
+        ]
+
+    def victim(
+        self, set_index: int, resident: Mapping[int, Any], incoming: int
+    ) -> int:
+        return next(iter(self._order[set_index]))
+
+    def on_hit(self, set_index: int, address: int) -> None:
+        self._order[set_index].move_to_end(address)
+
+    def on_insert(self, set_index: int, address: int) -> None:
+        self._order[set_index][address] = None
+
+    def on_evict(self, set_index: int, address: int) -> None:
+        self._order[set_index].pop(address, None)
+
+    def reset(self) -> None:
+        for order in self._order:
+            order.clear()
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in first-out: evict the oldest insertion, ignore recency."""
+
+    name = "fifo"
+
+    def __init__(self, num_sets: int, associativity: int, *, seed: int = 0) -> None:
+        super().__init__(num_sets, associativity, seed=seed)
+        self._queue: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(num_sets)
+        ]
+
+    def victim(
+        self, set_index: int, resident: Mapping[int, Any], incoming: int
+    ) -> int:
+        return next(iter(self._queue[set_index]))
+
+    def on_insert(self, set_index: int, address: int) -> None:
+        self._queue[set_index][address] = None
+
+    def on_evict(self, set_index: int, address: int) -> None:
+        self._queue[set_index].pop(address, None)
+
+    def reset(self) -> None:
+        for queue in self._queue:
+            queue.clear()
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Seeded uniform-random eviction (stateless apart from the RNG).
+
+    The candidate list is the set's resident addresses in their (fully
+    deterministic) dict order, so the same seed always evicts the same
+    sequence of victims for the same access stream.
+    """
+
+    name = "random"
+
+    def __init__(self, num_sets: int, associativity: int, *, seed: int = 0) -> None:
+        super().__init__(num_sets, associativity, seed=seed)
+        self._rng = random.Random(seed)
+
+    def victim(
+        self, set_index: int, resident: Mapping[int, Any], incoming: int
+    ) -> int:
+        candidates = list(resident)
+        return candidates[self._rng.randrange(len(candidates))]
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+
+class LfuPolicy(ReplacementPolicy):
+    """Least-frequently-used with FIFO tie-break.
+
+    Frequency counts start at 1 on insert and reset on eviction (no aging),
+    the classic perfect-LFU reference policy.  Ties evict the block whose
+    count was established earliest (per-set dict insertion order).
+    """
+
+    name = "lfu"
+
+    def __init__(self, num_sets: int, associativity: int, *, seed: int = 0) -> None:
+        super().__init__(num_sets, associativity, seed=seed)
+        self._counts: list[dict[int, int]] = [{} for _ in range(num_sets)]
+
+    def victim(
+        self, set_index: int, resident: Mapping[int, Any], incoming: int
+    ) -> int:
+        counts = self._counts[set_index]
+        best_address = -1
+        best_count = -1
+        for address, count in counts.items():
+            if best_count < 0 or count < best_count:
+                best_address = address
+                best_count = count
+        return best_address
+
+    def on_hit(self, set_index: int, address: int) -> None:
+        counts = self._counts[set_index]
+        counts[address] = counts.get(address, 0) + 1
+
+    def on_insert(self, set_index: int, address: int) -> None:
+        self._counts[set_index][address] = 1
+
+    def on_evict(self, set_index: int, address: int) -> None:
+        self._counts[set_index].pop(address, None)
+
+    def reset(self) -> None:
+        for counts in self._counts:
+            counts.clear()
+
+
+class TwoQPolicy(ReplacementPolicy):
+    """Simplified 2Q [Johnson & Shasha, VLDB 1994].
+
+    New blocks enter a FIFO probation queue (``A1in``, sized to a quarter
+    of the ways); a hit while on probation promotes the block into the main
+    LRU queue (``Am``).  Eviction drains an over-full probation queue first
+    — blocks touched exactly once leave without displacing the hot set.
+    """
+
+    name = "2q"
+
+    def __init__(self, num_sets: int, associativity: int, *, seed: int = 0) -> None:
+        super().__init__(num_sets, associativity, seed=seed)
+        self._kin = max(1, associativity // 4)
+        self._a1in: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(num_sets)
+        ]
+        self._am: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(num_sets)
+        ]
+
+    def victim(
+        self, set_index: int, resident: Mapping[int, Any], incoming: int
+    ) -> int:
+        a1in = self._a1in[set_index]
+        am = self._am[set_index]
+        if a1in and (len(a1in) >= self._kin or not am):
+            return next(iter(a1in))
+        return next(iter(am))
+
+    def on_hit(self, set_index: int, address: int) -> None:
+        a1in = self._a1in[set_index]
+        if address in a1in:
+            del a1in[address]
+            self._am[set_index][address] = None
+            return
+        am = self._am[set_index]
+        if address in am:
+            am.move_to_end(address)
+
+    def on_insert(self, set_index: int, address: int) -> None:
+        self._a1in[set_index][address] = None
+
+    def on_evict(self, set_index: int, address: int) -> None:
+        if self._a1in[set_index].pop(address, None) is None:
+            self._am[set_index].pop(address, None)
+
+    def reset(self) -> None:
+        for queue in (*self._a1in, *self._am):
+            queue.clear()
+
+
+class ArcPolicy(ReplacementPolicy):
+    """Adaptive Replacement Cache [Megiddo & Modha, FAST 2003], per set.
+
+    Each set keeps two resident lists — ``T1`` (seen once recently) and
+    ``T2`` (seen at least twice) — plus ghost lists ``B1``/``B2`` of
+    recently evicted addresses.  A miss that hits a ghost list adapts the
+    target size ``p`` of ``T1``: ghost hits in ``B1`` grow it (recency is
+    winning), ghost hits in ``B2`` shrink it (frequency is winning).
+    Invalidations are treated like evictions (the address moves to the
+    matching ghost list), which keeps the adaptation well-defined under
+    coherence traffic the original algorithm never sees.
+    """
+
+    name = "arc"
+
+    def __init__(self, num_sets: int, associativity: int, *, seed: int = 0) -> None:
+        super().__init__(num_sets, associativity, seed=seed)
+        self._t1: list[OrderedDict[int, None]] = [OrderedDict() for _ in range(num_sets)]
+        self._t2: list[OrderedDict[int, None]] = [OrderedDict() for _ in range(num_sets)]
+        self._b1: list[OrderedDict[int, None]] = [OrderedDict() for _ in range(num_sets)]
+        self._b2: list[OrderedDict[int, None]] = [OrderedDict() for _ in range(num_sets)]
+        self._p: list[float] = [0.0] * num_sets
+
+    def victim(
+        self, set_index: int, resident: Mapping[int, Any], incoming: int
+    ) -> int:
+        t1 = self._t1[set_index]
+        t2 = self._t2[set_index]
+        p = self._p[set_index]
+        ghost_b2 = incoming in self._b2[set_index]
+        if t1 and (len(t1) > p or (ghost_b2 and len(t1) >= p) or not t2):
+            return next(iter(t1))
+        return next(iter(t2))
+
+    def on_hit(self, set_index: int, address: int) -> None:
+        t1 = self._t1[set_index]
+        if address in t1:
+            del t1[address]
+            self._t2[set_index][address] = None
+            return
+        t2 = self._t2[set_index]
+        if address in t2:
+            t2.move_to_end(address)
+
+    def on_insert(self, set_index: int, address: int) -> None:
+        t1 = self._t1[set_index]
+        b1 = self._b1[set_index]
+        b2 = self._b2[set_index]
+        capacity = self.associativity
+        if address in b1:
+            delta = 1.0 if len(b1) >= len(b2) else len(b2) / len(b1)
+            self._p[set_index] = min(float(capacity), self._p[set_index] + delta)
+            del b1[address]
+            self._t2[set_index][address] = None
+            return
+        if address in b2:
+            delta = 1.0 if len(b2) >= len(b1) else len(b1) / len(b2)
+            self._p[set_index] = max(0.0, self._p[set_index] - delta)
+            del b2[address]
+            self._t2[set_index][address] = None
+            return
+        t1[address] = None
+        # Bound the directory footprint: |T1|+|B1| <= c, total <= 2c.
+        if len(t1) + len(b1) > capacity and b1:
+            b1.popitem(last=False)
+        while len(t1) + len(self._t2[set_index]) + len(b1) + len(b2) > 2 * capacity:
+            if b2:
+                b2.popitem(last=False)
+            elif b1:
+                b1.popitem(last=False)
+            else:  # pragma: no cover - resident lists alone cannot exceed 2c
+                break
+
+    def on_evict(self, set_index: int, address: int) -> None:
+        t1 = self._t1[set_index]
+        if address in t1:
+            del t1[address]
+            self._b1[set_index][address] = None
+            return
+        t2 = self._t2[set_index]
+        if address in t2:
+            del t2[address]
+            self._b2[set_index][address] = None
+
+    def reset(self) -> None:
+        for queue in (*self._t1, *self._t2, *self._b1, *self._b2):
+            queue.clear()
+        self._p = [0.0] * self.num_sets
+
+
+#: Catalogue of replacement policies, keyed by CLI/grid name.  ``"lru"``
+#: maps to the extracted class for completeness, but :func:`build_policy`
+#: returns ``None`` for it: no policy installed *is* the LRU fast path.
+POLICIES: dict[str, type[ReplacementPolicy]] = {
+    "lru": LruPolicy,
+    "fifo": FifoPolicy,
+    "random": RandomPolicy,
+    "lfu": LfuPolicy,
+    "2q": TwoQPolicy,
+    "arc": ArcPolicy,
+}
+
+
+def normalize_policy(name: str | None) -> str:
+    """Canonical policy name; ``None`` means the default (LRU)."""
+    if name is None:
+        return DEFAULT_POLICY
+    key = name.strip().lower()
+    if key not in POLICIES:
+        known = ", ".join(POLICIES)
+        raise ConfigurationError(
+            f"unknown replacement policy {name!r}; known policies: {known}"
+        )
+    return key
+
+
+def build_policy(
+    name: str | None, num_sets: int, associativity: int, *, seed: int = 0
+) -> ReplacementPolicy | None:
+    """Instantiate a policy by name; the default ("lru") builds to ``None``.
+
+    ``None`` keeps the array on its native inlined LRU path, which is the
+    bit-identity contract: a run with the default policy is byte-identical
+    to a run that never heard of this module.
+    """
+    key = normalize_policy(name)
+    if key == DEFAULT_POLICY:
+        return None
+    return POLICIES[key](num_sets, associativity, seed=seed)

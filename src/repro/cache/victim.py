@@ -3,6 +3,11 @@
 Blocks evicted from the main array are parked here; a subsequent miss that
 hits in the victim cache is swapped back, avoiding the longer-latency L2 or
 off-chip access.
+
+Replacement defaults to FIFO (the paper's victim buffer).  Like
+:class:`~repro.cache.cache_array.CacheArray`, the buffer accepts an optional
+:class:`~repro.cache.policies.ReplacementPolicy` via :meth:`set_policy`;
+the buffer is modelled as a single fully-associative set (set index 0).
 """
 
 from __future__ import annotations
@@ -10,6 +15,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.cache.block import CacheBlock
+from repro.cache.policies import ReplacementPolicy
 from repro.errors import ConfigurationError
 
 
@@ -21,9 +27,24 @@ class VictimCache:
             raise ConfigurationError("victim cache size cannot be negative")
         self.capacity = entries
         self._entries: OrderedDict[int, CacheBlock] = OrderedDict()
+        self._policy: ReplacementPolicy | None = None
         self.hits = 0
         self.misses = 0
         self.insertions = 0
+
+    def set_policy(self, policy: ReplacementPolicy | None) -> None:
+        """Install a replacement policy (``None`` restores native FIFO)."""
+        if policy is not None and self._entries:
+            raise ConfigurationError(
+                "replacement policies must be installed on an empty victim cache"
+            )
+        if policy is not None and (
+            policy.num_sets != 1 or policy.associativity != max(1, self.capacity)
+        ):
+            raise ConfigurationError(
+                "victim-cache policy must be 1 set x capacity ways"
+            )
+        self._policy = policy
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -35,14 +56,24 @@ class VictimCache:
         """Park an evicted block; returns the block displaced, if any."""
         if self.capacity == 0:
             return block
+        policy = self._policy
         displaced: CacheBlock | None = None
         if block.address in self._entries:
             self._entries.move_to_end(block.address)
             self._entries[block.address] = block
+            if policy is not None:
+                policy.on_hit(0, block.address)
             return None
         if len(self._entries) >= self.capacity:
-            _, displaced = self._entries.popitem(last=False)
+            if policy is None:
+                _, displaced = self._entries.popitem(last=False)
+            else:
+                doomed = policy.victim(0, self._entries, block.address)
+                displaced = self._entries.pop(doomed)
+                policy.on_evict(0, doomed)
         self._entries[block.address] = block
+        if policy is not None:
+            policy.on_insert(0, block.address)
         self.insertions += 1
         return displaced
 
@@ -51,16 +82,23 @@ class VictimCache:
         block = self._entries.pop(block_address, None)
         if block is not None:
             self.hits += 1
+            if self._policy is not None:
+                self._policy.on_evict(0, block_address)
         else:
             self.misses += 1
         return block
 
     def invalidate(self, block_address: int) -> CacheBlock | None:
         """Drop a block without counting a hit or miss."""
-        return self._entries.pop(block_address, None)
+        block = self._entries.pop(block_address, None)
+        if block is not None and self._policy is not None:
+            self._policy.on_evict(0, block_address)
+        return block
 
     def clear(self) -> None:
         self._entries.clear()
+        if self._policy is not None:
+            self._policy.reset()
 
     @property
     def hit_rate(self) -> float:

@@ -4,8 +4,9 @@ Subcommands:
 
 ``run``
     Enumerate an :class:`~repro.sim.runner.ExperimentGrid` from
-    ``--workloads``/``--designs`` (plus optional ``--cluster-sizes`` and
-    the replay-time ``--scheduler`` axis), fan it out across ``--jobs``
+    ``--workloads``/``--designs`` (plus optional ``--cluster-sizes``, the
+    replay-time ``--scheduler`` axis and the L2 replacement-policy
+    ``--policy`` axis), fan it out across ``--jobs``
     worker processes, and persist every
     :class:`~repro.sim.engine.SimulationResult` as a content-addressed JSON
     file under ``--results-dir``.  Re-running the same grid reports cache
@@ -24,6 +25,9 @@ Subcommands:
     (see :mod:`repro.sim.bench`).  ``bench --traces`` measures the trace
     pipeline instead — generation, binary save/load, and dynamic
     (event-carrying) replay — and writes ``BENCH_trace.json``.
+    ``bench --oracle`` measures each design's placement regret against the
+    Belady/OPT replacement oracle (:mod:`repro.analysis.oracle`) and
+    writes ``BENCH_oracle.json``.
 
 ``traces``
     Maintain the binary trace store: ``traces gc --max-bytes N`` evicts
@@ -42,7 +46,8 @@ Subcommands:
     requests/sec, p50/p95/p99 latency and the warm/cold/dedupe split.
 
 ``list``
-    Show the known workloads, designs, engines and schedulers.
+    Show the known workloads, designs, engines, schedulers and
+    replacement policies.
 
 Examples::
 
@@ -70,6 +75,7 @@ from pathlib import Path
 from repro import knobs
 from repro.analysis.reporting import format_table
 from repro.analysis.speedup import speedup_table
+from repro.cache.policies import DEFAULT_POLICY, POLICIES
 from repro.designs import DESIGNS, normalize_design
 from repro.dynamics.adaptive import SCHEDULERS
 from repro.dynamics.scenarios import DYNAMIC_VARIANTS, dynamic_workload_names
@@ -91,12 +97,18 @@ from repro.sim.bench import (
     DEFAULT_BENCH_OUTPUT,
     DEFAULT_BENCH_RECORDS,
     DEFAULT_BENCH_REPEATS,
+    DEFAULT_ORACLE_BENCH_OUTPUT,
+    DEFAULT_ORACLE_BENCH_RECORDS,
     DEFAULT_SERVE_BENCH_OUTPUT,
     DEFAULT_TRACE_BENCH_OUTPUT,
     DEFAULT_TRACE_BENCH_RECORDS,
+    ORACLE_BENCH_WORKLOADS,
     QUICK_BENCH_RECORDS,
     QUICK_BENCH_REPEATS,
+    QUICK_ORACLE_BENCH_RECORDS,
+    QUICK_ORACLE_BENCH_SCALE,
     run_bench,
+    run_oracle_bench,
     run_serve_bench,
     run_trace_bench,
     write_bench,
@@ -175,6 +187,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay-time scheduler axis: comma-separated names from "
         f"{', '.join(SCHEDULERS)} (e.g. fixed,greedy to compare); "
         "'fixed' replays schedules as generated",
+    )
+    run.add_argument(
+        "--policy",
+        type=_csv,
+        default=None,
+        help="L2 replacement-policy axis: comma-separated names from "
+        f"{', '.join(POLICIES)} (e.g. lru,arc to compare); "
+        "'lru' is the native default (default: $RNUCA_POLICY or lru)",
     )
     run.add_argument(
         "--results-dir",
@@ -260,6 +280,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="benchmark the serving path instead: in-process daemon + "
         "closed-loop load generator, written to BENCH_serve.json",
+    )
+    bench.add_argument(
+        "--oracle",
+        action="store_true",
+        help="benchmark placement regret vs the Belady/OPT replacement "
+        "oracle instead, written to BENCH_oracle.json",
+    )
+    bench.add_argument(
+        "--policy",
+        type=_csv,
+        default=None,
+        help="(--oracle) online policies compared against the oracle "
+        f"(names from {', '.join(POLICIES)}; default: lru)",
     )
     bench.add_argument(
         "--clients",
@@ -442,6 +475,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    # No --policy falls back to the RNUCA_POLICY knob; the default "lru"
+    # contributes no point parameter, so the grid (and every content hash)
+    # is identical to a pre-axis run.
+    policies = args.policy if args.policy else [knobs.policy()]
     grid = ExperimentGrid(
         workloads=tuple(args.workloads),
         designs=tuple(normalize_design(d) for d in args.designs),
@@ -450,6 +487,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         cluster_sizes=tuple(args.cluster_sizes),
         schedulers=tuple(args.scheduler),
+        policies=tuple(policies),
     )
     store = ResultStore(args.results_dir)
     trace_store = TraceStore(args.trace_dir) if args.trace_dir else TraceStore.from_env()
@@ -464,6 +502,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"({len(grid.workloads)} workloads x {len(grid.designs)} designs"
         + (f" + {len(grid.cluster_sizes)}-size cluster sweep" if grid.cluster_sizes else "")
         + (f" x {len(grid.schedulers)} schedulers" if grid.schedulers else "")
+        + (
+            f" x {len(grid.policies)} policies"
+            if set(grid.policies) != {DEFAULT_POLICY}
+            else ""
+        )
         + f") with {jobs} job(s); store: {store.directory}/; "
         + f"traces: {trace_store.directory}/"
     )
@@ -550,13 +593,23 @@ def cmd_report(args: argparse.Namespace) -> int:
                 title="Scheduler comparison (replay-time adaptive axis)",
             )
         )
-    # Figure 12 is defined over the fixed-schedule results; adaptive
-    # variants get their own comparison table above instead.
+    policy_rows = _policy_comparison(pairs)
+    if policy_rows:
+        print()
+        print(
+            format_table(
+                policy_rows,
+                title="Replacement-policy comparison (L2 policy axis)",
+            )
+        )
+    # Figure 12 is defined over the fixed-schedule, native-LRU results;
+    # adaptive/policy variants get their own comparison tables above.
     speedups = speedup_table(
         [
             result
             for point, result in pairs
             if "scheduler" not in point.param_dict
+            and "l2_policy" not in point.param_dict
         ]
     )
     if speedups:
@@ -613,11 +666,59 @@ def _scheduler_comparison(pairs) -> list[dict]:
     return rows
 
 
+def _policy_comparison(pairs) -> list[dict]:
+    """Rows comparing L2 replacement policies on otherwise-identical points.
+
+    Same grouping scheme as :func:`_scheduler_comparison`: points grouped
+    by everything except the ``l2_policy`` parameter, shown as soon as a
+    group contains a non-LRU result, with each row's CPI speedup over the
+    group's native-LRU counterpart when one is stored.
+    """
+    groups: dict[tuple, list] = {}
+    for point, result in pairs:
+        params = point.param_dict
+        policy = params.pop("l2_policy", DEFAULT_POLICY)
+        key = (
+            point.workload,
+            point.design,
+            point.num_records,
+            point.scale,
+            point.seed,
+            tuple(sorted(params.items())),
+        )
+        groups.setdefault(key, []).append((policy, point, result))
+    rows = []
+    for key in sorted(groups, key=str):
+        group = groups[key]
+        if all(policy == DEFAULT_POLICY for policy, _, _ in group):
+            continue
+        baseline = next((r for p, _, r in group if p == DEFAULT_POLICY), None)
+        for policy, point, result in sorted(group, key=lambda item: item[0]):
+            rows.append(
+                {
+                    "point": f"{key[0]}/{key[1]}",
+                    "policy": policy,
+                    "cpi": result.cpi,
+                    "offchip_rate": result.metadata.get("offchip_rate", 0.0),
+                    "vs_lru": (
+                        f"{(baseline.cpi / result.cpi - 1) * 100:+.1f}%"
+                        if policy != DEFAULT_POLICY
+                        and baseline is not None
+                        and result.cpi
+                        else ""
+                    ),
+                }
+            )
+    return rows
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     if args.traces:
         return cmd_bench_traces(args)
     if args.serve:
         return cmd_bench_serve(args)
+    if args.oracle:
+        return cmd_bench_oracle(args)
     records = args.records
     repeats = args.repeats
     if args.quick:
@@ -742,6 +843,64 @@ def cmd_bench_traces(args: argparse.Namespace) -> int:
     if problems:
         for problem in problems:
             print(f"WARNING: {problem}")
+        return 1
+    return 0
+
+
+def cmd_bench_oracle(args: argparse.Namespace) -> int:
+    records = args.records
+    scale = args.scale
+    if args.quick:
+        records = records if records is not None else QUICK_ORACLE_BENCH_RECORDS
+        if scale == DEFAULT_SCALE:
+            scale = QUICK_ORACLE_BENCH_SCALE
+    else:
+        records = records if records is not None else DEFAULT_ORACLE_BENCH_RECORDS
+    workloads = (
+        (args.workload,) if args.workload != "oltp-db2" else ORACLE_BENCH_WORKLOADS
+    )
+    payload = run_oracle_bench(
+        workloads=workloads,
+        designs=tuple(args.designs or ["P", "A", "S", "R", "I"]),
+        policies=tuple(args.policy or [DEFAULT_POLICY]),
+        num_records=records,
+        scale=scale,
+        seed=args.seed,
+        progress=lambda line: print(f"  {line}"),
+    )
+    rows = [
+        {
+            "point": f"{row['workload']}/{row['design']}",
+            "policy": row["policy"],
+            "policy_cpi": row["policy_cpi"],
+            "oracle_cpi": row["oracle_cpi"],
+            "regret_pct": row["cpi_regret_pct"],
+            "offchip_regret": row["offchip_regret"],
+        }
+        for row in payload["results"]
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Placement regret vs Belady/OPT "
+                f"({payload['records']} records, scale {payload['scale']})"
+            ),
+        )
+    )
+    path = write_bench(payload, args.output or DEFAULT_ORACLE_BENCH_OUTPUT)
+    print(f"Wrote {path}")
+    # A negative regret means an online policy beat the clairvoyant
+    # schedule — for the exact-oracle designs that signals a bug, so it
+    # fails loudly rather than being committed as a benchmark.
+    impossible = [
+        f"{row['workload']}/{row['design']}[{row['policy']}]"
+        for row in payload["results"]
+        if row["design"] in ("S", "I") and row["cpi_regret"] < 0
+    ]
+    if impossible:
+        for label in impossible:
+            print(f"WARNING: online policy beat the oracle on {label}")
         return 1
     return 0
 
@@ -910,6 +1069,10 @@ def cmd_list(_args: argparse.Namespace) -> int:
     print(
         "Schedulers: " + ", ".join(SCHEDULERS)
         + " (replay-time axis, `repro run --scheduler`; fixed = as generated)"
+    )
+    print(
+        "Policies:  " + ", ".join(POLICIES)
+        + " (L2 replacement axis, `repro run --policy`; lru = native path)"
     )
     print("Env knobs:")
     for name in sorted(knobs.REGISTRY):

@@ -43,8 +43,9 @@ class AsrDesign(PrivateDesign):
         *,
         allocation_probability: float | None = None,
         seed: int = 0,
+        **design_kwargs,
     ) -> None:
-        super().__init__(chip)
+        super().__init__(chip, **design_kwargs)
         if allocation_probability is not None and not 0.0 <= allocation_probability <= 1.0:
             raise ValueError("allocation probability must be within [0, 1]")
         self.adaptive = allocation_probability is None

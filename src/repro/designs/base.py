@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.cache.block import AccessType, CacheBlock, CoherenceState
 from repro.cache.cache_array import CacheArray
+from repro.cache.policies import DEFAULT_POLICY, build_policy, normalize_policy
 from repro.cmp.chip import TiledChip
 from repro.osmodel.page_table import PageClass
 
@@ -233,7 +234,13 @@ class CacheDesign(ABC):
     short_name: str = "?"
     name: str = "design"
 
-    def __init__(self, chip: TiledChip) -> None:
+    def __init__(
+        self,
+        chip: TiledChip,
+        *,
+        l2_policy: str | None = None,
+        policy_seed: int = 0,
+    ) -> None:
         self.chip = chip
         self.config = chip.config
         self.network = chip.network
@@ -241,6 +248,21 @@ class CacheDesign(ABC):
         self.l1 = L1Tracker(chip)
         self.accesses = 0
         self.offchip_accesses = 0
+        # L2 replacement policy: "lru" (the default) keeps the native inlined
+        # LRU path in CacheArray; anything else installs a per-slice
+        # ReplacementPolicy seeded deterministically per tile.
+        self.l2_policy = normalize_policy(l2_policy)
+        self.policy_seed = policy_seed
+        if self.l2_policy != DEFAULT_POLICY:
+            for tile in chip.tiles:
+                tile.l2.set_policy(
+                    build_policy(
+                        self.l2_policy,
+                        tile.l2.num_sets,
+                        tile.l2.associativity,
+                        seed=(policy_seed * 1_000_003 + tile.tile_id) & 0xFFFFFFFF,
+                    )
+                )
         # Hot-path caches: all static for the design's lifetime.
         self._l2_hit_latency = chip.config.l2_slice.hit_latency
         self._one_way = chip.network.one_way_table

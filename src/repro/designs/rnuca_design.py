@@ -48,8 +48,9 @@ class RNucaDesign(CacheDesign):
         chip: TiledChip,
         *,
         rnuca_config: RNucaConfig | None = None,
+        **design_kwargs,
     ) -> None:
-        super().__init__(chip)
+        super().__init__(chip, **design_kwargs)
         self.policy = RNucaPolicy(
             chip.config, rnuca_config=rnuca_config, topology=chip.topology
         )
@@ -181,24 +182,32 @@ class RNucaDesign(CacheDesign):
         latency = self._l2_hit_latency
         if target != core:
             latency += 2 * self._one_way[core][target]
-        # The L2 probe (CacheArray.lookup_block inlined).
+        # The L2 probe (CacheArray.lookup_block inlined when the array runs
+        # the native LRU path; with a replacement policy installed the probe
+        # goes through lookup_block so the policy observes every event).
         write = access.is_write
         l2_array = tile.l2
-        now = l2_array._now = l2_array._now + 1
-        cache_set = l2_array._sets[block_address & l2_array._set_mask]
-        block = cache_set.get(block_address)
-        if block is not None and block.state is not _INVALID:
-            cache_set.move_to_end(block_address)
-            block.last_access = now
-            block.access_count += 1
-            if write:
-                block.dirty = True
-                block.state = CoherenceState.MODIFIED
-            l2_array.hits += 1
+        if l2_array._policy is None:
+            now = l2_array._now = l2_array._now + 1
+            cache_set = l2_array._sets[block_address & l2_array._set_mask]
+            block = cache_set.get(block_address)
+            if block is not None and block.state is not _INVALID:
+                cache_set.move_to_end(block_address)
+                block.last_access = now
+                block.access_count += 1
+                if write:
+                    block.dirty = True
+                    block.state = CoherenceState.MODIFIED
+                l2_array.hits += 1
+            else:
+                block = None
+                l2_array.misses += 1
+        else:
+            block = l2_array.lookup_block(block_address, write)
+        if block is not None:
             outcome.components[L2] = latency
             outcome.hit_where = "l2_local" if target == core else "l2_remote"
         else:
-            l2_array.misses += 1
             victim_hit = tile.l2_victim.extract(block_address)
             if victim_hit is not None:
                 l2_array.insert_block(

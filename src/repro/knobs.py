@@ -40,7 +40,9 @@ __all__ = [
     "check_locks",
     "engine",
     "eval_records",
+    "eval_schedulers",
     "jobs",
+    "policy",
     "results_dir",
     "serve_host",
     "serve_port",
@@ -88,6 +90,10 @@ EVAL_RECORDS = _declare(
     "RNUCA_EVAL_RECORDS", "int", None,
     "Trace length override for the evaluation figures (quick smoke runs).",
 )
+EVAL_SCHEDULERS = _declare(
+    "RNUCA_EVAL_SCHEDULERS", "csv", None,
+    "Comma-separated scheduler axis for the evaluation figures (e.g. 'fixed,greedy').",
+)
 CHARACTERIZATION_RECORDS = _declare(
     "RNUCA_CHARACTERIZATION_RECORDS", "int", None,
     "Trace length override for the characterisation figures.",
@@ -103,6 +109,10 @@ SERVE_PORT = _declare(
 CHECK_LOCKS = _declare(
     "RNUCA_CHECK_LOCKS", "flag", None,
     "Set to 1 to enable the runtime lock-order/race detector under pytest.",
+)
+POLICY = _declare(
+    "RNUCA_POLICY", "str", "lru",
+    "Default L2 replacement policy when a run does not pass --policy.",
 )
 
 
@@ -153,6 +163,19 @@ def eval_records(default: int) -> int:
     return int(value) if value else default
 
 
+def eval_schedulers() -> tuple[str, ...]:
+    """``RNUCA_EVAL_SCHEDULERS`` as a tuple of scheduler names, or ``()``.
+
+    Deliberately unvalidated, like :func:`engine`:
+    :class:`~repro.sim.runner.ExperimentGrid` rejects unknown scheduler
+    names, so a typo fails loudly instead of silently replaying fixed.
+    """
+    value = raw(EVAL_SCHEDULERS)
+    if not value:
+        return ()
+    return tuple(name.strip() for name in value.split(",") if name.strip())
+
+
 def characterization_records(default: int) -> int:
     """``RNUCA_CHARACTERIZATION_RECORDS`` as a trace length, or ``default``."""
     value = raw(CHARACTERIZATION_RECORDS)
@@ -167,6 +190,17 @@ def serve_host() -> str:
 def serve_port() -> int:
     """``RNUCA_SERVE_PORT`` as a port number (default 7781)."""
     return _int_or_default(SERVE_PORT, 7781)
+
+
+def policy() -> str:
+    """``RNUCA_POLICY``, verbatim (default ``"lru"``).
+
+    Deliberately unvalidated, like :func:`engine`:
+    :func:`~repro.cache.policies.normalize_policy` rejects unknown names at
+    design-build time, so a typo fails loudly instead of silently
+    replaying LRU.
+    """
+    return raw(POLICY) or "lru"
 
 
 def check_locks() -> bool:

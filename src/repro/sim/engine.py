@@ -1027,6 +1027,11 @@ def simulate_workload(
         )
     if isinstance(scheduler, str):
         scheduler = build_scheduler(scheduler, seed=seed)
+    # A replacement-policy axis without an explicit policy seed derives it
+    # from the run seed: the whole simulation stays a pure function of its
+    # arguments, and seeded policies (random) reproduce bit-for-bit.
+    if design_kwargs.get("l2_policy") is not None:
+        design_kwargs.setdefault("policy_seed", seed)
     chip = TiledChip(config)
     design_instance = build_design(design, chip, **design_kwargs)
     simulator = TraceSimulator(
@@ -1053,11 +1058,13 @@ def simulate_best_asr(
     trace: Trace | None = None,
     include_adaptive: bool = True,
     scheduler: "AdaptiveScheduler | str | None" = None,
+    l2_policy: str | None = None,
 ) -> SimulationResult:
     """Run the six ASR variants and return the best one (paper Section 5.1).
 
-    ``scheduler`` (the replay-time axis) applies to *every* variant, so a
-    greedy-scheduler best-ASR result stays comparable to a fixed one.
+    ``scheduler`` and ``l2_policy`` (the replay-time axes) apply to *every*
+    variant, so a greedy-scheduler or non-LRU best-ASR result stays
+    comparable to a fixed/LRU one.
     """
     spec, dyn = resolve_workload(workload)
     if config is None:
@@ -1072,6 +1079,8 @@ def simulate_best_asr(
     best: SimulationResult | None = None
     for probability in probabilities:
         kwargs = {} if probability is None else {"allocation_probability": probability}
+        if l2_policy is not None:
+            kwargs["l2_policy"] = l2_policy
         result = simulate_workload(
             spec,
             "A",

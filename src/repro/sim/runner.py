@@ -61,6 +61,7 @@ from pathlib import Path
 from typing import Any
 
 from repro import knobs
+from repro.cache.policies import DEFAULT_POLICY, normalize_policy
 from repro.check.locks import TrackedLock, make_lock, note_write
 from repro.cmp.config import SystemConfig
 from repro.designs import normalize_design
@@ -89,6 +90,7 @@ DEFAULT_RESULTS_DIR = "results"
 _CLUSTER_PARAM = "instruction_cluster_size"
 _BEST_ASR_PARAM = "best_asr"
 _SCHEDULER_PARAM = "scheduler"
+_POLICY_PARAM = "l2_policy"
 
 
 def default_jobs() -> int:
@@ -193,7 +195,11 @@ class ExperimentGrid:
     ``"fixed"`` enumerates the plain point (no parameter, so its content
     hash — and its cached result — is identical to a sweep-free run), while
     ``"greedy"``/``"reinforced"`` enumerate points carrying a ``scheduler``
-    parameter.
+    parameter.  ``policies`` is the L2 replacement axis
+    (:mod:`repro.cache.policies`) with the same convention: ``"lru"`` (the
+    native default) contributes no parameter — and therefore the exact
+    pre-axis content hash — while any other policy enumerates points
+    carrying ``l2_policy``.
     """
 
     workloads: tuple[str, ...] = ()
@@ -204,6 +210,7 @@ class ExperimentGrid:
     overrides: tuple[dict[str, Any], ...] = ({},)
     cluster_sizes: tuple[int, ...] = ()
     schedulers: tuple[str, ...] = ()
+    policies: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         self.workloads = tuple(self.workloads)
@@ -217,6 +224,7 @@ class ExperimentGrid:
                 raise SimulationError(
                     f"unknown scheduler {name!r}; known schedulers: {known}"
                 )
+        self.policies = tuple(normalize_policy(p) for p in self.policies)
 
     def _scheduler_params(self) -> list[dict[str, Any]]:
         """One params fragment per scheduler ("fixed" contributes none)."""
@@ -227,24 +235,39 @@ class ExperimentGrid:
             for name in self.schedulers
         ]
 
+    def _policy_params(self) -> list[dict[str, Any]]:
+        """One params fragment per policy ("lru" contributes none)."""
+        if not self.policies:
+            return [{}]
+        return [
+            {} if name == DEFAULT_POLICY else {_POLICY_PARAM: name}
+            for name in self.policies
+        ]
+
     def points(self) -> list[ExperimentPoint]:
         """Enumerate the grid, seeds fixed at enumeration time."""
         points: list[ExperimentPoint] = []
         scheduler_params = self._scheduler_params()
+        policy_params = self._policy_params()
         for workload in self.workloads:
             for design in self.designs:
                 for override in self.overrides:
                     for fragment in scheduler_params:
-                        points.append(
-                            ExperimentPoint.make(
-                                workload,
-                                design,
-                                num_records=self.num_records,
-                                scale=self.scale,
-                                seed=self.seed,
-                                params={**override, **fragment},
+                        for policy_fragment in policy_params:
+                            points.append(
+                                ExperimentPoint.make(
+                                    workload,
+                                    design,
+                                    num_records=self.num_records,
+                                    scale=self.scale,
+                                    seed=self.seed,
+                                    params={
+                                        **override,
+                                        **fragment,
+                                        **policy_fragment,
+                                    },
+                                )
                             )
-                        )
             for size in self.cluster_sizes:
                 points.append(
                     ExperimentPoint.make(
@@ -263,9 +286,10 @@ class ExperimentGrid:
 
     def __len__(self) -> int:
         scheduler_count = max(1, len(self.schedulers))
+        policy_count = max(1, len(self.policies))
         return (
             len(self.workloads) * len(self.designs) * len(self.overrides)
-            * scheduler_count
+            * scheduler_count * policy_count
             + len(self.workloads) * len(self.cluster_sizes)
         )
 
@@ -334,13 +358,14 @@ def execute_point(point: ExperimentPoint) -> SimulationResult:
     spec, _ = resolve_workload(point.workload)
     config = SystemConfig.for_workload_category(spec.category).scaled(point.scale)
     trace = _trace_for(point.workload, point.num_records, point.scale, point.seed)
-    # The scheduler is a *replay-time* axis, orthogonal to design
-    # parameters: pop it before the best-ASR decision (a greedy-scheduler
-    # ASR point must still run the best-of-six selection its fixed
-    # counterpart runs, or the scheduler comparison would conflate
-    # scheduler effect with ASR-variant selection) and forward it to every
-    # execution path explicitly.
+    # The scheduler and replacement policy are *replay-time* axes,
+    # orthogonal to design parameters: pop them before the best-ASR
+    # decision (a greedy-scheduler or non-LRU ASR point must still run the
+    # best-of-six selection its fixed/LRU counterpart runs, or the axis
+    # comparison would conflate the axis effect with ASR-variant selection)
+    # and forward them to every execution path explicitly.
     scheduler = params.pop(_SCHEDULER_PARAM, None)
+    l2_policy = params.pop(_POLICY_PARAM, None)
     best_asr = params.pop(_BEST_ASR_PARAM, None)
     if best_asr is None:
         best_asr = not params
@@ -357,6 +382,7 @@ def execute_point(point: ExperimentPoint) -> SimulationResult:
             config=config,
             trace=trace,
             scheduler=scheduler,
+            l2_policy=l2_policy,
         )
     elif point.design == "R" and _CLUSTER_PARAM in params:
         from repro.analysis.evaluation import simulate_rnuca_cluster
@@ -370,9 +396,12 @@ def execute_point(point: ExperimentPoint) -> SimulationResult:
             config=config,
             trace=trace,
             scheduler=scheduler,
+            l2_policy=l2_policy,
             **params,
         )
     else:
+        if l2_policy is not None:
+            params[_POLICY_PARAM] = l2_policy
         result = simulate_workload(
             spec,
             point.design,

@@ -1,8 +1,8 @@
-"""Bad: ``extra`` never reaches to_dict()/content_hash (hash-coverage).
+"""Bad: ``extra``/``l2_policy`` never reach to_dict()/content_hash (hash-coverage).
 
-The regression this pins: a content-addressed dataclass gains a field,
-``to_dict`` is not updated, and two distinct configurations silently
-share one cache entry.
+The regression this pins: a content-addressed dataclass gains a field —
+a new sweep axis such as the replacement policy — ``to_dict`` is not
+updated, and two distinct configurations silently share one cache entry.
 """
 
 import hashlib
@@ -15,6 +15,7 @@ class Key:
     workload: str
     seed: int
     extra: str
+    l2_policy: str = "lru"
 
     def to_dict(self) -> dict[str, object]:
         return {"workload": self.workload, "seed": self.seed}

@@ -10,9 +10,15 @@ class Key:
     workload: str
     seed: int
     extra: str
+    l2_policy: str = "lru"
 
     def to_dict(self) -> dict[str, object]:
-        return {"workload": self.workload, "seed": self.seed, "extra": self.extra}
+        return {
+            "workload": self.workload,
+            "seed": self.seed,
+            "extra": self.extra,
+            "l2_policy": self.l2_policy,
+        }
 
     def content_hash(self) -> str:
         payload = json.dumps(self.to_dict(), sort_keys=True)

@@ -129,6 +129,35 @@ class TestEvaluationSuite:
         )
         assert result.metadata["instruction_cluster_size"] == 2
 
+    def test_scheduler_axis_routes_to_sweep(self):
+        """Non-fixed schedulers land in scheduler_sweep; baselines stay put."""
+        suite = run_evaluation(
+            workloads=("mix",),
+            designs=("P", "R"),
+            num_records=1200,
+            scale=TEST_SCALE,
+            schedulers=("fixed", "greedy"),
+            use_cache=False,
+        )
+        assert set(suite.results) == {("mix", "P"), ("mix", "R")}
+        assert set(suite.scheduler_sweep) == {
+            ("mix", "P", "greedy"), ("mix", "R", "greedy")
+        }
+        assert suite.policy_sweep == {}
+
+    def test_policy_axis_routes_to_sweep(self):
+        """Non-LRU replacement policies land in policy_sweep."""
+        suite = run_evaluation(
+            workloads=("mix",),
+            designs=("R",),
+            num_records=1200,
+            scale=TEST_SCALE,
+            policies=("lru", "fifo"),
+            use_cache=False,
+        )
+        assert set(suite.results) == {("mix", "R")}
+        assert set(suite.policy_sweep) == {("mix", "R", "fifo")}
+
 
 class TestFigures:
     def test_fig7_rows(self, small_suite):

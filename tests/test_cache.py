@@ -192,6 +192,50 @@ class TestMshrFile:
         with pytest.raises(SimulationError):
             MshrFile(entries=0)
 
+    def test_full_file_retires_oldest_by_issue_time(self):
+        """The stall path drops the entry with the smallest issue_time."""
+        mshrs = MshrFile(entries=2)
+        mshrs.allocate(1, 0, now=5)
+        mshrs.allocate(2, 0, now=3)  # older despite later call order
+        assert mshrs.allocate(9, 0, now=7)  # stall: retires block 2
+        assert 2 not in mshrs
+        assert 1 in mshrs and 9 in mshrs
+        # The retired miss's requestors are gone: release finds nothing.
+        assert mshrs.release(2) == []
+
+    def test_merge_into_full_file_does_not_stall(self):
+        """Secondary misses merge without touching capacity."""
+        mshrs = MshrFile(entries=2)
+        mshrs.allocate(1, 0, now=1)
+        mshrs.allocate(2, 0, now=2)
+        assert not mshrs.allocate(1, 5, now=3)
+        assert mshrs.structural_stalls == 0
+        assert mshrs.release(1) == [0, 5]
+
+    def test_every_overflow_counts_a_stall(self):
+        mshrs = MshrFile(entries=1)
+        for now, block in enumerate((1, 2, 3, 4), start=1):
+            assert mshrs.allocate(block, 0, now=now)
+        assert mshrs.structural_stalls == 3
+        assert mshrs.allocations == 4
+        assert len(mshrs) == 1
+
+    def test_release_then_reallocate_is_fresh(self):
+        """A completed miss does not merge later misses to the same block."""
+        mshrs = MshrFile(entries=4)
+        mshrs.allocate(7, 0, now=1)
+        mshrs.release(7)
+        assert mshrs.allocate(7, 1, now=2)
+        assert mshrs.merges == 0
+        assert mshrs.release(7) == [1]
+
+    def test_clear_empties_but_keeps_counters(self):
+        mshrs = MshrFile(entries=2)
+        mshrs.allocate(1, 0, now=1)
+        mshrs.clear()
+        assert len(mshrs) == 0
+        assert mshrs.allocations == 1
+
 
 class TestVictimCache:
     def test_insert_and_extract(self):
@@ -226,3 +270,65 @@ class TestVictimCache:
         victim.insert(CacheBlock(address=5))
         assert victim.invalidate(5) is not None
         assert victim.hits == 0 and victim.misses == 0
+
+    def test_hit_after_demotion_round_trips_the_block(self):
+        """The demotion path: a block evicted from the array is parked in
+        the victim buffer and a later miss swaps the *same* block back,
+        dirty bit and all."""
+        cache = small_cache(sets=1, ways=2)
+        victim = VictimCache(entries=4)
+        cache.insert(0, dirty=True)
+        cache.insert(1)
+        evicted = cache.insert(2).victim  # demotes block 0 (LRU, dirty)
+        assert evicted is not None and evicted.address == 0
+        victim.insert(evicted)
+        assert not cache.lookup(0).hit  # main-array miss...
+        recovered = victim.extract(0)  # ...but the victim buffer has it
+        assert recovered is evicted
+        assert recovered.dirty
+        assert victim.hits == 1
+        cache.insert(0, dirty=recovered.dirty)
+        assert cache.peek(0).dirty
+
+    def test_reinsert_refreshes_fifo_position(self):
+        """Re-parking a resident address moves it to the back of the FIFO."""
+        victim = VictimCache(entries=2)
+        victim.insert(CacheBlock(address=1))
+        victim.insert(CacheBlock(address=2))
+        assert victim.insert(CacheBlock(address=1)) is None  # refresh, no displace
+        displaced = victim.insert(CacheBlock(address=3))
+        assert displaced is not None and displaced.address == 2
+
+    def test_negative_capacity_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            VictimCache(entries=-1)
+
+    def test_policy_geometry_and_emptiness_guards(self):
+        from repro.cache.policies import FifoPolicy
+        from repro.errors import ConfigurationError
+
+        victim = VictimCache(entries=4)
+        with pytest.raises(ConfigurationError):
+            victim.set_policy(FifoPolicy(2, 4))  # wrong geometry
+        victim.insert(CacheBlock(address=1))
+        with pytest.raises(ConfigurationError):
+            victim.set_policy(FifoPolicy(1, 4))  # non-empty buffer
+        victim.clear()
+        victim.set_policy(FifoPolicy(1, 4))  # now fine
+        victim.set_policy(None)  # and back to native FIFO
+
+    def test_fifo_policy_matches_native_order(self):
+        """An installed FifoPolicy displaces the same blocks native FIFO
+        does on a duplicate-free stream.  (On re-inserts the two differ by
+        design: the native buffer refreshes, true FIFO ignores recency.)"""
+        from repro.cache.policies import FifoPolicy
+
+        native = VictimCache(entries=2)
+        managed = VictimCache(entries=2)
+        managed.set_policy(FifoPolicy(1, 2))
+        for address in (1, 2, 3, 4, 5):
+            lhs = native.insert(CacheBlock(address=address))
+            rhs = managed.insert(CacheBlock(address=address))
+            assert (lhs.address if lhs else None) == (rhs.address if rhs else None)

@@ -155,6 +155,31 @@ def test_hash_coverage_regression_new_field_must_be_hashed(tmp_path):
     assert rules == ["hash-coverage"]
 
 
+def test_hash_coverage_regression_policy_axis_must_be_hashed(tmp_path):
+    """The sweep-axis regression: a grid point grows an ``l2_policy``
+    parameter but the content hash keeps keying on the old fields, so an
+    ``arc`` run would silently reuse the cached ``lru`` result."""
+    snippet = (
+        "import hashlib\n"
+        "import json\n"
+        "from dataclasses import dataclass\n\n\n"
+        "@dataclass(frozen=True)\n"
+        "class Point:\n"
+        "    workload: str\n"
+        "    design: str\n"
+        "    l2_policy: str = 'lru'\n"
+        "\n"
+        "    def to_dict(self) -> dict[str, object]:\n"
+        "        return {{'workload': self.workload, 'design': self.design{policy}}}\n\n"
+        "    def content_hash(self) -> str:\n"
+        "        payload = json.dumps(self.to_dict(), sort_keys=True)\n"
+        "        return hashlib.sha256(payload.encode()).hexdigest()\n"
+    )
+    assert _check_snippet(tmp_path, snippet.format(policy="")) == ["hash-coverage"]
+    covered = snippet.format(policy=", 'l2_policy': self.l2_policy")
+    assert _check_snippet(tmp_path, covered) == []
+
+
 def test_parse_error_becomes_a_finding(tmp_path):
     path = tmp_path / "broken.py"
     path.write_text("def broken(:\n")

@@ -1,0 +1,184 @@
+"""Tests for the Belady/OPT replacement oracle (repro.analysis.oracle).
+
+The headline property: on a single demand-fill cache array driven
+probe-then-fill — the setting where Belady's MIN is provably offline
+optimal — the oracle's miss count never exceeds any online policy's on
+the same geometry and the same access stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.oracle import (
+    NEVER,
+    BeladyPolicy,
+    _FutureIndex,
+    install_belady,
+    placement_regret,
+    simulate_with_oracle,
+)
+from repro.cache.cache_array import CacheArray
+from repro.cache.policies import POLICIES, build_policy
+from repro.cmp.chip import TiledChip
+from repro.cmp.config import CacheConfig, SystemConfig
+from repro.designs import build_design
+from repro.sim.engine import generate_workload_trace, resolve_workload
+
+from .conftest import TEST_SCALE
+
+#: Online policies the optimality property is checked against ("lru" is the
+#: native inlined path: build_policy returns None for it).
+ONLINE_POLICIES = tuple(POLICIES)
+
+#: (sets, ways) geometries small enough to force evictions quickly.
+GEOMETRIES = ((1, 2), (2, 2), (1, 4), (4, 1))
+
+
+def _replay_misses(addresses, sets, ways, policy) -> int:
+    """Drive one array probe-then-fill; return its miss count."""
+    cache = CacheArray(CacheConfig(size_bytes=sets * ways * 64, associativity=ways))
+    if policy is not None:
+        cache.set_policy(policy)
+    for address in addresses:
+        if cache.lookup_block(address) is None:
+            cache.insert_block(address)
+    return cache.misses
+
+
+class TestOptOptimalityProperty:
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=23), min_size=1, max_size=160
+        ),
+        geometry=st.sampled_from(GEOMETRIES),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_opt_misses_at_most_every_online_policy(self, addresses, geometry):
+        """Belady's MIN is a lower bound on misses for any online policy."""
+        sets, ways = geometry
+        future = _FutureIndex(np.array(addresses, dtype=np.int64))
+        oracle_misses = _replay_misses(
+            addresses, sets, ways, BeladyPolicy(sets, ways, future)
+        )
+        for name in ONLINE_POLICIES:
+            online = build_policy(name, sets, ways, seed=7)
+            online_misses = _replay_misses(addresses, sets, ways, online)
+            assert oracle_misses <= online_misses, (
+                f"oracle missed {oracle_misses}x but {name} only "
+                f"{online_misses}x on {sets}x{ways}"
+            )
+
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=23), min_size=1, max_size=160
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_cold_misses_are_a_lower_bound(self, addresses):
+        """The oracle still pays every compulsory (first-touch) miss."""
+        future = _FutureIndex(np.array(addresses, dtype=np.int64))
+        misses = _replay_misses(addresses, 1, 2, BeladyPolicy(1, 2, future))
+        assert misses >= len(set(addresses))
+
+
+class TestFutureIndex:
+    def test_consume_advances_clock_in_trace_order(self):
+        future = _FutureIndex(np.array([5, 7, 5, 9, 7], dtype=np.int64))
+        future.consume(5)  # position 0
+        assert future.clock == 0
+        future.consume(7)  # position 1
+        assert future.clock == 1
+        assert future.next_use(5) == 2.0
+        assert future.next_use(9) == 3.0
+
+    def test_next_use_skips_stale_positions(self):
+        """Occurrences already passed by the clock are not future uses."""
+        future = _FutureIndex(np.array([3, 3, 3], dtype=np.int64))
+        future.consume(3)
+        future.consume(3)
+        assert future.clock == 1
+        assert future.next_use(3) == 2.0
+        future.consume(3)
+        assert future.next_use(3) is NEVER
+
+    def test_unknown_address_is_never_used(self):
+        future = _FutureIndex(np.array([1, 2], dtype=np.int64))
+        assert future.next_use(99) is NEVER
+        future.consume(99)  # harmless no-op
+        assert future.clock == -1
+
+    def test_pending_marker_suppresses_double_consume(self):
+        """A probe's own fill must not consume a second occurrence."""
+        future = _FutureIndex(np.array([4, 4], dtype=np.int64))
+        policy = BeladyPolicy(1, 2, future)
+        policy.on_probe(0, 4)
+        assert future.clock == 0
+        policy.on_insert(0, 4)  # the fill of the probed address
+        assert future.clock == 0  # not advanced to position 1
+        assert future.next_use(4) == 1.0
+
+
+class TestBeladyVictim:
+    def test_evicts_farthest_next_use(self):
+        trace = np.array([1, 2, 3, 2, 1], dtype=np.int64)
+        future = _FutureIndex(trace)
+        policy = BeladyPolicy(1, 2, future)
+        # Replay positions 0..2 by hand: 1 and 2 resident, 3 incoming.
+        for address in (1, 2):
+            policy.on_probe(0, address)
+            policy.on_insert(0, address)
+        policy.on_probe(0, 3)
+        # Next uses: 2 at position 3, 1 at position 4 -> evict 1.
+        assert policy.victim(0, {1: None, 2: None}, 3) == 1
+
+    def test_never_used_again_beats_any_distance(self):
+        future = _FutureIndex(np.array([1, 2, 1], dtype=np.int64))
+        policy = BeladyPolicy(1, 2, future)
+        for address in (1, 2):
+            policy.on_probe(0, address)
+            policy.on_insert(0, address)
+        # 2 never recurs after its consumed occurrence -> immediate victim.
+        assert policy.victim(0, {1: None, 2: None}, 9) == 2
+
+
+class TestOracleReplay:
+    def test_install_belady_covers_every_slice(self):
+        spec, dyn = resolve_workload("mix")
+        config = SystemConfig.for_workload_category(spec.category).scaled(TEST_SCALE)
+        trace = generate_workload_trace(spec, dyn, config, 500, seed=1, scale=TEST_SCALE)
+        chip = TiledChip(config)
+        design = build_design("R", chip)
+        future = install_belady(design, trace, config)
+        assert design.l2_policy == "belady"
+        policies = [tile.l2.policy for tile in chip.tiles]
+        assert all(isinstance(policy, BeladyPolicy) for policy in policies)
+        # One shared clock: every slice consults the same future index.
+        assert all(policy._future is future for policy in policies)
+
+    def test_oracle_result_is_labelled(self):
+        result = simulate_with_oracle(
+            "mix", "S", num_records=2000, scale=TEST_SCALE, seed=3
+        )
+        assert result.metadata["l2_policy"] == "belady"
+        assert result.cpi > 0
+
+    def test_regret_is_nonnegative_for_exact_designs(self):
+        """S/I (single-residency, probe-then-fill) cannot beat the oracle."""
+        rows = placement_regret(
+            "oltp-db2",
+            designs=("S", "I"),
+            num_records=20_000,
+            scale=TEST_SCALE,
+            seed=0,
+        )
+        assert {row.design for row in rows} == {"S", "I"}
+        for row in rows:
+            assert row.policy == "lru"
+            assert row.cpi_regret >= 0, row.to_dict()
+            assert row.to_dict()["cpi_regret_pct"] == pytest.approx(
+                row.cpi_regret_pct, abs=1e-3
+            )

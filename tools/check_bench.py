@@ -21,7 +21,11 @@ Metrics compared:
 * engine payloads — ``fast_records_per_sec`` per design (the production
   replay path; R is the paper's R-NUCA number the gate exists for);
 * trace payloads — ``binary_load_records_per_sec`` plus the per-design
-  dynamic-replay ``dynamic_records_per_sec``.
+  dynamic-replay ``dynamic_records_per_sec``;
+* serve payloads (``BENCH_serve.json``) — end-to-end ``requests_per_sec``
+  plus the warm-path (store-hit) p50/p99 latencies, gated as inverse
+  latency so the same lower-bound ratio check applies: a warm p99 that
+  doubles halves its inverse and trips the gate.
 
 Stdlib only, like the rest of ``tools/``.
 """
@@ -53,9 +57,22 @@ def trace_metrics(payload: dict) -> dict[str, float]:
     return metrics
 
 
+def serve_metrics(payload: dict) -> dict[str, float]:
+    metrics = {}
+    if payload.get("requests_per_sec"):
+        metrics["requests_per_sec"] = payload["requests_per_sec"]
+    warm = payload.get("warm", {})
+    for percentile in ("p50_ms", "p99_ms"):
+        latency = warm.get(percentile)
+        if latency:
+            metrics[f"warm.{percentile}.inverse"] = 1000.0 / latency
+    return metrics
+
+
 EXTRACTORS = {
     "trace-engine-records-per-sec": engine_metrics,
     "trace-pipeline": trace_metrics,
+    "serve-loadgen": serve_metrics,
 }
 
 
