@@ -61,12 +61,18 @@ DETERMINISM_PACKAGES = ("sim", "designs", "dynamics", "workloads")
 #: typing gate; kept in sync with ``repro.check.typegate.STRICT_MODULES``.
 TYPED_PATH_SUFFIXES = (
     ("knobs.py",),
+    ("faults.py",),
     ("serve", "protocol.py"),
     ("serve", "daemon.py"),
     ("serve", "loadgen.py"),
     ("sim", "runner.py"),
     ("workloads", "store.py"),
 )
+
+#: Sub-packages where blocking on a future without a deadline is forbidden
+#: (the parallel runner and the serve daemon: one wedged worker must never
+#: wedge the process).
+FUTURES_PACKAGES = ("sim", "serve")
 
 
 @dataclass(frozen=True)
@@ -114,6 +120,12 @@ class SourceFile:
             return True
         assert self.package_relative is not None
         return self.package_relative in {tuple(s) for s in TYPED_PATH_SUFFIXES}
+
+    def scope_futures(self) -> bool:
+        if self.snippet:
+            return True
+        assert self.package_relative is not None
+        return bool(self.package_relative) and self.package_relative[0] in FUTURES_PACKAGES
 
     def is_knobs_module(self) -> bool:
         return self.package_relative == ("knobs.py",)
@@ -555,12 +567,46 @@ def _check_typed_defs(source: SourceFile) -> Iterator[Finding]:
 
 
 # ---------------------------------------------------------------------- #
+# Robustness discipline
+# ---------------------------------------------------------------------- #
+@rule(
+    "no-unbounded-future-result",
+    scope="futures",
+    description=(
+        "Every Future.result() in repro.sim/repro.serve passes a timeout: "
+        "an unbounded join on a pool worker turns one wedged or killed "
+        "process into a wedged runner.  Bound the wait and handle "
+        "TimeoutError (cancel + retry), or mark a call that provably "
+        "cannot block with # repro: allow-unbounded-result(reason)."
+    ),
+    marker="allow-unbounded-result",
+)
+def _check_unbounded_future_result(source: SourceFile) -> Iterator[Finding]:
+    for call in _walk_calls(source.tree):
+        if not isinstance(call.func, ast.Attribute) or call.func.attr != "result":
+            continue
+        # Future.result(timeout) — a positional arg is a bound too.
+        if call.args or any(kw.arg == "timeout" for kw in call.keywords):
+            continue
+        if _suppressed(source, call.lineno, "allow-unbounded-result"):
+            continue
+        yield Finding(
+            "no-unbounded-future-result",
+            source.path,
+            call.lineno,
+            ".result() without a timeout can block forever on a dead "
+            "worker; pass timeout= (and cancel/retry on TimeoutError)",
+        )
+
+
+# ---------------------------------------------------------------------- #
 # Driving the rules
 # ---------------------------------------------------------------------- #
 _SCOPE_PREDICATES: dict[str, Callable[[SourceFile], bool]] = {
     "determinism": SourceFile.scope_determinism,
     "package": SourceFile.scope_package,
     "typed": SourceFile.scope_typed,
+    "futures": SourceFile.scope_futures,
     "all": lambda source: True,
 }
 

@@ -27,6 +27,7 @@ __all__ = ["STRICT_MODULES", "TypeGateResult", "mypy_available", "run_typing_gat
 #: ``repro.check.lints.TYPED_PATH_SUFFIXES``.
 STRICT_MODULES = (
     "repro.knobs",
+    "repro.faults",
     "repro.workloads.store",
     "repro.sim.runner",
     "repro.serve.protocol",

@@ -27,7 +27,10 @@ Subcommands:
     (event-carrying) replay — and writes ``BENCH_trace.json``.
     ``bench --oracle`` measures each design's placement regret against the
     Belady/OPT replacement oracle (:mod:`repro.analysis.oracle`) and
-    writes ``BENCH_oracle.json``.
+    writes ``BENCH_oracle.json``.  ``bench --chaos`` soaks the serving
+    stack under an injected-fault plan (:mod:`repro.faults`) and writes
+    ``BENCH_chaos.json``, failing unless every client request succeeds
+    with results bit-identical to a fault-free run.
 
 ``traces``
     Maintain the binary trace store: ``traces gc --max-bytes N`` evicts
@@ -38,7 +41,8 @@ Subcommands:
     worker pool, a shared mmap'd trace cache and the content-addressed
     result store behind a loopback JSON-lines endpoint, with identical
     in-flight requests deduplicated across clients.  ``serve --stop``
-    asks a running daemon to shut down cleanly.
+    asks a running daemon to shut down cleanly and exits non-zero if it
+    does not actually stop within ten seconds.
 
 ``loadgen``
     Drive a running daemon closed-loop (N concurrent clients, think
@@ -68,7 +72,9 @@ maps to :func:`main`.
 from __future__ import annotations
 
 import argparse
+import socket
 import sys
+import time
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -80,10 +86,14 @@ from repro.designs import DESIGNS, normalize_design
 from repro.dynamics.adaptive import SCHEDULERS
 from repro.dynamics.scenarios import DYNAMIC_VARIANTS, dynamic_workload_names
 from repro.serve.loadgen import (
+    DEFAULT_CHAOS_FAULT_SEED,
+    DEFAULT_CHAOS_FAULTS,
+    DEFAULT_CHAOS_OUTPUT,
     DEFAULT_CLIENTS,
     DEFAULT_LOADGEN_RECORDS,
     DEFAULT_REQUESTS,
     ServeWorkload,
+    run_chaos_bench,
     run_loadgen,
 )
 from repro.serve.protocol import (
@@ -288,6 +298,27 @@ def build_parser() -> argparse.ArgumentParser:
         "oracle instead, written to BENCH_oracle.json",
     )
     bench.add_argument(
+        "--chaos",
+        action="store_true",
+        help="soak the serving stack under injected faults instead; fails "
+        "unless all requests succeed bit-identical to a fault-free run "
+        "(written to BENCH_chaos.json)",
+    )
+    bench.add_argument(
+        "--faults",
+        default=DEFAULT_CHAOS_FAULTS,
+        help="(--chaos) fault plan, RNUCA_FAULTS syntax "
+        f"(default: {DEFAULT_CHAOS_FAULTS})",
+    )
+    bench.add_argument(
+        "--fault-seed",
+        type=int,
+        default=DEFAULT_CHAOS_FAULT_SEED,
+        help="(--chaos) seed for the deterministic fault draws "
+        f"(default: {DEFAULT_CHAOS_FAULT_SEED}, chosen so the default mix "
+        "loses at least one pool worker)",
+    )
+    bench.add_argument(
         "--policy",
         type=_csv,
         default=None,
@@ -298,19 +329,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--clients",
         type=int,
         default=None,
-        help="(--serve) concurrent closed-loop clients (default: 4)",
+        help="(--serve/--chaos) concurrent closed-loop clients (default: 4)",
     )
     bench.add_argument(
         "--requests",
         type=int,
         default=None,
-        help="(--serve) total requests across all clients (default: 32)",
+        help="(--serve/--chaos) total requests across all clients (default: 32)",
     )
     bench.add_argument(
         "--jobs",
         type=int,
         default=None,
-        help="(--serve) daemon worker processes (default: $RNUCA_JOBS or 1)",
+        help="(--serve) daemon worker processes (default: $RNUCA_JOBS or 1; "
+        "--chaos: at least 2, so worker crashes hit a real process pool)",
     )
 
     traces = sub.add_parser("traces", help="maintain the binary trace store")
@@ -534,6 +566,13 @@ def cmd_report(args: argparse.Namespace) -> int:
             f"WARNING: skipped {len(skipped)} corrupt/unreadable result "
             f"file(s): {', '.join(path.name for path in skipped)}"
         )
+    quarantined = store.quarantined_files()
+    if quarantined:
+        print(
+            f"WARNING: {len(quarantined)} quarantined result file(s) under "
+            f"{store.directory}/quarantine/: "
+            f"{', '.join(path.name for path in quarantined)}"
+        )
     if args.workloads:
         wanted = set(args.workloads)
         pairs = [(p, r) for p, r in pairs if p.workload in wanted]
@@ -719,6 +758,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return cmd_bench_serve(args)
     if args.oracle:
         return cmd_bench_oracle(args)
+    if args.chaos:
+        return cmd_bench_chaos(args)
     records = args.records
     repeats = args.repeats
     if args.quick:
@@ -965,6 +1006,66 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_chaos(args: argparse.Namespace) -> int:
+    requests = args.requests if args.requests is not None else DEFAULT_REQUESTS
+    clients = args.clients if args.clients is not None else DEFAULT_CLIENTS
+    records = args.records
+    if records is None:
+        records = QUICK_BENCH_RECORDS // 8 if args.quick else DEFAULT_LOADGEN_RECORDS
+    payload = run_chaos_bench(
+        workloads=tuple(dict.fromkeys(("mix", args.workload))),
+        designs=tuple(args.designs or ["P", "R"]),
+        clients=clients,
+        num_requests=requests,
+        num_records=records,
+        scale=args.scale,
+        seed=args.seed,
+        # Crashes must kill real pool workers, so never run single-process.
+        jobs=max(2, args.jobs if args.jobs is not None else default_jobs()),
+        faults=args.faults,
+        fault_seed=args.fault_seed,
+        progress=lambda line: print(f"  {line}"),
+    )
+    injected = payload.get("injected_faults") or {}
+    print(
+        format_table(
+            [
+                {
+                    "requested": payload["requested"],
+                    "answered": payload["answered"],
+                    "availability": payload["availability"],
+                    "identical": payload["identical_to_fault_free"],
+                    "client_retries": payload["client_retries"],
+                    "pool_rebuilds": payload["pool_rebuilds"],
+                }
+            ],
+            title=f"Chaos soak under {payload['faults']}",
+        )
+    )
+    if injected:
+        fired = ", ".join(f"{site}={count}" for site, count in sorted(injected.items()))
+        print(f"  injected faults: {fired}")
+    print(f"  p99 under faults: {payload['latency']['p99_ms']} ms "
+          f"(fault-free: {payload['fault_free']['latency']['p99_ms']} ms)")
+    path = write_bench(payload, args.output or DEFAULT_CHAOS_OUTPUT)
+    print(f"Wrote {path}")
+    problems = []
+    if payload["failed_requests"]:
+        problems.append(f"{payload['failed_requests']} client request(s) failed")
+    if payload["errors"]:
+        problems.extend(payload["error_messages"])
+    if payload["mismatched_points"]:
+        problems.append(
+            "results under faults differ from the fault-free run: "
+            + ", ".join(payload["mismatched_points"])
+        )
+    if problems:
+        for problem in problems:
+            print(f"WARNING: {problem}")
+        return 1
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.daemon import SimulationDaemon
 
@@ -977,8 +1078,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
         except (ProtocolError, OSError) as error:
             print(f"No daemon at {host}:{port}: {error}")
             return 1
-        print(f"Daemon at {host}:{port} " + ("shutting down" if acknowledged else "did not acknowledge"))
-        return 0 if acknowledged else 1
+        if not acknowledged:
+            print(f"Daemon at {host}:{port} did not acknowledge the shutdown request")
+            return 1
+        # An acknowledgement only means the daemon *intends* to stop; poll
+        # until the port actually closes so a wedged daemon exits non-zero.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            try:
+                with socket.create_connection((host, port), timeout=0.5):
+                    pass
+            except OSError:
+                print(f"Daemon at {host}:{port} shut down")
+                return 0
+            time.sleep(0.1)
+        print(f"Daemon at {host}:{port} acknowledged but did not stop within 10s")
+        return 1
     store = ResultStore(args.results_dir)
     trace_store = TraceStore(args.trace_dir) if args.trace_dir else TraceStore.from_env()
     runner = BatchRunner(

@@ -1,0 +1,274 @@
+"""Deterministic, seeded fault injection for the serve/runner stack.
+
+The availability claim — "the daemon survives worker crashes, store
+corruption and flaky clients with zero failed requests" — is only worth
+making if it is *measurable* and *replayable*.  This module is the
+measurement instrument: a registry of typed fault specifications parsed
+from the ``RNUCA_FAULTS`` knob, and an injector whose every draw is a pure
+function of ``(seed, site, key, sequence)``.  Two runs with the same plan,
+seed and request sequence inject exactly the same faults, so a chaos
+failure reproduces under a debugger instead of vanishing.
+
+The grammar is ``site:p=<prob>[,ms=<delay>][,max=<count>]`` joined with
+``;``::
+
+    RNUCA_FAULTS="worker-crash:p=0.1;store-io:p=0.05;slow-sim:p=0.02,ms=500"
+
+Fault sites (each named for the failure it simulates, not the layer that
+handles it):
+
+``worker-crash``
+    The pool worker process dies mid-simulation (``os._exit``), producing
+    a genuine ``BrokenProcessPool`` in the parent.  Inline execution
+    (``jobs=1``) raises :class:`InjectedFault` instead — killing the only
+    process would take the daemon down with it.
+``store-io``
+    A result/trace store read fails; the store degrades it to a cache
+    miss (the caller re-executes).
+``slow-sim``
+    The simulation stalls for ``ms`` milliseconds before running —
+    exercises per-point deadlines and tail latency.
+``client-disconnect``
+    The daemon drops the client connection after executing a request but
+    before writing the response — the worst case for a client retry,
+    because the work is done and only the reply is lost.
+
+Draws are *sequence-addressed*: the injector keys each draw on the site,
+a caller-supplied key (a point's content hash) and a sequence number (an
+explicit attempt index, or a per-``(site, key)`` occurrence counter).
+Keying on the attempt index is what lets a retry of a crashed point draw
+*independently* — with a key-only draw, a point that crashed once would
+crash identically on every retry, forever.
+
+Injection is per-point / per-request / per-store-operation — never
+per-record — so the hot replay loop pays nothing, and with ``RNUCA_FAULTS``
+unset no injector exists at all and every fault check is a ``None`` test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from repro import knobs
+from repro.check.locks import TrackedLock, make_lock, note_write
+from repro.errors import ReproError
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultConfigError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "backoff_with_jitter",
+    "default_fault_plan",
+    "fault_draw",
+    "parse_faults",
+]
+
+#: Every injectable fault site (see the module docstring for semantics).
+FAULT_SITES = ("worker-crash", "store-io", "slow-sim", "client-disconnect")
+
+
+class FaultConfigError(ReproError):
+    """An ``RNUCA_FAULTS`` plan string is malformed (bad site, bad value)."""
+
+
+class InjectedFault(ReproError):
+    """A deliberately injected, transient failure (safe to retry)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault clause: a site, a probability and its parameters.
+
+    ``delay_ms`` only applies to ``slow-sim``.  ``max_fires`` caps how many
+    times the spec fires *within one injector* (one process); it exists for
+    tests that need "fail exactly once, then succeed" without hunting for
+    a seed, and is process-local by construction — worker processes each
+    build their own injector.
+    """
+
+    site: str
+    probability: float
+    delay_ms: float = 0.0
+    max_fires: int | None = None
+
+
+def _parse_clause(clause: str) -> FaultSpec:
+    site, _, settings = clause.partition(":")
+    site = site.strip()
+    if site not in FAULT_SITES:
+        known = ", ".join(FAULT_SITES)
+        raise FaultConfigError(f"unknown fault site {site!r}; known sites: {known}")
+    probability: float | None = None
+    delay_ms = 0.0
+    max_fires: int | None = None
+    for item in filter(None, (part.strip() for part in settings.split(","))):
+        name, separator, text = item.partition("=")
+        if not separator:
+            raise FaultConfigError(
+                f"malformed fault setting {item!r} for {site!r}; expected name=value"
+            )
+        try:
+            if name == "p":
+                probability = float(text)
+            elif name == "ms":
+                delay_ms = float(text)
+            elif name == "max":
+                max_fires = int(text)
+            else:
+                raise FaultConfigError(
+                    f"unknown fault setting {name!r} for {site!r}; known: p, ms, max"
+                )
+        except ValueError as error:
+            raise FaultConfigError(
+                f"bad value {text!r} for fault setting {name!r} of {site!r}"
+            ) from error
+    if probability is None:
+        raise FaultConfigError(f"fault clause for {site!r} must set p=<probability>")
+    if not 0.0 <= probability <= 1.0:
+        raise FaultConfigError(
+            f"fault probability for {site!r} must be in [0, 1], got {probability}"
+        )
+    if delay_ms < 0:
+        raise FaultConfigError(f"fault delay for {site!r} cannot be negative")
+    if max_fires is not None and max_fires < 0:
+        raise FaultConfigError(f"max fires for {site!r} cannot be negative")
+    return FaultSpec(
+        site=site, probability=probability, delay_ms=delay_ms, max_fires=max_fires
+    )
+
+
+def parse_faults(text: str) -> tuple[FaultSpec, ...]:
+    """Parse an ``RNUCA_FAULTS`` plan string into specs (loudly, on error)."""
+    specs: list[FaultSpec] = []
+    seen: set[str] = set()
+    for clause in filter(None, (part.strip() for part in text.split(";"))):
+        spec = _parse_clause(clause)
+        if spec.site in seen:
+            raise FaultConfigError(f"duplicate fault clause for site {spec.site!r}")
+        seen.add(spec.site)
+        specs.append(spec)
+    return tuple(specs)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, picklable fault plan: the specs plus the draw seed.
+
+    Plans cross the process-pool boundary as executor ``initargs`` (plain
+    dataclasses of primitives pickle by value), so parent and workers
+    replay the same plan.
+    """
+
+    specs: tuple[FaultSpec, ...]
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, text: str, *, seed: int = 0) -> FaultPlan:
+        return cls(specs=parse_faults(text), seed=seed)
+
+    def spec_for(self, site: str) -> FaultSpec | None:
+        for spec in self.specs:
+            if spec.site == site:
+                return spec
+        return None
+
+    def describe(self) -> str:
+        """The plan back in knob-string form (for logs and bench payloads)."""
+        clauses: list[str] = []
+        for spec in self.specs:
+            clause = f"{spec.site}:p={spec.probability:g}"
+            if spec.delay_ms:
+                clause += f",ms={spec.delay_ms:g}"
+            if spec.max_fires is not None:
+                clause += f",max={spec.max_fires}"
+            clauses.append(clause)
+        return ";".join(clauses)
+
+
+def default_fault_plan() -> FaultPlan | None:
+    """The plan from ``RNUCA_FAULTS``/``RNUCA_FAULT_SEED``, or ``None``.
+
+    ``None`` — the default — means *no injector anywhere*: the hardened
+    code paths skip every fault check with a single ``is None`` test, so
+    production runs pay nothing.
+    """
+    text = knobs.faults()
+    if not text:
+        return None
+    return FaultPlan(specs=parse_faults(text), seed=knobs.fault_seed())
+
+
+def fault_draw(seed: int, site: str, key: str, sequence: int) -> float:
+    """The injector's uniform draw in [0, 1): a pure function of its inputs.
+
+    Hash-derived rather than stream-based so the draw for (site, key,
+    sequence) is independent of every other draw — thread interleaving,
+    request order and retry timing cannot change it.
+    """
+    material = f"{seed}|{site}|{key}|{sequence}".encode()
+    digest = hashlib.sha256(material).digest()
+    return random.Random(int.from_bytes(digest[:8], "big")).random()
+
+
+def backoff_with_jitter(
+    seed: int, key: str, attempt: int, *, base_s: float, cap_s: float
+) -> float:
+    """Bounded exponential backoff with deterministic (seeded) jitter.
+
+    Full jitter in ``[base/2, base]`` de-synchronises retrying threads
+    without sacrificing replayability: the delay is as pure a function of
+    ``(seed, key, attempt)`` as the fault draws themselves.
+    """
+    exponential = min(cap_s, base_s * (2.0**attempt))
+    fraction = fault_draw(seed, "backoff", key, attempt)
+    return exponential * (0.5 + 0.5 * fraction)
+
+
+class FaultInjector:
+    """Draw (and count) fault firings for one process, thread-safely.
+
+    ``fires`` with an explicit ``sequence`` (an attempt index) is fully
+    stateless; without one, a per-``(site, key)`` occurrence counter
+    supplies the sequence, so repeated operations on the same key draw
+    independently while staying deterministic for a deterministic caller
+    sequence.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock: TrackedLock = make_lock("faults.injector")
+        self._occurrences: dict[tuple[str, str], int] = {}
+        self._fired: dict[str, int] = dict.fromkeys(FAULT_SITES, 0)
+
+    def fires(self, site: str, key: str, *, sequence: int | None = None) -> bool:
+        """True when the fault at ``site`` fires for this (key, sequence)."""
+        spec = self.plan.spec_for(site)
+        if spec is None or spec.probability <= 0.0:
+            return False
+        with self._lock:
+            if sequence is None:
+                sequence = self._occurrences.get((site, key), 0)
+                self._occurrences[(site, key)] = sequence + 1
+                note_write("FaultInjector._occurrences", self._lock)
+            if spec.max_fires is not None and self._fired[site] >= spec.max_fires:
+                return False
+            fired = fault_draw(self.plan.seed, site, key, sequence) < spec.probability
+            if fired:
+                self._fired[site] += 1
+                note_write("FaultInjector._fired", self._lock)
+        return fired
+
+    def delay_s(self, site: str) -> float:
+        """The configured delay for ``site``, in seconds (0 when unset)."""
+        spec = self.plan.spec_for(site)
+        return spec.delay_ms / 1000.0 if spec is not None else 0.0
+
+    def counters(self) -> dict[str, int]:
+        """How many times each site has fired in this process."""
+        with self._lock:
+            return dict(self._fired)

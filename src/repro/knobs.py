@@ -38,13 +38,20 @@ __all__ = [
     "REGISTRY",
     "characterization_records",
     "check_locks",
+    "client_retries",
     "engine",
     "eval_records",
     "eval_schedulers",
+    "fault_seed",
+    "faults",
     "jobs",
+    "point_retries",
+    "point_timeout_s",
     "policy",
     "results_dir",
     "serve_host",
+    "serve_idle_s",
+    "serve_max_inflight",
     "serve_port",
     "trace_dir",
 ]
@@ -113,6 +120,34 @@ CHECK_LOCKS = _declare(
 POLICY = _declare(
     "RNUCA_POLICY", "str", "lru",
     "Default L2 replacement policy when a run does not pass --policy.",
+)
+FAULTS = _declare(
+    "RNUCA_FAULTS", "str", None,
+    "Deterministic fault-injection plan, e.g. 'worker-crash:p=0.1;slow-sim:p=0.02,ms=500' (unset = no injection).",
+)
+FAULT_SEED = _declare(
+    "RNUCA_FAULT_SEED", "int", "0",
+    "Seed for the fault-injection draws; the same plan + seed replays the same faults.",
+)
+POINT_TIMEOUT_S = _declare(
+    "RNUCA_POINT_TIMEOUT_S", "float", "300",
+    "Per-point simulation deadline in seconds; an expired pool future is cancelled and retried.",
+)
+POINT_RETRIES = _declare(
+    "RNUCA_POINT_RETRIES", "int", "3",
+    "Per-point retry budget for transient failures (pool crashes, deadlines) before the point errors.",
+)
+SERVE_IDLE_S = _declare(
+    "RNUCA_SERVE_IDLE_S", "float", "300",
+    "Serve-connection idle timeout in seconds; on expiry the daemon sends an error event and closes (0 disables).",
+)
+SERVE_MAX_INFLIGHT = _declare(
+    "RNUCA_SERVE_MAX_INFLIGHT", "int", "64",
+    "Bounded admission: max run requests in flight before the daemon sheds with an 'overloaded' event.",
+)
+CLIENT_RETRIES = _declare(
+    "RNUCA_CLIENT_RETRIES", "int", "2",
+    "ServeClient retry budget for transient failures (disconnects, shedding); resubmission is safe, points are content-addressed.",
 )
 
 
@@ -207,3 +242,53 @@ def check_locks() -> bool:
     """``RNUCA_CHECK_LOCKS`` as an opt-in flag (1/true/yes/on)."""
     value = raw(CHECK_LOCKS)
     return value is not None and value.strip().lower() in ("1", "true", "yes", "on")
+
+
+def _float_or_default(knob: Knob, default: float) -> float:
+    value = raw(knob)
+    if value is None:
+        return default
+    try:
+        return float(value)
+    except ValueError:
+        return default
+
+
+def faults() -> str | None:
+    """``RNUCA_FAULTS``, or ``None`` when unset or empty.
+
+    Deliberately unvalidated here, like :func:`engine`:
+    :func:`repro.faults.parse_faults` rejects malformed plans loudly, so a
+    typo fails the run instead of silently injecting nothing.
+    """
+    return raw(FAULTS) or None
+
+
+def fault_seed() -> int:
+    """``RNUCA_FAULT_SEED`` as the fault-draw seed (default 0)."""
+    return _int_or_default(FAULT_SEED, 0)
+
+
+def point_timeout_s() -> float:
+    """``RNUCA_POINT_TIMEOUT_S`` as a positive deadline (default 300s)."""
+    return max(0.001, _float_or_default(POINT_TIMEOUT_S, 300.0))
+
+
+def point_retries() -> int:
+    """``RNUCA_POINT_RETRIES`` as a retry budget, clamped to >= 0."""
+    return max(0, _int_or_default(POINT_RETRIES, 3))
+
+
+def serve_idle_s() -> float:
+    """``RNUCA_SERVE_IDLE_S`` as an idle timeout (default 300s, 0 disables)."""
+    return max(0.0, _float_or_default(SERVE_IDLE_S, 300.0))
+
+
+def serve_max_inflight() -> int:
+    """``RNUCA_SERVE_MAX_INFLIGHT`` as an admission bound, clamped to >= 1."""
+    return max(1, _int_or_default(SERVE_MAX_INFLIGHT, 64))
+
+
+def client_retries() -> int:
+    """``RNUCA_CLIENT_RETRIES`` as a retry budget, clamped to >= 0."""
+    return max(0, _int_or_default(CLIENT_RETRIES, 2))

@@ -11,14 +11,27 @@ See :mod:`repro.serve.daemon`, :mod:`repro.serve.protocol` and
 """
 
 from repro.serve.daemon import SimulationDaemon
-from repro.serve.loadgen import ServeWorkload, run_loadgen, run_serve_bench
-from repro.serve.protocol import ProtocolError, ServeClient
+from repro.serve.loadgen import (
+    ServeWorkload,
+    run_chaos_bench,
+    run_loadgen,
+    run_serve_bench,
+)
+from repro.serve.protocol import (
+    DaemonDisconnected,
+    DaemonOverloaded,
+    ProtocolError,
+    ServeClient,
+)
 
 __all__ = [
+    "DaemonDisconnected",
+    "DaemonOverloaded",
     "ProtocolError",
     "ServeClient",
     "ServeWorkload",
     "SimulationDaemon",
+    "run_chaos_bench",
     "run_loadgen",
     "run_serve_bench",
 ]

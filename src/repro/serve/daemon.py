@@ -26,15 +26,22 @@ from __future__ import annotations
 
 import contextlib
 import socketserver
+import sys
 import threading
 import time
 from typing import Any
 
-from repro.check.locks import make_lock, note_write
+from repro import knobs
+from repro.check.locks import TrackedLock, make_lock, note_write
+from repro.faults import FaultInjector, FaultPlan, default_fault_plan
 from repro.serve.protocol import DEFAULT_SERVE_HOST, ProtocolError, decode_line, encode_line
 from repro.sim.runner import BatchRunner, ExperimentPoint
 
 __all__ = ["SimulationDaemon"]
+
+
+class _InjectedDisconnect(Exception):
+    """Internal: drop this connection now, mid-request, replying nothing."""
 
 
 class _ServeStats:
@@ -49,6 +56,9 @@ class _ServeStats:
         self.cached = 0
         self.deduped = 0
         self.errors = 0
+        self.shed = 0
+        self.idle_timeouts = 0
+        self.injected_disconnects = 0
 
     def bump(self, field: str, amount: int = 1) -> None:
         with self._lock:
@@ -64,6 +74,9 @@ class _ServeStats:
                 "cached": self.cached,
                 "deduped": self.deduped,
                 "errors": self.errors,
+                "shed": self.shed,
+                "idle_timeouts": self.idle_timeouts,
+                "injected_disconnects": self.injected_disconnects,
                 "uptime_s": round(time.monotonic() - self.started_at, 3),
             }
 
@@ -78,7 +91,29 @@ class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         daemon: SimulationDaemon = self.server.daemon  # type: ignore[attr-defined]
         daemon.stats.bump("connections")
-        for raw in self.rfile:
+        idle_s = daemon.idle_timeout_s
+        if idle_s > 0:
+            # A stalled client must not pin this handler thread forever.
+            self.connection.settimeout(idle_s)
+        while True:
+            try:
+                raw = self.rfile.readline()
+            except TimeoutError:
+                daemon.stats.bump("idle_timeouts")
+                self._emit(
+                    {
+                        "event": "error",
+                        "error": (
+                            f"idle connection closed after {idle_s:g}s "
+                            "(RNUCA_SERVE_IDLE_S)"
+                        ),
+                    }
+                )
+                return
+            except OSError:
+                return  # peer reset mid-read; nothing left to answer
+            if not raw:
+                return  # clean EOF
             raw = raw.strip()
             if not raw:
                 continue
@@ -89,7 +124,13 @@ class _Handler(socketserver.StreamRequestHandler):
                 daemon.stats.bump("errors")
                 self._emit({"event": "error", "error": str(error)})
                 continue
-            if not self._dispatch(daemon, request):
+            try:
+                if not self._dispatch(daemon, request):
+                    return
+            except _InjectedDisconnect:
+                # The fault plan drops this connection abruptly: the client
+                # sees EOF mid-request and must retry.  Any result is
+                # already in the store, so the retry is a cache hit.
                 return
 
     def _dispatch(self, daemon: SimulationDaemon, request: dict[str, Any]) -> bool:
@@ -99,6 +140,8 @@ class _Handler(socketserver.StreamRequestHandler):
             self._emit({"event": "pong"})
         elif op == "stats":
             self._emit({"event": "stats", "stats": daemon.stats.snapshot()})
+        elif op == "health":
+            self._emit({"event": "health", "health": daemon.health()})
         elif op == "shutdown":
             self._emit({"event": "shutting-down"})
             daemon.request_shutdown()
@@ -118,33 +161,58 @@ class _Handler(socketserver.StreamRequestHandler):
             daemon.stats.bump("errors")
             self._emit({"event": "error", "error": f"bad run request: {error}"})
             return
-
-        def accepted(status: str) -> None:
+        if not daemon.try_admit():
+            # Bounded admission: shed explicitly instead of queueing until
+            # collapse.  "overloaded" is terminal for this request; the
+            # client backs off and resubmits.
+            daemon.stats.bump("shed")
+            daemon.log(f"overloaded {point.label}")
             self._emit(
-                {"event": "accepted", "hash": point.content_hash, "status": status}
+                {
+                    "event": "overloaded",
+                    "hash": point.content_hash,
+                    "error": (
+                        f"daemon at admission capacity "
+                        f"({daemon.max_inflight} requests in flight); "
+                        "retry with backoff"
+                    ),
+                }
             )
-
-        try:
-            result, status = daemon.runner.run_point(point, on_status=accepted)
-        # repro: allow-broad-except(any simulation failure becomes an error event; daemon stays up)
-        except Exception as error:
-            daemon.stats.bump("errors")
-            daemon.log(f"error     {point.label}: {error}")
-            self._emit({"event": "error", "error": str(error)})
             return
-        daemon.stats.bump(status)
-        elapsed_ms = (time.perf_counter() - start) * 1000.0
-        daemon.log(f"{status:9s} {point.label}  {elapsed_ms:.1f}ms")
-        self._emit(
-            {
-                "event": "result",
-                "hash": point.content_hash,
-                "status": status,
-                "elapsed_ms": round(elapsed_ms, 3),
-                "point": point.to_dict(),
-                "result": result.to_dict(),
-            }
-        )
+        try:
+
+            def accepted(status: str) -> None:
+                self._emit(
+                    {"event": "accepted", "hash": point.content_hash, "status": status}
+                )
+
+            try:
+                result, status = daemon.runner.run_point(point, on_status=accepted)
+            # repro: allow-broad-except(any simulation failure becomes an error event; daemon stays up)
+            except Exception as error:
+                daemon.stats.bump("errors")
+                daemon.log(f"error     {point.label}: {error}")
+                self._emit({"event": "error", "error": str(error)})
+                return
+            daemon.stats.bump(status)
+            if daemon.injects_disconnect(point.content_hash):
+                daemon.stats.bump("injected_disconnects")
+                daemon.log(f"inject    client-disconnect {point.label}")
+                raise _InjectedDisconnect
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            daemon.log(f"{status:9s} {point.label}  {elapsed_ms:.1f}ms")
+            self._emit(
+                {
+                    "event": "result",
+                    "hash": point.content_hash,
+                    "status": status,
+                    "elapsed_ms": round(elapsed_ms, 3),
+                    "point": point.to_dict(),
+                    "result": result.to_dict(),
+                }
+            )
+        finally:
+            daemon.release_admission()
 
     def _emit(self, payload: dict[str, Any]) -> None:
         with contextlib.suppress(BrokenPipeError, ConnectionResetError, ValueError):
@@ -174,14 +242,79 @@ class SimulationDaemon:
         host: str = DEFAULT_SERVE_HOST,
         port: int = 0,
         quiet: bool = True,
+        faults: FaultPlan | None = None,
+        idle_timeout_s: float | None = None,
+        max_inflight: int | None = None,
     ) -> None:
         self.runner = runner
         self.stats = _ServeStats()
         self.quiet = quiet
+        plan = faults if faults is not None else default_fault_plan()
+        self.fault_injector = FaultInjector(plan) if plan is not None else None
+        self.idle_timeout_s = (
+            idle_timeout_s if idle_timeout_s is not None else knobs.serve_idle_s()
+        )
+        self.max_inflight = (
+            max_inflight if max_inflight is not None else knobs.serve_max_inflight()
+        )
+        self._admission = threading.BoundedSemaphore(self.max_inflight)
+        self._inflight_count = 0
+        self._inflight_lock: TrackedLock = make_lock("daemon.inflight")
         self._server = _Server((host, port), _Handler)
         self._server.daemon = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
         self._log_lock = make_lock("daemon.log")
+
+    # ------------------------------------------------------------------ #
+    # Admission control and fault injection
+    # ------------------------------------------------------------------ #
+    def try_admit(self) -> bool:
+        """Claim an admission slot without blocking; False = shed."""
+        admitted = self._admission.acquire(blocking=False)
+        if admitted:
+            with self._inflight_lock:
+                self._inflight_count += 1
+                note_write("daemon.inflight_count", self._inflight_lock)
+        return admitted
+
+    def release_admission(self) -> None:
+        with self._inflight_lock:
+            self._inflight_count -= 1
+            note_write("daemon.inflight_count", self._inflight_lock)
+        self._admission.release()
+
+    def in_flight(self) -> int:
+        """Run requests currently admitted and not yet answered."""
+        with self._inflight_lock:
+            return self._inflight_count
+
+    def injects_disconnect(self, key: str) -> bool:
+        return self.fault_injector is not None and self.fault_injector.fires(
+            "client-disconnect", key
+        )
+
+    def health(self) -> dict[str, Any]:
+        """The ``health`` op payload: recovery and degradation counters."""
+        stats = self.stats.snapshot()
+        return {
+            "status": "ok",
+            "in_flight": self.in_flight(),
+            "admission_limit": self.max_inflight,
+            **self.runner.stats_snapshot(),
+            "shed": stats["shed"],
+            "idle_timeouts": stats["idle_timeouts"],
+            "quarantined_results": (
+                self.runner.store.quarantined if self.runner.store else 0
+            ),
+            "quarantined_traces": (
+                self.runner.trace_store.quarantined
+                if self.runner.trace_store
+                else 0
+            ),
+            "injected_faults": (
+                self.fault_injector.counters() if self.fault_injector else {}
+            ),
+        }
 
     @property
     def host(self) -> str:
@@ -216,12 +349,28 @@ class SimulationDaemon:
         """Stop the serve loop (callable from any thread, incl. handlers)."""
         threading.Thread(target=self._server.shutdown, daemon=True).start()
 
-    def stop(self, timeout: float = 10.0) -> None:
-        """Shut down and join the background serve thread (if any)."""
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Shut down and join the background serve thread (if any).
+
+        Returns ``False`` — loudly, on stderr — when the serve thread
+        failed to exit within ``timeout``: a hung shutdown must never look
+        like a clean one (``repro serve --stop`` turns it into a non-zero
+        exit).
+        """
         self._server.shutdown()
-        if self._thread is not None:
-            self._thread.join(timeout=timeout)
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+            if thread.is_alive():
+                print(
+                    f"repro serve: daemon thread failed to stop within "
+                    f"{timeout:.0f}s (handlers may be wedged)",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                return False
             self._thread = None
+        return True
 
     def __enter__(self) -> SimulationDaemon:
         return self.start()

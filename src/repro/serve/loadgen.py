@@ -26,6 +26,8 @@ the self-contained mode that produces the committed baseline.
 from __future__ import annotations
 
 import contextlib
+import hashlib
+import json
 import math
 import platform
 import random
@@ -35,6 +37,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.faults import FaultPlan
 from repro.serve.protocol import ProtocolError, ServeClient
 from repro.sim.engine import DEFAULT_TRACE_LENGTH
 from repro.sim.runner import ExperimentGrid, ExperimentPoint
@@ -53,6 +56,28 @@ DEFAULT_LOADGEN_RECORDS = 2_000
 
 #: Default output file name.
 DEFAULT_SERVE_BENCH_OUTPUT = "BENCH_serve.json"
+
+#: Default output file name of the chaos soak (``repro bench --chaos``).
+DEFAULT_CHAOS_OUTPUT = "BENCH_chaos.json"
+
+#: The chaos soak's default fault plan: 10% worker crashes plus store-io,
+#: slow-sim and client-disconnect noise (the ISSUE-pinned availability
+#: claim).
+DEFAULT_CHAOS_FAULTS = (
+    "worker-crash:p=0.1;store-io:p=0.05;slow-sim:p=0.02,ms=500;"
+    "client-disconnect:p=0.05"
+)
+
+#: Default fault seed of the chaos soak.  Chosen (not 0) so that under
+#: :data:`DEFAULT_CHAOS_FAULTS` the default point mix provably loses at
+#: least one pool worker to an injected crash — the soak then pins real
+#: ``BrokenProcessPool`` recovery, not just the quiet path.
+DEFAULT_CHAOS_FAULT_SEED = 2
+
+#: An explicitly empty plan: injectors exist but never fire.  The chaos
+#: bench's reference arm uses it to pin "no injection" regardless of any
+#: ambient ``RNUCA_FAULTS`` in the environment.
+NO_FAULTS = FaultPlan(specs=())
 
 #: The warm phase: requests served straight from the result store.  A
 #: ``deduped`` request also runs no simulation, but its latency is bound
@@ -107,6 +132,16 @@ class ServeWorkload:
         return out[:num_requests]
 
 
+def result_digest(result: dict[str, Any]) -> str:
+    """Digest of a serialized result, for bit-identity comparison.
+
+    Canonical JSON first, so key order (which the wire does not fix)
+    cannot make two identical results look different.
+    """
+    canonical = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
 @dataclass
 class _RequestRecord:
     client: int
@@ -114,6 +149,7 @@ class _RequestRecord:
     point_hash: str
     status: str
     latency_ms: float
+    digest: str
 
 
 @dataclass
@@ -127,32 +163,41 @@ class _ClientEngine:
     think_s: float
     barrier: threading.Barrier
     connect_timeout: float
+    client_retries: int | None = None
     records: list[_RequestRecord] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
+    retries_used: int = 0
 
     def run(self) -> None:
         try:
             with ServeClient(
-                self.host, self.port, connect_timeout=self.connect_timeout
+                self.host,
+                self.port,
+                connect_timeout=self.connect_timeout,
+                retries=self.client_retries,
             ) as client:
-                # All clients release together so identical cold requests
-                # overlap and exercise the daemon's in-flight dedupe.
-                self.barrier.wait()
-                for index, point in enumerate(self.requests):
-                    start = time.perf_counter()
-                    final = client.run(point.to_dict())
-                    latency_ms = (time.perf_counter() - start) * 1000.0
-                    self.records.append(
-                        _RequestRecord(
-                            client=self.client_id,
-                            index=index,
-                            point_hash=final["hash"],
-                            status=final["status"],
-                            latency_ms=latency_ms,
+                try:
+                    # All clients release together so identical cold requests
+                    # overlap and exercise the daemon's in-flight dedupe.
+                    self.barrier.wait()
+                    for index, point in enumerate(self.requests):
+                        start = time.perf_counter()
+                        final = client.run(point.to_dict())
+                        latency_ms = (time.perf_counter() - start) * 1000.0
+                        self.records.append(
+                            _RequestRecord(
+                                client=self.client_id,
+                                index=index,
+                                point_hash=final["hash"],
+                                status=final["status"],
+                                latency_ms=latency_ms,
+                                digest=result_digest(final["result"]),
+                            )
                         )
-                    )
-                    if self.think_s > 0:
-                        time.sleep(self.think_s)
+                        if self.think_s > 0:
+                            time.sleep(self.think_s)
+                finally:
+                    self.retries_used = client.transient_retries
         # repro: allow-broad-except(any client failure is a recorded loadgen error, not a crash)
         except Exception as error:
             self.errors.append(f"client {self.client_id}: {error}")
@@ -188,6 +233,7 @@ def run_loadgen(
     clients: int = DEFAULT_CLIENTS,
     num_requests: int = DEFAULT_REQUESTS,
     connect_timeout: float = 10.0,
+    client_retries: int | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> dict[str, Any]:
     """Drive a running daemon closed-loop; return the JSON-ready payload.
@@ -196,6 +242,13 @@ def run_loadgen(
     possible; every client draws from the same seeded sequence, so the
     mix deliberately contains duplicates (the dedupe/warm path is part of
     what is being measured).
+
+    Beyond latency, the payload carries the robustness evidence the chaos
+    bench compares on: ``result_digests`` maps each point hash to the
+    digest of its serialized result (a digest *conflict within the run* is
+    recorded as an error — two requests for one point must never see
+    different answers) and ``client_retries`` counts transient failures
+    the clients absorbed (shed requests, dropped connections).
     """
     if clients < 1:
         raise ValueError("clients must be >= 1")
@@ -216,6 +269,7 @@ def run_loadgen(
             think_s=workload.think_ms / 1000.0,
             barrier=barrier,
             connect_timeout=connect_timeout,
+            client_retries=client_retries,
         )
         for i in range(clients)
     ]
@@ -243,10 +297,21 @@ def run_loadgen(
     cold = by_status.get("executed", [])
     warm = [ms for status in WARM_STATUSES for ms in by_status.get(status, [])]
 
+    digests: dict[str, str] = {}
+    for record in records:
+        known = digests.setdefault(record.point_hash, record.digest)
+        if known != record.digest:
+            errors.append(
+                f"bit-identity violated within run: point {record.point_hash} "
+                f"returned digests {known} and {record.digest}"
+            )
+
     daemon_stats = None
+    daemon_health = None
     try:
         with ServeClient(host, port, connect_timeout=connect_timeout) as client:
             daemon_stats = client.stats()
+            daemon_health = client.health()
     except (ProtocolError, OSError) as error:
         errors.append(f"stats: {error}")
 
@@ -276,7 +341,10 @@ def run_loadgen(
             else None
         ),
         "status_counts": {status: len(ms) for status, ms in sorted(by_status.items())},
+        "client_retries": sum(engine.retries_used for engine in engines),
+        "result_digests": dict(sorted(digests.items())),
         "daemon_stats": daemon_stats,
+        "daemon_health": daemon_health,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -296,6 +364,8 @@ def run_serve_bench(
     jobs: int = 1,
     results_dir: str | None = None,
     trace_dir: str | None = None,
+    faults: FaultPlan | None = None,
+    client_retries: int | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> dict[str, Any]:
     """Self-contained serving benchmark: in-process daemon + loadgen.
@@ -303,6 +373,10 @@ def run_serve_bench(
     With ``results_dir=None`` the run uses a throwaway store, so every
     unique point is simulated cold exactly once and the warm/cold split
     reflects the daemon alone, not a developer's populated cache.
+
+    ``faults`` pins the fault plan for *every* layer (runner, daemon,
+    both stores); ``None`` inherits ``RNUCA_FAULTS`` from the
+    environment, :data:`NO_FAULTS` pins injection off.
     """
     import tempfile
 
@@ -320,11 +394,12 @@ def run_serve_bench(
     )
     with tempfile.TemporaryDirectory(prefix="rnuca-serve-") as tmp:
         runner = BatchRunner(
-            store=ResultStore(results_dir or f"{tmp}/results"),
+            store=ResultStore(results_dir or f"{tmp}/results", faults=faults),
             jobs=jobs,
-            trace_store=TraceStore(trace_dir or f"{tmp}/traces"),
+            trace_store=TraceStore(trace_dir or f"{tmp}/traces", faults=faults),
+            faults=faults,
         )
-        with SimulationDaemon(runner, port=0) as daemon:
+        with SimulationDaemon(runner, port=0, faults=faults) as daemon:
             if progress:
                 progress(f"daemon {daemon.describe()}")
             payload = run_loadgen(
@@ -333,10 +408,112 @@ def run_serve_bench(
                 port=daemon.port,
                 clients=clients,
                 num_requests=num_requests,
+                client_retries=client_retries,
                 progress=progress,
             )
     payload["mode"] = "in-process"
     payload["records"] = num_records
     payload["scale"] = scale
     payload["jobs"] = jobs
+    payload["faults"] = faults.describe() if faults is not None else None
     return payload
+
+
+def run_chaos_bench(
+    *,
+    workloads: tuple[str, ...] = ("mix", "oltp-db2"),
+    designs: tuple[str, ...] = ("P", "R"),
+    clients: int = DEFAULT_CLIENTS,
+    num_requests: int = DEFAULT_REQUESTS,
+    num_records: int = DEFAULT_LOADGEN_RECORDS,
+    scale: int = DEFAULT_SCALE,
+    seed: int = 0,
+    jobs: int = 2,
+    faults: str = DEFAULT_CHAOS_FAULTS,
+    fault_seed: int = DEFAULT_CHAOS_FAULT_SEED,
+    client_retries: int = 5,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Chaos soak (``repro bench --chaos``): prove faults are invisible.
+
+    Two identical in-process serve benchmarks run back to back: a
+    reference arm under :data:`NO_FAULTS`, then a chaos arm under
+    ``faults`` (default: 10% injected worker crashes plus store-io,
+    slow-sim and client-disconnect noise).  The claim being pinned is the
+    strongest the stack makes — under that plan, **zero client requests
+    fail and every result is bit-identical to the fault-free run**,
+    because crashed attempts are retried deterministically, corrupt store
+    reads degrade to regeneration, and dropped connections resubmit
+    content-addressed (hence replay-safe) points.
+
+    The payload reports ``availability`` (answered/requested, the gated
+    floor is 1.0) and ``identical_to_fault_free`` alongside the retry
+    and fault counters that show the faults actually happened.
+    """
+    plan = FaultPlan.parse(faults, seed=fault_seed)
+    if not plan.specs:
+        raise ValueError("chaos bench needs a non-empty fault plan")
+    common: dict[str, Any] = {
+        "workloads": tuple(workloads),
+        "designs": tuple(designs),
+        "clients": clients,
+        "num_requests": num_requests,
+        "num_records": num_records,
+        "scale": scale,
+        "seed": seed,
+        "jobs": jobs,
+        "client_retries": client_retries,
+    }
+    if progress:
+        progress("reference arm (faults pinned off)")
+    reference = run_serve_bench(faults=NO_FAULTS, progress=progress, **common)
+    if progress:
+        progress(f"chaos arm under {plan.describe()}")
+    chaos = run_serve_bench(faults=plan, progress=progress, **common)
+
+    ref_digests: dict[str, str] = reference["result_digests"]
+    chaos_digests: dict[str, str] = chaos["result_digests"]
+    mismatched = sorted(
+        point_hash
+        for point_hash, digest in chaos_digests.items()
+        if ref_digests.get(point_hash) != digest
+    )
+    requested = int(chaos["requested"])
+    answered = int(chaos["requests"])
+    failed = requested - answered
+    identical = not mismatched and chaos["errors"] == 0 and failed == 0
+    health = chaos.get("daemon_health") or {}
+    return {
+        "benchmark": "serve-chaos",
+        "faults": plan.describe(),
+        "fault_seed": fault_seed,
+        "clients": clients,
+        "requested": requested,
+        "answered": answered,
+        "failed_requests": failed,
+        "errors": chaos["errors"],
+        "error_messages": chaos["error_messages"],
+        "availability": round(answered / requested, 6) if requested else 0.0,
+        "identical_to_fault_free": identical,
+        "mismatched_points": mismatched[:10],
+        "client_retries": chaos["client_retries"],
+        "runner_retries": health.get("retries"),
+        "pool_rebuilds": health.get("pool_rebuilds"),
+        "injected_faults": health.get("injected_faults"),
+        "quarantined_results": health.get("quarantined_results"),
+        "quarantined_traces": health.get("quarantined_traces"),
+        "wall_s": chaos["wall_s"],
+        "requests_per_sec": chaos["requests_per_sec"],
+        "latency": chaos["latency"],
+        "fault_free": {
+            "requests_per_sec": reference["requests_per_sec"],
+            "latency": reference["latency"],
+            "errors": reference["errors"],
+        },
+        "records": num_records,
+        "scale": scale,
+        "jobs": jobs,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }

@@ -26,26 +26,49 @@ Requests
     (``executed`` / ``deduped`` / ``cached``) and ``result.result`` is
     the full serialized :class:`~repro.sim.engine.SimulationResult`.
 
+    When the daemon is at its admission bound (``RNUCA_SERVE_MAX_INFLIGHT``
+    run requests already executing) the run is **shed** instead of queued::
+
+        {"event": "overloaded", "hash": "...", "error": "..."}
+
+    ``overloaded`` is terminal for the request; the client backs off and
+    resubmits (safe: points are content-addressed and deduped).
+
 ``{"op": "ping"}``
     Liveness probe; answered with ``{"event": "pong"}``.
 
 ``{"op": "stats"}``
     Daemon counters; answered with ``{"event": "stats", "stats": {...}}``
-    (requests, executed, cached, deduped, errors, in-flight, uptime).
+    (requests, executed, cached, deduped, errors, shed, idle timeouts,
+    uptime).
+
+``{"op": "health"}``
+    Robustness introspection; answered with ``{"event": "health",
+    "health": {...}}`` — worker-pool generation and rebuild/retry
+    counters, in-flight count against the admission limit, shed count,
+    store-quarantine counters and (under an ``RNUCA_FAULTS`` plan) the
+    per-site injected-fault counts.
 
 ``{"op": "shutdown"}``
     Answered with ``{"event": "shutting-down"}``, then the daemon stops
     accepting connections and exits its serve loop cleanly.
 
 Any malformed line or failed simulation is answered with
-``{"event": "error", "error": "..."}``; the connection stays usable.
+``{"event": "error", "error": "..."}``; the connection stays usable.  A
+connection idle longer than ``RNUCA_SERVE_IDLE_S`` is answered with a
+final ``error`` event and closed.
 
 :class:`ServeClient` wraps one connection with blocking helpers for each
-op; it is what the load generator and the tests use.
+op; it is what the load generator and the tests use.  Its ``run`` retries
+*transient* failures — a dropped connection
+(:class:`DaemonDisconnected`), a shed request (:class:`DaemonOverloaded`)
+— with bounded exponential backoff up to ``RNUCA_CLIENT_RETRIES`` times;
+genuine daemon ``error`` events are never retried.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import socket
 import time
@@ -96,6 +119,19 @@ class ProtocolError(SimulationError):
     """A malformed frame, an unexpected event, or a daemon-side error."""
 
 
+class DaemonDisconnected(ProtocolError):
+    """The connection died mid-request (EOF/reset); safe to retry."""
+
+
+class DaemonOverloaded(ProtocolError):
+    """The daemon shed the request (admission bound); retry after backoff."""
+
+
+#: Client-side retry backoff: exponential from the base, capped.
+_CLIENT_BACKOFF_BASE_S = 0.05
+_CLIENT_BACKOFF_CAP_S = 1.0
+
+
 class ServeClient:
     """One blocking connection to the daemon.
 
@@ -103,6 +139,10 @@ class ServeClient:
     the constructor retries the TCP connect until the daemon is up or the
     window runs out, so a freshly backgrounded daemon (the CI smoke job)
     needs no separate readiness poll.
+
+    ``retries`` bounds how many transient failures :meth:`run` absorbs
+    (default: the ``RNUCA_CLIENT_RETRIES`` knob); :attr:`transient_retries`
+    counts the absorptions over the client's lifetime.
     """
 
     def __init__(
@@ -111,9 +151,13 @@ class ServeClient:
         port: int | None = None,
         *,
         connect_timeout: float = 10.0,
+        retries: int | None = None,
     ) -> None:
         self.host = host or default_serve_host()
         self.port = port if port is not None else default_serve_port()
+        self.connect_timeout = connect_timeout
+        self.retries = retries if retries is not None else knobs.client_retries()
+        self.transient_retries = 0
         self._sock = self._connect(connect_timeout)
         self._reader = self._sock.makefile("rb")
 
@@ -154,8 +198,14 @@ class ServeClient:
     def _read_event(self) -> dict[str, Any]:
         line = self._reader.readline()
         if not line:
-            raise ProtocolError("daemon closed the connection mid-request")
+            raise DaemonDisconnected("daemon closed the connection mid-request")
         return decode_line(line)
+
+    def _reconnect(self) -> None:
+        with contextlib.suppress(OSError):
+            self.close()
+        self._sock = self._connect(self.connect_timeout)
+        self._reader = self._sock.makefile("rb")
 
     def run_events(self, point_dict: dict[str, Any]) -> Iterator[dict[str, Any]]:
         """Send a run request; yield every event line up to the final one."""
@@ -163,20 +213,45 @@ class ServeClient:
         while True:
             event = self._read_event()
             yield event
-            if event.get("event") in ("result", "error"):
+            if event.get("event") in ("result", "error", "overloaded"):
                 return
+
+    def _run_once(self, point_dict: dict[str, Any]) -> dict[str, Any]:
+        final: dict[str, Any] = {}
+        for event in self.run_events(point_dict):
+            final = event
+        if final.get("event") == "overloaded":
+            raise DaemonOverloaded(f"daemon shed the request: {final.get('error')}")
+        if final.get("event") == "error":
+            raise ProtocolError(f"daemon error: {final.get('error')}")
+        return final
 
     def run(self, point_dict: dict[str, Any]) -> dict[str, Any]:
         """Send a run request; return the final ``result`` event.
 
-        Raises :class:`ProtocolError` when the daemon answers ``error``.
+        Transient failures — a dropped connection, a shed request, a
+        connection-level error — are retried with bounded exponential
+        backoff up to :attr:`retries` times.  Resubmission is safe: points
+        are content-addressed and deduped daemon-side, so a retry of
+        already-finished work is a cache hit, never a second simulation
+        with a different answer.  A daemon ``error`` event (a genuinely
+        failed simulation) raises :class:`ProtocolError` without retry.
         """
-        final: dict[str, Any] = {}
-        for event in self.run_events(point_dict):
-            final = event
-        if final.get("event") == "error":
-            raise ProtocolError(f"daemon error: {final.get('error')}")
-        return final
+        attempt = 0
+        while True:
+            try:
+                return self._run_once(point_dict)
+            except (DaemonOverloaded, DaemonDisconnected, ConnectionError) as error:
+                if attempt >= self.retries:
+                    raise
+                attempt += 1
+                self.transient_retries += 1
+                time.sleep(
+                    min(_CLIENT_BACKOFF_CAP_S, _CLIENT_BACKOFF_BASE_S * (2.0**attempt))
+                )
+                if not isinstance(error, DaemonOverloaded):
+                    # The socket is dead (or poisoned mid-frame); start clean.
+                    self._reconnect()
 
     def ping(self) -> bool:
         self._send({"op": "ping"})
@@ -191,6 +266,16 @@ class ServeClient:
         if not isinstance(stats, dict):
             raise ProtocolError(f"malformed stats event: {event}")
         return stats
+
+    def health(self) -> dict[str, Any]:
+        self._send({"op": "health"})
+        event = self._read_event()
+        if event.get("event") != "health":
+            raise ProtocolError(f"expected health event, got {event}")
+        health = event["health"]
+        if not isinstance(health, dict):
+            raise ProtocolError(f"malformed health event: {event}")
+        return health
 
     def shutdown(self) -> bool:
         """Ask the daemon to stop; True when it acknowledged."""

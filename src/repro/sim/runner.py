@@ -48,13 +48,16 @@ The command-line front end lives in :mod:`repro.cli`.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import tempfile
 import threading
+import time
 from collections.abc import Callable, Iterable, Iterator
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
@@ -67,6 +70,13 @@ from repro.cmp.config import SystemConfig
 from repro.designs import normalize_design
 from repro.dynamics.adaptive import SCHEDULERS
 from repro.errors import SimulationError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    backoff_with_jitter,
+    default_fault_plan,
+)
 from repro.sim.engine import (
     DEFAULT_TRACE_LENGTH,
     SimulationResult,
@@ -84,6 +94,16 @@ JOBS_ENV = knobs.JOBS.name
 
 #: Default directory for the JSON result store.
 DEFAULT_RESULTS_DIR = "results"
+
+#: Subdirectory (of a store) that corrupt entries are moved into: the
+#: evidence is preserved for inspection instead of silently regenerated
+#: over.
+QUARANTINE_DIR = "quarantine"
+
+#: Retry backoff between attempts on one point: exponential from the base,
+#: capped, with seeded jitter (see :func:`repro.faults.backoff_with_jitter`).
+_BACKOFF_BASE_S = 0.05
+_BACKOFF_CAP_S = 1.0
 
 #: Point parameters with dedicated execution semantics (everything else is
 #: forwarded verbatim to :func:`repro.designs.build_design`).
@@ -322,6 +342,69 @@ def _ensure_process_trace_store(directory: str) -> None:
         set_process_trace_store(directory)
 
 
+#: This process's fault injector (worker processes only; the parent keeps
+#: its injector on the runner).  Installed by :func:`_pool_worker_init`.
+_PROCESS_FAULTS: FaultInjector | None = None
+
+#: True only in executor worker processes: the one place an injected
+#: worker-crash may genuinely kill the process.
+_IN_POOL_WORKER = False
+
+
+def set_process_faults(plan: FaultPlan | None) -> None:
+    """Install (or clear) this process's fault injector."""
+    global _PROCESS_FAULTS
+    _PROCESS_FAULTS = FaultInjector(plan) if plan is not None else None
+
+
+def _pool_worker_init(trace_dir: str | None, plan: FaultPlan | None) -> None:
+    """The executor initializer: trace store, fault plan, worker marker."""
+    global _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
+    set_process_trace_store(trace_dir)
+    set_process_faults(plan)
+
+
+def _execute_with_faults(
+    point: ExperimentPoint,
+    attempt: int,
+    injector: FaultInjector | None,
+    *,
+    in_worker: bool,
+) -> SimulationResult:
+    """Run :func:`execute_point` behind the injection points.
+
+    Draws are keyed on the attempt index the parent passes in, so a retry
+    of a crashed point draws independently instead of crashing forever.
+    An injected worker-crash is a real ``os._exit`` only inside a pool
+    worker (producing a genuine ``BrokenProcessPool`` upstairs); inline it
+    raises :class:`~repro.faults.InjectedFault`, because killing the only
+    process would take the daemon down with it.
+    """
+    if injector is not None:
+        key = point.content_hash
+        if injector.fires("slow-sim", key, sequence=attempt):
+            time.sleep(injector.delay_s("slow-sim"))
+        if injector.fires("worker-crash", key, sequence=attempt):
+            if in_worker:
+                os._exit(1)
+            raise InjectedFault(
+                f"injected worker-crash for {point.label} (attempt {attempt})"
+            )
+    return execute_point(point)
+
+
+def _run_point_task(point: ExperimentPoint, attempt: int = 0) -> SimulationResult:
+    """The pool task submitted per point: fault sites around the worker.
+
+    ``execute_point`` is resolved through the module global at call time,
+    so tests that monkeypatch it keep working through this wrapper.
+    """
+    return _execute_with_faults(
+        point, attempt, _PROCESS_FAULTS, in_worker=_IN_POOL_WORKER
+    )
+
+
 @lru_cache(maxsize=4)
 def _trace_for(workload: str, num_records: int, scale: int, seed: int) -> Trace:
     """Per-process trace cache so one workload's grid points share a trace.
@@ -418,26 +501,71 @@ def execute_point(point: ExperimentPoint) -> SimulationResult:
 
 
 class ResultStore:
-    """A directory of content-addressed ``<hash>.json`` simulation results."""
+    """A directory of content-addressed ``<hash>.json`` simulation results.
 
-    def __init__(self, directory: str | Path = DEFAULT_RESULTS_DIR) -> None:
+    A corrupt entry (truncated write, damaged disk) is **quarantined** on
+    read: moved into ``quarantine/`` and counted, so the caller re-executes
+    while the evidence survives for inspection — a silent miss would
+    regenerate over the one artifact that could explain the corruption.
+    ``faults=None`` (the default) picks up the ``RNUCA_FAULTS`` plan for
+    the ``store-io`` injection site; pass an empty plan to opt out.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path = DEFAULT_RESULTS_DIR,
+        *,
+        faults: FaultPlan | None = None,
+    ) -> None:
         self.directory = Path(directory)
+        plan = faults if faults is not None else default_fault_plan()
+        self._injector = FaultInjector(plan) if plan is not None else None
+        self.quarantined = 0
+        self._quarantine_lock: TrackedLock = make_lock("results.quarantine")
 
     def path_for(self, point: ExperimentPoint) -> Path:
         return self.directory / f"{point.content_hash}.json"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (keeping the evidence) and count it."""
+        target_dir = self.directory / QUARANTINE_DIR
+        with contextlib.suppress(OSError):
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        with self._quarantine_lock:
+            self.quarantined += 1
+            note_write("ResultStore.quarantined", self._quarantine_lock)
+
+    def quarantined_files(self) -> list[Path]:
+        """Every quarantined entry currently on disk, sorted by name."""
+        target_dir = self.directory / QUARANTINE_DIR
+        if not target_dir.is_dir():
+            return []
+        return sorted(target_dir.glob("*.json"))
 
     def get(self, point: ExperimentPoint) -> SimulationResult | None:
         """Return the cached result for ``point``, or ``None`` on a miss."""
         path = self.path_for(point)
         if not path.exists():
             return None
+        if self._injector is not None and self._injector.fires(
+            "store-io", point.content_hash
+        ):
+            return None  # injected read failure: degrade to a miss, re-execute
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except json.JSONDecodeError:
+            self._quarantine(path)
             return None
+        except OSError:
+            return None  # transient read error: a miss, but not corruption
         if payload.get("point") != point.to_dict():
             return None  # hash collision or stale schema: treat as a miss
-        return SimulationResult.from_dict(payload["result"])
+        try:
+            return SimulationResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            self._quarantine(path)
+            return None
 
     def put(self, point: ExperimentPoint, result: SimulationResult) -> Path:
         """Persist ``result`` under the point's content hash (atomically).
@@ -549,6 +677,9 @@ class BatchRunner:
         jobs: int | None = None,
         progress: Callable[[str], None] | None = None,
         trace_store: TraceStore | None = None,
+        faults: FaultPlan | None = None,
+        point_timeout_s: float | None = None,
+        point_retries: int | None = None,
     ) -> None:
         self.store = store
         self.jobs = jobs if jobs is not None else default_jobs()
@@ -556,6 +687,21 @@ class BatchRunner:
             raise SimulationError("jobs must be >= 1")
         self.progress = progress or (lambda message: None)
         self.trace_store = trace_store if trace_store is not None else default_trace_store()
+        # Fault plan (None = the RNUCA_FAULTS environment plan, itself None
+        # by default) plus the per-point deadline and retry budget.
+        self.faults = faults if faults is not None else default_fault_plan()
+        self._injector = (
+            FaultInjector(self.faults) if self.faults is not None else None
+        )
+        self.point_timeout_s = (
+            point_timeout_s if point_timeout_s is not None else knobs.point_timeout_s()
+        )
+        self.point_retries = (
+            point_retries if point_retries is not None else knobs.point_retries()
+        )
+        self.retries = 0
+        self.pool_rebuilds = 0
+        self.pool_generation = 0
         self._inflight: dict[str, _InFlight] = {}
         # Tracked locks (repro.check.locks): under RNUCA_CHECK_LOCKS=1 the
         # test suite records their acquisition order and fails on
@@ -564,23 +710,62 @@ class BatchRunner:
         self._trace_lock: TrackedLock = make_lock("runner.traces")
         self._pool: ProcessPoolExecutor | None = None
         self._pool_lock: TrackedLock = make_lock("runner.pool")
+        self._stats_lock: TrackedLock = make_lock("runner.stats")
 
     # ------------------------------------------------------------------ #
     # Long-lived (serve) execution: warm pool + in-flight dedupe
     # ------------------------------------------------------------------ #
+    def _new_pool(self) -> ProcessPoolExecutor:
+        trace_dir = str(self.trace_store.directory) if self.trace_store else None
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_pool_worker_init,
+            initargs=(trace_dir, self.faults),
+        )
+
     def _shared_pool(self) -> ProcessPoolExecutor:
         """The persistent worker pool, created on first use and kept warm."""
         with self._pool_lock:
             if self._pool is None:
-                trace_dir = (
-                    str(self.trace_store.directory) if self.trace_store else None
-                )
-                initializer = set_process_trace_store if trace_dir else None
-                initargs = (trace_dir,) if trace_dir else ()
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.jobs, initializer=initializer, initargs=initargs
-                )
+                self._pool = self._new_pool()
+                self.pool_generation += 1
+                note_write("BatchRunner._pool", self._pool_lock)
             return self._pool
+
+    def _discard_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Throw a broken pool away — once, even when many threads see it.
+
+        Identity-guarded: every thread whose future died with
+        ``BrokenProcessPool`` calls this with the pool it submitted to, but
+        only the first discards it; the rest find ``self._pool`` already
+        replaced (or ``None``) and their retry picks up the rebuilt pool.
+        """
+        with self._pool_lock:
+            if self._pool is pool:
+                self._pool = None
+                note_write("BatchRunner._pool", self._pool_lock)
+                with self._stats_lock:
+                    self.pool_rebuilds += 1
+                    note_write("BatchRunner.stats", self._stats_lock)
+        # Outside the pool lock: reaping a broken pool's processes must not
+        # serialise other threads' recovery.
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _note_retry(self) -> None:
+        with self._stats_lock:
+            self.retries += 1
+            note_write("BatchRunner.stats", self._stats_lock)
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """Recovery counters for health reporting (thread-safe)."""
+        with self._pool_lock:
+            generation = self.pool_generation
+        with self._stats_lock:
+            return {
+                "pool_generation": generation,
+                "pool_rebuilds": self.pool_rebuilds,
+                "retries": self.retries,
+            }
 
     def close(self) -> None:
         """Shut the persistent worker pool down (idempotent)."""
@@ -588,6 +773,7 @@ class BatchRunner:
             if self._pool is not None:
                 self._pool.shutdown()
                 self._pool = None
+                note_write("BatchRunner._pool", self._pool_lock)
 
     def __enter__(self) -> BatchRunner:
         return self
@@ -595,13 +781,83 @@ class BatchRunner:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    def _backoff_s(self, point: ExperimentPoint, attempt: int) -> float:
+        seed = self.faults.seed if self.faults is not None else 0
+        return backoff_with_jitter(
+            seed,
+            point.content_hash,
+            attempt,
+            base_s=_BACKOFF_BASE_S,
+            cap_s=_BACKOFF_CAP_S,
+        )
+
+    def _retries_exhausted(
+        self, point: ExperimentPoint, last_error: BaseException | None
+    ) -> SimulationError:
+        return SimulationError(
+            f"point {point.label} failed after {self.point_retries + 1} "
+            f"attempts: {last_error}"
+        )
+
     def _execute_one(self, point: ExperimentPoint) -> SimulationResult:
-        """Run one point on the warm pool (``jobs > 1``) or inline."""
+        """Run one point to completion, surviving transient failures.
+
+        Transient failures — a crashed worker (``BrokenProcessPool``), an
+        expired per-point deadline, an injected inline crash — each consume
+        one attempt from the retry budget, with bounded seeded-jitter
+        exponential backoff between attempts.  Resubmission is safe because
+        points are deterministic and content-addressed.  Real simulation
+        errors propagate immediately, un-retried.
+        """
         if self.jobs > 1:
-            return self._shared_pool().submit(execute_point, point).result()
+            return self._execute_pooled(point)
         if self.trace_store is not None:
             _ensure_process_trace_store(str(self.trace_store.directory))
-        return execute_point(point)
+        return self._execute_inline(point)
+
+    def _execute_pooled(self, point: ExperimentPoint) -> SimulationResult:
+        last_error: BaseException | None = None
+        for attempt in range(self.point_retries + 1):
+            if attempt:
+                self._note_retry()
+                time.sleep(self._backoff_s(point, attempt))
+            pool = self._shared_pool()
+            try:
+                future = pool.submit(_run_point_task, point, attempt)
+            except (BrokenProcessPool, RuntimeError) as error:
+                # The pool broke (or was discarded by another thread's
+                # recovery) between lookup and submit; rebuild and retry.
+                self._discard_pool(pool)
+                last_error = error
+                continue
+            try:
+                return future.result(timeout=self.point_timeout_s)
+            except BrokenProcessPool as error:
+                self._discard_pool(pool)
+                last_error = error
+            except CancelledError as error:
+                # Another thread's recovery cancelled our queued future.
+                last_error = error
+            except TimeoutError as error:
+                # Deadline expired: cancel if still queued; a task already
+                # running is abandoned (its late result goes nowhere).
+                future.cancel()
+                last_error = error
+        raise self._retries_exhausted(point, last_error) from last_error
+
+    def _execute_inline(self, point: ExperimentPoint) -> SimulationResult:
+        last_error: BaseException | None = None
+        for attempt in range(self.point_retries + 1):
+            if attempt:
+                self._note_retry()
+                time.sleep(self._backoff_s(point, attempt))
+            try:
+                return _execute_with_faults(
+                    point, attempt, self._injector, in_worker=False
+                )
+            except InjectedFault as error:
+                last_error = error
+        raise self._retries_exhausted(point, last_error) from last_error
 
     def run_point(
         self,
@@ -640,7 +896,17 @@ class BatchRunner:
                 note_write("BatchRunner._inflight", self._inflight_lock)
         if joined is not None:
             notify("joined")
-            joined.event.wait()
+            # The owner bounds every attempt with the per-point deadline,
+            # so a joiner that outwaits the owner's whole retry budget (plus
+            # slack) is witnessing a bug, not a slow simulation.
+            budget = (self.point_timeout_s + _BACKOFF_CAP_S) * (
+                self.point_retries + 1
+            ) + 30.0
+            if not joined.event.wait(timeout=budget):
+                raise SimulationError(
+                    f"gave up joining the in-flight simulation of "
+                    f"{point.label} after {budget:.0f}s"
+                )
             if joined.error is not None:
                 raise joined.error
             if joined.result is None:  # owner invariant: result precedes wake
@@ -734,9 +1000,8 @@ class BatchRunner:
     ) -> Iterator[tuple[ExperimentPoint, SimulationResult]]:
         if not missing:
             return
-        workers = min(self.jobs, len(missing))
         trace_dir = str(self.trace_store.directory) if self.trace_store else None
-        if workers == 1:
+        if self.jobs == 1:
             previous = (
                 str(_PROCESS_TRACE_STORE.directory) if _PROCESS_TRACE_STORE else None
             )
@@ -744,17 +1009,82 @@ class BatchRunner:
                 set_process_trace_store(trace_dir)
             try:
                 for point in missing:
-                    yield point, execute_point(point)
+                    yield point, self._execute_inline(point)
             finally:
                 if trace_dir is not None:
                     set_process_trace_store(previous)
             return
-        initializer = set_process_trace_store if trace_dir is not None else None
-        initargs = (trace_dir,) if trace_dir is not None else ()
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=initializer, initargs=initargs
-        ) as pool:
-            yield from zip(missing, pool.map(execute_point, missing), strict=True)
+        # Batch execution rides the shared pool so it gets the same
+        # crash recovery as run_point; a pool this batch opened is closed
+        # again afterwards (a pre-warmed serve pool stays up).
+        pool_was_warm = self._pool is not None
+        try:
+            yield from self._execute_batch_pooled(missing)
+        finally:
+            if not pool_was_warm:
+                self.close()
+
+    def _charge_attempt(
+        self,
+        point: ExperimentPoint,
+        attempts: dict[str, int],
+        error: BaseException,
+    ) -> None:
+        """Burn one of ``point``'s attempts; raise when the budget is gone."""
+        attempts[point.content_hash] += 1
+        if attempts[point.content_hash] > self.point_retries:
+            raise self._retries_exhausted(point, error) from error
+        self._note_retry()
+
+    def _execute_batch_pooled(
+        self, missing: list[ExperimentPoint]
+    ) -> Iterator[tuple[ExperimentPoint, SimulationResult]]:
+        """Fan the batch out over the shared pool, recovering per round.
+
+        Every pending point is submitted together; the ones that fail
+        transiently (worker crash, expired deadline) are resubmitted as the
+        next round, each carrying its own attempt counter toward the same
+        per-point retry budget ``run_point`` enforces.
+        """
+        attempts: dict[str, int] = {point.content_hash: 0 for point in missing}
+        results: dict[str, SimulationResult] = {}
+        pending = list(missing)
+        while pending:
+            pool = self._shared_pool()
+            try:
+                submitted = [
+                    (point, pool.submit(_run_point_task, point, attempts[point.content_hash]))
+                    for point in pending
+                ]
+            except (BrokenProcessPool, RuntimeError) as error:
+                self._discard_pool(pool)
+                for point in pending:
+                    self._charge_attempt(point, attempts, error)
+                continue
+            retry: list[ExperimentPoint] = []
+            pool_broken = False
+            for point, future in submitted:
+                try:
+                    results[point.content_hash] = future.result(
+                        timeout=self.point_timeout_s
+                    )
+                except BrokenProcessPool as error:
+                    pool_broken = True
+                    self._charge_attempt(point, attempts, error)
+                    retry.append(point)
+                except (TimeoutError, CancelledError, InjectedFault) as error:
+                    future.cancel()
+                    self._charge_attempt(point, attempts, error)
+                    retry.append(point)
+            if pool_broken:
+                self._discard_pool(pool)
+            if retry:
+                time.sleep(
+                    self._backoff_s(retry[0], attempts[retry[0].content_hash])
+                )
+            pending = retry
+        for point in missing:
+            yield point, results[point.content_hash]
 
 
 def run_grid(

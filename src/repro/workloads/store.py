@@ -43,7 +43,9 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro import knobs
+from repro.check.locks import TrackedLock, make_lock, note_write
 from repro.errors import TraceError
+from repro.faults import FaultInjector, FaultPlan, default_fault_plan
 from repro.workloads.trace import Trace
 
 if TYPE_CHECKING:
@@ -60,6 +62,10 @@ DEFAULT_TRACE_DIR = "traces"
 #: Append-only log of traces the store actually generated (one line per
 #: generation, the stored file's name).  Cache hits do not log.
 GENERATION_LOG = "generated.log"
+
+#: Subdirectory corrupt trace files are moved into on read (evidence is
+#: preserved and counted, then the caller regenerates).
+QUARANTINE_DIR = "quarantine"
 
 
 def spec_fingerprint(
@@ -141,10 +147,26 @@ class TraceKey:
 
 
 class TraceStore:
-    """A directory of content-addressed binary columnar trace files."""
+    """A directory of content-addressed binary columnar trace files.
 
-    def __init__(self, directory: str | Path = DEFAULT_TRACE_DIR) -> None:
+    A corrupt file — a crashed writer, a damaged cache — is **quarantined**
+    on read (moved into ``quarantine/`` and counted) so the caller
+    regenerates while the evidence survives for inspection.  ``faults=None``
+    (the default) picks up the ``RNUCA_FAULTS`` plan for the ``store-io``
+    injection site; pass an empty plan to opt out.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path = DEFAULT_TRACE_DIR,
+        *,
+        faults: FaultPlan | None = None,
+    ) -> None:
         self.directory = Path(directory)
+        plan = faults if faults is not None else default_fault_plan()
+        self._injector = FaultInjector(plan) if plan is not None else None
+        self.quarantined = 0
+        self._quarantine_lock: TrackedLock = make_lock("traces.quarantine")
 
     @classmethod
     def from_env(cls) -> TraceStore:
@@ -154,22 +176,45 @@ class TraceStore:
     def path_for(self, key: TraceKey) -> Path:
         return self.directory / key.filename
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt file aside (keeping the evidence) and count it."""
+        target_dir = self.directory / QUARANTINE_DIR
+        with contextlib.suppress(OSError):
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        with self._quarantine_lock:
+            self.quarantined += 1
+            note_write("TraceStore.quarantined", self._quarantine_lock)
+
+    def quarantined_files(self) -> list[Path]:
+        """Every quarantined trace file currently on disk, sorted by name."""
+        target_dir = self.directory / QUARANTINE_DIR
+        if not target_dir.is_dir():
+            return []
+        return sorted(target_dir.glob("*.npz"))
+
     def get(self, key: TraceKey, *, mmap: bool = True) -> Trace | None:
         """The stored trace for ``key`` (memory-mapped), or ``None``.
 
-        A corrupt or truncated file — a crashed writer, a damaged cache —
-        reads as a miss so the caller regenerates instead of crashing.
-        Every hit bumps the file's modification time, which is the recency
-        :meth:`gc` evicts by (least recently *used*, not least recently
-        written).
+        A corrupt or truncated file is quarantined and reads as a miss, so
+        the caller regenerates instead of crashing.  Every hit bumps the
+        file's modification time, which is the recency :meth:`gc` evicts
+        by (least recently *used*, not least recently written).
         """
         path = self.path_for(key)
         if not path.exists():
             return None
+        if self._injector is not None and self._injector.fires(
+            "store-io", key.content_hash
+        ):
+            return None  # injected read failure: degrade to a miss, regenerate
         try:
             trace = Trace.load(path, mmap=mmap)
-        except (TraceError, OSError):
+        except TraceError:
+            self._quarantine(path)
             return None
+        except OSError:
+            return None  # transient read error: a miss, but not corruption
         with contextlib.suppress(OSError):
             # Read-only store: recency tracking degrades, reads still work.
             os.utime(path)

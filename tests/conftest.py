@@ -32,6 +32,18 @@ def trace_dir(tmp_path, monkeypatch):
     return directory
 
 
+@pytest.fixture(autouse=True)
+def no_ambient_faults(monkeypatch):
+    """Keep a developer's exported ``RNUCA_FAULTS`` out of the suite.
+
+    Stores, runners and daemons constructed without an explicit plan fall
+    back to the environment; a shell with chaos switched on would
+    otherwise inject faults into every unrelated test.
+    """
+    monkeypatch.delenv("RNUCA_FAULTS", raising=False)
+    monkeypatch.delenv("RNUCA_FAULT_SEED", raising=False)
+
+
 @pytest.fixture
 def config16():
     """The 16-core server configuration, scaled for fast tests."""

@@ -1,0 +1,9 @@
+"""Bad: joins a pool future with no deadline (no-unbounded-future-result)."""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+
+
+def join(future: Future[int]) -> int:
+    return future.result()

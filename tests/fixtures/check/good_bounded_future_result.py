@@ -1,0 +1,13 @@
+"""Good: bounds the join and cancels on timeout (no-unbounded-future-result)."""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+
+
+def join(future: Future[int]) -> int:
+    try:
+        return future.result(timeout=30.0)
+    except TimeoutError:
+        future.cancel()
+        raise

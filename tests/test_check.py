@@ -30,6 +30,7 @@ BAD_FIXTURES = {
     "bad_mutable_default.py": "no-mutable-default",
     "bad_hash_coverage.py": "hash-coverage",
     "bad_untyped_defs.py": "typed-defs",
+    "bad_unbounded_future_result.py": "no-unbounded-future-result",
 }
 
 GOOD_FIXTURES = (
@@ -40,6 +41,7 @@ GOOD_FIXTURES = (
     "good_mutable_default.py",
     "good_hash_coverage.py",
     "good_typed_defs.py",
+    "good_bounded_future_result.py",
 )
 
 

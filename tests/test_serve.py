@@ -15,8 +15,16 @@ import time
 import pytest
 
 import repro.sim.runner as runner_module
-from repro.serve import ServeClient, ServeWorkload, SimulationDaemon, run_serve_bench
-from repro.serve.loadgen import run_loadgen
+from repro.faults import FaultPlan
+from repro.serve import (
+    DaemonOverloaded,
+    ServeClient,
+    ServeWorkload,
+    SimulationDaemon,
+    run_chaos_bench,
+    run_serve_bench,
+)
+from repro.serve.loadgen import NO_FAULTS, run_loadgen
 from repro.sim.runner import (
     BatchRunner,
     ExperimentGrid,
@@ -281,6 +289,157 @@ class TestConcurrentClients:
         assert result.cpi > 0
 
 
+class TestRobustness:
+    def test_health_op_reports_recovery_counters(self, daemon):
+        with ServeClient(daemon.host, daemon.port) as client:
+            health = client.health()
+        assert health["status"] == "ok"
+        assert health["in_flight"] == 0
+        assert health["admission_limit"] >= 1
+        for key in (
+            "pool_generation",
+            "pool_rebuilds",
+            "retries",
+            "shed",
+            "idle_timeouts",
+            "quarantined_results",
+            "quarantined_traces",
+            "injected_faults",
+        ):
+            assert key in health
+
+    def test_idle_connection_is_closed_with_an_error_event(self, stores):
+        store, trace_store = stores
+        runner = BatchRunner(store=store, jobs=1, trace_store=trace_store)
+        with SimulationDaemon(runner, port=0, idle_timeout_s=0.3) as daemon:
+            with ServeClient(daemon.host, daemon.port) as client:
+                assert client.ping()
+                # Stall past the idle budget without sending anything.
+                event = client._read_event()
+                assert event["event"] == "error"
+                assert "idle" in event["error"]
+                assert "RNUCA_SERVE_IDLE_S" in event["error"]
+            assert daemon.stats.snapshot()["idle_timeouts"] == 1
+
+    def test_admission_bound_sheds_then_client_retry_succeeds(
+        self, stores, monkeypatch
+    ):
+        store, trace_store = stores
+        runner = BatchRunner(store=store, jobs=1, trace_store=trace_store)
+        real_execute = runner_module.execute_point
+
+        def slow_execute(p):
+            time.sleep(0.4)
+            return real_execute(p)
+
+        monkeypatch.setattr(runner_module, "execute_point", slow_execute)
+        with SimulationDaemon(runner, port=0, max_inflight=1) as daemon:
+            point = make_point(design="R", seed=21)
+            holder_done = threading.Event()
+
+            def holder():
+                with ServeClient(daemon.host, daemon.port) as client:
+                    client.run(point.to_dict())
+                holder_done.set()
+
+            thread = threading.Thread(target=holder)
+            thread.start()
+            time.sleep(0.1)  # let the holder claim the only admission slot
+            with ServeClient(daemon.host, daemon.port, retries=20) as client:
+                final = client.run(point.to_dict())
+                retries = client.transient_retries
+            thread.join(timeout=30)
+            stats = daemon.stats.snapshot()
+        assert holder_done.is_set()
+        assert final["status"] in ("cached", "deduped", "executed")
+        assert stats["shed"] >= 1  # the bound actually shed us
+        assert retries >= 1  # and the client retried through it
+
+    def test_shed_request_without_retries_raises_overloaded(
+        self, stores, monkeypatch
+    ):
+        store, trace_store = stores
+        runner = BatchRunner(store=store, jobs=1, trace_store=trace_store)
+        real_execute = runner_module.execute_point
+
+        def slow_execute(p):
+            time.sleep(0.4)
+            return real_execute(p)
+
+        monkeypatch.setattr(runner_module, "execute_point", slow_execute)
+        with SimulationDaemon(runner, port=0, max_inflight=1) as daemon:
+            point = make_point(design="R", seed=22)
+            thread = threading.Thread(
+                target=lambda: ServeClient(daemon.host, daemon.port)
+                .run(point.to_dict())
+            )
+            thread.start()
+            time.sleep(0.1)
+            with ServeClient(daemon.host, daemon.port, retries=0) as client:
+                with pytest.raises(DaemonOverloaded, match="admission capacity"):
+                    client.run(point.to_dict())
+            thread.join(timeout=30)
+
+    def test_injected_disconnect_is_absorbed_by_client_retry(self, stores):
+        """The worst transient: work done, reply lost.  The retry must hit
+        the store and return the identical result with zero visible errors."""
+        store, trace_store = stores
+        runner = BatchRunner(store=store, jobs=1, trace_store=trace_store)
+        plan = FaultPlan.parse("client-disconnect:p=1.0,max=1")
+        with SimulationDaemon(runner, port=0, faults=plan) as daemon:
+            point = make_point(design="P", seed=23)
+            with ServeClient(daemon.host, daemon.port, retries=2) as client:
+                final = client.run(point.to_dict())
+                retries = client.transient_retries
+            stats = daemon.stats.snapshot()
+        assert final["status"] == "cached"  # the first attempt stored it
+        assert retries == 1
+        assert stats["injected_disconnects"] == 1
+        assert stats["errors"] == 0
+
+    def test_stop_reports_a_wedged_serve_thread(self, stores, capsys):
+        store, trace_store = stores
+        runner = BatchRunner(store=store, jobs=1, trace_store=trace_store)
+        daemon = SimulationDaemon(runner, port=0).start()
+        real_thread = daemon._thread
+        wedged = threading.Thread(target=time.sleep, args=(5,), daemon=True)
+        wedged.start()
+        daemon._thread = wedged
+        assert daemon.stop(timeout=0.2) is False
+        assert "failed to stop" in capsys.readouterr().err
+        daemon._thread = real_thread
+        assert daemon.stop() is True
+
+
+class TestChaosBench:
+    def test_chaos_bench_zero_failures_and_bit_identical(self):
+        payload = run_chaos_bench(
+            workloads=("mix",),
+            designs=("P", "R"),
+            clients=2,
+            num_requests=8,
+            num_records=RECORDS,
+            scale=TEST_SCALE,
+            jobs=2,
+            faults="client-disconnect:p=1.0,max=1;store-io:p=0.3",
+            fault_seed=0,
+            client_retries=5,
+        )
+        assert payload["benchmark"] == "serve-chaos"
+        assert payload["failed_requests"] == 0
+        assert payload["availability"] == 1.0
+        assert payload["identical_to_fault_free"] is True
+        assert payload["mismatched_points"] == []
+        assert payload["errors"] == 0, payload["error_messages"]
+        # The faults demonstrably happened — this was not a quiet run.
+        assert payload["injected_faults"]["client-disconnect"] >= 1
+        assert payload["client_retries"] >= 1
+
+    def test_chaos_bench_rejects_an_empty_plan(self):
+        with pytest.raises(ValueError):
+            run_chaos_bench(faults="  ")
+
+
 class TestLoadgen:
     def test_serve_bench_payload(self):
         payload = run_serve_bench(
@@ -303,6 +462,29 @@ class TestLoadgen:
         assert stats["executed"] == 2  # exactly once per unique point
         assert stats["deduped"] + stats["cached"] == 14
         assert stats["deduped"] > 0  # identical sequences overlap in flight
+        # Robustness evidence rides along on every loadgen payload.
+        assert len(payload["result_digests"]) == 2
+        assert payload["client_retries"] == 0
+        assert payload["daemon_health"]["pool_rebuilds"] == 0
+
+    def test_serve_bench_with_pinned_empty_plan_ignores_ambient_faults(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("RNUCA_FAULTS", "client-disconnect:p=1.0")
+        payload = run_serve_bench(
+            workloads=("mix",),
+            designs=("P",),
+            clients=2,
+            num_requests=4,
+            num_records=RECORDS,
+            scale=TEST_SCALE,
+            faults=NO_FAULTS,
+        )
+        assert payload["errors"] == 0
+        assert payload["client_retries"] == 0
+        assert payload["daemon_health"]["injected_faults"] == {
+            site: 0 for site in payload["daemon_health"]["injected_faults"]
+        }
 
     def test_workload_sequence_is_deterministic_and_covers_pool(self):
         workload = ServeWorkload.mixed(

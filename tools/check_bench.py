@@ -26,6 +26,12 @@ Metrics compared:
   plus the warm-path (store-hit) p50/p99 latencies, gated as inverse
   latency so the same lower-bound ratio check applies: a warm p99 that
   doubles halves its inverse and trips the gate.
+* chaos payloads (``BENCH_chaos.json``) — ``requests_per_sec`` and p50/p99
+  under injected faults as ratio metrics, **plus absolute floors that no
+  threshold relaxes**: availability must be exactly 1.0, zero failed
+  requests, and results bit-identical to the fault-free arm.  A ratio gate
+  would let availability drift (0.97/1.0 passes a 30% threshold); the
+  chaos claim is all-or-nothing, so it is checked as a contract.
 
 Stdlib only, like the rest of ``tools/``.
 """
@@ -69,10 +75,40 @@ def serve_metrics(payload: dict) -> dict[str, float]:
     return metrics
 
 
+def chaos_metrics(payload: dict) -> dict[str, float]:
+    metrics = {}
+    if payload.get("requests_per_sec"):
+        metrics["requests_per_sec"] = payload["requests_per_sec"]
+    latency = payload.get("latency", {})
+    for percentile in ("p50_ms", "p99_ms"):
+        value = latency.get(percentile)
+        if value:
+            metrics[f"latency.{percentile}.inverse"] = 1000.0 / value
+    return metrics
+
+
+def chaos_contract(payload: dict) -> list[str]:
+    """Absolute floors of the chaos soak (thresholds do not apply)."""
+    problems = []
+    if payload.get("availability") != 1.0:
+        problems.append(f"availability {payload.get('availability')!r} != 1.0")
+    if payload.get("failed_requests"):
+        problems.append(f"{payload['failed_requests']} failed client request(s)")
+    if not payload.get("identical_to_fault_free"):
+        problems.append("results under faults are not bit-identical to the fault-free arm")
+    return problems
+
+
 EXTRACTORS = {
     "trace-engine-records-per-sec": engine_metrics,
     "trace-pipeline": trace_metrics,
     "serve-loadgen": serve_metrics,
+    "serve-chaos": chaos_metrics,
+}
+
+#: Absolute (threshold-independent) contracts per benchmark kind.
+CONTRACTS = {
+    "serve-chaos": chaos_contract,
 }
 
 
@@ -108,6 +144,20 @@ def main(argv: list[str] | None = None) -> int:
     extractor = EXTRACTORS.get(kind)
     if extractor is None:
         sys.exit(f"check_bench: no metric extractor for benchmark kind {kind!r}")
+
+    contract = CONTRACTS.get(kind)
+    if contract is not None:
+        violations = [
+            f"{label}: {problem}"
+            for label, payload in (("baseline", baseline), ("current", current))
+            for problem in contract(payload)
+        ]
+        if violations:
+            for violation in violations:
+                print(f"  contract violated ({violation})")
+            print(f"check_bench: FAIL — {len(violations)} absolute contract violation(s)")
+            return 1
+        print("  absolute contract: ok (availability 1.0, bit-identical)")
 
     base_metrics = extractor(baseline)
     curr_metrics = extractor(current)
