@@ -1,0 +1,70 @@
+"""Tier-1 wall-clock budget: the suite's slow tail cannot silently regrow.
+
+The batch replay kernel bought the suite its <60s target (seed tier 1 ran
+~140s); this plugin keeps that purchase enforced.  It accumulates every
+setup/call/teardown duration (the same numbers ``--durations=10`` prints
+— setup matters most: the session-scoped evaluation grids surface as one
+giant fixture setup), and fails the session if the **top-10 total**
+exceeds the pinned ceiling — the top-10 sum is what actually bounds wall
+clock here, because the long tail is thousands of sub-100ms phases while
+regressions concentrate in the handful of shared grids.
+
+The budget only engages on a *standard* tier-1 run:
+
+* no fidelity knobs raising trace lengths (``RNUCA_EVAL_RECORDS`` /
+  ``RNUCA_CHARACTERIZATION_RECORDS``) — full-fidelity figure regeneration
+  is allowed to be slow;
+* benchmark timing disabled (the default; ``--benchmark-enable`` reruns
+  every figure multiple rounds on purpose);
+* no ``-k``/deselection tricks needed: a partial run can only have a
+  *smaller* top-10 total, so engaging there is harmless.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Ceiling (seconds) on the sum of the ten slowest test phases.
+#: Measured ~25.6s on one core at pinning time (14.4s of it the shared
+#: evaluation-grid fixture); the gap to the ceiling is runner-variance
+#: headroom, not room for a new slow fixture.
+TIER1_TOP10_BUDGET_S = 40.0
+
+#: Knobs that deliberately trade wall clock for fidelity; any of them set
+#: means this is not the standard tier-1 configuration the pin is for.
+_FIDELITY_KNOBS = ("RNUCA_EVAL_RECORDS", "RNUCA_CHARACTERIZATION_RECORDS")
+
+_durations: list[float] = []
+
+
+def _budget_active(config) -> bool:
+    if any(os.environ.get(name) for name in _FIDELITY_KNOBS):
+        return False
+    # --benchmark-enable re-times every figure over multiple rounds.
+    if getattr(config.option, "benchmark_enable", False):
+        return False
+    return True
+
+
+def pytest_runtest_logreport(report) -> None:
+    _durations.append(report.duration)
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    if exitstatus != 0 or not _durations:
+        return
+    if not _budget_active(session.config):
+        return
+    top = sorted(_durations, reverse=True)[:10]
+    total = sum(top)
+    if total > TIER1_TOP10_BUDGET_S:
+        lines = ", ".join(f"{d:.2f}s" for d in top)
+        print(
+            f"\ntier-1 wall-clock budget exceeded: top-10 call durations "
+            f"total {total:.2f}s > {TIER1_TOP10_BUDGET_S:.0f}s budget "
+            f"(slowest: {lines}).\n"
+            "Either a test/fixture got slower (fix it) or the suite "
+            "legitimately grew (raise TIER1_TOP10_BUDGET_S in conftest.py "
+            "with the new measurement)."
+        )
+        session.exitstatus = 1

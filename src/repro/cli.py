@@ -781,9 +781,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         {
             "design": result["design"],
             "fast_rec/s": result["fast_records_per_sec"],
+            "batch_rec/s": result["batch_records_per_sec"],
             "seed_rec/s": result["reference_records_per_sec"],
             "speedup": result["speedup"],
-            "stats_match": result["stats_match"],
+            "batch_x": result["batch_speedup"],
+            "stats_match": result["stats_match"] and result["batch_stats_match"],
         }
         for result in payload["results"]
     ]
@@ -798,9 +800,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     path = write_bench(payload, args.output or DEFAULT_BENCH_OUTPUT)
     print(f"Wrote {path}")
-    mismatches = [r["design"] for r in payload["results"] if not r["stats_match"]]
+    mismatches = [
+        r["design"]
+        for r in payload["results"]
+        if not (r["stats_match"] and r["batch_stats_match"])
+    ]
     if mismatches:
-        print(f"WARNING: fast/seed stats mismatch for {', '.join(mismatches)}")
+        print(f"WARNING: engine stats mismatch for {', '.join(mismatches)}")
         return 1
     return 0
 

@@ -31,6 +31,13 @@ class TiledChip:
         self._interleave_mask = config.num_tiles - 1
         self._block_shift = config.block_size.bit_length() - 1
         self._page_shift = config.page_size.bit_length() - 1
+        # Hop distance is a pure function of the (static) topology; the
+        # coherence hot paths index this table instead of recomputing the
+        # folded-torus arithmetic per probe.
+        nodes = range(config.num_tiles)
+        self._distance_table: list[list[int]] = [
+            [self.topology.hop_distance(src, dst) for dst in nodes] for src in nodes
+        ]
 
     # ------------------------------------------------------------------ #
     # Address helpers
@@ -70,7 +77,9 @@ class TiledChip:
         return self.tiles[tile_id]
 
     def distance(self, src_tile: int, dst_tile: int) -> int:
-        return self.topology.hop_distance(src_tile, dst_tile)
+        if 0 <= src_tile < self.num_tiles and 0 <= dst_tile < self.num_tiles:
+            return self._distance_table[src_tile][dst_tile]
+        return self.topology.hop_distance(src_tile, dst_tile)  # raises range error
 
     def reset_stats(self) -> None:
         for tile in self.tiles:

@@ -144,19 +144,23 @@ class PrivateDesign(CacheDesign):
     # ------------------------------------------------------------------ #
     def _find_remote_l2_holder(self, block_address: int, exclude: int) -> int | None:
         """Closest remote tile whose private L2 slice holds the block."""
-        directory = self.chip.tile(self.chip.home_slice(block_address)).directory
+        directory = self._tiles[self.chip.home_slice(block_address)].directory
         entry = directory.peek(block_address)
         if entry is None:
             return None
-        candidates = [t for t in entry.copy_holders() if t != exclude]
-        holders = [
-            t
-            for t in candidates
-            if self.chip.tile(t).l2.peek(block_address) is not None
-        ]
-        if not holders:
-            return None
-        return min(holders, key=lambda t: (self.chip.distance(exclude, t), t))
+        tiles = self._tiles
+        distance = self.chip.distance
+        best = None
+        best_key: tuple[int, int] | None = None
+        for tile_id in entry.copy_holders():
+            if tile_id == exclude:
+                continue
+            if tiles[tile_id].l2.peek(block_address) is None:
+                continue
+            key = (distance(exclude, tile_id), tile_id)
+            if best_key is None or key < best_key:
+                best, best_key = tile_id, key
+        return best
 
     def _invalidate_remote_copies(self, access: L2Access) -> None:
         """Write upgrade: invalidate all other L1 and L2 copies."""

@@ -91,7 +91,8 @@ TRACE_DIR = _declare(
 )
 ENGINE = _declare(
     "RNUCA_ENGINE", "str", "fast",
-    "Replay engine: 'fast' (columnar) or 'reference' (preserved seed path).",
+    "Replay engine: 'fast' (columnar), 'batch' (vectorised numpy kernel) "
+    "or 'reference' (preserved seed path).",
 )
 EVAL_RECORDS = _declare(
     "RNUCA_EVAL_RECORDS", "int", None,

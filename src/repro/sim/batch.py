@@ -1,0 +1,729 @@
+"""Batched vectorised replay: a whole static run resolved with numpy.
+
+The fast engine replays one record at a time through the design's
+``_service`` method.  This module replays the *entire* static trace as
+columnar array math and reproduces the fast engine's ``SimulationStats``
+bit for bit — same floats, same dict insertion orders, same per-window
+sample CPIs — at an order of magnitude higher records/sec.  The trick is
+that for the three designs with a closed-form service path (R-NUCA,
+shared, ideal) every per-record outcome is a pure function of the trace
+prefix, so classification, placement, L1 dirty-owner resolution, the L2
+probe and the victim buffer can each be resolved for all records at once:
+
+* **Classification** (R-NUCA) — with warmed page tables and no page that
+  mixes instruction and data accesses, no access can re-classify a page,
+  so every record's class is the warmed class of its page.
+* **Placement** — pure index math per design (rotational-interleaved
+  instruction clusters / shared cluster members for R, address
+  interleaving for S/I), evaluated as one gather per record.
+* **L1 dirty-owner** — ``dirty_owner`` can only find the immediately
+  previous accessor of the block (any later access downgrades,
+  invalidates or overwrites a MODIFIED copy), so candidates are exactly
+  the data records whose previous same-block data access was a write by
+  another core.  Whether the writer's copy survived in its
+  direct-mapped / 2-way L1 set reduces to a closed form over the per-set
+  fill stream: the copy dies at the first adjacent fill pair with
+  distinct values and no interposed remote write to the earlier value
+  (a remote write frees the companion way, extending residency).
+* **L2 probe** — every service path drives the set's LRU list through
+  the same "touch or insert-evicting-LRU" step regardless of how the
+  record resolves, so hits, evictions and victim identities follow the
+  classic LRU stack-distance characterisation, computed here with
+  length-bucketed boolean tensors per (tile, set) stream and a scalar
+  ``OrderedDict`` walk for the rare long streams.
+* **Victim buffer** — a sparse scalar pass over the probe-missing
+  records only (a few percent of the trace), replaying each tile's
+  FIFO exactly.
+
+Anything outside the closed form (ASR / private designs, installed
+replacement policies, wide L1 associativity, pages that would
+re-classify mid-run, reused non-pristine chips ...) raises
+:class:`BatchFallback` *before any state is mutated* and the caller
+falls back to the fast engine, so ``engine="batch"`` is always safe.
+
+Deliberate non-goals: the batch kernel folds back every counter the
+result surface reads (``design.accesses`` / ``offchip_accesses``,
+R-NUCA misclassification, classifier access totals and policy lookup
+counters) but leaves the microarchitectural inventory unmaintained —
+cache array contents and hit/miss counters, TLB state, victim-buffer
+and memory-controller counters, and the L1 holders map.  Tools that
+inspect those after a run must use the fast or reference engine.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.designs.base import (
+    DIRECTORY_LATENCY,
+    L1_PROBE_LATENCY,
+    L1_TO_L1,
+    L2,
+    OFF_CHIP,
+)
+from repro.designs.ideal import IdealDesign
+from repro.designs.rnuca_design import RNucaDesign
+from repro.designs.shared import SharedDesign
+from repro.osmodel.page_table import PageClass
+from repro.sim.sampling import split_into_samples
+from repro.sim.stats import SampleAccumulator, SimulationStats
+from repro.workloads.trace import INSTRUCTION_CODE, STORE_CODE, Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (engine imports batch)
+    from repro.sim.engine import TraceSimulator
+
+#: Streams at most this long (after run-length dedup) go through the
+#: lockstep matrix walk; longer streams fall back to a scalar LRU walk
+#: (a handful of hot sets on the shipped workloads).  The walk costs one
+#: python-level iteration per matrix column, so its width must stay
+#: bounded.
+_STREAM_BUCKETS = (128,)
+
+#: Coarse access-class codes (match ``TraceColumns`` coarse labels).
+_CLASS_NAMES = ("instruction", "private", "shared")
+
+
+class BatchFallback(Exception):
+    """The batch kernel cannot replay this (design, trace) combination.
+
+    Raised before any simulator/design state is mutated, so the caller
+    can transparently re-run the trace through the fast engine.
+    """
+
+
+def _require(condition: bool, reason: str) -> None:
+    if not condition:
+        raise BatchFallback(reason)
+
+
+# --------------------------------------------------------------------- #
+# LRU stack-distance resolution per (tile, set) stream
+# --------------------------------------------------------------------- #
+def _stack_distance_tensor(values: np.ndarray, assoc: int):
+    """Resolve presence/eviction/victim for padded LRU streams.
+
+    ``values`` is ``[groups, length]`` of block addresses padded with -1
+    at row ends.  Blocks are never invalidated, so each set holds exactly
+    the ``assoc`` most-recently-used distinct values; the kernel walks
+    all rows in lockstep, one column per step, carrying an explicit
+    ``[groups, assoc]`` MRU stack:
+
+    * present  iff the value is in the stack (i.e. it occurred before and
+      fewer than ``assoc`` distinct values were seen since);
+    * an eviction happens iff the value is absent and the stack is full;
+    * the victim is the stack bottom (``assoc``-th most recent distinct).
+
+    Each column costs O(groups * assoc) element work, so the whole walk
+    is linear in records -- unlike a pairwise [L, L] occurrence tensor,
+    which goes quadratic in stream length.
+    """
+    rows, length = values.shape
+    stack = np.full((rows, assoc), -1, dtype=np.int64)
+    present = np.zeros((rows, length), dtype=bool)
+    evict = np.zeros((rows, length), dtype=bool)
+    victim = np.full((rows, length), -1, dtype=np.int64)
+    slot = np.arange(assoc)[None, :]
+    shifted = np.empty_like(stack)
+    matches = np.empty((rows, assoc), dtype=bool)
+    # Padding cells (-1) are walked like values: they may corrupt their
+    # own row's stack and emit garbage outputs, but padding only trails a
+    # row -- the corrupted state is never consulted by a real access, and
+    # the caller scatters back only the real positions.
+    for column in range(length):
+        value = values[:, column]
+        np.equal(stack, value[:, None], out=matches)
+        hit = matches.any(axis=1)
+        depth = np.where(hit, matches.argmax(axis=1), assoc - 1)
+        bottom = stack[:, assoc - 1]
+        evicted = ~hit & (bottom >= 0)
+        present[:, column] = hit
+        evict[:, column] = evicted
+        victim[:, column] = np.where(evicted, bottom, -1)
+        # Rotate [0..depth] right by one and put the value on top.
+        shifted[:, 0] = value
+        shifted[:, 1:] = stack[:, :-1]
+        stack = np.where(slot <= depth[:, None], shifted, stack)
+    return present, evict, victim
+
+
+def _stack_distance_scalar(values, assoc, present_out, evict_out, victim_out):
+    """Exact LRU walk for streams too long for the tensor buckets."""
+    lru: OrderedDict[int, None] = OrderedDict()
+    for position, value in enumerate(values.tolist()):
+        if value in lru:
+            present_out[position] = True
+            lru.move_to_end(value)
+        else:
+            if len(lru) >= assoc:
+                victim, _ = lru.popitem(last=False)
+                evict_out[position] = True
+                victim_out[position] = victim
+            lru[value] = None
+
+
+def _resolve_l2_streams(sorted_blocks, group_key, assoc):
+    """Presence/eviction/victim per record over concatenated LRU streams.
+
+    ``sorted_blocks``/``group_key`` are the trace's block addresses
+    lexsorted by (tile*num_sets + set, record index); results come back
+    in the same sorted order.
+    """
+    total = group_key.shape[0]
+    out_present = np.zeros(total, dtype=bool)
+    out_evict = np.zeros(total, dtype=bool)
+    out_victim = np.full(total, -1, dtype=np.int64)
+    # An access to the block its stream just touched is a guaranteed hit
+    # that leaves the LRU stack untouched (move-to-end of the MRU entry is
+    # a no-op), so immediate repeats are resolved here and dropped before
+    # the stack walk -- typically a ~30% shrink on local traces.
+    fresh = np.empty(total, dtype=bool)
+    fresh[0] = True
+    fresh[1:] = (sorted_blocks[1:] != sorted_blocks[:-1]) | (
+        group_key[1:] != group_key[:-1]
+    )
+    out_present[~fresh] = True
+    sorted_blocks = sorted_blocks[fresh]
+    group_key = group_key[fresh]
+
+    count = group_key.shape[0]
+    boundary = np.empty(count, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = group_key[1:] != group_key[:-1]
+    starts = np.flatnonzero(boundary)
+    lens = np.diff(np.append(starts, count))
+    group_of = np.repeat(np.arange(starts.shape[0]), lens)
+    pos_in_group = np.arange(count) - starts[group_of]
+
+    present = np.zeros(count, dtype=bool)
+    evict = np.zeros(count, dtype=bool)
+    victim = np.full(count, -1, dtype=np.int64)
+
+    cap = _STREAM_BUCKETS[-1]
+    selected = lens <= cap
+    if selected.any():
+        width = int(lens[selected].max())
+        row_of_group = np.cumsum(selected) - 1
+        in_matrix = selected[group_of]
+        rows = row_of_group[group_of[in_matrix]]
+        cols = pos_in_group[in_matrix]
+        matrix = np.full((int(np.count_nonzero(selected)), width), -1, np.int64)
+        matrix[rows, cols] = sorted_blocks[in_matrix]
+        p, e, v = _stack_distance_tensor(matrix, assoc)
+        present[in_matrix] = p[rows, cols]
+        evict[in_matrix] = e[rows, cols]
+        victim[in_matrix] = v[rows, cols]
+    for group in np.flatnonzero(lens > cap).tolist():
+        lo = int(starts[group])
+        hi = lo + int(lens[group])
+        _stack_distance_scalar(
+            sorted_blocks[lo:hi], assoc,
+            present[lo:hi], evict[lo:hi], victim[lo:hi],
+        )
+    fresh_idx = np.flatnonzero(fresh)
+    out_present[fresh_idx] = present
+    out_evict[fresh_idx] = evict
+    out_victim[fresh_idx] = victim
+    return out_present, out_evict, out_victim
+
+
+# --------------------------------------------------------------------- #
+# The kernel
+# --------------------------------------------------------------------- #
+def replay_static_batch(
+    simulator: "TraceSimulator", trace: Trace, warmup_count: int
+) -> tuple[SimulationStats, list[float]]:
+    """Replay a static trace in one vectorised pass.
+
+    Returns the same ``(total_stats, sample_cpis)`` pair as the fast
+    engine's static path, bit-identical, or raises :class:`BatchFallback`
+    (before mutating anything) when the closed form does not apply.
+    """
+    design = simulator.design
+    config = design.config
+    kind = type(design)
+    _require(
+        kind in (RNucaDesign, SharedDesign, IdealDesign),
+        f"no closed-form service model for design {design.name!r}",
+    )
+    _require(not trace.is_dynamic, "batch kernel is static-only")
+
+    # ----- geometry + pristine-state guards (read-only) ----- #
+    tiles = design._tiles
+    num_tiles = len(tiles)
+    l2_sets = tiles[0].l2.num_sets
+    l2_assoc = tiles[0].l2.associativity
+    victim_capacity = tiles[0].l2_victim.capacity
+    _require(l2_sets & (l2_sets - 1) == 0, "L2 set count not a power of two")
+    for tile in tiles:
+        _require(tile.l2._policy is None, "L2 replacement policy installed")
+        _require(tile.l2_victim._policy is None, "victim-buffer policy installed")
+        _require(len(tile.l2) == 0, "L2 array not pristine")
+        _require(
+            tile.l2_victim.hits == 0 and tile.l2_victim.misses == 0,
+            "victim buffer not pristine",
+        )
+    l1_arrays = design.l1._arrays
+    l1_sets = l1_arrays[0].num_sets
+    l1_assoc = l1_arrays[0].associativity
+    _require(l1_assoc in (1, 2), "no closed form for L1 associativity > 2")
+    _require(l1_sets & (l1_sets - 1) == 0, "L1 set count not a power of two")
+    _require(not design.l1._holders, "L1 tracker not pristine")
+
+    # ----- columnar trace views ----- #
+    columns = trace.columns
+    core = np.asarray(columns.core)
+    code = np.asarray(columns.access_type)
+    instrs = np.asarray(columns.instructions)
+    true_class = np.asarray(columns.true_class)
+    class_table = columns.class_table
+    block_shift = config.block_size.bit_length() - 1
+    block = np.asarray(columns.address) >> block_shift
+    n = int(block.shape[0])
+    is_instr = code == INSTRUCTION_CODE
+    is_write = code == STORE_CODE
+    is_data = ~is_instr
+    _require(int(core.max()) < num_tiles and int(core.min()) >= 0,
+             "core id outside the tile range")
+    # Composite (value, index) int64 sort keys must not overflow.
+    span = np.int64(n + 2)
+    _require(int(block.max()) < 2**62 // int(span), "address range too wide")
+
+    # ----- classification + placement ----- #
+    coarse_map = np.empty(len(class_table), dtype=np.int8)
+    for label_code, label in enumerate(class_table):
+        if label == "instruction":
+            coarse_map[label_code] = 0
+        elif label == "private":
+            coarse_map[label_code] = 1
+        else:  # None and every shared flavour
+            coarse_map[label_code] = 2
+    coarse = np.where(is_instr, np.int8(0), coarse_map[true_class])
+
+    if kind is RNucaDesign:
+        page_class, target, misclassified = _classify_rnuca(
+            simulator, design, trace, core, block, is_instr, is_data,
+            true_class, class_table, num_tiles,
+        )
+        l1_eligible = is_data & (page_class == 2)
+    else:
+        chip = design.chip
+        target = (block >> chip._interleave_shift) & chip._interleave_mask
+        misclassified = 0
+        l1_eligible = is_data
+
+    # ----- L1 dirty-owner resolution ----- #
+    l1_remote = np.zeros(n, dtype=bool)
+    owner = np.zeros(n, dtype=np.int64)
+    data_idx = np.flatnonzero(is_data)
+    if data_idx.size:
+        _resolve_dirty_owners(
+            data_idx, block, core, is_write, l1_eligible,
+            l1_sets, l1_assoc, span, l1_remote, owner,
+        )
+
+    # ----- L2 probe resolution (uniform LRU stream per tile set) ----- #
+    stream_key = target * np.int64(l2_sets) + (block & (l2_sets - 1))
+    order = np.argsort(stream_key, kind="stable")
+    present_s, evict_s, victim_s = _resolve_l2_streams(
+        block[order], stream_key[order], l2_assoc
+    )
+    present = np.empty(n, dtype=bool)
+    evict = np.empty(n, dtype=bool)
+    victim_block = np.empty(n, dtype=np.int64)
+    present[order] = present_s
+    evict[order] = evict_s
+    victim_block[order] = victim_s
+
+    probe = ~l1_remote
+    probe_miss = probe & ~present
+    victim_hit = np.zeros(n, dtype=bool)
+    if victim_capacity > 0 and probe_miss.any():
+        _resolve_victim_buffers(
+            probe_miss, target, block, evict, victim_block,
+            num_tiles, victim_capacity, victim_hit,
+        )
+    offchip = probe_miss & ~victim_hit
+
+    # ----- latency components (integer cycles, then scaled floats) ----- #
+    one_way = np.asarray(design._one_way, dtype=np.int64)
+    l2_hit_latency = design._l2_hit_latency
+    memory = design.memory
+    local = target == core
+    if kind is IdealDesign:
+        comp_l2 = np.full(n, l2_hit_latency, dtype=np.int64)
+        comp_off = np.full(n, memory.latency_cycles, dtype=np.int64)
+        comp_l1 = np.full(n, l2_hit_latency, dtype=np.int64)
+    else:
+        comp_l2 = l2_hit_latency + np.where(local, 0, 2 * one_way[core, target])
+        controller_tiles = np.asarray(
+            [c.tile_id for c in memory.controllers], dtype=np.int64
+        )
+        page = (block << memory._block_shift) >> memory._page_shift
+        ctl = controller_tiles[page % len(memory.controllers)]
+        comp_off = (
+            one_way[target, ctl] + memory.latency_cycles + one_way[ctl, target]
+            + np.where(local, 0, one_way[core, target])
+        )
+        comp_l1 = (
+            one_way[core, target] + DIRECTORY_LATENCY
+            + one_way[target, owner] + L1_PROBE_LATENCY + one_way[owner, core]
+        )
+
+    factors = simulator.cpi_model.stall_factors
+    scaled_l2 = np.where(
+        probe, comp_l2.astype(np.float64) * factors.get(L2, 1.0), 0.0
+    )
+    scaled_off = np.where(
+        offchip, comp_off.astype(np.float64) * factors.get(OFF_CHIP, 1.0), 0.0
+    )
+    scaled_l1 = np.where(
+        l1_remote, comp_l1.astype(np.float64) * factors.get(L1_TO_L1, 1.0), 0.0
+    )
+    # Per-record latency with the fast engine's in-record addition order
+    # (L2 is inserted before OFF_CHIP; adding 0.0 is IEEE-exact).
+    latency = (scaled_l2 + scaled_off) + scaled_l1
+    busy = simulator.cpi_model.busy_cpi * instrs.astype(np.float64)
+
+    # ----- per-window statistics ----- #
+    class_masks = [coarse == k for k in range(3)]
+    hit_l2 = probe & ~offchip
+    l2_local = hit_l2 & local
+    l2_remote = hit_l2 & ~local
+    component_plan = (
+        (L2, scaled_l2, probe, 0),
+        (OFF_CHIP, scaled_off, offchip, 1),
+        (L1_TO_L1, scaled_l1, l1_remote, 0),
+    )
+
+    total = SimulationStats()
+    sample_cpis: list[float] = []
+    for window in split_into_samples(n - warmup_count, simulator.num_samples):
+        accumulator = SampleAccumulator(factors)
+        lo = warmup_count + window.start
+        hi = warmup_count + window.stop
+        if hi > lo:
+            _fill_window(
+                accumulator, slice(lo, hi), instrs, busy, latency,
+                class_masks, l2_local, l2_remote, l1_remote, offchip,
+                component_plan,
+            )
+        sample_stats = accumulator.to_stats()
+        if sample_stats.instructions:
+            sample_cpis.append(sample_stats.cpi)
+        total.merge(sample_stats)
+
+    # ----- fold back the counters the result surface reads ----- #
+    design.accesses += n
+    design.offchip_accesses += int(np.count_nonzero(offchip))
+    if kind is RNucaDesign:
+        instruction_count = int(np.count_nonzero(is_instr))
+        design.misclassified_accesses += misclassified
+        classifier = design.policy.classifier
+        classifier.instruction_accesses += instruction_count
+        classifier.data_accesses += n - instruction_count
+        policy = design.policy
+        policy.instruction_lookups += instruction_count
+        policy.private_lookups += int(np.count_nonzero(is_data & (page_class == 1)))
+        policy.shared_lookups += int(np.count_nonzero(is_data & (page_class == 2)))
+        policy.local_lookups += int(np.count_nonzero(local))
+    return total, sample_cpis
+
+
+def _classify_rnuca(
+    simulator, design, trace, core, block, is_instr, is_data,
+    true_class, class_table, num_tiles,
+):
+    """Static R-NUCA classification: warmed page class per record.
+
+    Guards that no access could re-classify, migrate or first-touch a
+    page mid-run — the conditions under which the classifier is a pure
+    page -> class table for the whole trace.
+    """
+    _require(
+        simulator.warm_os_state,
+        "cold OS state would first-touch-classify pages mid-run",
+    )
+    policy = design.policy
+    # The unique-page index and per-page access profile are pure trace
+    # derivations, cached on the trace across runs (bench replays one
+    # trace many times; tests replay the same trace per engine).
+    unique_pages, page_index = trace.page_index(design.config.page_size)
+    num_unique = unique_pages.shape[0]
+    has_instr, accessor_count, sole_accessor = trace.page_profile(
+        design.config.page_size
+    )
+    _require(
+        not bool(np.any(has_instr & (accessor_count > 0))),
+        "a page mixes instruction and data accesses",
+    )
+
+    entries = policy._page_entries
+    accessor_list = accessor_count.tolist()
+    sole_list = sole_accessor.tolist()
+    instr_list = has_instr.tolist()
+    unique_class = np.empty(num_unique, dtype=np.int8)
+    for slot, page in enumerate(unique_pages.tolist()):
+        entry = entries.get(page)
+        _require(entry is not None, "page missing from the warmed page table")
+        _require(not entry.poisoned, "page entry is poisoned")
+        page_class = entry.page_class
+        if instr_list[slot]:
+            _require(
+                page_class is PageClass.INSTRUCTION,
+                "instruction page not INSTRUCTION-classified",
+            )
+            unique_class[slot] = 0
+        elif page_class is PageClass.PRIVATE:
+            _require(
+                accessor_list[slot] == 1
+                and entry.owner_cid == sole_list[slot],
+                "PRIVATE page would re-classify (non-owner access)",
+            )
+            unique_class[slot] = 1
+        elif page_class is PageClass.SHARED:
+            unique_class[slot] = 2
+        else:
+            raise BatchFallback("data page carries an instruction class")
+    page_class = unique_class[page_index]
+
+    # Placement: rotational-interleaved cluster tables, one gather each.
+    set_bits = policy._set_index_bits
+    cluster_index = block >> set_bits
+    instruction_members = np.asarray(policy._instruction_members, dtype=np.int64)
+    shared_members = np.asarray(policy._shared_members, dtype=np.int64)
+    target = np.empty(block.shape[0], dtype=np.int64)
+    mask = is_instr
+    target[mask] = instruction_members[
+        core[mask], cluster_index[mask] & policy._instruction_mask
+    ]
+    mask = is_data & (page_class == 1)
+    target[mask] = core[mask]
+    mask = is_data & (page_class == 2)
+    target[mask] = shared_members[cluster_index[mask] & policy._shared_mask]
+
+    # Misclassification against ground truth (same mapping as
+    # RNucaDesign._expect_class_for, None resolved per access kind).
+    expected_data = np.empty(len(class_table), dtype=np.int8)
+    expected_instr = np.empty(len(class_table), dtype=np.int8)
+    for label_code, label in enumerate(class_table):
+        if label is None:
+            expected_data[label_code] = 2
+            expected_instr[label_code] = 0
+        elif label == "instruction":
+            expected_data[label_code] = expected_instr[label_code] = 0
+        elif label == "private":
+            expected_data[label_code] = expected_instr[label_code] = 1
+        else:
+            expected_data[label_code] = expected_instr[label_code] = 2
+    expected = np.where(
+        is_instr, expected_instr[true_class], expected_data[true_class]
+    )
+    misclassified = int(np.count_nonzero(page_class != expected))
+    return page_class, target, misclassified
+
+
+def _resolve_dirty_owners(
+    data_idx, block, core, is_write, eligible,
+    l1_sets, l1_assoc, span, l1_remote_out, owner_out,
+):
+    """Mark the records serviced by an L1-to-L1 transfer.
+
+    A record is a *candidate* when its previous same-block data access
+    was a write by another core (the only way ``dirty_owner`` can find a
+    MODIFIED copy) and the design consults the directory for it.  The
+    candidate resolves to a transfer iff the writer's copy is still
+    resident, per the fill-stream closed form described in the module
+    docstring.
+    """
+    data_block = block[data_idx]
+    data_core = core[data_idx]
+    data_write = is_write[data_idx]
+
+    # data_idx ascends, so a stable single-key sort orders ties by time
+    # (equivalent to lexsort((data_idx, data_block)) at half the cost).
+    by_block = np.argsort(data_block, kind="stable")
+    sb = data_block[by_block]
+    si = data_idx[by_block]
+    sc = data_core[by_block]
+    sw = data_write[by_block]
+    candidate = np.zeros(si.shape[0], dtype=bool)
+    candidate[1:] = (sb[1:] == sb[:-1]) & sw[:-1] & (sc[1:] != sc[:-1])
+    candidate &= eligible[si]
+    positions = np.flatnonzero(candidate)
+    if not positions.size:
+        return
+    query_idx = si[positions]
+    write_idx = si[positions - 1]
+    writer = sc[positions - 1]
+    query_block = sb[positions]
+
+    # Per-(core, L1 set) fill streams over the data records.
+    l1_mask = l1_sets - 1
+    fill_key = data_core * np.int64(l1_sets) + (data_block & l1_mask)
+    by_stream = np.argsort(fill_key, kind="stable")
+    fk = fill_key[by_stream]
+    fp = data_idx[by_stream]
+    fv = data_block[by_stream]
+    group_key = fk * span + fp
+
+    query_key = (writer * np.int64(l1_sets) + (query_block & l1_mask)) * span
+    # side="right" at k == side="left" at k+1 for integer keys, so both
+    # window edges resolve in a single searchsorted call.
+    edges = np.searchsorted(
+        group_key,
+        np.concatenate((query_key + write_idx + 1, query_key + query_idx)),
+    )
+    lo = edges[: query_key.shape[0]]
+    hi = edges[query_key.shape[0]:]
+    fills_between = hi - lo
+    if l1_assoc == 1:
+        # Direct-mapped: any in-window fill replaces the writer's copy.
+        evicted = fills_between > 0
+    else:
+        # 2-way: evicted iff some adjacent in-window fill pair has
+        # distinct values with no interposed remote write to the earlier
+        # one (which would free the companion way instead).
+        write_pos = np.flatnonzero(data_write)
+        write_key = np.sort(
+            data_block[write_pos] * span + data_idx[write_pos]
+        )
+        if fk.shape[0] >= 2:
+            pair_base = fv[:-1] * span
+            count = pair_base.shape[0]
+            inval = np.searchsorted(
+                write_key,
+                np.concatenate((pair_base + fp[:-1] + 1, pair_base + fp[1:])),
+            )
+            unsafe = (
+                (fk[1:] == fk[:-1])
+                & (fv[1:] != fv[:-1])
+                & (inval[:count] == inval[count:])
+            )
+        else:
+            unsafe = np.zeros(0, dtype=bool)
+        unsafe_prefix = np.concatenate(([0], np.cumsum(unsafe)))
+        evicted = np.zeros(positions.shape[0], dtype=bool)
+        pairs = fills_between >= 2
+        evicted[pairs] = (
+            unsafe_prefix[hi[pairs] - 1] - unsafe_prefix[lo[pairs]]
+        ) > 0
+    resident = ~evicted
+    l1_remote_out[query_idx[resident]] = True
+    owner_out[query_idx] = writer
+
+
+def _resolve_victim_buffers(
+    probe_miss, target, block, evict, victim_block,
+    num_tiles, capacity, victim_hit_out,
+):
+    """Replay each tile's victim FIFO over the probe-missing records.
+
+    Only probe misses touch the buffer (extract, then park the L2
+    victim when the refill evicts on the off-chip path); L1-to-L1
+    transfers and L2 hits never do.  Victim-hit refills discard their
+    L2 eviction, so nothing is parked on that branch — exactly the
+    design's service code.
+    """
+    miss_idx = np.flatnonzero(probe_miss)
+    fifos: list[OrderedDict[int, None]] = [OrderedDict() for _ in range(num_tiles)]
+    for tile_id, address, evicts, parked, record in zip(
+        target[miss_idx].tolist(),
+        block[miss_idx].tolist(),
+        evict[miss_idx].tolist(),
+        victim_block[miss_idx].tolist(),
+        miss_idx.tolist(),
+        strict=True,
+    ):
+        fifo = fifos[tile_id]
+        if address in fifo:
+            del fifo[address]
+            victim_hit_out[record] = True
+        elif evicts:
+            if parked in fifo:
+                fifo.move_to_end(parked)
+            else:
+                if len(fifo) >= capacity:
+                    fifo.popitem(last=False)
+                fifo[parked] = None
+
+
+def _fill_window(
+    accumulator, window, instrs, busy, latency,
+    class_masks, l2_local, l2_remote, l1_remote, offchip,
+    component_plan,
+):
+    """Populate one ``SampleAccumulator`` from the precomputed arrays.
+
+    Every float is produced by the same left-to-right addition sequence
+    as the fast engine's fused loop: ``np.cumsum(...)[-1]`` is that
+    fold, and the interspersed zeros for records lacking a component
+    are IEEE-exact no-ops.  Dict insertion orders (components by first
+    appearance with L2 before OFF_CHIP inside a record; classes by
+    first appearance) are replicated so ``to_stats`` packs identically.
+    """
+    accumulator.instructions = int(instrs[window].sum())
+    accumulator.accesses = window.stop - window.start
+    accumulator.busy_cycles = float(np.cumsum(busy[window])[-1])
+    shared_mask = class_masks[2][window]
+    accumulator.instruction_accesses = int(
+        np.count_nonzero(class_masks[0][window])
+    )
+    accumulator.private_accesses = int(np.count_nonzero(class_masks[1][window]))
+    accumulator.shared_accesses = int(np.count_nonzero(shared_mask))
+    accumulator.l2_local_hits = int(np.count_nonzero(l2_local[window]))
+    accumulator.l2_remote_hits = int(np.count_nonzero(l2_remote[window]))
+    l1_remote_mask = l1_remote[window]
+    accumulator.l1_remote_hits = int(np.count_nonzero(l1_remote_mask))
+    offchip_count = int(np.count_nonzero(offchip[window]))
+    accumulator.offchip_services = offchip_count
+    accumulator.offchip_accesses = offchip_count
+
+    ordered = []
+    for component, scaled, mask, in_record_rank in component_plan:
+        sliced = mask[window]
+        if sliced.any():
+            ordered.append((int(sliced.argmax()), in_record_rank, component, scaled))
+    ordered.sort(key=lambda item: item[:2])
+    for _, _, component, scaled in ordered:
+        accumulator.stall_by_component[component] = float(
+            np.cumsum(scaled[window])[-1]
+        )
+
+    classes = []
+    for class_code, name in enumerate(_CLASS_NAMES):
+        sliced = class_masks[class_code][window]
+        if sliced.any():
+            classes.append((int(sliced.argmax()), class_code, name))
+    classes.sort(key=lambda item: item[0])
+    for _, class_code, name in classes:
+        class_mask = class_masks[class_code][window]
+        ordered = []
+        for component, scaled, mask, in_record_rank in component_plan:
+            joint = class_mask & mask[window]
+            if joint.any():
+                ordered.append(
+                    (int(joint.argmax()), in_record_rank, component, scaled)
+                )
+        ordered.sort(key=lambda item: item[:2])
+        per_class: dict[str, float] = {}
+        for _, _, component, scaled in ordered:
+            per_class[component] = float(
+                np.cumsum(np.where(class_mask, scaled[window], 0.0))[-1]
+            )
+        accumulator.class_components[name] = per_class
+
+    # Shared-service split: L1-to-L1 vs interleaved (the designs the
+    # kernel covers never set outcome.coherence).
+    shared_l1 = shared_mask & l1_remote_mask
+    shared_interleaved = shared_mask & ~l1_remote_mask
+    accumulator.l1_to_l1_count = int(np.count_nonzero(shared_l1))
+    accumulator.interleaved_count = int(np.count_nonzero(shared_interleaved))
+    accumulator.l1_to_l1_cycles = float(
+        np.cumsum(np.where(shared_l1, latency[window], 0.0))[-1]
+    )
+    accumulator.interleaved_cycles = float(
+        np.cumsum(np.where(shared_interleaved, latency[window], 0.0))[-1]
+    )

@@ -3,15 +3,19 @@
 ``repro bench`` (see :mod:`repro.cli`) measures how many trace records per
 second each cache design replays under
 
-* the **fast** columnar engine (the default production path), and
+* the **fast** columnar engine (the default production path),
+* the **batch** vectorised kernel (:mod:`repro.sim.batch`; designs outside
+  its closed form fall back to the fast path, so their batch column simply
+  tracks the fast number), and
 * the **reference** seed engine (:mod:`repro.sim.seed_path`, the preserved
   pre-fast-path implementation),
 
 on one freshly generated trace shared by all measurements.  Each (design,
 engine) pair runs ``repeats`` times on a fresh chip and the best wall time
-is kept; the reported ``speedup`` is fast/reference records per second.
-Both engines' results are also compared field by field, so every bench run
-doubles as an end-to-end equivalence check.
+is kept; the reported ``speedup`` is fast/reference records per second and
+``batch_speedup`` is batch/fast.  All engines' results are also compared
+field by field, so every bench run doubles as an end-to-end equivalence
+check.
 
 ``repro bench --traces`` measures the trace *pipeline* instead of the
 replay engines (:func:`run_trace_bench`): generation throughput for static
@@ -97,17 +101,20 @@ QUICK_ORACLE_BENCH_SCALE = 64
 
 @dataclass(frozen=True)
 class BenchResult:
-    """Throughput of one design under both replay engines."""
+    """Throughput of one design under the three replay engines."""
 
     design: str
     design_name: str
     records: int
     fast_records_per_sec: float
+    batch_records_per_sec: float
     reference_records_per_sec: float
     speedup: float
+    batch_speedup: float
     cpi: float
     offchip_rate: float
     stats_match: bool
+    batch_stats_match: bool
 
     def to_dict(self) -> dict:
         return {
@@ -115,11 +122,14 @@ class BenchResult:
             "design_name": self.design_name,
             "records": self.records,
             "fast_records_per_sec": round(self.fast_records_per_sec, 1),
+            "batch_records_per_sec": round(self.batch_records_per_sec, 1),
             "reference_records_per_sec": round(self.reference_records_per_sec, 1),
             "speedup": round(self.speedup, 3),
+            "batch_speedup": round(self.batch_speedup, 3),
             "cpi": self.cpi,
             "offchip_rate": self.offchip_rate,
             "stats_match": self.stats_match,
+            "batch_stats_match": self.batch_stats_match,
         }
 
 
@@ -141,36 +151,45 @@ def bench_design(
     *,
     repeats: int = DEFAULT_BENCH_REPEATS,
 ) -> BenchResult:
-    """Benchmark one design under both engines on a shared trace.
+    """Benchmark one design under the three engines on a shared trace.
 
     The engines are measured in interleaved repeats (reference, fast,
-    reference, fast, ...) and the best wall time per engine is kept, so a
-    transient machine-load burst cannot bias the ratio by landing entirely
-    on one engine's measurements.
+    batch, reference, fast, batch, ...) and the best wall time per engine
+    is kept, so a transient machine-load burst cannot bias the ratios by
+    landing entirely on one engine's measurements.
     """
-    best = {"reference": float("inf"), "fast": float("inf")}
+    best = {"reference": float("inf"), "fast": float("inf"), "batch": float("inf")}
     results = {}
     for _ in range(max(1, repeats)):
-        for engine in ("reference", "fast"):
+        for engine in ("reference", "fast", "batch"):
             result, elapsed = _measure_once(letter, spec, config, trace, engine)
             results[engine] = result
             best[engine] = min(best[engine], elapsed)
     reference_result = results["reference"]
     fast_result = results["fast"]
+    batch_result = results["batch"]
     reference_rate = len(trace) / best["reference"]
     fast_rate = len(trace) / best["fast"]
+    batch_rate = len(trace) / best["batch"]
+    fast_dict = fast_result.stats.to_dict()
     return BenchResult(
         design=letter,
         design_name=fast_result.design,
         records=len(trace),
         fast_records_per_sec=fast_rate,
+        batch_records_per_sec=batch_rate,
         reference_records_per_sec=reference_rate,
         speedup=fast_rate / reference_rate,
+        batch_speedup=batch_rate / fast_rate,
         cpi=fast_result.cpi,
         offchip_rate=fast_result.metadata.get("offchip_rate", 0.0),
         stats_match=(
-            fast_result.stats.to_dict() == reference_result.stats.to_dict()
+            fast_dict == reference_result.stats.to_dict()
             and fast_result.cpi == reference_result.cpi
+        ),
+        batch_stats_match=(
+            fast_dict == batch_result.stats.to_dict()
+            and fast_result.cpi == batch_result.cpi
         ),
     )
 

@@ -7,7 +7,7 @@ tiled chip, converts each access's latency into CPI contributions with the
 replayed without measurement (caches, directories, TLBs and OS page tables
 warm up), mirroring the paper's checkpoint-with-warmed-state methodology.
 
-Two replay engines produce numerically identical results:
+Three replay engines produce numerically identical results:
 
 ``fast`` (the default)
     Reads the trace's columnar representation directly and reuses a single
@@ -16,10 +16,20 @@ Two replay engines produce numerically identical results:
     accumulated into flat per-sample counters
     (:class:`~repro.sim.stats.SampleAccumulator`).
 
+``batch``
+    The vectorised kernel (:mod:`repro.sim.batch`): whole static runs
+    classified, placed and probed as numpy array math, bit-identical to
+    the fast engine.  Designs or traces outside its closed form (and
+    dynamic traces, which replay span by span between events) fall back
+    to the fast path transparently, so ``batch`` is always safe to select.
+
 ``reference``
     The seed implementation: one :class:`TraceRecord` and one fresh
     access/outcome object per reference.  Kept as the equivalence baseline
-    and as the denominator of ``repro bench``.
+    and as the denominator of ``repro bench``.  Event-carrying traces
+    replay through the same span-splitting machinery as the fast engine
+    (:meth:`TraceSimulator._replay_reference_dynamic`), so the oracle
+    covers dynamics end-to-end.
 
 Select an engine per :class:`TraceSimulator` (``engine=...``), per call
 (``run(trace, engine=...)``), or process-wide via the ``RNUCA_ENGINE``
@@ -50,6 +60,7 @@ from repro.dynamics.generator import DynamicTraceGenerator
 from repro.dynamics.scenarios import is_dynamic_workload, resolve_dynamic
 from repro.dynamics.spec import DynamicWorkloadSpec
 from repro.errors import SimulationError
+from repro.sim.batch import BatchFallback, replay_static_batch
 from repro.sim.latency import CpiModel
 from repro.sim.sampling import ConfidenceInterval, sample_mean, split_into_samples
 from repro.sim.seed_path import seed_access, to_seed_access
@@ -75,11 +86,12 @@ DEFAULT_WARMUP_FRACTION = 0.25
 #: Number of measurement samples for confidence intervals.
 DEFAULT_NUM_SAMPLES = 8
 
-#: Environment variable selecting the replay engine ("fast" or "reference").
+#: Environment variable selecting the replay engine
+#: ("fast", "batch" or "reference").
 ENGINE_ENV = knobs.ENGINE.name
 
 #: Known replay engines.
-ENGINES = ("fast", "reference")
+ENGINES = ("fast", "batch", "reference")
 
 
 def default_engine() -> str:
@@ -112,33 +124,30 @@ def warm_page_tables(design: CacheDesign, trace: Trace) -> int:
     policy = getattr(design, "policy", None)
     if policy is None:
         return 0
-    pages = trace.page_number_array(design.config.page_size)
-    is_instruction = trace.columns.access_type == INSTRUCTION_CODE
-    data_mask = ~is_instruction
     page_table = policy.classifier.page_table
-    data_pages = np.empty(0, dtype=np.int64)
-    if data_mask.any():
-        pairs = np.unique(
-            np.stack((pages[data_mask], trace.columns.core[data_mask])), axis=1
-        )
-        data_pages, first_index, counts = np.unique(
-            pairs[0], return_index=True, return_counts=True
-        )
-        owners = pairs[1][first_index]
-        for page, count, owner in zip(
-            data_pages.tolist(), counts.tolist(), owners.tolist(), strict=True
-        ):
-            entry = page_table.get_or_create(page)
+    page_size = design.config.page_size
+    unique_pages, _ = trace.page_index(page_size)
+    instruction_touched, accessor_count, sole_accessor = trace.page_profile(
+        page_size
+    )
+    for page, instr, count, owner in zip(
+        unique_pages.tolist(),
+        instruction_touched.tolist(),
+        accessor_count.tolist(),
+        sole_accessor.tolist(),
+        strict=True,
+    ):
+        entry = page_table.get_or_create(page)
+        if count:
+            # Data rule wins when a page sees both access kinds (the
+            # legacy walk marked such pages by their data sharing too).
             if count > 1:
                 entry.mark_shared()
             else:
                 entry.mark_private(owner)
-    instruction_only = np.setdiff1d(
-        np.unique(pages[is_instruction]), data_pages, assume_unique=True
-    )
-    for page in instruction_only.tolist():
-        page_table.get_or_create(page).mark_instruction()
-    return int(data_pages.size) + int(instruction_only.size)
+        elif instr:
+            entry.mark_instruction()
+    return int(unique_pages.size)
 
 
 def warm_page_tables_dynamic(design: CacheDesign, trace: Trace) -> int:
@@ -342,15 +351,10 @@ class TraceSimulator:
             raise SimulationError(f"unknown replay engine {mode!r}")
         if len(trace) == 0:
             raise SimulationError("cannot simulate an empty trace")
-        if trace.is_dynamic and mode != "fast":
+        if self.scheduler is not None and mode == "reference":
             raise SimulationError(
-                "dynamic traces (with events) require the fast engine; "
-                "the reference path predates the dynamics subsystem"
-            )
-        if self.scheduler is not None and mode != "fast":
-            raise SimulationError(
-                "adaptive scheduling requires the fast engine; the reference "
-                "path has no feedback hook"
+                "adaptive scheduling requires a feedback-capable engine "
+                "(fast or batch); the reference path has no feedback hook"
             )
         warmup_count = int(len(trace) * self.warmup_fraction)
         if warmup_count >= len(trace):
@@ -374,14 +378,26 @@ class TraceSimulator:
         if gc_was_enabled:
             gc.disable()
         try:
-            if mode == "fast" and self.scheduler is not None:
+            if self.scheduler is not None:
+                # Feedback-driven replay (fast or batch: the kernel has no
+                # closed form across migration feedback, so batch shares
+                # the fast adaptive loop).
                 total, sample_cpis = self._replay_fast_adaptive(
                     trace, warmup_count, self.scheduler
                 )
-            elif mode == "fast":
-                total, sample_cpis = self._replay_fast(trace, warmup_count)
-            else:
+            elif mode == "batch" and not trace.is_dynamic:
+                try:
+                    total, sample_cpis = replay_static_batch(
+                        self, trace, warmup_count
+                    )
+                except BatchFallback:
+                    total, sample_cpis = self._replay_fast(trace, warmup_count)
+            elif mode == "reference":
                 total, sample_cpis = self._replay_reference(trace, warmup_count)
+            else:
+                # "fast", and "batch" on event-carrying traces (the kernel
+                # is static-only; spans between events replay per record).
+                total, sample_cpis = self._replay_fast(trace, warmup_count)
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -902,6 +918,8 @@ class TraceSimulator:
         pre-fast-path service bodies and per-record object allocations, so
         this path's cost and results are the pre-optimisation baseline.
         """
+        if trace.is_dynamic:
+            return self._replay_reference_dynamic(trace, warmup_count)
         design = self.design
         block_shift = design.config.block_size.bit_length() - 1
         measured_records = trace.records[warmup_count:]
@@ -920,6 +938,74 @@ class TraceSimulator:
             if sample_stats.instructions:
                 sample_cpis.append(sample_stats.cpi)
             total.merge(sample_stats)
+        return total, sample_cpis
+
+    def _replay_reference_dynamic(
+        self, trace: Trace, warmup_count: int
+    ) -> tuple[SimulationStats, list[float]]:
+        """Seed-path replay of a trace with events.
+
+        The same span-splitting as :meth:`_replay_fast_dynamic` — an event
+        at record index ``i`` is applied before record ``i`` replays, and
+        measured segments fold into per-phase stats — but each segment
+        replays record by record through :mod:`repro.sim.seed_path`, so
+        the oracle covers dynamics with the preserved seed service bodies.
+        """
+        design = self.design
+        block_shift = design.config.block_size.bit_length() - 1
+        records = trace.records
+        policy = getattr(design, "policy", None)
+        os_scheduler = policy.classifier.scheduler if policy is not None else None
+        events, state, apply_event, phase_label = _trace_event_machinery(
+            trace, os_scheduler
+        )
+        n_events = len(events)
+
+        def replay_span(start: int, stop: int, window, phase_stats) -> None:
+            pos = start
+            while pos < stop:
+                index = state["next"]
+                if index < n_events and events[index][0] < stop:
+                    boundary = max(pos, events[index][0])
+                else:
+                    boundary = stop
+                if boundary > pos:
+                    if window is None:
+                        for record in records[pos:boundary]:
+                            seed_access(design, to_seed_access(record, block_shift))
+                    else:
+                        segment = SimulationStats()
+                        for record in records[pos:boundary]:
+                            access = to_seed_access(record, block_shift)
+                            outcome = seed_access(design, access)
+                            self.cpi_model.apply_overlap(outcome)
+                            segment.record(
+                                record, outcome, self.cpi_model.busy_cycles(record)
+                            )
+                        phase_stats.fold_phase(phase_label(), segment)
+                        window.merge(segment)
+                    pos = boundary
+                while state["next"] < n_events and events[state["next"]][0] <= pos:
+                    _, kind, arg0, arg1 = events[state["next"]]
+                    apply_event(kind, arg0, arg1)
+                    state["next"] += 1
+
+        replay_span(0, warmup_count, None, None)
+
+        total = SimulationStats()
+        sample_cpis: list[float] = []
+        measured = len(trace) - warmup_count
+        for window in split_into_samples(measured, self.num_samples):
+            window_stats = SimulationStats()
+            replay_span(
+                warmup_count + window.start, warmup_count + window.stop,
+                window_stats, total,
+            )
+            if window_stats.instructions:
+                sample_cpis.append(window_stats.cpi)
+            total.merge(window_stats)
+        total.thread_migrations = state["migrations"]
+        total.sharing_onsets = state["onsets"]
         return total, sample_cpis
 
 

@@ -350,6 +350,10 @@ class Trace:
         self._block_numbers: dict[int, list[int]] = {}
         self._page_numbers: dict[int, list[int]] = {}
         self._page_arrays: dict[int, np.ndarray] = {}
+        self._page_indexes: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._page_profiles: dict[
+            int, tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
 
     @classmethod
     def from_columns(
@@ -585,6 +589,51 @@ class Trace:
             array = self.columns.address >> shift
             self._page_arrays[page_size] = array
         return array
+
+    def page_index(self, page_size: int) -> tuple[np.ndarray, np.ndarray]:
+        """Unique page numbers plus each record's slot in them (cached).
+
+        Page-table warm-up and the batch replay kernel both need the
+        trace's page population; caching the unique/inverse pair per
+        (trace, page size) keeps repeated replays of one trace from
+        re-sorting the page column every run.
+        """
+        pair = self._page_indexes.get(page_size)
+        if pair is None:
+            unique_pages, inverse = np.unique(
+                self.page_number_array(page_size), return_inverse=True
+            )
+            pair = (unique_pages, inverse)
+            self._page_indexes[page_size] = pair
+        return pair
+
+    def page_profile(
+        self, page_size: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-unique-page access profile, aligned with :meth:`page_index`.
+
+        Returns ``(instruction_touched, accessor_count, sole_accessor)``:
+        a bool mask of pages with instruction accesses, the number of
+        distinct cores issuing *data* accesses to each page, and the
+        lowest such core (meaningful when the count is exactly one).
+        Purely trace-derived, so cached per (trace, page size).
+        """
+        profile = self._page_profiles.get(page_size)
+        if profile is None:
+            unique_pages, inverse = self.page_index(page_size)
+            num_unique = unique_pages.shape[0]
+            is_instr = self.columns.access_type == INSTRUCTION_CODE
+            instruction_touched = np.zeros(num_unique, dtype=bool)
+            instruction_touched[inverse[is_instr]] = True
+            cores = self.columns.core
+            width = int(cores.max(initial=0)) + 1
+            touched = np.zeros((num_unique, width), dtype=bool)
+            touched[inverse[~is_instr], cores[~is_instr]] = True
+            accessor_count = np.count_nonzero(touched, axis=1)
+            sole_accessor = touched.argmax(axis=1)
+            profile = (instruction_touched, accessor_count, sole_accessor)
+            self._page_profiles[page_size] = profile
+        return profile
 
     # ------------------------------------------------------------------ #
     # Persistence (binary columnar .npz)

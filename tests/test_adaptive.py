@@ -328,7 +328,7 @@ class TestAdaptiveReplay:
         assert clone.to_dict() == stats.to_dict()
 
     def test_reference_engine_rejects_schedulers(self):
-        with pytest.raises(SimulationError, match="fast engine"):
+        with pytest.raises(SimulationError, match="feedback-capable engine"):
             self._run("greedy", workload="mix", engine="reference")
 
     def test_explicit_scheduler_object_is_accepted(self):

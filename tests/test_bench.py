@@ -35,10 +35,13 @@ def test_bench_cli_writes_json(tmp_path, capsys):
     assert [r["design"] for r in payload["results"]] == ["S", "R"]
     for result in payload["results"]:
         assert result["fast_records_per_sec"] > 0
+        assert result["batch_records_per_sec"] > 0
         assert result["reference_records_per_sec"] > 0
         assert result["speedup"] > 0
-        # Every bench run doubles as an equivalence check.
+        assert result["batch_speedup"] > 0
+        # Every bench run doubles as a three-way equivalence check.
         assert result["stats_match"] is True
+        assert result["batch_stats_match"] is True
 
 
 def test_bench_cli_quick_defaults(tmp_path, capsys):
@@ -56,7 +59,7 @@ def test_bench_cli_quick_defaults(tmp_path, capsys):
     assert payload["results"][0]["design"] == "P"
 
 
-def test_bench_design_measures_both_engines():
+def test_bench_design_measures_all_engines():
     spec = get_workload("mix")
     config = SystemConfig.for_workload_category(spec.category).scaled(TEST_SCALE)
     trace = SyntheticTraceGenerator(spec, config, seed=1, scale=TEST_SCALE).generate(1200)
@@ -65,6 +68,8 @@ def test_bench_design_measures_both_engines():
     assert result.stats_match
     assert result.records == 1200
     assert result.speedup == result.fast_records_per_sec / result.reference_records_per_sec
+    assert result.batch_speedup == result.batch_records_per_sec / result.fast_records_per_sec
+    assert result.batch_stats_match
 
 
 def test_run_bench_payload_shape():
@@ -78,6 +83,7 @@ def test_run_bench_payload_shape():
     assert payload["baseline"].startswith("reference")
     (result,) = payload["results"]
     assert result["design"] == "I" and result["stats_match"] is True
+    assert result["batch_stats_match"] is True
 
 
 # --------------------------------------------------------------------- #

@@ -144,6 +144,45 @@ def test_unknown_design_errors(results_dir):
               "--results-dir", results_dir])
 
 
+# --------------------------------------------------------------------- #
+# RNUCA_ENGINE round-trip through the run path
+# --------------------------------------------------------------------- #
+def test_run_engine_env_round_trips_bit_identically(tmp_path, capsys, monkeypatch):
+    """RNUCA_ENGINE reaches the runner's worker processes end to end.
+
+    The same grid simulated under each engine must persist *byte-identical*
+    result files (content-hash names included): the engines are pinned
+    bit-identical, and the experiment point deliberately excludes the
+    engine from its hash, so a cache populated by one engine serves the
+    others.
+    """
+    payloads = {}
+    for engine in ("fast", "batch", "reference"):
+        monkeypatch.setenv("RNUCA_ENGINE", engine)
+        results = tmp_path / engine
+        assert main(RUN_ARGS + ["--results-dir", str(results), "--quiet"]) == 0
+        capsys.readouterr()
+        payloads[engine] = {
+            path.name: path.read_text(encoding="utf-8")
+            for path in results.glob("*.json")
+        }
+    assert len(payloads["fast"]) == 2
+    assert payloads["batch"] == payloads["fast"]
+    assert payloads["reference"] == payloads["fast"]
+
+
+def test_run_unknown_engine_env_fails_loudly(results_dir, monkeypatch):
+    """A misspelt RNUCA_ENGINE aborts `repro run` instead of silently
+    replaying through the default path."""
+    from repro.errors import SimulationError
+
+    monkeypatch.setenv("RNUCA_ENGINE", "warp")
+    with pytest.raises(SimulationError, match="warp"):
+        main(["run", "--workloads", "mix", "--designs", "private",
+              "--records", "400", "--scale", str(TEST_SCALE),
+              "--jobs", "1", "--results-dir", results_dir, "--quiet"])
+
+
 def test_run_populates_trace_cache(results_dir, tmp_path, capsys):
     """`repro run --trace-dir` fills the binary trace store exactly once."""
     explicit = tmp_path / "explicit-traces"

@@ -19,7 +19,7 @@ from repro.dynamics import (
     is_dynamic_workload,
     resolve_dynamic,
 )
-from repro.errors import ConfigurationError, SimulationError, TraceError
+from repro.errors import ConfigurationError, TraceError
 from repro.sim.engine import TraceSimulator, simulate_workload
 from repro.sim.latency import CpiModel
 from repro.sim.stats import SimulationStats
@@ -326,15 +326,25 @@ class TestDynamicReplay:
             # No OS model: nothing to re-own or reclassify.
             assert result.stats.migration_reowns == 0
 
-    def test_reference_engine_rejects_dynamic_traces(self, migrate_trace):
+    def test_reference_engine_replays_dynamic_traces(self, migrate_trace):
+        """The reference oracle consumes event-carrying traces end-to-end
+        and agrees with the fast engine bit-for-bit (the loud rejection it
+        used to raise is gone)."""
         dyn, config, trace = migrate_trace
-        chip = TiledChip(config)
-        design = build_design("R", chip)
-        simulator = TraceSimulator(
-            design, CpiModel.for_workload(dyn.base), engine="reference"
+        results = {}
+        for engine in ("fast", "reference"):
+            chip = TiledChip(config)
+            design = build_design("R", chip)
+            simulator = TraceSimulator(
+                design, CpiModel.for_workload(dyn.base), engine=engine
+            )
+            results[engine] = simulator.run(trace)
+        assert results["reference"].stats.thread_migrations == len(
+            dyn.schedule.migrations
         )
-        with pytest.raises(SimulationError, match="fast engine"):
-            simulator.run(trace)
+        assert (
+            results["reference"].stats.to_dict() == results["fast"].stats.to_dict()
+        )
 
     def test_migration_window_wires_through_rnuca_config(self):
         """The window knob reaches the live scheduler (not just unit tests)."""

@@ -1,21 +1,38 @@
-"""Equivalence guard: the fast columnar engine must reproduce the seed path.
+"""Differential-oracle harness: the three replay engines must agree bit for bit.
 
 The fast engine (columnar trace, reused access/outcome objects, fused
-statistics accumulation) and the reference engine (the preserved seed
-implementation in :mod:`repro.sim.seed_path`) replay the same trace through
-fresh chips and must produce **numerically identical** results — the same
+statistics accumulation), the batch engine (the vectorised numpy kernel in
+:mod:`repro.sim.batch`, falling back to the fast path outside its closed
+form) and the reference engine (the preserved seed implementation in
+:mod:`repro.sim.seed_path`) replay the same trace through fresh chips and
+must produce **numerically identical** results — the same
 ``SimulationStats`` field for field, the same CPI, the same breakdown, the
 same off-chip rate, the same confidence interval, for every design on both
-workload categories.  Any optimisation that changes a number fails here.
+workload categories, on static, dynamic (event-carrying) and adaptive
+(feedback-scheduled) traces.  A seeded hypothesis fuzzer extends the matrix
+with adversarial mini-traces (events on window boundaries, single-record
+phases, migration storms, minimum-geometry cache pressure).  Any
+optimisation that changes a number fails here.
 """
 
 from __future__ import annotations
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.cmp.chip import TiledChip
 from repro.cmp.config import SystemConfig
 from repro.designs import build_design
+from repro.dynamics import DynamicTraceGenerator, DynamicWorkloadSpec
+from repro.dynamics.adaptive import build_scheduler
+from repro.dynamics.scenarios import resolve_dynamic
+from repro.dynamics.spec import (
+    MigrationEvent,
+    MigrationSchedule,
+    PhaseSpec,
+    SharingOnset,
+)
 from repro.sim.engine import TraceSimulator, simulate_workload
 from repro.sim.latency import CpiModel
 from repro.workloads.generator import SyntheticTraceGenerator
@@ -25,16 +42,23 @@ from .conftest import TEST_SCALE
 
 DESIGN_LETTERS = ("P", "A", "S", "R", "I")
 
+#: Every replay engine; ``fast`` is the oracle the others are held against.
+ENGINES = ("fast", "batch", "reference")
+
 #: One server and one multiprogrammed workload (different chip geometry,
 #: different class mixes, different CPI models).
 WORKLOADS = ("oltp-db2", "mix")
+
+#: One server and one multiprogrammed dynamic scenario (migrations plus a
+#: sharing onset on the former; phase changes on the latter).
+DYNAMIC_SCENARIOS = ("oltp-db2:migrate", "mix:phased")
 
 RECORDS = 4000
 
 
 @pytest.fixture(scope="module")
 def traces():
-    """One shared trace + config per workload (both engines replay it)."""
+    """One shared trace + config per workload (every engine replays it)."""
     shared = {}
     for name in WORKLOADS:
         spec = get_workload(name)
@@ -44,37 +68,109 @@ def traces():
     return shared
 
 
-def _simulate(engine, letter, spec, config, trace):
+@pytest.fixture(scope="module")
+def dynamic_traces():
+    """One shared event-carrying trace + config per dynamic scenario."""
+    shared = {}
+    for scenario in DYNAMIC_SCENARIOS:
+        dspec = resolve_dynamic(scenario)
+        config = SystemConfig.for_workload_category(dspec.category).scaled(TEST_SCALE)
+        trace = DynamicTraceGenerator(dspec, config, seed=3, scale=TEST_SCALE).generate(
+            RECORDS
+        )
+        assert trace.is_dynamic
+        shared[scenario] = (dspec.base, config, trace)
+    return shared
+
+
+def _simulate(engine, letter, spec, config, trace, *, scheduler=None):
     chip = TiledChip(config)
     design = build_design(letter, chip)
-    simulator = TraceSimulator(design, CpiModel.for_workload(spec), engine=engine)
+    simulator = TraceSimulator(
+        design, CpiModel.for_workload(spec), engine=engine, scheduler=scheduler
+    )
     return simulator.run(trace)
+
+
+def _assert_equivalent(result, oracle):
+    """The full field-for-field battery (exact floats, no approx)."""
+    assert result.stats.to_dict() == oracle.stats.to_dict()
+    # Headline metrics.
+    assert result.cpi == oracle.cpi
+    assert result.ipc == oracle.ipc
+    assert result.cpi_breakdown() == oracle.cpi_breakdown()
+    assert result.stats.offchip_rate == oracle.stats.offchip_rate
+    # Per-class CPI components (Figures 8-10 inputs).
+    for access_class in ("instruction", "private", "shared"):
+        assert result.stats.class_cpi(access_class) == oracle.stats.class_cpi(
+            access_class
+        )
+    # Confidence interval from the per-sample CPIs.
+    assert (result.cpi_confidence is None) == (oracle.cpi_confidence is None)
+    if result.cpi_confidence is not None:
+        assert result.cpi_confidence.to_dict() == oracle.cpi_confidence.to_dict()
+    # Metadata (includes offchip_rate and any design-specific extras such as
+    # the R-NUCA misclassification rate and the ASR allocation probability).
+    assert result.metadata == oracle.metadata
 
 
 @pytest.mark.parametrize("workload", WORKLOADS)
 @pytest.mark.parametrize("letter", DESIGN_LETTERS)
-def test_fast_engine_matches_seed_path(traces, workload, letter):
+def test_engine_matrix_static(traces, workload, letter):
+    """Three-way matrix, static traces: batch and reference vs fast."""
     spec, config, trace = traces[workload]
     fast = _simulate("fast", letter, spec, config, trace)
+    batch = _simulate("batch", letter, spec, config, trace)
     seed = _simulate("reference", letter, spec, config, trace)
+    _assert_equivalent(batch, fast)
+    _assert_equivalent(seed, fast)
 
-    # Full statistics object, field for field (exact floats, no approx).
-    assert fast.stats.to_dict() == seed.stats.to_dict()
-    # Headline metrics.
-    assert fast.cpi == seed.cpi
-    assert fast.ipc == seed.ipc
-    assert fast.cpi_breakdown() == seed.cpi_breakdown()
-    assert fast.stats.offchip_rate == seed.stats.offchip_rate
-    # Per-class CPI components (Figures 8-10 inputs).
-    for access_class in ("instruction", "private", "shared"):
-        assert fast.stats.class_cpi(access_class) == seed.stats.class_cpi(access_class)
-    # Confidence interval from the per-sample CPIs.
-    assert (fast.cpi_confidence is None) == (seed.cpi_confidence is None)
-    if fast.cpi_confidence is not None:
-        assert fast.cpi_confidence.to_dict() == seed.cpi_confidence.to_dict()
-    # Metadata (includes offchip_rate and any design-specific extras such as
-    # the R-NUCA misclassification rate and the ASR allocation probability).
-    assert fast.metadata == seed.metadata
+
+@pytest.mark.parametrize("scenario", DYNAMIC_SCENARIOS)
+@pytest.mark.parametrize("letter", DESIGN_LETTERS)
+def test_engine_matrix_dynamic(dynamic_traces, scenario, letter):
+    """Three-way matrix, event-carrying traces.
+
+    The reference engine consumes dynamics end-to-end (its loud rejection
+    is gone), so the seed-path oracle covers migrations, sharing onsets and
+    phase changes too; the batch engine falls back to the fast path on
+    dynamic traces, which must be invisible in the statistics.
+    """
+    spec, config, trace = dynamic_traces[scenario]
+    fast = _simulate("fast", letter, spec, config, trace)
+    batch = _simulate("batch", letter, spec, config, trace)
+    seed = _simulate("reference", letter, spec, config, trace)
+    assert fast.metadata["dynamic"] is True
+    _assert_equivalent(batch, fast)
+    _assert_equivalent(seed, fast)
+
+
+@pytest.mark.parametrize("letter", DESIGN_LETTERS)
+def test_engine_matrix_adaptive(letter):
+    """Fast vs batch under a feedback scheduler (reference has no hook).
+
+    Both engines route scheduler-attached replay through the adaptive
+    window loop; a fresh same-seed scheduler per engine must yield the
+    same migrations and therefore bit-identical statistics.
+    """
+    dspec = resolve_dynamic("mix:adaptive")
+    config = SystemConfig.for_workload_category(dspec.category).scaled(TEST_SCALE)
+    trace = DynamicTraceGenerator(dspec, config, seed=3, scale=TEST_SCALE).generate(
+        RECORDS
+    )
+    results = {
+        engine: _simulate(
+            engine,
+            letter,
+            dspec.base,
+            config,
+            trace,
+            scheduler=build_scheduler("greedy", seed=7),
+        )
+        for engine in ("fast", "batch")
+    }
+    assert results["fast"].metadata["scheduler"] == "greedy"
+    _assert_equivalent(results["batch"], results["fast"])
 
 
 @pytest.mark.parametrize("workload", WORKLOADS)
@@ -126,8 +222,6 @@ def test_single_phase_dynamic_replay_is_bit_identical_to_static(
     the NO_THREAD sentinel, which the engines treat identically) and no
     events, so the event-aware replay never engages.
     """
-    from repro.dynamics import DynamicTraceGenerator, DynamicWorkloadSpec
-
     spec, config, trace = traces[workload]
     dynamic_trace = DynamicTraceGenerator(
         DynamicWorkloadSpec(name=workload, base=spec), config, seed=3, scale=TEST_SCALE
@@ -160,7 +254,7 @@ def test_env_engine_typo_fails_loudly(monkeypatch, traces):
 # Zero-copy equivalence: memory-mapped traces replay bit-identically
 # --------------------------------------------------------------------- #
 @pytest.mark.parametrize("workload", WORKLOADS)
-@pytest.mark.parametrize("engine", ("fast", "reference"))
+@pytest.mark.parametrize("engine", ENGINES)
 def test_mmap_loaded_trace_replays_bit_identically(tmp_path, traces, workload, engine):
     """A trace served from the binary store is the trace, for both engines.
 
@@ -215,3 +309,162 @@ def test_mmap_loaded_dynamic_trace_replays_bit_identically(tmp_path, letter):
     assert from_mmap.stats.to_dict() == from_memory.stats.to_dict()
     assert from_mmap.cpi == from_memory.cpi
     assert from_mmap.metadata == from_memory.metadata
+
+
+# --------------------------------------------------------------------- #
+# Seeded hypothesis fuzzer: adversarial mini-traces
+# --------------------------------------------------------------------- #
+# ``derandomize=True`` makes every run replay the same example sequence
+# (seeded by the strategy definitions), so a red fuzz case is a plain
+# deterministic test failure — no flaky CI, no example database.
+
+#: Event positions as trace fractions.  Deliberately boundary-heavy:
+#: 0.0 fires on the very first record, repeated 0.5 builds migration
+#: storms (several events on one record), 0.999 lands on the last
+#: window.
+_POSITIONS = st.sampled_from((0.0, 0.125, 0.25, 0.5, 0.5, 0.75, 0.999))
+
+#: The fuzz base is the 8-core multiprogrammed machine, so thread ids
+#: and destination cores live in ``[0, 8)``.
+_FUZZ_BASE = "mix"
+_CORES = st.integers(min_value=0, max_value=7)
+
+_MIGRATIONS = st.lists(
+    st.builds(MigrationEvent, at=_POSITIONS, thread_id=_CORES, to_core=_CORES),
+    max_size=6,
+).map(tuple)
+
+_ONSETS = st.lists(
+    st.builds(
+        SharingOnset,
+        at=_POSITIONS,
+        victim_thread=_CORES,
+        redirect_fraction=st.sampled_from((0.2, 0.5)),
+    ),
+    max_size=1,
+).map(tuple)
+
+#: Phase duration weights.  A weight-1 phase next to a weight-400 phase
+#: collapses to the guaranteed minimum of a single record, which is the
+#: phase-boundary edge case the scalar engines special-case.
+_DURATIONS = st.lists(st.sampled_from((1, 2, 40, 400)), max_size=3)
+
+#: Alternate access mix applied to odd-numbered phases, so multi-phase
+#: examples also exercise mid-trace class-mix changes.
+_ALT_MIX = {"instruction": 0.4, "private": 0.3, "shared_rw": 0.2, "shared_ro": 0.1}
+
+_fuzz_settings = settings(
+    max_examples=12,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _fuzz_spec(durations, migrations, onsets):
+    phases = tuple(
+        PhaseSpec(name=f"p{i}", duration=d, mix=_ALT_MIX if i % 2 else None)
+        for i, d in enumerate(durations)
+    )
+    return DynamicWorkloadSpec(
+        name="fuzz",
+        base=get_workload(_FUZZ_BASE),
+        phases=phases,
+        schedule=MigrationSchedule(migrations=migrations, sharing_onsets=onsets),
+    )
+
+
+@_fuzz_settings
+@given(
+    durations=_DURATIONS,
+    migrations=_MIGRATIONS,
+    onsets=_ONSETS,
+    seed=st.integers(min_value=0, max_value=3),
+    records=st.sampled_from((160, 500, 1100)),
+    letter=st.sampled_from(DESIGN_LETTERS),
+)
+def test_fuzz_dynamic_three_way(durations, migrations, onsets, seed, records, letter):
+    """Adversarial schedules: storms, first/last-record events, 1-record phases.
+
+    Every generated spec replays through all three engines and must be
+    bit-identical field for field.
+    """
+    dspec = _fuzz_spec(durations, migrations, onsets)
+    spec = dspec.base
+    config = SystemConfig.for_workload_category(spec.category).scaled(TEST_SCALE)
+    trace = DynamicTraceGenerator(dspec, config, seed=seed, scale=TEST_SCALE).generate(
+        records
+    )
+    fast = _simulate("fast", letter, spec, config, trace)
+    for engine in ("batch", "reference"):
+        _assert_equivalent(_simulate(engine, letter, spec, config, trace), fast)
+
+
+@_fuzz_settings
+@given(
+    k=st.sampled_from((0, 1, 2)),
+    window=st.sampled_from((128, 250)),
+    seed=st.integers(min_value=0, max_value=3),
+    letter=st.sampled_from(DESIGN_LETTERS),
+)
+def test_fuzz_adaptive_window_boundary_events(k, window, seed, letter):
+    """Trace events landing exactly on adaptive-window boundaries.
+
+    ``at = k * window / records`` puts the migration on the first record
+    of window ``k`` — the seam where the feedback loop hands one segment
+    to the next.  Fast and batch replay the same fresh same-seed
+    scheduler and must agree bit for bit (the reference engine has no
+    feedback hook, so the pair is the whole oracle set here).
+    """
+    records = 1000
+    at = k * window / records
+    dspec = DynamicWorkloadSpec(
+        name="boundary",
+        base=get_workload(_FUZZ_BASE),
+        schedule=MigrationSchedule(
+            migrations=(MigrationEvent(at=at, thread_id=1, to_core=4),)
+        ),
+    )
+    spec = dspec.base
+    config = SystemConfig.for_workload_category(spec.category).scaled(TEST_SCALE)
+    trace = DynamicTraceGenerator(dspec, config, seed=seed, scale=TEST_SCALE).generate(
+        records
+    )
+    results = {
+        engine: _simulate(
+            engine,
+            letter,
+            spec,
+            config,
+            trace,
+            scheduler=build_scheduler("greedy", seed=9, window_records=window),
+        )
+        for engine in ("fast", "batch")
+    }
+    assert results["fast"].metadata["scheduler"] == "greedy"
+    _assert_equivalent(results["batch"], results["fast"])
+
+
+@_fuzz_settings
+@given(
+    scale=st.sampled_from((256, 512)),
+    workload=st.sampled_from(WORKLOADS),
+    seed=st.integers(min_value=0, max_value=3),
+    letter=st.sampled_from(DESIGN_LETTERS),
+)
+def test_fuzz_minimum_geometry_pressure(scale, workload, seed, letter):
+    """Minimum-geometry replay: every set overflows, every miss path fires.
+
+    The MSHR files are structural accounting only — replay never consults
+    them — so "full-MSHR pressure" is expressed through its architectural
+    cause instead: caches scaled down to one or two sets per level
+    (scale 512 leaves a single L1 set), which drives eviction, victim
+    and directory traffic to saturation on every record.  All three
+    engines must still agree bit for bit.
+    """
+    spec = get_workload(workload)
+    config = SystemConfig.for_workload_category(spec.category).scaled(scale)
+    trace = SyntheticTraceGenerator(spec, config, seed=seed, scale=scale).generate(600)
+    fast = _simulate("fast", letter, spec, config, trace)
+    for engine in ("batch", "reference"):
+        _assert_equivalent(_simulate(engine, letter, spec, config, trace), fast)

@@ -114,6 +114,25 @@ class TestRunRequests:
         expected = runner_module.execute_point(point)
         assert canonical(final["result"]) == canonical(expected.to_dict())
 
+    def test_engine_knob_round_trips_through_serve(self, stores, monkeypatch):
+        """RNUCA_ENGINE set on the daemon's side of the wire is honoured.
+
+        A serve request executed through the batch kernel returns the
+        same serialized result as a direct fast-engine execution — the
+        engine is a replay implementation detail, never a protocol or
+        payload difference.
+        """
+        store, trace_store = stores
+        point = make_point(design="R")
+        expected = runner_module.execute_point(point)  # library default: fast
+        monkeypatch.setenv("RNUCA_ENGINE", "batch")
+        runner = BatchRunner(store=store, jobs=1, trace_store=trace_store)
+        with SimulationDaemon(runner, port=0) as daemon:
+            with ServeClient(daemon.host, daemon.port) as client:
+                final = client.run(point.to_dict())
+        assert final["status"] == "executed"
+        assert canonical(final["result"]) == canonical(expected.to_dict())
+
     def test_second_request_is_cached(self, daemon):
         point = make_point()
         with ServeClient(daemon.host, daemon.port) as client:
@@ -485,6 +504,28 @@ class TestLoadgen:
         assert payload["daemon_health"]["injected_faults"] == {
             site: 0 for site in payload["daemon_health"]["injected_faults"]
         }
+
+    def test_engine_knob_round_trips_through_loadgen(self, monkeypatch):
+        """The closed loop under RNUCA_ENGINE=batch digests identically.
+
+        ``run_serve_bench`` spins up its own daemon, so the knob crosses
+        the full stack: loadgen client -> wire -> daemon -> runner ->
+        batch kernel.  The per-point result digests must match a
+        default-engine run exactly.
+        """
+        kwargs = dict(
+            workloads=("mix",),
+            designs=("P",),
+            clients=2,
+            num_requests=4,
+            num_records=RECORDS,
+            scale=TEST_SCALE,
+        )
+        fast = run_serve_bench(**kwargs)
+        monkeypatch.setenv("RNUCA_ENGINE", "batch")
+        batch = run_serve_bench(**kwargs)
+        assert batch["errors"] == 0, batch["error_messages"]
+        assert batch["result_digests"] == fast["result_digests"]
 
     def test_workload_sequence_is_deterministic_and_covers_pool(self):
         workload = ServeWorkload.mixed(

@@ -18,10 +18,16 @@ always pass; metrics missing from either side are reported but ignored.
 
 Metrics compared:
 
-* engine payloads — ``fast_records_per_sec`` per design (the production
-  replay path; R is the paper's R-NUCA number the gate exists for);
-* trace payloads — ``binary_load_records_per_sec`` plus the per-design
-  dynamic-replay ``dynamic_records_per_sec``;
+* engine payloads — ``fast_records_per_sec`` and (when present)
+  ``batch_records_per_sec`` per design (the production replay paths; R is
+  the paper's R-NUCA number the gate exists for);
+* trace payloads — ``binary_load_records_per_sec`` (keyed by record
+  count, since the O(1) mmap load rate scales with trace length — quick
+  runs against a full-length baseline skip it rather than ratio-gate
+  noise) plus the per-design replay rates ``static_records_per_sec`` and
+  ``dynamic_records_per_sec`` (the static column closes the mmap-replay
+  blind spot: a static-replay regression used to be invisible to this
+  gate);
 * serve payloads (``BENCH_serve.json``) — end-to-end ``requests_per_sec``
   plus the warm-path (store-hit) p50/p99 latencies, gated as inverse
   latency so the same lower-bound ratio check applies: a warm p99 that
@@ -47,19 +53,31 @@ DEFAULT_THRESHOLD = 0.30
 
 
 def engine_metrics(payload: dict) -> dict[str, float]:
-    return {
-        f"{row['design']}.fast_records_per_sec": row["fast_records_per_sec"]
-        for row in payload.get("results", [])
-    }
+    metrics = {}
+    for row in payload.get("results", []):
+        metrics[f"{row['design']}.fast_records_per_sec"] = row["fast_records_per_sec"]
+        if "batch_records_per_sec" in row:
+            metrics[f"{row['design']}.batch_records_per_sec"] = row["batch_records_per_sec"]
+    return metrics
 
 
 def trace_metrics(payload: dict) -> dict[str, float]:
     metrics = {}
     persistence = payload.get("persistence", {})
     if "binary_load_records_per_sec" in persistence:
-        metrics["binary_load_records_per_sec"] = persistence["binary_load_records_per_sec"]
+        # The mmap load is O(1) in trace length, so this rate is dominated
+        # by fixed open overhead and scales with the record count.  Keying
+        # it by length keeps the gate honest: a --quick run against a
+        # full-length baseline becomes a one-sided (skipped) metric instead
+        # of a guaranteed-noise ratio, while like-for-like runs still gate.
+        records = payload.get("records", "?")
+        metrics[f"binary_load_records_per_sec@{records}rec"] = persistence[
+            "binary_load_records_per_sec"
+        ]
     for row in payload.get("replay", []):
-        metrics[f"{row['design']}.dynamic_records_per_sec"] = row["dynamic_records_per_sec"]
+        for metric in ("static_records_per_sec", "dynamic_records_per_sec"):
+            if metric in row:
+                metrics[f"{row['design']}.{metric}"] = row[metric]
     return metrics
 
 
